@@ -1,0 +1,108 @@
+//! Criterion wall-clock benchmarks of the implementation itself:
+//! parser, translator, optimizer, abstract machine, simulated target,
+//! and the end-to-end MiniM3 strategies.
+//!
+//! The *paper's* experiments are deterministic instruction-count tables
+//! (see the `cmm-bench` binaries); these benches track the speed of this
+//! reproduction's own components.
+
+use cmm_cfg::build_program;
+use cmm_frontend::workloads::{GAME, RAISE_FREQUENCY};
+use cmm_frontend::{compile_minim3, run_vm, Strategy};
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_parse::parse_module;
+use cmm_sem::{Machine, Status, Value};
+use cmm_vm::{compile, VmMachine, VmStatus};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const SP_SRC: &str = r#"
+    sp1(bits32 n) {
+        bits32 s, p;
+        if n == 1 { return (1, 1); }
+        else { s, p = sp1(n - 1); return (s + n, p * n); }
+    }
+    sp3(bits32 n) {
+        bits32 s, p;
+        s = 1; p = 1;
+      loop:
+        if n == 1 { return (s, p); }
+        else { s = s + n; p = p * n; n = n - 1; goto loop; }
+    }
+"#;
+
+fn bench_parser(c: &mut Criterion) {
+    c.bench_function("parse_figure1", |b| {
+        b.iter(|| parse_module(black_box(SP_SRC)).expect("parses"))
+    });
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let module = parse_module(SP_SRC).expect("parses");
+    c.bench_function("build_program", |b| {
+        b.iter(|| build_program(black_box(&module)).expect("builds"))
+    });
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let prog = build_program(&parse_module(SP_SRC).expect("parses")).expect("builds");
+    c.bench_function("optimize_program", |b| {
+        b.iter(|| {
+            let mut p = prog.clone();
+            optimize_program(&mut p, &OptOptions::default())
+        })
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let prog = build_program(&parse_module(SP_SRC).expect("parses")).expect("builds");
+    c.bench_function("sem_interpret_sp3_1000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(&prog);
+            m.start("sp3", vec![Value::b32(1000)]).expect("starts");
+            assert!(matches!(m.run(10_000_000), Status::Terminated(_)));
+        })
+    });
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let mut prog = build_program(&parse_module(SP_SRC).expect("parses")).expect("builds");
+    optimize_program(&mut prog, &OptOptions::default());
+    let vp = compile(&prog).expect("compiles");
+    c.bench_function("vm_execute_sp3_1000", |b| {
+        b.iter(|| {
+            let mut m = VmMachine::new(&vp);
+            m.start("sp3", &[1000], 2);
+            assert!(matches!(m.run(10_000_000), VmStatus::Halted(_)));
+        })
+    });
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minim3_strategies");
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(RAISE_FREQUENCY, strategy).expect("compiles");
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| run_vm(black_box(&module), strategy, &[60, 4]).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    c.bench_function("compile_minim3_game", |b| {
+        b.iter(|| compile_minim3(black_box(GAME), Strategy::Cutting).expect("compiles"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_translate,
+    bench_optimizer,
+    bench_interpreter,
+    bench_vm,
+    bench_strategies,
+    bench_frontend
+);
+criterion_main!(benches);

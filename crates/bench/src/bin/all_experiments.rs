@@ -1,0 +1,4 @@
+//! Regenerates one section of EXPERIMENTS.md; see cmm-bench's docs.
+fn main() {
+    print!("{}", cmm_bench::all_experiments());
+}

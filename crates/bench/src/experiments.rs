@@ -1,0 +1,478 @@
+//! The experiment implementations. Each returns its report as a string
+//! (and asserts the paper's qualitative claims hold).
+
+use cmm_cfg::build_program;
+use cmm_frontend::workloads::{
+    deep_raise, no_raise_expected, raise_frequency_expected, NO_RAISE, RAISE_FREQUENCY,
+};
+use cmm_frontend::{compile_minim3, run_vm, run_vm_with, Strategy};
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_parse::parse_module;
+use cmm_vm::{arch, compile, Cost, VmMachine, VmStatus};
+use std::fmt::Write as _;
+
+fn run_cmm(src: &str, proc: &str, args: &[u64], results: usize, opts: &OptOptions) -> (Vec<u64>, Cost) {
+    let mut prog = build_program(&parse_module(src).expect("experiment source parses"))
+        .expect("experiment source builds");
+    optimize_program(&mut prog, opts);
+    let vp = compile(&prog).expect("experiment source compiles");
+    let mut m = VmMachine::new(&vp);
+    m.start(proc, args, results);
+    match m.run(500_000_000) {
+        VmStatus::Halted(vals) => (vals, m.cost),
+        other => panic!("experiment did not halt: {other:?}"),
+    }
+}
+
+/// Figure 2: raise cost vs stack depth for all four mechanisms, plus
+/// the normal-case cost of entering handler scopes.
+pub fn fig2_design_space() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figure 2 — the design space of control transfer\n");
+    let _ = writeln!(
+        out,
+        "Raise caught `depth` frames above (total instructions incl. run-time system):\n"
+    );
+    let depths = [5u32, 25, 50, 100, 200];
+    let _ = write!(out, "{:<18}", "strategy");
+    for d in depths {
+        let _ = write!(out, "{:>10}", format!("d={d}"));
+    }
+    let _ = writeln!(out, "{:>16}", "per-frame cost");
+
+    let mut per_frame = Vec::new();
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(&deep_raise(true), strategy).expect("compiles");
+        let mut totals = Vec::new();
+        for d in depths {
+            let (r, cost) = run_vm(&module, strategy, &[d]).expect("runs");
+            assert_eq!(r, 43);
+            totals.push(cost.total());
+        }
+        let slope = (totals[4] - totals[3]) as f64 / f64::from(depths[4] - depths[3]);
+        per_frame.push((strategy, slope));
+        let _ = write!(out, "{:<18}", strategy.label());
+        for t in &totals {
+            let _ = write!(out, "{:>10}", t);
+        }
+        let _ = writeln!(out, "{:>16.1}", slope);
+    }
+    // The calls themselves cost the same for the direct strategies; the
+    // per-frame slope difference is dispatch cost. Cutting's slope is
+    // the baseline (O(1) dispatch).
+    let slope_of = |s: Strategy| per_frame.iter().find(|(x, _)| *x == s).expect("present").1;
+    let cutting = slope_of(Strategy::Cutting);
+    let native = slope_of(Strategy::NativeUnwind);
+    let runtime = slope_of(Strategy::RuntimeUnwind);
+    assert!(
+        runtime > native && native > cutting,
+        "expected interpretive > native > cutting dispatch slope"
+    );
+    let _ = writeln!(
+        out,
+        "\nDispatch overhead per frame (slope minus cutting's O(1) baseline):\n\
+         \x20 runtime-unwind {:+.1}, native-unwind {:+.1}, cutting +0 (baseline), cps raises in O(1).",
+        runtime - cutting,
+        native - cutting
+    );
+
+    // Normal-case cost: handler scopes entered but never used.
+    let _ = writeln!(out, "\nNormal-case cost per handler-scope entry (never raises):\n");
+    let n = 200u32;
+    let mut rows = Vec::new();
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(NO_RAISE, strategy).expect("compiles");
+        let (r, cost) = run_vm(&module, strategy, &[n]).expect("runs");
+        assert_eq!(r, no_raise_expected(n));
+        rows.push((strategy, cost.total()));
+    }
+    let base = rows
+        .iter()
+        .map(|&(_, t)| t)
+        .min()
+        .expect("nonempty");
+    for (strategy, total) in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>8} total  ({:+.2}/iteration vs best)",
+            strategy.label(),
+            total,
+            (*total as f64 - base as f64) / f64::from(n)
+        );
+    }
+    let unwind_total = rows.iter().find(|(s, _)| *s == Strategy::RuntimeUnwind).expect("present").1;
+    let cutting_total = rows.iter().find(|(s, _)| *s == Strategy::Cutting).expect("present").1;
+    assert!(
+        unwind_total < cutting_total,
+        "unwinding must have lower normal-case cost than cutting"
+    );
+    let _ = writeln!(
+        out,
+        "\nThe 2x2 of Figure 2 holds: stack-walking techniques (unwind columns) pay\n\
+         nothing per scope entry; non-walking techniques (cut to / SetCutToCont)\n\
+         pay per entry but dispatch in constant time."
+    );
+    out
+}
+
+/// Figures 3/4: instruction counts at call sites under the branch-table
+/// method versus a test-and-branch alternative.
+pub fn fig34_branch_table() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Figures 3/4 — the branch-table method\n");
+
+    // A loop of calls that always return normally.
+    let plain = r#"
+        f(bits32 n) {
+            bits32 acc, r;
+            acc = 0;
+          loop:
+            if n == 0 { return (acc); } else {
+                r = g(n);
+                acc = acc + r;
+                n = n - 1;
+                goto loop;
+            }
+        }
+        g(bits32 x) { return (x); }
+    "#;
+    // Same, with one alternate return continuation (branch table).
+    let table = r#"
+        f(bits32 n) {
+            bits32 acc, r;
+            acc = 0;
+          loop:
+            if n == 0 { return (acc); } else {
+                r = g(n) also returns to kexn;
+                acc = acc + r;
+                n = n - 1;
+                goto loop;
+            }
+            continuation kexn(r):
+            return (0 - 1);
+        }
+        g(bits32 x) { return <1/1> (x); }
+    "#;
+    // The alternative the paper rejects: return a status code and test
+    // it at every call site.
+    let test_branch = r#"
+        f(bits32 n) {
+            bits32 acc, r, status;
+          bits32 e;
+            acc = 0;
+          loop:
+            if n == 0 { return (acc); } else {
+                status, r = g(n);
+                if status != 0 { return (0 - 1); }
+                acc = acc + r;
+                n = n - 1;
+                goto loop;
+            }
+        }
+        g(bits32 x) { return (0, x); }
+    "#;
+    let n = 100u64;
+    let opts = OptOptions::default();
+    let (v1, c1) = run_cmm(plain, "f", &[n], 1, &opts);
+    let (v2, c2) = run_cmm(table, "f", &[n], 1, &opts);
+    let (v3, c3) = run_cmm(test_branch, "f", &[n], 1, &opts);
+    assert_eq!(v1, v2);
+    assert_eq!(v2, v3);
+    let _ = writeln!(out, "{n} normal-returning calls:\n");
+    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "call-site technique", "instr", "branches");
+    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "plain call (no alternates)", c1.instructions, c1.branches);
+    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "branch table (Figure 4)", c2.instructions, c2.branches);
+    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "status code + test at call site", c3.instructions, c3.branches);
+    assert_eq!(
+        c1.instructions, c2.instructions,
+        "the branch-table method has NO dynamic overhead in the normal case"
+    );
+    assert!(
+        c3.instructions >= c1.instructions + 2 * n,
+        "test-and-branch pays >= 2 instructions per call"
+    );
+    let _ = writeln!(
+        out,
+        "\nNormal case: branch table = plain call exactly ({} instructions);\n\
+         the status-code alternative pays {} extra instructions ({} per call).",
+        c1.instructions,
+        c3.instructions - c1.instructions,
+        (c3.instructions - c1.instructions) / n
+    );
+
+    // Abnormal case: branch-to-branch.
+    let raise_table = table.replace("return <1/1> (x);", "return <0/1> (x);");
+    let (v, c) = run_cmm(&raise_table, "f", &[1], 1, &opts);
+    assert_eq!(v, vec![0xffff_ffff]);
+    let _ = writeln!(
+        out,
+        "\nAbnormal return: jr ra+i into the table, then an unconditional jump to\n\
+         the continuation — \"a branch to a branch\" ({} branches for 1 call+raise).",
+        c.branches
+    );
+    out
+}
+
+/// §2: the cost of `setjmp`-style scope entry across architectures.
+pub fn sec2_setjmp_cost() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## §2 — jmp_buf sizes vs the native stack cutter\n");
+    let n = 100u32;
+    let _ = writeln!(out, "{n} handler-scope entries (no raise): stores per entry\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>14} {:>18}",
+        "architecture", "jmp_buf words", "stores/entry"
+    );
+    let baseline = {
+        let module = compile_minim3(NO_RAISE, Strategy::Cutting).expect("compiles");
+        let (r, cost) = run_vm(&module, Strategy::Cutting, &[n]).expect("runs");
+        assert_eq!(r, no_raise_expected(n));
+        cost.stores
+    };
+    let mut per_entry = Vec::new();
+    for profile in [arch::NATIVE_CUTTER, arch::PENTIUM_LINUX, arch::SPARC_SOLARIS, arch::ALPHA_DIGITAL_UNIX] {
+        let strategy = Strategy::Sjlj(profile);
+        let module = compile_minim3(NO_RAISE, strategy).expect("compiles");
+        let (r, cost) = run_vm(&module, strategy, &[n]).expect("runs");
+        assert_eq!(r, no_raise_expected(n));
+        // Stores beyond the cutting baseline, plus cutting's own 1
+        // store per entry, averaged.
+        let stores = (cost.stores - baseline) as f64 / f64::from(n) + 1.0;
+        per_entry.push(stores);
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>14} {:>18.1}",
+            profile.name, profile.jmp_buf_words, stores
+        );
+    }
+    assert!(per_entry[0] < per_entry[1] && per_entry[1] < per_entry[2] && per_entry[2] < per_entry[3]);
+    let _ = writeln!(
+        out,
+        "\nThe paper's ordering reproduces: 2 (native cutter) << 6 (Pentium) <\n\
+         19 (SPARC) < 84 (Alpha) words saved per scope entry. (The native\n\
+         cutter's 2-pointer (pc, sp) pair is initialized once per activation in\n\
+         the prologue — §5.4's representation — so its *per-entry* cost is a\n\
+         single push: even better than the paper's conservative count.)"
+    );
+    out
+}
+
+/// Appendix A: the two dispatcher cost models and their crossover as
+/// raise frequency varies.
+pub fn appendixa_dispatchers() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Appendix A — zero-overhead entry vs constant-time dispatch\n");
+    let n = 240u32;
+    let freqs = [0u32, 60, 12, 4, 2, 1];
+    let _ = writeln!(
+        out,
+        "{n} iterations; every m-th raises (m=0: never). Total work:\n"
+    );
+    let _ = write!(out, "  {:<18}", "strategy");
+    for m in freqs {
+        let label = if m == 0 { "never".to_string() } else { format!("1/{m}") };
+        let _ = write!(out, "{:>10}", label);
+    }
+    let _ = writeln!(out);
+    let mut table = Vec::new();
+    for strategy in [Strategy::RuntimeUnwind, Strategy::Cutting] {
+        let module = compile_minim3(RAISE_FREQUENCY, strategy).expect("compiles");
+        let mut row = Vec::new();
+        for m in freqs {
+            let (r, cost) = run_vm(&module, strategy, &[n, m]).expect("runs");
+            assert_eq!(r, raise_frequency_expected(n, m));
+            row.push(cost.total());
+        }
+        let _ = write!(out, "  {:<18}", strategy.label());
+        for t in &row {
+            let _ = write!(out, "{:>10}", t);
+        }
+        let _ = writeln!(out);
+        table.push((strategy, row));
+    }
+    let unwind = &table[0].1;
+    let cutting = &table[1].1;
+    assert!(
+        unwind[0] < cutting[0],
+        "with no raises, zero-overhead scope entry (unwinding) must win"
+    );
+    assert!(
+        unwind[freqs.len() - 1] > cutting[freqs.len() - 1],
+        "with a raise every iteration, constant-time dispatch (cutting) must win"
+    );
+    let crossover = freqs
+        .iter()
+        .zip(unwind.iter().zip(cutting.iter()))
+        .find(|(_, (u, c))| u > c)
+        .map(|(m, _)| *m);
+    let _ = writeln!(
+        out,
+        "\nCrossover: unwinding (Figure 8/9: free entry, expensive dispatch) wins\n\
+         while raises are rare; cutting (Figure 10: paid entry, cheap dispatch)\n\
+         wins from roughly one raise per {} iterations.",
+        crossover.unwrap_or(1)
+    );
+    out
+}
+
+/// §4.2: cut edges kill callee-saves registers; unwind edges do not.
+pub fn sec42_callee_saves() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## §4.2 — callee-saves registers vs cut edges\n");
+    let body = |ann: &str, raise: &str| {
+        format!(
+            r#"
+            f(bits32 n) {{
+                bits32 acc, x, y, w, r;
+                acc = 0;
+              loop:
+                if n == 0 {{ return (acc); }} else {{
+                    y = n * 3;
+                    w = n + 7;
+                    r = g(n, k) {ann};
+                    acc = acc + r + y + w;
+                    n = n - 1;
+                    goto loop;
+                }}
+                continuation k(r):
+                return (r + y + w);
+            }}
+            g(bits32 a, bits32 kk) {{
+                {raise}
+                return (a);
+            }}
+            "#
+        )
+    };
+    // Normal path only (never raises): measure frame traffic.
+    let cuts = body("also cuts to k", "");
+    let unwinds = body("also unwinds to k", "");
+    let n = 100u64;
+    let opts = OptOptions::default();
+    let (v1, c_cut) = run_cmm(&cuts, "f", &[n], 1, &opts);
+    let (v2, c_unw) = run_cmm(&unwinds, "f", &[n], 1, &opts);
+    assert_eq!(v1, v2);
+    let _ = writeln!(out, "{n} loop iterations, y and w live across the call and into the handler:\n");
+    let _ = writeln!(out, "  {:<26} {:>8} {:>8} {:>8}", "annotation at the call", "instr", "loads", "stores");
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>8} {:>8} {:>8}",
+        "also cuts to k", c_cut.instructions, c_cut.loads, c_cut.stores
+    );
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>8} {:>8} {:>8}",
+        "also unwinds to k", c_unw.instructions, c_unw.loads, c_unw.stores
+    );
+    assert!(
+        c_cut.loads + c_cut.stores > c_unw.loads + c_unw.stores,
+        "cut edges must force frame traffic that unwind edges avoid"
+    );
+    let _ = writeln!(
+        out,
+        "\nWith `also cuts to`, the optimizer may not promote y/w to callee-saves\n\
+         registers (the cut would lose them), so they live in the frame: {} extra\n\
+         memory operations. With `also unwinds to`, the stack walk restores\n\
+         callee-saves registers, so y/w stay in registers — \"the unwinding\n\
+         technique allows callee-saves registers to be used at every call site\".",
+        (c_cut.loads + c_cut.stores) - (c_unw.loads + c_unw.stores)
+    );
+    out
+}
+
+/// §6/Table 3: what the single, exception-aware optimizer buys.
+pub fn table3_dataflow_effect() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Table 3 — one optimizer for all exception styles\n");
+    let n = 60u32;
+    let _ = writeln!(
+        out,
+        "GAME-like workload ({} iterations of RAISE_FREQUENCY, m=4), optimized vs not:\n",
+        n
+    );
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>12} {:>12} {:>9}",
+        "strategy", "unoptimized", "optimized", "saved"
+    );
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(RAISE_FREQUENCY, strategy).expect("compiles");
+        let (r1, c1) =
+            run_vm_with(&module, strategy, &[n, 4], &OptOptions::none()).expect("runs");
+        let (r2, c2) = run_vm_with(&module, strategy, &[n, 4], &OptOptions::default()).expect("runs");
+        assert_eq!(r1, r2, "{strategy}: optimization must preserve results");
+        assert_eq!(r1, raise_frequency_expected(n, 4));
+        let saved = c1.total() as i64 - c2.total() as i64;
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>12} {:>12} {:>8.1}%",
+            strategy.label(),
+            c1.total(),
+            c2.total(),
+            100.0 * saved as f64 / c1.total() as f64
+        );
+        assert!(c2.total() <= c1.total(), "{strategy}: optimization must not hurt");
+    }
+    let _ = writeln!(
+        out,
+        "\nThe same pass pipeline (constants, copies, CSE, DCE, callee-saves\n\
+         promotion) runs unchanged on all four exception styles — exceptions are\n\
+         ordinary edges, so \"a single optimizer suffices for all C-- programs\"."
+    );
+    out
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> String {
+    let mut out = String::new();
+    for section in [
+        sec2_setjmp_cost(),
+        fig2_design_space(),
+        fig34_branch_table(),
+        sec42_callee_saves(),
+        table3_dataflow_effect(),
+        appendixa_dispatchers(),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each experiment asserts its claims internally; running them is
+    // the test.
+    #[test]
+    fn fig2_claims_hold() {
+        fig2_design_space();
+    }
+
+    #[test]
+    fn fig34_claims_hold() {
+        fig34_branch_table();
+    }
+
+    #[test]
+    fn sec2_claims_hold() {
+        sec2_setjmp_cost();
+    }
+
+    #[test]
+    fn appendixa_claims_hold() {
+        appendixa_dispatchers();
+    }
+
+    #[test]
+    fn sec42_claims_hold() {
+        sec42_callee_saves();
+    }
+
+    #[test]
+    fn table3_claims_hold() {
+        table3_dataflow_effect();
+    }
+}

@@ -1,0 +1,762 @@
+//! Translation of C-- source into Abstract C-- (§5.3 of the paper).
+//!
+//! "To translate a continuation, create a `CopyIn` node naming the
+//! parameters of the continuation, and whose successor is the statement
+//! following the continuation. ... To translate a call, create a
+//! `CopyOut` node that puts the values of the parameters in the
+//! value-passing area, and the successor of which is a `Call` node. ...
+//! The `Call` node's continuation bundle is computed from the `also`
+//! annotations. ... Jumps and cuts are translated similarly."
+//!
+//! In addition, this module synthesizes the checking procedures for
+//! fallible primitives (§4.3): a call to `%%divu` behaves exactly like a
+//! call to the procedure
+//!
+//! ```text
+//! %%divu(bits32 p, bits32 q) {
+//!     if q == 0 { yield(DIVZERO) also aborts; }
+//!     return (%divu(p, q));
+//! }
+//! ```
+
+use crate::graph::{Graph, NodeId, Program};
+use crate::image::DataImage;
+use crate::node::{Bundle, Node};
+use crate::YIELD;
+use cmm_ir::{
+    Annotations, BinOp, BodyItem, Expr, Lvalue, Module, Name, Proc, Stmt, Ty, Width,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Yield codes reserved by the implementation.
+///
+/// Front ends choose their own codes for their exceptions; the code for a
+/// failed checked primitive is fixed here so any front-end run-time
+/// system can recognize it.
+pub mod yield_codes {
+    /// A checked primitive failed (zero divisor, signed overflow, or
+    /// out-of-range shift).
+    pub const DIVZERO: u64 = 1;
+    /// First code available for front-end use.
+    pub const FIRST_USER: u64 = 256;
+}
+
+/// An error detected while translating a module to Abstract C--.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// An annotation names a continuation not declared in the procedure.
+    UnknownContinuation {
+        /// The procedure containing the bad annotation.
+        proc: Name,
+        /// The missing continuation name.
+        cont: Name,
+    },
+    /// A `goto` targets a label that does not exist.
+    UnknownLabel {
+        /// The procedure containing the bad goto.
+        proc: Name,
+        /// The missing label.
+        label: Name,
+    },
+    /// A name is not declared anywhere (not a variable, continuation,
+    /// procedure, data block, global register, or import).
+    UnknownName {
+        /// The procedure mentioning the name.
+        proc: Name,
+        /// The unknown name.
+        name: Name,
+    },
+    /// Two variables, labels, or continuations share a name.
+    DuplicateName {
+        /// The procedure with the clash.
+        proc: Name,
+        /// The duplicated name.
+        name: Name,
+    },
+    /// Two top-level declarations share a name.
+    DuplicateSymbol(Name),
+    /// A `sym` initializer refers to an undefined symbol.
+    UndefinedSymbol(Name),
+    /// A continuation parameter is not a declared variable of the
+    /// enclosing procedure.
+    UndeclaredContParam {
+        /// The procedure.
+        proc: Name,
+        /// The continuation.
+        cont: Name,
+        /// The offending parameter.
+        param: Name,
+    },
+    /// A procedure uses the reserved name `yield` or a `%` name.
+    ReservedName(Name),
+    /// An unknown `%%` primitive is called.
+    UnknownPrimitive(Name),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownContinuation { proc, cont } => {
+                write!(f, "procedure `{proc}`: annotation names unknown continuation `{cont}`")
+            }
+            BuildError::UnknownLabel { proc, label } => {
+                write!(f, "procedure `{proc}`: goto targets unknown label `{label}`")
+            }
+            BuildError::UnknownName { proc, name } => {
+                write!(f, "procedure `{proc}`: unknown name `{name}`")
+            }
+            BuildError::DuplicateName { proc, name } => {
+                write!(f, "procedure `{proc}`: duplicate name `{name}`")
+            }
+            BuildError::DuplicateSymbol(n) => write!(f, "duplicate top-level symbol `{n}`"),
+            BuildError::UndefinedSymbol(n) => write!(f, "undefined symbol `{n}` in data block"),
+            BuildError::UndeclaredContParam { proc, cont, param } => write!(
+                f,
+                "procedure `{proc}`: continuation `{cont}` parameter `{param}` is not a declared variable"
+            ),
+            BuildError::ReservedName(n) => write!(f, "`{n}` is a reserved name"),
+            BuildError::UnknownPrimitive(n) => write!(f, "unknown checked primitive `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Translates a module into an Abstract C-- [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`BuildError`] for unresolved names, duplicate declarations,
+/// malformed annotations, or undefined data symbols.
+pub fn build_program(module: &Module) -> Result<Program, BuildError> {
+    let image = DataImage::link(module).map_err(BuildError::UndefinedSymbol)?;
+
+    // Known top-level names.
+    let mut top: BTreeSet<Name> = BTreeSet::new();
+    let mut check_dup = |n: &Name| -> Result<(), BuildError> {
+        if !top.insert(n.clone()) {
+            return Err(BuildError::DuplicateSymbol(n.clone()));
+        }
+        Ok(())
+    };
+    for p in module.procs() {
+        if p.name == YIELD || p.name.as_str().starts_with('%') {
+            return Err(BuildError::ReservedName(p.name.clone()));
+        }
+        check_dup(&p.name)?;
+    }
+    for b in module.data_blocks() {
+        check_dup(&b.name)?;
+    }
+    for r in module.registers() {
+        check_dup(&r.name)?;
+    }
+
+    let mut known_top: BTreeSet<Name> = module.procs().map(|p| p.name.clone()).collect();
+    known_top.extend(module.data_blocks().map(|b| b.name.clone()));
+    known_top.extend(module.registers().map(|r| r.name.clone()));
+    for d in &module.decls {
+        if let cmm_ir::Decl::Import(ns) = d {
+            known_top.extend(ns.iter().cloned());
+        }
+    }
+    known_top.insert(Name::from(YIELD));
+
+    let mut program = Program {
+        procs: BTreeMap::new(),
+        globals: module.registers().cloned().collect(),
+        image,
+    };
+
+    let mut used_prims: BTreeSet<Name> = BTreeSet::new();
+    for p in module.procs() {
+        let g = GraphBuilder::new(p, &known_top)?.run(p, &mut used_prims)?;
+        program.procs.insert(p.name.clone(), g);
+    }
+
+    // Synthesize the run-time system's yield procedure: a single Yield
+    // node ("the range of X includes only nodes of the form Entry e p or
+    // Yield", §5).
+    let yield_graph = Graph {
+        name: Name::from(YIELD),
+        nodes: vec![Node::Yield],
+        entry: NodeId(0),
+        arity: 1,
+        vars: Vec::new(),
+    };
+    program.procs.insert(Name::from(YIELD), yield_graph);
+
+    // Synthesize checking procedures for the fallible primitives used.
+    for prim in used_prims {
+        let op = BinOp::checked_primitive(prim.as_str())
+            .ok_or_else(|| BuildError::UnknownPrimitive(prim.clone()))?;
+        let g = synthesize_checked(&prim, op);
+        program.procs.insert(prim, g);
+    }
+
+    Ok(program)
+}
+
+/// Builds the checking procedure for a `%%` primitive (§4.3).
+fn synthesize_checked(name: &Name, op: BinOp) -> Graph {
+    let p = Name::from("p");
+    let q = Name::from("q");
+    let mut g = Graph {
+        name: name.clone(),
+        nodes: Vec::new(),
+        entry: NodeId(0),
+        arity: 2,
+        vars: vec![(p.clone(), Ty::B32), (q.clone(), Ty::B32)],
+    };
+    // Failure condition, per operator.
+    let min32 = Expr::b32(0x8000_0000);
+    let neg1 = Expr::b32(0xffff_ffff);
+    let fail = match op {
+        BinOp::DivU | BinOp::ModU => Expr::eq(Expr::var(&q), Expr::b32(0)),
+        BinOp::DivS => Expr::binary(
+            BinOp::Or,
+            Expr::eq(Expr::var(&q), Expr::b32(0)),
+            Expr::binary(
+                BinOp::And,
+                Expr::eq(Expr::var(&p), min32),
+                Expr::eq(Expr::var(&q), neg1),
+            ),
+        ),
+        BinOp::ModS => Expr::eq(Expr::var(&q), Expr::b32(0)),
+        BinOp::Shl | BinOp::ShrU | BinOp::ShrS => {
+            Expr::binary(BinOp::GeU, Expr::var(&q), Expr::b32(Width::W32.bits()))
+        }
+        _ => Expr::b32(0),
+    };
+    // ok: CopyOut [op(p, q)] -> Exit 0/0
+    let exit = g.add(Node::Exit { index: 0, alternates: 0 });
+    let ok = g.add(Node::CopyOut {
+        exprs: vec![Expr::binary(op, Expr::var(&p), Expr::var(&q))],
+        next: exit,
+    });
+    // failure: CopyOut [DIVZERO] -> Call yield (aborts) -> CopyIn [] -> ok
+    let resume = g.add(Node::CopyIn { vars: vec![], next: ok });
+    let call = g.add(Node::Call {
+        callee: Expr::var(YIELD),
+        bundle: Bundle { returns: vec![resume], unwinds: vec![], cuts: vec![], aborts: true },
+        descriptors: vec![],
+    });
+    let copyout = g.add(Node::CopyOut {
+        exprs: vec![Expr::Lit(cmm_ir::Lit::b32(yield_codes::DIVZERO as u32))],
+        next: call,
+    });
+    let branch = g.add(Node::Branch { cond: fail, t: copyout, f: ok });
+    let copyin = g.add(Node::CopyIn { vars: vec![p, q], next: branch });
+    let entry = g.add(Node::Entry { conts: vec![], next: copyin });
+    g.entry = entry;
+    g
+}
+
+struct GraphBuilder {
+    g: Graph,
+    labels: BTreeMap<Name, NodeId>,
+    conts: BTreeMap<Name, NodeId>,
+    cont_order: Vec<Name>,
+    known_top: BTreeSet<Name>,
+}
+
+impl GraphBuilder {
+    fn new(p: &Proc, known_top: &BTreeSet<Name>) -> Result<GraphBuilder, BuildError> {
+        let mut vars: Vec<(Name, Ty)> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for (n, ty) in p.formals.iter().chain(p.locals.iter()) {
+            if !seen.insert(n.clone()) {
+                return Err(BuildError::DuplicateName { proc: p.name.clone(), name: n.clone() });
+            }
+            vars.push((n.clone(), *ty));
+        }
+        let g = Graph {
+            name: p.name.clone(),
+            nodes: Vec::new(),
+            entry: NodeId(0),
+            arity: p.formals.len(),
+            vars,
+        };
+        let mut b = GraphBuilder {
+            g,
+            labels: BTreeMap::new(),
+            conts: BTreeMap::new(),
+            cont_order: Vec::new(),
+            known_top: known_top.clone(),
+        };
+        // Pre-allocate placeholder nodes for every label and continuation
+        // so that forward references resolve. Placeholders are patched to
+        // CopyIn nodes during translation.
+        b.prescan(p, &p.body, &mut seen)?;
+        Ok(b)
+    }
+
+    fn prescan(
+        &mut self,
+        p: &Proc,
+        items: &[BodyItem],
+        seen: &mut BTreeSet<Name>,
+    ) -> Result<(), BuildError> {
+        for item in items {
+            match item {
+                BodyItem::Label(l) => {
+                    if !seen.insert(l.clone()) {
+                        return Err(BuildError::DuplicateName {
+                            proc: p.name.clone(),
+                            name: l.clone(),
+                        });
+                    }
+                    let id = self.g.add(Node::Yield); // placeholder
+                    self.labels.insert(l.clone(), id);
+                }
+                BodyItem::Continuation { name, params } => {
+                    if !seen.insert(name.clone()) {
+                        return Err(BuildError::DuplicateName {
+                            proc: p.name.clone(),
+                            name: name.clone(),
+                        });
+                    }
+                    for param in params {
+                        if self.g.var_ty(param).is_none() {
+                            return Err(BuildError::UndeclaredContParam {
+                                proc: p.name.clone(),
+                                cont: name.clone(),
+                                param: param.clone(),
+                            });
+                        }
+                    }
+                    let id = self.g.add(Node::Yield); // placeholder
+                    self.conts.insert(name.clone(), id);
+                    self.cont_order.push(name.clone());
+                }
+                BodyItem::Stmt(Stmt::If { then_, else_, .. }) => {
+                    self.prescan(p, then_, seen)?;
+                    self.prescan(p, else_, seen)?;
+                }
+                BodyItem::Stmt(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn run(mut self, p: &Proc, used_prims: &mut BTreeSet<Name>) -> Result<Graph, BuildError> {
+        // Falling off the end of a body behaves as a plain `return;`.
+        let implicit_return = self.g.add(Node::Exit { index: 0, alternates: 0 });
+        let body_head = self.items(p, &p.body, implicit_return, used_prims)?;
+        let formals: Vec<Name> = p.formals.iter().map(|(n, _)| n.clone()).collect();
+        let copyin = self.g.add(Node::CopyIn { vars: formals, next: body_head });
+        let conts: Vec<(Name, NodeId)> =
+            self.cont_order.iter().map(|n| (n.clone(), self.conts[n])).collect();
+        let entry = self.g.add(Node::Entry { conts, next: copyin });
+        self.g.entry = entry;
+        self.validate_names(p)?;
+        Ok(self.g)
+    }
+
+    /// Translates a statement sequence, given the node that follows it.
+    /// Returns the head node.
+    fn items(
+        &mut self,
+        p: &Proc,
+        items: &[BodyItem],
+        follow: NodeId,
+        used_prims: &mut BTreeSet<Name>,
+    ) -> Result<NodeId, BuildError> {
+        let mut next = follow;
+        for item in items.iter().rev() {
+            next = self.item(p, item, next, used_prims)?;
+        }
+        Ok(next)
+    }
+
+    fn resolve_conts(&self, p: &Proc, names: &[Name]) -> Result<Vec<NodeId>, BuildError> {
+        names
+            .iter()
+            .map(|n| {
+                self.conts.get(n).copied().ok_or_else(|| BuildError::UnknownContinuation {
+                    proc: p.name.clone(),
+                    cont: n.clone(),
+                })
+            })
+            .collect()
+    }
+
+    fn bundle(
+        &mut self,
+        p: &Proc,
+        anns: &Annotations,
+        normal_return: NodeId,
+    ) -> Result<Bundle, BuildError> {
+        let mut returns = self.resolve_conts(p, &anns.returns_to)?;
+        returns.push(normal_return);
+        Ok(Bundle {
+            returns,
+            unwinds: self.resolve_conts(p, &anns.unwinds_to)?,
+            cuts: self.resolve_conts(p, &anns.cuts_to)?,
+            aborts: anns.aborts,
+        })
+    }
+
+    fn item(
+        &mut self,
+        p: &Proc,
+        item: &BodyItem,
+        next: NodeId,
+        used_prims: &mut BTreeSet<Name>,
+    ) -> Result<NodeId, BuildError> {
+        match item {
+            BodyItem::Label(l) => {
+                let id = self.labels[l];
+                self.g.nodes[id.index()] = Node::CopyIn { vars: vec![], next };
+                Ok(id)
+            }
+            BodyItem::Continuation { name, params } => {
+                let id = self.conts[name];
+                self.g.nodes[id.index()] = Node::CopyIn { vars: params.clone(), next };
+                Ok(id)
+            }
+            BodyItem::Stmt(s) => self.stmt(p, s, next, used_prims),
+        }
+    }
+
+    fn stmt(
+        &mut self,
+        p: &Proc,
+        s: &Stmt,
+        next: NodeId,
+        used_prims: &mut BTreeSet<Name>,
+    ) -> Result<NodeId, BuildError> {
+        match s {
+            Stmt::Assign { lhs, rhs } => Ok(self.assign(lhs, rhs, next)),
+            Stmt::If { cond, then_, else_ } => {
+                let t = self.items(p, then_, next, used_prims)?;
+                let f = self.items(p, else_, next, used_prims)?;
+                Ok(self.g.add(Node::Branch { cond: cond.clone(), t, f }))
+            }
+            Stmt::Goto { target } => self
+                .labels
+                .get(target)
+                .copied()
+                .ok_or_else(|| BuildError::UnknownLabel { proc: p.name.clone(), label: target.clone() }),
+            Stmt::Call { results, callee, args, anns } => {
+                if let Expr::Name(n) = callee {
+                    if n.is_checked_primitive() {
+                        used_prims.insert(n.clone());
+                    }
+                }
+                let copyin = self.g.add(Node::CopyIn { vars: results.clone(), next });
+                let bundle = self.bundle(p, anns, copyin)?;
+                let call = self.g.add(Node::Call {
+                    callee: callee.clone(),
+                    bundle,
+                    descriptors: anns.descriptors.clone(),
+                });
+                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: call }))
+            }
+            Stmt::Jump { callee, args } => {
+                let jump = self.g.add(Node::Jump { callee: callee.clone() });
+                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: jump }))
+            }
+            Stmt::Return { alt, args } => {
+                let (index, alternates) = match alt {
+                    Some(a) => (a.index, a.count),
+                    None => (0, 0),
+                };
+                let exit = self.g.add(Node::Exit { index, alternates });
+                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: exit }))
+            }
+            Stmt::CutTo { cont, args, anns } => {
+                let cuts = self.resolve_conts(p, &anns.cuts_to)?;
+                let cut = self.g.add(Node::CutTo { cont: cont.clone(), cuts });
+                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: cut }))
+            }
+            Stmt::Yield { args, anns } => {
+                let copyin = self.g.add(Node::CopyIn { vars: vec![], next });
+                let bundle = self.bundle(p, anns, copyin)?;
+                let call = self.g.add(Node::Call {
+                    callee: Expr::var(YIELD),
+                    bundle,
+                    descriptors: anns.descriptors.clone(),
+                });
+                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: call }))
+            }
+        }
+    }
+
+    /// Lowers a (possibly parallel) assignment to a chain of `Assign`
+    /// nodes. Parallel assignments evaluate every right-hand side before
+    /// writing any target, which the lowering realizes with fresh
+    /// temporaries.
+    fn assign(&mut self, lhs: &[Lvalue], rhs: &[Expr], next: NodeId) -> NodeId {
+        if lhs.len() == 1 {
+            return self.g.add(Node::Assign { lhs: lhs[0].clone(), rhs: rhs[0].clone(), next });
+        }
+        let temps: Vec<Name> = lhs
+            .iter()
+            .map(|l| {
+                let ty = match l {
+                    Lvalue::Var(v) => self.g.var_ty(v).unwrap_or(Ty::B32),
+                    Lvalue::Mem(ty, _) => *ty,
+                };
+                self.g.fresh_var("par", ty)
+            })
+            .collect();
+        // Writes (backward): target_i = temp_i.
+        let mut head = next;
+        for (l, t) in lhs.iter().zip(&temps).rev() {
+            head = self.g.add(Node::Assign { lhs: l.clone(), rhs: Expr::var(t), next: head });
+        }
+        // Reads (backward): temp_i = rhs_i.
+        for (t, e) in temps.iter().zip(rhs).rev() {
+            head = self.g.add(Node::Assign { lhs: Lvalue::Var(t.clone()), rhs: e.clone(), next: head });
+        }
+        head
+    }
+
+    /// Checks that every name mentioned in the graph is declared
+    /// somewhere.
+    fn validate_names(&self, p: &Proc) -> Result<(), BuildError> {
+        let check = |e: &Expr| -> Result<(), BuildError> {
+            let mut bad = None;
+            e.visit_names(&mut |n| {
+                if bad.is_some() {
+                    return;
+                }
+                let known = self.g.var_ty(n).is_some()
+                    || self.conts.contains_key(n)
+                    || self.known_top.contains(n)
+                    || n.as_str().starts_with('%');
+                if !known {
+                    bad = Some(n.clone());
+                }
+            });
+            match bad {
+                Some(n) => Err(BuildError::UnknownName { proc: p.name.clone(), name: n }),
+                None => Ok(()),
+            }
+        };
+        for n in &self.g.nodes {
+            match n {
+                Node::Assign { lhs, rhs, .. } => {
+                    if let Lvalue::Mem(_, a) = lhs {
+                        check(a)?;
+                    }
+                    if let Lvalue::Var(v) = lhs {
+                        if self.g.var_ty(v).is_none() && !self.known_top.contains(v) {
+                            return Err(BuildError::UnknownName {
+                                proc: p.name.clone(),
+                                name: v.clone(),
+                            });
+                        }
+                    }
+                    check(rhs)?;
+                }
+                Node::Branch { cond, .. } => check(cond)?,
+                Node::CopyOut { exprs, .. } => {
+                    for e in exprs {
+                        check(e)?;
+                    }
+                }
+                Node::CopyIn { vars, .. } => {
+                    for v in vars {
+                        if self.g.var_ty(v).is_none() {
+                            return Err(BuildError::UnknownName {
+                                proc: p.name.clone(),
+                                name: v.clone(),
+                            });
+                        }
+                    }
+                }
+                Node::Call { callee, .. } => check(callee)?,
+                Node::Jump { callee } => check(callee)?,
+                Node::CutTo { cont, .. } => check(cont)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_parse::parse_module;
+
+    fn build(src: &str) -> Program {
+        build_program(&parse_module(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn builds_figure1() {
+        let p = build(
+            r#"
+            export sp1;
+            sp1(bits32 n) {
+                bits32 s, p;
+                if n == 1 { return (1, 1); }
+                else { s, p = sp1(n - 1); return (s + n, p * n); }
+            }
+            "#,
+        );
+        let g = p.proc("sp1").unwrap();
+        assert!(matches!(g.node(g.entry), Node::Entry { .. }));
+        // Entry -> CopyIn formals -> Branch.
+        let Node::Entry { next, .. } = g.node(g.entry) else { unreachable!() };
+        let Node::CopyIn { vars, next } = g.node(*next) else { panic!("expected CopyIn") };
+        assert_eq!(vars.len(), 1);
+        assert!(matches!(g.node(*next), Node::Branch { .. }));
+        // yield procedure synthesized.
+        assert!(p.proc(YIELD).is_some());
+    }
+
+    #[test]
+    fn call_produces_copyout_call_copyin() {
+        let p = build("f(bits32 x) { bits32 y; y = g(x); return (y); } g(bits32 a) { return (a); }");
+        let g = p.proc("f").unwrap();
+        let copyouts: Vec<_> = g
+            .ids()
+            .filter(|&id| matches!(g.node(id), Node::CopyOut { .. }))
+            .collect();
+        // One CopyOut for the call, one for the return.
+        assert_eq!(copyouts.len(), 2);
+        let call = g
+            .ids()
+            .find(|&id| matches!(g.node(id), Node::Call { .. }))
+            .expect("has a call node");
+        let Node::Call { bundle, .. } = g.node(call) else { unreachable!() };
+        assert_eq!(bundle.returns.len(), 1);
+        assert!(matches!(g.node(bundle.normal_return()), Node::CopyIn { vars, .. } if vars.len() == 1));
+    }
+
+    #[test]
+    fn continuations_bound_at_entry() {
+        let p = build(
+            r#"
+            f(bits32 x) {
+                bits32 y;
+                y = g(x) also cuts to k also unwinds to k;
+                return (y);
+                continuation k(y):
+                return (y);
+            }
+            g(bits32 a) { return (a); }
+            "#,
+        );
+        let g = p.proc("f").unwrap();
+        assert_eq!(g.continuations().len(), 1);
+        let k = g.continuation("k").unwrap();
+        assert!(matches!(g.node(k), Node::CopyIn { vars, .. } if vars.len() == 1));
+        let call = g.ids().find(|&id| matches!(g.node(id), Node::Call { .. })).unwrap();
+        let Node::Call { bundle, .. } = g.node(call) else { unreachable!() };
+        assert_eq!(bundle.cuts, vec![k]);
+        assert_eq!(bundle.unwinds, vec![k]);
+    }
+
+    #[test]
+    fn goto_resolves_forward_and_backward() {
+        let p = build(
+            r#"
+            f(bits32 n) {
+                bits32 s;
+                s = 0;
+              loop:
+                if n == 0 { goto done; } else { s = s + n; n = n - 1; goto loop; }
+              done:
+                return (s);
+            }
+            "#,
+        );
+        let g = p.proc("f").unwrap();
+        // Both labels become CopyIn join points.
+        let joins = g
+            .ids()
+            .filter(|&id| matches!(g.node(id), Node::CopyIn { vars, .. } if vars.is_empty()))
+            .count();
+        assert!(joins >= 2, "expected join nodes for labels, got {joins}");
+    }
+
+    #[test]
+    fn parallel_assignment_uses_temporaries() {
+        let p = build("f(bits32 a, bits32 b) { a, b = b, a; return (a, b); }");
+        let g = p.proc("f").unwrap();
+        assert!(g.vars.iter().any(|(n, _)| n.as_str().starts_with("$par")));
+    }
+
+    #[test]
+    fn checked_primitive_synthesized() {
+        let p = build("f(bits32 a, bits32 b) { bits32 r; r = %%divu(a, b) also aborts; return (r); }");
+        let g = p.proc("%%divu").expect("checking procedure synthesized");
+        assert_eq!(g.arity, 2);
+        // It contains a call to yield with aborts set.
+        let call = g.ids().find(|&id| matches!(g.node(id), Node::Call { .. })).unwrap();
+        let Node::Call { bundle, callee, .. } = g.node(call) else { unreachable!() };
+        assert_eq!(callee, &Expr::var(YIELD));
+        assert!(bundle.aborts);
+    }
+
+    #[test]
+    fn unknown_continuation_rejected() {
+        let m = parse_module("f() { g() also cuts to nowhere; } g() { return; }").unwrap();
+        assert_eq!(
+            build_program(&m).unwrap_err(),
+            BuildError::UnknownContinuation { proc: Name::from("f"), cont: Name::from("nowhere") }
+        );
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let m = parse_module("f() { goto nowhere; }").unwrap();
+        assert!(matches!(build_program(&m).unwrap_err(), BuildError::UnknownLabel { .. }));
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let m = parse_module("f() { bits32 x; x = undeclared + 1; }").unwrap();
+        assert!(matches!(build_program(&m).unwrap_err(), BuildError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let m = parse_module("f() { return; } f() { return; }").unwrap();
+        assert!(matches!(build_program(&m).unwrap_err(), BuildError::DuplicateSymbol(_)));
+    }
+
+    #[test]
+    fn undeclared_cont_param_rejected() {
+        let m = parse_module("f() { return; continuation k(zz): return; }").unwrap();
+        assert!(matches!(build_program(&m).unwrap_err(), BuildError::UndeclaredContParam { .. }));
+    }
+
+    #[test]
+    fn cut_to_annotation_edges_recorded() {
+        let p = build(
+            r#"
+            f(bits32 x) {
+                bits32 k1;
+                cut to k1(x) also cuts to k;
+                continuation k(x):
+                return (x);
+            }
+            "#,
+        );
+        let g = p.proc("f").unwrap();
+        let cut = g.ids().find(|&id| matches!(g.node(id), Node::CutTo { .. })).unwrap();
+        let Node::CutTo { cuts, .. } = g.node(cut) else { unreachable!() };
+        assert_eq!(cuts.len(), 1);
+    }
+
+    #[test]
+    fn global_registers_carried_through() {
+        let p = build("register bits32 exn_top; f() { exn_top = exn_top + 4; return; }");
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.globals[0].name, Name::from("exn_top"));
+    }
+
+    #[test]
+    fn implicit_return_at_end_of_body() {
+        let p = build("f() { bits32 x; x = 1; }");
+        let g = p.proc("f").unwrap();
+        assert!(g.ids().any(|id| matches!(g.node(id), Node::Exit { index: 0, alternates: 0 })));
+    }
+}

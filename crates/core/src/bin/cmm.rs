@@ -1,0 +1,149 @@
+//! `cmm` — the command-line driver.
+//!
+//! ```text
+//! cmm run <file.cmm> <proc> [args...] [--results N] [-O0]
+//! cmm dump-cfg <file.cmm> [proc]      # Abstract C-- (Table 2 nodes)
+//! cmm dump-ssa <file.cmm> [proc]      # Figure 6-style SSA numbering
+//! cmm dump-vm <file.cmm>              # disassembled simulated target
+//! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
+//! ```
+//!
+//! Strategies: `runtime-unwind`, `cutting`, `native-unwind`, `cps`,
+//! `sjlj-pentium`, `sjlj-sparc`, `sjlj-alpha`.
+
+use cmm_core::sem::Value;
+use cmm_core::{frontend, opt, vm, Compiler};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cmm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut args = args.into_iter();
+    let cmd = args.next().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "run" => {
+            let file = args.next().ok_or_else(usage)?;
+            let proc = args.next().ok_or_else(usage)?;
+            let rest: Vec<String> = args.collect();
+            let mut results = 1usize;
+            let mut opts = opt::OptOptions::default();
+            let mut call_args: Vec<u64> = Vec::new();
+            let mut it = rest.into_iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--results" => {
+                        results = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--results needs a number")?;
+                    }
+                    "-O0" => opts = opt::OptOptions::none(),
+                    v => call_args.push(v.parse().map_err(|_| format!("bad argument `{v}`"))?),
+                }
+            }
+            let c = compiler(&file)?.options(opts);
+            let sem_args = call_args.iter().map(|&a| Value::b32(a as u32)).collect();
+            let sem = c.interpret(&proc, sem_args).map_err(|e| e.to_string())?;
+            let (vm_vals, cost) =
+                c.execute(&proc, &call_args, results).map_err(|e| e.to_string())?;
+            println!("semantics: {sem:?}");
+            println!("target:    {vm_vals:?}");
+            println!(
+                "cost:      {} instructions, {} loads, {} stores, {} branches",
+                cost.instructions, cost.loads, cost.stores, cost.branches
+            );
+            Ok(())
+        }
+        "dump-cfg" => {
+            let file = args.next().ok_or_else(usage)?;
+            let only = args.next();
+            let prog = compiler(&file)?.program().map_err(|e| e.to_string())?;
+            for (name, g) in &prog.procs {
+                if only.as_deref().map(|o| name == o).unwrap_or(true) {
+                    print!("{}", cmm_core::cfg::display::graph_to_string(g));
+                }
+            }
+            Ok(())
+        }
+        "dump-ssa" => {
+            let file = args.next().ok_or_else(usage)?;
+            let only = args.next();
+            let prog = compiler(&file)?.program().map_err(|e| e.to_string())?;
+            for (name, g) in &prog.procs {
+                if name == cmm_core::cfg::YIELD {
+                    continue;
+                }
+                if only.as_deref().map(|o| name == o).unwrap_or(true) {
+                    let ssa = opt::Ssa::build(g);
+                    print!("{}", opt::ssa::ssa_to_string(g, &ssa));
+                }
+            }
+            Ok(())
+        }
+        "dump-vm" => {
+            let file = args.next().ok_or_else(usage)?;
+            let vp = compiler(&file)?.vm_program().map_err(|e| e.to_string())?;
+            print!("{}", vm::disasm::disassemble(&vp));
+            Ok(())
+        }
+        "m3" => {
+            let file = args.next().ok_or_else(usage)?;
+            let strat = args.next().ok_or_else(usage)?;
+            let strategy = parse_strategy(&strat)?;
+            let call_args: Vec<u32> = args
+                .map(|v| v.parse().map_err(|_| format!("bad argument `{v}`")))
+                .collect::<Result<_, _>>()?;
+            let src =
+                std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let module =
+                frontend::compile_minim3(&src, strategy).map_err(|e| e.to_string())?;
+            let sem = frontend::run_sem(&module, strategy, &call_args)
+                .map_err(|e| e.to_string())?;
+            let (vm_val, cost) = frontend::run_vm(&module, strategy, &call_args)
+                .map_err(|e| e.to_string())?;
+            assert_eq!(sem, vm_val, "substrates disagree — please report a bug");
+            println!("result:    {vm_val}");
+            println!(
+                "cost:      {} instructions (+{} run-time system), {} loads, {} stores",
+                cost.instructions, cost.runtime_instructions, cost.loads, cost.stores
+            );
+            Ok(())
+        }
+        _ => Err(usage()),
+    }
+}
+
+fn compiler(file: &str) -> Result<Compiler, String> {
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    Compiler::new().source(&src).map_err(|e| e.to_string())
+}
+
+fn parse_strategy(s: &str) -> Result<frontend::Strategy, String> {
+    Ok(match s {
+        "runtime-unwind" => frontend::Strategy::RuntimeUnwind,
+        "cutting" => frontend::Strategy::Cutting,
+        "native-unwind" => frontend::Strategy::NativeUnwind,
+        "cps" => frontend::Strategy::Cps,
+        "sjlj-pentium" => frontend::Strategy::Sjlj(vm::arch::PENTIUM_LINUX),
+        "sjlj-sparc" => frontend::Strategy::Sjlj(vm::arch::SPARC_SOLARIS),
+        "sjlj-alpha" => frontend::Strategy::Sjlj(vm::arch::ALPHA_DIGITAL_UNIX),
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+fn usage() -> String {
+    "usage: cmm run <file> <proc> [args..] [--results N] [-O0]\n\
+     \x20      cmm dump-cfg <file> [proc]\n\
+     \x20      cmm dump-ssa <file> [proc]\n\
+     \x20      cmm dump-vm <file>\n\
+     \x20      cmm m3 <file> <strategy> [args..]"
+        .into()
+}

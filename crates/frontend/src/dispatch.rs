@@ -1,0 +1,141 @@
+//! The MiniM3 exception dispatcher — the paper's Figure 9, ported from C
+//! to Rust, over the Table 1 run-time interface.
+//!
+//! ```text
+//! void dispatcher() {
+//!     activation a;
+//!     pop_exn_info(&exn_tag, &arg);
+//!     FirstActivation(tb, &a);
+//!     for (;;) {
+//!         struct exn_descriptor *d = ...a...;
+//!         if (d) {
+//!             for (i = 0; i < d->handler_count; i++)
+//!                 if (d->handlers[i].exn_tag == exn_tag) {
+//!                     SetActivation(tb, &a);
+//!                     SetUnwindCont(tb, d->handlers[i].cont_num);
+//!                     if (d->handlers[i].takes_arg) {
+//!                         void **result = FindContParam(tb, 0);
+//!                         *result = arg;
+//!                     }
+//!                     return;
+//!                 }
+//!         }
+//!         if (!NextActivation(&a)) abort();  /* unhandled */
+//!     }
+//! }
+//! ```
+//!
+//! The descriptor layout interpreted here is the one `cmm-frontend`
+//! deposits: `[handler_count][(exn_tag, cont_num, takes_arg) * count]`,
+//! all 32-bit words, with `exn_tag` a pointer to the exception's tag
+//! block.
+//!
+//! Two implementations are provided — one over the abstract-machine
+//! interface (`cmm-rt`), one over the simulated-target interface
+//! (`cmm-vm`) — with identical logic, demonstrating that "different
+//! front ends may interoperate with the same C-- run-time system" and
+//! vice versa.
+
+use cmm_rt::Thread;
+use cmm_sem::Value;
+use cmm_vm::VmThread;
+
+/// The outcome of one dispatch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Dispatch {
+    /// A handler was selected and the thread resumed.
+    Handled,
+    /// No activation handles the exception; `tag` identifies it.
+    Unhandled {
+        /// The exception's tag (the address of its tag block).
+        tag: u64,
+    },
+}
+
+/// Dispatches the pending `yield(M3_EXCEPTION, tag, value)` on the
+/// abstract machine.
+///
+/// # Errors
+///
+/// Returns a message if the thread is not suspended with an exception
+/// request or a Table 1 operation is rejected.
+pub fn dispatch_sem(t: &mut Thread<'_>) -> Result<Dispatch, String> {
+    let args = t.yield_args();
+    if args.len() < 3 {
+        return Err("exception yield needs (code, tag, value)".into());
+    }
+    let tag = args[1].bits().ok_or("tag must be a bits value")?;
+    let value = args[2].clone();
+
+    let Some(mut a) = t.first_activation() else {
+        return Err("thread has no activations".into());
+    };
+    loop {
+        if let Some(d) = t.get_descriptor(&a, 0) {
+            let count = t.read_u32(d) as u64;
+            for i in 0..count {
+                let entry = d + 4 + i * 12;
+                let exn_tag = u64::from(t.read_u32(entry));
+                let cont_num = t.read_u32(entry + 4) as usize;
+                let takes_arg = t.read_u32(entry + 8) != 0;
+                if exn_tag == tag {
+                    t.set_activation(&a).map_err(|e| e.to_string())?;
+                    t.set_unwind_cont(cont_num).map_err(|e| e.to_string())?;
+                    if takes_arg {
+                        *t.find_cont_param(0).ok_or("missing parameter slot")? = value;
+                    }
+                    t.resume().map_err(|e| e.to_string())?;
+                    return Ok(Dispatch::Handled);
+                }
+            }
+        }
+        if !t.next_activation(&mut a) {
+            return Ok(Dispatch::Unhandled { tag });
+        }
+    }
+}
+
+/// Dispatches the pending exception on the simulated target. Identical
+/// logic to [`dispatch_sem`], over the VM's deposited tables.
+///
+/// # Errors
+///
+/// Returns a message if the thread is not suspended with an exception
+/// request or an interface operation is rejected.
+pub fn dispatch_vm(t: &mut VmThread<'_>) -> Result<Dispatch, String> {
+    let args = t.machine.yield_args(3);
+    let tag = args[1];
+    let value = args[2];
+
+    let Some(mut a) = t.first_activation() else {
+        return Err("thread has no activations".into());
+    };
+    loop {
+        if let Some(d) = t.get_descriptor(&a, 0) {
+            let count = t.machine.mem.read32(d);
+            for i in 0..count {
+                let entry = d + 4 + i * 12;
+                let exn_tag = u64::from(t.machine.mem.read32(entry));
+                let cont_num = t.machine.mem.read32(entry + 4) as usize;
+                let takes_arg = t.machine.mem.read32(entry + 8) != 0;
+                if exn_tag == tag {
+                    t.set_activation(&a)?;
+                    t.set_unwind_cont(cont_num)?;
+                    if takes_arg {
+                        *t.find_cont_param(0).ok_or("missing parameter slot")? = value;
+                    }
+                    t.resume()?;
+                    return Ok(Dispatch::Handled);
+                }
+            }
+        }
+        if !t.next_activation(&mut a) {
+            return Ok(Dispatch::Unhandled { tag });
+        }
+    }
+}
+
+/// Helper used by drivers: a `Value` for dispatch results.
+pub fn value_of(v: u64) -> Value {
+    Value::b32(v as u32)
+}

@@ -1,0 +1,168 @@
+//! Drivers: compile, link, and run MiniM3 programs on either execution
+//! substrate, with the front-end run-time system in the loop.
+
+use crate::dispatch::{dispatch_sem, dispatch_vm, Dispatch};
+use crate::lower::{Strategy, ENTRY};
+use crate::M3_EXCEPTION;
+use cmm_cfg::build_program;
+use cmm_ir::Module;
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_rt::Thread;
+use cmm_sem::{Status, Value};
+use cmm_vm::{compile, Cost, VmStatus, VmThread};
+use std::fmt;
+
+/// An error from compiling or running a MiniM3 program.
+#[derive(Clone, PartialEq, Debug)]
+pub enum M3Error {
+    /// Front-end error (syntax or semantic).
+    Lower(String),
+    /// The generated C-- failed to translate (a front-end bug).
+    Build(String),
+    /// Code generation for the VM failed.
+    Codegen(String),
+    /// An exception propagated out of `main`.
+    Uncaught {
+        /// The exception's name, recovered from its tag block.
+        exception: String,
+    },
+    /// The abstract machine went wrong or the VM faulted.
+    Fault(String),
+    /// The program ran too long.
+    OutOfFuel,
+}
+
+impl fmt::Display for M3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            M3Error::Lower(m) => write!(f, "front-end error: {m}"),
+            M3Error::Build(m) => write!(f, "C-- translation error: {m}"),
+            M3Error::Codegen(m) => write!(f, "code generation error: {m}"),
+            M3Error::Uncaught { exception } => write!(f, "uncaught exception {exception}"),
+            M3Error::Fault(m) => write!(f, "run-time fault: {m}"),
+            M3Error::OutOfFuel => write!(f, "program ran out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for M3Error {}
+
+const FUEL: u64 = 500_000_000;
+
+/// Recovers an exception's source name from its tag (the address of its
+/// `exn$NAME` block).
+fn exception_name(image: &cmm_cfg::DataImage, tag: u64) -> String {
+    image
+        .symbols
+        .iter()
+        .find(|(n, &a)| a == tag && n.as_str().starts_with("exn$"))
+        .map(|(n, _)| n.as_str()["exn$".len()..].to_string())
+        .unwrap_or_else(|| format!("<tag {tag:#x}>"))
+}
+
+/// Runs a compiled MiniM3 module on the abstract machine (`cmm-sem`),
+/// with the Figure 9 dispatcher as the front-end run-time system.
+/// Returns `main`'s value.
+///
+/// # Errors
+///
+/// Returns [`M3Error::Uncaught`] if an exception escapes `main`, and
+/// [`M3Error::Fault`] if the program goes wrong.
+pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
+    let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
+    let mut t = Thread::new(&prog);
+    t.start(ENTRY, args.iter().map(|&a| Value::b32(a)).collect())
+        .map_err(|e| M3Error::Fault(e.to_string()))?;
+    loop {
+        match t.run(FUEL) {
+            Status::Terminated(vals) => {
+                let status = vals.first().and_then(Value::bits).unwrap_or(0);
+                let value = vals.get(1).and_then(Value::bits).unwrap_or(0) as u32;
+                if status == 0 {
+                    return Ok(value);
+                }
+                return Err(M3Error::Uncaught {
+                    exception: exception_name(&prog.image, u64::from(value)),
+                });
+            }
+            Status::Suspended => {
+                let code = t.yield_code().unwrap_or(0);
+                if code == M3_EXCEPTION && matches!(strategy, Strategy::RuntimeUnwind) {
+                    match dispatch_sem(&mut t).map_err(M3Error::Fault)? {
+                        Dispatch::Handled => continue,
+                        Dispatch::Unhandled { tag } => {
+                            return Err(M3Error::Uncaught {
+                                exception: exception_name(&prog.image, tag),
+                            });
+                        }
+                    }
+                }
+                return Err(M3Error::Fault(format!("unexpected yield (code {code})")));
+            }
+            Status::Wrong(w) => return Err(M3Error::Fault(w.to_string())),
+            Status::OutOfFuel => return Err(M3Error::OutOfFuel),
+            other => return Err(M3Error::Fault(format!("unexpected status {other:?}"))),
+        }
+    }
+}
+
+/// Runs a compiled MiniM3 module on the simulated target (`cmm-vm`)
+/// after optimization, returning `main`'s value and the exact cost.
+///
+/// # Errors
+///
+/// As [`run_sem`], plus code-generation errors.
+pub fn run_vm(module: &Module, strategy: Strategy, args: &[u32]) -> Result<(u32, Cost), M3Error> {
+    run_vm_with(module, strategy, args, &OptOptions::default())
+}
+
+/// [`run_vm`] with explicit optimization options (used by the benches to
+/// compare optimization levels).
+///
+/// # Errors
+///
+/// As [`run_vm`].
+pub fn run_vm_with(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+    opts: &OptOptions,
+) -> Result<(u32, Cost), M3Error> {
+    let mut prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
+    optimize_program(&mut prog, opts);
+    let vp = compile(&prog).map_err(|e| M3Error::Codegen(e.to_string()))?;
+    let mut t = VmThread::new(&vp);
+    let vargs: Vec<u64> = args.iter().map(|&a| u64::from(a)).collect();
+    t.start(ENTRY, &vargs, 2);
+    loop {
+        match t.run(FUEL) {
+            VmStatus::Halted(vals) => {
+                let status = vals.first().copied().unwrap_or(0);
+                let value = vals.get(1).copied().unwrap_or(0) as u32;
+                if status == 0 {
+                    return Ok((value, t.machine.cost));
+                }
+                return Err(M3Error::Uncaught {
+                    exception: exception_name(&vp.image, u64::from(value)),
+                });
+            }
+            VmStatus::Suspended => {
+                let code = t.machine.yield_args(1)[0];
+                if code == M3_EXCEPTION && matches!(strategy, Strategy::RuntimeUnwind) {
+                    match dispatch_vm(&mut t).map_err(M3Error::Fault)? {
+                        Dispatch::Handled => continue,
+                        Dispatch::Unhandled { tag } => {
+                            return Err(M3Error::Uncaught {
+                                exception: exception_name(&vp.image, tag),
+                            });
+                        }
+                    }
+                }
+                return Err(M3Error::Fault(format!("unexpected yield (code {code})")));
+            }
+            VmStatus::Error(e) => return Err(M3Error::Fault(e)),
+            VmStatus::OutOfFuel => return Err(M3Error::OutOfFuel),
+            other => return Err(M3Error::Fault(format!("unexpected status {other:?}"))),
+        }
+    }
+}

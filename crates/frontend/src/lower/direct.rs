@@ -1,0 +1,718 @@
+//! The three direct-style strategies: run-time unwinding, stack cutting
+//! (and its sjlj variant), and native-code unwinding.
+//!
+//! The generated shapes follow Appendix A closely:
+//!
+//! * **run-time unwinding** is Figure 8: calls carry `also unwinds to`
+//!   listing every enclosing handler continuation (innermost first),
+//!   `also aborts`, and `also descriptor` naming a static block that the
+//!   Figure 9 dispatcher interprets; `raise` is a `yield`;
+//! * **stack cutting** is Figure 10: `try` pushes the handler
+//!   continuation onto a dynamic exception stack held in the global
+//!   register `exn_top`, `raise` pops and `cut to`s, and the handler
+//!   itself re-raises unmatched exceptions;
+//! * **native unwinding** gives every call site one abnormal return
+//!   continuation (`also returns to`); `raise` is `return <0/1>` and
+//!   propagation re-returns frame by frame through branch tables.
+
+use super::{lower_expr, tag_block, LowerError, Strategy, ENTRY};
+use crate::ast::{M3Program, M3Stmt};
+use crate::M3_EXCEPTION;
+use cmm_ir::{
+    Annotations, BodyItem, DataBlock, DataItem, Expr, GlobalReg, Lit, Module, Name, Proc, Stmt,
+    Ty,
+};
+
+/// The global register holding the top of the dynamic exception stack
+/// (cutting/sjlj strategies; Figure 10's `exn_top`).
+pub const EXN_TOP: &str = "exn_top";
+/// The exception-stack data block.
+pub const EXN_STACK: &str = "m3$exnstack";
+
+/// Lowers all procedures plus the entry wrapper.
+pub fn lower(prog: &M3Program, module: &mut Module, strategy: Strategy) -> Result<(), LowerError> {
+    if matches!(strategy, Strategy::Cutting | Strategy::Sjlj(_)) {
+        module.push_register(GlobalReg { name: Name::from(EXN_TOP), ty: Ty::B32, init: None });
+        module.push_data(DataBlock::new(EXN_STACK, vec![DataItem::Space(1 << 20)]));
+    }
+    let mut desc_counter = 0usize;
+    for p in &prog.procs {
+        let lowered = ProcLower::new(strategy, module, &mut desc_counter).proc(p);
+        module.push_proc(lowered);
+    }
+    module.push_proc(entry_wrapper(prog, strategy));
+    Ok(())
+}
+
+/// The frame size of one handler-stack entry, in bytes.
+fn scope_frame(strategy: Strategy) -> u32 {
+    match strategy {
+        Strategy::Sjlj(a) => 4 * a.jmp_buf_words,
+        _ => 4,
+    }
+}
+
+fn entry_wrapper(prog: &M3Program, strategy: Strategy) -> Proc {
+    let main = prog.proc("main").expect("validated");
+    let mut p = Proc::new(ENTRY);
+    p.exported = true;
+    for param in &main.params {
+        p.formals.push((Name::from(param.as_str()), Ty::B32));
+    }
+    p.locals.push((Name::from("$r"), Ty::B32));
+    p.locals.push((Name::from("$tag"), Ty::B32));
+    p.locals.push((Name::from("$val"), Ty::B32));
+    let args: Vec<Expr> = main.params.iter().map(|n| Expr::var(n.as_str())).collect();
+    let mut body: Vec<BodyItem> = Vec::new();
+    match strategy {
+        Strategy::RuntimeUnwind => {
+            body.push(
+                Stmt::Call {
+                    results: vec![Name::from("$r")],
+                    callee: Expr::var("main"),
+                    args,
+                    anns: Annotations::none().and_aborts(),
+                }
+                .into(),
+            );
+            body.push(Stmt::return_([Expr::b32(0), Expr::var("$r")]).into());
+        }
+        Strategy::Cutting | Strategy::Sjlj(_) => {
+            body.push(Stmt::assign(EXN_TOP, Expr::var(EXN_STACK)).into());
+            body.push(Stmt::store(Ty::B32, Expr::var(EXN_TOP), Expr::var("k$uncaught")).into());
+            body.push(
+                Stmt::Call {
+                    results: vec![Name::from("$r")],
+                    callee: Expr::var("main"),
+                    args,
+                    anns: Annotations::cuts_to(["k$uncaught"]).and_aborts(),
+                }
+                .into(),
+            );
+            body.push(Stmt::return_([Expr::b32(0), Expr::var("$r")]).into());
+            body.push(BodyItem::Continuation {
+                name: Name::from("k$uncaught"),
+                params: vec![Name::from("$tag"), Name::from("$val")],
+            });
+            body.push(Stmt::return_([Expr::b32(1), Expr::var("$tag")]).into());
+        }
+        Strategy::NativeUnwind => {
+            body.push(
+                Stmt::Call {
+                    results: vec![Name::from("$r")],
+                    callee: Expr::var("main"),
+                    args,
+                    anns: Annotations::returns_to(["k$uncaught"]),
+                }
+                .into(),
+            );
+            body.push(Stmt::return_([Expr::b32(0), Expr::var("$r")]).into());
+            body.push(BodyItem::Continuation {
+                name: Name::from("k$uncaught"),
+                params: vec![Name::from("$tag"), Name::from("$val")],
+            });
+            body.push(Stmt::return_([Expr::b32(1), Expr::var("$tag")]).into());
+        }
+        Strategy::Cps => unreachable!("CPS has its own lowering"),
+    }
+    p.body = body;
+    p
+}
+
+/// One enclosing `try` scope during lowering.
+struct Scope {
+    /// Handler continuation names (one per handler for unwinding; one
+    /// shared dispatch continuation for cutting/native).
+    conts: Vec<Name>,
+    /// The exception each continuation handles, parallel to `conts`
+    /// (run-time unwinding only; used to build descriptors).
+    exceptions: Vec<String>,
+    /// The label of the local dispatch code (native unwinding only).
+    dispatch: Option<Name>,
+    /// The descriptor block for the enclosing-handler chain at this
+    /// scope (run-time unwinding only).
+    descriptor: Option<Name>,
+}
+
+struct ProcLower<'a> {
+    strategy: Strategy,
+    module: &'a mut Module,
+    desc_counter: &'a mut usize,
+    scopes: Vec<Scope>,
+    deferred: Vec<BodyItem>,
+    counter: usize,
+    locals: Vec<Name>,
+}
+
+impl<'a> ProcLower<'a> {
+    fn new(
+        strategy: Strategy,
+        module: &'a mut Module,
+        desc_counter: &'a mut usize,
+    ) -> ProcLower<'a> {
+        ProcLower {
+            strategy,
+            module,
+            desc_counter,
+            scopes: Vec::new(),
+            deferred: Vec::new(),
+            counter: 0,
+            locals: Vec::new(),
+        }
+    }
+
+    fn fresh(&mut self, hint: &str) -> Name {
+        self.counter += 1;
+        Name::from(format!("{hint}${}", self.counter))
+    }
+
+    fn local(&mut self, n: &str) -> Name {
+        let name = Name::from(n);
+        if !self.locals.contains(&name) {
+            self.locals.push(name.clone());
+        }
+        name
+    }
+
+    fn proc(mut self, p: &crate::ast::M3Proc) -> Proc {
+        for l in &p.locals {
+            self.local(l);
+        }
+        // Native unwinding: a per-procedure propagation continuation,
+        // so any abnormal return arriving at an unprotected call site is
+        // re-returned to the caller.
+        let prop = if matches!(self.strategy, Strategy::NativeUnwind) {
+            self.local("$tag");
+            self.local("$val");
+            Some(Name::from("k$prop"))
+        } else {
+            None
+        };
+        let mut items = Vec::new();
+        self.stmts(&p.body, &mut items);
+        items.push(self.lower_return(Expr::b32(0)));
+        if let Some(prop) = &prop {
+            items.push(BodyItem::Continuation {
+                name: prop.clone(),
+                params: vec![Name::from("$tag"), Name::from("$val")],
+            });
+            items.push(
+                Stmt::Return {
+                    alt: Some(cmm_ir::AltReturn { index: 0, count: 1 }),
+                    args: vec![Expr::var("$tag"), Expr::var("$val")],
+                }
+                .into(),
+            );
+        }
+        items.append(&mut self.deferred);
+        let mut out = Proc::new(p.name.as_str());
+        for param in &p.params {
+            out.formals.push((Name::from(param.as_str()), Ty::B32));
+        }
+        for l in &self.locals {
+            out.locals.push((l.clone(), Ty::B32));
+        }
+        out.body = items;
+        out
+    }
+
+    fn lower_return(&self, e: Expr) -> BodyItem {
+        match self.strategy {
+            Strategy::NativeUnwind => {
+                Stmt::Return { alt: Some(cmm_ir::AltReturn { index: 1, count: 1 }), args: vec![e] }
+                    .into()
+            }
+            _ => Stmt::return_([e]).into(),
+        }
+    }
+
+    /// All enclosing handler continuations, innermost first.
+    fn handler_chain(&self) -> Vec<Name> {
+        self.scopes.iter().rev().flat_map(|s| s.conts.iter().cloned()).collect()
+    }
+
+    fn call_annotations(&self) -> Annotations {
+        match self.strategy {
+            Strategy::RuntimeUnwind => {
+                let mut a = Annotations::unwinds_to(self.handler_chain()).and_aborts();
+                if let Some(d) = self.scopes.last().and_then(|s| s.descriptor.clone()) {
+                    a = a.and_descriptor(d);
+                }
+                a
+            }
+            Strategy::Cutting | Strategy::Sjlj(_) => {
+                Annotations::cuts_to(self.handler_chain()).and_aborts()
+            }
+            Strategy::NativeUnwind => {
+                let target = self
+                    .scopes
+                    .last()
+                    .and_then(|s| s.conts.first().cloned())
+                    .unwrap_or_else(|| Name::from("k$prop"));
+                Annotations::returns_to([target])
+            }
+            Strategy::Cps => unreachable!(),
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[M3Stmt], out: &mut Vec<BodyItem>) {
+        for s in stmts {
+            self.stmt(s, out);
+        }
+    }
+
+    fn stmt(&mut self, s: &M3Stmt, out: &mut Vec<BodyItem>) {
+        match s {
+            M3Stmt::Assign(x, e) => {
+                self.local(x);
+                out.push(Stmt::assign(x.as_str(), lower_expr(e)).into());
+            }
+            M3Stmt::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    self.local(d);
+                }
+                let results: Vec<Name> = dst.iter().map(|d| Name::from(d.as_str())).collect();
+                out.push(
+                    Stmt::Call {
+                        results,
+                        callee: Expr::var(callee.as_str()),
+                        args: args.iter().map(lower_expr).collect(),
+                        anns: self.call_annotations(),
+                    }
+                    .into(),
+                );
+            }
+            M3Stmt::If(cond, then_, else_) => {
+                let mut t = Vec::new();
+                self.stmts(then_, &mut t);
+                let mut e = Vec::new();
+                self.stmts(else_, &mut e);
+                out.push(Stmt::If { cond: lower_expr(cond), then_: t, else_: e }.into());
+            }
+            M3Stmt::While(cond, body) => {
+                let head = self.fresh("l$while");
+                let done = self.fresh("l$wdone");
+                out.push(BodyItem::Label(head.clone()));
+                let mut b = Vec::new();
+                self.stmts(body, &mut b);
+                b.push(Stmt::Goto { target: head.clone() }.into());
+                out.push(
+                    Stmt::If {
+                        cond: lower_expr(cond),
+                        then_: b,
+                        else_: vec![Stmt::Goto { target: done.clone() }.into()],
+                    }
+                    .into(),
+                );
+                out.push(BodyItem::Label(done));
+            }
+            M3Stmt::Return(e) => out.push(self.lower_return(lower_expr(e))),
+            M3Stmt::Raise(exc, value) => {
+                let tag = Expr::var(tag_block(exc));
+                let val = value.as_ref().map(lower_expr).unwrap_or(Expr::b32(0));
+                self.lower_raise(tag, val, out);
+            }
+            M3Stmt::Try { body, handlers } => self.lower_try(body, handlers, out),
+        }
+    }
+
+    fn lower_raise(&mut self, tag: Expr, val: Expr, out: &mut Vec<BodyItem>) {
+        match self.strategy {
+            Strategy::RuntimeUnwind => {
+                out.push(
+                    Stmt::Yield {
+                        args: vec![Expr::b32(M3_EXCEPTION as u32), tag, val],
+                        anns: self.call_annotations(),
+                    }
+                    .into(),
+                );
+            }
+            Strategy::Cutting | Strategy::Sjlj(_) => {
+                let h = self.local("$h");
+                let frame = scope_frame(self.strategy);
+                out.push(Stmt::assign(h.clone(), Expr::mem32(Expr::var(EXN_TOP))).into());
+                out.push(
+                    Stmt::assign(EXN_TOP, Expr::sub(Expr::var(EXN_TOP), Expr::b32(frame))).into(),
+                );
+                if let Strategy::Sjlj(a) = self.strategy {
+                    // longjmp's extra cost (e.g. SPARC register-window
+                    // flushing), modelled as loads.
+                    let t = self.local("$t");
+                    for _ in 0..a.longjmp_extra {
+                        out.push(Stmt::assign(t.clone(), Expr::mem32(Expr::var(EXN_STACK))).into());
+                    }
+                }
+                out.push(
+                    Stmt::CutTo {
+                        cont: Expr::Name(h),
+                        args: vec![tag, val],
+                        anns: Annotations::cuts_to(self.handler_chain()),
+                    }
+                    .into(),
+                );
+            }
+            Strategy::NativeUnwind => {
+                if let Some(dispatch) =
+                    self.scopes.last().and_then(|s| s.dispatch.clone())
+                {
+                    self.local("$tag");
+                    self.local("$val");
+                    out.push(Stmt::assign("$tag", tag).into());
+                    out.push(Stmt::assign("$val", val).into());
+                    out.push(Stmt::Goto { target: dispatch }.into());
+                } else {
+                    out.push(
+                        Stmt::Return {
+                            alt: Some(cmm_ir::AltReturn { index: 0, count: 1 }),
+                            args: vec![tag, val],
+                        }
+                        .into(),
+                    );
+                }
+            }
+            Strategy::Cps => unreachable!(),
+        }
+    }
+
+    fn lower_try(
+        &mut self,
+        body: &[M3Stmt],
+        handlers: &[crate::ast::M3Handler],
+        out: &mut Vec<BodyItem>,
+    ) {
+        let done = self.fresh("l$done");
+        match self.strategy {
+            Strategy::RuntimeUnwind => {
+                let val = self.local("$val");
+                let conts: Vec<Name> =
+                    handlers.iter().map(|_| self.fresh("h")).collect();
+                // Descriptor for the handler chain with this scope
+                // innermost: indices match the flattened unwind list.
+                let scope = Scope {
+                    conts: conts.clone(),
+                    exceptions: handlers.iter().map(|h| h.exception.clone()).collect(),
+                    dispatch: None,
+                    descriptor: None,
+                };
+                self.scopes.push(scope);
+                let chain = self.handler_chain();
+                let desc = self.make_descriptor(&chain, handlers);
+                self.scopes.last_mut().expect("just pushed").descriptor = Some(desc);
+                // Zero entry cost: just compile the body in scope.
+                let mut b = Vec::new();
+                self.stmts(body, &mut b);
+                out.append(&mut b);
+                self.scopes.pop();
+                out.push(Stmt::Goto { target: done.clone() }.into());
+                // Handlers: one continuation each, taking the value.
+                for (h, cont) in handlers.iter().zip(&conts) {
+                    let mut hb = vec![BodyItem::Continuation {
+                        name: cont.clone(),
+                        params: vec![val.clone()],
+                    }];
+                    if let Some(x) = &h.binds {
+                        self.local(x);
+                        hb.push(Stmt::assign(x.as_str(), Expr::var(val.clone())).into());
+                    }
+                    self.stmts(&h.body, &mut hb);
+                    hb.push(Stmt::Goto { target: done.clone() }.into());
+                    self.deferred.append(&mut hb);
+                }
+            }
+            Strategy::Cutting | Strategy::Sjlj(_) => {
+                let tag = self.local("$tag");
+                let val = self.local("$val");
+                let cont = self.fresh("h");
+                let frame = scope_frame(self.strategy);
+                // Scope entry: push the continuation (plus, for sjlj,
+                // the rest of the jmp_buf).
+                out.push(
+                    Stmt::assign(EXN_TOP, Expr::add(Expr::var(EXN_TOP), Expr::b32(frame))).into(),
+                );
+                out.push(
+                    Stmt::store(Ty::B32, Expr::var(EXN_TOP), Expr::var(cont.clone())).into(),
+                );
+                if let Strategy::Sjlj(a) = self.strategy {
+                    for j in 1..a.jmp_buf_words.saturating_sub(1) {
+                        out.push(
+                            Stmt::store(
+                                Ty::B32,
+                                Expr::sub(Expr::var(EXN_TOP), Expr::b32(4 * j)),
+                                Expr::b32(0),
+                            )
+                            .into(),
+                        );
+                    }
+                }
+                self.scopes.push(Scope {
+                    conts: vec![cont.clone()],
+                    exceptions: Vec::new(),
+                    dispatch: None,
+                    descriptor: None,
+                });
+                let mut b = Vec::new();
+                self.stmts(body, &mut b);
+                out.append(&mut b);
+                self.scopes.pop();
+                // Normal exit: pop the handler stack.
+                out.push(
+                    Stmt::assign(EXN_TOP, Expr::sub(Expr::var(EXN_TOP), Expr::b32(frame))).into(),
+                );
+                out.push(Stmt::Goto { target: done.clone() }.into());
+                // The handler: dispatch by tag; unmatched exceptions
+                // re-raise by popping the next handler (Figure 10).
+                let mut hb = vec![BodyItem::Continuation {
+                    name: cont,
+                    params: vec![tag.clone(), val.clone()],
+                }];
+                let mut dispatch: Vec<BodyItem> = Vec::new();
+                // Build the if/else chain from the last handler inward.
+                // Unmatched exceptions re-raise.
+                let mut else_branch: Vec<BodyItem> = Vec::new();
+                self.lower_raise(Expr::var(tag.clone()), Expr::var(val.clone()), &mut else_branch);
+                for h in handlers.iter().rev() {
+                    let mut arm = Vec::new();
+                    if let Some(x) = &h.binds {
+                        self.local(x);
+                        arm.push(Stmt::assign(x.as_str(), Expr::var(val.clone())).into());
+                    }
+                    self.stmts(&h.body, &mut arm);
+                    arm.push(Stmt::Goto { target: done.clone() }.into());
+                    let cond = Expr::eq(Expr::var(tag.clone()), Expr::var(tag_block(&h.exception)));
+                    else_branch =
+                        vec![Stmt::If { cond, then_: arm, else_: else_branch }.into()];
+                }
+                dispatch.append(&mut else_branch);
+                hb.append(&mut dispatch);
+                self.deferred.append(&mut hb);
+            }
+            Strategy::NativeUnwind => {
+                let tag = self.local("$tag");
+                let val = self.local("$val");
+                let cont = self.fresh("h");
+                let dispatch = self.fresh("l$disp");
+                self.scopes.push(Scope {
+                    conts: vec![cont.clone()],
+                    exceptions: Vec::new(),
+                    dispatch: Some(dispatch.clone()),
+                    descriptor: None,
+                });
+                let mut b = Vec::new();
+                self.stmts(body, &mut b);
+                out.append(&mut b);
+                self.scopes.pop();
+                out.push(Stmt::Goto { target: done.clone() }.into());
+                // The abnormal-return continuation funnels into a local
+                // dispatch label shared with local raises.
+                let mut hb = vec![
+                    BodyItem::Continuation {
+                        name: cont,
+                        params: vec![tag.clone(), val.clone()],
+                    },
+                    BodyItem::Label(dispatch.clone()),
+                ];
+                // Unmatched exceptions propagate.
+                let mut else_branch: Vec<BodyItem> = Vec::new();
+                self.lower_raise(Expr::var(tag.clone()), Expr::var(val.clone()), &mut else_branch);
+                for h in handlers.iter().rev() {
+                    let mut arm = Vec::new();
+                    if let Some(x) = &h.binds {
+                        self.local(x);
+                        arm.push(Stmt::assign(x.as_str(), Expr::var(val.clone())).into());
+                    }
+                    self.stmts(&h.body, &mut arm);
+                    arm.push(Stmt::Goto { target: done.clone() }.into());
+                    let cond = Expr::eq(Expr::var(tag.clone()), Expr::var(tag_block(&h.exception)));
+                    else_branch =
+                        vec![Stmt::If { cond, then_: arm, else_: else_branch }.into()];
+                }
+                hb.append(&mut else_branch);
+                self.deferred.append(&mut hb);
+            }
+            Strategy::Cps => unreachable!(),
+        }
+        out.push(BodyItem::Label(done));
+    }
+
+    /// Emits the Figure 9-style descriptor: `[count][(tag, cont_index,
+    /// takes_arg)...]` covering the whole enclosing handler chain,
+    /// innermost first, with `cont_index` matching the position in the
+    /// flattened `also unwinds to` list.
+    fn make_descriptor(&mut self, chain: &[Name], _handlers: &[crate::ast::M3Handler]) -> Name {
+        *self.desc_counter += 1;
+        let name = Name::from(format!("m3$desc${}", self.desc_counter));
+        let mut items = vec![DataItem::Words(Ty::B32, vec![Lit::b32(chain.len() as u32)])];
+        // Reconstruct (exception, cont) pairs scope by scope, innermost
+        // first, to match `handler_chain()`.
+        let mut idx = 0u32;
+        for scope in self.scopes.iter().rev() {
+            for (cont_i, _) in scope.conts.iter().enumerate() {
+                let exc = &scope.exceptions[cont_i];
+                items.push(DataItem::SymRef(tag_block(exc)));
+                items.push(DataItem::Words(Ty::B32, vec![Lit::b32(idx)]));
+                items.push(DataItem::Words(Ty::B32, vec![Lit::b32(1)]));
+                idx += 1;
+            }
+        }
+        self.module.push_data(DataBlock::new(name.clone(), items));
+        name
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{compile_minim3, Strategy};
+    use cmm_ir::Stmt;
+    use cmm_vm::arch;
+
+    fn find_proc<'m>(m: &'m Module, name: &str) -> &'m Proc {
+        m.proc(name).unwrap_or_else(|| panic!("no proc {name}"))
+    }
+
+    const SRC: &str = r#"
+        exception E;
+        proc g(x) { if x > 3 { raise E(x); } return x; }
+        proc main(x) {
+            var r;
+            try { r = g(x); } except { E(v) => { r = v + 1; } }
+            return r;
+        }
+    "#;
+
+    fn calls_of(p: &Proc) -> Vec<&Stmt> {
+        fn walk<'a>(items: &'a [BodyItem], out: &mut Vec<&'a Stmt>) {
+            for i in items {
+                match i {
+                    BodyItem::Stmt(s @ Stmt::Call { .. }) => out.push(s),
+                    BodyItem::Stmt(Stmt::If { then_, else_, .. }) => {
+                        walk(then_, out);
+                        walk(else_, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&p.body, &mut out);
+        out
+    }
+
+    #[test]
+    fn runtime_unwind_annotates_with_unwinds_and_descriptor() {
+        let m = compile_minim3(SRC, Strategy::RuntimeUnwind).unwrap();
+        let main = find_proc(&m, "main");
+        let calls = calls_of(main);
+        let protected = calls
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Call { anns, .. } if !anns.unwinds_to.is_empty() => Some(anns),
+                _ => None,
+            })
+            .expect("the protected call carries unwind annotations");
+        assert!(protected.aborts);
+        assert_eq!(protected.descriptors.len(), 1);
+        // The descriptor block exists and starts with the handler count.
+        let d = m.data_block(protected.descriptors[0].as_str()).expect("descriptor emitted");
+        assert!(matches!(&d.items[0], DataItem::Words(Ty::B32, v) if v[0].bits == 1));
+        // Raise became a yield.
+        let g = find_proc(&m, "g");
+        let has_yield = g.body.iter().any(|i| {
+            matches!(i, BodyItem::Stmt(Stmt::If { then_, .. })
+                if then_.iter().any(|j| matches!(j, BodyItem::Stmt(Stmt::Yield { .. }))))
+        });
+        assert!(has_yield, "{g:#?}");
+    }
+
+    #[test]
+    fn cutting_pushes_and_pops_the_handler_stack() {
+        let m = compile_minim3(SRC, Strategy::Cutting).unwrap();
+        assert!(m.registers().any(|r| r.name == EXN_TOP));
+        assert!(m.data_block(EXN_STACK).is_some());
+        let main = find_proc(&m, "main");
+        // Entry and exit adjust exn_top; the raise in g pops + cuts.
+        let text = cmm_ir::pretty::proc_to_string(main);
+        assert!(text.contains("exn_top = exn_top + 4;"), "{text}");
+        assert!(text.contains("exn_top = exn_top - 4;"), "{text}");
+        let g_text = cmm_ir::pretty::proc_to_string(find_proc(&m, "g"));
+        assert!(g_text.contains("cut to"), "{g_text}");
+    }
+
+    #[test]
+    fn sjlj_scales_scope_entry_with_buffer_size() {
+        let m = compile_minim3(SRC, Strategy::Sjlj(arch::SPARC_SOLARIS)).unwrap();
+        let text = cmm_ir::pretty::proc_to_string(find_proc(&m, "main"));
+        let frame = 4 * arch::SPARC_SOLARIS.jmp_buf_words;
+        assert!(text.contains(&format!("exn_top = exn_top + {frame};")), "{text}");
+        // 17 dummy stores (words - 2) beyond the continuation push.
+        let stores = text.matches("bits32[exn_top - ").count();
+        assert_eq!(stores, (arch::SPARC_SOLARIS.jmp_buf_words - 2) as usize, "{text}");
+    }
+
+    #[test]
+    fn native_unwind_uses_abnormal_returns_everywhere() {
+        let m = compile_minim3(SRC, Strategy::NativeUnwind).unwrap();
+        let g = find_proc(&m, "g");
+        let text = cmm_ir::pretty::proc_to_string(g);
+        // The raise is an abnormal return; normal returns are <1/1>.
+        assert!(text.contains("return <0/1>"), "{text}");
+        assert!(text.contains("return <1/1>"), "{text}");
+        // Calls in main target the handler continuation.
+        let main = find_proc(&m, "main");
+        let call_ann = calls_of(main)
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Call { anns, callee, .. }
+                    if *callee == Expr::var("g") =>
+                {
+                    Some(anns.clone())
+                }
+                _ => None,
+            })
+            .expect("call to g");
+        assert_eq!(call_ann.returns_to.len(), 1);
+        assert!(call_ann.cuts_to.is_empty() && call_ann.unwinds_to.is_empty());
+    }
+
+    #[test]
+    fn entry_wrapper_returns_status_and_value() {
+        for strategy in [Strategy::RuntimeUnwind, Strategy::Cutting, Strategy::NativeUnwind] {
+            let m = compile_minim3(SRC, strategy).unwrap();
+            let entry = find_proc(&m, ENTRY);
+            assert!(entry.exported);
+            assert_eq!(entry.formals.len(), 1, "{strategy}: main's one parameter");
+        }
+    }
+
+    #[test]
+    fn nested_scopes_accumulate_handler_chains() {
+        let nested = r#"
+            exception A, B;
+            proc g(x) { return x; }
+            proc main(x) {
+                var r;
+                try {
+                    try { r = g(x); } except { A(v) => { r = 1; } }
+                } except { B(v) => { r = 2; } }
+                return r;
+            }
+        "#;
+        let m = compile_minim3(nested, Strategy::RuntimeUnwind).unwrap();
+        let main = find_proc(&m, "main");
+        let inner_call = calls_of(main)
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Call { anns, .. } if anns.unwinds_to.len() == 2 => Some(anns.clone()),
+                _ => None,
+            })
+            .expect("inner call sees both handlers");
+        // Innermost first: the descriptor lists A before B.
+        let d = m.data_block(inner_call.descriptors[0].as_str()).unwrap();
+        let syms: Vec<&DataItem> =
+            d.items.iter().filter(|i| matches!(i, DataItem::SymRef(_))).collect();
+        assert_eq!(syms.len(), 2);
+        assert!(matches!(syms[0], DataItem::SymRef(n) if n == &tag_block("A")));
+        assert!(matches!(syms[1], DataItem::SymRef(n) if n == &tag_block("B")));
+    }
+}

@@ -1,0 +1,243 @@
+//! Standard MiniM3 workloads used by the cross-strategy tests and the
+//! benchmark harness. Each returns (source, expected results for sample
+//! inputs) where practical.
+
+/// The paper's Figure 7 game fragment, made runnable: `tryAMove`
+/// protects `getMove`/`makeMove` with two handlers; a seed over 10
+/// raises `BadMove(seed)`, a seed of exactly 0 raises `NoMoreTiles`.
+pub const GAME: &str = r#"
+    exception BadMove, NoMoreTiles;
+
+    proc getMove(player, seed) {
+        if seed == 0 { raise NoMoreTiles; }
+        if seed > 10 { raise BadMove(seed); }
+        return seed + player;
+    }
+
+    proc makeMove(t) {
+        if t > 15 { raise BadMove(t); }
+        return t;
+    }
+
+    proc tryAMove(player, seed) {
+        var t, movesTried;
+        movesTried = 0;
+        try {
+            t = getMove(player, seed);
+            t = makeMove(t);
+            movesTried = t;
+        } except {
+            BadMove(why) => { movesTried = why + 1000; }
+            NoMoreTiles  => { movesTried = 9999; }
+        }
+        movesTried = movesTried + 1;
+        return movesTried;
+    }
+
+    proc main(seed) {
+        var r;
+        r = tryAMove(7, seed);
+        return r;
+    }
+"#;
+
+/// Expected `GAME` results: (seed, result). Seed 3 plays normally;
+/// seed 0 runs out of tiles; seed 50 fails in `getMove`; seed 9 passes
+/// `getMove` (9 + 7 = 16) but fails in `makeMove`.
+pub const GAME_CASES: [(u32, u32); 4] =
+    [(3, 11), (0, 10000), (50, 1051), (9, 1017)];
+
+/// An exception raised `depth` call frames below its handler: measures
+/// how dispatch cost scales with stack depth (the x-axis of the
+/// Figure 2 comparison).
+pub fn deep_raise(with_try_at_top: bool) -> String {
+    let body = if with_try_at_top {
+        r#"
+        proc main(depth) {
+            var r;
+            try { r = recurse(depth); } except { Deep(v) => { r = v + 1; } }
+            return r;
+        }"#
+    } else {
+        r#"
+        proc main(depth) {
+            var r;
+            r = recurse(depth);
+            return r;
+        }"#
+    };
+    format!(
+        r#"
+        exception Deep;
+        proc recurse(n) {{
+            var r;
+            if n == 0 {{ raise Deep(42); }}
+            r = recurse(n - 1);
+            return r + 0;
+        }}
+        {body}
+        "#
+    )
+}
+
+/// A loop of `n` iterations where every `m`'th iteration raises (and is
+/// handled locally): sweeping `m` traces the normal-case-overhead vs
+/// raise-cost crossover of the two Appendix A dispatchers.
+pub const RAISE_FREQUENCY: &str = r#"
+    exception Odd;
+
+    proc work(i, m) {
+        if m > 0 {
+            if i % m == 0 { raise Odd(i); }
+        }
+        return i * 2;
+    }
+
+    proc main(n, m) {
+        var i, acc, r;
+        i = 0;
+        acc = 0;
+        while i < n {
+            try {
+                r = work(i, m);
+                acc = acc + r;
+            } except {
+                Odd(v) => { acc = acc + v + 1; }
+            }
+            i = i + 1;
+        }
+        return acc;
+    }
+"#;
+
+/// Reference implementation of `RAISE_FREQUENCY` for checking results.
+pub fn raise_frequency_expected(n: u32, m: u32) -> u32 {
+    let mut acc = 0u32;
+    for i in 0..n {
+        if m > 0 && i % m == 0 {
+            acc = acc.wrapping_add(i + 1);
+        } else {
+            acc = acc.wrapping_add(i * 2);
+        }
+    }
+    acc
+}
+
+/// Pure computation inside a `try` that never raises: isolates the
+/// normal-case overhead of entering handler scopes (zero for the
+/// unwinding strategies, per-entry work for cutting/sjlj).
+pub const NO_RAISE: &str = r#"
+    exception Never;
+
+    proc step(x) {
+        return x * 2 + 1;
+    }
+
+    proc main(n) {
+        var i, acc, r;
+        i = 0;
+        acc = 0;
+        while i < n {
+            try {
+                r = step(i);
+                acc = acc + r;
+            } except {
+                Never => { acc = 0; }
+            }
+            i = i + 1;
+        }
+        return acc;
+    }
+"#;
+
+/// Reference implementation of `NO_RAISE`.
+pub fn no_raise_expected(n: u32) -> u32 {
+    (0..n).fold(0u32, |acc, i| acc.wrapping_add(i * 2 + 1))
+}
+
+/// Nested handlers and rethrow: the inner handler catches `Inner`,
+/// rethrows anything else; `Outer` must reach the outer handler through
+/// the inner scope.
+pub const NESTED: &str = r#"
+    exception Inner, Outer;
+
+    proc boom(which) {
+        if which == 1 { raise Inner(10); }
+        if which == 2 { raise Outer(20); }
+        return 0;
+    }
+
+    proc main(which) {
+        var r;
+        r = 0;
+        try {
+            try {
+                r = boom(which);
+            } except {
+                Inner(v) => { r = v + 100; }
+            }
+            r = r + 1;
+        } except {
+            Outer(v) => { r = v + 200; }
+        }
+        return r;
+    }
+"#;
+
+/// Expected `NESTED` results: (which, result).
+pub const NESTED_CASES: [(u32, u32); 3] = [(0, 1), (1, 111), (2, 220)];
+
+/// A handler that uses variables of the enclosing procedure set *before*
+/// the try — the §4.2 callee-saves scenario (y and w live across the
+/// call and into the handler).
+pub const HANDLER_USES_LOCALS: &str = r#"
+    exception E;
+
+    proc risky(x) {
+        if x > 5 { raise E(x); }
+        return x;
+    }
+
+    proc main(x) {
+        var y, w, r;
+        y = x * 3;
+        w = x + 7;
+        try {
+            r = risky(x);
+        } except {
+            E(v) => { r = v + y + w; }
+        }
+        return r + y;
+    }
+"#;
+
+/// Expected `HANDLER_USES_LOCALS` results.
+pub fn handler_uses_locals_expected(x: u32) -> u32 {
+    let y = x * 3;
+    let w = x + 7;
+    let r = if x > 5 { x + y + w } else { x };
+    r + y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_minim3;
+
+    #[test]
+    fn all_workloads_parse() {
+        for src in [GAME, RAISE_FREQUENCY, NO_RAISE, NESTED, HANDLER_USES_LOCALS] {
+            parse_minim3(src).unwrap();
+        }
+        parse_minim3(&deep_raise(true)).unwrap();
+        parse_minim3(&deep_raise(false)).unwrap();
+    }
+
+    #[test]
+    fn reference_implementations() {
+        assert_eq!(raise_frequency_expected(4, 2), 1 + 2 + 3 + 6);
+        assert_eq!(no_raise_expected(3), 1 + 3 + 5);
+        assert_eq!(handler_uses_locals_expected(2), 2 + 6);
+        assert_eq!(handler_uses_locals_expected(10), (10 + 30 + 17) + 30);
+    }
+}

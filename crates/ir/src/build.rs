@@ -1,0 +1,325 @@
+//! Ergonomic builders for constructing IR programmatically.
+//!
+//! Front ends (and tests) construct procedures with [`ProcBuilder`] and
+//! statement sequences with [`BlockBuilder`], avoiding verbose enum
+//! literals.
+//!
+//! # Example
+//!
+//! The `sp3` loop procedure of the paper's Figure 1:
+//!
+//! ```
+//! use cmm_ir::{build::ProcBuilder, Expr, Ty};
+//!
+//! let sp3 = ProcBuilder::new("sp3")
+//!     .export()
+//!     .formal("n", Ty::B32)
+//!     .locals([("s", Ty::B32), ("p", Ty::B32)])
+//!     .build_with(|b| {
+//!         b.assign("s", Expr::b32(1));
+//!         b.assign("p", Expr::b32(1));
+//!         b.label("loop");
+//!         b.if_(
+//!             Expr::eq(Expr::var("n"), Expr::b32(1)),
+//!             |t| { t.return_([Expr::var("s"), Expr::var("p")]); },
+//!             |e| {
+//!                 e.assign("s", Expr::add(Expr::var("s"), Expr::var("n")));
+//!                 e.assign("p", Expr::mul(Expr::var("p"), Expr::var("n")));
+//!                 e.assign("n", Expr::sub(Expr::var("n"), Expr::b32(1)));
+//!                 e.goto("loop");
+//!             },
+//!         );
+//!     });
+//! assert_eq!(sp3.labels(), vec![cmm_ir::Name::from("loop")]);
+//! ```
+
+use crate::expr::Expr;
+use crate::name::Name;
+use crate::proc::{BodyItem, Proc};
+use crate::stmt::{AltReturn, Annotations, Lvalue, Stmt};
+use crate::ty::Ty;
+
+/// Builder for a statement sequence (a procedure body or a branch of an
+/// `if`).
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    items: Vec<BodyItem>,
+}
+
+impl BlockBuilder {
+    /// A fresh, empty block.
+    pub fn new() -> BlockBuilder {
+        BlockBuilder::default()
+    }
+
+    /// Finishes the block, yielding its items.
+    pub fn into_items(self) -> Vec<BodyItem> {
+        self.items
+    }
+
+    /// Appends an arbitrary statement.
+    pub fn stmt(&mut self, s: Stmt) -> &mut Self {
+        self.items.push(BodyItem::Stmt(s));
+        self
+    }
+
+    /// Appends an arbitrary body item.
+    pub fn item(&mut self, i: BodyItem) -> &mut Self {
+        self.items.push(i);
+        self
+    }
+
+    /// `v = e;`
+    pub fn assign(&mut self, v: impl Into<Name>, e: Expr) -> &mut Self {
+        self.stmt(Stmt::assign(v, e))
+    }
+
+    /// Parallel assignment `v1, v2 = e1, e2;`
+    pub fn assign_many<N: Into<Name>>(
+        &mut self,
+        vs: impl IntoIterator<Item = N>,
+        es: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
+        self.stmt(Stmt::Assign {
+            lhs: vs.into_iter().map(|v| Lvalue::Var(v.into())).collect(),
+            rhs: es.into_iter().collect(),
+        })
+    }
+
+    /// `ty[addr] = e;`
+    pub fn store(&mut self, ty: Ty, addr: Expr, e: Expr) -> &mut Self {
+        self.stmt(Stmt::store(ty, addr, e))
+    }
+
+    /// `l:`
+    pub fn label(&mut self, l: impl Into<Name>) -> &mut Self {
+        self.item(BodyItem::Label(l.into()))
+    }
+
+    /// `goto l;`
+    pub fn goto(&mut self, l: impl Into<Name>) -> &mut Self {
+        self.stmt(Stmt::Goto { target: l.into() })
+    }
+
+    /// `if cond { then } else { else }`.
+    pub fn if_(
+        &mut self,
+        cond: Expr,
+        then_: impl FnOnce(&mut BlockBuilder),
+        else_: impl FnOnce(&mut BlockBuilder),
+    ) -> &mut Self {
+        let mut t = BlockBuilder::new();
+        then_(&mut t);
+        let mut e = BlockBuilder::new();
+        else_(&mut e);
+        self.stmt(Stmt::If { cond, then_: t.into_items(), else_: e.into_items() })
+    }
+
+    /// `if cond { then }` with an empty else branch.
+    pub fn when(&mut self, cond: Expr, then_: impl FnOnce(&mut BlockBuilder)) -> &mut Self {
+        self.if_(cond, then_, |_| {})
+    }
+
+    /// Unannotated call `r1, .. = f(args);`
+    pub fn call<N: Into<Name>>(
+        &mut self,
+        results: impl IntoIterator<Item = N>,
+        callee: impl Into<Name>,
+        args: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
+        self.stmt(Stmt::call(results, callee, args))
+    }
+
+    /// Annotated call `r1, .. = f(args) also ...;`
+    pub fn call_ann<N: Into<Name>>(
+        &mut self,
+        results: impl IntoIterator<Item = N>,
+        callee: impl Into<Name>,
+        args: impl IntoIterator<Item = Expr>,
+        anns: Annotations,
+    ) -> &mut Self {
+        self.stmt(Stmt::Call {
+            results: results.into_iter().map(Into::into).collect(),
+            callee: Expr::Name(callee.into()),
+            args: args.into_iter().collect(),
+            anns,
+        })
+    }
+
+    /// Call through a computed callee expression.
+    pub fn call_expr<N: Into<Name>>(
+        &mut self,
+        results: impl IntoIterator<Item = N>,
+        callee: Expr,
+        args: impl IntoIterator<Item = Expr>,
+        anns: Annotations,
+    ) -> &mut Self {
+        self.stmt(Stmt::Call {
+            results: results.into_iter().map(Into::into).collect(),
+            callee,
+            args: args.into_iter().collect(),
+            anns,
+        })
+    }
+
+    /// `jump f(args);`
+    pub fn jump(&mut self, callee: impl Into<Name>, args: impl IntoIterator<Item = Expr>) -> &mut Self {
+        self.stmt(Stmt::Jump { callee: Expr::Name(callee.into()), args: args.into_iter().collect() })
+    }
+
+    /// `return (args);`
+    pub fn return_(&mut self, args: impl IntoIterator<Item = Expr>) -> &mut Self {
+        self.stmt(Stmt::return_(args))
+    }
+
+    /// `return <i/n> (args);`
+    pub fn return_alt(&mut self, index: u32, count: u32, args: impl IntoIterator<Item = Expr>) -> &mut Self {
+        self.stmt(Stmt::Return {
+            alt: Some(AltReturn { index, count }),
+            args: args.into_iter().collect(),
+        })
+    }
+
+    /// `cut to k(args);`
+    pub fn cut_to(&mut self, cont: Expr, args: impl IntoIterator<Item = Expr>) -> &mut Self {
+        self.stmt(Stmt::CutTo { cont, args: args.into_iter().collect(), anns: Annotations::none() })
+    }
+
+    /// `cut to k(args) also cuts to ...;`
+    pub fn cut_to_ann(
+        &mut self,
+        cont: Expr,
+        args: impl IntoIterator<Item = Expr>,
+        anns: Annotations,
+    ) -> &mut Self {
+        self.stmt(Stmt::CutTo { cont, args: args.into_iter().collect(), anns })
+    }
+
+    /// `yield(args) also ...;`
+    pub fn yield_(&mut self, args: impl IntoIterator<Item = Expr>, anns: Annotations) -> &mut Self {
+        self.stmt(Stmt::Yield { args: args.into_iter().collect(), anns })
+    }
+
+    /// `continuation k(params):`
+    pub fn continuation<N: Into<Name>>(
+        &mut self,
+        name: impl Into<Name>,
+        params: impl IntoIterator<Item = N>,
+    ) -> &mut Self {
+        self.item(BodyItem::Continuation {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+        })
+    }
+}
+
+/// Builder for a [`Proc`].
+#[derive(Debug)]
+pub struct ProcBuilder {
+    proc: Proc,
+}
+
+impl ProcBuilder {
+    /// Starts building a procedure with the given name.
+    pub fn new(name: impl Into<Name>) -> ProcBuilder {
+        ProcBuilder { proc: Proc::new(name) }
+    }
+
+    /// Marks the procedure as exported.
+    pub fn export(mut self) -> Self {
+        self.proc.exported = true;
+        self
+    }
+
+    /// Adds a formal parameter.
+    pub fn formal(mut self, name: impl Into<Name>, ty: Ty) -> Self {
+        self.proc.formals.push((name.into(), ty));
+        self
+    }
+
+    /// Adds a local variable.
+    pub fn local(mut self, name: impl Into<Name>, ty: Ty) -> Self {
+        self.proc.locals.push((name.into(), ty));
+        self
+    }
+
+    /// Adds several local variables.
+    pub fn locals<N: Into<Name>>(mut self, vars: impl IntoIterator<Item = (N, Ty)>) -> Self {
+        for (n, ty) in vars {
+            self.proc.locals.push((n.into(), ty));
+        }
+        self
+    }
+
+    /// Builds the body with a [`BlockBuilder`] and finishes the procedure.
+    pub fn build_with(mut self, f: impl FnOnce(&mut BlockBuilder)) -> Proc {
+        let mut b = BlockBuilder::new();
+        f(&mut b);
+        self.proc.body = b.into_items();
+        self.proc
+    }
+
+    /// Finishes with an explicit body.
+    pub fn body(mut self, items: Vec<BodyItem>) -> Proc {
+        self.proc.body = items;
+        self.proc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_figure1_sp2() {
+        let sp2 = ProcBuilder::new("sp2").export().formal("n", Ty::B32).build_with(|b| {
+            b.jump("sp2_help", [Expr::var("n"), Expr::b32(1), Expr::b32(1)]);
+        });
+        assert!(sp2.exported);
+        assert_eq!(sp2.formals.len(), 1);
+        assert_eq!(sp2.body.len(), 1);
+        match &sp2.body[0] {
+            BodyItem::Stmt(Stmt::Jump { callee, args }) => {
+                assert_eq!(callee, &Expr::var("sp2_help"));
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_nests_ifs() {
+        let p = ProcBuilder::new("f").formal("x", Ty::B32).build_with(|b| {
+            b.if_(
+                Expr::var("x"),
+                |t| {
+                    t.when(Expr::eq(Expr::var("x"), Expr::b32(2)), |tt| {
+                        tt.return_([Expr::b32(9)]);
+                    });
+                    t.return_([Expr::b32(1)]);
+                },
+                |e| {
+                    e.return_([Expr::b32(0)]);
+                },
+            );
+        });
+        match &p.body[0] {
+            BodyItem::Stmt(Stmt::If { then_, else_, .. }) => {
+                assert_eq!(then_.len(), 2);
+                assert_eq!(else_.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_adds_continuations() {
+        let p = ProcBuilder::new("f").local("x", Ty::B32).build_with(|b| {
+            b.call_ann::<&str>([], "g", [], Annotations::cuts_to(["k"]));
+            b.return_([]);
+            b.continuation("k", ["x"]);
+            b.return_([Expr::var("x")]);
+        });
+        assert_eq!(p.continuations().len(), 1);
+    }
+}

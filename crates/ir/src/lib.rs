@@ -1,0 +1,65 @@
+//! # cmm-ir — abstract syntax for the C-- compiler-target language
+//!
+//! This crate defines the abstract syntax of C-- as described in
+//! *"A single intermediate language that supports multiple implementations
+//! of exceptions"* (Ramsey & Peyton Jones, PLDI 2000), §3–§4:
+//!
+//! * an extremely modest type system: words and floats of various sizes
+//!   ([`Ty`]);
+//! * pure, side-effect-free expressions ([`Expr`]) — effects occur only as
+//!   the result of assignments or calls;
+//! * statements ([`Stmt`]) including parallel assignment, conditionals,
+//!   gotos, calls, tail calls (`jump`), multiple and *abnormal* returns
+//!   (`return <i/n>`), and the stack-cutting primitive `cut to`;
+//! * **weak continuations** ([`BodyItem::Continuation`]) — "a bit like a
+//!   label with parameters" — which model exception handlers;
+//! * **call-site annotations** ([`Annotations`]) — `also cuts to`,
+//!   `also unwinds to`, `also returns to`, `also aborts` — which tell both
+//!   the optimizer and the run-time system exactly which exceptional
+//!   control transfers can take place.
+//!
+//! The crate also provides a pretty-printer ([`pretty`]) that regenerates
+//! concrete syntax in the style of the paper's figures, so IR values can be
+//! round-tripped through the parser in `cmm-parse`.
+//!
+//! # Example
+//!
+//! Build the `sp1` procedure of the paper's Figure 1 programmatically:
+//!
+//! ```
+//! use cmm_ir::{build::ProcBuilder, Expr, Ty};
+//!
+//! let sp1 = ProcBuilder::new("sp1")
+//!     .formal("n", Ty::B32)
+//!     .locals([("s", Ty::B32), ("p", Ty::B32)])
+//!     .build_with(|b| {
+//!         b.if_(
+//!             Expr::eq(Expr::var("n"), Expr::b32(1)),
+//!             |t| { t.return_([Expr::b32(1), Expr::b32(1)]); },
+//!             |e| {
+//!                 e.call(["s", "p"], "sp1", [Expr::sub(Expr::var("n"), Expr::b32(1))]);
+//!                 e.return_([
+//!                     Expr::add(Expr::var("s"), Expr::var("n")),
+//!                     Expr::mul(Expr::var("p"), Expr::var("n")),
+//!                 ]);
+//!             },
+//!         );
+//!     });
+//! assert_eq!(sp1.name.as_str(), "sp1");
+//! ```
+
+pub mod build;
+pub mod expr;
+pub mod module;
+pub mod name;
+pub mod pretty;
+pub mod proc;
+pub mod stmt;
+pub mod ty;
+
+pub use expr::{BinOp, Expr, Lit, UnOp};
+pub use module::{DataBlock, DataItem, Decl, GlobalReg, Module};
+pub use name::Name;
+pub use proc::{BodyItem, Proc};
+pub use stmt::{AltReturn, Annotations, Lvalue, Stmt};
+pub use ty::{FWidth, Ty, Width};

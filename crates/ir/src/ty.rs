@@ -1,0 +1,227 @@
+//! The C-- type system.
+//!
+//! Per §3.1 of the paper, C-- has "an extremely modest type system: the
+//! only types are words and floating-point values of various sizes, e.g.
+//! `bits8`, `bits16`, `bits32`, `bits64`, `float32`, and `float64`."
+//!
+//! The type system does not protect the programmer; its sole purpose is to
+//! direct the compiler's use of machine resources. Each implementation
+//! designates one `bitsN` type as the *native data-pointer type* and one as
+//! the *native code-pointer type*; this reproduction follows the paper's
+//! examples and uses `bits32` for both.
+
+use std::fmt;
+
+/// Width of an integer (`bitsN`) type, in bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Width {
+    /// 8 bits.
+    W8,
+    /// 16 bits.
+    W16,
+    /// 32 bits.
+    W32,
+    /// 64 bits.
+    W64,
+}
+
+impl Width {
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::W8 => 8,
+            Width::W16 => 16,
+            Width::W32 => 32,
+            Width::W64 => 64,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits() / 8)
+    }
+
+    /// Mask selecting the low `bits()` bits of a `u64`.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// All widths, narrowest first.
+    pub const ALL: [Width; 4] = [Width::W8, Width::W16, Width::W32, Width::W64];
+
+    /// Parses `8`, `16`, `32`, or `64`.
+    pub fn from_bits(bits: u32) -> Option<Width> {
+        match bits {
+            8 => Some(Width::W8),
+            16 => Some(Width::W16),
+            32 => Some(Width::W32),
+            64 => Some(Width::W64),
+            _ => None,
+        }
+    }
+}
+
+/// Width of a floating-point type, in bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FWidth {
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+}
+
+impl FWidth {
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            FWidth::F32 => 32,
+            FWidth::F64 => 64,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn bytes(self) -> u64 {
+        u64::from(self.bits() / 8)
+    }
+}
+
+/// A C-- type: a word or floating-point value of a given size.
+///
+/// # Example
+///
+/// ```
+/// use cmm_ir::Ty;
+/// assert_eq!(Ty::B32.to_string(), "bits32");
+/// assert_eq!(Ty::F64.to_string(), "float64");
+/// assert_eq!(Ty::B32.bytes(), 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Ty {
+    /// An integer/word type of the given width.
+    Bits(Width),
+    /// A floating-point type of the given width.
+    Float(FWidth),
+}
+
+impl Ty {
+    /// `bits8`.
+    pub const B8: Ty = Ty::Bits(Width::W8);
+    /// `bits16`.
+    pub const B16: Ty = Ty::Bits(Width::W16);
+    /// `bits32`.
+    pub const B32: Ty = Ty::Bits(Width::W32);
+    /// `bits64`.
+    pub const B64: Ty = Ty::Bits(Width::W64);
+    /// `float32`.
+    pub const F32: Ty = Ty::Float(FWidth::F32);
+    /// `float64`.
+    pub const F64: Ty = Ty::Float(FWidth::F64);
+
+    /// The native data-pointer type (per the paper's examples, `bits32`).
+    pub const NATIVE_PTR: Ty = Ty::B32;
+    /// The native code-pointer type (per the paper's examples, `bits32`).
+    pub const NATIVE_CODE_PTR: Ty = Ty::B32;
+
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Ty::Bits(w) => w.bytes(),
+            Ty::Float(w) => w.bytes(),
+        }
+    }
+
+    /// Size in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Ty::Bits(w) => w.bits(),
+            Ty::Float(w) => w.bits(),
+        }
+    }
+
+    /// True if this is an integer (`bitsN`) type.
+    pub fn is_bits(self) -> bool {
+        matches!(self, Ty::Bits(_))
+    }
+
+    /// True if this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Ty::Float(_))
+    }
+
+    /// Parses a type name like `bits32` or `float64`.
+    pub fn parse_name(s: &str) -> Option<Ty> {
+        if let Some(rest) = s.strip_prefix("bits") {
+            return rest.parse().ok().and_then(Width::from_bits).map(Ty::Bits);
+        }
+        if let Some(rest) = s.strip_prefix("float") {
+            return match rest {
+                "32" => Some(Ty::F32),
+                "64" => Some(Ty::F64),
+                _ => None,
+            };
+        }
+        None
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Bits(w) => write!(f, "bits{}", w.bits()),
+            Ty::Float(w) => write!(f, "float{}", w.bits()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_masks() {
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W16.mask(), 0xffff);
+        assert_eq!(Width::W32.mask(), 0xffff_ffff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn width_sizes() {
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::W64.bytes(), 8);
+        assert_eq!(FWidth::F32.bytes(), 4);
+        assert_eq!(FWidth::F64.bytes(), 8);
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for ty in [Ty::B8, Ty::B16, Ty::B32, Ty::B64, Ty::F32, Ty::F64] {
+            assert_eq!(Ty::parse_name(&ty.to_string()), Some(ty));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert_eq!(Ty::parse_name("bits7"), None);
+        assert_eq!(Ty::parse_name("float16"), None);
+        assert_eq!(Ty::parse_name("word32"), None);
+        assert_eq!(Ty::parse_name("bits"), None);
+    }
+
+    #[test]
+    fn native_pointer_types_are_32_bit() {
+        assert_eq!(Ty::NATIVE_PTR.bytes(), 4);
+        assert_eq!(Ty::NATIVE_CODE_PTR.bytes(), 4);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Ty::B32.is_bits());
+        assert!(!Ty::B32.is_float());
+        assert!(Ty::F64.is_float());
+        assert!(!Ty::F64.is_bits());
+    }
+}

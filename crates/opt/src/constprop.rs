@@ -1,0 +1,387 @@
+//! Sparse constant propagation and folding over the SSA overlay.
+//!
+//! A definition is `Const` when its right-hand side folds to a literal
+//! given the lattice values of its operands; φs join their arguments.
+//! After the fixpoint, constant uses are rewritten to literals,
+//! expressions are folded, and branches on constants are simplified.
+//!
+//! Folding never introduces or removes failure: an expression that could
+//! fail (`%divu` with an unknown or zero divisor) is left in place, so a
+//! program that would go wrong still goes wrong — the optimizer
+//! preserves even the "unspecified" behaviours our semantics refines
+//! into explicit `Wrong` states.
+
+use crate::ssa::{DefId, Ssa};
+use cmm_cfg::{Graph, Node, NodeId};
+use cmm_ir::{Expr, Lit, Lvalue, Ty, Width};
+use std::collections::HashMap;
+
+/// The constant lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Lat {
+    /// No information yet (optimistic).
+    Top,
+    /// Known constant.
+    Const(Width, u64),
+    /// Not a constant.
+    Bottom,
+}
+
+fn join(a: Lat, b: Lat) -> Lat {
+    match (a, b) {
+        (Lat::Top, x) | (x, Lat::Top) => x,
+        (Lat::Const(w1, v1), Lat::Const(w2, v2)) if w1 == w2 && v1 == v2 => a,
+        _ => Lat::Bottom,
+    }
+}
+
+/// Runs constant propagation and folding; returns the number of
+/// expressions rewritten.
+pub fn constprop(g: &mut Graph) -> usize {
+    let ssa = Ssa::build(g);
+    let values = solve(g, &ssa);
+
+    // Rewrite: substitute constant uses, then fold.
+    let mut changed = 0;
+    let reachable: Vec<NodeId> = g.reverse_postorder();
+    for id in reachable {
+        let subst = |e: &Expr| -> Expr {
+            e.substitute(&|n| match ssa.reaching(id, n).map(|d| values[&d]) {
+                Some(Lat::Const(w, v)) => Some(Expr::Lit(Lit::bits(w, v))),
+                _ => None,
+            })
+        };
+        let node = g.node_mut(id);
+        match node {
+            Node::Assign { rhs, lhs, .. } => {
+                let new = fold(&subst(rhs));
+                if &new != rhs {
+                    *rhs = new;
+                    changed += 1;
+                }
+                if let Lvalue::Mem(_, a) = lhs {
+                    let new = fold(&subst(a));
+                    if &new != a {
+                        *a = new;
+                        changed += 1;
+                    }
+                }
+            }
+            Node::CopyOut { exprs, .. } => {
+                for e in exprs {
+                    let new = fold(&subst(e));
+                    if &new != e {
+                        *e = new;
+                        changed += 1;
+                    }
+                }
+            }
+            Node::Branch { cond, t, f } => {
+                let new = fold(&subst(cond));
+                if let Expr::Lit(l) = &new {
+                    // Branch on a constant: become a skip to the taken arm.
+                    let taken = if l.bits != 0 { *t } else { *f };
+                    *node = Node::CopyIn { vars: vec![], next: taken };
+                    changed += 1;
+                } else if &new != cond {
+                    *cond = new;
+                    changed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Fixpoint over SSA definitions.
+fn solve(g: &Graph, ssa: &Ssa) -> HashMap<DefId, Lat> {
+    let mut values: HashMap<DefId, Lat> = (0..ssa.sites.len()).map(|d| (d, Lat::Top)).collect();
+    // Simple round-robin iteration; the lattice has height 2 so this
+    // converges quickly even without a worklist.
+    let order: Vec<NodeId> = g.reverse_postorder();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &id in &order {
+            // φ defs at this node.
+            if let Some(phis) = ssa.phis.get(&id) {
+                for phi in phis {
+                    let mut v = Lat::Top;
+                    for &(_, d) in &phi.args {
+                        v = join(v, values[&d]);
+                    }
+                    if phi.args.is_empty() {
+                        v = Lat::Bottom;
+                    }
+                    if values[&phi.def] != v {
+                        values.insert(phi.def, v);
+                        changed = true;
+                    }
+                }
+            }
+            // Ordinary defs.
+            for (key, &d) in ssa.node_defs.iter().filter(|((n, _), _)| *n == id) {
+                let (_, var) = key;
+                let v = match g.node(id) {
+                    Node::Assign { lhs: Lvalue::Var(lv), rhs, .. } if lv == var => {
+                        eval_lat(g, ssa, id, rhs, &values)
+                    }
+                    _ => Lat::Bottom, // CopyIn, Entry: unknown inputs
+                };
+                if values[&d] != v {
+                    values.insert(d, v);
+                    changed = true;
+                }
+            }
+        }
+    }
+    values
+}
+
+fn eval_lat(
+    g: &Graph,
+    ssa: &Ssa,
+    at: NodeId,
+    e: &Expr,
+    values: &HashMap<DefId, Lat>,
+) -> Lat {
+    match e {
+        Expr::Lit(l) => match l.ty {
+            Ty::Bits(w) => Lat::Const(w, l.bits),
+            Ty::Float(fw) => Lat::Const(
+                if fw == cmm_ir::FWidth::F32 { Width::W32 } else { Width::W64 },
+                l.bits,
+            ),
+        },
+        Expr::Name(n) => match ssa.reaching(at, n) {
+            Some(d) => values[&d],
+            None => Lat::Bottom, // global, symbol, or untracked
+        },
+        Expr::Mem(..) => Lat::Bottom,
+        Expr::Unary(op, a) => match eval_lat(g, ssa, at, a, values) {
+            Lat::Top => Lat::Top,
+            Lat::Const(w, v) => {
+                let (r, rw) = op.eval(w, v);
+                Lat::Const(rw, r)
+            }
+            Lat::Bottom => Lat::Bottom,
+        },
+        Expr::Binary(op, a, b) => {
+            let (la, lb) =
+                (eval_lat(g, ssa, at, a, values), eval_lat(g, ssa, at, b, values));
+            match (la, lb) {
+                (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
+                (Lat::Const(wa, va), Lat::Const(wb, vb)) => {
+                    let shiftish = matches!(
+                        op,
+                        cmm_ir::BinOp::Shl | cmm_ir::BinOp::ShrU | cmm_ir::BinOp::ShrS
+                    );
+                    if wa != wb && !shiftish {
+                        return Lat::Bottom;
+                    }
+                    match op.eval(wa, va, vb) {
+                        Ok((r, rw)) => Lat::Const(rw, r),
+                        Err(_) => Lat::Bottom, // would fail: do not fold
+                    }
+                }
+                _ => Lat::Bottom,
+            }
+        }
+    }
+}
+
+/// Bottom-up constant folding of an expression. Never folds an
+/// application that would fail.
+pub fn fold(e: &Expr) -> Expr {
+    match e {
+        Expr::Lit(_) | Expr::Name(_) => e.clone(),
+        Expr::Mem(ty, a) => Expr::Mem(*ty, Box::new(fold(a))),
+        Expr::Unary(op, a) => {
+            let fa = fold(a);
+            if let Expr::Lit(l) = &fa {
+                if let Ty::Bits(w) = l.ty {
+                    let (r, rw) = op.eval(w, l.bits);
+                    return Expr::Lit(Lit::bits(rw, r));
+                }
+            }
+            Expr::Unary(*op, Box::new(fa))
+        }
+        Expr::Binary(op, a, b) => {
+            let (fa, fb) = (fold(a), fold(b));
+            if let (Expr::Lit(la), Expr::Lit(lb)) = (&fa, &fb) {
+                if let (Ty::Bits(wa), Ty::Bits(wb)) = (la.ty, lb.ty) {
+                    let shiftish = matches!(
+                        op,
+                        cmm_ir::BinOp::Shl | cmm_ir::BinOp::ShrU | cmm_ir::BinOp::ShrS
+                    );
+                    if wa == wb || shiftish {
+                        if let Ok((r, rw)) = op.eval(wa, la.bits, lb.bits) {
+                            return Expr::Lit(Lit::bits(rw, r));
+                        }
+                    }
+                }
+            }
+            // Algebraic identities that cannot change failure behaviour.
+            match (op, &fa, &fb) {
+                (cmm_ir::BinOp::Add, x, Expr::Lit(l)) | (cmm_ir::BinOp::Add, Expr::Lit(l), x)
+                    if l.bits == 0 && l.ty.is_bits() =>
+                {
+                    return x.clone();
+                }
+                (cmm_ir::BinOp::Sub, x, Expr::Lit(l)) if l.bits == 0 && l.ty.is_bits() => {
+                    return x.clone();
+                }
+                (cmm_ir::BinOp::Mul, x, Expr::Lit(l)) | (cmm_ir::BinOp::Mul, Expr::Lit(l), x)
+                    if l.bits == 1 && l.ty.is_bits() =>
+                {
+                    return x.clone();
+                }
+                _ => {}
+            }
+            Expr::Binary(*op, Box::new(fa), Box::new(fb))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn graph(src: &str) -> Graph {
+        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+    }
+
+    fn assigns_of(g: &Graph) -> Vec<Expr> {
+        g.reverse_postorder()
+            .into_iter()
+            .filter_map(|id| match g.node(id) {
+                Node::Assign { rhs, .. } => Some(rhs.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn propagates_through_straight_line_code() {
+        let mut g = graph("f() { bits32 a, b, c; a = 2; b = a + 3; c = b * a; return (c); }");
+        constprop(&mut g);
+        let rhs = assigns_of(&g);
+        assert!(rhs.contains(&Expr::b32(5)), "{rhs:?}");
+        assert!(rhs.contains(&Expr::b32(10)), "{rhs:?}");
+    }
+
+    #[test]
+    fn folds_branches_on_constants() {
+        let mut g = graph("f() { bits32 a; a = 1; if a == 1 { return (10); } else { return (20); } }");
+        constprop(&mut g);
+        assert!(
+            !g.reverse_postorder()
+                .into_iter()
+                .any(|id| matches!(g.node(id), Node::Branch { .. })),
+            "branch should be folded away"
+        );
+    }
+
+    #[test]
+    fn joins_at_phi_points() {
+        // s is 1 on both arms: propagates; t differs: does not.
+        let mut g = graph(
+            r#"
+            f(bits32 n) {
+                bits32 s, t, r;
+                if n == 0 { s = 1; t = 1; } else { s = 1; t = 2; }
+                r = s + t;
+                return (r);
+            }
+            "#,
+        );
+        constprop(&mut g);
+        let rhs = assigns_of(&g);
+        // r = s + t becomes r = 1 + t (s known), not fully constant.
+        assert!(
+            rhs.iter().any(|e| matches!(
+                e,
+                Expr::Binary(cmm_ir::BinOp::Add, a, _) if matches!(**a, Expr::Lit(_))
+            ) || matches!(e, Expr::Binary(cmm_ir::BinOp::Add, _, b) if matches!(**b, Expr::Lit(_)))),
+            "{rhs:?}"
+        );
+    }
+
+    #[test]
+    fn never_folds_failing_division() {
+        let mut g = graph("f() { bits32 a; a = 1 / 0; return (a); }");
+        constprop(&mut g);
+        let rhs = assigns_of(&g);
+        assert!(
+            rhs.iter().any(|e| matches!(e, Expr::Binary(cmm_ir::BinOp::DivU, ..))),
+            "division by zero must not be folded away: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn does_not_propagate_globals() {
+        let p = build_program(
+            &parse_module(
+                r#"
+                register bits32 gr = 5;
+                f() { bits32 a; a = gr + 1; return (a); }
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut g = p.proc("f").unwrap().clone();
+        constprop(&mut g);
+        let rhs = assigns_of(&g);
+        assert!(
+            rhs.iter().any(|e| matches!(e, Expr::Binary(..))),
+            "global register value must not be assumed: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn constant_reaches_exception_continuation() {
+        // x is constant on both the normal and the exceptional path.
+        let mut g = graph(
+            r#"
+            f() {
+                bits32 x, r, d;
+                x = 7;
+                r = g() also cuts to k;
+                return (x);
+                continuation k(d):
+                return (x + d);
+            }
+            g() { return (0); }
+            "#,
+        );
+        constprop(&mut g);
+        // The use of x in the continuation's return folds to 7 + d.
+        let copyouts: Vec<Expr> = g
+            .reverse_postorder()
+            .into_iter()
+            .filter_map(|id| match g.node(id) {
+                Node::CopyOut { exprs, .. } => exprs.first().cloned(),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            copyouts.iter().any(|e| matches!(
+                e,
+                Expr::Binary(cmm_ir::BinOp::Add, a, _) if **a == Expr::b32(7)
+            )),
+            "{copyouts:?}"
+        );
+    }
+
+    #[test]
+    fn fold_identities() {
+        let x = Expr::var("x");
+        assert_eq!(fold(&Expr::add(x.clone(), Expr::b32(0))), x);
+        assert_eq!(fold(&Expr::mul(Expr::b32(1), x.clone())), x);
+        assert_eq!(fold(&Expr::add(Expr::b32(2), Expr::b32(3))), Expr::b32(5));
+    }
+}

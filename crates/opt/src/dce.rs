@@ -1,0 +1,135 @@
+//! Dead-code elimination.
+//!
+//! Removes `Assign v := e` nodes where `v` is a local variable that is
+//! dead after the node and `e` cannot fail. (An expression that could
+//! fail is kept: the paper leaves failing `%`-primitives *unspecified*,
+//! but our semantics refines "unspecified" to an observable `Wrong`
+//! state, and the optimizer preserves observations.) Memory stores and
+//! assignments to global registers are never removed.
+//!
+//! Thanks to the annotation edges, a variable whose only use is inside an
+//! exception handler is *live* at every call that can reach the handler,
+//! so its definition is correctly retained — with no special-casing here.
+
+use crate::liveness::Liveness;
+use crate::ssa::ssa_names;
+use cmm_cfg::{Graph, Node, NodeId};
+use cmm_ir::Lvalue;
+
+/// Runs dead-code elimination; returns the number of nodes removed.
+pub fn dce(g: &mut Graph) -> usize {
+    let locals = ssa_names(g);
+    let mut removed_total = 0;
+    loop {
+        let live = Liveness::compute(g);
+        let mut dead: Vec<(NodeId, NodeId)> = Vec::new(); // (node, its successor)
+        for id in g.reverse_postorder() {
+            if let Node::Assign { lhs: Lvalue::Var(v), rhs, next } = g.node(id) {
+                if locals.contains(v) && !live.live_out(id).contains(v) && !rhs.can_fail() {
+                    dead.push((id, *next));
+                }
+            }
+        }
+        if dead.is_empty() {
+            return removed_total;
+        }
+        removed_total += dead.len();
+        // Bypass each dead node: redirect every edge into it to its
+        // successor. Resolve chains of dead nodes transitively.
+        let resolve = |mut n: NodeId| -> NodeId {
+            let mut hops = 0;
+            while let Some(&(_, next)) = dead.iter().find(|&&(d, _)| d == n) {
+                n = next;
+                hops += 1;
+                debug_assert!(hops <= dead.len(), "dead chain cycle");
+            }
+            n
+        };
+        for id in g.ids() {
+            let node = g.node_mut(id);
+            node.map_succs(resolve);
+        }
+        let new_entry = resolve(g.entry);
+        g.entry = new_entry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn graph(src: &str) -> Graph {
+        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+    }
+
+    fn live_assign_count(g: &Graph) -> usize {
+        g.reverse_postorder()
+            .into_iter()
+            .filter(|&id| matches!(g.node(id), Node::Assign { .. }))
+            .count()
+    }
+
+    #[test]
+    fn removes_unused_assignments() {
+        let mut g = graph("f(bits32 a) { bits32 b, c; b = a + 1; c = 5; return (a); }");
+        let removed = dce(&mut g);
+        assert_eq!(removed, 2);
+        assert_eq!(live_assign_count(&g), 0);
+    }
+
+    #[test]
+    fn removes_transitively_dead_chains() {
+        let mut g = graph("f(bits32 a) { bits32 b, c; b = a + 1; c = b * 2; return (a); }");
+        dce(&mut g);
+        assert_eq!(live_assign_count(&g), 0);
+    }
+
+    #[test]
+    fn keeps_possibly_failing_expressions() {
+        let mut g = graph("f(bits32 a, bits32 b) { bits32 c; c = a / b; return (a); }");
+        let removed = dce(&mut g);
+        assert_eq!(removed, 0);
+        assert_eq!(live_assign_count(&g), 1);
+    }
+
+    #[test]
+    fn keeps_memory_stores() {
+        let mut g = graph("f(bits32 p) { bits32[p] = 1; return; }");
+        assert_eq!(dce(&mut g), 0);
+    }
+
+    #[test]
+    fn keeps_global_register_assignments() {
+        let p = build_program(
+            &parse_module("register bits32 gr; f() { gr = 1; return; }").unwrap(),
+        )
+        .unwrap();
+        let mut g = p.proc("f").unwrap().clone();
+        assert_eq!(dce(&mut g), 0);
+    }
+
+    /// The §4.4 scenario: a variable used only by a handler must survive
+    /// DCE when (and only when) the call carries the annotation edge.
+    #[test]
+    fn handler_only_variables_survive_with_annotation() {
+        let with_edge = r#"
+            f(bits32 x) {
+                bits32 y, r, d;
+                y = x * 2;
+                r = g() also cuts to k;
+                return (r);
+                continuation k(d):
+                return (y + d);
+            }
+            g() { return (0); }
+        "#;
+        let mut g = graph(with_edge);
+        assert_eq!(dce(&mut g), 0, "y is reachable through the cuts-to edge");
+
+        let without_edge = with_edge.replace(" also cuts to k", "");
+        let mut g = graph(&without_edge);
+        assert_eq!(dce(&mut g), 1, "without the edge, y = x * 2 is dead");
+    }
+}

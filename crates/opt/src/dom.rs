@@ -1,0 +1,203 @@
+//! Dominator trees and dominance frontiers (Cooper–Harvey–Kennedy).
+
+use cmm_cfg::{Graph, NodeId};
+use std::collections::BTreeMap;
+
+/// Dominator information for the reachable part of a graph.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    /// Reverse postorder of reachable nodes.
+    pub rpo: Vec<NodeId>,
+    /// Position of each node in `rpo` (unreachable nodes absent).
+    pub rpo_index: BTreeMap<NodeId, usize>,
+    /// Immediate dominator of each node (the entry maps to itself).
+    pub idom: BTreeMap<NodeId, NodeId>,
+    /// Dominance frontier of each node.
+    pub frontier: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Children in the dominator tree.
+    pub children: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl Dominators {
+    /// Computes dominators and dominance frontiers.
+    pub fn compute(g: &Graph) -> Dominators {
+        let rpo = g.reverse_postorder();
+        let rpo_index: BTreeMap<NodeId, usize> =
+            rpo.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let preds_all = g.preds();
+        // Predecessors restricted to reachable nodes.
+        let preds: BTreeMap<NodeId, Vec<NodeId>> = rpo
+            .iter()
+            .map(|&n| {
+                let ps = preds_all[n.index()]
+                    .iter()
+                    .copied()
+                    .filter(|p| rpo_index.contains_key(p))
+                    .collect();
+                (n, ps)
+            })
+            .collect();
+
+        let entry = g.entry;
+        let mut idom: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for &p in &preds[&b] {
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Dominance frontiers.
+        let mut frontier: BTreeMap<NodeId, Vec<NodeId>> =
+            rpo.iter().map(|&n| (n, Vec::new())).collect();
+        for &b in &rpo {
+            let ps = &preds[&b];
+            if ps.len() >= 2 {
+                for &p in ps {
+                    let mut runner = p;
+                    while runner != idom[&b] {
+                        let fr = frontier.get_mut(&runner).expect("reachable node");
+                        if !fr.contains(&b) {
+                            fr.push(b);
+                        }
+                        runner = idom[&runner];
+                    }
+                }
+            }
+        }
+
+        // Dominator-tree children.
+        let mut children: BTreeMap<NodeId, Vec<NodeId>> =
+            rpo.iter().map(|&n| (n, Vec::new())).collect();
+        for &n in &rpo {
+            if n != entry {
+                children.get_mut(&idom[&n]).expect("reachable").push(n);
+            }
+        }
+
+        Dominators { rpo, rpo_index, idom, frontier, children }
+    }
+
+    /// True if `a` dominates `b` (both must be reachable).
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        let mut n = b;
+        loop {
+            if n == a {
+                return true;
+            }
+            let up = self.idom[&n];
+            if up == n {
+                return n == a;
+            }
+            n = up;
+        }
+    }
+}
+
+fn intersect(
+    idom: &BTreeMap<NodeId, NodeId>,
+    rpo_index: &BTreeMap<NodeId, usize>,
+    mut a: NodeId,
+    mut b: NodeId,
+) -> NodeId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn graph(src: &str) -> Graph {
+        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let g = graph(
+            r#"
+            f(bits32 n) {
+                bits32 s;
+                s = 0;
+              loop:
+                if n == 0 { return (s); } else { s = s + n; n = n - 1; goto loop; }
+            }
+            "#,
+        );
+        let d = Dominators::compute(&g);
+        for &n in &d.rpo {
+            assert!(d.dominates(g.entry, n));
+        }
+    }
+
+    #[test]
+    fn join_points_have_frontiers() {
+        let g = graph(
+            r#"
+            f(bits32 n) {
+                bits32 s;
+                if n == 0 { s = 1; } else { s = 2; }
+                return (s);
+            }
+            "#,
+        );
+        let d = Dominators::compute(&g);
+        // The branch node's frontier is empty (it dominates the join);
+        // the two assignment arms have the join in their frontier.
+        let branch = g
+            .ids()
+            .find(|&i| matches!(g.node(i), cmm_cfg::Node::Branch { .. }))
+            .unwrap();
+        let assigns: Vec<NodeId> = g
+            .ids()
+            .filter(|&i| matches!(g.node(i), cmm_cfg::Node::Assign { .. }))
+            .filter(|i| d.rpo_index.contains_key(i))
+            .collect();
+        assert!(d.frontier[&branch].is_empty());
+        let mut joins: Vec<NodeId> = assigns.iter().flat_map(|a| d.frontier[a].clone()).collect();
+        assert_eq!(joins.len(), 2, "each arm has the join in its frontier");
+        assert_eq!(joins[0], joins[1], "both arms meet at the same join");
+        joins.dedup();
+        assert_eq!(joins.len(), 1);
+    }
+
+    #[test]
+    fn idom_chain_reaches_entry() {
+        let g = graph("f() { if 1 { return (1); } else { return (2); } }");
+        let d = Dominators::compute(&g);
+        for &n in &d.rpo {
+            let mut cur = n;
+            let mut hops = 0;
+            while cur != g.entry {
+                cur = d.idom[&cur];
+                hops += 1;
+                assert!(hops < 1000, "idom chain must terminate");
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Local copy propagation and value-numbering CSE.
+//!
+//! Both passes operate within *chains*: maximal straight-line node
+//! sequences (each node has one successor which has one predecessor).
+//! Within a chain the pass maintains
+//!
+//! * a copy environment `v ↦ w` built from `Assign v := w` nodes, and
+//! * a table of available expressions `e ↦ v` built from `Assign v := e`,
+//!
+//! invalidating entries when an operand is redefined, and invalidating
+//! all memory-dependent and non-local-dependent entries at `Call` nodes
+//! (a callee may write memory and global registers).
+
+use crate::ssa::ssa_names;
+use cmm_cfg::{Graph, Node, NodeId};
+use cmm_ir::{Expr, Lvalue, Name};
+use std::collections::{BTreeSet, HashMap};
+
+/// Runs both local passes; returns the number of rewrites.
+pub fn localopt(g: &mut Graph) -> usize {
+    let locals = ssa_names(g);
+    let chains = chains(g);
+    let mut changed = 0;
+    for chain in chains {
+        changed += run_chain(g, &chain, &locals);
+    }
+    changed
+}
+
+/// Maximal straight-line chains over the reachable graph.
+fn chains(g: &Graph) -> Vec<Vec<NodeId>> {
+    let preds = g.preds();
+    let rpo = g.reverse_postorder();
+    let reachable: BTreeSet<NodeId> = rpo.iter().copied().collect();
+    let single_pred = |n: NodeId| {
+        preds[n.index()].iter().filter(|p| reachable.contains(p)).count() == 1
+    };
+    let mut in_chain: BTreeSet<NodeId> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &start in &rpo {
+        if in_chain.contains(&start) {
+            continue;
+        }
+        // A chain head: entry, a join, or a successor of a fork.
+        let mut chain = vec![start];
+        in_chain.insert(start);
+        let mut cur = start;
+        loop {
+            let succs = g.succs(cur);
+            if succs.len() != 1 {
+                break;
+            }
+            let next = succs[0];
+            if !single_pred(next) || in_chain.contains(&next) {
+                break;
+            }
+            chain.push(next);
+            in_chain.insert(next);
+            cur = next;
+        }
+        out.push(chain);
+    }
+    out
+}
+
+struct LocalState {
+    /// Copy environment: `v` currently holds the same value as `w`.
+    copies: HashMap<Name, Name>,
+    /// Available expressions: canonical rhs already held in a variable.
+    avail: HashMap<Expr, Name>,
+}
+
+impl LocalState {
+    fn invalidate_var(&mut self, v: &Name) {
+        self.copies.remove(v);
+        self.copies.retain(|_, w| w != v);
+        self.avail.retain(|e, holder| holder != v && !e.names().contains(v));
+    }
+
+    fn invalidate_memory(&mut self) {
+        self.avail.retain(|e, _| !e.reads_memory());
+    }
+
+    /// At a call, memory and every non-local name may change.
+    fn invalidate_for_call(&mut self, locals: &BTreeSet<Name>) {
+        self.invalidate_memory();
+        self.avail.retain(|e, holder| {
+            locals.contains(holder) && e.names().iter().all(|n| locals.contains(n))
+        });
+        self.copies.retain(|v, w| locals.contains(v) && locals.contains(w));
+    }
+}
+
+fn run_chain(g: &mut Graph, chain: &[NodeId], locals: &BTreeSet<Name>) -> usize {
+    let mut st = LocalState { copies: HashMap::new(), avail: HashMap::new() };
+    let mut changed = 0;
+    for &id in chain {
+        let rewrite = |e: &Expr, st: &LocalState| -> Expr {
+            let copied = e.substitute(&|n| st.copies.get(n).cloned().map(Expr::Name));
+            match st.avail.get(&copied) {
+                Some(v) if !matches!(copied, Expr::Name(_) | Expr::Lit(_)) => {
+                    Expr::Name(v.clone())
+                }
+                _ => copied,
+            }
+        };
+        match g.node_mut(id) {
+            Node::Assign { lhs, rhs, .. } => {
+                let new = rewrite(rhs, &st);
+                if &new != rhs {
+                    *rhs = new.clone();
+                    changed += 1;
+                }
+                let rhs_now = new;
+                match lhs {
+                    Lvalue::Var(v) => {
+                        let v = v.clone();
+                        st.invalidate_var(&v);
+                        if !locals.contains(&v) {
+                            // Assigning a global register: a subsequent
+                            // call could also write it, but within the
+                            // chain segment up to the next call the copy
+                            // is valid; keep tracking conservatively off.
+                        } else {
+                            match &rhs_now {
+                                Expr::Name(w) if locals.contains(w) && *w != v => {
+                                    st.copies.insert(v.clone(), w.clone());
+                                }
+                                e if !matches!(e, Expr::Lit(_) | Expr::Name(_))
+                                    && !e.can_fail() =>
+                                {
+                                    st.avail.insert(e.clone(), v.clone());
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    Lvalue::Mem(_, a) => {
+                        let new_a = rewrite(a, &st);
+                        if &new_a != a {
+                            *a = new_a;
+                            changed += 1;
+                        }
+                        st.invalidate_memory();
+                    }
+                }
+            }
+            Node::CopyOut { exprs, .. } => {
+                for e in exprs {
+                    let new = rewrite(e, &st);
+                    if &new != e {
+                        *e = new;
+                        changed += 1;
+                    }
+                }
+            }
+            Node::Branch { cond, .. } => {
+                let new = rewrite(cond, &st);
+                if &new != cond {
+                    *cond = new;
+                    changed += 1;
+                }
+            }
+            Node::CutTo { cont, .. } => {
+                let new = rewrite(cont, &st);
+                if &new != cont {
+                    *cont = new;
+                    changed += 1;
+                }
+            }
+            Node::Jump { callee } => {
+                let new = rewrite(callee, &st);
+                if &new != callee {
+                    *callee = new;
+                    changed += 1;
+                }
+            }
+            Node::Call { callee, .. } => {
+                let new = rewrite(callee, &st);
+                if &new != callee {
+                    *callee = new;
+                    changed += 1;
+                }
+                st.invalidate_for_call(locals);
+            }
+            Node::CopyIn { vars, .. } => {
+                for v in vars.clone() {
+                    st.invalidate_var(&v);
+                }
+            }
+            Node::Entry { .. } | Node::Exit { .. } | Node::CalleeSaves { .. } | Node::Yield => {}
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn graph(src: &str) -> Graph {
+        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+    }
+
+    fn rhs_list(g: &Graph) -> Vec<Expr> {
+        g.reverse_postorder()
+            .into_iter()
+            .filter_map(|id| match g.node(id) {
+                Node::Assign { rhs, .. } => Some(rhs.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn copy_propagation_within_a_chain() {
+        let mut g = graph("f(bits32 a) { bits32 b, c; b = a; c = b + 1; return (c); }");
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        assert!(
+            rhs.contains(&Expr::add(Expr::var("a"), Expr::b32(1))),
+            "b should be replaced by a: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn cse_reuses_computed_expressions() {
+        let mut g = graph(
+            "f(bits32 a, bits32 b) { bits32 x, y; x = a + b; y = a + b; return (x, y); }",
+        );
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        assert!(rhs.contains(&Expr::var("x")), "y = a + b should become y = x: {rhs:?}");
+    }
+
+    #[test]
+    fn copies_invalidated_by_redefinition() {
+        let mut g = graph(
+            "f(bits32 a) { bits32 b, c; b = a; a = 0; c = b + 1; return (c); }",
+        );
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        assert!(
+            rhs.contains(&Expr::add(Expr::var("b"), Expr::b32(1))),
+            "b must not be replaced by the redefined a: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn memory_expressions_invalidated_by_stores() {
+        let mut g = graph(
+            "f(bits32 p) { bits32 x, y; x = bits32[p]; bits32[p] = 0; y = bits32[p]; return (x, y); }",
+        );
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        // y must reload, not reuse x.
+        assert!(
+            rhs.iter().filter(|e| e.reads_memory()).count() >= 2,
+            "store must kill the available load: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn calls_invalidate_memory_and_globals() {
+        let p = build_program(
+            &parse_module(
+                r#"
+                register bits32 gr;
+                f(bits32 p) {
+                    bits32 x, y, u, v;
+                    x = bits32[p];
+                    u = gr;
+                    g();
+                    y = bits32[p];
+                    v = gr;
+                    return (x, y, u, v);
+                }
+                g() { gr = 1; return; }
+                "#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut g = p.proc("f").unwrap().clone();
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        assert!(rhs.iter().filter(|e| e.reads_memory()).count() >= 2);
+        assert!(
+            rhs.iter().filter(|e| **e == Expr::var("gr")).count() >= 2,
+            "global register must be reloaded after the call: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn failing_expressions_not_subject_to_cse() {
+        let mut g = graph(
+            "f(bits32 a, bits32 b) { bits32 x, y; x = a / b; y = a / b; return (x, y); }",
+        );
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        assert_eq!(
+            rhs.iter()
+                .filter(|e| matches!(e, Expr::Binary(cmm_ir::BinOp::DivU, ..)))
+                .count(),
+            2,
+            "possibly-failing division is recomputed, not reused: {rhs:?}"
+        );
+    }
+
+    #[test]
+    fn chains_split_at_joins() {
+        // The join after the if has two predecessors; values computed in
+        // one arm must not be reused after the join.
+        let mut g = graph(
+            r#"
+            f(bits32 a, bits32 n) {
+                bits32 x, y;
+                if n == 0 { x = a + 1; } else { x = 2; }
+                y = a + 1;
+                return (x, y);
+            }
+            "#,
+        );
+        localopt(&mut g);
+        let rhs = rhs_list(&g);
+        assert_eq!(
+            rhs.iter()
+                .filter(|e| **e == Expr::add(Expr::var("a"), Expr::b32(1)))
+                .count(),
+            2,
+            "a + 1 must be recomputed after the join: {rhs:?}"
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! Static single-assignment numbering (the paper's Figure 6).
+//!
+//! "The dataflow information is expressed as a static single-assignment
+//! (SSA) numbering of the variables" (§6). The numbering here is an
+//! *overlay*: the graph itself is untouched, and the overlay records, for
+//! every variable use at every node, which definition reaches it, with
+//! φ-definitions at join points. (The paper notes that the continuation
+//! prologues chosen by the dispatcher "roughly correspond to φ-nodes in
+//! SSA form", §4.2 footnote.)
+
+use crate::dataflow::{var_defs, var_uses};
+use crate::dom::Dominators;
+use cmm_cfg::{Graph, NodeId};
+use cmm_ir::Name;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Index of a definition in [`Ssa::sites`].
+pub type DefId = usize;
+
+/// Where a definition comes from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DefSite {
+    /// An ordinary definition performed by a node (`Assign`, `CopyIn`,
+    /// or the implicit all-variables definition at `Entry`).
+    Node {
+        /// The defining node.
+        node: NodeId,
+        /// The variable defined.
+        var: Name,
+    },
+    /// A φ-definition at a join point.
+    Phi {
+        /// The join node.
+        node: NodeId,
+        /// The variable merged.
+        var: Name,
+    },
+}
+
+impl DefSite {
+    /// The variable this definition defines.
+    pub fn var(&self) -> &Name {
+        match self {
+            DefSite::Node { var, .. } | DefSite::Phi { var, .. } => var,
+        }
+    }
+
+    /// The node the definition is attached to.
+    pub fn node(&self) -> NodeId {
+        match self {
+            DefSite::Node { node, .. } | DefSite::Phi { node, .. } => *node,
+        }
+    }
+}
+
+/// A φ-function: `var.k = φ(pred₁: var.i, pred₂: var.j, ...)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Phi {
+    /// The variable merged.
+    pub var: Name,
+    /// The definition this φ creates.
+    pub def: DefId,
+    /// One argument per predecessor edge: which definition flows in.
+    pub args: Vec<(NodeId, DefId)>,
+}
+
+/// The SSA overlay for one graph.
+#[derive(Clone, Debug, Default)]
+pub struct Ssa {
+    /// All definition sites, in renaming order.
+    pub sites: Vec<DefSite>,
+    /// φ-functions at each join node.
+    pub phis: BTreeMap<NodeId, Vec<Phi>>,
+    /// For each variable use at each node, the reaching definition.
+    /// Uses of names that are not SSA-tracked (globals, procedure and
+    /// data names) are absent.
+    pub use_defs: HashMap<(NodeId, Name), DefId>,
+    /// The definition created *at* a node for a variable (excluding φs).
+    pub node_defs: HashMap<(NodeId, Name), DefId>,
+    /// SSA version number of each definition (per variable, counted from
+    /// 1 in renaming order).
+    pub versions: Vec<u32>,
+}
+
+/// The names SSA tracks for a graph: declared variables (formals, locals,
+/// temporaries) and continuation names (bound at `Entry`). Global
+/// registers and top-level symbols are *not* tracked — globals may be
+/// redefined by any call, so propagating them would be unsound.
+pub fn ssa_names(g: &Graph) -> BTreeSet<Name> {
+    let mut s: BTreeSet<Name> = g.vars.iter().map(|(n, _)| n.clone()).collect();
+    s.extend(g.continuations().iter().map(|(n, _)| n.clone()));
+    s
+}
+
+impl Ssa {
+    /// Builds the SSA overlay for a graph.
+    pub fn build(g: &Graph) -> Ssa {
+        let doms = Dominators::compute(g);
+        let tracked = ssa_names(g);
+        let reachable: BTreeSet<NodeId> = doms.rpo.iter().copied().collect();
+
+        // Definition sites per variable.
+        let mut def_nodes: BTreeMap<Name, BTreeSet<NodeId>> = BTreeMap::new();
+        for &n in &doms.rpo {
+            for v in var_defs(g, n) {
+                if tracked.contains(&v) {
+                    def_nodes.entry(v).or_default().insert(n);
+                }
+            }
+        }
+
+        // φ placement by iterated dominance frontier.
+        let mut phi_vars: BTreeMap<NodeId, BTreeSet<Name>> = BTreeMap::new();
+        for (v, sites) in &def_nodes {
+            let mut work: Vec<NodeId> = sites.iter().copied().collect();
+            let mut placed: BTreeSet<NodeId> = BTreeSet::new();
+            while let Some(n) = work.pop() {
+                for &y in &doms.frontier[&n] {
+                    if placed.insert(y) {
+                        phi_vars.entry(y).or_default().insert(v.clone());
+                        if !sites.contains(&y) {
+                            work.push(y);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut ssa = Ssa::default();
+        let mut var_counts: HashMap<Name, u32> = HashMap::new();
+
+        // Create φ defs up front (renaming fills their arguments).
+        for (&node, vars) in &phi_vars {
+            let mut phis = Vec::new();
+            for v in vars {
+                let def = ssa.sites.len();
+                ssa.sites.push(DefSite::Phi { node, var: v.clone() });
+                ssa.versions.push(0); // assigned during renaming
+                phis.push(Phi { var: v.clone(), def, args: Vec::new() });
+            }
+            ssa.phis.insert(node, phis);
+        }
+
+        // Renaming: iterative DFS over the dominator tree.
+        let mut stacks: HashMap<Name, Vec<DefId>> = HashMap::new();
+        enum Action {
+            Enter(NodeId),
+            Leave(Vec<Name>), // names pushed at the node being left
+        }
+        let mut work = vec![Action::Enter(g.entry)];
+        while let Some(action) = work.pop() {
+            match action {
+                Action::Enter(b) => {
+                    let mut pushed: Vec<Name> = Vec::new();
+                    // φ defs first.
+                    if let Some(phis) = ssa.phis.get(&b) {
+                        for phi in phis.clone() {
+                            let ver = bump(&mut var_counts, &phi.var);
+                            ssa.versions[phi.def] = ver;
+                            stacks.entry(phi.var.clone()).or_default().push(phi.def);
+                            pushed.push(phi.var.clone());
+                        }
+                    }
+                    // Uses see the state before the node's own defs.
+                    for v in var_uses(g, b) {
+                        if !tracked.contains(&v) {
+                            continue;
+                        }
+                        if let Some(&d) = stacks.get(&v).and_then(|s| s.last()) {
+                            ssa.use_defs.insert((b, v), d);
+                        }
+                    }
+                    // Ordinary defs.
+                    for v in var_defs(g, b) {
+                        if !tracked.contains(&v) {
+                            continue;
+                        }
+                        let def = ssa.sites.len();
+                        ssa.sites.push(DefSite::Node { node: b, var: v.clone() });
+                        ssa.versions.push(bump(&mut var_counts, &v));
+                        ssa.node_defs.insert((b, v.clone()), def);
+                        stacks.entry(v.clone()).or_default().push(def);
+                        pushed.push(v);
+                    }
+                    // Fill φ arguments of CFG successors.
+                    for s in g.succs(b) {
+                        if !reachable.contains(&s) {
+                            continue;
+                        }
+                        if let Some(phis) = ssa.phis.get_mut(&s) {
+                            for phi in phis {
+                                if let Some(&d) = stacks.get(&phi.var).and_then(|st| st.last()) {
+                                    phi.args.push((b, d));
+                                }
+                            }
+                        }
+                    }
+                    work.push(Action::Leave(pushed));
+                    for &c in &doms.children[&b] {
+                        work.push(Action::Enter(c));
+                    }
+                }
+                Action::Leave(pushed) => {
+                    for v in pushed {
+                        stacks.get_mut(&v).expect("pushed var has a stack").pop();
+                    }
+                }
+            }
+        }
+        ssa
+    }
+
+    /// The reaching definition for a use of `v` at node `n`, if tracked.
+    pub fn reaching(&self, n: NodeId, v: &Name) -> Option<DefId> {
+        self.use_defs.get(&(n, v.clone())).copied()
+    }
+
+    /// `var.version` display form of a definition.
+    pub fn def_name(&self, d: DefId) -> String {
+        format!("{}.{}", self.sites[d].var(), self.versions[d])
+    }
+
+    /// Checks the central SSA invariant: every use's reaching definition
+    /// is at a node that dominates the use (φ arguments are checked
+    /// against the corresponding predecessor). Returns offending pairs.
+    pub fn verify(&self, g: &Graph) -> Vec<(NodeId, Name)> {
+        let doms = Dominators::compute(g);
+        let mut bad = Vec::new();
+        for ((node, var), &def) in &self.use_defs {
+            let site = self.sites[def].node();
+            if !doms.rpo_index.contains_key(node) {
+                continue;
+            }
+            if !doms.dominates(site, *node) {
+                bad.push((*node, var.clone()));
+            }
+        }
+        for phis in self.phis.values() {
+            for phi in phis {
+                for &(pred, def) in &phi.args {
+                    let site = self.sites[def].node();
+                    if !doms.dominates(site, pred) {
+                        bad.push((pred, phi.var.clone()));
+                    }
+                }
+            }
+        }
+        bad
+    }
+}
+
+fn bump(counts: &mut HashMap<Name, u32>, v: &Name) -> u32 {
+    let c = counts.entry(v.clone()).or_insert(0);
+    *c += 1;
+    *c
+}
+
+/// Renders the graph with SSA numbering, in the style of Figure 6.
+pub fn ssa_to_string(g: &Graph, ssa: &Ssa) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("SSA for {}:\n", g.name);
+    for id in g.reverse_postorder() {
+        if let Some(phis) = ssa.phis.get(&id) {
+            for phi in phis {
+                let args: Vec<String> = phi
+                    .args
+                    .iter()
+                    .map(|&(p, d)| format!("{p}: {}", ssa.def_name(d)))
+                    .collect();
+                let _ = writeln!(out, "  {id}: {} = phi({})", ssa.def_name(phi.def), args.join(", "));
+            }
+        }
+        let mut line = format!("  {}", cmm_cfg::display::node_to_string(g, id));
+        // Annotate uses and defs.
+        let uses: Vec<String> = var_uses(g, id)
+            .into_iter()
+            .filter_map(|v| ssa.reaching(id, &v).map(|d| ssa.def_name(d)))
+            .collect();
+        let defs: Vec<String> = var_defs(g, id)
+            .into_iter()
+            .filter_map(|v| ssa.node_defs.get(&(id, v)).map(|&d| ssa.def_name(d)))
+            .collect();
+        if !uses.is_empty() {
+            line.push_str(&format!("  uses[{}]", uses.join(", ")));
+        }
+        if !defs.is_empty() {
+            line.push_str(&format!("  defs[{}]", defs.join(", ")));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn graph(src: &str) -> Graph {
+        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+    }
+
+    #[test]
+    fn straight_line_has_no_phis() {
+        let g = graph("f(bits32 a) { bits32 b; b = a + 1; b = b * 2; return (b); }");
+        let ssa = Ssa::build(&g);
+        assert!(ssa.phis.is_empty());
+        assert!(ssa.verify(&g).is_empty());
+        // b has two ordinary definitions with distinct versions.
+        let b_defs: Vec<_> = ssa
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.var() == &Name::from("b") && matches!(s, DefSite::Node { .. }))
+            .collect();
+        // Entry also defines b once; plus the two assignments.
+        assert_eq!(b_defs.len(), 3);
+    }
+
+    #[test]
+    fn diamond_gets_a_phi() {
+        let g = graph(
+            r#"
+            f(bits32 n) {
+                bits32 s;
+                if n == 0 { s = 1; } else { s = 2; }
+                return (s);
+            }
+            "#,
+        );
+        let ssa = Ssa::build(&g);
+        let phi_count: usize = ssa
+            .phis
+            .values()
+            .map(|ps| ps.iter().filter(|p| p.var == "s").count())
+            .sum();
+        assert_eq!(phi_count, 1, "{}", ssa_to_string(&g, &ssa));
+        let phi = ssa.phis.values().flatten().find(|p| p.var == "s").unwrap();
+        assert_eq!(phi.args.len(), 2);
+        assert!(ssa.verify(&g).is_empty());
+    }
+
+    #[test]
+    fn loop_gets_phis_for_carried_vars() {
+        let g = graph(
+            r#"
+            f(bits32 n) {
+                bits32 s;
+                s = 0;
+              loop:
+                if n == 0 { return (s); } else { s = s + n; n = n - 1; goto loop; }
+            }
+            "#,
+        );
+        let ssa = Ssa::build(&g);
+        let phi_vars: BTreeSet<&Name> =
+            ssa.phis.values().flatten().map(|p| &p.var).collect();
+        assert!(phi_vars.contains(&Name::from("s")));
+        assert!(phi_vars.contains(&Name::from("n")));
+        assert!(ssa.verify(&g).is_empty());
+    }
+
+    /// Exception edges participate in SSA: the continuation is a join of
+    /// the normal path (fallthrough) and the exceptional edge from the
+    /// call, exactly as in Figure 6 of the paper.
+    #[test]
+    fn exception_edges_create_joins() {
+        let g = graph(
+            r#"
+            f(bits32 a) {
+                bits32 b, c, d;
+                b = a;
+                c = a;
+                b, c = g() also unwinds to k;
+                c = b + c + a;
+                return (c);
+                continuation k(d):
+                return (b + d);
+            }
+            g() { return (1, 2); }
+            "#,
+        );
+        let ssa = Ssa::build(&g);
+        assert!(ssa.verify(&g).is_empty(), "{}", ssa_to_string(&g, &ssa));
+        // The use of b in the continuation must see a definition that
+        // dominates the call (the SSA check above enforces it); print
+        // form must contain a phi or direct version for b.
+        let s = ssa_to_string(&g, &ssa);
+        assert!(s.contains("phi") || s.contains("b."), "{s}");
+    }
+
+    #[test]
+    fn versions_count_from_one() {
+        let g = graph("f(bits32 a) { bits32 b; b = 1; b = 2; return (b); }");
+        let ssa = Ssa::build(&g);
+        let mut versions: Vec<u32> = ssa
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.var() == &Name::from("b"))
+            .map(|(i, _)| ssa.versions[i])
+            .collect();
+        versions.sort_unstable();
+        assert_eq!(versions, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Parse errors.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// An error produced by the lexer or parser.
+///
+/// Carries the source position and a human-readable message, e.g.
+/// `3:17: expected `;` after statement, found `}``.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Where the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error at a position.
+    pub fn new(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError { pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(Pos { line: 3, col: 17 }, "unexpected `}`");
+        assert_eq!(e.to_string(), "3:17: unexpected `}`");
+    }
+}

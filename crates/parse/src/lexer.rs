@@ -1,0 +1,458 @@
+//! The C-- lexer.
+//!
+//! Comments are C-style (`/* ... */`, non-nesting) and line comments
+//! (`// ...`). Identifiers may contain letters, digits, `_`, `$`, and `.`
+//! (after the first character), and may begin with `%` or `%%` for
+//! primitive names. Integer literals are decimal or hexadecimal
+//! (`0x...`), optionally suffixed `::bitsN`; float literals have a decimal
+//! point and an optional `::floatN` suffix (default `float64`).
+
+use crate::error::ParseError;
+use crate::token::{Pos, Tok, Token};
+
+/// Lexes a complete source text into tokens (ending with [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for unterminated comments or strings, bad
+/// escapes, malformed numbers, or characters outside the language.
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer { chars: src.chars().collect(), at: 0, pos: Pos::start() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    at: usize,
+    pos: Pos,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.pos, msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Token { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = match c {
+                '(' => self.single(Tok::LParen),
+                ')' => self.single(Tok::RParen),
+                '{' => self.single(Tok::LBrace),
+                '}' => self.single(Tok::RBrace),
+                '[' => self.single(Tok::LBracket),
+                ']' => self.single(Tok::RBracket),
+                ',' => self.single(Tok::Comma),
+                ';' => self.single(Tok::Semi),
+                ':' => self.single(Tok::Colon),
+                '+' => self.single(Tok::Plus),
+                '-' => self.single(Tok::Minus),
+                '*' => self.single(Tok::Star),
+                '/' => self.single(Tok::Slash),
+                '&' => self.single(Tok::Amp),
+                '|' => self.single(Tok::Pipe),
+                '^' => self.single(Tok::Caret),
+                '~' => self.single(Tok::Tilde),
+                '=' => self.one_or_two('=', Tok::Assign, Tok::EqEq),
+                '!' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        Tok::NotEq
+                    } else {
+                        return Err(self.error("expected `!=`"));
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            Tok::Le
+                        }
+                        Some('<') => {
+                            self.bump();
+                            Tok::Shl
+                        }
+                        _ => Tok::Lt,
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    match self.peek() {
+                        Some('=') => {
+                            self.bump();
+                            Tok::Ge
+                        }
+                        Some('>') => {
+                            self.bump();
+                            Tok::Shr
+                        }
+                        _ => Tok::Gt,
+                    }
+                }
+                '"' => self.string()?,
+                '%' => self.percent(),
+                c if c.is_ascii_digit() => self.number()?,
+                c if is_ident_start(c) => self.ident(),
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            };
+            out.push(Token { tok, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(ParseError::new(start, "unterminated comment")),
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn single(&mut self, tok: Tok) -> Tok {
+        self.bump();
+        tok
+    }
+
+    fn one_or_two(&mut self, second: char, one: Tok, two: Tok) -> Tok {
+        self.bump();
+        if self.peek() == Some(second) {
+            self.bump();
+            two
+        } else {
+            one
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(Tok::Str(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('0') => s.push('\0'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    other => {
+                        return Err(self.error(format!("bad string escape {other:?}")));
+                    }
+                },
+                Some(c) => s.push(c),
+                None => return Err(ParseError::new(start, "unterminated string literal")),
+            }
+        }
+    }
+
+    /// `%` begins either the modulus operator or a primitive name like
+    /// `%divu` / `%%divu`.
+    fn percent(&mut self) -> Tok {
+        self.bump();
+        let mut name = String::from("%");
+        if self.peek() == Some('%') {
+            self.bump();
+            name.push('%');
+        }
+        if self.peek().map(is_ident_start).unwrap_or(false) {
+            while let Some(c) = self.peek() {
+                if is_ident_continue(c) {
+                    name.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            Tok::Ident(name)
+        } else if name == "%" {
+            Tok::Percent
+        } else {
+            // `%%` not followed by a name: treat as two moduli; the parser
+            // will reject it with a sensible message.
+            Tok::Percent
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, ParseError> {
+        let mut text = String::new();
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    if c != '_' {
+                        text.push(c);
+                    }
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let v = u64::from_str_radix(&text, 16)
+                .map_err(|_| self.error("malformed hexadecimal literal"))?;
+            let suffix = self.suffix()?;
+            return Ok(match suffix {
+                Some(("bits", w)) => Tok::Int(v, Some(w)),
+                Some(("float", _)) => return Err(self.error("hex literal with float suffix")),
+                _ => Tok::Int(v, None),
+            });
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_float = self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
+        if is_float {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), Some('e') | Some('E')) {
+                text.push('e');
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    text.push(self.bump().unwrap());
+                }
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            let v: f64 = text.parse().map_err(|_| self.error("malformed float literal"))?;
+            let width = match self.suffix()? {
+                Some(("float", w)) => w,
+                Some(_) => return Err(self.error("float literal with bits suffix")),
+                None => 64,
+            };
+            return Ok(Tok::Float(v, width));
+        }
+        let v: u64 = text.parse().map_err(|_| self.error("malformed integer literal"))?;
+        Ok(match self.suffix()? {
+            Some(("bits", w)) => Tok::Int(v, Some(w)),
+            Some(("float", w)) => Tok::Float(v as f64, w),
+            _ => Tok::Int(v, None),
+        })
+    }
+
+    /// Parses an optional `::bitsN` / `::floatN` suffix.
+    fn suffix(&mut self) -> Result<Option<(&'static str, u32)>, ParseError> {
+        if self.peek() != Some(':') || self.peek2() != Some(':') {
+            return Ok(None);
+        }
+        self.bump();
+        self.bump();
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if let Some(rest) = name.strip_prefix("bits") {
+            let w: u32 = rest.parse().map_err(|_| self.error("bad bits suffix"))?;
+            if ![8, 16, 32, 64].contains(&w) {
+                return Err(self.error(format!("unsupported width bits{w}")));
+            }
+            Ok(Some(("bits", w)))
+        } else if let Some(rest) = name.strip_prefix("float") {
+            let w: u32 = rest.parse().map_err(|_| self.error("bad float suffix"))?;
+            if ![32, 64].contains(&w) {
+                return Err(self.error(format!("unsupported width float{w}")));
+            }
+            Ok(Some(("float", w)))
+        } else {
+            Err(self.error(format!("unknown literal suffix ::{name}")))
+        }
+    }
+
+    fn ident(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Tok::Ident(s)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '$'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_punctuation_and_operators() {
+        assert_eq!(
+            toks("( ) { } [ ] , ; : = == != < <= > >= << >> + - * / % & | ^ ~"),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Colon,
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Amp,
+                Tok::Pipe,
+                Tok::Caret,
+                Tok::Tilde,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42, None), Tok::Eof]);
+        assert_eq!(toks("0xff"), vec![Tok::Int(255, None), Tok::Eof]);
+        assert_eq!(toks("7::bits8"), vec![Tok::Int(7, Some(8)), Tok::Eof]);
+        assert_eq!(toks("1.5"), vec![Tok::Float(1.5, 64), Tok::Eof]);
+        assert_eq!(toks("1.5::float32"), vec![Tok::Float(1.5, 32), Tok::Eof]);
+        assert_eq!(toks("2.5e2"), vec![Tok::Float(250.0, 64), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_primitive_names() {
+        assert_eq!(toks("%divu"), vec![Tok::Ident("%divu".into()), Tok::Eof]);
+        assert_eq!(toks("%%divu"), vec![Tok::Ident("%%divu".into()), Tok::Eof]);
+        assert_eq!(toks("a % b"), vec![Tok::Ident("a".into()), Tok::Percent, Tok::Ident("b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(toks(r#""off board""#), vec![Tok::Str("off board".into()), Tok::Eof]);
+        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            toks("a /* comment \n more */ b // line\nc"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(ts[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+
+    #[test]
+    fn ident_chars() {
+        assert_eq!(toks("sp2_help"), vec![Tok::Ident("sp2_help".into()), Tok::Eof]);
+        assert_eq!(toks("str$0"), vec![Tok::Ident("str$0".into()), Tok::Eof]);
+    }
+}

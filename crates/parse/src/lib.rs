@@ -1,0 +1,44 @@
+//! # cmm-parse — concrete syntax for C--
+//!
+//! A hand-written lexer and recursive-descent parser for the concrete C--
+//! syntax used in the paper's figures (Figures 1, 8, and 10), producing
+//! [`cmm_ir`] abstract syntax.
+//!
+//! The grammar covers:
+//!
+//! * module-level declarations: procedures, `import`/`export`,
+//!   `register bits32 exn_top;` global registers, and `data` blocks;
+//! * local variable declarations, parallel assignment, memory stores,
+//!   `if`/`else`, labels and `goto`;
+//! * calls with the full annotation set (`also cuts to`,
+//!   `also unwinds to`, `also returns to`, `also aborts`,
+//!   `also descriptor`), `jump` tail calls, plain and abnormal returns
+//!   (`return <i/n> (..)`), `cut to`, `yield`, and
+//!   `continuation k(x):` definitions;
+//! * expressions with C-like precedence, typed memory access
+//!   `bits32[e]`, prefix primitives (`%divs(a,b)`, `%neg(x)`, ...), and
+//!   string literals (hoisted into anonymous data blocks).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     export sp1;
+//!     sp1(bits32 n) {
+//!         bits32 s, p;
+//!         if n == 1 { return (1, 1); }
+//!         else { s, p = sp1(n - 1); return (s + n, p * n); }
+//!     }
+//! "#;
+//! let module = cmm_parse::parse_module(src)?;
+//! assert!(module.proc("sp1").is_some());
+//! # Ok::<(), cmm_parse::ParseError>(())
+//! ```
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use error::ParseError;
+pub use parser::{parse_expr, parse_module, parse_proc};

@@ -1,0 +1,482 @@
+//! Threads and activation handles.
+
+use cmm_cfg::{Node, Program};
+use cmm_sem::{Frame, Machine, RtsTarget, Status, Value, Wrong};
+use cmm_ir::Ty;
+
+/// An activation handle: a cursor over the stack of abstract activations
+/// of a suspended thread.
+///
+/// Handles are obtained from [`Thread::first_activation`] and advanced
+/// with [`Thread::next_activation`]; they are invalidated by
+/// [`Thread::resume`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Activation {
+    /// Frames from the top of the stack (0 = the activation that called
+    /// into the run-time system).
+    index: usize,
+}
+
+impl Activation {
+    /// Position from the top of the stack.
+    pub fn depth(&self) -> usize {
+        self.index
+    }
+}
+
+/// What `Resume` should do, staged by the `Set*` calls.
+#[derive(Clone, Debug)]
+enum Pending {
+    /// `SetActivation` (+ optional `SetUnwindCont`): unwind so the
+    /// selected activation is topmost, then resume there.
+    Activation {
+        pops: usize,
+        target: Option<RtsTarget>,
+        params: Vec<Value>,
+    },
+    /// `SetCutToCont`: cut the stack to a continuation value.
+    CutTo { cont: Value, params: Vec<Value> },
+}
+
+/// A suspended or running C-- computation, manipulated through the
+/// run-time interface of Table 1.
+#[derive(Debug)]
+pub struct Thread<'p> {
+    machine: Machine<'p>,
+    pending: Option<Pending>,
+}
+
+impl<'p> Thread<'p> {
+    /// Creates a thread over a program.
+    pub fn new(prog: &'p Program) -> Thread<'p> {
+        Thread { machine: Machine::new(prog), pending: None }
+    }
+
+    /// Starts executing the named procedure (see [`Machine::start`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the procedure does not exist.
+    pub fn start(&mut self, proc: &str, args: Vec<Value>) -> Result<(), Wrong> {
+        self.machine.start(proc, args)
+    }
+
+    /// Runs generated code for up to `fuel` transitions.
+    pub fn run(&mut self, fuel: u64) -> Status {
+        self.machine.run(fuel)
+    }
+
+    /// The underlying abstract machine.
+    pub fn machine(&self) -> &Machine<'p> {
+        &self.machine
+    }
+
+    /// Mutable access to the abstract machine (the run-time system may
+    /// read and write memory and global registers while suspended).
+    pub fn machine_mut(&mut self) -> &mut Machine<'p> {
+        &mut self.machine
+    }
+
+    /// The values passed to `yield`, valid while suspended.
+    pub fn yield_args(&self) -> &[Value] {
+        self.machine.yield_args()
+    }
+
+    /// The first `yield` argument as an integer — conventionally the
+    /// request or exception code.
+    pub fn yield_code(&self) -> Option<u64> {
+        self.machine.yield_args().first().and_then(Value::bits)
+    }
+
+    // ----- Table 1 -----
+
+    /// `FirstActivation(t, &a)`: "sets `a` to the 'currently executing'
+    /// activation of thread `t`" — the activation that called into the
+    /// run-time system.
+    ///
+    /// Returns `None` if the thread is not suspended or has no
+    /// activations.
+    pub fn first_activation(&self) -> Option<Activation> {
+        if matches!(self.machine.status(), Status::Suspended) && !self.machine.stack().is_empty() {
+            Some(Activation { index: 0 })
+        } else {
+            None
+        }
+    }
+
+    /// `NextActivation(&a)`: "mutates `a` to point to the activation to
+    /// which `a` will return (normally `a`'s caller)". Returns `false`
+    /// at the bottom of the stack (the paper's dispatcher treats that as
+    /// an unhandled exception).
+    pub fn next_activation(&self, a: &mut Activation) -> bool {
+        if a.index + 1 < self.machine.stack().len() {
+            a.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The frame behind an activation handle (for inspection).
+    pub fn frame(&self, a: &Activation) -> Option<&Frame> {
+        self.machine.activation(a.index)
+    }
+
+    /// `GetDescriptor(a, n)`: "returns a pointer to the n'th descriptor
+    /// associated with activation `a`" — here, the address of the data
+    /// block named by the n'th `also descriptor` annotation at the call
+    /// site where the activation is suspended.
+    pub fn get_descriptor(&self, a: &Activation, n: usize) -> Option<u64> {
+        let frame = self.machine.activation(a.index)?;
+        let g = self.machine.program().proc(frame.proc.as_str())?;
+        let Node::Call { descriptors, .. } = g.node(frame.call_site) else {
+            return None;
+        };
+        let name = descriptors.get(n)?;
+        self.machine.program().image.symbol(name.as_str())
+    }
+
+    /// `SetActivation(t, a)`: "arranges for thread `t` to resume
+    /// execution with activation `a`". Activations above `a` will be
+    /// discarded when the thread resumes; each must be suspended at a
+    /// call site annotated `also aborts`.
+    ///
+    /// Unless a subsequent [`Thread::set_unwind_cont`] selects an unwind
+    /// continuation, the thread resumes at the call site's *normal
+    /// return* point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread is not suspended.
+    pub fn set_activation(&mut self, a: &Activation) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let frame = self
+            .machine
+            .activation(a.index)
+            .ok_or_else(|| Wrong::RtsViolation("stale activation handle".into()))?;
+        let params =
+            vec![Value::Bits(cmm_ir::Width::W32, 0); self.normal_return_params(frame)];
+        self.pending = Some(Pending::Activation { pops: a.index, target: None, params });
+        Ok(())
+    }
+
+    fn normal_return_params(&self, frame: &Frame) -> usize {
+        let Some(g) = self.machine.program().proc(frame.proc.as_str()) else { return 0 };
+        self.copyin_len(g, frame.bundle.normal_return())
+    }
+
+    fn copyin_len(&self, g: &cmm_cfg::Graph, node: cmm_cfg::NodeId) -> usize {
+        match g.node(node) {
+            Node::CopyIn { vars, .. } => vars.len(),
+            _ => 0,
+        }
+    }
+
+    /// `SetUnwindCont(t, n)`: "arranges for thread `t` to resume
+    /// execution by unwinding to the n'th continuation of the activation
+    /// with which it is set to resume" — the n'th name in the call
+    /// site's `also unwinds to` annotation, counting from zero.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no activation has been selected with
+    /// [`Thread::set_activation`], or the call site has fewer than `n+1`
+    /// unwind continuations.
+    pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), Wrong> {
+        let Some(Pending::Activation { pops, .. }) = self.pending.as_ref() else {
+            return Err(Wrong::RtsViolation("SetUnwindCont before SetActivation".into()));
+        };
+        let pops = *pops;
+        let frame = self
+            .machine
+            .activation(pops)
+            .ok_or_else(|| Wrong::RtsViolation("stale activation handle".into()))?;
+        let Some(&node) = frame.bundle.unwinds.get(n) else {
+            return Err(Wrong::RtsViolation(format!(
+                "call site has {} unwind continuations; {n} requested",
+                frame.bundle.unwinds.len()
+            )));
+        };
+        let g = self
+            .machine
+            .program()
+            .proc(frame.proc.as_str())
+            .ok_or_else(|| Wrong::NoSuchProc(frame.proc.clone()))?;
+        let count = self.copyin_len(g, node);
+        let Some(Pending::Activation { target, params, .. }) = self.pending.as_mut() else {
+            unreachable!("pending checked above");
+        };
+        *target = Some(RtsTarget::Unwind(n));
+        *params = vec![Value::Bits(cmm_ir::Width::W32, 0); count];
+        Ok(())
+    }
+
+    /// `SetCutToCont(t, k)`: "arranges for thread `t` to resume
+    /// execution by cutting the stack to continuation `k`". `k` is a
+    /// continuation value (typically fetched from memory or passed to
+    /// `yield`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread is not suspended or `k` is not a live
+    /// continuation value.
+    pub fn set_cut_to_cont(&mut self, k: Value) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let (target, _) = self
+            .machine
+            .decode_cont(&k)
+            .ok_or_else(|| Wrong::RtsViolation("SetCutToCont: not a continuation".into()))?;
+        let count = self
+            .machine
+            .cont_param_count(&target.proc, target.node)
+            .unwrap_or(0);
+        self.pending = Some(Pending::CutTo {
+            cont: k,
+            params: vec![Value::Bits(cmm_ir::Width::W32, 0); count],
+        });
+        Ok(())
+    }
+
+    /// `FindContParam(t, n)`: "returns a pointer to the location in
+    /// which the n'th parameter of the currently-set continuation will
+    /// be returned to thread `t`". Write the parameter value through the
+    /// returned reference before calling [`Thread::resume`].
+    pub fn find_cont_param(&mut self, n: usize) -> Option<&mut Value> {
+        match self.pending.as_mut()? {
+            Pending::Activation { params, .. } | Pending::CutTo { params, .. } => {
+                params.get_mut(n)
+            }
+        }
+    }
+
+    /// `Resume(t)`: applies the staged resumption and returns control to
+    /// generated code (the thread's status becomes `Running`; call
+    /// [`Thread::run`] to continue executing).
+    ///
+    /// # Errors
+    ///
+    /// Fails if nothing was staged, if an activation being discarded is
+    /// not abortable, or if the continuation is dead or unannotated. On
+    /// error the suspension is left intact where possible.
+    pub fn resume(&mut self) -> Result<(), Wrong> {
+        let pending = self
+            .pending
+            .take()
+            .ok_or_else(|| Wrong::RtsViolation("Resume with no resumption set".into()))?;
+        match pending {
+            Pending::Activation { pops, target, params } => {
+                for _ in 0..pops {
+                    self.machine.rts_pop_frame()?;
+                }
+                match target {
+                    Some(t) => self.machine.rts_resume(t, params),
+                    None => {
+                        // Resume at the normal return point: the last
+                        // entry of kp_r.
+                        let top = self
+                            .machine
+                            .activation(0)
+                            .ok_or_else(|| Wrong::RtsViolation("empty stack".into()))?;
+                        let normal = top.bundle.returns.len() - 1;
+                        self.machine.rts_resume(RtsTarget::Return(normal), params)
+                    }
+                }
+            }
+            Pending::CutTo { cont, params } => self.machine.rts_cut_to(&cont, params),
+        }
+    }
+
+    fn require_suspended(&self) -> Result<(), Wrong> {
+        if matches!(self.machine.status(), Status::Suspended) {
+            Ok(())
+        } else {
+            Err(Wrong::RtsViolation("thread is not suspended".into()))
+        }
+    }
+
+    // ----- conveniences for front-end run-time systems -----
+
+    /// Reads a word of the native pointer type from memory.
+    pub fn read_ptr(&self, addr: u64) -> u64 {
+        self.machine.load(Ty::NATIVE_PTR, addr).bits().unwrap_or(0)
+    }
+
+    /// Reads a 32-bit word from memory.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.machine.load(Ty::B32, addr).bits().unwrap_or(0) as u32
+    }
+
+    /// Writes a 32-bit word to memory.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.machine.store(Ty::B32, addr, u64::from(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn prog(src: &str) -> Program {
+        build_program(&parse_module(src).unwrap()).unwrap()
+    }
+
+    const NEST: &str = r#"
+        f() {
+            bits32 r;
+            r = mid() also unwinds to k1, k2 also descriptor d_f;
+            return (0);
+            continuation k1(r):
+            return (r + 1);
+            continuation k2(r):
+            return (r + 2);
+        }
+        mid() {
+            bits32 r;
+            r = g() also aborts also descriptor d_mid;
+            return (r);
+        }
+        g() { yield(9) also aborts; return (0); }
+        data d_f   { bits32 111; }
+        data d_mid { bits32 222; }
+    "#;
+
+    #[test]
+    fn walk_get_descriptors_and_unwind() {
+        let p = prog(NEST);
+        let mut t = Thread::new(&p);
+        t.start("f", vec![]).unwrap();
+        assert_eq!(t.run(100_000), Status::Suspended);
+        assert_eq!(t.yield_code(), Some(9));
+
+        // Walk the stack: the "currently executing" activation is g
+        // (suspended at its call to yield), then mid, then f.
+        let mut a = t.first_activation().unwrap();
+        assert_eq!(t.frame(&a).unwrap().proc.as_str(), "g");
+        assert_eq!(t.get_descriptor(&a, 0), None);
+
+        assert!(t.next_activation(&mut a));
+        assert_eq!(t.frame(&a).unwrap().proc.as_str(), "mid");
+        let d_mid = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.read_u32(d_mid), 222);
+
+        assert!(t.next_activation(&mut a));
+        assert_eq!(t.frame(&a).unwrap().proc.as_str(), "f");
+        let d_f = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.read_u32(d_f), 111);
+        assert!(!t.next_activation(&mut a), "f is the bottom activation");
+
+        // Unwind to f's second continuation with parameter 40.
+        t.set_activation(&a).unwrap();
+        t.set_unwind_cont(1).unwrap();
+        *t.find_cont_param(0).unwrap() = Value::b32(40);
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), Status::Terminated(vec![Value::b32(42)]));
+    }
+
+    #[test]
+    fn set_activation_alone_resumes_normal_return() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g(); return (r); }
+            g() { bits32 r; r = h(); return (r + 1); }
+            h() { yield(1) also aborts; return (5); }
+            "#,
+        );
+        let mut t = Thread::new(&p);
+        t.start("f", vec![]).unwrap();
+        t.run(100_000);
+        // Discard h's activation (its yield call aborts) and resume g at
+        // the normal return point of the call to h, supplying the
+        // "result" 10.
+        let mut a = t.first_activation().unwrap();
+        assert_eq!(t.frame(&a).unwrap().proc.as_str(), "h");
+        assert!(t.next_activation(&mut a));
+        assert_eq!(t.frame(&a).unwrap().proc.as_str(), "g");
+        t.set_activation(&a).unwrap();
+        *t.find_cont_param(0).unwrap() = Value::b32(10);
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), Status::Terminated(vec![Value::b32(11)]));
+    }
+
+    #[test]
+    fn set_cut_to_cont_cuts_the_stack() {
+        // The continuation is passed down as a yield argument.
+        let p = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = mid(k) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r * 2);
+            }
+            mid(bits32 kk) {
+                bits32 r;
+                r = g(kk) also aborts;
+                return (r);
+            }
+            g(bits32 kk) { yield(1, kk) also aborts; return (0); }
+            "#,
+        );
+        let mut t = Thread::new(&p);
+        t.start("f", vec![]).unwrap();
+        assert_eq!(t.run(100_000), Status::Suspended);
+        let k = t.yield_args()[1].clone();
+        t.set_cut_to_cont(k).unwrap();
+        *t.find_cont_param(0).unwrap() = Value::b32(21);
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), Status::Terminated(vec![Value::b32(42)]));
+    }
+
+    #[test]
+    fn resume_without_setup_fails() {
+        let p = prog("f() { yield(1); return; }");
+        let mut t = Thread::new(&p);
+        t.start("f", vec![]).unwrap();
+        t.run(100_000);
+        assert!(t.resume().is_err());
+    }
+
+    #[test]
+    fn unwind_cont_out_of_range_fails() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g() also unwinds to k; return (0);
+                  continuation k(r): return (r); }
+            g() { yield(1) also aborts; return (0); }
+            "#,
+        );
+        let mut t = Thread::new(&p);
+        t.start("f", vec![]).unwrap();
+        t.run(100_000);
+        let mut a = t.first_activation().unwrap();
+        t.next_activation(&mut a);
+        t.set_activation(&a).unwrap();
+        assert!(t.set_unwind_cont(5).is_err());
+        assert!(t.set_unwind_cont(0).is_ok());
+    }
+
+    #[test]
+    fn first_activation_requires_suspension() {
+        let p = prog("f() { return; }");
+        let t = Thread::new(&p);
+        assert!(t.first_activation().is_none());
+    }
+
+    #[test]
+    fn descriptors_missing_returns_none() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g(); return (r); }
+            g() { yield(1); return (0); }
+            "#,
+        );
+        let mut t = Thread::new(&p);
+        t.start("f", vec![]).unwrap();
+        t.run(100_000);
+        let a = t.first_activation().unwrap();
+        assert_eq!(t.get_descriptor(&a, 0), None);
+    }
+}

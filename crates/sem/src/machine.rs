@@ -1,0 +1,1189 @@
+//! The abstract machine: every transition rule of §5.2.
+
+use crate::state::{Env, Frame, NodeRef};
+use crate::value::Value;
+use crate::wrong::Wrong;
+use cmm_cfg::{Node, NodeId, Program};
+use cmm_ir::expr::sign_extend;
+use cmm_ir::{BinOp, Expr, FWidth, Lit, Lvalue, Name, Ty, Width};
+use std::collections::{BTreeSet, HashMap};
+
+/// Where continuation values live when flattened to bits (stored to
+/// memory or mixed into arithmetic). §5.4: "one possible implementation
+/// is to allocate two words in the current activation record, and to
+/// represent `Cont (p, u)` as a pointer to this pair"; we model the
+/// pointer with a synthetic address range and a side table.
+const CONT_BASE: u64 = 0x9000_0000;
+
+/// The execution status of a [`Machine`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum Status {
+    /// Not started yet.
+    Idle,
+    /// Transitions remain possible.
+    Running,
+    /// Control is at a `Yield` node: the front-end run-time system has
+    /// the machine (§3.3). Use the `rts_*` methods, then the machine is
+    /// `Running` again.
+    Suspended,
+    /// Terminated normally (`Exit 0 0` with an empty stack); holds the
+    /// returned values.
+    Terminated(Vec<Value>),
+    /// The program went wrong.
+    Wrong(Wrong),
+    /// `run` exhausted its fuel; call `run` again to continue.
+    OutOfFuel,
+}
+
+/// Which continuation of the topmost frame's bundle the run-time system
+/// resumes at (the §5.2 `Yield` transitions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RtsTarget {
+    /// `kp_r[i]`: a return continuation (callee-saves restored). The
+    /// normal return point is the *last* index.
+    Return(usize),
+    /// `kp_u[i]`: an `also unwinds to` continuation (callee-saves
+    /// restored); the index is the `n` of `SetUnwindCont(t, n)`.
+    Unwind(usize),
+    /// `kp_c[i]`: an `also cuts to` continuation (callee-saves **not**
+    /// restored).
+    Cut(usize),
+}
+
+/// The C-- abstract machine: one thread of §5.2, together with its
+/// memory, global registers, and stack.
+#[derive(Clone, Debug)]
+pub struct Machine<'p> {
+    prog: &'p Program,
+    control: NodeRef,
+    rho: Env,
+    saves: BTreeSet<Name>,
+    uid: u64,
+    mem: HashMap<u64, u8>,
+    area: Vec<Value>,
+    stack: Vec<Frame>,
+    globals: HashMap<Name, Value>,
+    next_uid: u64,
+    cont_encodings: Vec<(NodeRef, u64)>,
+    status: Status,
+    /// Number of transitions taken so far (for cost measurements).
+    pub steps: u64,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine over a program, with memory initialized from the
+    /// program's data image and global registers from their declarations.
+    pub fn new(prog: &'p Program) -> Machine<'p> {
+        let mem = prog.image.bytes.iter().map(|(&a, &b)| (a, b)).collect();
+        let globals = prog
+            .globals
+            .iter()
+            .map(|g| {
+                let w = match g.ty {
+                    Ty::Bits(w) => w,
+                    Ty::Float(FWidth::F32) => Width::W32,
+                    Ty::Float(FWidth::F64) => Width::W64,
+                };
+                let v = g.init.map(|l| l.bits).unwrap_or(0);
+                (g.name.clone(), Value::Bits(w, v))
+            })
+            .collect();
+        Machine {
+            prog,
+            control: NodeRef::new("", NodeId(0)),
+            rho: Env::new(),
+            saves: BTreeSet::new(),
+            uid: 0,
+            mem,
+            area: Vec::new(),
+            stack: Vec::new(),
+            globals,
+            next_uid: 1,
+            cont_encodings: Vec::new(),
+            status: Status::Idle,
+            steps: 0,
+        }
+    }
+
+    /// The program this machine executes.
+    pub fn program(&self) -> &'p Program {
+        self.prog
+    }
+
+    /// The current status.
+    pub fn status(&self) -> &Status {
+        &self.status
+    }
+
+    /// Begins execution of the named procedure with the given arguments.
+    ///
+    /// Memory and global registers persist across `start` calls on the
+    /// same machine, so a sequence of entry points shares state.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the procedure does not exist or the machine is suspended
+    /// in the run-time system.
+    pub fn start(&mut self, proc: &str, args: Vec<Value>) -> Result<(), Wrong> {
+        if matches!(self.status, Status::Suspended) {
+            return Err(Wrong::NotRunnable);
+        }
+        let g = self.prog.proc(proc).ok_or_else(|| Wrong::NoSuchProc(Name::from(proc)))?;
+        self.control = NodeRef { proc: g.name.clone(), node: g.entry };
+        self.rho = Env::new();
+        self.saves = BTreeSet::new();
+        self.uid = self.fresh_uid();
+        self.area = args;
+        self.stack.clear();
+        self.status = Status::Running;
+        Ok(())
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    /// Runs up to `fuel` transitions; returns the resulting status.
+    pub fn run(&mut self, fuel: u64) -> Status {
+        if matches!(self.status, Status::OutOfFuel) {
+            self.status = Status::Running;
+        }
+        for _ in 0..fuel {
+            if !matches!(self.status, Status::Running) {
+                return self.status.clone();
+            }
+            self.step();
+        }
+        if matches!(self.status, Status::Running) {
+            self.status = Status::OutOfFuel;
+        }
+        self.status.clone()
+    }
+
+    /// Takes a single transition. No-op unless the status is `Running`.
+    pub fn step(&mut self) {
+        if !matches!(self.status, Status::Running) {
+            return;
+        }
+        self.steps += 1;
+        if let Err(w) = self.transition() {
+            self.status = Status::Wrong(w);
+        }
+    }
+
+    fn here(&self) -> NodeRef {
+        self.control.clone()
+    }
+
+    fn transition(&mut self) -> Result<(), Wrong> {
+        let g = self
+            .prog
+            .proc(self.control.proc.as_str())
+            .ok_or_else(|| Wrong::NoSuchProc(self.control.proc.clone()))?;
+        // `g` borrows from `prog` (lifetime 'p), not from `self`, so the
+        // node can be inspected while `self` is mutated.
+        let node: &'p Node = g.node(self.control.node);
+        match node {
+            // Entry kk p: ρ := addConts(∅, kk, uid); s := ∅.
+            Node::Entry { conts, next } => {
+                let mut rho = Env::new();
+                for (name, id) in conts {
+                    rho.insert(
+                        name.clone(),
+                        Value::Cont(NodeRef { proc: self.control.proc.clone(), node: *id }, self.uid),
+                    );
+                }
+                self.rho = rho;
+                self.saves.clear();
+                self.control.node = *next;
+                Ok(())
+            }
+            // Exit j n: pop an activation and return to kp_r[j].
+            Node::Exit { index, alternates } => {
+                let Some(frame) = self.stack.pop() else {
+                    if *index == 0 && *alternates == 0 {
+                        self.status = Status::Terminated(self.area.clone());
+                        return Ok(());
+                    }
+                    return Err(Wrong::AbnormalTopLevelExit(self.here()));
+                };
+                if frame.bundle.alternates() != *alternates || *index > *alternates {
+                    let actual = frame.bundle.alternates();
+                    self.stack.push(frame);
+                    return Err(Wrong::ReturnArityMismatch {
+                        at: self.here(),
+                        claimed: *alternates,
+                        actual,
+                    });
+                }
+                let target = frame.bundle.returns[*index as usize];
+                self.control = NodeRef { proc: frame.proc, node: target };
+                self.rho = frame.rho;
+                self.saves = frame.saves;
+                self.uid = frame.uid;
+                Ok(())
+            }
+            // CopyIn pv p: ρ[pv ⟵ A]; A := nil.
+            Node::CopyIn { vars, next } => {
+                if self.area.len() < vars.len() {
+                    return Err(Wrong::TooFewValues(self.here()));
+                }
+                let values = std::mem::take(&mut self.area);
+                for (v, val) in vars.iter().zip(values) {
+                    self.rho.insert(v.clone(), val);
+                }
+                self.control.node = *next;
+                Ok(())
+            }
+            // CopyOut pe p: A := E[[pe]]ρM.
+            Node::CopyOut { exprs, next } => {
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    vals.push(self.eval(e)?);
+                }
+                self.area = vals;
+                self.control.node = *next;
+                Ok(())
+            }
+            // CalleeSaves s' p: s := s'.
+            Node::CalleeSaves { vars, next } => {
+                self.saves = vars.clone();
+                self.control.node = *next;
+                Ok(())
+            }
+            // Assign l e p.
+            Node::Assign { lhs, rhs, next } => {
+                let v = self.eval(rhs)?;
+                match lhs {
+                    Lvalue::Var(n) => self.write_var(n, v)?,
+                    Lvalue::Mem(ty, a) => {
+                        let addr = self.eval_bits(a)?.1;
+                        let bits = self.flatten(v)?;
+                        self.store(*ty, addr, bits);
+                    }
+                }
+                self.control.node = *next;
+                Ok(())
+            }
+            // Branch π pt pf.
+            Node::Branch { cond, t, f } => {
+                let (_, v) = self.eval_bits(cond)?;
+                self.control.node = if v != 0 { *t } else { *f };
+                Ok(())
+            }
+            // Call e_f Γ: push an activation; fresh uid.
+            Node::Call { callee, bundle, .. } => {
+                let target = self.resolve_code(callee)?;
+                let frame = Frame {
+                    proc: self.control.proc.clone(),
+                    call_site: self.control.node,
+                    bundle: bundle.clone(),
+                    rho: std::mem::take(&mut self.rho),
+                    saves: std::mem::take(&mut self.saves),
+                    uid: self.uid,
+                };
+                self.stack.push(frame);
+                self.enter(&target)
+            }
+            // Jump e_f: the continuation bundle is already on the stack.
+            Node::Jump { callee } => {
+                let target = self.resolve_code(callee)?;
+                self.rho.clear();
+                self.saves.clear();
+                self.enter(&target)
+            }
+            // CutTo e.
+            Node::CutTo { cont, cuts } => {
+                let v = self.eval(cont)?;
+                let (target, tuid) = self
+                    .decode_cont(&v)
+                    .ok_or_else(|| Wrong::DeadContinuation(self.here()))?;
+                if tuid == self.uid && target.proc == self.control.proc {
+                    // Cut within the current activation: requires an
+                    // `also cuts to` annotation on the `cut to` itself.
+                    if !cuts.contains(&target.node) {
+                        return Err(Wrong::CutNotAnnotated(self.here()));
+                    }
+                    for s in std::mem::take(&mut self.saves) {
+                        self.rho.remove(&s);
+                    }
+                    self.control = target;
+                    return Ok(());
+                }
+                self.cut_stack(target, tuid)
+            }
+            // Yield: execution passes to the front-end run-time system.
+            Node::Yield => {
+                self.status = Status::Suspended;
+                Ok(())
+            }
+        }
+    }
+
+    /// The stack-truncating loop shared by the `CutTo` node and the
+    /// run-time interface's `SetCutToCont` (§5.2's CutTo rules).
+    fn cut_stack(&mut self, target: NodeRef, tuid: u64) -> Result<(), Wrong> {
+        loop {
+            let Some(top) = self.stack.last() else {
+                return Err(Wrong::DeadContinuation(self.here()));
+            };
+            if top.uid == tuid {
+                if top.proc != target.proc || !top.bundle.cuts.contains(&target.node) {
+                    return Err(Wrong::CutNotAnnotated(self.here()));
+                }
+                let mut frame = self.stack.pop().expect("frame checked above");
+                // "cut to does not restore values stored in callee-saves
+                // registers; we model this behaviour by removing them
+                // from the saved environment ρ'."
+                for s in &frame.saves {
+                    frame.rho.remove(s);
+                }
+                self.control = target;
+                self.rho = frame.rho;
+                self.saves = BTreeSet::new();
+                self.uid = frame.uid;
+                return Ok(());
+            }
+            if !top.bundle.aborts {
+                return Err(Wrong::NotAbortable(top.site()));
+            }
+            self.stack.pop();
+        }
+    }
+
+    fn enter(&mut self, proc: &Name) -> Result<(), Wrong> {
+        let g = self.prog.proc(proc.as_str()).ok_or_else(|| Wrong::NoSuchProc(proc.clone()))?;
+        self.control = NodeRef { proc: g.name.clone(), node: g.entry };
+        self.uid = self.fresh_uid();
+        Ok(())
+    }
+
+    fn resolve_code(&mut self, callee: &Expr) -> Result<Name, Wrong> {
+        match self.eval(callee)? {
+            Value::Code(n) => Ok(n),
+            Value::Bits(_, addr) => self
+                .prog
+                .proc_at(addr)
+                .cloned()
+                .ok_or_else(|| Wrong::NotCode(self.here())),
+            Value::Cont(..) => Err(Wrong::NotCode(self.here())),
+        }
+    }
+
+    fn write_var(&mut self, n: &Name, v: Value) -> Result<(), Wrong> {
+        let g = self.prog.proc(self.control.proc.as_str()).expect("current proc exists");
+        if g.var_ty(n).is_some() {
+            self.rho.insert(n.clone(), v);
+            Ok(())
+        } else if self.globals.contains_key(n) {
+            self.globals.insert(n.clone(), v);
+            Ok(())
+        } else {
+            Err(Wrong::UnboundName(n.clone()))
+        }
+    }
+
+    // ----- expression evaluation (the function E of §5.1) -----
+
+    /// Evaluates a pure expression in the current environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Wrong`] for unbound names and failing fast primitives
+    /// (whose behaviour "is unspecified" — going wrong is a permitted
+    /// refinement).
+    pub fn eval(&mut self, e: &Expr) -> Result<Value, Wrong> {
+        match e {
+            Expr::Lit(l) => Ok(lit_value(*l)),
+            Expr::Name(n) => self.lookup(n),
+            Expr::Mem(ty, a) => {
+                let addr = self.eval_bits(a)?.1;
+                Ok(self.load(*ty, addr))
+            }
+            Expr::Unary(op, a) => {
+                let (w, bits) = self.eval_bits(a)?;
+                let (r, rw) = op.eval(w, bits);
+                Ok(Value::Bits(rw, r))
+            }
+            Expr::Binary(op, a, b) => {
+                let (wa, va) = self.eval_bits(a)?;
+                let (wb, vb) = self.eval_bits(b)?;
+                let shiftish = matches!(op, BinOp::Shl | BinOp::ShrU | BinOp::ShrS);
+                if wa != wb && !shiftish {
+                    return Err(Wrong::WidthMismatch(self.here()));
+                }
+                let (r, rw) =
+                    op.eval(wa, va, vb).map_err(|e| Wrong::OpFailed(self.here(), e))?;
+                Ok(Value::Bits(rw, r))
+            }
+        }
+    }
+
+    fn eval_bits(&mut self, e: &Expr) -> Result<(Width, u64), Wrong> {
+        let v = self.eval(e)?;
+        match v {
+            Value::Bits(w, b) => Ok((w, b)),
+            other => {
+                let bits = self.flatten(other)?;
+                Ok((Width::W32, bits))
+            }
+        }
+    }
+
+    fn lookup(&mut self, n: &Name) -> Result<Value, Wrong> {
+        if let Some(v) = self.rho.get(n) {
+            return Ok(v.clone());
+        }
+        if let Some(v) = self.globals.get(n) {
+            return Ok(v.clone());
+        }
+        if self.prog.procs.contains_key(n) {
+            return Ok(Value::Code(n.clone()));
+        }
+        if let Some(addr) = self.prog.image.symbol(n.as_str()) {
+            // A data-block name denotes the immutable address of the
+            // block (§3.1). (Procedure names were handled above.)
+            return Ok(Value::Bits(Width::W32, addr));
+        }
+        Err(Wrong::UnboundName(n.clone()))
+    }
+
+    /// Converts a value to raw bits: `Code` becomes its synthetic code
+    /// address; `Cont` is interned in the side table (§5.4's
+    /// pointer-to-pair representation).
+    fn flatten(&mut self, v: Value) -> Result<u64, Wrong> {
+        match v {
+            Value::Bits(_, b) => Ok(b),
+            Value::Code(n) => self
+                .prog
+                .proc_addr(n.as_str())
+                .ok_or(Wrong::NoSuchProc(n)),
+            Value::Cont(p, u) => Ok(self.encode_cont(p, u)),
+        }
+    }
+
+    fn encode_cont(&mut self, p: NodeRef, u: u64) -> u64 {
+        if let Some(i) = self.cont_encodings.iter().position(|(q, v)| *q == p && *v == u) {
+            return CONT_BASE + (i as u64) * 8;
+        }
+        self.cont_encodings.push((p, u));
+        CONT_BASE + ((self.cont_encodings.len() - 1) as u64) * 8
+    }
+
+    /// Recovers a continuation from a `Cont` value or its flattened
+    /// encoding.
+    pub fn decode_cont(&self, v: &Value) -> Option<(NodeRef, u64)> {
+        match v {
+            Value::Cont(p, u) => Some((p.clone(), *u)),
+            Value::Bits(_, b) if *b >= CONT_BASE && (*b - CONT_BASE) % 8 == 0 => {
+                let i = ((*b - CONT_BASE) / 8) as usize;
+                self.cont_encodings.get(i).cloned()
+            }
+            _ => None,
+        }
+    }
+
+    // ----- memory -----
+
+    /// Loads a typed value from memory (native little-endian byte order;
+    /// unmapped bytes read as zero).
+    pub fn load(&self, ty: Ty, addr: u64) -> Value {
+        let w = width_of(ty);
+        let mut v = 0u64;
+        for i in 0..ty.bytes() {
+            v |= u64::from(*self.mem.get(&(addr + i)).unwrap_or(&0)) << (8 * i);
+        }
+        Value::Bits(w, v)
+    }
+
+    /// Stores bits to memory with the width of `ty`.
+    pub fn store(&mut self, ty: Ty, addr: u64, bits: u64) {
+        for i in 0..ty.bytes() {
+            self.mem.insert(addr + i, ((bits >> (8 * i)) & 0xff) as u8);
+        }
+    }
+
+    /// Reads a global register.
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// Writes a global register.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no such register is declared.
+    pub fn set_global(&mut self, name: &str, v: Value) -> Result<(), Wrong> {
+        match self.globals.get_mut(name) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(Wrong::UnboundName(Name::from(name))),
+        }
+    }
+
+    // ----- the run-time system's window on a suspended thread -----
+
+    /// The values passed to `yield` (available while suspended).
+    pub fn yield_args(&self) -> &[Value] {
+        &self.area
+    }
+
+    /// The activation stack, bottom first. While suspended in `yield`,
+    /// the *last* frame is the activation that called `yield` (the
+    /// "currently executing" activation of `FirstActivation`).
+    pub fn stack(&self) -> &[Frame] {
+        &self.stack
+    }
+
+    /// The activation `i` frames down from the top (0 = topmost).
+    pub fn activation(&self, i: usize) -> Option<&Frame> {
+        let len = self.stack.len();
+        if i < len {
+            Some(&self.stack[len - 1 - i])
+        } else {
+            None
+        }
+    }
+
+    /// Discards the topmost activation. Permitted only "if the suspended
+    /// procedure has an `also aborts` annotation" (§5.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the machine is not suspended, the stack is empty, or the
+    /// topmost frame's call site lacks `also aborts`.
+    pub fn rts_pop_frame(&mut self) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let Some(top) = self.stack.last() else {
+            return Err(Wrong::RtsViolation("no activation to discard".into()));
+        };
+        if !top.bundle.aborts {
+            return Err(Wrong::NotAbortable(top.site()));
+        }
+        self.stack.pop();
+        Ok(())
+    }
+
+    /// Resumes the suspended thread at a continuation of the topmost
+    /// frame's bundle, passing `args` as the continuation's parameters.
+    ///
+    /// `Return` and `Unwind` targets restore callee-saves registers (the
+    /// environment is restored in full); `Cut` targets do not (the saved
+    /// variables are removed, per the `also cuts to` Yield rule).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the machine is not suspended, the index is out of range,
+    /// or `args` does not match the parameter count of the target
+    /// continuation.
+    pub fn rts_resume(&mut self, target: RtsTarget, args: Vec<Value>) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let Some(top) = self.stack.last() else {
+            return Err(Wrong::RtsViolation("no activation to resume".into()));
+        };
+        let (node, restore) = match target {
+            RtsTarget::Return(i) => (top.bundle.returns.get(i).copied(), true),
+            RtsTarget::Unwind(i) => (top.bundle.unwinds.get(i).copied(), true),
+            RtsTarget::Cut(i) => (top.bundle.cuts.get(i).copied(), false),
+        };
+        let Some(node) = node else {
+            return Err(Wrong::RtsViolation(format!("{target:?} not present in the bundle")));
+        };
+        // "There must be exactly as many parameters as P' expects."
+        let expected = self.cont_param_count(&top.proc.clone(), node);
+        if let Some(expected) = expected {
+            if args.len() != expected {
+                return Err(Wrong::RtsViolation(format!(
+                    "continuation expects {expected} parameters, got {}",
+                    args.len()
+                )));
+            }
+        }
+        let mut frame = self.stack.pop().expect("frame checked above");
+        if !restore {
+            for s in &frame.saves {
+                frame.rho.remove(s);
+            }
+            frame.saves.clear();
+        }
+        self.control = NodeRef { proc: frame.proc, node };
+        self.rho = frame.rho;
+        self.saves = frame.saves;
+        self.uid = frame.uid;
+        self.area = args;
+        self.status = Status::Running;
+        Ok(())
+    }
+
+    /// Cuts the stack to a continuation value, duplicating the effect of
+    /// the `cut to` primitive from inside the run-time system
+    /// (`SetCutToCont`, §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the machine is not suspended, the value is not a live
+    /// continuation, an intervening activation lacks `also aborts`, or
+    /// the target call site lacks the `also cuts to` annotation.
+    pub fn rts_cut_to(&mut self, cont: &Value, args: Vec<Value>) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let (target, tuid) =
+            self.decode_cont(cont).ok_or_else(|| Wrong::DeadContinuation(self.here()))?;
+        let expected = self.cont_param_count(&target.proc, target.node);
+        if let Some(expected) = expected {
+            if args.len() != expected {
+                return Err(Wrong::RtsViolation(format!(
+                    "continuation expects {expected} parameters, got {}",
+                    args.len()
+                )));
+            }
+        }
+        // Try the cut on a scratch copy of the control state so a failed
+        // cut leaves the suspension intact.
+        let saved_stack = self.stack.clone();
+        match self.cut_stack(target, tuid) {
+            Ok(()) => {
+                self.area = args;
+                self.status = Status::Running;
+                Ok(())
+            }
+            Err(w) => {
+                self.stack = saved_stack;
+                Err(w)
+            }
+        }
+    }
+
+    /// Number of parameters the continuation at `node` expects, if it is
+    /// a `CopyIn` node.
+    pub fn cont_param_count(&self, proc: &Name, node: NodeId) -> Option<usize> {
+        let g = self.prog.proc(proc.as_str())?;
+        match g.node(node) {
+            Node::CopyIn { vars, .. } => Some(vars.len()),
+            _ => None,
+        }
+    }
+
+    fn require_suspended(&self) -> Result<(), Wrong> {
+        if matches!(self.status, Status::Suspended) {
+            Ok(())
+        } else {
+            Err(Wrong::RtsViolation("machine is not suspended in yield".into()))
+        }
+    }
+
+    /// Reads a NUL-terminated string from memory (for diagnostics and
+    /// front-end run-time systems).
+    pub fn read_cstr(&self, addr: u64) -> String {
+        let mut out = String::new();
+        let mut a = addr;
+        loop {
+            let b = *self.mem.get(&a).unwrap_or(&0);
+            if b == 0 || out.len() > 4096 {
+                return out;
+            }
+            out.push(b as char);
+            a += 1;
+        }
+    }
+
+    /// Interprets a `Bits` value as a signed integer of its width.
+    pub fn as_signed(v: &Value) -> Option<i64> {
+        match v {
+            Value::Bits(w, b) => Some(sign_extend(*b, *w)),
+            _ => None,
+        }
+    }
+}
+
+fn width_of(ty: Ty) -> Width {
+    match ty {
+        Ty::Bits(w) => w,
+        Ty::Float(FWidth::F32) => Width::W32,
+        Ty::Float(FWidth::F64) => Width::W64,
+    }
+}
+
+fn lit_value(l: Lit) -> Value {
+    Value::Bits(width_of(l.ty), l.bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn prog(src: &str) -> Program {
+        build_program(&parse_module(src).unwrap()).unwrap()
+    }
+
+    fn run_proc(p: &Program, name: &str, args: Vec<Value>) -> Status {
+        let mut m = Machine::new(p);
+        m.start(name, args).unwrap();
+        m.run(10_000_000)
+    }
+
+    fn expect_values(s: Status) -> Vec<Value> {
+        match s {
+            Status::Terminated(vs) => vs,
+            other => panic!("program did not terminate normally: {other:?}"),
+        }
+    }
+
+    const FIGURE1: &str = r#"
+        export sp1; export sp2; export sp3;
+        sp1(bits32 n) {
+            bits32 s, p;
+            if n == 1 { return (1, 1); }
+            else { s, p = sp1(n - 1); return (s + n, p * n); }
+        }
+        sp2(bits32 n) { jump sp2_help(n, 1, 1); }
+        sp2_help(bits32 n, bits32 s, bits32 p) {
+            if n == 1 { return (s, p); }
+            else { jump sp2_help(n - 1, s + n, p * n); }
+        }
+        sp3(bits32 n) {
+            bits32 s, p;
+            s = 1; p = 1;
+          loop:
+            if n == 1 { return (s, p); }
+            else { s = s + n; p = p * n; n = n - 1; goto loop; }
+        }
+    "#;
+
+    #[test]
+    fn figure1_all_three_agree() {
+        let p = prog(FIGURE1);
+        for proc in ["sp1", "sp2", "sp3"] {
+            let vals = expect_values(run_proc(&p, proc, vec![Value::b32(10)]));
+            assert_eq!(vals, vec![Value::b32(55), Value::b32(3628800)], "procedure {proc}");
+        }
+    }
+
+    #[test]
+    fn tail_calls_do_not_grow_the_stack() {
+        let p = prog(FIGURE1);
+        let mut m = Machine::new(&p);
+        m.start("sp2", vec![Value::b32(100_000)]).unwrap();
+        let mut max_depth = 0;
+        while matches!(m.status(), Status::Running) {
+            m.step();
+            max_depth = max_depth.max(m.stack().len());
+        }
+        assert!(matches!(m.status(), Status::Terminated(_)));
+        assert_eq!(max_depth, 0, "jump must deallocate the caller's activation");
+    }
+
+    #[test]
+    fn recursion_grows_the_stack() {
+        let p = prog(FIGURE1);
+        let mut m = Machine::new(&p);
+        m.start("sp1", vec![Value::b32(50)]).unwrap();
+        let mut max_depth = 0;
+        while matches!(m.status(), Status::Running) {
+            m.step();
+            max_depth = max_depth.max(m.stack().len());
+        }
+        assert_eq!(max_depth, 49);
+    }
+
+    #[test]
+    fn memory_loads_and_stores() {
+        let p = prog(
+            r#"
+            data cell { bits32 7; }
+            f() {
+                bits32 x;
+                x = bits32[cell];
+                bits32[cell] = x + 1;
+                return (bits32[cell]);
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(8)]);
+    }
+
+    #[test]
+    fn global_registers_persist_across_calls() {
+        let p = prog(
+            r#"
+            register bits32 counter = 10;
+            bump() { counter = counter + 1; return (counter); }
+            "#,
+        );
+        let mut m = Machine::new(&p);
+        m.start("bump", vec![]).unwrap();
+        assert_eq!(expect_values(m.run(1000)), vec![Value::b32(11)]);
+        m.start("bump", vec![]).unwrap();
+        assert_eq!(expect_values(m.run(1000)), vec![Value::b32(12)]);
+    }
+
+    #[test]
+    fn cut_to_transfers_across_activations() {
+        // f passes continuation k to g; g cuts to it.
+        let p = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = g(k) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r);
+            }
+            g(bits32 kk) {
+                cut to kk(42);
+                return (0);
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(42)]);
+    }
+
+    #[test]
+    fn cut_to_pops_intermediate_aborting_frames() {
+        let p = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = mid(k) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r + 1);
+            }
+            mid(bits32 kk) {
+                bits32 r;
+                r = g(kk) also aborts;
+                return (r);
+            }
+            g(bits32 kk) {
+                cut to kk(10);
+                return (0);
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(11)]);
+    }
+
+    #[test]
+    fn cut_past_non_aborting_frame_goes_wrong() {
+        let p = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = mid(k) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r);
+            }
+            mid(bits32 kk) {
+                bits32 r;
+                r = g(kk);    /* no also aborts */
+                return (r);
+            }
+            g(bits32 kk) { cut to kk(10); return (0); }
+            "#,
+        );
+        match run_proc(&p, "f", vec![]) {
+            Status::Wrong(Wrong::NotAbortable(_)) => {}
+            other => panic!("expected NotAbortable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cut_without_cuts_to_annotation_goes_wrong() {
+        let p = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = g(k);     /* call site lacks `also cuts to k` */
+                return (0);
+                continuation k(r):
+                return (r);
+            }
+            g(bits32 kk) { cut to kk(1); return (0); }
+            "#,
+        );
+        match run_proc(&p, "f", vec![]) {
+            Status::Wrong(Wrong::CutNotAnnotated(_)) => {}
+            other => panic!("expected CutNotAnnotated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_continuation_goes_wrong() {
+        // f returns its continuation; caller tries to cut to it after
+        // f's activation has died.
+        let p = prog(
+            r#"
+            main() {
+                bits32 kk;
+                kk = f();
+                jump g(kk);
+            }
+            f() {
+                bits32 x;
+                return (k);
+                continuation k(x):
+                return (0);
+            }
+            g(bits32 kk) { cut to kk(5); return (0); }
+            "#,
+        );
+        match run_proc(&p, "main", vec![]) {
+            Status::Wrong(Wrong::DeadContinuation(_)) => {}
+            other => panic!("expected DeadContinuation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cut_to_same_procedure_with_annotation() {
+        let p = prog(
+            r#"
+            f() {
+                bits32 r, kv;
+                kv = k;
+                cut to kv(9) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r);
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(9)]);
+    }
+
+    #[test]
+    fn continuation_value_survives_memory_round_trip() {
+        // Figure 10 stores continuations on a dynamic exception stack.
+        let p = prog(
+            r#"
+            data slot { bits32 0; }
+            f() {
+                bits32 r;
+                bits32[slot] = k;
+                r = g() also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r + 100);
+            }
+            g() {
+                bits32 kk;
+                kk = bits32[slot];
+                cut to kk(1);
+                return (0);
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(101)]);
+    }
+
+    #[test]
+    fn fast_divide_by_zero_goes_wrong() {
+        let p = prog("f(bits32 a, bits32 b) { return (a / b); }");
+        match run_proc(&p, "f", vec![Value::b32(1), Value::b32(0)]) {
+            Status::Wrong(Wrong::OpFailed(..)) => {}
+            other => panic!("expected OpFailed, got {other:?}"),
+        }
+        let vals =
+            expect_values(run_proc(&p, "f", vec![Value::b32(7), Value::b32(2)]));
+        assert_eq!(vals, vec![Value::b32(3)]);
+    }
+
+    #[test]
+    fn checked_divide_suspends_in_yield() {
+        let p = prog("f(bits32 a, bits32 b) { bits32 r; r = %%divu(a, b) also aborts; return (r); }");
+        // Failure: suspended with DIVZERO code.
+        let mut m = Machine::new(&p);
+        m.start("f", vec![Value::b32(1), Value::b32(0)]).unwrap();
+        assert_eq!(m.run(100_000), Status::Suspended);
+        assert_eq!(m.yield_args(), &[Value::b32(1)]); // yield_codes::DIVZERO
+        // Success: returns quotient without yielding.
+        let vals = expect_values(run_proc(&p, "f", vec![Value::b32(42), Value::b32(6)]));
+        assert_eq!(vals, vec![Value::b32(7)]);
+    }
+
+    #[test]
+    fn rts_resume_unwind_restores_environment() {
+        // g yields; the runtime unwinds to k with parameter 77. The
+        // local y (set before the call) must still be visible in k.
+        let p = prog(
+            r#"
+            f() {
+                bits32 y, r;
+                y = 5;
+                r = g() also unwinds to k;
+                return (0);
+                continuation k(r):
+                return (r + y);
+            }
+            g() { yield(9) also aborts; return (0); }
+            "#,
+        );
+        let mut m = Machine::new(&p);
+        m.start("f", vec![]).unwrap();
+        assert_eq!(m.run(100_000), Status::Suspended);
+        assert_eq!(m.yield_args(), &[Value::b32(9)]);
+        // Pop g's activation (aborts), then unwind to k of f.
+        m.rts_pop_frame().unwrap();
+        m.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(77)]).unwrap();
+        assert_eq!(expect_values(m.run(100_000)), vec![Value::b32(82)]);
+    }
+
+    #[test]
+    fn rts_pop_requires_aborts() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g() also unwinds to k; return (0);
+                  continuation k(r): return (r); }
+            g() { yield(1); return (0); }   /* yield call not abortable */
+            "#,
+        );
+        let mut m = Machine::new(&p);
+        m.start("f", vec![]).unwrap();
+        assert_eq!(m.run(100_000), Status::Suspended);
+        assert!(matches!(m.rts_pop_frame(), Err(Wrong::NotAbortable(_))));
+    }
+
+    #[test]
+    fn rts_resume_checks_parameter_count() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g() also unwinds to k; return (0);
+                  continuation k(r): return (r); }
+            g() { yield(1) also aborts; return (0); }
+            "#,
+        );
+        let mut m = Machine::new(&p);
+        m.start("f", vec![]).unwrap();
+        m.run(100_000);
+        m.rts_pop_frame().unwrap();
+        assert!(m.rts_resume(RtsTarget::Unwind(0), vec![]).is_err());
+        // Correct arity succeeds.
+        m.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(3)]).unwrap();
+        assert_eq!(expect_values(m.run(100_000)), vec![Value::b32(3)]);
+    }
+
+    #[test]
+    fn rts_resume_normal_return() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g(); return (r); }
+            g() { yield(1); return (0); }
+            "#,
+        );
+        let mut m = Machine::new(&p);
+        m.start("f", vec![]).unwrap();
+        m.run(100_000);
+        // Resume g's yield call at its normal return (index = last).
+        m.rts_resume(RtsTarget::Return(0), vec![]).unwrap();
+        assert_eq!(expect_values(m.run(100_000)), vec![Value::b32(0)]);
+    }
+
+    #[test]
+    fn abnormal_return_selects_alternate_continuation() {
+        let p = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = g(1) also returns to kbad;
+                return (r);
+                continuation kbad(r):
+                return (r + 1000);
+            }
+            g(bits32 x) {
+                if x == 1 { return <0/1> (5); }
+                else { return <1/1> (6); }
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(1005)]);
+        let p2 = prog(
+            r#"
+            f() {
+                bits32 r;
+                r = g(0) also returns to kbad;
+                return (r);
+                continuation kbad(r):
+                return (r + 1000);
+            }
+            g(bits32 x) {
+                if x == 1 { return <0/1> (5); }
+                else { return <1/1> (6); }
+            }
+            "#,
+        );
+        let vals = expect_values(run_proc(&p2, "f", vec![]));
+        assert_eq!(vals, vec![Value::b32(6)]);
+    }
+
+    #[test]
+    fn return_arity_mismatch_goes_wrong() {
+        let p = prog(
+            r#"
+            f() { bits32 r; r = g(); return (r); }
+            g() { return <0/2> (5); }
+            "#,
+        );
+        match run_proc(&p, "f", vec![]) {
+            Status::Wrong(Wrong::ReturnArityMismatch { claimed: 2, actual: 0, .. }) => {}
+            other => panic!("expected arity mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_assignment_swaps() {
+        let p = prog("f(bits32 a, bits32 b) { a, b = b, a; return (a, b); }");
+        let vals = expect_values(run_proc(&p, "f", vec![Value::b32(1), Value::b32(2)]));
+        assert_eq!(vals, vec![Value::b32(2), Value::b32(1)]);
+    }
+
+    #[test]
+    fn out_of_fuel_is_resumable() {
+        let p = prog("f() { loop: goto loop; }");
+        let mut m = Machine::new(&p);
+        m.start("f", vec![]).unwrap();
+        assert_eq!(m.run(100), Status::OutOfFuel);
+        assert_eq!(m.run(100), Status::OutOfFuel);
+    }
+
+    #[test]
+    fn strings_are_addressable() {
+        let p = prog(r#"f() { return (msg); } data msg { string "hi"; }"#);
+        let mut m = Machine::new(&p);
+        m.start("f", vec![]).unwrap();
+        let vals = expect_values(m.run(1000));
+        let addr = vals[0].bits().unwrap();
+        assert_eq!(m.read_cstr(addr), "hi");
+    }
+
+    #[test]
+    fn signed_arithmetic_via_primitives() {
+        let p = prog("f(bits32 a, bits32 b) { return (%divs(a, b), %lts(a, b)); }");
+        // -10 / 3 = -3; -10 < 3 signed.
+        let vals = expect_values(run_proc(
+            &p,
+            "f",
+            vec![Value::b32(0xffff_fff6), Value::b32(3)],
+        ));
+        assert_eq!(vals, vec![Value::b32(0xffff_fffd), Value::b32(1)]);
+    }
+
+    #[test]
+    fn width_mismatch_goes_wrong() {
+        let p = prog("f(bits32 a) { bits8 b; b = %lo8(a); return (a + b); }");
+        match run_proc(&p, "f", vec![Value::b32(1)]) {
+            Status::Wrong(Wrong::WidthMismatch(_)) => {}
+            other => panic!("expected WidthMismatch, got {other:?}"),
+        }
+    }
+}

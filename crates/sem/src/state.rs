@@ -1,0 +1,78 @@
+//! Machine-state components: node references, environments, frames.
+
+use crate::value::Value;
+use cmm_cfg::{Bundle, NodeId};
+use cmm_ir::Name;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A reference to one node of one procedure's graph: the machine's
+/// control component.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct NodeRef {
+    /// Which procedure.
+    pub proc: Name,
+    /// Which node within that procedure's graph.
+    pub node: NodeId,
+}
+
+impl NodeRef {
+    /// Creates a node reference.
+    pub fn new(proc: impl Into<Name>, node: NodeId) -> NodeRef {
+        NodeRef { proc: proc.into(), node }
+    }
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.proc, self.node)
+    }
+}
+
+/// A local environment ρ: a partial function from names to values.
+pub type Env = HashMap<Name, Value>;
+
+/// One activation frame of the stack σ.
+///
+/// A call from procedure `P` pushes a frame recording `P`'s suspended
+/// state: "the continuation bundle is saved on the stack, because the
+/// callee, not the caller, determines what is executed after the call"
+/// (§5.2). The representation of an activation "is likely to include
+/// copies of all callee-saves registers and a pointer to an activation
+/// record on the real call stack" (§3.3) — here, the whole environment
+/// `rho` plus the callee-saves set `saves`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Frame {
+    /// The procedure whose activation this frame is.
+    pub proc: Name,
+    /// The `Call` node at which the activation is suspended (used by
+    /// `GetDescriptor` and for display).
+    pub call_site: NodeId,
+    /// The continuation bundle `(kp_r, kp_u, kp_c, abort)` of that call
+    /// site; node ids refer to `proc`'s graph.
+    pub bundle: Bundle,
+    /// The suspended local environment ρ'.
+    pub rho: Env,
+    /// The suspended callee-saves set s'.
+    pub saves: BTreeSet<Name>,
+    /// The unique id of the suspended activation.
+    pub uid: u64,
+}
+
+impl Frame {
+    /// The `NodeRef` of the suspended call site.
+    pub fn site(&self) -> NodeRef {
+        NodeRef { proc: self.proc.clone(), node: self.call_site }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noderef_display() {
+        let r = NodeRef::new("f", NodeId(3));
+        assert_eq!(r.to_string(), "f:n3");
+    }
+}

@@ -1,0 +1,75 @@
+//! Machine values (§5.1).
+
+use crate::state::NodeRef;
+use cmm_ir::Width;
+use std::fmt;
+
+/// A value of the C-- abstract machine.
+///
+/// "To enable variables to denote procedures and continuations as well as
+/// basic C-- values, we define a value as one of the following forms:
+/// `Bits_n k` (the n-bit value k), `Code p` (a pointer to the node p),
+/// `Cont (p, u)` (a continuation to the node p in the stack frame with
+/// unique id u)."
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// An n-bit value. Floats are carried as their IEEE-754 bit patterns.
+    Bits(Width, u64),
+    /// A pointer to the code of the named procedure.
+    Code(cmm_ir::Name),
+    /// A continuation: a node together with the unique id of the
+    /// activation it belongs to.
+    Cont(NodeRef, u64),
+}
+
+impl Value {
+    /// A `bits32` value.
+    pub fn b32(v: u32) -> Value {
+        Value::Bits(Width::W32, u64::from(v))
+    }
+
+    /// A `bits64` value.
+    pub fn b64(v: u64) -> Value {
+        Value::Bits(Width::W64, v)
+    }
+
+    /// The bits of a `Bits` value, if it is one.
+    pub fn bits(&self) -> Option<u64> {
+        match self {
+            Value::Bits(_, v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True iff the value is `Bits` and non-zero (branch conditions).
+    pub fn truthy(&self) -> bool {
+        matches!(self, Value::Bits(_, v) if *v != 0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bits(w, v) => write!(f, "{v}::bits{}", w.bits()),
+            Value::Code(n) => write!(f, "Code({n})"),
+            Value::Cont(p, u) => write!(f, "Cont({p}, uid {u})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::b32(1).truthy());
+        assert!(!Value::b32(0).truthy());
+        assert!(!Value::Code(cmm_ir::Name::from("f")).truthy());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::b32(7).to_string(), "7::bits32");
+    }
+}

@@ -1,0 +1,56 @@
+//! Architecture cost profiles from §2 of the paper.
+//!
+//! "In C code, `setjmp` and `longjmp` cut the stack, but they typically
+//! save and restore lots of state: the size of a `jmp_buf` is 6 pointers
+//! on Pentium/Linux, 19 on SPARC/Solaris, and 84 on Alpha/Digital-Unix.
+//! ... they are significantly more expensive than a native-code stack
+//! cutter, which saves 2 pointers."
+
+/// The per-architecture state a `setjmp`-style scope entry must save.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ArchProfile {
+    /// Architecture name as quoted in the paper.
+    pub name: &'static str,
+    /// `jmp_buf` size in pointer-sized words.
+    pub jmp_buf_words: u32,
+    /// Extra penalty on `longjmp`, in instruction equivalents (the SPARC
+    /// "pays the additional penalty of flushing register windows").
+    pub longjmp_extra: u32,
+}
+
+/// Pentium/Linux: 6-pointer `jmp_buf`.
+pub const PENTIUM_LINUX: ArchProfile =
+    ArchProfile { name: "Pentium/Linux", jmp_buf_words: 6, longjmp_extra: 0 };
+
+/// SPARC/Solaris: 19-pointer `jmp_buf`, plus register-window flushing on
+/// `longjmp`.
+pub const SPARC_SOLARIS: ArchProfile =
+    ArchProfile { name: "SPARC/Solaris", jmp_buf_words: 19, longjmp_extra: 64 };
+
+/// Alpha/Digital-Unix: 84-pointer `jmp_buf`.
+pub const ALPHA_DIGITAL_UNIX: ArchProfile =
+    ArchProfile { name: "Alpha/Digital-Unix", jmp_buf_words: 84, longjmp_extra: 0 };
+
+/// A native-code stack cutter "saves 2 pointers" (the `(pc, sp)` pair of
+/// a C-- continuation, §5.4).
+pub const NATIVE_CUTTER: ArchProfile =
+    ArchProfile { name: "native C-- cutter", jmp_buf_words: 2, longjmp_extra: 0 };
+
+/// All profiles quoted in §2, in the paper's order, plus the native
+/// cutter baseline.
+pub const ALL: [ArchProfile; 4] =
+    [PENTIUM_LINUX, SPARC_SOLARIS, ALPHA_DIGITAL_UNIX, NATIVE_CUTTER];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_numbers_are_encoded() {
+        assert_eq!(PENTIUM_LINUX.jmp_buf_words, 6);
+        assert_eq!(SPARC_SOLARIS.jmp_buf_words, 19);
+        assert_eq!(ALPHA_DIGITAL_UNIX.jmp_buf_words, 84);
+        assert_eq!(NATIVE_CUTTER.jmp_buf_words, 2);
+        assert!(SPARC_SOLARIS.longjmp_extra > 0);
+    }
+}

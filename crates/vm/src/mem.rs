@@ -1,0 +1,119 @@
+//! Paged byte-addressed memory.
+
+use cmm_ir::Width;
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse little-endian memory. Unmapped bytes read as zero.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = v;
+    }
+
+    /// Reads a little-endian value of the given width.
+    pub fn read(&self, w: Width, addr: u32) -> u64 {
+        let mut v = 0u64;
+        for i in 0..w.bytes() {
+            v |= u64::from(self.read_u8(addr.wrapping_add(i as u32))) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian value of the given width.
+    pub fn write(&mut self, w: Width, addr: u32, v: u64) {
+        for i in 0..w.bytes() {
+            self.write_u8(addr.wrapping_add(i as u32), ((v >> (8 * i)) & 0xff) as u8);
+        }
+    }
+
+    /// Reads a 32-bit word.
+    pub fn read32(&self, addr: u32) -> u32 {
+        self.read(Width::W32, addr) as u32
+    }
+
+    /// Writes a 32-bit word.
+    pub fn write32(&mut self, addr: u32, v: u32) {
+        self.write(Width::W32, addr, u64::from(v));
+    }
+
+    /// Reads a NUL-terminated string.
+    pub fn read_cstr(&self, addr: u32) -> String {
+        let mut out = String::new();
+        let mut a = addr;
+        while out.len() < 4096 {
+            let b = self.read_u8(a);
+            if b == 0 {
+                break;
+            }
+            out.push(b as char);
+            a = a.wrapping_add(1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut m = Memory::new();
+        m.write(Width::W8, 10, 0xab);
+        m.write(Width::W16, 20, 0xbeef);
+        m.write(Width::W32, 30, 0xdead_beef);
+        m.write(Width::W64, 40, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read(Width::W8, 10), 0xab);
+        assert_eq!(m.read(Width::W16, 20), 0xbeef);
+        assert_eq!(m.read(Width::W32, 30), 0xdead_beef);
+        assert_eq!(m.read(Width::W64, 40), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read(Width::W32, 0x9999), 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_BITS) - 2;
+        m.write(Width::W32, addr, 0x11223344);
+        assert_eq!(m.read(Width::W32, addr), 0x11223344);
+    }
+
+    #[test]
+    fn cstr_reads() {
+        let mut m = Memory::new();
+        for (i, b) in b"hello\0".iter().enumerate() {
+            m.write_u8(100 + i as u32, *b);
+        }
+        assert_eq!(m.read_cstr(100), "hello");
+    }
+}

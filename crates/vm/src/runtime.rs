@@ -1,0 +1,431 @@
+//! The run-time interface over the simulated machine.
+//!
+//! This is the VM-level counterpart of `cmm-rt`: the same Table 1
+//! operations, implemented the way a real C-- run-time system would be —
+//! by *interpreting the tables deposited by the back end* (§2):
+//! per-procedure frame layouts for walking and callee-saves restoration,
+//! and per-call-site tables for `also unwinds to` continuations,
+//! `also aborts`, and descriptors.
+//!
+//! Because the walker runs in Rust rather than in simulated code, each
+//! operation charges a documented instruction-equivalent cost to the
+//! machine ([`costs`]), so benches measure the interpretive overhead the
+//! paper attributes to run-time stack unwinding.
+
+use crate::codegen::VmProgram;
+use crate::frame::CallSiteMeta;
+use crate::isa::regs;
+use crate::machine::{VmMachine, VmStatus};
+
+/// Instruction-equivalent charges for the interpretive dispatcher.
+pub mod costs {
+    /// `FirstActivation`: locate the yield frame and read the caller's
+    /// return address.
+    pub const FIRST_ACTIVATION: u64 = 10;
+    /// `NextActivation`: table lookup, frame-size add, saved-ra load,
+    /// plus one load per callee-saves register restored.
+    pub const NEXT_ACTIVATION: u64 = 12;
+    /// Per callee-saves register restored during a walk step.
+    pub const RESTORE_REG: u64 = 1;
+    /// `GetDescriptor`: table lookup and bounds check.
+    pub const GET_DESCRIPTOR: u64 = 5;
+    /// `SetActivation`/`SetUnwindCont`/`FindContParam`/`Resume`
+    /// combined bookkeeping.
+    pub const RESUME: u64 = 12;
+    /// `SetCutToCont` + `Resume`: the two loads of the (pc, sp) pair
+    /// plus bookkeeping.
+    pub const CUT_RESUME: u64 = 8;
+}
+
+/// An activation handle over the simulated stack.
+#[derive(Clone, Debug)]
+pub struct VmActivation {
+    /// The return address identifying the call site where the
+    /// activation is suspended (the key into the call-site tables).
+    pub site: u32,
+    /// The activation's frame base (its `sp` while executing).
+    pub base: u32,
+    /// Register view with callee-saves restored up to this activation.
+    pub ctx: Vec<u64>,
+    /// Whether every activation walked over so far may be discarded
+    /// (all suspended at `also aborts` call sites).
+    pub discard_ok: bool,
+}
+
+#[derive(Clone, Debug)]
+enum VmPending {
+    Activation { act: VmActivation, unwind: Option<usize>, params: Vec<u64> },
+    Cut { k: u32, params: Vec<u64> },
+}
+
+/// A thread of simulated execution plus the run-time interface.
+#[derive(Debug)]
+pub struct VmThread<'p> {
+    /// The machine.
+    pub machine: VmMachine<'p>,
+    pending: Option<VmPending>,
+}
+
+impl<'p> VmThread<'p> {
+    /// Creates a thread over a compiled program.
+    pub fn new(program: &'p VmProgram) -> VmThread<'p> {
+        VmThread { machine: VmMachine::new(program), pending: None }
+    }
+
+    /// Starts a procedure (see [`VmMachine::start`]).
+    pub fn start(&mut self, proc: &str, args: &[u64], expected_results: usize) {
+        self.machine.start(proc, args, expected_results);
+    }
+
+    /// Runs generated code.
+    pub fn run(&mut self, fuel: u64) -> VmStatus {
+        self.machine.run(fuel)
+    }
+
+    fn program(&self) -> &'p VmProgram {
+        self.machine.program
+    }
+
+    fn site_meta(&self, site: u32) -> Option<&'p CallSiteMeta> {
+        self.program().call_sites.get(&site)
+    }
+
+    /// `FirstActivation`: the activation that called into the run-time
+    /// system. `None` unless suspended.
+    pub fn first_activation(&mut self) -> Option<VmActivation> {
+        if !matches!(self.machine.status(), VmStatus::Suspended) {
+            return None;
+        }
+        self.machine.cost.runtime_instructions += costs::FIRST_ACTIVATION;
+        // pc is inside the yield stub; its frame holds the caller's ra.
+        let stub = self.program().proc_at_pc(self.machine.pc.saturating_sub(1))?;
+        let sp = self.machine.reg(regs::SP) as u32;
+        let site = self.machine.mem.read32(sp + stub.ra_offset);
+        let base = sp + stub.frame_bytes;
+        Some(VmActivation {
+            site,
+            base,
+            ctx: self.machine.regs.to_vec(),
+            discard_ok: true,
+        })
+    }
+
+    /// `NextActivation`: move to the caller, restoring its callee-saves
+    /// registers into the context. Returns `false` at the stack bottom.
+    pub fn next_activation(&mut self, a: &mut VmActivation) -> bool {
+        self.machine.cost.runtime_instructions += costs::NEXT_ACTIVATION;
+        let Some(site) = self.site_meta(a.site) else { return false };
+        let meta = &self.program().proc_meta[site.proc];
+        let ra_next = self.machine.mem.read32(a.base + meta.ra_offset);
+        if ra_next < 8 {
+            return false; // halt vector: bottom of the stack
+        }
+        // Leaving this activation: it can only be discarded if its call
+        // site aborts.
+        a.discard_ok &= site.aborts;
+        for &(reg, off) in &meta.saved_callee {
+            self.machine.cost.runtime_instructions += costs::RESTORE_REG;
+            a.ctx[reg as usize] = u64::from(self.machine.mem.read32(a.base + off));
+        }
+        a.base += meta.frame_bytes;
+        a.site = ra_next;
+        true
+    }
+
+    /// `GetDescriptor(a, n)`: the address of the n'th descriptor block
+    /// attached to the activation's call site.
+    pub fn get_descriptor(&mut self, a: &VmActivation, n: usize) -> Option<u32> {
+        self.machine.cost.runtime_instructions += costs::GET_DESCRIPTOR;
+        self.site_meta(a.site)?.descriptors.get(n).copied()
+    }
+
+    /// `SetActivation`: stage resumption with this activation topmost.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread is not suspended or an activation being
+    /// discarded is not suspended at an `also aborts` call site.
+    pub fn set_activation(&mut self, a: &VmActivation) -> Result<(), String> {
+        if !matches!(self.machine.status(), VmStatus::Suspended) {
+            return Err("thread is not suspended".into());
+        }
+        if !a.discard_ok {
+            return Err("an activation being discarded has no `also aborts` annotation".into());
+        }
+        let n = self.site_meta(a.site).map(|s| s.normal_params).unwrap_or(0);
+        self.pending =
+            Some(VmPending::Activation { act: a.clone(), unwind: None, params: vec![0; n] });
+        Ok(())
+    }
+
+    /// `SetUnwindCont(t, n)`: resume by unwinding to the n'th
+    /// `also unwinds to` continuation of the staged activation.
+    ///
+    /// # Errors
+    ///
+    /// Fails without a staged activation or with an out-of-range index.
+    pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), String> {
+        let Some(VmPending::Activation { act, .. }) = self.pending.as_ref() else {
+            return Err("SetUnwindCont before SetActivation".into());
+        };
+        let site = self
+            .program()
+            .call_sites
+            .get(&act.site)
+            .ok_or_else(|| "unknown call site".to_string())?;
+        if n >= site.unwind_pcs.len() {
+            return Err(format!(
+                "call site has {} unwind continuations; {n} requested",
+                site.unwind_pcs.len()
+            ));
+        }
+        let count = site.unwind_params[n];
+        let Some(VmPending::Activation { unwind, params, .. }) = self.pending.as_mut() else {
+            unreachable!("pending checked above");
+        };
+        *unwind = Some(n);
+        *params = vec![0; count];
+        Ok(())
+    }
+
+    /// `SetCutToCont(t, k)`: resume by cutting the stack to the
+    /// continuation value `k` (the address of its `(pc, sp)` pair).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the thread is not suspended.
+    pub fn set_cut_to_cont(&mut self, k: u32) -> Result<(), String> {
+        if !matches!(self.machine.status(), VmStatus::Suspended) {
+            return Err("thread is not suspended".into());
+        }
+        self.pending = Some(VmPending::Cut { k, params: vec![0; 8] });
+        Ok(())
+    }
+
+    /// `FindContParam(t, n)`: where to put the n'th parameter of the
+    /// staged continuation.
+    pub fn find_cont_param(&mut self, n: usize) -> Option<&mut u64> {
+        match self.pending.as_mut()? {
+            VmPending::Activation { params, .. } | VmPending::Cut { params, .. } => {
+                params.get_mut(n)
+            }
+        }
+    }
+
+    /// `Resume`: apply the staged resumption; the machine is `Running`
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if nothing was staged.
+    pub fn resume(&mut self) -> Result<(), String> {
+        let pending = self.pending.take().ok_or_else(|| "Resume with nothing staged".to_string())?;
+        match pending {
+            VmPending::Activation { act, unwind, params } => {
+                self.machine.cost.runtime_instructions += costs::RESUME;
+                let site = self
+                    .program()
+                    .call_sites
+                    .get(&act.site)
+                    .ok_or_else(|| "unknown call site".to_string())?;
+                let pc = match unwind {
+                    Some(n) => site.unwind_pcs[n],
+                    None => act.site + site.alternates, // normal return point
+                };
+                self.machine.regs.copy_from_slice(&act.ctx);
+                self.machine.regs[regs::SP as usize] = u64::from(act.base);
+                for (i, &p) in params.iter().enumerate() {
+                    self.machine.regs[regs::ARG0 as usize + i] = p;
+                }
+                self.machine.pc = pc;
+                self.machine.force_running();
+                Ok(())
+            }
+            VmPending::Cut { k, params } => {
+                self.machine.cost.runtime_instructions += costs::CUT_RESUME;
+                let pc = self.machine.mem.read32(k);
+                let sp = self.machine.mem.read32(k + 4);
+                // A cut does not restore callee-saves registers.
+                self.machine.regs[regs::SP as usize] = u64::from(sp);
+                for (i, &p) in params.iter().enumerate() {
+                    self.machine.regs[regs::ARG0 as usize + i] = p;
+                }
+                self.machine.pc = pc;
+                self.machine.force_running();
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn compile_src(src: &str) -> VmProgram {
+        compile(&build_program(&parse_module(src).unwrap()).unwrap()).unwrap()
+    }
+
+    const NEST: &str = r#"
+        f() {
+            bits32 r;
+            r = mid() also unwinds to k1, k2 also descriptor d_f;
+            return (0);
+            continuation k1(r):
+            return (r + 1);
+            continuation k2(r):
+            return (r + 2);
+        }
+        mid() {
+            bits32 r;
+            r = g() also aborts also descriptor d_mid;
+            return (r);
+        }
+        g() { yield(9) also aborts; return (0); }
+        data d_f   { bits32 111; }
+        data d_mid { bits32 222; }
+    "#;
+
+    #[test]
+    fn walk_and_unwind_on_the_vm() {
+        let vp = compile_src(NEST);
+        let mut t = VmThread::new(&vp);
+        t.start("f", &[], 1);
+        assert_eq!(t.run(100_000), VmStatus::Suspended);
+        assert_eq!(t.machine.yield_args(1), vec![9]);
+
+        let mut a = t.first_activation().unwrap();
+        // a = g's activation (the yield caller): no descriptors.
+        assert_eq!(t.get_descriptor(&a, 0), None);
+        assert!(t.next_activation(&mut a)); // mid
+        let d = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.machine.mem.read32(d), 222);
+        assert!(t.next_activation(&mut a)); // f
+        let d = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.machine.mem.read32(d), 111);
+        assert!(!t.next_activation(&mut a), "f is the bottom activation");
+
+        t.set_activation(&a).unwrap();
+        t.set_unwind_cont(1).unwrap();
+        *t.find_cont_param(0).unwrap() = 40;
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), VmStatus::Halted(vec![42]));
+    }
+
+    #[test]
+    fn unwinding_restores_callee_saves_registers() {
+        // y is promoted to a callee-saves register by the optimizer;
+        // the unwinding walk must restore it before entering k.
+        let src = r#"
+            f(bits32 x) {
+                bits32 y, r, d;
+                y = x * 7;
+                r = g() also unwinds to k;
+                return (r + y);
+                continuation k(d):
+                return (y + d);
+            }
+            g() { yield(1) also aborts; return (0); }
+        "#;
+        let mut prog = build_program(&parse_module(src).unwrap()).unwrap();
+        cmm_opt::optimize_program(&mut prog, &cmm_opt::OptOptions::default());
+        let vp = compile(&prog).unwrap();
+        // Confirm y actually lives in a callee-saves register.
+        let f_meta = vp.proc_meta.iter().find(|m| m.name == "f").unwrap();
+        assert!(
+            f_meta
+                .var_locs
+                .values()
+                .any(|l| matches!(l, crate::frame::Loc::CalleeReg(_))),
+            "optimizer should promote y: {:?}",
+            f_meta.var_locs
+        );
+        let mut t = VmThread::new(&vp);
+        t.start("f", &[6], 1);
+        assert_eq!(t.run(100_000), VmStatus::Suspended);
+        let mut a = t.first_activation().unwrap();
+        assert!(t.next_activation(&mut a)); // f
+        t.set_activation(&a).unwrap();
+        t.set_unwind_cont(0).unwrap();
+        *t.find_cont_param(0).unwrap() = 8;
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), VmStatus::Halted(vec![50])); // 6*7 + 8
+    }
+
+    #[test]
+    fn set_cut_to_cont_on_the_vm() {
+        let src = r#"
+            f() {
+                bits32 r;
+                r = mid(k) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r * 2);
+            }
+            mid(bits32 kk) {
+                bits32 r;
+                r = g(kk) also aborts;
+                return (r);
+            }
+            g(bits32 kk) { yield(1, kk) also aborts; return (0); }
+        "#;
+        let vp = compile_src(src);
+        let mut t = VmThread::new(&vp);
+        t.start("f", &[], 1);
+        assert_eq!(t.run(100_000), VmStatus::Suspended);
+        let k = t.machine.yield_args(2)[1] as u32;
+        t.set_cut_to_cont(k).unwrap();
+        *t.find_cont_param(0).unwrap() = 21;
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), VmStatus::Halted(vec![42]));
+    }
+
+    #[test]
+    fn discard_requires_aborts() {
+        let src = r#"
+            f() { bits32 r; r = g() also unwinds to k; return (0);
+                  continuation k(r): return (r); }
+            g() { yield(1); return (0); }   /* not abortable */
+        "#;
+        let vp = compile_src(src);
+        let mut t = VmThread::new(&vp);
+        t.start("f", &[], 1);
+        t.run(100_000);
+        let mut a = t.first_activation().unwrap();
+        assert!(t.next_activation(&mut a));
+        assert!(t.set_activation(&a).is_err());
+    }
+
+    #[test]
+    fn resume_normal_return() {
+        let src = r#"
+            f() { bits32 r; r = g(); return (r + 1); }
+            g() { yield(1); return (0); }
+        "#;
+        let vp = compile_src(src);
+        let mut t = VmThread::new(&vp);
+        t.start("f", &[], 1);
+        assert_eq!(t.run(100_000), VmStatus::Suspended);
+        // Plain resume: continue the yield stub's epilogue and let g
+        // return normally.
+        let a = t.first_activation().unwrap();
+        t.set_activation(&a).unwrap();
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), VmStatus::Halted(vec![1]));
+    }
+
+    #[test]
+    fn walking_charges_runtime_cost() {
+        let vp = compile_src(NEST);
+        let mut t = VmThread::new(&vp);
+        t.start("f", &[], 1);
+        t.run(100_000);
+        let before = t.machine.cost.runtime_instructions;
+        let mut a = t.first_activation().unwrap();
+        while t.next_activation(&mut a) {}
+        assert!(t.machine.cost.runtime_instructions > before + costs::NEXT_ACTIVATION);
+    }
+}

@@ -1,0 +1,57 @@
+//! §4.3's fallible primitives: `%divu` (fast but dangerous) versus
+//! `%%divu` (slow but solid).
+//!
+//! The fast variant's behaviour on a zero divisor is *unspecified* — the
+//! abstract machine goes wrong, the simulated target faults. The checked
+//! variant "maps failure into a yield", which a front-end run-time
+//! system turns into whatever the source language wants — here, a report.
+//!
+//! ```sh
+//! cargo run --example division
+//! ```
+
+use cmm_cfg::build_program;
+use cmm_parse::parse_module;
+use cmm_rt::Thread;
+use cmm_sem::{Status, Value};
+
+const SRC: &str = r#"
+    export fast, checked;
+
+    fast(bits32 a, bits32 b) {
+        return (a / b);                      /* %divu: unspecified on 0 */
+    }
+
+    checked(bits32 a, bits32 b) {
+        bits32 r;
+        r = %%divu(a, b) also aborts;        /* failure becomes a yield */
+        return (r);
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = parse_module(SRC)?;
+    let program = build_program(&module)?;
+
+    for (proc, a, b) in [("fast", 42, 6), ("fast", 1, 0), ("checked", 42, 6), ("checked", 1, 0)] {
+        let mut t = Thread::new(&program);
+        t.start(proc, vec![Value::b32(a), Value::b32(b)])?;
+        match t.run(100_000) {
+            Status::Terminated(vals) => {
+                println!("{proc}({a}, {b})  = {}", vals[0]);
+            }
+            Status::Wrong(w) => {
+                println!("{proc}({a}, {b})  went wrong: {w}");
+            }
+            Status::Suspended => {
+                let code = t.yield_code().unwrap_or(0);
+                println!(
+                    "{proc}({a}, {b})  yielded to the run-time system (code {code}: \
+                     division fault) — the front end decides what that means"
+                );
+            }
+            other => println!("{proc}({a}, {b})  unexpected: {other:?}"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Figures 5 and 6 of the paper: the example procedure and its
+//! translation into Abstract C-- with an SSA numbering of the variables.
+//!
+//! Figure 5's procedure calls `g` with an `also unwinds to` annotation;
+//! the exceptional edge to the continuation `k` appears in the dataflow
+//! like any other edge, so the SSA numbering handles exception handlers
+//! with no special cases.
+//!
+//! ```sh
+//! cargo run --example ssa_figure6
+//! ```
+
+use cmm_cfg::{build_program, display};
+use cmm_opt::ssa::{ssa_to_string, Ssa};
+use cmm_parse::parse_module;
+
+/// Figure 5, in this reproduction's concrete syntax (the paper writes
+/// `b, c = g() also unwinds to k`).
+const FIGURE_5: &str = r#"
+    f(bits32 a) {
+        bits32 b, c, d;
+        b = a;
+        c = a;
+        b, c = g() also unwinds to k;
+        c = b + c + a;
+        return (c);
+        continuation k(d):
+        return (b + d);
+    }
+    g() { return (1, 2); }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = parse_module(FIGURE_5)?;
+    let program = build_program(&module)?;
+    let g = program.proc("f").expect("f exists");
+
+    println!("=== Figure 5's procedure as Abstract C-- (Table 2 nodes) ===\n");
+    print!("{}", display::graph_to_string(g));
+
+    println!("\n=== Figure 6: the SSA numbering ===\n");
+    let ssa = Ssa::build(g);
+    print!("{}", ssa_to_string(g, &ssa));
+
+    let bad = ssa.verify(g);
+    assert!(bad.is_empty(), "SSA invariant violated at {bad:?}");
+    println!("\nSSA invariant verified: every use is dominated by its definition,");
+    println!("including uses reached through the `also unwinds to` edge.");
+
+    println!("\n=== Graphviz (pipe into `dot -Tpng`) ===\n");
+    print!("{}", display::graph_to_dot(g));
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate for the `cmm` workspace.
+//!
+//! This package exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The library surface is
+//! a re-export of [`cmm_core`], the facade crate; see the README for the
+//! architecture overview.
+
+pub use cmm_core::*;

@@ -1,0 +1,178 @@
+//! Property tests: the optimizer preserves the operational semantics on
+//! randomly generated programs — including programs with exceptional
+//! control flow (cut-to continuations) — and the simulated target agrees
+//! with the abstract machine on the optimized code.
+
+use cmm_cfg::{build_program, Program};
+use cmm_ir::{pretty, Module};
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_parse::parse_module;
+use cmm_sem::{Machine, Status, Value};
+use cmm_vm::{compile, VmMachine, VmStatus};
+use proptest::prelude::*;
+
+/// A random pure expression over the variables a, b, c, d (no division,
+/// so generated programs never go wrong).
+fn expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0u32..50).prop_map(|v| v.to_string()),
+        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")].prop_map(str::to_string),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")], inner)
+            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
+    })
+    .boxed()
+}
+
+/// A random statement block body (straight-line, ifs, bounded loops,
+/// memory traffic, helper calls).
+fn stmts(depth: u32) -> BoxedStrategy<String> {
+    let assign = (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], expr(2))
+        .prop_map(|(v, e)| format!("{v} = {e};"));
+    let store = expr(1).prop_map(|e| format!("bits32[cells + (({e}) % 4) * 4] = {e};"));
+    let load = (prop_oneof![Just("a"), Just("b")], expr(1))
+        .prop_map(|(v, e)| format!("{v} = bits32[cells + (({e}) % 4) * 4];"));
+    let call = (prop_oneof![Just("c"), Just("d")], expr(1))
+        .prop_map(|(v, e)| format!("{v} = h({e});"));
+    let leaf = prop_oneof![4 => assign, 1 => store, 1 => load, 1 => call];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.join("\n"));
+        prop_oneof![
+            3 => prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.join("\n")),
+            2 => (expr(1), block.clone(), block.clone())
+                .prop_map(|(c, t, e)| format!("if {c} {{ {t} }} else {{ {e} }}")),
+        ]
+    })
+    .boxed()
+}
+
+fn harness(body: &str) -> String {
+    format!(
+        r#"
+        data cells {{ bits32 0, 0, 0, 0; }}
+        h(bits32 x) {{ return (x * 2 + 1); }}
+        f(bits32 a, bits32 b) {{
+            bits32 c, d, i;
+            c = 0; d = 0; i = 3;
+          loop:
+            if i == 0 {{ return (a + b + c + d); }} else {{
+                {body}
+                i = i - 1;
+                goto loop;
+            }}
+        }}
+        "#
+    )
+}
+
+fn run_sem(prog: &Program, args: (u32, u32)) -> Status {
+    let mut m = Machine::new(prog);
+    m.start("f", vec![Value::b32(args.0), Value::b32(args.1)]).unwrap();
+    m.run(10_000_000)
+}
+
+fn run_vm_prog(prog: &Program, args: (u32, u32)) -> Vec<u64> {
+    let vp = compile(prog).expect("codegen");
+    let mut m = VmMachine::new(&vp);
+    m.start("f", &[u64::from(args.0), u64::from(args.1)], 1);
+    match m.run(50_000_000) {
+        VmStatus::Halted(vals) => vals,
+        other => panic!("vm did not halt: {other:?}"),
+    }
+}
+
+fn build(src: &str) -> Program {
+    build_program(&parse_module(src).unwrap_or_else(|e| panic!("{e}\n{src}"))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Optimization preserves the abstract-machine semantics, and the
+    /// optimized code produces the same results on the VM.
+    #[test]
+    fn optimizer_preserves_semantics(body in stmts(3), a in 0u32..100, b in 0u32..100) {
+        let src = harness(&body);
+        let prog = build(&src);
+        let mut opt = prog.clone();
+        optimize_program(&mut opt, &OptOptions::default());
+
+        let before = run_sem(&prog, (a, b));
+        let after = run_sem(&opt, (a, b));
+        prop_assert_eq!(&before, &after, "optimization changed behaviour\n{}", src);
+
+        if let Status::Terminated(vals) = before {
+            let bits: Vec<u64> = vals.iter().filter_map(Value::bits).collect();
+            prop_assert_eq!(bits.clone(), run_vm_prog(&opt, (a, b)), "vm disagrees (optimized)");
+            prop_assert_eq!(bits, run_vm_prog(&prog, (a, b)), "vm disagrees (unoptimized)");
+        }
+    }
+
+    /// Pretty-printing and re-parsing a module is the identity (up to
+    /// formatting): parse ∘ pretty ∘ parse = parse.
+    #[test]
+    fn pretty_parse_round_trip(body in stmts(3)) {
+        let src = harness(&body);
+        let m1: Module = parse_module(&src).unwrap();
+        let printed = pretty::module_to_string(&m1);
+        let m2 = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(&m1, &m2, "round trip changed the module:\n{}", printed);
+    }
+
+    /// SSA invariants hold on random graphs: every use is dominated by
+    /// its definition.
+    #[test]
+    fn ssa_invariants(body in stmts(3)) {
+        let src = harness(&body);
+        let prog = build(&src);
+        let g = prog.proc("f").unwrap();
+        let ssa = cmm_opt::Ssa::build(g);
+        prop_assert!(ssa.verify(g).is_empty());
+    }
+}
+
+/// Exception-heavy templates, randomized over the raise condition: the
+/// optimizer must preserve the cut behaviour.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimizer_preserves_cut_semantics(threshold in 0u32..20, x in 0u32..20) {
+        let src = format!(
+            r#"
+            f(bits32 x) {{
+                bits32 y, w, r, d;
+                y = x * 3;
+                w = x + 5;
+                r = g(x, k) also cuts to k also aborts;
+                return (r + y);
+                continuation k(d):
+                return (d + y + w);
+            }}
+            g(bits32 x, bits32 kk) {{
+                if x > {threshold} {{ cut to kk(100); }}
+                return (x);
+            }}
+            "#
+        );
+        let prog = build(&src);
+        let mut opt = prog.clone();
+        optimize_program(&mut opt, &OptOptions::default());
+        let run = |p: &Program| {
+            let mut m = Machine::new(p);
+            m.start("f", vec![Value::b32(x)]).unwrap();
+            m.run(1_000_000)
+        };
+        prop_assert_eq!(run(&prog), run(&opt));
+        // And the VM agrees.
+        if let Status::Terminated(vals) = run(&opt) {
+            let bits: Vec<u64> = vals.iter().filter_map(Value::bits).collect();
+            let vp = compile(&opt).unwrap();
+            let mut m = VmMachine::new(&vp);
+            m.start("f", &[u64::from(x)], 1);
+            prop_assert_eq!(m.run(1_000_000), VmStatus::Halted(bits));
+        }
+    }
+}

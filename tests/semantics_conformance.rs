@@ -1,0 +1,229 @@
+//! Conformance of the two executions: on every program in a broad fixed
+//! suite, the simulated native target must produce exactly the results
+//! prescribed by the formal operational semantics — including programs
+//! that exercise every node kind of Table 2 and every control-transfer
+//! mechanism of §4.2.
+
+use cmm_cfg::{build_program, Program};
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_parse::parse_module;
+use cmm_sem::{Machine, Status, Value, Wrong};
+use cmm_vm::{compile, VmMachine, VmStatus};
+
+fn agree(src: &str, proc: &str, args: &[u32], results: usize) -> Vec<u64> {
+    let prog = build_program(&parse_module(src).unwrap()).unwrap();
+    let sem_out = sem_values(&prog, proc, args);
+    // Unoptimized VM.
+    assert_eq!(sem_out, vm_values(&prog, proc, args, results), "unoptimized VM disagrees");
+    // Optimized VM.
+    let mut opt = prog.clone();
+    optimize_program(&mut opt, &OptOptions::default());
+    assert_eq!(sem_values(&opt, proc, args), sem_out, "optimizer changed semantics");
+    assert_eq!(sem_out, vm_values(&opt, proc, args, results), "optimized VM disagrees");
+    sem_out
+}
+
+fn sem_values(prog: &Program, proc: &str, args: &[u32]) -> Vec<u64> {
+    let mut m = Machine::new(prog);
+    m.start(proc, args.iter().map(|&a| Value::b32(a)).collect()).unwrap();
+    match m.run(50_000_000) {
+        Status::Terminated(vals) => vals.iter().filter_map(Value::bits).collect(),
+        other => panic!("abstract machine: {other:?}"),
+    }
+}
+
+fn vm_values(prog: &Program, proc: &str, args: &[u32], results: usize) -> Vec<u64> {
+    let vp = compile(prog).unwrap();
+    let mut m = VmMachine::new(&vp);
+    let vargs: Vec<u64> = args.iter().map(|&a| u64::from(a)).collect();
+    m.start(proc, &vargs, results);
+    match m.run(100_000_000) {
+        VmStatus::Halted(vals) => vals,
+        other => panic!("vm: {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_widths() {
+    let src = r#"
+        f(bits32 a, bits32 b) {
+            bits32 r1, r2, r3, r4;
+            bits8 t;
+            r1 = (a + b) * (a - b);
+            r2 = (a << 3) ^ (b >> 1);
+            r3 = %divs(a, b) + %mods(a, b);
+            t = %lo8(a);
+            r4 = %zx32(t) + %sx32(%lo8(b));
+            return (r1, r2, r3, r4);
+        }
+    "#;
+    agree(src, "f", &[200, 3], 4);
+    agree(src, "f", &[0xffff_ff00, 7], 4);
+}
+
+#[test]
+fn memory_widths_and_strings() {
+    let src = r#"
+        data buf { bits32 0; bits16 0; bits8 0; space 9; string "xyz"; }
+        f(bits32 v) {
+            bits32 r;
+            bits32[buf] = v;
+            bits16[buf + 4] = v;
+            bits8[buf + 6] = v;
+            r = bits32[buf] + %zx32(bits16[buf + 4]) + %zx32(bits8[buf + 6]);
+            r = r + %zx32(bits8[buf + 16]);   /* 'x' */
+            return (r);
+        }
+    "#;
+    agree(src, "f", &[0x01020304], 1);
+}
+
+#[test]
+fn calls_multiple_results_and_tail_calls() {
+    let src = r#"
+        swap(bits32 a, bits32 b) { return (b, a); }
+        f(bits32 x) {
+            bits32 p, q;
+            p, q = swap(x, x + 1);
+            jump swap(p * 2, q * 3);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[10], 2), vec![30, 22]);
+}
+
+#[test]
+fn branch_tables_and_alternate_returns() {
+    let src = r#"
+        classify(bits32 x) {
+            if x == 0 { return <0/2> (100); }
+            if x == 1 { return <1/2> (200); }
+            return <2/2> (300);
+        }
+        f(bits32 x) {
+            bits32 r;
+            r = classify(x) also returns to kzero, kone;
+            return (r);
+            continuation kzero(r):
+            return (r + 1);
+            continuation kone(r):
+            return (r + 2);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[0], 1), vec![101]);
+    assert_eq!(agree(src, "f", &[1], 1), vec![202]);
+    assert_eq!(agree(src, "f", &[9], 1), vec![300]);
+}
+
+#[test]
+fn cut_to_through_many_frames() {
+    let src = r#"
+        f() {
+            bits32 r;
+            r = down(6, k) also cuts to k;
+            return (0);
+            continuation k(r):
+            return (r);
+        }
+        down(bits32 n, bits32 kk) {
+            bits32 r;
+            if n == 0 { cut to kk(77); }
+            r = down(n - 1, kk) also aborts;
+            return (r);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[], 1), vec![77]);
+}
+
+#[test]
+fn continuation_values_stored_in_memory() {
+    let src = r#"
+        data slot { bits32 0; }
+        f() {
+            bits32 r;
+            bits32[slot] = k;
+            r = g() also cuts to k also aborts;
+            return (0);
+            continuation k(r):
+            return (r + 5);
+        }
+        g() {
+            bits32 kk;
+            kk = bits32[slot];
+            cut to kk(37);
+            return (0);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[], 1), vec![42]);
+}
+
+#[test]
+fn computed_calls_through_tables() {
+    let src = r#"
+        data table { sym add1; sym add2; }
+        add1(bits32 x) { return (x + 1); }
+        add2(bits32 x) { return (x + 2); }
+        f(bits32 i, bits32 x) {
+            bits32 t, r;
+            t = bits32[table + i * 4];
+            r = t(x);
+            return (r);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[0, 10], 1), vec![11]);
+    assert_eq!(agree(src, "f", &[1, 10], 1), vec![12]);
+}
+
+#[test]
+fn global_registers_shared_across_procedures() {
+    let src = r#"
+        register bits32 counter = 100;
+        bump(bits32 by) { counter = counter + by; return (counter); }
+        f() {
+            bits32 a, b;
+            a = bump(1);
+            b = bump(10);
+            return (a, b, counter);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[], 3), vec![101, 111, 111]);
+}
+
+#[test]
+fn both_report_divide_fault() {
+    let src = "f(bits32 a, bits32 b) { return (a / b); }";
+    let prog = build_program(&parse_module(src).unwrap()).unwrap();
+    let mut m = Machine::new(&prog);
+    m.start("f", vec![Value::b32(1), Value::b32(0)]).unwrap();
+    assert!(matches!(m.run(10_000), Status::Wrong(Wrong::OpFailed(..))));
+    let vp = compile(&prog).unwrap();
+    let mut vm = VmMachine::new(&vp);
+    vm.start("f", &[1, 0], 1);
+    assert!(matches!(vm.run(10_000), VmStatus::Error(_)));
+}
+
+#[test]
+fn deep_recursion_stays_consistent() {
+    let src = r#"
+        f(bits32 n) {
+            bits32 r;
+            if n == 0 { return (0); }
+            r = f(n - 1);
+            return (r + n);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[500], 1), vec![125250]);
+}
+
+#[test]
+fn parallel_assignment_including_memory() {
+    let src = r#"
+        data cell { bits32 7; }
+        f(bits32 a, bits32 b) {
+            bits32 t;
+            a, bits32[cell], b = b, a + b, a;
+            t = bits32[cell];
+            return (a, b, t);
+        }
+    "#;
+    assert_eq!(agree(src, "f", &[1, 2], 3), vec![2, 1, 3]);
+}

@@ -1,0 +1,129 @@
+//! Scale tests: generated programs far larger than the paper's figures,
+//! to show the pipeline holds up at realistic compilation-unit sizes.
+
+use cmm_core::sem::Value;
+use cmm_core::Compiler;
+use cmm_frontend::{compile_minim3, run_sem, run_vm, Strategy};
+use std::fmt::Write as _;
+
+/// A module with `n` chained procedures: p0 calls p1 calls ... calls pn.
+fn chain(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        let _ = writeln!(
+            src,
+            "p{i}(bits32 x) {{ bits32 r; r = p{}(x + 1); return (r + 1); }}",
+            i + 1
+        );
+    }
+    let _ = writeln!(src, "p{n}(bits32 x) {{ return (x); }}");
+    src
+}
+
+#[test]
+fn hundred_procedure_chain() {
+    let n = 100;
+    let c = Compiler::new().source(&chain(n)).unwrap();
+    let vals = c.interpret("p0", vec![Value::b32(0)]).unwrap();
+    assert_eq!(vals, vec![Value::b32(2 * n as u32)]);
+    let (vm, cost) = c.execute("p0", &[0], 1).unwrap();
+    assert_eq!(vm, vec![2 * n as u64]);
+    assert!(cost.instructions > 1000);
+}
+
+/// One procedure with `n` sequential basic blocks (if-chains), stressing
+/// the optimizer's dataflow fixpoints and SSA renaming.
+fn wide_proc(n: usize) -> String {
+    let mut body = String::new();
+    for i in 0..n {
+        let _ = writeln!(
+            body,
+            "if x > {i} {{ acc = acc + {i}; }} else {{ acc = acc * 1; }}"
+        );
+    }
+    format!("f(bits32 x) {{ bits32 acc; acc = 0;\n{body}\nreturn (acc); }}")
+}
+
+#[test]
+fn five_hundred_block_procedure() {
+    let n = 500;
+    let c = Compiler::new().source(&wide_proc(n)).unwrap();
+    let expect: u32 = (0..200u32).sum();
+    let vals = c.interpret("f", vec![Value::b32(200)]).unwrap();
+    assert_eq!(vals, vec![Value::b32(expect)]);
+    let (vm, _) = c.execute("f", &[200], 1).unwrap();
+    assert_eq!(vm, vec![u64::from(expect)]);
+}
+
+/// Deeply nested MiniM3 try scopes, all strategies.
+fn nested_tries(depth: usize) -> String {
+    let mut body = String::from("r = boom(x);");
+    for i in 0..depth {
+        body = format!(
+            "try {{ {body} }} except {{ E{i}(v) => {{ r = v + {i}; }} }}"
+        );
+    }
+    let mut exceptions = String::new();
+    let mut raises = String::new();
+    for i in 0..depth {
+        let _ = write!(exceptions, "exception E{i};\n");
+        let _ = writeln!(raises, "if x == {i} {{ raise E{i}(100); }}");
+    }
+    format!(
+        "{exceptions}
+         proc boom(x) {{ {raises} return x; }}
+         proc main(x) {{ var r; {body} return r; }}"
+    )
+}
+
+#[test]
+fn sixteen_deep_try_nesting_all_strategies() {
+    let depth = 16;
+    let src = nested_tries(depth);
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(&src, strategy)
+            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        // Raising E3 is caught by the scope at nesting level 3.
+        assert_eq!(run_sem(&module, strategy, &[3]).unwrap(), 103, "{strategy}");
+        // No raise: the value passes through every scope.
+        assert_eq!(run_sem(&module, strategy, &[999]).unwrap(), 999, "{strategy}");
+        let (vm, _) = run_vm(&module, strategy, &[3]).unwrap();
+        assert_eq!(vm, 103, "{strategy}/vm");
+    }
+}
+
+#[test]
+fn deep_dynamic_handler_stack() {
+    // Recursion where every frame opens a handler scope: the cutting
+    // strategy's dynamic exception stack gets `depth` entries.
+    let src = r#"
+        exception E;
+        proc rec(n) {
+            var r;
+            if n == 0 { raise E(7); }
+            try { r = rec(n - 1); } except { E(v) => { raise E(v + 1); } }
+            return r;
+        }
+        proc main(n) {
+            var r;
+            try { r = rec(n); } except { E(v) => { r = v; } }
+            return r;
+        }
+    "#;
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(src, strategy).unwrap();
+        // The exception re-raises through every frame: 7 + depth.
+        assert_eq!(run_sem(&module, strategy, &[50]).unwrap(), 57, "{strategy}");
+    }
+}
+
+#[test]
+fn optimizer_scales_on_generated_code() {
+    let src = wide_proc(200);
+    let mut prog =
+        cmm_cfg::build_program(&cmm_parse::parse_module(&src).unwrap()).unwrap();
+    let stats = cmm_opt::optimize_program(&mut prog, &cmm_opt::OptOptions::default());
+    assert!(stats.iterations >= 1);
+    // `acc * 1` arms fold away.
+    assert!(stats.constprop_rewrites + stats.local_rewrites > 0);
+}
