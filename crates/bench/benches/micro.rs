@@ -1,10 +1,12 @@
-//! Criterion wall-clock benchmarks of the implementation itself:
-//! parser, translator, optimizer, abstract machine, simulated target,
-//! and the end-to-end MiniM3 strategies.
+//! Wall-clock benchmarks of the implementation itself: parser,
+//! translator, optimizer, abstract machine, simulated target, and the
+//! end-to-end MiniM3 strategies.
 //!
 //! The *paper's* experiments are deterministic instruction-count tables
 //! (see the `cmm-bench` binaries); these benches track the speed of this
-//! reproduction's own components.
+//! reproduction's own components. They use a small self-contained timing
+//! harness (median of several timed batches) so the workspace builds
+//! without external benchmarking crates.
 
 use cmm_cfg::build_program;
 use cmm_frontend::workloads::{GAME, RAISE_FREQUENCY};
@@ -13,8 +15,8 @@ use cmm_opt::{optimize_program, OptOptions};
 use cmm_parse::parse_module;
 use cmm_sem::{Machine, Status, Value};
 use cmm_vm::{compile, VmMachine, VmStatus};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 const SP_SRC: &str = r#"
     sp1(bits32 n) {
@@ -31,78 +33,74 @@ const SP_SRC: &str = r#"
     }
 "#;
 
-fn bench_parser(c: &mut Criterion) {
-    c.bench_function("parse_figure1", |b| {
-        b.iter(|| parse_module(black_box(SP_SRC)).expect("parses"))
-    });
+/// Times `f` in batches until ~50 ms have elapsed or 7 batches have run,
+/// and reports the median per-iteration time.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and estimate a batch size aiming at ~5 ms per batch.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+
+    let mut samples = Vec::new();
+    let deadline = Instant::now() + Duration::from_millis(50);
+    for _ in 0..7 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed() / batch);
+        if Instant::now() > deadline {
+            break;
+        }
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{name:<32} {median:>12.2?}/iter  ({batch} iters/batch, {} batches)",
+        samples.len()
+    );
 }
 
-fn bench_translate(c: &mut Criterion) {
+fn main() {
+    bench("parse_figure1", || {
+        parse_module(black_box(SP_SRC)).expect("parses");
+    });
+
     let module = parse_module(SP_SRC).expect("parses");
-    c.bench_function("build_program", |b| {
-        b.iter(|| build_program(black_box(&module)).expect("builds"))
+    bench("build_program", || {
+        build_program(black_box(&module)).expect("builds");
     });
-}
 
-fn bench_optimizer(c: &mut Criterion) {
-    let prog = build_program(&parse_module(SP_SRC).expect("parses")).expect("builds");
-    c.bench_function("optimize_program", |b| {
-        b.iter(|| {
-            let mut p = prog.clone();
-            optimize_program(&mut p, &OptOptions::default())
-        })
+    let prog = build_program(&module).expect("builds");
+    bench("optimize_program", || {
+        let mut p = prog.clone();
+        optimize_program(&mut p, &OptOptions::default());
     });
-}
 
-fn bench_interpreter(c: &mut Criterion) {
-    let prog = build_program(&parse_module(SP_SRC).expect("parses")).expect("builds");
-    c.bench_function("sem_interpret_sp3_1000", |b| {
-        b.iter(|| {
-            let mut m = Machine::new(&prog);
-            m.start("sp3", vec![Value::b32(1000)]).expect("starts");
-            assert!(matches!(m.run(10_000_000), Status::Terminated(_)));
-        })
+    bench("sem_interpret_sp3_1000", || {
+        let mut m = Machine::new(&prog);
+        m.start("sp3", vec![Value::b32(1000)]).expect("starts");
+        assert!(matches!(m.run(10_000_000), Status::Terminated(_)));
     });
-}
 
-fn bench_vm(c: &mut Criterion) {
-    let mut prog = build_program(&parse_module(SP_SRC).expect("parses")).expect("builds");
-    optimize_program(&mut prog, &OptOptions::default());
-    let vp = compile(&prog).expect("compiles");
-    c.bench_function("vm_execute_sp3_1000", |b| {
-        b.iter(|| {
-            let mut m = VmMachine::new(&vp);
-            m.start("sp3", &[1000], 2);
-            assert!(matches!(m.run(10_000_000), VmStatus::Halted(_)));
-        })
+    let mut opt_prog = prog.clone();
+    optimize_program(&mut opt_prog, &OptOptions::default());
+    let vp = compile(&opt_prog).expect("compiles");
+    bench("vm_execute_sp3_1000", || {
+        let mut m = VmMachine::new(&vp);
+        m.start("sp3", &[1000], 2);
+        assert!(matches!(m.run(10_000_000), VmStatus::Halted(_)));
     });
-}
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minim3_strategies");
     for strategy in Strategy::CORE {
         let module = compile_minim3(RAISE_FREQUENCY, strategy).expect("compiles");
-        group.bench_function(strategy.label(), |b| {
-            b.iter(|| run_vm(black_box(&module), strategy, &[60, 4]).expect("runs"))
+        bench(&format!("minim3_strategies/{}", strategy.label()), || {
+            run_vm(black_box(&module), strategy, &[60, 4]).expect("runs");
         });
     }
-    group.finish();
-}
 
-fn bench_frontend(c: &mut Criterion) {
-    c.bench_function("compile_minim3_game", |b| {
-        b.iter(|| compile_minim3(black_box(GAME), Strategy::Cutting).expect("compiles"))
+    bench("compile_minim3_game", || {
+        compile_minim3(black_box(GAME), Strategy::Cutting).expect("compiles");
     });
 }
-
-criterion_group!(
-    benches,
-    bench_parser,
-    bench_translate,
-    bench_optimizer,
-    bench_interpreter,
-    bench_vm,
-    bench_strategies,
-    bench_frontend
-);
-criterion_main!(benches);

@@ -11,7 +11,13 @@ use cmm_parse::parse_module;
 use cmm_vm::{arch, compile, Cost, VmMachine, VmStatus};
 use std::fmt::Write as _;
 
-fn run_cmm(src: &str, proc: &str, args: &[u64], results: usize, opts: &OptOptions) -> (Vec<u64>, Cost) {
+fn run_cmm(
+    src: &str,
+    proc: &str,
+    args: &[u64],
+    results: usize,
+    opts: &OptOptions,
+) -> (Vec<u64>, Cost) {
     let mut prog = build_program(&parse_module(src).expect("experiment source parses"))
         .expect("experiment source builds");
     optimize_program(&mut prog, opts);
@@ -77,7 +83,10 @@ pub fn fig2_design_space() -> String {
     );
 
     // Normal-case cost: handler scopes entered but never used.
-    let _ = writeln!(out, "\nNormal-case cost per handler-scope entry (never raises):\n");
+    let _ = writeln!(
+        out,
+        "\nNormal-case cost per handler-scope entry (never raises):\n"
+    );
     let n = 200u32;
     let mut rows = Vec::new();
     for strategy in Strategy::CORE {
@@ -86,11 +95,7 @@ pub fn fig2_design_space() -> String {
         assert_eq!(r, no_raise_expected(n));
         rows.push((strategy, cost.total()));
     }
-    let base = rows
-        .iter()
-        .map(|&(_, t)| t)
-        .min()
-        .expect("nonempty");
+    let base = rows.iter().map(|&(_, t)| t).min().expect("nonempty");
     for (strategy, total) in &rows {
         let _ = writeln!(
             out,
@@ -100,8 +105,16 @@ pub fn fig2_design_space() -> String {
             (*total as f64 - base as f64) / f64::from(n)
         );
     }
-    let unwind_total = rows.iter().find(|(s, _)| *s == Strategy::RuntimeUnwind).expect("present").1;
-    let cutting_total = rows.iter().find(|(s, _)| *s == Strategy::Cutting).expect("present").1;
+    let unwind_total = rows
+        .iter()
+        .find(|(s, _)| *s == Strategy::RuntimeUnwind)
+        .expect("present")
+        .1;
+    let cutting_total = rows
+        .iter()
+        .find(|(s, _)| *s == Strategy::Cutting)
+        .expect("present")
+        .1;
     assert!(
         unwind_total < cutting_total,
         "unwinding must have lower normal-case cost than cutting"
@@ -179,10 +192,26 @@ pub fn fig34_branch_table() -> String {
     assert_eq!(v1, v2);
     assert_eq!(v2, v3);
     let _ = writeln!(out, "{n} normal-returning calls:\n");
-    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "call-site technique", "instr", "branches");
-    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "plain call (no alternates)", c1.instructions, c1.branches);
-    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "branch table (Figure 4)", c2.instructions, c2.branches);
-    let _ = writeln!(out, "  {:<34} {:>8} {:>10}", "status code + test at call site", c3.instructions, c3.branches);
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>8} {:>10}",
+        "call-site technique", "instr", "branches"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>8} {:>10}",
+        "plain call (no alternates)", c1.instructions, c1.branches
+    );
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>8} {:>10}",
+        "branch table (Figure 4)", c2.instructions, c2.branches
+    );
+    let _ = writeln!(
+        out,
+        "  {:<34} {:>8} {:>10}",
+        "status code + test at call site", c3.instructions, c3.branches
+    );
     assert_eq!(
         c1.instructions, c2.instructions,
         "the branch-table method has NO dynamic overhead in the normal case"
@@ -218,7 +247,10 @@ pub fn sec2_setjmp_cost() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "## §2 — jmp_buf sizes vs the native stack cutter\n");
     let n = 100u32;
-    let _ = writeln!(out, "{n} handler-scope entries (no raise): stores per entry\n");
+    let _ = writeln!(
+        out,
+        "{n} handler-scope entries (no raise): stores per entry\n"
+    );
     let _ = writeln!(
         out,
         "  {:<24} {:>14} {:>18}",
@@ -231,7 +263,12 @@ pub fn sec2_setjmp_cost() -> String {
         cost.stores
     };
     let mut per_entry = Vec::new();
-    for profile in [arch::NATIVE_CUTTER, arch::PENTIUM_LINUX, arch::SPARC_SOLARIS, arch::ALPHA_DIGITAL_UNIX] {
+    for profile in [
+        arch::NATIVE_CUTTER,
+        arch::PENTIUM_LINUX,
+        arch::SPARC_SOLARIS,
+        arch::ALPHA_DIGITAL_UNIX,
+    ] {
         let strategy = Strategy::Sjlj(profile);
         let module = compile_minim3(NO_RAISE, strategy).expect("compiles");
         let (r, cost) = run_vm(&module, strategy, &[n]).expect("runs");
@@ -246,7 +283,9 @@ pub fn sec2_setjmp_cost() -> String {
             profile.name, profile.jmp_buf_words, stores
         );
     }
-    assert!(per_entry[0] < per_entry[1] && per_entry[1] < per_entry[2] && per_entry[2] < per_entry[3]);
+    assert!(
+        per_entry[0] < per_entry[1] && per_entry[1] < per_entry[2] && per_entry[2] < per_entry[3]
+    );
     let _ = writeln!(
         out,
         "\nThe paper's ordering reproduces: 2 (native cutter) << 6 (Pentium) <\n\
@@ -262,7 +301,10 @@ pub fn sec2_setjmp_cost() -> String {
 /// raise frequency varies.
 pub fn appendixa_dispatchers() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "## Appendix A — zero-overhead entry vs constant-time dispatch\n");
+    let _ = writeln!(
+        out,
+        "## Appendix A — zero-overhead entry vs constant-time dispatch\n"
+    );
     let n = 240u32;
     let freqs = [0u32, 60, 12, 4, 2, 1];
     let _ = writeln!(
@@ -271,7 +313,11 @@ pub fn appendixa_dispatchers() -> String {
     );
     let _ = write!(out, "  {:<18}", "strategy");
     for m in freqs {
-        let label = if m == 0 { "never".to_string() } else { format!("1/{m}") };
+        let label = if m == 0 {
+            "never".to_string()
+        } else {
+            format!("1/{m}")
+        };
         let _ = write!(out, "{:>10}", label);
     }
     let _ = writeln!(out);
@@ -353,8 +399,15 @@ pub fn sec42_callee_saves() -> String {
     let (v1, c_cut) = run_cmm(&cuts, "f", &[n], 1, &opts);
     let (v2, c_unw) = run_cmm(&unwinds, "f", &[n], 1, &opts);
     assert_eq!(v1, v2);
-    let _ = writeln!(out, "{n} loop iterations, y and w live across the call and into the handler:\n");
-    let _ = writeln!(out, "  {:<26} {:>8} {:>8} {:>8}", "annotation at the call", "instr", "loads", "stores");
+    let _ = writeln!(
+        out,
+        "{n} loop iterations, y and w live across the call and into the handler:\n"
+    );
+    let _ = writeln!(
+        out,
+        "  {:<26} {:>8} {:>8} {:>8}",
+        "annotation at the call", "instr", "loads", "stores"
+    );
     let _ = writeln!(
         out,
         "  {:<26} {:>8} {:>8} {:>8}",
@@ -398,9 +451,9 @@ pub fn table3_dataflow_effect() -> String {
     );
     for strategy in Strategy::CORE {
         let module = compile_minim3(RAISE_FREQUENCY, strategy).expect("compiles");
-        let (r1, c1) =
-            run_vm_with(&module, strategy, &[n, 4], &OptOptions::none()).expect("runs");
-        let (r2, c2) = run_vm_with(&module, strategy, &[n, 4], &OptOptions::default()).expect("runs");
+        let (r1, c1) = run_vm_with(&module, strategy, &[n, 4], &OptOptions::none()).expect("runs");
+        let (r2, c2) =
+            run_vm_with(&module, strategy, &[n, 4], &OptOptions::default()).expect("runs");
         assert_eq!(r1, r2, "{strategy}: optimization must preserve results");
         assert_eq!(r1, raise_frequency_expected(n, 4));
         let saved = c1.total() as i64 - c2.total() as i64;
@@ -412,7 +465,10 @@ pub fn table3_dataflow_effect() -> String {
             c2.total(),
             100.0 * saved as f64 / c1.total() as f64
         );
-        assert!(c2.total() <= c1.total(), "{strategy}: optimization must not hurt");
+        assert!(
+            c2.total() <= c1.total(),
+            "{strategy}: optimization must not hurt"
+        );
     }
     let _ = writeln!(
         out,

@@ -23,9 +23,7 @@ use crate::graph::{Graph, NodeId, Program};
 use crate::image::DataImage;
 use crate::node::{Bundle, Node};
 use crate::YIELD;
-use cmm_ir::{
-    Annotations, BinOp, BodyItem, Expr, Lvalue, Module, Name, Proc, Stmt, Ty, Width,
-};
+use cmm_ir::{Annotations, BinOp, BodyItem, Expr, Lvalue, Module, Name, Proc, Stmt, Ty, Width};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -230,25 +228,46 @@ fn synthesize_checked(name: &Name, op: BinOp) -> Graph {
         _ => Expr::b32(0),
     };
     // ok: CopyOut [op(p, q)] -> Exit 0/0
-    let exit = g.add(Node::Exit { index: 0, alternates: 0 });
+    let exit = g.add(Node::Exit {
+        index: 0,
+        alternates: 0,
+    });
     let ok = g.add(Node::CopyOut {
         exprs: vec![Expr::binary(op, Expr::var(&p), Expr::var(&q))],
         next: exit,
     });
     // failure: CopyOut [DIVZERO] -> Call yield (aborts) -> CopyIn [] -> ok
-    let resume = g.add(Node::CopyIn { vars: vec![], next: ok });
+    let resume = g.add(Node::CopyIn {
+        vars: vec![],
+        next: ok,
+    });
     let call = g.add(Node::Call {
         callee: Expr::var(YIELD),
-        bundle: Bundle { returns: vec![resume], unwinds: vec![], cuts: vec![], aborts: true },
+        bundle: Bundle {
+            returns: vec![resume],
+            unwinds: vec![],
+            cuts: vec![],
+            aborts: true,
+        },
         descriptors: vec![],
     });
     let copyout = g.add(Node::CopyOut {
         exprs: vec![Expr::Lit(cmm_ir::Lit::b32(yield_codes::DIVZERO as u32))],
         next: call,
     });
-    let branch = g.add(Node::Branch { cond: fail, t: copyout, f: ok });
-    let copyin = g.add(Node::CopyIn { vars: vec![p, q], next: branch });
-    let entry = g.add(Node::Entry { conts: vec![], next: copyin });
+    let branch = g.add(Node::Branch {
+        cond: fail,
+        t: copyout,
+        f: ok,
+    });
+    let copyin = g.add(Node::CopyIn {
+        vars: vec![p, q],
+        next: branch,
+    });
+    let entry = g.add(Node::Entry {
+        conts: vec![],
+        next: copyin,
+    });
     g.entry = entry;
     g
 }
@@ -267,7 +286,10 @@ impl GraphBuilder {
         let mut seen = BTreeSet::new();
         for (n, ty) in p.formals.iter().chain(p.locals.iter()) {
             if !seen.insert(n.clone()) {
-                return Err(BuildError::DuplicateName { proc: p.name.clone(), name: n.clone() });
+                return Err(BuildError::DuplicateName {
+                    proc: p.name.clone(),
+                    name: n.clone(),
+                });
             }
             vars.push((n.clone(), *ty));
         }
@@ -342,13 +364,25 @@ impl GraphBuilder {
 
     fn run(mut self, p: &Proc, used_prims: &mut BTreeSet<Name>) -> Result<Graph, BuildError> {
         // Falling off the end of a body behaves as a plain `return;`.
-        let implicit_return = self.g.add(Node::Exit { index: 0, alternates: 0 });
+        let implicit_return = self.g.add(Node::Exit {
+            index: 0,
+            alternates: 0,
+        });
         let body_head = self.items(p, &p.body, implicit_return, used_prims)?;
         let formals: Vec<Name> = p.formals.iter().map(|(n, _)| n.clone()).collect();
-        let copyin = self.g.add(Node::CopyIn { vars: formals, next: body_head });
-        let conts: Vec<(Name, NodeId)> =
-            self.cont_order.iter().map(|n| (n.clone(), self.conts[n])).collect();
-        let entry = self.g.add(Node::Entry { conts, next: copyin });
+        let copyin = self.g.add(Node::CopyIn {
+            vars: formals,
+            next: body_head,
+        });
+        let conts: Vec<(Name, NodeId)> = self
+            .cont_order
+            .iter()
+            .map(|n| (n.clone(), self.conts[n]))
+            .collect();
+        let entry = self.g.add(Node::Entry {
+            conts,
+            next: copyin,
+        });
         self.g.entry = entry;
         self.validate_names(p)?;
         Ok(self.g)
@@ -374,10 +408,13 @@ impl GraphBuilder {
         names
             .iter()
             .map(|n| {
-                self.conts.get(n).copied().ok_or_else(|| BuildError::UnknownContinuation {
-                    proc: p.name.clone(),
-                    cont: n.clone(),
-                })
+                self.conts
+                    .get(n)
+                    .copied()
+                    .ok_or_else(|| BuildError::UnknownContinuation {
+                        proc: p.name.clone(),
+                        cont: n.clone(),
+                    })
             })
             .collect()
     }
@@ -413,7 +450,10 @@ impl GraphBuilder {
             }
             BodyItem::Continuation { name, params } => {
                 let id = self.conts[name];
-                self.g.nodes[id.index()] = Node::CopyIn { vars: params.clone(), next };
+                self.g.nodes[id.index()] = Node::CopyIn {
+                    vars: params.clone(),
+                    next,
+                };
                 Ok(id)
             }
             BodyItem::Stmt(s) => self.stmt(p, s, next, used_prims),
@@ -432,31 +472,55 @@ impl GraphBuilder {
             Stmt::If { cond, then_, else_ } => {
                 let t = self.items(p, then_, next, used_prims)?;
                 let f = self.items(p, else_, next, used_prims)?;
-                Ok(self.g.add(Node::Branch { cond: cond.clone(), t, f }))
+                Ok(self.g.add(Node::Branch {
+                    cond: cond.clone(),
+                    t,
+                    f,
+                }))
             }
-            Stmt::Goto { target } => self
-                .labels
-                .get(target)
-                .copied()
-                .ok_or_else(|| BuildError::UnknownLabel { proc: p.name.clone(), label: target.clone() }),
-            Stmt::Call { results, callee, args, anns } => {
+            Stmt::Goto { target } => {
+                self.labels
+                    .get(target)
+                    .copied()
+                    .ok_or_else(|| BuildError::UnknownLabel {
+                        proc: p.name.clone(),
+                        label: target.clone(),
+                    })
+            }
+            Stmt::Call {
+                results,
+                callee,
+                args,
+                anns,
+            } => {
                 if let Expr::Name(n) = callee {
                     if n.is_checked_primitive() {
                         used_prims.insert(n.clone());
                     }
                 }
-                let copyin = self.g.add(Node::CopyIn { vars: results.clone(), next });
+                let copyin = self.g.add(Node::CopyIn {
+                    vars: results.clone(),
+                    next,
+                });
                 let bundle = self.bundle(p, anns, copyin)?;
                 let call = self.g.add(Node::Call {
                     callee: callee.clone(),
                     bundle,
                     descriptors: anns.descriptors.clone(),
                 });
-                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: call }))
+                Ok(self.g.add(Node::CopyOut {
+                    exprs: args.clone(),
+                    next: call,
+                }))
             }
             Stmt::Jump { callee, args } => {
-                let jump = self.g.add(Node::Jump { callee: callee.clone() });
-                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: jump }))
+                let jump = self.g.add(Node::Jump {
+                    callee: callee.clone(),
+                });
+                Ok(self.g.add(Node::CopyOut {
+                    exprs: args.clone(),
+                    next: jump,
+                }))
             }
             Stmt::Return { alt, args } => {
                 let (index, alternates) = match alt {
@@ -464,12 +528,21 @@ impl GraphBuilder {
                     None => (0, 0),
                 };
                 let exit = self.g.add(Node::Exit { index, alternates });
-                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: exit }))
+                Ok(self.g.add(Node::CopyOut {
+                    exprs: args.clone(),
+                    next: exit,
+                }))
             }
             Stmt::CutTo { cont, args, anns } => {
                 let cuts = self.resolve_conts(p, &anns.cuts_to)?;
-                let cut = self.g.add(Node::CutTo { cont: cont.clone(), cuts });
-                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: cut }))
+                let cut = self.g.add(Node::CutTo {
+                    cont: cont.clone(),
+                    cuts,
+                });
+                Ok(self.g.add(Node::CopyOut {
+                    exprs: args.clone(),
+                    next: cut,
+                }))
             }
             Stmt::Yield { args, anns } => {
                 let copyin = self.g.add(Node::CopyIn { vars: vec![], next });
@@ -479,7 +552,10 @@ impl GraphBuilder {
                     bundle,
                     descriptors: anns.descriptors.clone(),
                 });
-                Ok(self.g.add(Node::CopyOut { exprs: args.clone(), next: call }))
+                Ok(self.g.add(Node::CopyOut {
+                    exprs: args.clone(),
+                    next: call,
+                }))
             }
         }
     }
@@ -490,7 +566,11 @@ impl GraphBuilder {
     /// temporaries.
     fn assign(&mut self, lhs: &[Lvalue], rhs: &[Expr], next: NodeId) -> NodeId {
         if lhs.len() == 1 {
-            return self.g.add(Node::Assign { lhs: lhs[0].clone(), rhs: rhs[0].clone(), next });
+            return self.g.add(Node::Assign {
+                lhs: lhs[0].clone(),
+                rhs: rhs[0].clone(),
+                next,
+            });
         }
         let temps: Vec<Name> = lhs
             .iter()
@@ -505,11 +585,19 @@ impl GraphBuilder {
         // Writes (backward): target_i = temp_i.
         let mut head = next;
         for (l, t) in lhs.iter().zip(&temps).rev() {
-            head = self.g.add(Node::Assign { lhs: l.clone(), rhs: Expr::var(t), next: head });
+            head = self.g.add(Node::Assign {
+                lhs: l.clone(),
+                rhs: Expr::var(t),
+                next: head,
+            });
         }
         // Reads (backward): temp_i = rhs_i.
         for (t, e) in temps.iter().zip(rhs).rev() {
-            head = self.g.add(Node::Assign { lhs: Lvalue::Var(t.clone()), rhs: e.clone(), next: head });
+            head = self.g.add(Node::Assign {
+                lhs: Lvalue::Var(t.clone()),
+                rhs: e.clone(),
+                next: head,
+            });
         }
         head
     }
@@ -532,7 +620,10 @@ impl GraphBuilder {
                 }
             });
             match bad {
-                Some(n) => Err(BuildError::UnknownName { proc: p.name.clone(), name: n }),
+                Some(n) => Err(BuildError::UnknownName {
+                    proc: p.name.clone(),
+                    name: n,
+                }),
                 None => Ok(()),
             }
         };
@@ -602,8 +693,12 @@ mod tests {
         let g = p.proc("sp1").unwrap();
         assert!(matches!(g.node(g.entry), Node::Entry { .. }));
         // Entry -> CopyIn formals -> Branch.
-        let Node::Entry { next, .. } = g.node(g.entry) else { unreachable!() };
-        let Node::CopyIn { vars, next } = g.node(*next) else { panic!("expected CopyIn") };
+        let Node::Entry { next, .. } = g.node(g.entry) else {
+            unreachable!()
+        };
+        let Node::CopyIn { vars, next } = g.node(*next) else {
+            panic!("expected CopyIn")
+        };
         assert_eq!(vars.len(), 1);
         assert!(matches!(g.node(*next), Node::Branch { .. }));
         // yield procedure synthesized.
@@ -612,7 +707,8 @@ mod tests {
 
     #[test]
     fn call_produces_copyout_call_copyin() {
-        let p = build("f(bits32 x) { bits32 y; y = g(x); return (y); } g(bits32 a) { return (a); }");
+        let p =
+            build("f(bits32 x) { bits32 y; y = g(x); return (y); } g(bits32 a) { return (a); }");
         let g = p.proc("f").unwrap();
         let copyouts: Vec<_> = g
             .ids()
@@ -624,9 +720,13 @@ mod tests {
             .ids()
             .find(|&id| matches!(g.node(id), Node::Call { .. }))
             .expect("has a call node");
-        let Node::Call { bundle, .. } = g.node(call) else { unreachable!() };
+        let Node::Call { bundle, .. } = g.node(call) else {
+            unreachable!()
+        };
         assert_eq!(bundle.returns.len(), 1);
-        assert!(matches!(g.node(bundle.normal_return()), Node::CopyIn { vars, .. } if vars.len() == 1));
+        assert!(
+            matches!(g.node(bundle.normal_return()), Node::CopyIn { vars, .. } if vars.len() == 1)
+        );
     }
 
     #[test]
@@ -647,8 +747,13 @@ mod tests {
         assert_eq!(g.continuations().len(), 1);
         let k = g.continuation("k").unwrap();
         assert!(matches!(g.node(k), Node::CopyIn { vars, .. } if vars.len() == 1));
-        let call = g.ids().find(|&id| matches!(g.node(id), Node::Call { .. })).unwrap();
-        let Node::Call { bundle, .. } = g.node(call) else { unreachable!() };
+        let call = g
+            .ids()
+            .find(|&id| matches!(g.node(id), Node::Call { .. }))
+            .unwrap();
+        let Node::Call { bundle, .. } = g.node(call) else {
+            unreachable!()
+        };
         assert_eq!(bundle.cuts, vec![k]);
         assert_eq!(bundle.unwinds, vec![k]);
     }
@@ -685,12 +790,18 @@ mod tests {
 
     #[test]
     fn checked_primitive_synthesized() {
-        let p = build("f(bits32 a, bits32 b) { bits32 r; r = %%divu(a, b) also aborts; return (r); }");
+        let p =
+            build("f(bits32 a, bits32 b) { bits32 r; r = %%divu(a, b) also aborts; return (r); }");
         let g = p.proc("%%divu").expect("checking procedure synthesized");
         assert_eq!(g.arity, 2);
         // It contains a call to yield with aborts set.
-        let call = g.ids().find(|&id| matches!(g.node(id), Node::Call { .. })).unwrap();
-        let Node::Call { bundle, callee, .. } = g.node(call) else { unreachable!() };
+        let call = g
+            .ids()
+            .find(|&id| matches!(g.node(id), Node::Call { .. }))
+            .unwrap();
+        let Node::Call { bundle, callee, .. } = g.node(call) else {
+            unreachable!()
+        };
         assert_eq!(callee, &Expr::var(YIELD));
         assert!(bundle.aborts);
     }
@@ -700,32 +811,47 @@ mod tests {
         let m = parse_module("f() { g() also cuts to nowhere; } g() { return; }").unwrap();
         assert_eq!(
             build_program(&m).unwrap_err(),
-            BuildError::UnknownContinuation { proc: Name::from("f"), cont: Name::from("nowhere") }
+            BuildError::UnknownContinuation {
+                proc: Name::from("f"),
+                cont: Name::from("nowhere")
+            }
         );
     }
 
     #[test]
     fn unknown_label_rejected() {
         let m = parse_module("f() { goto nowhere; }").unwrap();
-        assert!(matches!(build_program(&m).unwrap_err(), BuildError::UnknownLabel { .. }));
+        assert!(matches!(
+            build_program(&m).unwrap_err(),
+            BuildError::UnknownLabel { .. }
+        ));
     }
 
     #[test]
     fn unknown_name_rejected() {
         let m = parse_module("f() { bits32 x; x = undeclared + 1; }").unwrap();
-        assert!(matches!(build_program(&m).unwrap_err(), BuildError::UnknownName { .. }));
+        assert!(matches!(
+            build_program(&m).unwrap_err(),
+            BuildError::UnknownName { .. }
+        ));
     }
 
     #[test]
     fn duplicate_symbol_rejected() {
         let m = parse_module("f() { return; } f() { return; }").unwrap();
-        assert!(matches!(build_program(&m).unwrap_err(), BuildError::DuplicateSymbol(_)));
+        assert!(matches!(
+            build_program(&m).unwrap_err(),
+            BuildError::DuplicateSymbol(_)
+        ));
     }
 
     #[test]
     fn undeclared_cont_param_rejected() {
         let m = parse_module("f() { return; continuation k(zz): return; }").unwrap();
-        assert!(matches!(build_program(&m).unwrap_err(), BuildError::UndeclaredContParam { .. }));
+        assert!(matches!(
+            build_program(&m).unwrap_err(),
+            BuildError::UndeclaredContParam { .. }
+        ));
     }
 
     #[test]
@@ -741,8 +867,13 @@ mod tests {
             "#,
         );
         let g = p.proc("f").unwrap();
-        let cut = g.ids().find(|&id| matches!(g.node(id), Node::CutTo { .. })).unwrap();
-        let Node::CutTo { cuts, .. } = g.node(cut) else { unreachable!() };
+        let cut = g
+            .ids()
+            .find(|&id| matches!(g.node(id), Node::CutTo { .. }))
+            .unwrap();
+        let Node::CutTo { cuts, .. } = g.node(cut) else {
+            unreachable!()
+        };
         assert_eq!(cuts.len(), 1);
     }
 
@@ -757,6 +888,12 @@ mod tests {
     fn implicit_return_at_end_of_body() {
         let p = build("f() { bits32 x; x = 1; }");
         let g = p.proc("f").unwrap();
-        assert!(g.ids().any(|id| matches!(g.node(id), Node::Exit { index: 0, alternates: 0 })));
+        assert!(g.ids().any(|id| matches!(
+            g.node(id),
+            Node::Exit {
+                index: 0,
+                alternates: 0
+            }
+        )));
     }
 }

@@ -40,7 +40,11 @@ pub fn node_to_string(g: &Graph, id: NodeId) -> String {
         Node::Branch { cond, t, f } => {
             let _ = write!(s, "Branch {} ? {t} : {f}", expr_to_string(cond));
         }
-        Node::Call { callee, bundle, descriptors } => {
+        Node::Call {
+            callee,
+            bundle,
+            descriptors,
+        } => {
             let rs: Vec<String> = bundle.returns.iter().map(ToString::to_string).collect();
             let us: Vec<String> = bundle.unwinds.iter().map(ToString::to_string).collect();
             let cs: Vec<String> = bundle.cuts.iter().map(ToString::to_string).collect();
@@ -123,7 +127,9 @@ mod tests {
         .unwrap();
         let p = build_program(&m).unwrap();
         let s = graph_to_string(p.proc("f").unwrap());
-        for kind in ["Entry", "CopyIn", "CopyOut", "Assign", "Branch", "Call", "CutTo", "Exit"] {
+        for kind in [
+            "Entry", "CopyIn", "CopyOut", "Assign", "Branch", "Call", "CutTo", "Exit",
+        ] {
             assert!(s.contains(kind), "missing {kind} in:\n{s}");
         }
         let dot = graph_to_dot(p.proc("f").unwrap());

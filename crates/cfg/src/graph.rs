@@ -143,7 +143,10 @@ impl Graph {
 
     /// Looks up a continuation's `CopyIn` node by name.
     pub fn continuation(&self, name: &str) -> Option<NodeId> {
-        self.continuations().iter().find(|(n, _)| n == name).map(|&(_, id)| id)
+        self.continuations()
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
     }
 }
 
@@ -193,19 +196,29 @@ mod tests {
             vars: vec![(Name::from("x"), Ty::B32)],
         };
         let exit = NodeId(4);
-        g.add(Node::Entry { conts: vec![], next: NodeId(1) }); // 0
+        g.add(Node::Entry {
+            conts: vec![],
+            next: NodeId(1),
+        }); // 0
         g.add(Node::Assign {
             lhs: cmm_ir::Lvalue::var("x"),
             rhs: Expr::b32(1),
             next: NodeId(2),
         }); // 1
-        g.add(Node::Branch { cond: Expr::var("x"), t: exit, f: NodeId(3) }); // 2
+        g.add(Node::Branch {
+            cond: Expr::var("x"),
+            t: exit,
+            f: NodeId(3),
+        }); // 2
         g.add(Node::Assign {
             lhs: cmm_ir::Lvalue::var("x"),
             rhs: Expr::b32(2),
             next: exit,
         }); // 3
-        g.add(Node::Exit { index: 0, alternates: 0 }); // 4
+        g.add(Node::Exit {
+            index: 0,
+            alternates: 0,
+        }); // 4
         g
     }
 

@@ -123,7 +123,8 @@ impl DataImage {
 
     fn write_le(&mut self, addr: u64, value: u64, bytes: u64) {
         for i in 0..bytes {
-            self.bytes.insert(addr + i, ((value >> (8 * i)) & 0xff) as u8);
+            self.bytes
+                .insert(addr + i, ((value >> (8 * i)) & 0xff) as u8);
         }
     }
 
@@ -168,7 +169,10 @@ mod tests {
     fn sym_refs_resolve_to_code_and_data() {
         let mut m = Module::new();
         m.push_proc(Proc::new("handler"));
-        m.push_data(DataBlock::new("t", vec![DataItem::SymRef(Name::from("handler"))]));
+        m.push_data(DataBlock::new(
+            "t",
+            vec![DataItem::SymRef(Name::from("handler"))],
+        ));
         let img = DataImage::link(&m).unwrap();
         let base = img.symbol("t").unwrap();
         let code_addr = img.read_le(base, 4);
@@ -178,7 +182,10 @@ mod tests {
     #[test]
     fn undefined_sym_is_an_error() {
         let mut m = Module::new();
-        m.push_data(DataBlock::new("t", vec![DataItem::SymRef(Name::from("nowhere"))]));
+        m.push_data(DataBlock::new(
+            "t",
+            vec![DataItem::SymRef(Name::from("nowhere"))],
+        ));
         assert_eq!(DataImage::link(&m).unwrap_err(), Name::from("nowhere"));
     }
 
@@ -186,7 +193,10 @@ mod tests {
     fn blocks_are_aligned_and_disjoint() {
         let mut m = Module::new();
         m.push_data(DataBlock::new("a", vec![DataItem::Str("xyz".into())])); // 4 bytes
-        m.push_data(DataBlock::new("b", vec![DataItem::Words(Ty::B32, vec![Lit::b32(5)])]));
+        m.push_data(DataBlock::new(
+            "b",
+            vec![DataItem::Words(Ty::B32, vec![Lit::b32(5)])],
+        ));
         let img = DataImage::link(&m).unwrap();
         let a = img.symbol("a").unwrap();
         let b = img.symbol("b").unwrap();

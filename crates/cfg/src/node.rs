@@ -39,7 +39,11 @@ impl Bundle {
 
     /// All nodes reachable through this bundle (for graph traversals).
     pub fn targets(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.returns.iter().chain(self.unwinds.iter()).chain(self.cuts.iter()).copied()
+        self.returns
+            .iter()
+            .chain(self.unwinds.iter())
+            .chain(self.cuts.iter())
+            .copied()
     }
 }
 
@@ -204,7 +208,10 @@ impl Node {
     /// True if control can leave the procedure at this node (no
     /// fall-through successor).
     pub fn is_exit_like(&self) -> bool {
-        matches!(self, Node::Exit { .. } | Node::Jump { .. } | Node::CutTo { .. } | Node::Yield)
+        matches!(
+            self,
+            Node::Exit { .. } | Node::Jump { .. } | Node::CutTo { .. } | Node::Yield
+        )
     }
 
     /// A short mnemonic for display.
@@ -254,14 +261,26 @@ mod tests {
             },
             descriptors: vec![],
         };
-        assert_eq!(call.succs(), vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            call.succs(),
+            vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert!(Node::Yield.succs().is_empty());
-        assert!(Node::Exit { index: 0, alternates: 0 }.succs().is_empty());
+        assert!(Node::Exit {
+            index: 0,
+            alternates: 0
+        }
+        .succs()
+        .is_empty());
     }
 
     #[test]
     fn map_succs_rewrites_all_edges() {
-        let mut br = Node::Branch { cond: Expr::b32(1), t: NodeId(1), f: NodeId(2) };
+        let mut br = Node::Branch {
+            cond: Expr::b32(1),
+            t: NodeId(1),
+            f: NodeId(2),
+        };
         br.map_succs(|n| NodeId(n.0 + 10));
         assert_eq!(br.succs(), vec![NodeId(11), NodeId(12)]);
     }

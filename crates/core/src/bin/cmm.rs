@@ -6,6 +6,7 @@
 //! cmm dump-ssa <file.cmm> [proc]      # Figure 6-style SSA numbering
 //! cmm dump-vm <file.cmm>              # disassembled simulated target
 //! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
+//! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]
 //! ```
 //!
 //! Strategies: `runtime-unwind`, `cutting`, `native-unwind`, `cps`,
@@ -52,8 +53,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let c = compiler(&file)?.options(opts);
             let sem_args = call_args.iter().map(|&a| Value::b32(a as u32)).collect();
             let sem = c.interpret(&proc, sem_args).map_err(|e| e.to_string())?;
-            let (vm_vals, cost) =
-                c.execute(&proc, &call_args, results).map_err(|e| e.to_string())?;
+            let (vm_vals, cost) = c
+                .execute(&proc, &call_args, results)
+                .map_err(|e| e.to_string())?;
             println!("semantics: {sem:?}");
             println!("target:    {vm_vals:?}");
             println!(
@@ -101,14 +103,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let call_args: Vec<u32> = args
                 .map(|v| v.parse().map_err(|_| format!("bad argument `{v}`")))
                 .collect::<Result<_, _>>()?;
-            let src =
-                std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
-            let module =
-                frontend::compile_minim3(&src, strategy).map_err(|e| e.to_string())?;
-            let sem = frontend::run_sem(&module, strategy, &call_args)
-                .map_err(|e| e.to_string())?;
-            let (vm_val, cost) = frontend::run_vm(&module, strategy, &call_args)
-                .map_err(|e| e.to_string())?;
+            let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let module = frontend::compile_minim3(&src, strategy).map_err(|e| e.to_string())?;
+            let sem =
+                frontend::run_sem(&module, strategy, &call_args).map_err(|e| e.to_string())?;
+            let (vm_val, cost) =
+                frontend::run_vm(&module, strategy, &call_args).map_err(|e| e.to_string())?;
             assert_eq!(sem, vm_val, "substrates disagree — please report a bug");
             println!("result:    {vm_val}");
             println!(
@@ -116,6 +116,62 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 cost.instructions, cost.runtime_instructions, cost.loads, cost.stores
             );
             Ok(())
+        }
+        "fuzz" => {
+            let mut cfg = cmm_difftest::FuzzConfig {
+                shrink: false,
+                ..Default::default()
+            };
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--cases" => {
+                        cfg.cases = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--cases needs a number")?;
+                    }
+                    "--seed" => {
+                        cfg.seed = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--seed needs a number")?;
+                    }
+                    "--shrink" => cfg.shrink = true,
+                    "--corpus" => {
+                        cfg.corpus_dir =
+                            Some(args.next().ok_or("--corpus needs a directory")?.into());
+                    }
+                    other => return Err(format!("unknown fuzz option `{other}`")),
+                }
+            }
+            let report = cmm_difftest::run_fuzz(&cfg);
+            for f in &report.failures {
+                eprintln!("case {} (seed {}): {}", f.index, cfg.seed, f.failure);
+                let shown = f.shrunk.as_ref().unwrap_or(&f.case);
+                eprintln!(
+                    "--- {} program ---",
+                    if f.shrunk.is_some() {
+                        "shrunk"
+                    } else {
+                        "failing"
+                    }
+                );
+                eprint!("{}", shown.render());
+                if let Some(p) = &f.corpus_path {
+                    eprintln!("reproducer written to {}", p.display());
+                }
+            }
+            println!(
+                "fuzz: {} cases, seed {}: {} failure(s)",
+                report.cases_run,
+                cfg.seed,
+                report.failures.len()
+            );
+            if report.ok() {
+                Ok(())
+            } else {
+                Err("differential fuzzing found divergence".into())
+            }
         }
         _ => Err(usage()),
     }
@@ -144,6 +200,7 @@ fn usage() -> String {
      \x20      cmm dump-cfg <file> [proc]\n\
      \x20      cmm dump-ssa <file> [proc]\n\
      \x20      cmm dump-vm <file>\n\
-     \x20      cmm m3 <file> <strategy> [args..]"
+     \x20      cmm m3 <file> <strategy> [args..]\n\
+     \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]"
         .into()
 }

@@ -110,7 +110,11 @@ impl Default for Compiler {
 impl Compiler {
     /// A compiler with default optimization options.
     pub fn new() -> Compiler {
-        Compiler { opts: OptOptions::default(), fuel: 500_000_000, module: None }
+        Compiler {
+            opts: OptOptions::default(),
+            fuel: 500_000_000,
+            module: None,
+        }
     }
 
     /// Sets the optimization options.
@@ -148,7 +152,10 @@ impl Compiler {
     ///
     /// Returns [`Error::Build`] on translation errors.
     pub fn program(&self) -> Result<Program, Error> {
-        let m = self.module.as_ref().ok_or_else(|| Error::Build("no module loaded".into()))?;
+        let m = self
+            .module
+            .as_ref()
+            .ok_or_else(|| Error::Build("no module loaded".into()))?;
         let mut p = build_program(m).map_err(|e| Error::Build(e.to_string()))?;
         optimize_program(&mut p, &self.opts);
         Ok(p)
@@ -175,7 +182,8 @@ impl Compiler {
     pub fn interpret(&self, proc: &str, args: Vec<Value>) -> Result<Vec<Value>, Error> {
         let p = self.program()?;
         let mut m = Machine::new(&p);
-        m.start(proc, args).map_err(|e| Error::Runtime(e.to_string()))?;
+        m.start(proc, args)
+            .map_err(|e| Error::Runtime(e.to_string()))?;
         match m.run(self.fuel) {
             Status::Terminated(vals) => Ok(vals),
             Status::Wrong(w) => Err(Error::Runtime(w.to_string())),
@@ -234,7 +242,10 @@ mod tests {
     #[test]
     fn optimization_levels_preserve_results() {
         let opt = Compiler::new().source(SP1).unwrap();
-        let unopt = Compiler::new().options(OptOptions::none()).source(SP1).unwrap();
+        let unopt = Compiler::new()
+            .options(OptOptions::none())
+            .source(SP1)
+            .unwrap();
         assert_eq!(
             opt.interpret("sp1", vec![Value::b32(6)]).unwrap(),
             unopt.interpret("sp1", vec![Value::b32(6)]).unwrap()
@@ -243,10 +254,16 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(Compiler::new().source("f( {"), Err(Error::Parse(_))));
+        assert!(matches!(
+            Compiler::new().source("f( {"),
+            Err(Error::Parse(_))
+        ));
         let c = Compiler::new().source("f() { goto nowhere; }");
         assert!(matches!(c.unwrap().program(), Err(Error::Build(_))));
         let c = Compiler::new().source("f() { yield(1); return; }").unwrap();
-        assert!(matches!(c.interpret("f", vec![]), Err(Error::UnhandledYield)));
+        assert!(matches!(
+            c.interpret("f", vec![]),
+            Err(Error::UnhandledYield)
+        ));
     }
 }

@@ -1,0 +1,232 @@
+//! # cmm-difftest — differential fuzzing of the C-- substrates
+//!
+//! The repository implements the paper's intermediate language three
+//! times over: a formal semantics (`cmm-sem`), an optimizer (`cmm-opt`),
+//! and a simulated native target (`cmm-vm`), with the run-time interface
+//! of Table 1 implemented over both executable substrates (`cmm-rt` and
+//! `cmm-vm::runtime`). That redundancy is this crate's test oracle: any
+//! program, however strange, must behave identically everywhere.
+//!
+//! The pipeline:
+//!
+//! 1. [`genprog`] generates structured random programs exercising the
+//!    paper's exceptional-control-flow features — weak continuations,
+//!    `cut to`, `also unwinds to` / `also returns to` / `also aborts`,
+//!    tail calls, `yield`, and fallible/checked primitives — that are
+//!    well formed by construction (re-checked with `cmm-ir`'s verifier)
+//!    and terminate structurally;
+//! 2. [`oracle`] runs each program through the reference semantics, each
+//!    optimization pass individually, the full pipeline, and the VM,
+//!    comparing final results, "went wrong" states, and the sequence of
+//!    yield codes serviced by a fixed deterministic run-time policy;
+//! 3. [`shrink`] delta-debugs any divergence down to a minimal
+//!    reproducer, which [`run_fuzz`] writes to a corpus directory as a
+//!    standalone `.cmm` file.
+//!
+//! Everything is reproducible from `(seed, index)`: see [`case_for`].
+
+pub mod genprog;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use genprog::{generate, shrink_candidates, TestCase};
+pub use oracle::{
+    observe_sem, observe_vm, pass_variants, run_case, run_case_with, ExtraPass, Failure, Limits,
+    Obs, Outcome,
+};
+pub use rng::Rng;
+pub use shrink::shrink;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Configuration for a fuzzing run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of cases to generate and check.
+    pub cases: usize,
+    /// Base seed; case `i` is derived from `(seed, i)` independently of
+    /// the other cases.
+    pub seed: u64,
+    /// Minimize failing cases before reporting them.
+    pub shrink: bool,
+    /// Where to write reproducers for failing cases, if anywhere.
+    pub corpus_dir: Option<PathBuf>,
+    /// Per-oracle execution limits.
+    pub limits: Limits,
+    /// Maximum oracle evaluations the minimizer may spend per failure.
+    pub shrink_budget: usize,
+    /// Stop after this many failures.
+    pub max_failures: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            cases: 1000,
+            seed: 0,
+            shrink: true,
+            corpus_dir: None,
+            limits: Limits::default(),
+            shrink_budget: 4000,
+            max_failures: 1,
+        }
+    }
+}
+
+/// One failing case and what became of it.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// The case's index within the run.
+    pub index: u64,
+    /// The case as generated.
+    pub case: TestCase,
+    /// Why it failed.
+    pub failure: Failure,
+    /// The minimized case, when shrinking was enabled.
+    pub shrunk: Option<TestCase>,
+    /// Where the reproducer was written, when a corpus was configured.
+    pub corpus_path: Option<PathBuf>,
+}
+
+/// The result of a fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Cases generated and checked.
+    pub cases_run: usize,
+    /// Failures found (at most `max_failures`).
+    pub failures: Vec<FailureReport>,
+}
+
+impl FuzzReport {
+    /// Whether every case passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The test case for `(seed, index)`. Each index gets a decorrelated
+/// generator stream, so a single failing case can be regenerated in
+/// isolation without replaying the run.
+pub fn case_for(seed: u64, index: u64) -> TestCase {
+    let mut derive = Rng::new(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    generate(&mut derive.split())
+}
+
+/// Runs the fuzzer.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    run_fuzz_with(cfg, &[])
+}
+
+/// [`run_fuzz`] with extra injected passes (see [`oracle::run_case_with`]).
+pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for index in 0..cfg.cases as u64 {
+        let case = case_for(cfg.seed, index);
+        report.cases_run += 1;
+        let Err(failure) = oracle::run_case_with(&case, &cfg.limits, extra_passes) else {
+            continue;
+        };
+        let shrunk = if cfg.shrink {
+            let limits = cfg.limits;
+            Some(shrink::shrink(
+                &case,
+                &mut |c| oracle::run_case_with(c, &limits, extra_passes).is_err(),
+                cfg.shrink_budget,
+            ))
+        } else {
+            None
+        };
+        let reported = shrunk.as_ref().unwrap_or(&case);
+        let corpus_path = cfg
+            .corpus_dir
+            .as_deref()
+            .and_then(|dir| write_reproducer(dir, cfg.seed, index, reported, &failure).ok());
+        report.failures.push(FailureReport {
+            index,
+            case,
+            failure,
+            shrunk,
+            corpus_path,
+        });
+        if report.failures.len() >= cfg.max_failures {
+            break;
+        }
+    }
+    report
+}
+
+/// Writes a standalone reproducer file `case-s<seed>-i<index>.cmm` into
+/// `dir`, creating it if necessary. The header comment records the
+/// failure and how to re-run the case.
+pub fn write_reproducer(
+    dir: &Path,
+    seed: u64,
+    index: u64,
+    case: &TestCase,
+    failure: &Failure,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("case-s{seed}-i{index}.cmm"));
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "/* cmm-difftest reproducer (seed {seed}, case {index})"
+    );
+    let _ = writeln!(text, " *");
+    for line in failure.to_string().lines() {
+        let _ = writeln!(text, " * {line}");
+    }
+    let _ = writeln!(text, " *");
+    let _ = writeln!(
+        text,
+        " * Reproduce with: cmm fuzz --seed {seed} --cases {} --shrink",
+        index + 1
+    );
+    let _ = writeln!(text, " * Entry point: f({}, {})", case.args.0, case.args.1);
+    let _ = writeln!(text, " */");
+    text.push_str(&case.render());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_derivation_is_stable_and_independent() {
+        assert_eq!(case_for(0, 7), case_for(0, 7));
+        assert_ne!(case_for(0, 7), case_for(0, 8));
+        assert_ne!(case_for(0, 7), case_for(1, 7));
+    }
+
+    #[test]
+    fn a_clean_run_reports_no_failures() {
+        let cfg = FuzzConfig {
+            cases: 25,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert_eq!(report.cases_run, 25);
+        assert!(
+            report.ok(),
+            "{:?}",
+            report.failures.first().map(|f| f.failure.to_string())
+        );
+    }
+
+    #[test]
+    fn reproducers_are_valid_cmm_with_a_header() {
+        let dir = std::env::temp_dir().join("cmm-difftest-selftest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = case_for(3, 1);
+        let failure = Failure::Build("synthetic".into());
+        let path = write_reproducer(&dir, 3, 1, &case, &failure).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("/* cmm-difftest reproducer"));
+        cmm_parse::parse_module(&text).expect("reproducer parses (comment included)");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

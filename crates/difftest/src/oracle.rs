@@ -1,0 +1,481 @@
+//! Multi-oracle differential execution.
+//!
+//! One generated program is run through every substrate the repository
+//! implements:
+//!
+//! * the `cmm-sem` formal abstract machine on the **unoptimized** CFG —
+//!   the reference oracle;
+//! * `cmm-sem` again after each optimization pass *individually* and
+//!   after the full pipeline (the per-pass oracles localize a
+//!   miscompilation to the pass that introduced it);
+//! * the `cmm-vm` simulated target, both unoptimized and fully
+//!   optimized.
+//!
+//! Suspensions are driven by a fixed deterministic run-time-system
+//! policy (see [`observe_sem`]) implemented identically over `cmm-rt`'s
+//! [`Thread`] and `cmm-vm`'s [`VmThread`], so the *sequence of yield
+//! codes* is part of the observation: the substrates must agree not only
+//! on final results but on every interaction with the run-time system.
+//!
+//! Outcomes are compared coarsely for failing programs: the semantics
+//! reports a structured [`cmm_sem::Wrong`] while the VM reports a fault
+//! string, so "went wrong" states compare equal across substrates while
+//! the detail text is kept for display.
+
+use crate::genprog::TestCase;
+use cmm_cfg::Program;
+use cmm_opt::OptOptions;
+use cmm_rt::Thread;
+use cmm_sem::{Status, Value};
+use cmm_vm::{VmProgram, VmStatus, VmThread};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Execution limits shared by every oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Transition budget per `run` of the abstract machine.
+    pub sem_fuel: u64,
+    /// Instruction budget per `run` of the simulated machine.
+    pub vm_fuel: u64,
+    /// Suspensions serviced before the run is cut off as [`Outcome::Fuel`].
+    pub max_yields: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            sem_fuel: 2_000_000,
+            vm_fuel: 20_000_000,
+            max_yields: 64,
+        }
+    }
+}
+
+/// How an observed execution ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Normal termination with these result values.
+    Halt(Vec<u64>),
+    /// The program went wrong (semantics) or faulted (VM). Compared
+    /// coarsely; the detail string lives outside the observation.
+    Wrong,
+    /// A Table 1 operation failed during dispatch (e.g. discarding a
+    /// non-abortable activation).
+    RtsError,
+    /// Fuel or the suspension bound ran out.
+    Fuel,
+}
+
+/// What an oracle observed: the final outcome plus the sequence of yield
+/// codes serviced along the way.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Obs {
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// First `yield` argument of each suspension, in order.
+    pub yields: Vec<u64>,
+}
+
+impl Obs {
+    /// A display form including the substrate-specific detail text.
+    pub fn describe(&self, detail: &str) -> String {
+        let mut s = match &self.outcome {
+            Outcome::Halt(vs) => format!("halt {vs:?}"),
+            Outcome::Wrong => "wrong".to_string(),
+            Outcome::RtsError => "rts-error".to_string(),
+            Outcome::Fuel => "fuel".to_string(),
+        };
+        if !detail.is_empty() {
+            let _ = write!(s, " ({detail})");
+        }
+        if !self.yields.is_empty() {
+            let _ = write!(s, " after yields {:?}", self.yields);
+        }
+        s
+    }
+}
+
+/// The deterministic parameter value the dispatcher passes to whatever
+/// continuation it resumes for yield code `code`.
+fn fill(code: u64) -> u32 {
+    (code.wrapping_mul(13).wrapping_add(7) & 0xfff) as u32
+}
+
+/// Runs `f(args)` on the formal semantics, servicing suspensions with
+/// the fixed dispatcher policy. Returns the observation and a detail
+/// string (empty unless something went wrong).
+///
+/// The policy, executed identically by [`observe_vm`]:
+///
+/// 1. record the yield code (the first `yield` argument);
+/// 2. walk from the first activation one hop toward the caller (staying
+///    on the first at the bottom of the stack);
+/// 3. `SetActivation` there — discarding the yielder, which must be
+///    suspended at an `also aborts` site;
+/// 4. if the code is odd, try `SetUnwindCont(0)`, falling back to the
+///    normal return point if the site has no unwind continuations
+///    (`yield_codes::DIVZERO` is odd, so checked-primitive failures
+///    take the unwind edge exactly when the call site is annotated);
+/// 5. fill every continuation parameter with [`fill`]`(code)`; `Resume`.
+pub fn observe_sem(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, String) {
+    let mut t = Thread::new(prog);
+    let mut yields = Vec::new();
+    let obs = |outcome: Outcome, yields: &[u64]| Obs {
+        outcome,
+        yields: yields.to_vec(),
+    };
+    if let Err(w) = t.start("f", vec![Value::b32(args.0), Value::b32(args.1)]) {
+        return (obs(Outcome::Wrong, &yields), w.to_string());
+    }
+    loop {
+        match t.run(limits.sem_fuel) {
+            Status::Terminated(vals) => {
+                let bits = vals.iter().map(|v| v.bits().unwrap_or(u64::MAX)).collect();
+                return (obs(Outcome::Halt(bits), &yields), String::new());
+            }
+            Status::Wrong(w) => return (obs(Outcome::Wrong, &yields), w.to_string()),
+            Status::OutOfFuel => return (obs(Outcome::Fuel, &yields), "out of fuel".into()),
+            Status::Suspended => {
+                if yields.len() >= limits.max_yields {
+                    return (obs(Outcome::Fuel, &yields), "suspension bound".into());
+                }
+                let code = t.yield_code().unwrap_or(0);
+                yields.push(code);
+                let Some(mut a) = t.first_activation() else {
+                    return (
+                        obs(Outcome::RtsError, &yields),
+                        "no first activation".into(),
+                    );
+                };
+                // Hop once toward the caller; at the bottom of the stack
+                // the yielder itself is resumed.
+                let _ = t.next_activation(&mut a);
+                if let Err(w) = t.set_activation(&a) {
+                    return (obs(Outcome::RtsError, &yields), w.to_string());
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = Value::b32(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v.clone();
+                    n += 1;
+                }
+                if let Err(w) = t.resume() {
+                    return (obs(Outcome::RtsError, &yields), w.to_string());
+                }
+            }
+            other => {
+                return (
+                    obs(Outcome::RtsError, &yields),
+                    format!("unexpected status {other:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Runs `f(args)` on the simulated machine under the same dispatcher
+/// policy as [`observe_sem`].
+pub fn observe_vm(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> (Obs, String) {
+    let mut t = VmThread::new(prog);
+    let mut yields = Vec::new();
+    let obs = |outcome: Outcome, yields: &[u64]| Obs {
+        outcome,
+        yields: yields.to_vec(),
+    };
+    t.start("f", &[u64::from(args.0), u64::from(args.1)], 1);
+    loop {
+        match t.run(limits.vm_fuel) {
+            VmStatus::Halted(vals) => return (obs(Outcome::Halt(vals), &yields), String::new()),
+            VmStatus::Error(e) => return (obs(Outcome::Wrong, &yields), e),
+            VmStatus::OutOfFuel => return (obs(Outcome::Fuel, &yields), "out of fuel".into()),
+            VmStatus::Suspended => {
+                if yields.len() >= limits.max_yields {
+                    return (obs(Outcome::Fuel, &yields), "suspension bound".into());
+                }
+                let code = t.machine.yield_args(1)[0];
+                yields.push(code);
+                let Some(mut a) = t.first_activation() else {
+                    return (
+                        obs(Outcome::RtsError, &yields),
+                        "no first activation".into(),
+                    );
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(e) = t.set_activation(&a) {
+                    return (obs(Outcome::RtsError, &yields), e);
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = u64::from(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v;
+                    n += 1;
+                }
+                if let Err(e) = t.resume() {
+                    return (obs(Outcome::RtsError, &yields), e);
+                }
+            }
+            other => {
+                return (
+                    obs(Outcome::RtsError, &yields),
+                    format!("unexpected status {other:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// The optimization configurations the per-pass oracles run, each pass
+/// individually and then the full pipeline.
+pub fn pass_variants() -> Vec<(&'static str, OptOptions)> {
+    vec![
+        (
+            "constprop",
+            OptOptions {
+                constprop: true,
+                max_iters: 4,
+                ..OptOptions::none()
+            },
+        ),
+        (
+            "localopt",
+            OptOptions {
+                localopt: true,
+                max_iters: 4,
+                ..OptOptions::none()
+            },
+        ),
+        (
+            "dce",
+            OptOptions {
+                dce: true,
+                max_iters: 4,
+                ..OptOptions::none()
+            },
+        ),
+        (
+            "callee-saves",
+            OptOptions {
+                callee_save_regs: 6,
+                ..OptOptions::none()
+            },
+        ),
+        ("O2", OptOptions::default()),
+    ]
+}
+
+/// Why a test case failed.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// The rendered program did not parse (a generator bug).
+    Parse(String),
+    /// The parsed module failed the `cmm-ir` verifier (a generator bug).
+    Verify(Vec<String>),
+    /// Pretty-printing then re-parsing did not reproduce the module.
+    RoundTrip(String),
+    /// CFG construction failed.
+    Build(String),
+    /// VM code generation failed.
+    Codegen(String),
+    /// An oracle disagreed with the unoptimized-semantics reference.
+    Diverged {
+        /// Which oracle disagreed, e.g. `sem+dce` or `vm+O2`.
+        oracle: String,
+        /// The reference observation, described.
+        reference: String,
+        /// The divergent observation, described.
+        observed: String,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Parse(e) => write!(f, "generated program does not parse: {e}"),
+            Failure::Verify(errs) => write!(
+                f,
+                "verifier rejected generated program: {}",
+                errs.join("; ")
+            ),
+            Failure::RoundTrip(e) => write!(f, "pretty-print round trip failed: {e}"),
+            Failure::Build(e) => write!(f, "CFG construction failed: {e}"),
+            Failure::Codegen(e) => write!(f, "VM code generation failed: {e}"),
+            Failure::Diverged {
+                oracle,
+                reference,
+                observed,
+            } => {
+                write!(
+                    f,
+                    "oracle {oracle} diverged: reference {reference}, observed {observed}"
+                )
+            }
+        }
+    }
+}
+
+fn diverged(oracle: String, reference: &Obs, ref_detail: &str, obs: &Obs, detail: &str) -> Failure {
+    Failure::Diverged {
+        oracle,
+        reference: reference.describe(ref_detail),
+        observed: obs.describe(detail),
+    }
+}
+
+/// A named program transformation injected alongside the real passes
+/// (used to test that the fuzzer catches miscompilation — see the
+/// minimizer tests).
+pub type ExtraPass<'a> = (&'a str, &'a dyn Fn(&mut Program));
+
+/// Runs one case through every oracle; `Ok(())` means all agreed.
+pub fn run_case(case: &TestCase, limits: &Limits) -> Result<(), Failure> {
+    run_case_with(case, limits, &[])
+}
+
+/// [`run_case`] with extra injected passes, each checked like a real one.
+pub fn run_case_with(
+    case: &TestCase,
+    limits: &Limits,
+    extra_passes: &[ExtraPass<'_>],
+) -> Result<(), Failure> {
+    let src = case.render();
+    let module = cmm_parse::parse_module(&src).map_err(|e| Failure::Parse(e.to_string()))?;
+    let errors = cmm_ir::verify_module(&module);
+    if !errors.is_empty() {
+        return Err(Failure::Verify(errors));
+    }
+    let printed = cmm_ir::pretty::module_to_string(&module);
+    let reparsed = cmm_parse::parse_module(&printed)
+        .map_err(|e| Failure::RoundTrip(format!("pretty output does not re-parse: {e}")))?;
+    if reparsed != module {
+        return Err(Failure::RoundTrip(
+            "pretty output re-parses to a different module".into(),
+        ));
+    }
+    let program = cmm_cfg::build_program(&module).map_err(|e| Failure::Build(e.to_string()))?;
+
+    let (reference, ref_detail) = observe_sem(&program, case.args, limits);
+
+    for (name, opts) in pass_variants() {
+        let mut p = program.clone();
+        cmm_opt::optimize_program(&mut p, &opts);
+        let (o, detail) = observe_sem(&p, case.args, limits);
+        if o != reference {
+            return Err(diverged(
+                format!("sem+{name}"),
+                &reference,
+                &ref_detail,
+                &o,
+                &detail,
+            ));
+        }
+    }
+
+    for (name, pass) in extra_passes {
+        let mut p = program.clone();
+        pass(&mut p);
+        let (o, detail) = observe_sem(&p, case.args, limits);
+        if o != reference {
+            return Err(diverged(
+                format!("sem+{name}"),
+                &reference,
+                &ref_detail,
+                &o,
+                &detail,
+            ));
+        }
+    }
+
+    let vm_prog = cmm_vm::compile(&program).map_err(|e| Failure::Codegen(e.to_string()))?;
+    let (o, detail) = observe_vm(&vm_prog, case.args, limits);
+    if o != reference {
+        return Err(diverged("vm".into(), &reference, &ref_detail, &o, &detail));
+    }
+
+    let mut p = program.clone();
+    cmm_opt::optimize_program(&mut p, &OptOptions::default());
+    let vm_opt = cmm_vm::compile(&p).map_err(|e| Failure::Codegen(format!("after O2: {e}")))?;
+    let (o, detail) = observe_vm(&vm_opt, case.args, limits);
+    if o != reference {
+        return Err(diverged(
+            "vm+O2".into(),
+            &reference,
+            &ref_detail,
+            &o,
+            &detail,
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate;
+    use crate::rng::Rng;
+
+    #[test]
+    fn oracles_agree_on_generated_cases() {
+        let limits = Limits::default();
+        for seed in 0..40 {
+            let case = generate(&mut Rng::new(seed));
+            if let Err(f) = run_case(&case, &limits) {
+                panic!("seed {seed} failed: {f}\n{}", case.render());
+            }
+        }
+    }
+
+    #[test]
+    fn observations_include_yield_sequences() {
+        // Some seed in a small range must suspend at least once; the two
+        // substrates must agree on the whole sequence.
+        let limits = Limits::default();
+        let mut saw_yield = false;
+        for seed in 0..60 {
+            let case = generate(&mut Rng::new(seed));
+            let src = case.render();
+            let m = cmm_parse::parse_module(&src).unwrap();
+            let prog = cmm_cfg::build_program(&m).unwrap();
+            let (o, _) = observe_sem(&prog, case.args, &limits);
+            saw_yield |= !o.yields.is_empty();
+        }
+        assert!(saw_yield, "no seed in 0..60 ever suspended");
+    }
+
+    #[test]
+    fn injected_bad_pass_is_caught() {
+        // A "pass" that forces every branch to its true arm is a
+        // miscompilation the differential oracles must flag.
+        let force_true = |p: &mut Program| {
+            for g in p.procs.values_mut() {
+                for id in 0..g.nodes.len() {
+                    let id = cmm_cfg::NodeId(id as u32);
+                    if let cmm_cfg::Node::Branch { t, .. } = g.node(id) {
+                        let t = *t;
+                        *g.node_mut(id) = cmm_cfg::Node::Branch {
+                            cond: cmm_ir::Expr::b32(1),
+                            t,
+                            f: t,
+                        };
+                    }
+                }
+            }
+        };
+        let limits = Limits::default();
+        let caught = (0..60).any(|seed| {
+            let case = generate(&mut Rng::new(seed));
+            matches!(
+                run_case_with(&case, &limits, &[("force-true", &force_true)]),
+                Err(Failure::Diverged { .. })
+            )
+        });
+        assert!(caught, "no seed in 0..60 exposed the forced-branch pass");
+    }
+}

@@ -1,0 +1,97 @@
+//! Delta-debugging minimization of failing cases.
+//!
+//! Greedy first-improvement descent: [`crate::genprog::shrink_candidates`]
+//! proposes one-step-simpler variants in decreasing order of how much
+//! they simplify, the first variant that still fails becomes the new
+//! current case, and the loop repeats to a fixpoint. The predicate is
+//! "still fails *somehow*" rather than "fails identically" — sliding to
+//! a different failure during shrinking still leaves a real bug, and the
+//! looser predicate shrinks much further.
+
+use crate::genprog::{shrink_candidates, TestCase};
+
+/// Shrinks `case` while `still_failing` holds, spending at most `budget`
+/// predicate evaluations. Returns the smallest failing case found (the
+/// input itself if nothing simpler fails).
+pub fn shrink(
+    case: &TestCase,
+    still_failing: &mut dyn FnMut(&TestCase) -> bool,
+    mut budget: usize,
+) -> TestCase {
+    let mut current = case.clone();
+    loop {
+        let mut improved = false;
+        for cand in shrink_candidates(&current) {
+            if budget == 0 {
+                return current;
+            }
+            budget -= 1;
+            if still_failing(&cand) {
+                current = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::{generate, GenStmt};
+    use crate::rng::Rng;
+
+    #[test]
+    fn shrinks_to_a_single_relevant_statement() {
+        // Pretend the bug is "the body contains a Store"; the minimizer
+        // should strip everything else.
+        let mut found = None;
+        for seed in 0..200 {
+            let case = generate(&mut Rng::new(seed));
+            fn has_store(b: &[GenStmt]) -> bool {
+                b.iter().any(|s| match s {
+                    GenStmt::Store(..) => true,
+                    GenStmt::If(_, t, e) => has_store(t) || has_store(e),
+                    _ => false,
+                })
+            }
+            if has_store(&case.body) && case.stmt_count() > 3 {
+                found = Some(case);
+                break;
+            }
+        }
+        let case = found.expect("some seed generates a store");
+        let shrunk = shrink(&case, &mut |c| has_store_case(c), 10_000);
+        assert_eq!(shrunk.stmt_count(), 1, "{:?}", shrunk.body);
+        assert!(has_store_case(&shrunk));
+
+        fn has_store_case(c: &TestCase) -> bool {
+            fn has_store(b: &[GenStmt]) -> bool {
+                b.iter().any(|s| match s {
+                    GenStmt::Store(..) => true,
+                    GenStmt::If(_, t, e) => has_store(t) || has_store(e),
+                    _ => false,
+                })
+            }
+            has_store(&c.body)
+        }
+    }
+
+    #[test]
+    fn budget_bounds_predicate_evaluations() {
+        let case = generate(&mut Rng::new(9));
+        let mut calls = 0usize;
+        let _ = shrink(
+            &case,
+            &mut |_| {
+                calls += 1;
+                true // always "fails": would descend forever without a budget
+            },
+            25,
+        );
+        assert!(calls <= 25, "{calls}");
+    }
+}

@@ -44,9 +44,16 @@ pub const HEAP: &str = "cps$heap";
 
 /// Lowers a program in CPS.
 pub fn lower(prog: &M3Program, module: &mut Module) -> Result<(), LowerError> {
-    module.push_register(GlobalReg { name: Name::from(HP), ty: Ty::B32, init: None });
+    module.push_register(GlobalReg {
+        name: Name::from(HP),
+        ty: Ty::B32,
+        init: None,
+    });
     module.push_data(DataBlock::new(HEAP, vec![DataItem::Space(1 << 22)]));
-    let mut cps = Cps { out: Vec::new(), counter: 0 };
+    let mut cps = Cps {
+        out: Vec::new(),
+        counter: 0,
+    };
     for p in &prog.procs {
         cps.lower_proc(p);
     }
@@ -67,14 +74,15 @@ fn entry_wrapper(prog: &M3Program, module: &mut Module) {
     for l in ["$r", "$s", "$rk", "$xk"] {
         p.locals.push((Name::from(l), Ty::B32));
     }
-    let mut b: Vec<BodyItem> = Vec::new();
-    b.push(Stmt::assign(HP, Expr::var(HEAP)).into());
-    b.push(Stmt::assign("$rk", Expr::var(HP)).into());
-    b.push(Stmt::assign(HP, Expr::add(Expr::var(HP), Expr::b32(8))).into());
-    b.push(Stmt::store(Ty::B32, Expr::var("$rk"), Expr::var("m3$done")).into());
-    b.push(Stmt::assign("$xk", Expr::var(HP)).into());
-    b.push(Stmt::assign(HP, Expr::add(Expr::var(HP), Expr::b32(8))).into());
-    b.push(Stmt::store(Ty::B32, Expr::var("$xk"), Expr::var("m3$uncaught")).into());
+    let mut b: Vec<BodyItem> = vec![
+        Stmt::assign(HP, Expr::var(HEAP)).into(),
+        Stmt::assign("$rk", Expr::var(HP)).into(),
+        Stmt::assign(HP, Expr::add(Expr::var(HP), Expr::b32(8))).into(),
+        Stmt::store(Ty::B32, Expr::var("$rk"), Expr::var("m3$done")).into(),
+        Stmt::assign("$xk", Expr::var(HP)).into(),
+        Stmt::assign(HP, Expr::add(Expr::var(HP), Expr::b32(8))).into(),
+        Stmt::store(Ty::B32, Expr::var("$xk"), Expr::var("m3$uncaught")).into(),
+    ];
     let mut args: Vec<Expr> = main.params.iter().map(|n| Expr::var(n.as_str())).collect();
     args.push(Expr::var("$rk"));
     args.push(Expr::var("$xk"));
@@ -159,7 +167,10 @@ impl Em {
         for f in formals {
             proc.formals.push((f.clone(), Ty::B32));
         }
-        Em { proc, items: Vec::new() }
+        Em {
+            proc,
+            items: Vec::new(),
+        }
     }
 
     fn local(&mut self, n: &Name) {
@@ -197,7 +208,10 @@ impl Cps {
                 vars.push(n);
             }
         }
-        let mut ctx = Ctx { vars: vars.clone(), cur_exnk: Name::from("exnk") };
+        let mut ctx = Ctx {
+            vars: vars.clone(),
+            cur_exnk: Name::from("exnk"),
+        };
         let mut formals: Vec<Name> = p.params.iter().map(|s| Name::from(s.as_str())).collect();
         formals.push(Name::from("retk"));
         formals.push(Name::from("exnk"));
@@ -275,7 +289,11 @@ impl Cps {
             HP,
             Expr::add(Expr::var(HP), Expr::b32(4 * ctx.closure_words())),
         ));
-        em.push(Stmt::store(Ty::B32, Expr::Name(dst.clone()), Expr::var(code)));
+        em.push(Stmt::store(
+            Ty::B32,
+            Expr::Name(dst.clone()),
+            Expr::var(code),
+        ));
         for (i, v) in ctx.vars.iter().enumerate() {
             em.push(Stmt::store(
                 Ty::B32,
@@ -332,7 +350,10 @@ impl Cps {
         let mut args: Vec<Expr> = ctx.vars.iter().map(|v| Expr::Name(v.clone())).collect();
         args.push(Expr::var("retk"));
         args.push(exnk);
-        em.push(Stmt::Jump { callee: Expr::var(target), args });
+        em.push(Stmt::Jump {
+            callee: Expr::var(target),
+            args,
+        });
     }
 
     /// Lowers a statement sequence; returns true if control cannot fall
@@ -371,7 +392,10 @@ impl Cps {
                     let mut cargs: Vec<Expr> = args.iter().map(lower_expr).collect();
                     cargs.push(Expr::Name(c));
                     cargs.push(Expr::Name(ctx.cur_exnk.clone()));
-                    em.push(Stmt::Jump { callee: Expr::var(callee.as_str()), args: cargs });
+                    em.push(Stmt::Jump {
+                        callee: Expr::var(callee.as_str()),
+                        args: cargs,
+                    });
                     // The rest of the sequence becomes the continuation.
                     let mut em2 = self.closure_entry(&kname, ctx, &[Name::from("$res")]);
                     if let Some(d) = dst {
@@ -394,7 +418,12 @@ impl Cps {
                         let tb = std::mem::take(&mut em.items);
                         em.items = saved;
                         em.items.push(
-                            Stmt::If { cond: lower_expr(c), then_: ta, else_: tb }.into(),
+                            Stmt::If {
+                                cond: lower_expr(c),
+                                then_: ta,
+                                else_: tb,
+                            }
+                            .into(),
                         );
                         if term_a && term_b {
                             return true;
@@ -414,8 +443,14 @@ impl Cps {
                         self.seq_close(em, &mut bctx, base, b, &join);
                         let tb = std::mem::take(&mut em.items);
                         em.items = saved;
-                        em.items
-                            .push(Stmt::If { cond: lower_expr(c), then_: ta, else_: tb }.into());
+                        em.items.push(
+                            Stmt::If {
+                                cond: lower_expr(c),
+                                then_: ta,
+                                else_: tb,
+                            }
+                            .into(),
+                        );
                         let mut jem = self.state_proc(&jname, ctx);
                         let mut jctx = ctx.clone();
                         jctx.cur_exnk = Name::from("exnk");
@@ -433,7 +468,9 @@ impl Cps {
                         std::mem::swap(&mut em.items, &mut saved);
                         let term = self.seq(em, ctx, base, body, finish);
                         if !term {
-                            em.push(Stmt::Goto { target: head.clone() });
+                            em.push(Stmt::Goto {
+                                target: head.clone(),
+                            });
                         }
                         let b = std::mem::take(&mut em.items);
                         em.items = saved;
@@ -441,7 +478,10 @@ impl Cps {
                             Stmt::If {
                                 cond: lower_expr(c),
                                 then_: b,
-                                else_: vec![Stmt::Goto { target: done.clone() }.into()],
+                                else_: vec![Stmt::Goto {
+                                    target: done.clone(),
+                                }
+                                .into()],
                             }
                             .into(),
                         );
@@ -457,14 +497,26 @@ impl Cps {
                         let mut lctx = ctx.clone();
                         lctx.cur_exnk = Name::from("exnk");
                         let mut bctx = lctx.clone();
-                        self.seq_close(&mut lem, &mut bctx, base, body, &Finish::Join(lname.clone()));
+                        self.seq_close(
+                            &mut lem,
+                            &mut bctx,
+                            base,
+                            body,
+                            &Finish::Join(lname.clone()),
+                        );
                         let tb = std::mem::take(&mut lem.items);
                         let mut ectx = lctx.clone();
                         self.apply_finish(&mut lem, &ectx, &Finish::Join(aname.clone()));
                         let eb = std::mem::take(&mut lem.items);
                         let _ = &mut ectx;
-                        lem.items
-                            .push(Stmt::If { cond: lower_expr(c), then_: tb, else_: eb }.into());
+                        lem.items.push(
+                            Stmt::If {
+                                cond: lower_expr(c),
+                                then_: tb,
+                                else_: eb,
+                            }
+                            .into(),
+                        );
                         self.out.push(lem.finish());
                         // after(vars, retk, exnk): the rest.
                         let mut aem = self.state_proc(&aname, ctx);
@@ -527,7 +579,13 @@ impl Cps {
                 arm_em.push(Stmt::assign(x.as_str(), Expr::var("$val")));
             }
             let mut actx = hctx.clone();
-            self.seq_close(&mut arm_em, &mut actx, base, &h.body, &Finish::Join(jname.clone()));
+            self.seq_close(
+                &mut arm_em,
+                &mut actx,
+                base,
+                &h.body,
+                &Finish::Join(jname.clone()),
+            );
             // Locals created while lowering the arm belong to the
             // handler procedure.
             for (n, ty) in arm_em.proc.locals.clone() {
@@ -536,8 +594,12 @@ impl Cps {
                 }
             }
             let cond = Expr::eq(Expr::var("$tag"), Expr::var(tag_block(&h.exception)));
-            else_items =
-                vec![Stmt::If { cond, then_: arm_em.items, else_: else_items }.into()];
+            else_items = vec![Stmt::If {
+                cond,
+                then_: arm_em.items,
+                else_: else_items,
+            }
+            .into()];
         }
         hem.items.append(&mut else_items);
         self.out.push(hem.finish());

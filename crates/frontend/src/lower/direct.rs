@@ -19,8 +19,7 @@ use super::{lower_expr, tag_block, LowerError, Strategy, ENTRY};
 use crate::ast::{M3Program, M3Stmt};
 use crate::M3_EXCEPTION;
 use cmm_ir::{
-    Annotations, BodyItem, DataBlock, DataItem, Expr, GlobalReg, Lit, Module, Name, Proc, Stmt,
-    Ty,
+    Annotations, BodyItem, DataBlock, DataItem, Expr, GlobalReg, Lit, Module, Name, Proc, Stmt, Ty,
 };
 
 /// The global register holding the top of the dynamic exception stack
@@ -32,7 +31,11 @@ pub const EXN_STACK: &str = "m3$exnstack";
 /// Lowers all procedures plus the entry wrapper.
 pub fn lower(prog: &M3Program, module: &mut Module, strategy: Strategy) -> Result<(), LowerError> {
     if matches!(strategy, Strategy::Cutting | Strategy::Sjlj(_)) {
-        module.push_register(GlobalReg { name: Name::from(EXN_TOP), ty: Ty::B32, init: None });
+        module.push_register(GlobalReg {
+            name: Name::from(EXN_TOP),
+            ty: Ty::B32,
+            init: None,
+        });
         module.push_data(DataBlock::new(EXN_STACK, vec![DataItem::Space(1 << 20)]));
     }
     let mut desc_counter = 0usize;
@@ -218,17 +221,22 @@ impl<'a> ProcLower<'a> {
 
     fn lower_return(&self, e: Expr) -> BodyItem {
         match self.strategy {
-            Strategy::NativeUnwind => {
-                Stmt::Return { alt: Some(cmm_ir::AltReturn { index: 1, count: 1 }), args: vec![e] }
-                    .into()
+            Strategy::NativeUnwind => Stmt::Return {
+                alt: Some(cmm_ir::AltReturn { index: 1, count: 1 }),
+                args: vec![e],
             }
+            .into(),
             _ => Stmt::return_([e]).into(),
         }
     }
 
     /// All enclosing handler continuations, innermost first.
     fn handler_chain(&self) -> Vec<Name> {
-        self.scopes.iter().rev().flat_map(|s| s.conts.iter().cloned()).collect()
+        self.scopes
+            .iter()
+            .rev()
+            .flat_map(|s| s.conts.iter().cloned())
+            .collect()
     }
 
     fn call_annotations(&self) -> Annotations {
@@ -287,7 +295,14 @@ impl<'a> ProcLower<'a> {
                 self.stmts(then_, &mut t);
                 let mut e = Vec::new();
                 self.stmts(else_, &mut e);
-                out.push(Stmt::If { cond: lower_expr(cond), then_: t, else_: e }.into());
+                out.push(
+                    Stmt::If {
+                        cond: lower_expr(cond),
+                        then_: t,
+                        else_: e,
+                    }
+                    .into(),
+                );
             }
             M3Stmt::While(cond, body) => {
                 let head = self.fresh("l$while");
@@ -295,12 +310,20 @@ impl<'a> ProcLower<'a> {
                 out.push(BodyItem::Label(head.clone()));
                 let mut b = Vec::new();
                 self.stmts(body, &mut b);
-                b.push(Stmt::Goto { target: head.clone() }.into());
+                b.push(
+                    Stmt::Goto {
+                        target: head.clone(),
+                    }
+                    .into(),
+                );
                 out.push(
                     Stmt::If {
                         cond: lower_expr(cond),
                         then_: b,
-                        else_: vec![Stmt::Goto { target: done.clone() }.into()],
+                        else_: vec![Stmt::Goto {
+                            target: done.clone(),
+                        }
+                        .into()],
                     }
                     .into(),
                 );
@@ -352,9 +375,7 @@ impl<'a> ProcLower<'a> {
                 );
             }
             Strategy::NativeUnwind => {
-                if let Some(dispatch) =
-                    self.scopes.last().and_then(|s| s.dispatch.clone())
-                {
+                if let Some(dispatch) = self.scopes.last().and_then(|s| s.dispatch.clone()) {
                     self.local("$tag");
                     self.local("$val");
                     out.push(Stmt::assign("$tag", tag).into());
@@ -384,8 +405,7 @@ impl<'a> ProcLower<'a> {
         match self.strategy {
             Strategy::RuntimeUnwind => {
                 let val = self.local("$val");
-                let conts: Vec<Name> =
-                    handlers.iter().map(|_| self.fresh("h")).collect();
+                let conts: Vec<Name> = handlers.iter().map(|_| self.fresh("h")).collect();
                 // Descriptor for the handler chain with this scope
                 // innermost: indices match the flattened unwind list.
                 let scope = Scope {
@@ -403,7 +423,12 @@ impl<'a> ProcLower<'a> {
                 self.stmts(body, &mut b);
                 out.append(&mut b);
                 self.scopes.pop();
-                out.push(Stmt::Goto { target: done.clone() }.into());
+                out.push(
+                    Stmt::Goto {
+                        target: done.clone(),
+                    }
+                    .into(),
+                );
                 // Handlers: one continuation each, taking the value.
                 for (h, cont) in handlers.iter().zip(&conts) {
                     let mut hb = vec![BodyItem::Continuation {
@@ -415,7 +440,12 @@ impl<'a> ProcLower<'a> {
                         hb.push(Stmt::assign(x.as_str(), Expr::var(val.clone())).into());
                     }
                     self.stmts(&h.body, &mut hb);
-                    hb.push(Stmt::Goto { target: done.clone() }.into());
+                    hb.push(
+                        Stmt::Goto {
+                            target: done.clone(),
+                        }
+                        .into(),
+                    );
                     self.deferred.append(&mut hb);
                 }
             }
@@ -429,9 +459,7 @@ impl<'a> ProcLower<'a> {
                 out.push(
                     Stmt::assign(EXN_TOP, Expr::add(Expr::var(EXN_TOP), Expr::b32(frame))).into(),
                 );
-                out.push(
-                    Stmt::store(Ty::B32, Expr::var(EXN_TOP), Expr::var(cont.clone())).into(),
-                );
+                out.push(Stmt::store(Ty::B32, Expr::var(EXN_TOP), Expr::var(cont.clone())).into());
                 if let Strategy::Sjlj(a) = self.strategy {
                     for j in 1..a.jmp_buf_words.saturating_sub(1) {
                         out.push(
@@ -458,7 +486,12 @@ impl<'a> ProcLower<'a> {
                 out.push(
                     Stmt::assign(EXN_TOP, Expr::sub(Expr::var(EXN_TOP), Expr::b32(frame))).into(),
                 );
-                out.push(Stmt::Goto { target: done.clone() }.into());
+                out.push(
+                    Stmt::Goto {
+                        target: done.clone(),
+                    }
+                    .into(),
+                );
                 // The handler: dispatch by tag; unmatched exceptions
                 // re-raise by popping the next handler (Figure 10).
                 let mut hb = vec![BodyItem::Continuation {
@@ -469,7 +502,11 @@ impl<'a> ProcLower<'a> {
                 // Build the if/else chain from the last handler inward.
                 // Unmatched exceptions re-raise.
                 let mut else_branch: Vec<BodyItem> = Vec::new();
-                self.lower_raise(Expr::var(tag.clone()), Expr::var(val.clone()), &mut else_branch);
+                self.lower_raise(
+                    Expr::var(tag.clone()),
+                    Expr::var(val.clone()),
+                    &mut else_branch,
+                );
                 for h in handlers.iter().rev() {
                     let mut arm = Vec::new();
                     if let Some(x) = &h.binds {
@@ -477,10 +514,19 @@ impl<'a> ProcLower<'a> {
                         arm.push(Stmt::assign(x.as_str(), Expr::var(val.clone())).into());
                     }
                     self.stmts(&h.body, &mut arm);
-                    arm.push(Stmt::Goto { target: done.clone() }.into());
+                    arm.push(
+                        Stmt::Goto {
+                            target: done.clone(),
+                        }
+                        .into(),
+                    );
                     let cond = Expr::eq(Expr::var(tag.clone()), Expr::var(tag_block(&h.exception)));
-                    else_branch =
-                        vec![Stmt::If { cond, then_: arm, else_: else_branch }.into()];
+                    else_branch = vec![Stmt::If {
+                        cond,
+                        then_: arm,
+                        else_: else_branch,
+                    }
+                    .into()];
                 }
                 dispatch.append(&mut else_branch);
                 hb.append(&mut dispatch);
@@ -501,7 +547,12 @@ impl<'a> ProcLower<'a> {
                 self.stmts(body, &mut b);
                 out.append(&mut b);
                 self.scopes.pop();
-                out.push(Stmt::Goto { target: done.clone() }.into());
+                out.push(
+                    Stmt::Goto {
+                        target: done.clone(),
+                    }
+                    .into(),
+                );
                 // The abnormal-return continuation funnels into a local
                 // dispatch label shared with local raises.
                 let mut hb = vec![
@@ -513,7 +564,11 @@ impl<'a> ProcLower<'a> {
                 ];
                 // Unmatched exceptions propagate.
                 let mut else_branch: Vec<BodyItem> = Vec::new();
-                self.lower_raise(Expr::var(tag.clone()), Expr::var(val.clone()), &mut else_branch);
+                self.lower_raise(
+                    Expr::var(tag.clone()),
+                    Expr::var(val.clone()),
+                    &mut else_branch,
+                );
                 for h in handlers.iter().rev() {
                     let mut arm = Vec::new();
                     if let Some(x) = &h.binds {
@@ -521,10 +576,19 @@ impl<'a> ProcLower<'a> {
                         arm.push(Stmt::assign(x.as_str(), Expr::var(val.clone())).into());
                     }
                     self.stmts(&h.body, &mut arm);
-                    arm.push(Stmt::Goto { target: done.clone() }.into());
+                    arm.push(
+                        Stmt::Goto {
+                            target: done.clone(),
+                        }
+                        .into(),
+                    );
                     let cond = Expr::eq(Expr::var(tag.clone()), Expr::var(tag_block(&h.exception)));
-                    else_branch =
-                        vec![Stmt::If { cond, then_: arm, else_: else_branch }.into()];
+                    else_branch = vec![Stmt::If {
+                        cond,
+                        then_: arm,
+                        else_: else_branch,
+                    }
+                    .into()];
                 }
                 hb.append(&mut else_branch);
                 self.deferred.append(&mut hb);
@@ -558,7 +622,6 @@ impl<'a> ProcLower<'a> {
         name
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -614,7 +677,9 @@ mod tests {
         assert!(protected.aborts);
         assert_eq!(protected.descriptors.len(), 1);
         // The descriptor block exists and starts with the handler count.
-        let d = m.data_block(protected.descriptors[0].as_str()).expect("descriptor emitted");
+        let d = m
+            .data_block(protected.descriptors[0].as_str())
+            .expect("descriptor emitted");
         assert!(matches!(&d.items[0], DataItem::Words(Ty::B32, v) if v[0].bits == 1));
         // Raise became a yield.
         let g = find_proc(&m, "g");
@@ -644,10 +709,17 @@ mod tests {
         let m = compile_minim3(SRC, Strategy::Sjlj(arch::SPARC_SOLARIS)).unwrap();
         let text = cmm_ir::pretty::proc_to_string(find_proc(&m, "main"));
         let frame = 4 * arch::SPARC_SOLARIS.jmp_buf_words;
-        assert!(text.contains(&format!("exn_top = exn_top + {frame};")), "{text}");
+        assert!(
+            text.contains(&format!("exn_top = exn_top + {frame};")),
+            "{text}"
+        );
         // 17 dummy stores (words - 2) beyond the continuation push.
         let stores = text.matches("bits32[exn_top - ").count();
-        assert_eq!(stores, (arch::SPARC_SOLARIS.jmp_buf_words - 2) as usize, "{text}");
+        assert_eq!(
+            stores,
+            (arch::SPARC_SOLARIS.jmp_buf_words - 2) as usize,
+            "{text}"
+        );
     }
 
     #[test]
@@ -663,11 +735,7 @@ mod tests {
         let call_ann = calls_of(main)
             .iter()
             .find_map(|s| match s {
-                Stmt::Call { anns, callee, .. }
-                    if *callee == Expr::var("g") =>
-                {
-                    Some(anns.clone())
-                }
+                Stmt::Call { anns, callee, .. } if *callee == Expr::var("g") => Some(anns.clone()),
                 _ => None,
             })
             .expect("call to g");
@@ -677,7 +745,11 @@ mod tests {
 
     #[test]
     fn entry_wrapper_returns_status_and_value() {
-        for strategy in [Strategy::RuntimeUnwind, Strategy::Cutting, Strategy::NativeUnwind] {
+        for strategy in [
+            Strategy::RuntimeUnwind,
+            Strategy::Cutting,
+            Strategy::NativeUnwind,
+        ] {
             let m = compile_minim3(SRC, strategy).unwrap();
             let entry = find_proc(&m, ENTRY);
             assert!(entry.exported);
@@ -709,8 +781,11 @@ mod tests {
             .expect("inner call sees both handlers");
         // Innermost first: the descriptor lists A before B.
         let d = m.data_block(inner_call.descriptors[0].as_str()).unwrap();
-        let syms: Vec<&DataItem> =
-            d.items.iter().filter(|i| matches!(i, DataItem::SymRef(_))).collect();
+        let syms: Vec<&DataItem> = d
+            .items
+            .iter()
+            .filter(|i| matches!(i, DataItem::SymRef(_)))
+            .collect();
         assert_eq!(syms.len(), 2);
         assert!(matches!(syms[0], DataItem::SymRef(n) if n == &tag_block("A")));
         assert!(matches!(syms[1], DataItem::SymRef(n) if n == &tag_block("B")));

@@ -31,8 +31,12 @@ pub enum Strategy {
 
 impl Strategy {
     /// The four core techniques (without the §2 sjlj variant).
-    pub const CORE: [Strategy; 4] =
-        [Strategy::RuntimeUnwind, Strategy::Cutting, Strategy::NativeUnwind, Strategy::Cps];
+    pub const CORE: [Strategy; 4] = [
+        Strategy::RuntimeUnwind,
+        Strategy::Cutting,
+        Strategy::NativeUnwind,
+        Strategy::Cps,
+    ];
 
     /// A short label for reports.
     pub fn label(&self) -> String {
@@ -121,7 +125,10 @@ pub fn compile_program(prog: &M3Program, strategy: Strategy) -> Result<Module, L
     // Exception tags: one data block per exception; its address is the
     // tag, and its contents (the name) aid diagnostics.
     for exc in &prog.exceptions {
-        module.push_data(DataBlock::new(tag_block(exc), vec![DataItem::Str(exc.clone())]));
+        module.push_data(DataBlock::new(
+            tag_block(exc),
+            vec![DataItem::Str(exc.clone())],
+        ));
     }
     match strategy {
         Strategy::Cps => cps::lower(prog, &mut module)?,
@@ -150,10 +157,8 @@ fn validate(prog: &M3Program) -> Result<(), LowerError> {
                         });
                     }
                 }
-                M3Stmt::Raise(e, _) => {
-                    if !prog.exceptions.iter().any(|x| x == e) {
-                        return Err(LowerError::UndefinedException(e.clone()));
-                    }
+                M3Stmt::Raise(e, _) if !prog.exceptions.iter().any(|x| x == e) => {
+                    return Err(LowerError::UndefinedException(e.clone()));
                 }
                 M3Stmt::If(_, a, b) => {
                     stack.extend(a.iter());
@@ -211,7 +216,10 @@ mod tests {
     #[test]
     fn validation_catches_errors() {
         let no_main = parse_minim3("proc f(x) { return x; }").unwrap();
-        assert_eq!(compile_program(&no_main, Strategy::Cutting).unwrap_err(), LowerError::NoMain);
+        assert_eq!(
+            compile_program(&no_main, Strategy::Cutting).unwrap_err(),
+            LowerError::NoMain
+        );
 
         let bad_call = parse_minim3("proc main(x) { var r; r = nope(x); return r; }").unwrap();
         assert!(matches!(
@@ -236,11 +244,8 @@ mod tests {
 
     #[test]
     fn tag_blocks_emitted() {
-        let m = compile_minim3(
-            "exception E; proc main(x) { return x; }",
-            Strategy::Cutting,
-        )
-        .unwrap();
+        let m =
+            compile_minim3("exception E; proc main(x) { return x; }", Strategy::Cutting).unwrap();
         assert!(m.data_block("exn$E").is_some());
     }
 }

@@ -14,7 +14,11 @@ pub struct M3ParseError {
 
 impl fmt::Display for M3ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "minim3 syntax error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "minim3 syntax error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 
@@ -26,7 +30,10 @@ impl std::error::Error for M3ParseError {}
 ///
 /// Returns the first syntax error.
 pub fn parse_minim3(src: &str) -> Result<M3Program, M3ParseError> {
-    let mut p = P { toks: tokenize(src), at: 0 };
+    let mut p = P {
+        toks: tokenize(src),
+        at: 0,
+    };
     let mut prog = M3Program::default();
     while !p.done() {
         if p.eat_kw("exception") {
@@ -68,7 +75,8 @@ fn tokenize(src: &str) -> Vec<Tok> {
         }
         let start = i;
         if c.is_ascii_alphabetic() || c == '_' {
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -76,14 +84,17 @@ fn tokenize(src: &str) -> Vec<Tok> {
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-        } else if matches!(c, '=' | '!' | '<' | '>') && bytes.get(i + 1) == Some(&b'=') {
-            i += 2;
-        } else if c == '=' && bytes.get(i + 1) == Some(&b'>') {
+        } else if (matches!(c, '=' | '!' | '<' | '>') && bytes.get(i + 1) == Some(&b'='))
+            || (c == '=' && bytes.get(i + 1) == Some(&b'>'))
+        {
             i += 2;
         } else {
             i += 1;
         }
-        toks.push(Tok { text: src[start..i].to_string(), at: start });
+        toks.push(Tok {
+            text: src[start..i].to_string(),
+            at: start,
+        });
     }
     toks
 }
@@ -99,7 +110,10 @@ impl P {
     }
 
     fn peek(&self) -> &str {
-        self.toks.get(self.at).map(|t| t.text.as_str()).unwrap_or("")
+        self.toks
+            .get(self.at)
+            .map(|t| t.text.as_str())
+            .unwrap_or("")
     }
 
     fn bump(&mut self) -> String {
@@ -138,7 +152,11 @@ impl P {
 
     fn ident(&mut self) -> Result<String, M3ParseError> {
         let t = self.peek();
-        if t.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false) {
+        if t.chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        {
             Ok(self.bump())
         } else {
             Err(self.error(format!("expected an identifier, found `{t}`")))
@@ -161,7 +179,12 @@ impl P {
         self.expect("{")?;
         let mut locals = Vec::new();
         let body = self.block_items(&mut locals)?;
-        Ok(M3Proc { name, params, locals, body })
+        Ok(M3Proc {
+            name,
+            params,
+            locals,
+            body,
+        })
     }
 
     /// Parses statements up to and including `}`.
@@ -245,7 +268,11 @@ impl P {
                 };
                 self.expect("=>")?;
                 let hbody = self.block(locals)?;
-                handlers.push(M3Handler { exception, binds, body: hbody });
+                handlers.push(M3Handler {
+                    exception,
+                    binds,
+                    body: hbody,
+                });
             }
             return Ok(M3Stmt::Try { body, handlers });
         }
@@ -258,7 +285,11 @@ impl P {
                 let callee = self.ident()?;
                 let args = self.args()?;
                 self.expect(";")?;
-                return Ok(M3Stmt::Call { dst: Some(name), callee, args });
+                return Ok(M3Stmt::Call {
+                    dst: Some(name),
+                    callee,
+                    args,
+                });
             }
             let e = self.expr()?;
             self.expect(";")?;
@@ -267,7 +298,11 @@ impl P {
         if self.peek() == "(" {
             let args = self.args()?;
             self.expect(";")?;
-            return Ok(M3Stmt::Call { dst: None, callee: name, args });
+            return Ok(M3Stmt::Call {
+                dst: None,
+                callee: name,
+                args,
+            });
         }
         Err(self.error(format!("expected a statement after `{name}`")))
     }
@@ -277,10 +312,19 @@ impl P {
             .toks
             .get(self.at)
             .map(|t| {
-                t.text.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+                t.text
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_alphabetic() || c == '_')
+                    .unwrap_or(false)
             })
             .unwrap_or(false);
-        ident && self.toks.get(self.at + 1).map(|t| t.text == "(").unwrap_or(false)
+        ident
+            && self
+                .toks
+                .get(self.at + 1)
+                .map(|t| t.text == "(")
+                .unwrap_or(false)
     }
 
     fn args(&mut self) -> Result<Vec<M3Expr>, M3ParseError> {
@@ -348,9 +392,15 @@ impl P {
             return Ok(e);
         }
         let t = self.peek().to_string();
-        if t.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+        if t.chars()
+            .next()
+            .map(|c| c.is_ascii_digit())
+            .unwrap_or(false)
+        {
             self.bump();
-            let v: u32 = t.parse().map_err(|_| self.error("integer literal overflows 32 bits"))?;
+            let v: u32 = t
+                .parse()
+                .map_err(|_| self.error("integer literal overflows 32 bits"))?;
             return Ok(M3Expr::Num(v));
         }
         Ok(M3Expr::Var(self.ident()?))
@@ -413,8 +463,10 @@ mod tests {
 
     #[test]
     fn while_and_precedence() {
-        let p = parse_minim3("proc f(n) { var s; s = 0; while n > 0 { s = s + n * 2; n = n - 1; } return s; }")
-            .unwrap();
+        let p = parse_minim3(
+            "proc f(n) { var s; s = 0; while n > 0 { s = s + n * 2; n = n - 1; } return s; }",
+        )
+        .unwrap();
         let f = p.proc("f").unwrap();
         match &f.body[1] {
             M3Stmt::While(cond, body) => {

@@ -44,8 +44,7 @@ pub const GAME: &str = r#"
 /// Expected `GAME` results: (seed, result). Seed 3 plays normally;
 /// seed 0 runs out of tiles; seed 50 fails in `getMove`; seed 9 passes
 /// `getMove` (9 + 7 = 16) but fails in `makeMove`.
-pub const GAME_CASES: [(u32, u32); 4] =
-    [(3, 11), (0, 10000), (50, 1051), (9, 1017)];
+pub const GAME_CASES: [(u32, u32); 4] = [(3, 11), (0, 10000), (50, 1051), (9, 1017)];
 
 /// An exception raised `depth` call frames below its handler: measures
 /// how dispatch cost scales with stack depth (the x-axis of the

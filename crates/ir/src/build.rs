@@ -112,7 +112,11 @@ impl BlockBuilder {
         then_(&mut t);
         let mut e = BlockBuilder::new();
         else_(&mut e);
-        self.stmt(Stmt::If { cond, then_: t.into_items(), else_: e.into_items() })
+        self.stmt(Stmt::If {
+            cond,
+            then_: t.into_items(),
+            else_: e.into_items(),
+        })
     }
 
     /// `if cond { then }` with an empty else branch.
@@ -163,8 +167,15 @@ impl BlockBuilder {
     }
 
     /// `jump f(args);`
-    pub fn jump(&mut self, callee: impl Into<Name>, args: impl IntoIterator<Item = Expr>) -> &mut Self {
-        self.stmt(Stmt::Jump { callee: Expr::Name(callee.into()), args: args.into_iter().collect() })
+    pub fn jump(
+        &mut self,
+        callee: impl Into<Name>,
+        args: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
+        self.stmt(Stmt::Jump {
+            callee: Expr::Name(callee.into()),
+            args: args.into_iter().collect(),
+        })
     }
 
     /// `return (args);`
@@ -173,7 +184,12 @@ impl BlockBuilder {
     }
 
     /// `return <i/n> (args);`
-    pub fn return_alt(&mut self, index: u32, count: u32, args: impl IntoIterator<Item = Expr>) -> &mut Self {
+    pub fn return_alt(
+        &mut self,
+        index: u32,
+        count: u32,
+        args: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
         self.stmt(Stmt::Return {
             alt: Some(AltReturn { index, count }),
             args: args.into_iter().collect(),
@@ -182,7 +198,11 @@ impl BlockBuilder {
 
     /// `cut to k(args);`
     pub fn cut_to(&mut self, cont: Expr, args: impl IntoIterator<Item = Expr>) -> &mut Self {
-        self.stmt(Stmt::CutTo { cont, args: args.into_iter().collect(), anns: Annotations::none() })
+        self.stmt(Stmt::CutTo {
+            cont,
+            args: args.into_iter().collect(),
+            anns: Annotations::none(),
+        })
     }
 
     /// `cut to k(args) also cuts to ...;`
@@ -192,12 +212,19 @@ impl BlockBuilder {
         args: impl IntoIterator<Item = Expr>,
         anns: Annotations,
     ) -> &mut Self {
-        self.stmt(Stmt::CutTo { cont, args: args.into_iter().collect(), anns })
+        self.stmt(Stmt::CutTo {
+            cont,
+            args: args.into_iter().collect(),
+            anns,
+        })
     }
 
     /// `yield(args) also ...;`
     pub fn yield_(&mut self, args: impl IntoIterator<Item = Expr>, anns: Annotations) -> &mut Self {
-        self.stmt(Stmt::Yield { args: args.into_iter().collect(), anns })
+        self.stmt(Stmt::Yield {
+            args: args.into_iter().collect(),
+            anns,
+        })
     }
 
     /// `continuation k(params):`
@@ -222,7 +249,9 @@ pub struct ProcBuilder {
 impl ProcBuilder {
     /// Starts building a procedure with the given name.
     pub fn new(name: impl Into<Name>) -> ProcBuilder {
-        ProcBuilder { proc: Proc::new(name) }
+        ProcBuilder {
+            proc: Proc::new(name),
+        }
     }
 
     /// Marks the procedure as exported.
@@ -272,9 +301,12 @@ mod tests {
 
     #[test]
     fn builder_constructs_figure1_sp2() {
-        let sp2 = ProcBuilder::new("sp2").export().formal("n", Ty::B32).build_with(|b| {
-            b.jump("sp2_help", [Expr::var("n"), Expr::b32(1), Expr::b32(1)]);
-        });
+        let sp2 = ProcBuilder::new("sp2")
+            .export()
+            .formal("n", Ty::B32)
+            .build_with(|b| {
+                b.jump("sp2_help", [Expr::var("n"), Expr::b32(1), Expr::b32(1)]);
+            });
         assert!(sp2.exported);
         assert_eq!(sp2.formals.len(), 1);
         assert_eq!(sp2.body.len(), 1);

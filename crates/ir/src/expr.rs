@@ -28,7 +28,10 @@ pub struct Lit {
 impl Lit {
     /// A `bitsN` literal; the value is truncated to the width.
     pub fn bits(width: Width, value: u64) -> Lit {
-        Lit { ty: Ty::Bits(width), bits: value & width.mask() }
+        Lit {
+            ty: Ty::Bits(width),
+            bits: value & width.mask(),
+        }
     }
 
     /// A `bits32` literal.
@@ -43,12 +46,18 @@ impl Lit {
 
     /// A `float32` literal.
     pub fn f32(value: f32) -> Lit {
-        Lit { ty: Ty::F32, bits: u64::from(value.to_bits()) }
+        Lit {
+            ty: Ty::F32,
+            bits: u64::from(value.to_bits()),
+        }
     }
 
     /// A `float64` literal.
     pub fn f64(value: f64) -> Lit {
-        Lit { ty: Ty::F64, bits: value.to_bits() }
+        Lit {
+            ty: Ty::F64,
+            bits: value.to_bits(),
+        }
     }
 
     /// Interprets the bit pattern as `f64` (only meaningful for float types).
@@ -293,7 +302,13 @@ impl BinOp {
     pub fn can_fail(self) -> bool {
         matches!(
             self,
-            BinOp::DivU | BinOp::ModU | BinOp::DivS | BinOp::ModS | BinOp::Shl | BinOp::ShrU | BinOp::ShrS
+            BinOp::DivU
+                | BinOp::ModU
+                | BinOp::DivS
+                | BinOp::ModS
+                | BinOp::Shl
+                | BinOp::ShrU
+                | BinOp::ShrS
         )
     }
 
@@ -484,16 +499,19 @@ impl Expr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // constructor, not arithmetic on Expr values
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::binary(BinOp::Add, a, b)
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::binary(BinOp::Sub, a, b)
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::binary(BinOp::Mul, a, b)
     }
@@ -564,9 +582,11 @@ impl Expr {
             Expr::Name(n) => subst(n).unwrap_or_else(|| Expr::Name(n.clone())),
             Expr::Mem(ty, a) => Expr::Mem(*ty, Box::new(a.substitute(subst))),
             Expr::Unary(op, a) => Expr::Unary(*op, Box::new(a.substitute(subst))),
-            Expr::Binary(op, a, b) => {
-                Expr::Binary(*op, Box::new(a.substitute(subst)), Box::new(b.substitute(subst)))
-            }
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.substitute(subst)),
+                Box::new(b.substitute(subst)),
+            ),
         }
     }
 
@@ -617,21 +637,36 @@ mod tests {
 
     #[test]
     fn divu_by_zero_fails() {
-        assert_eq!(BinOp::DivU.eval(Width::W32, 10, 0), Err(OpError::DivideByZero));
+        assert_eq!(
+            BinOp::DivU.eval(Width::W32, 10, 0),
+            Err(OpError::DivideByZero)
+        );
         assert_eq!(BinOp::DivU.eval(Width::W32, 10, 3).unwrap().0, 3);
     }
 
     #[test]
     fn divs_overflow_fails() {
-        assert_eq!(BinOp::DivS.eval(Width::W32, 0x8000_0000, 0xffff_ffff), Err(OpError::Overflow));
-        assert_eq!(BinOp::DivS.eval(Width::W32, 0xffff_fff6, 2).unwrap().0, 0xffff_fffb); // -10/2 = -5
+        assert_eq!(
+            BinOp::DivS.eval(Width::W32, 0x8000_0000, 0xffff_ffff),
+            Err(OpError::Overflow)
+        );
+        assert_eq!(
+            BinOp::DivS.eval(Width::W32, 0xffff_fff6, 2).unwrap().0,
+            0xffff_fffb
+        ); // -10/2 = -5
     }
 
     #[test]
     fn shifts_check_range() {
-        assert_eq!(BinOp::Shl.eval(Width::W32, 1, 32), Err(OpError::ShiftOutOfRange));
+        assert_eq!(
+            BinOp::Shl.eval(Width::W32, 1, 32),
+            Err(OpError::ShiftOutOfRange)
+        );
         assert_eq!(BinOp::Shl.eval(Width::W32, 1, 31).unwrap().0, 0x8000_0000);
-        assert_eq!(BinOp::ShrS.eval(Width::W32, 0x8000_0000, 31).unwrap().0, 0xffff_ffff);
+        assert_eq!(
+            BinOp::ShrS.eval(Width::W32, 0x8000_0000, 31).unwrap().0,
+            0xffff_ffff
+        );
     }
 
     #[test]
@@ -695,7 +730,9 @@ mod tests {
 
     #[test]
     fn mods_min_by_minus_one_is_zero() {
-        let (r, _) = BinOp::ModS.eval(Width::W32, 0x8000_0000, 0xffff_ffff).unwrap();
+        let (r, _) = BinOp::ModS
+            .eval(Width::W32, 0x8000_0000, 0xffff_ffff)
+            .unwrap();
         assert_eq!(r, 0);
     }
 }

@@ -54,7 +54,11 @@ pub struct DataBlock {
 impl DataBlock {
     /// Creates a data block.
     pub fn new(name: impl Into<Name>, items: Vec<DataItem>) -> DataBlock {
-        DataBlock { name: name.into(), items, exported: false }
+        DataBlock {
+            name: name.into(),
+            items,
+            exported: false,
+        }
     }
 
     /// Total size in bytes.
@@ -185,7 +189,11 @@ mod tests {
         let mut m = Module::new();
         m.push_proc(Proc::new("f"));
         m.push_data(DataBlock::new("d", vec![]));
-        m.push_register(GlobalReg { name: Name::from("exn_top"), ty: Ty::B32, init: None });
+        m.push_register(GlobalReg {
+            name: Name::from("exn_top"),
+            ty: Ty::B32,
+            init: None,
+        });
         assert!(m.proc("f").is_some());
         assert!(m.proc("g").is_none());
         assert!(m.data_block("d").is_some());

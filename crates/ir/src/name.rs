@@ -148,7 +148,8 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        assert!(Name::from("a") < Name::from("b"));
-        assert!(Name::from("k0") < Name::from("k1"));
+        let [a, b, k0, k1] = ["a", "b", "k0", "k1"].map(Name::from);
+        assert!(a < b);
+        assert!(k0 < k1);
     }
 }

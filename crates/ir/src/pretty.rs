@@ -51,7 +51,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Printer {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line(&mut self, s: &str) {
@@ -72,7 +75,7 @@ impl Printer {
                 for item in &b.items {
                     match item {
                         DataItem::Words(ty, lits) => {
-                            let vals: Vec<String> = lits.iter().map(|l| lit_str(l)).collect();
+                            let vals: Vec<String> = lits.iter().map(lit_str).collect();
                             self.line(&format!("{ty} {};", vals.join(", ")));
                         }
                         DataItem::SymRef(n) => self.line(&format!("sym {n};")),
@@ -84,7 +87,12 @@ impl Printer {
                 self.line("}");
             }
             Decl::Register(r) => match &r.init {
-                Some(init) => self.line(&format!("register {} {} = {};", r.ty, r.name, lit_str(init))),
+                Some(init) => self.line(&format!(
+                    "register {} {} = {};",
+                    r.ty,
+                    r.name,
+                    lit_str(init)
+                )),
                 None => self.line(&format!("register {} {};", r.ty, r.name)),
             },
             Decl::Import(ns) => self.line(&format!("import {};", comma_names(ns))),
@@ -93,7 +101,11 @@ impl Printer {
     }
 
     fn proc(&mut self, p: &Proc) {
-        let formals: Vec<String> = p.formals.iter().map(|(n, ty)| format!("{ty} {n}")).collect();
+        let formals: Vec<String> = p
+            .formals
+            .iter()
+            .map(|(n, ty)| format!("{ty} {n}"))
+            .collect();
         let kw = if p.exported { "export " } else { "" };
         self.line(&format!("{kw}{}({}) {{", p.name, formals.join(", ")));
         self.indent += 1;
@@ -152,7 +164,12 @@ impl Printer {
                 }
             }
             Stmt::Goto { target } => self.line(&format!("goto {target};")),
-            Stmt::Call { results, callee, args, anns } => {
+            Stmt::Call {
+                results,
+                callee,
+                args,
+                anns,
+            } => {
                 let mut line = String::new();
                 if !results.is_empty() {
                     let _ = write!(line, "{} = ", comma_names(results));
@@ -163,10 +180,19 @@ impl Printer {
                 self.line(&line);
             }
             Stmt::Jump { callee, args } => {
-                self.line(&format!("jump {}({});", callee_str(callee), comma_exprs(args)));
+                self.line(&format!(
+                    "jump {}({});",
+                    callee_str(callee),
+                    comma_exprs(args)
+                ));
             }
             Stmt::Return { alt, args } => match alt {
-                Some(a) => self.line(&format!("return <{}/{}> ({});", a.index, a.count, comma_exprs(args))),
+                Some(a) => self.line(&format!(
+                    "return <{}/{}> ({});",
+                    a.index,
+                    a.count,
+                    comma_exprs(args)
+                )),
                 None => {
                     if args.is_empty() {
                         self.line("return;");
@@ -225,7 +251,10 @@ fn anns_str(a: &Annotations) -> String {
 }
 
 fn comma_names(ns: &[Name]) -> String {
-    ns.iter().map(Name::to_string).collect::<Vec<_>>().join(", ")
+    ns.iter()
+        .map(Name::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn comma_exprs(es: &[Expr]) -> String {

@@ -154,8 +154,14 @@ mod tests {
             then_: vec![BodyItem::Label(Name::from("inner"))],
             else_: vec![],
         }));
-        p.body.push(BodyItem::Continuation { name: Name::from("k"), params: vec![Name::from("x")] });
-        assert_eq!(p.continuations(), vec![(Name::from("k"), vec![Name::from("x")])]);
+        p.body.push(BodyItem::Continuation {
+            name: Name::from("k"),
+            params: vec![Name::from("x")],
+        });
+        assert_eq!(
+            p.continuations(),
+            vec![(Name::from("k"), vec![Name::from("x")])]
+        );
         assert_eq!(p.labels(), vec![Name::from("inner")]);
     }
 }

@@ -79,17 +79,26 @@ impl Annotations {
 
     /// `also cuts to` the given continuations.
     pub fn cuts_to<N: Into<Name>>(ks: impl IntoIterator<Item = N>) -> Annotations {
-        Annotations { cuts_to: ks.into_iter().map(Into::into).collect(), ..Default::default() }
+        Annotations {
+            cuts_to: ks.into_iter().map(Into::into).collect(),
+            ..Default::default()
+        }
     }
 
     /// `also unwinds to` the given continuations.
     pub fn unwinds_to<N: Into<Name>>(ks: impl IntoIterator<Item = N>) -> Annotations {
-        Annotations { unwinds_to: ks.into_iter().map(Into::into).collect(), ..Default::default() }
+        Annotations {
+            unwinds_to: ks.into_iter().map(Into::into).collect(),
+            ..Default::default()
+        }
     }
 
     /// `also returns to` the given continuations.
     pub fn returns_to<N: Into<Name>>(ks: impl IntoIterator<Item = N>) -> Annotations {
-        Annotations { returns_to: ks.into_iter().map(Into::into).collect(), ..Default::default() }
+        Annotations {
+            returns_to: ks.into_iter().map(Into::into).collect(),
+            ..Default::default()
+        }
     }
 
     /// Adds `also aborts`.
@@ -125,7 +134,10 @@ impl Annotations {
     /// Every continuation named in any annotation, in
     /// cuts/unwinds/returns order.
     pub fn continuations(&self) -> impl Iterator<Item = &Name> {
-        self.cuts_to.iter().chain(self.unwinds_to.iter()).chain(self.returns_to.iter())
+        self.cuts_to
+            .iter()
+            .chain(self.unwinds_to.iter())
+            .chain(self.returns_to.iter())
     }
 }
 
@@ -150,7 +162,10 @@ pub struct AltReturn {
 impl AltReturn {
     /// The normal return among `count` alternates (`return <count/count>`).
     pub fn normal(count: u32) -> AltReturn {
-        AltReturn { index: count, count }
+        AltReturn {
+            index: count,
+            count,
+        }
     }
 
     /// True if this denotes the normal return point.
@@ -248,17 +263,26 @@ pub enum Stmt {
 impl Stmt {
     /// Simple single assignment `v = e;`.
     pub fn assign(v: impl Into<Name>, e: Expr) -> Stmt {
-        Stmt::Assign { lhs: vec![Lvalue::Var(v.into())], rhs: vec![e] }
+        Stmt::Assign {
+            lhs: vec![Lvalue::Var(v.into())],
+            rhs: vec![e],
+        }
     }
 
     /// Memory store `type[a] = e;`.
     pub fn store(ty: Ty, addr: Expr, e: Expr) -> Stmt {
-        Stmt::Assign { lhs: vec![Lvalue::Mem(ty, addr)], rhs: vec![e] }
+        Stmt::Assign {
+            lhs: vec![Lvalue::Mem(ty, addr)],
+            rhs: vec![e],
+        }
     }
 
     /// Plain `return (args);`.
     pub fn return_(args: impl IntoIterator<Item = Expr>) -> Stmt {
-        Stmt::Return { alt: None, args: args.into_iter().collect() }
+        Stmt::Return {
+            alt: None,
+            args: args.into_iter().collect(),
+        }
     }
 
     /// A call with no annotations.

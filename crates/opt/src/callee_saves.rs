@@ -53,7 +53,9 @@ pub fn promote_callee_saves(g: &mut Graph, max_regs: usize) -> CalleeSavesStats 
     // Each call's chosen set, computed before mutation.
     let mut plan: Vec<(NodeId, BTreeSet<Name>)> = Vec::new();
     for id in &calls {
-        let Node::Call { bundle, .. } = g.node(*id) else { unreachable!() };
+        let Node::Call { bundle, .. } = g.node(*id) else {
+            unreachable!()
+        };
         // Live across the call: live into any restored continuation.
         let mut across: BTreeSet<Name> = BTreeSet::new();
         for &t in bundle.returns.iter().chain(bundle.unwinds.iter()) {
@@ -70,12 +72,23 @@ pub fn promote_callee_saves(g: &mut Graph, max_regs: usize) -> CalleeSavesStats 
             .filter(|v| locals.contains(*v) && !barred.contains(*v))
             .cloned()
             .collect();
-        stats.vars_blocked_by_cuts +=
-            across.iter().filter(|v| barred.contains(*v) && locals.contains(*v)).count();
+        stats.vars_blocked_by_cuts += across
+            .iter()
+            .filter(|v| barred.contains(*v) && locals.contains(*v))
+            .count();
         let chosen: BTreeSet<Name> = eligible.into_iter().take(max_regs).collect();
-        if !chosen.is_empty() {
-            plan.push((*id, chosen));
-        }
+        plan.push((*id, chosen));
+    }
+
+    // The `CalleeSaves` set stays in effect until the next `CalleeSaves`
+    // node, so once any call stages a non-empty set, *every* call needs
+    // its own set staged — a later call with a cut edge would otherwise
+    // inherit a set chosen for a different site, and the cut (which
+    // cannot restore callee-saves registers, §4.2) would lose those
+    // variables. If nothing is promoted anywhere, keep the direct
+    // translation untouched.
+    if plan.iter().all(|(_, vars)| vars.is_empty()) {
+        return stats;
     }
 
     // Insert a CalleeSaves node immediately before each call, by
@@ -110,7 +123,9 @@ pub fn saves_at(g: &Graph) -> Vec<BTreeSet<Name>> {
     while changed {
         changed = false;
         for &id in &order {
-            let Some(cur) = at[id.index()].clone() else { continue };
+            let Some(cur) = at[id.index()].clone() else {
+                continue;
+            };
             let out = match g.node(id) {
                 Node::CalleeSaves { vars, .. } => vars.clone(),
                 Node::Entry { .. } => BTreeSet::new(),
@@ -141,7 +156,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     /// The paper's f/g/k example from §4.1–4.2: y and w live across the
@@ -188,7 +207,9 @@ mod tests {
         let stats = promote_callee_saves(&mut g, 8);
         assert!(stats.vars_promoted >= 2, "{stats:?}");
         assert_eq!(stats.vars_blocked_by_cuts, 0, "{stats:?}");
-        assert!(g.ids().any(|i| matches!(g.node(i), Node::CalleeSaves { .. })));
+        assert!(g
+            .ids()
+            .any(|i| matches!(g.node(i), Node::CalleeSaves { .. })));
     }
 
     #[test]
@@ -225,7 +246,10 @@ mod tests {
         );
         promote_callee_saves(&mut g, 4);
         let at = saves_at(&g);
-        let call = g.ids().find(|&i| matches!(g.node(i), Node::Call { .. })).unwrap();
+        let call = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Call { .. }))
+            .unwrap();
         assert!(
             at[call.index()].contains(&Name::from("y")),
             "y should be in the callee-saves set at the call: {:?}",
@@ -256,7 +280,8 @@ mod tests {
 
         let run = |p: &cmm_cfg::Program| {
             let mut m = cmm_sem::Machine::new(p);
-            m.start("f", vec![cmm_sem::Value::b32(3), cmm_sem::Value::b32(10)]).unwrap();
+            m.start("f", vec![cmm_sem::Value::b32(3), cmm_sem::Value::b32(10)])
+                .unwrap();
             m.run(100_000)
         };
         assert_eq!(run(&prog), run(&opt_prog));

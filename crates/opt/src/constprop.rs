@@ -81,7 +81,10 @@ pub fn constprop(g: &mut Graph) -> usize {
                 if let Expr::Lit(l) = &new {
                     // Branch on a constant: become a skip to the taken arm.
                     let taken = if l.bits != 0 { *t } else { *f };
-                    *node = Node::CopyIn { vars: vec![], next: taken };
+                    *node = Node::CopyIn {
+                        vars: vec![],
+                        next: taken,
+                    };
                     changed += 1;
                 } else if &new != cond {
                     *cond = new;
@@ -124,9 +127,11 @@ fn solve(g: &Graph, ssa: &Ssa) -> HashMap<DefId, Lat> {
             for (key, &d) in ssa.node_defs.iter().filter(|((n, _), _)| *n == id) {
                 let (_, var) = key;
                 let v = match g.node(id) {
-                    Node::Assign { lhs: Lvalue::Var(lv), rhs, .. } if lv == var => {
-                        eval_lat(g, ssa, id, rhs, &values)
-                    }
+                    Node::Assign {
+                        lhs: Lvalue::Var(lv),
+                        rhs,
+                        ..
+                    } if lv == var => eval_lat(g, ssa, id, rhs, &values),
                     _ => Lat::Bottom, // CopyIn, Entry: unknown inputs
                 };
                 if values[&d] != v {
@@ -139,18 +144,17 @@ fn solve(g: &Graph, ssa: &Ssa) -> HashMap<DefId, Lat> {
     values
 }
 
-fn eval_lat(
-    g: &Graph,
-    ssa: &Ssa,
-    at: NodeId,
-    e: &Expr,
-    values: &HashMap<DefId, Lat>,
-) -> Lat {
+#[allow(clippy::only_used_in_recursion)]
+fn eval_lat(g: &Graph, ssa: &Ssa, at: NodeId, e: &Expr, values: &HashMap<DefId, Lat>) -> Lat {
     match e {
         Expr::Lit(l) => match l.ty {
             Ty::Bits(w) => Lat::Const(w, l.bits),
             Ty::Float(fw) => Lat::Const(
-                if fw == cmm_ir::FWidth::F32 { Width::W32 } else { Width::W64 },
+                if fw == cmm_ir::FWidth::F32 {
+                    Width::W32
+                } else {
+                    Width::W64
+                },
                 l.bits,
             ),
         },
@@ -168,8 +172,10 @@ fn eval_lat(
             Lat::Bottom => Lat::Bottom,
         },
         Expr::Binary(op, a, b) => {
-            let (la, lb) =
-                (eval_lat(g, ssa, at, a, values), eval_lat(g, ssa, at, b, values));
+            let (la, lb) = (
+                eval_lat(g, ssa, at, a, values),
+                eval_lat(g, ssa, at, b, values),
+            );
             match (la, lb) {
                 (Lat::Top, _) | (_, Lat::Top) => Lat::Top,
                 (Lat::Const(wa, va), Lat::Const(wb, vb)) => {
@@ -251,7 +257,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     fn assigns_of(g: &Graph) -> Vec<Expr> {
@@ -275,7 +285,8 @@ mod tests {
 
     #[test]
     fn folds_branches_on_constants() {
-        let mut g = graph("f() { bits32 a; a = 1; if a == 1 { return (10); } else { return (20); } }");
+        let mut g =
+            graph("f() { bits32 a; a = 1; if a == 1 { return (10); } else { return (20); } }");
         constprop(&mut g);
         assert!(
             !g.reverse_postorder()
@@ -316,7 +327,8 @@ mod tests {
         constprop(&mut g);
         let rhs = assigns_of(&g);
         assert!(
-            rhs.iter().any(|e| matches!(e, Expr::Binary(cmm_ir::BinOp::DivU, ..))),
+            rhs.iter()
+                .any(|e| matches!(e, Expr::Binary(cmm_ir::BinOp::DivU, ..))),
             "division by zero must not be folded away: {rhs:?}"
         );
     }

@@ -226,7 +226,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str, name: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc(name).unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc(name)
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -244,7 +248,10 @@ mod tests {
     #[test]
     fn memory_store_defines_m() {
         let g = graph("f(bits32 a) { bits32[a] = 1; return; }", "f");
-        let id = g.ids().find(|&i| matches!(g.node(i), Node::Assign { .. })).unwrap();
+        let id = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Assign { .. }))
+            .unwrap();
         let f = flow(&g, id, &[]);
         assert!(f.defs.contains(&Slot::Mem));
         assert!(f.uses.contains(&Slot::Var(Name::from("a"))));
@@ -253,7 +260,10 @@ mod tests {
     #[test]
     fn memory_load_uses_m() {
         let g = graph("f(bits32 a) { bits32 b; b = bits32[a]; return (b); }", "f");
-        let id = g.ids().find(|&i| matches!(g.node(i), Node::Assign { .. })).unwrap();
+        let id = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Assign { .. }))
+            .unwrap();
         let f = flow(&g, id, &[]);
         assert!(f.uses.contains(&Slot::Mem));
     }
@@ -285,22 +295,34 @@ mod tests {
             "#,
             "f",
         );
-        let call = g.ids().find(|&i| matches!(g.node(i), Node::Call { .. })).unwrap();
+        let call = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Call { .. }))
+            .unwrap();
         let saves = [Name::from("y")];
         let f = flow(&g, call, &saves);
         let k = g.continuation("k").unwrap();
         // Exactly one kill edge (the cut edge), carrying y.
         assert_eq!(f.edge_kills, vec![(k, vec![Name::from("y")])]);
         // A is defined along every continuation edge with the right arity.
-        assert!(f.edge_defs.iter().all(|(t, slots)| (*t != k) || slots.len() == 1));
+        assert!(f
+            .edge_defs
+            .iter()
+            .all(|(t, slots)| (*t != k) || slots.len() == 1));
         // With no callee-saves chosen, nothing is killed.
         assert!(flow(&g, call, &[]).edge_kills[0].1.is_empty());
     }
 
     #[test]
     fn var_projection_strips_m_and_area() {
-        let g = graph("f(bits32 a) { bits32 b; b = bits32[a + 4]; return (b); }", "f");
-        let id = g.ids().find(|&i| matches!(g.node(i), Node::Assign { .. })).unwrap();
+        let g = graph(
+            "f(bits32 a) { bits32 b; b = bits32[a + 4]; return (b); }",
+            "f",
+        );
+        let id = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Assign { .. }))
+            .unwrap();
         assert_eq!(var_uses(&g, id), vec![Name::from("a")]);
         assert_eq!(var_defs(&g, id), vec![Name::from("b")]);
     }

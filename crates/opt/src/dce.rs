@@ -24,7 +24,12 @@ pub fn dce(g: &mut Graph) -> usize {
         let live = Liveness::compute(g);
         let mut dead: Vec<(NodeId, NodeId)> = Vec::new(); // (node, its successor)
         for id in g.reverse_postorder() {
-            if let Node::Assign { lhs: Lvalue::Var(v), rhs, next } = g.node(id) {
+            if let Node::Assign {
+                lhs: Lvalue::Var(v),
+                rhs,
+                next,
+            } = g.node(id)
+            {
                 if locals.contains(v) && !live.live_out(id).contains(v) && !rhs.can_fail() {
                     dead.push((id, *next));
                 }
@@ -61,7 +66,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     fn live_assign_count(g: &Graph) -> usize {
@@ -102,10 +111,9 @@ mod tests {
 
     #[test]
     fn keeps_global_register_assignments() {
-        let p = build_program(
-            &parse_module("register bits32 gr; f() { gr = 1; return; }").unwrap(),
-        )
-        .unwrap();
+        let p =
+            build_program(&parse_module("register bits32 gr; f() { gr = 1; return; }").unwrap())
+                .unwrap();
         let mut g = p.proc("f").unwrap().clone();
         assert_eq!(dce(&mut g), 0);
     }

@@ -91,7 +91,13 @@ impl Dominators {
             }
         }
 
-        Dominators { rpo, rpo_index, idom, frontier, children }
+        Dominators {
+            rpo,
+            rpo_index,
+            idom,
+            frontier,
+            children,
+        }
     }
 
     /// True if `a` dominates `b` (both must be reachable).
@@ -134,7 +140,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     #[test]

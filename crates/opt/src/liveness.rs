@@ -33,10 +33,12 @@ impl Liveness {
             o.reverse(); // postorder converges fastest for backward problems
             o
         };
-        let uses: Vec<BTreeSet<Name>> =
-            (0..n).map(|i| var_uses(g, NodeId(i as u32)).into_iter().collect()).collect();
-        let defs: Vec<BTreeSet<Name>> =
-            (0..n).map(|i| var_defs(g, NodeId(i as u32)).into_iter().collect()).collect();
+        let uses: Vec<BTreeSet<Name>> = (0..n)
+            .map(|i| var_uses(g, NodeId(i as u32)).into_iter().collect())
+            .collect();
+        let defs: Vec<BTreeSet<Name>> = (0..n)
+            .map(|i| var_defs(g, NodeId(i as u32)).into_iter().collect())
+            .collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -80,7 +82,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     /// The key property from §4.4: a variable mentioned only in an
@@ -100,7 +106,10 @@ mod tests {
             "#,
         );
         let live = Liveness::compute(&g);
-        let call = g.ids().find(|&i| matches!(g.node(i), Node::Call { .. })).unwrap();
+        let call = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Call { .. }))
+            .unwrap();
         assert!(
             live.live_in(call).contains(&Name::from("y")),
             "y must be live at the call because of the cuts-to edge"
@@ -125,7 +134,10 @@ mod tests {
             "#,
         );
         let live = Liveness::compute(&g);
-        let call = g.ids().find(|&i| matches!(g.node(i), Node::Call { .. })).unwrap();
+        let call = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Call { .. }))
+            .unwrap();
         assert!(
             !live.live_in(call).contains(&Name::from("y")),
             "y is not live at the call when no edge reaches the handler"
@@ -136,14 +148,18 @@ mod tests {
     fn straight_line_liveness() {
         let g = graph("f(bits32 a) { bits32 b, c; b = a + 1; c = b * 2; return (c); }");
         let live = Liveness::compute(&g);
-        let assigns: Vec<_> =
-            g.ids().filter(|&i| matches!(g.node(i), Node::Assign { .. })).collect();
+        let assigns: Vec<_> = g
+            .ids()
+            .filter(|&i| matches!(g.node(i), Node::Assign { .. }))
+            .collect();
         // After c = b*2, only c is live.
         let last = *assigns.iter().min_by_key(|i| i.index()).unwrap();
         // (node ids are allocated back-to-front by the builder, so the
         // smallest assign id is the last in control order — verify by
         // checking its rhs mentions b)
-        let Node::Assign { rhs, .. } = g.node(last) else { unreachable!() };
+        let Node::Assign { rhs, .. } = g.node(last) else {
+            unreachable!()
+        };
         assert!(rhs.names().contains(&Name::from("b")));
         assert_eq!(
             live.live_out(last).iter().collect::<Vec<_>>(),
@@ -164,7 +180,10 @@ mod tests {
             "#,
         );
         let live = Liveness::compute(&g);
-        let branch = g.ids().find(|&i| matches!(g.node(i), Node::Branch { .. })).unwrap();
+        let branch = g
+            .ids()
+            .find(|&i| matches!(g.node(i), Node::Branch { .. }))
+            .unwrap();
         assert!(live.live_in(branch).contains(&Name::from("s")));
         assert!(live.live_in(branch).contains(&Name::from("n")));
     }

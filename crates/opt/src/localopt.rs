@@ -33,7 +33,11 @@ fn chains(g: &Graph) -> Vec<Vec<NodeId>> {
     let rpo = g.reverse_postorder();
     let reachable: BTreeSet<NodeId> = rpo.iter().copied().collect();
     let single_pred = |n: NodeId| {
-        preds[n.index()].iter().filter(|p| reachable.contains(p)).count() == 1
+        preds[n.index()]
+            .iter()
+            .filter(|p| reachable.contains(p))
+            .count()
+            == 1
     };
     let mut in_chain: BTreeSet<NodeId> = BTreeSet::new();
     let mut out = Vec::new();
@@ -74,7 +78,8 @@ impl LocalState {
     fn invalidate_var(&mut self, v: &Name) {
         self.copies.remove(v);
         self.copies.retain(|_, w| w != v);
-        self.avail.retain(|e, holder| holder != v && !e.names().contains(v));
+        self.avail
+            .retain(|e, holder| holder != v && !e.names().contains(v));
     }
 
     fn invalidate_memory(&mut self) {
@@ -87,20 +92,22 @@ impl LocalState {
         self.avail.retain(|e, holder| {
             locals.contains(holder) && e.names().iter().all(|n| locals.contains(n))
         });
-        self.copies.retain(|v, w| locals.contains(v) && locals.contains(w));
+        self.copies
+            .retain(|v, w| locals.contains(v) && locals.contains(w));
     }
 }
 
 fn run_chain(g: &mut Graph, chain: &[NodeId], locals: &BTreeSet<Name>) -> usize {
-    let mut st = LocalState { copies: HashMap::new(), avail: HashMap::new() };
+    let mut st = LocalState {
+        copies: HashMap::new(),
+        avail: HashMap::new(),
+    };
     let mut changed = 0;
     for &id in chain {
         let rewrite = |e: &Expr, st: &LocalState| -> Expr {
             let copied = e.substitute(&|n| st.copies.get(n).cloned().map(Expr::Name));
             match st.avail.get(&copied) {
-                Some(v) if !matches!(copied, Expr::Name(_) | Expr::Lit(_)) => {
-                    Expr::Name(v.clone())
-                }
+                Some(v) if !matches!(copied, Expr::Name(_) | Expr::Lit(_)) => Expr::Name(v.clone()),
                 _ => copied,
             }
         };
@@ -201,7 +208,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     fn rhs_list(g: &Graph) -> Vec<Expr> {
@@ -227,19 +238,19 @@ mod tests {
 
     #[test]
     fn cse_reuses_computed_expressions() {
-        let mut g = graph(
-            "f(bits32 a, bits32 b) { bits32 x, y; x = a + b; y = a + b; return (x, y); }",
-        );
+        let mut g =
+            graph("f(bits32 a, bits32 b) { bits32 x, y; x = a + b; y = a + b; return (x, y); }");
         localopt(&mut g);
         let rhs = rhs_list(&g);
-        assert!(rhs.contains(&Expr::var("x")), "y = a + b should become y = x: {rhs:?}");
+        assert!(
+            rhs.contains(&Expr::var("x")),
+            "y = a + b should become y = x: {rhs:?}"
+        );
     }
 
     #[test]
     fn copies_invalidated_by_redefinition() {
-        let mut g = graph(
-            "f(bits32 a) { bits32 b, c; b = a; a = 0; c = b + 1; return (c); }",
-        );
+        let mut g = graph("f(bits32 a) { bits32 b, c; b = a; a = 0; c = b + 1; return (c); }");
         localopt(&mut g);
         let rhs = rhs_list(&g);
         assert!(
@@ -295,9 +306,8 @@ mod tests {
 
     #[test]
     fn failing_expressions_not_subject_to_cse() {
-        let mut g = graph(
-            "f(bits32 a, bits32 b) { bits32 x, y; x = a / b; y = a / b; return (x, y); }",
-        );
+        let mut g =
+            graph("f(bits32 a, bits32 b) { bits32 x, y; x = a / b; y = a / b; return (x, y); }");
         localopt(&mut g);
         let rhs = rhs_list(&g);
         assert_eq!(

@@ -32,14 +32,26 @@ pub struct OptOptions {
 
 impl Default for OptOptions {
     fn default() -> OptOptions {
-        OptOptions { constprop: true, localopt: true, dce: true, callee_save_regs: 6, max_iters: 4 }
+        OptOptions {
+            constprop: true,
+            localopt: true,
+            dce: true,
+            callee_save_regs: 6,
+            max_iters: 4,
+        }
     }
 }
 
 impl OptOptions {
     /// Everything off: the identity pipeline.
     pub fn none() -> OptOptions {
-        OptOptions { constprop: false, localopt: false, dce: false, callee_save_regs: 0, max_iters: 1 }
+        OptOptions {
+            constprop: false,
+            localopt: false,
+            dce: false,
+            callee_save_regs: 0,
+            max_iters: 1,
+        }
     }
 }
 
@@ -160,7 +172,10 @@ mod tests {
         let stats = optimize_program(&mut prog, &OptOptions::default());
         assert!(stats.constprop_rewrites > 0);
         assert!(stats.dce_removed > 0);
-        assert_eq!(run(&prog, "f", vec![Value::b32(9)]), Status::Terminated(vec![Value::b32(9)]));
+        assert_eq!(
+            run(&prog, "f", vec![Value::b32(9)]),
+            Status::Terminated(vec![Value::b32(9)])
+        );
     }
 
     #[test]
@@ -193,7 +208,10 @@ mod tests {
         let prog = build_program(&parse_module(src).unwrap()).unwrap();
         let mut opt = prog.clone();
         let stats = optimize_program(&mut opt, &OptOptions::none());
-        assert_eq!(stats.constprop_rewrites + stats.local_rewrites + stats.dce_removed, 0);
+        assert_eq!(
+            stats.constprop_rewrites + stats.local_rewrites + stats.dce_removed,
+            0
+        );
         assert_eq!(prog.proc("f").unwrap(), opt.proc("f").unwrap());
     }
 }

@@ -134,9 +134,16 @@ impl Ssa {
             let mut phis = Vec::new();
             for v in vars {
                 let def = ssa.sites.len();
-                ssa.sites.push(DefSite::Phi { node, var: v.clone() });
+                ssa.sites.push(DefSite::Phi {
+                    node,
+                    var: v.clone(),
+                });
                 ssa.versions.push(0); // assigned during renaming
-                phis.push(Phi { var: v.clone(), def, args: Vec::new() });
+                phis.push(Phi {
+                    var: v.clone(),
+                    def,
+                    args: Vec::new(),
+                });
             }
             ssa.phis.insert(node, phis);
         }
@@ -176,7 +183,10 @@ impl Ssa {
                             continue;
                         }
                         let def = ssa.sites.len();
-                        ssa.sites.push(DefSite::Node { node: b, var: v.clone() });
+                        ssa.sites.push(DefSite::Node {
+                            node: b,
+                            var: v.clone(),
+                        });
                         ssa.versions.push(bump(&mut var_counts, &v));
                         ssa.node_defs.insert((b, v.clone()), def);
                         stacks.entry(v.clone()).or_default().push(def);
@@ -267,7 +277,12 @@ pub fn ssa_to_string(g: &Graph, ssa: &Ssa) -> String {
                     .iter()
                     .map(|&(p, d)| format!("{p}: {}", ssa.def_name(d)))
                     .collect();
-                let _ = writeln!(out, "  {id}: {} = phi({})", ssa.def_name(phi.def), args.join(", "));
+                let _ = writeln!(
+                    out,
+                    "  {id}: {} = phi({})",
+                    ssa.def_name(phi.def),
+                    args.join(", ")
+                );
             }
         }
         let mut line = format!("  {}", cmm_cfg::display::node_to_string(g, id));
@@ -299,7 +314,11 @@ mod tests {
     use cmm_parse::parse_module;
 
     fn graph(src: &str) -> Graph {
-        build_program(&parse_module(src).unwrap()).unwrap().proc("f").unwrap().clone()
+        build_program(&parse_module(src).unwrap())
+            .unwrap()
+            .proc("f")
+            .unwrap()
+            .clone()
     }
 
     #[test]
@@ -355,8 +374,7 @@ mod tests {
             "#,
         );
         let ssa = Ssa::build(&g);
-        let phi_vars: BTreeSet<&Name> =
-            ssa.phis.values().flatten().map(|p| &p.var).collect();
+        let phi_vars: BTreeSet<&Name> = ssa.phis.values().flatten().map(|p| &p.var).collect();
         assert!(phi_vars.contains(&Name::from("s")));
         assert!(phi_vars.contains(&Name::from("n")));
         assert!(ssa.verify(&g).is_empty());

@@ -18,7 +18,10 @@ pub struct ParseError {
 impl ParseError {
     /// Creates an error at a position.
     pub fn new(pos: Pos, message: impl Into<String>) -> ParseError {
-        ParseError { pos, message: message.into() }
+        ParseError {
+            pos,
+            message: message.into(),
+        }
     }
 }
 

@@ -17,7 +17,12 @@ use crate::token::{Pos, Tok, Token};
 /// Returns a [`ParseError`] for unterminated comments or strings, bad
 /// escapes, malformed numbers, or characters outside the language.
 pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
-    Lexer { chars: src.chars().collect(), at: 0, pos: Pos::start() }.run()
+    Lexer {
+        chars: src.chars().collect(),
+        at: 0,
+        pos: Pos::start(),
+    }
+    .run()
 }
 
 struct Lexer {
@@ -263,7 +268,8 @@ impl Lexer {
                 break;
             }
         }
-        let is_float = self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
+        let is_float =
+            self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
         if is_float {
             text.push('.');
             self.bump();
@@ -290,7 +296,9 @@ impl Lexer {
                     }
                 }
             }
-            let v: f64 = text.parse().map_err(|_| self.error("malformed float literal"))?;
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error("malformed float literal"))?;
             let width = match self.suffix()? {
                 Some(("float", w)) => w,
                 Some(_) => return Err(self.error("float literal with bits suffix")),
@@ -298,7 +306,9 @@ impl Lexer {
             };
             return Ok(Tok::Float(v, width));
         }
-        let v: u64 = text.parse().map_err(|_| self.error("malformed integer literal"))?;
+        let v: u64 = text
+            .parse()
+            .map_err(|_| self.error("malformed integer literal"))?;
         Ok(match self.suffix()? {
             Some(("bits", w)) => Tok::Int(v, Some(w)),
             Some(("float", w)) => Tok::Float(v as f64, w),
@@ -420,20 +430,39 @@ mod tests {
     fn lexes_primitive_names() {
         assert_eq!(toks("%divu"), vec![Tok::Ident("%divu".into()), Tok::Eof]);
         assert_eq!(toks("%%divu"), vec![Tok::Ident("%%divu".into()), Tok::Eof]);
-        assert_eq!(toks("a % b"), vec![Tok::Ident("a".into()), Tok::Percent, Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            toks("a % b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Percent,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(toks(r#""off board""#), vec![Tok::Str("off board".into()), Tok::Eof]);
-        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into()), Tok::Eof]);
+        assert_eq!(
+            toks(r#""off board""#),
+            vec![Tok::Str("off board".into()), Tok::Eof]
+        );
+        assert_eq!(
+            toks(r#""a\nb\"c""#),
+            vec![Tok::Str("a\nb\"c".into()), Tok::Eof]
+        );
     }
 
     #[test]
     fn skips_comments() {
         assert_eq!(
             toks("a /* comment \n more */ b // line\nc"),
-            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Ident("c".into()), Tok::Eof]
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
         );
     }
 
@@ -452,7 +481,10 @@ mod tests {
 
     #[test]
     fn ident_chars() {
-        assert_eq!(toks("sp2_help"), vec![Tok::Ident("sp2_help".into()), Tok::Eof]);
+        assert_eq!(
+            toks("sp2_help"),
+            vec![Tok::Ident("sp2_help".into()), Tok::Eof]
+        );
         assert_eq!(toks("str$0"), vec![Tok::Ident("str$0".into()), Tok::Eof]);
     }
 }

@@ -48,7 +48,10 @@ pub fn parse_proc(src: &str) -> Result<Proc, ParseError> {
     }
     match d {
         Decl::Proc(proc) => Ok(proc),
-        _ => Err(ParseError::new(Pos::start(), "expected a procedure definition")),
+        _ => Err(ParseError::new(
+            Pos::start(),
+            "expected a procedure definition",
+        )),
     }
 }
 
@@ -77,7 +80,11 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { toks: lex(src)?, at: 0, hoisted: Vec::new() })
+        Ok(Parser {
+            toks: lex(src)?,
+            at: 0,
+            hoisted: Vec::new(),
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -205,7 +212,11 @@ impl Parser {
             }
             // Lookahead: export NAME ( → exported procedure.
             let is_proc = matches!(self.peek2(), Tok::Ident(_))
-                && self.toks.get(self.at + 2).map(|t| t.tok == Tok::LParen).unwrap_or(false);
+                && self
+                    .toks
+                    .get(self.at + 2)
+                    .map(|t| t.tok == Tok::LParen)
+                    .unwrap_or(false);
             self.bump();
             if is_proc {
                 let mut p = self.proc()?;
@@ -219,7 +230,11 @@ impl Parser {
         if self.eat_kw("register") {
             let ty = self.ty()?;
             let name = self.ident("a register name")?;
-            let init = if self.eat(&Tok::Assign) { Some(self.lit(ty)?) } else { None };
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.lit(ty)?)
+            } else {
+                None
+            };
             self.expect(&Tok::Semi, "after register declaration")?;
             return Ok(Decl::Register(GlobalReg { name, ty, init }));
         }
@@ -318,6 +333,7 @@ impl Parser {
     ///
     /// Local declarations (`bits32 s, p;`) may appear anywhere in the
     /// sequence; they are collected and returned separately.
+    #[allow(clippy::type_complexity)]
     fn body(&mut self) -> Result<(Vec<BodyItem>, Vec<(Name, Ty)>), ParseError> {
         let mut items = Vec::new();
         let mut locals = Vec::new();
@@ -390,7 +406,11 @@ impl Parser {
             } else {
                 None
             };
-            let args = if self.at(&Tok::LParen) { self.paren_exprs()? } else { Vec::new() };
+            let args = if self.at(&Tok::LParen) {
+                self.paren_exprs()?
+            } else {
+                Vec::new()
+            };
             self.expect(&Tok::Semi, "after return")?;
             items.push(BodyItem::Stmt(Stmt::Return { alt, args }));
             return Ok(());
@@ -416,7 +436,11 @@ impl Parser {
         if self.eat_kw("continuation") {
             let name = self.ident("a continuation name")?;
             self.expect(&Tok::LParen, "to open continuation parameters")?;
-            let params = if self.at(&Tok::RParen) { Vec::new() } else { self.name_list()? };
+            let params = if self.at(&Tok::RParen) {
+                Vec::new()
+            } else {
+                self.name_list()?
+            };
             self.expect(&Tok::RParen, "to close continuation parameters")?;
             self.expect(&Tok::Colon, "after continuation header")?;
             items.push(BodyItem::Continuation { name, params });
@@ -430,13 +454,19 @@ impl Parser {
             return Ok(());
         }
         // Call without results: NAME `(` or computed callee.
-        if matches!(self.peek(), Tok::Ident(s) if Ty::parse_name(s).is_none()) && self.peek2() == &Tok::LParen
+        if matches!(self.peek(), Tok::Ident(s) if Ty::parse_name(s).is_none())
+            && self.peek2() == &Tok::LParen
         {
             let callee = self.callee()?;
             let args = self.paren_exprs()?;
             let anns = self.annotations()?;
             self.expect(&Tok::Semi, "after call")?;
-            items.push(BodyItem::Stmt(Stmt::Call { results: Vec::new(), callee, args, anns }));
+            items.push(BodyItem::Stmt(Stmt::Call {
+                results: Vec::new(),
+                callee,
+                args,
+                anns,
+            }));
             return Ok(());
         }
         // Assignment or call-with-results. The first target may turn out
@@ -448,7 +478,12 @@ impl Parser {
                 let args = self.paren_exprs()?;
                 let anns = self.annotations()?;
                 self.expect(&Tok::Semi, "after call")?;
-                items.push(BodyItem::Stmt(Stmt::Call { results: Vec::new(), callee, args, anns }));
+                items.push(BodyItem::Stmt(Stmt::Call {
+                    results: Vec::new(),
+                    callee,
+                    args,
+                    anns,
+                }));
                 return Ok(());
             }
         }
@@ -458,7 +493,9 @@ impl Parser {
         }
         self.expect(&Tok::Assign, "in assignment")?;
         // A checked primitive (`%%divu`) takes the form of a call.
-        if matches!(self.peek(), Tok::Ident(s) if s.starts_with("%%")) && self.peek2() == &Tok::LParen {
+        if matches!(self.peek(), Tok::Ident(s) if s.starts_with("%%"))
+            && self.peek2() == &Tok::LParen
+        {
             let callee = Expr::Name(self.ident("a primitive")?);
             let mut results = Vec::with_capacity(lhs.len());
             for l in lhs {
@@ -472,7 +509,12 @@ impl Parser {
             let args = self.paren_exprs()?;
             let anns = self.annotations()?;
             self.expect(&Tok::Semi, "after call")?;
-            items.push(BodyItem::Stmt(Stmt::Call { results, callee, args, anns }));
+            items.push(BodyItem::Stmt(Stmt::Call {
+                results,
+                callee,
+                args,
+                anns,
+            }));
             return Ok(());
         }
         let first = self.expr()?;
@@ -490,7 +532,12 @@ impl Parser {
             let args = self.paren_exprs()?;
             let anns = self.annotations()?;
             self.expect(&Tok::Semi, "after call")?;
-            items.push(BodyItem::Stmt(Stmt::Call { results, callee: first, args, anns }));
+            items.push(BodyItem::Stmt(Stmt::Call {
+                results,
+                callee: first,
+                args,
+                anns,
+            }));
             return Ok(());
         }
         let mut rhs = vec![first];
@@ -722,7 +769,8 @@ impl Parser {
             Tok::Str(s) => {
                 self.bump();
                 let name = Name::from(format!("str${}", self.hoisted.len()));
-                self.hoisted.push(DataBlock::new(name.clone(), vec![DataItem::Str(s)]));
+                self.hoisted
+                    .push(DataBlock::new(name.clone(), vec![DataItem::Str(s)]));
                 Ok(Expr::Name(name))
             }
             Tok::LParen => {
@@ -760,13 +808,15 @@ impl Parser {
 
     fn primitive(&mut self, name: &str, args: Vec<Expr>) -> Result<Expr, ParseError> {
         let unary = |args: Vec<Expr>, op: UnOp, this: &Self| -> Result<Expr, ParseError> {
-            let [a]: [Expr; 1] =
-                args.try_into().map_err(|_| this.err(format!("`{name}` takes 1 argument")))?;
+            let [a]: [Expr; 1] = args
+                .try_into()
+                .map_err(|_| this.err(format!("`{name}` takes 1 argument")))?;
             Ok(Expr::unary(op, a))
         };
         let binary = |args: Vec<Expr>, op: BinOp, this: &Self| -> Result<Expr, ParseError> {
-            let [a, b]: [Expr; 2] =
-                args.try_into().map_err(|_| this.err(format!("`{name}` takes 2 arguments")))?;
+            let [a, b]: [Expr; 2] = args
+                .try_into()
+                .map_err(|_| this.err(format!("`{name}` takes 2 arguments")))?;
             Ok(Expr::binary(op, a, b))
         };
         if let Some(rest) = name.strip_prefix("%zx") {
@@ -1040,7 +1090,11 @@ mod tests {
         let e = parse_expr("(next + 1) % t").unwrap();
         assert_eq!(
             e,
-            Expr::binary(BinOp::ModU, Expr::add(Expr::var("next"), Expr::b32(1)), Expr::var("t"))
+            Expr::binary(
+                BinOp::ModU,
+                Expr::add(Expr::var("next"), Expr::b32(1)),
+                Expr::var("t")
+            )
         );
     }
 
@@ -1050,7 +1104,10 @@ mod tests {
             parse_expr("%divs(a, b)").unwrap(),
             Expr::binary(BinOp::DivS, Expr::var("a"), Expr::var("b"))
         );
-        assert_eq!(parse_expr("%neg(x)").unwrap(), Expr::unary(UnOp::Neg, Expr::var("x")));
+        assert_eq!(
+            parse_expr("%neg(x)").unwrap(),
+            Expr::unary(UnOp::Neg, Expr::var("x"))
+        );
         assert_eq!(
             parse_expr("%zx32(bits8[p])").unwrap(),
             Expr::unary(UnOp::Zx(Width::W32), Expr::mem(Ty::B8, Expr::var("p")))

@@ -1,8 +1,8 @@
 //! Threads and activation handles.
 
 use cmm_cfg::{Node, Program};
-use cmm_sem::{Frame, Machine, RtsTarget, Status, Value, Wrong};
 use cmm_ir::Ty;
+use cmm_sem::{Frame, Machine, RtsTarget, Status, Value, Wrong};
 
 /// An activation handle: a cursor over the stack of abstract activations
 /// of a suspended thread.
@@ -49,7 +49,10 @@ pub struct Thread<'p> {
 impl<'p> Thread<'p> {
     /// Creates a thread over a program.
     pub fn new(prog: &'p Program) -> Thread<'p> {
-        Thread { machine: Machine::new(prog), pending: None }
+        Thread {
+            machine: Machine::new(prog),
+            pending: None,
+        }
     }
 
     /// Starts executing the named procedure (see [`Machine::start`]).
@@ -154,14 +157,19 @@ impl<'p> Thread<'p> {
             .machine
             .activation(a.index)
             .ok_or_else(|| Wrong::RtsViolation("stale activation handle".into()))?;
-        let params =
-            vec![Value::Bits(cmm_ir::Width::W32, 0); self.normal_return_params(frame)];
-        self.pending = Some(Pending::Activation { pops: a.index, target: None, params });
+        let params = vec![Value::Bits(cmm_ir::Width::W32, 0); self.normal_return_params(frame)];
+        self.pending = Some(Pending::Activation {
+            pops: a.index,
+            target: None,
+            params,
+        });
         Ok(())
     }
 
     fn normal_return_params(&self, frame: &Frame) -> usize {
-        let Some(g) = self.machine.program().proc(frame.proc.as_str()) else { return 0 };
+        let Some(g) = self.machine.program().proc(frame.proc.as_str()) else {
+            return 0;
+        };
         self.copyin_len(g, frame.bundle.normal_return())
     }
 
@@ -184,7 +192,9 @@ impl<'p> Thread<'p> {
     /// unwind continuations.
     pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), Wrong> {
         let Some(Pending::Activation { pops, .. }) = self.pending.as_ref() else {
-            return Err(Wrong::RtsViolation("SetUnwindCont before SetActivation".into()));
+            return Err(Wrong::RtsViolation(
+                "SetUnwindCont before SetActivation".into(),
+            ));
         };
         let pops = *pops;
         let frame = self
@@ -243,9 +253,7 @@ impl<'p> Thread<'p> {
     /// returned reference before calling [`Thread::resume`].
     pub fn find_cont_param(&mut self, n: usize) -> Option<&mut Value> {
         match self.pending.as_mut()? {
-            Pending::Activation { params, .. } | Pending::CutTo { params, .. } => {
-                params.get_mut(n)
-            }
+            Pending::Activation { params, .. } | Pending::CutTo { params, .. } => params.get_mut(n),
         }
     }
 
@@ -264,7 +272,11 @@ impl<'p> Thread<'p> {
             .take()
             .ok_or_else(|| Wrong::RtsViolation("Resume with no resumption set".into()))?;
         match pending {
-            Pending::Activation { pops, target, params } => {
+            Pending::Activation {
+                pops,
+                target,
+                params,
+            } => {
                 for _ in 0..pops {
                     self.machine.rts_pop_frame()?;
                 }

@@ -128,8 +128,14 @@ impl<'p> Machine<'p> {
         if matches!(self.status, Status::Suspended) {
             return Err(Wrong::NotRunnable);
         }
-        let g = self.prog.proc(proc).ok_or_else(|| Wrong::NoSuchProc(Name::from(proc)))?;
-        self.control = NodeRef { proc: g.name.clone(), node: g.entry };
+        let g = self
+            .prog
+            .proc(proc)
+            .ok_or_else(|| Wrong::NoSuchProc(Name::from(proc)))?;
+        self.control = NodeRef {
+            proc: g.name.clone(),
+            node: g.entry,
+        };
         self.rho = Env::new();
         self.saves = BTreeSet::new();
         self.uid = self.fresh_uid();
@@ -192,7 +198,13 @@ impl<'p> Machine<'p> {
                 for (name, id) in conts {
                     rho.insert(
                         name.clone(),
-                        Value::Cont(NodeRef { proc: self.control.proc.clone(), node: *id }, self.uid),
+                        Value::Cont(
+                            NodeRef {
+                                proc: self.control.proc.clone(),
+                                node: *id,
+                            },
+                            self.uid,
+                        ),
                     );
                 }
                 self.rho = rho;
@@ -219,7 +231,10 @@ impl<'p> Machine<'p> {
                     });
                 }
                 let target = frame.bundle.returns[*index as usize];
-                self.control = NodeRef { proc: frame.proc, node: target };
+                self.control = NodeRef {
+                    proc: frame.proc,
+                    node: target,
+                };
                 self.rho = frame.rho;
                 self.saves = frame.saves;
                 self.uid = frame.uid;
@@ -354,8 +369,14 @@ impl<'p> Machine<'p> {
     }
 
     fn enter(&mut self, proc: &Name) -> Result<(), Wrong> {
-        let g = self.prog.proc(proc.as_str()).ok_or_else(|| Wrong::NoSuchProc(proc.clone()))?;
-        self.control = NodeRef { proc: g.name.clone(), node: g.entry };
+        let g = self
+            .prog
+            .proc(proc.as_str())
+            .ok_or_else(|| Wrong::NoSuchProc(proc.clone()))?;
+        self.control = NodeRef {
+            proc: g.name.clone(),
+            node: g.entry,
+        };
         self.uid = self.fresh_uid();
         Ok(())
     }
@@ -373,7 +394,10 @@ impl<'p> Machine<'p> {
     }
 
     fn write_var(&mut self, n: &Name, v: Value) -> Result<(), Wrong> {
-        let g = self.prog.proc(self.control.proc.as_str()).expect("current proc exists");
+        let g = self
+            .prog
+            .proc(self.control.proc.as_str())
+            .expect("current proc exists");
         if g.var_ty(n).is_some() {
             self.rho.insert(n.clone(), v);
             Ok(())
@@ -414,8 +438,9 @@ impl<'p> Machine<'p> {
                 if wa != wb && !shiftish {
                     return Err(Wrong::WidthMismatch(self.here()));
                 }
-                let (r, rw) =
-                    op.eval(wa, va, vb).map_err(|e| Wrong::OpFailed(self.here(), e))?;
+                let (r, rw) = op
+                    .eval(wa, va, vb)
+                    .map_err(|e| Wrong::OpFailed(self.here(), e))?;
                 Ok(Value::Bits(rw, r))
             }
         }
@@ -456,16 +481,17 @@ impl<'p> Machine<'p> {
     fn flatten(&mut self, v: Value) -> Result<u64, Wrong> {
         match v {
             Value::Bits(_, b) => Ok(b),
-            Value::Code(n) => self
-                .prog
-                .proc_addr(n.as_str())
-                .ok_or(Wrong::NoSuchProc(n)),
+            Value::Code(n) => self.prog.proc_addr(n.as_str()).ok_or(Wrong::NoSuchProc(n)),
             Value::Cont(p, u) => Ok(self.encode_cont(p, u)),
         }
     }
 
     fn encode_cont(&mut self, p: NodeRef, u: u64) -> u64 {
-        if let Some(i) = self.cont_encodings.iter().position(|(q, v)| *q == p && *v == u) {
+        if let Some(i) = self
+            .cont_encodings
+            .iter()
+            .position(|(q, v)| *q == p && *v == u)
+        {
             return CONT_BASE + (i as u64) * 8;
         }
         self.cont_encodings.push((p, u));
@@ -477,7 +503,7 @@ impl<'p> Machine<'p> {
     pub fn decode_cont(&self, v: &Value) -> Option<(NodeRef, u64)> {
         match v {
             Value::Cont(p, u) => Some((p.clone(), *u)),
-            Value::Bits(_, b) if *b >= CONT_BASE && (*b - CONT_BASE) % 8 == 0 => {
+            Value::Bits(_, b) if *b >= CONT_BASE && (*b - CONT_BASE).is_multiple_of(8) => {
                 let i = ((*b - CONT_BASE) / 8) as usize;
                 self.cont_encodings.get(i).cloned()
             }
@@ -591,7 +617,9 @@ impl<'p> Machine<'p> {
             RtsTarget::Cut(i) => (top.bundle.cuts.get(i).copied(), false),
         };
         let Some(node) = node else {
-            return Err(Wrong::RtsViolation(format!("{target:?} not present in the bundle")));
+            return Err(Wrong::RtsViolation(format!(
+                "{target:?} not present in the bundle"
+            )));
         };
         // "There must be exactly as many parameters as P' expects."
         let expected = self.cont_param_count(&top.proc.clone(), node);
@@ -610,7 +638,10 @@ impl<'p> Machine<'p> {
             }
             frame.saves.clear();
         }
-        self.control = NodeRef { proc: frame.proc, node };
+        self.control = NodeRef {
+            proc: frame.proc,
+            node,
+        };
         self.rho = frame.rho;
         self.saves = frame.saves;
         self.uid = frame.uid;
@@ -630,8 +661,9 @@ impl<'p> Machine<'p> {
     /// the target call site lacks the `also cuts to` annotation.
     pub fn rts_cut_to(&mut self, cont: &Value, args: Vec<Value>) -> Result<(), Wrong> {
         self.require_suspended()?;
-        let (target, tuid) =
-            self.decode_cont(cont).ok_or_else(|| Wrong::DeadContinuation(self.here()))?;
+        let (target, tuid) = self
+            .decode_cont(cont)
+            .ok_or_else(|| Wrong::DeadContinuation(self.here()))?;
         let expected = self.cont_param_count(&target.proc, target.node);
         if let Some(expected) = expected {
             if args.len() != expected {
@@ -671,7 +703,9 @@ impl<'p> Machine<'p> {
         if matches!(self.status, Status::Suspended) {
             Ok(())
         } else {
-            Err(Wrong::RtsViolation("machine is not suspended in yield".into()))
+            Err(Wrong::RtsViolation(
+                "machine is not suspended in yield".into(),
+            ))
         }
     }
 
@@ -760,7 +794,11 @@ mod tests {
         let p = prog(FIGURE1);
         for proc in ["sp1", "sp2", "sp3"] {
             let vals = expect_values(run_proc(&p, proc, vec![Value::b32(10)]));
-            assert_eq!(vals, vec![Value::b32(55), Value::b32(3628800)], "procedure {proc}");
+            assert_eq!(
+                vals,
+                vec![Value::b32(55), Value::b32(3628800)],
+                "procedure {proc}"
+            );
         }
     }
 
@@ -993,20 +1031,20 @@ mod tests {
             Status::Wrong(Wrong::OpFailed(..)) => {}
             other => panic!("expected OpFailed, got {other:?}"),
         }
-        let vals =
-            expect_values(run_proc(&p, "f", vec![Value::b32(7), Value::b32(2)]));
+        let vals = expect_values(run_proc(&p, "f", vec![Value::b32(7), Value::b32(2)]));
         assert_eq!(vals, vec![Value::b32(3)]);
     }
 
     #[test]
     fn checked_divide_suspends_in_yield() {
-        let p = prog("f(bits32 a, bits32 b) { bits32 r; r = %%divu(a, b) also aborts; return (r); }");
+        let p =
+            prog("f(bits32 a, bits32 b) { bits32 r; r = %%divu(a, b) also aborts; return (r); }");
         // Failure: suspended with DIVZERO code.
         let mut m = Machine::new(&p);
         m.start("f", vec![Value::b32(1), Value::b32(0)]).unwrap();
         assert_eq!(m.run(100_000), Status::Suspended);
         assert_eq!(m.yield_args(), &[Value::b32(1)]); // yield_codes::DIVZERO
-        // Success: returns quotient without yielding.
+                                                      // Success: returns quotient without yielding.
         let vals = expect_values(run_proc(&p, "f", vec![Value::b32(42), Value::b32(6)]));
         assert_eq!(vals, vec![Value::b32(7)]);
     }
@@ -1034,7 +1072,8 @@ mod tests {
         assert_eq!(m.yield_args(), &[Value::b32(9)]);
         // Pop g's activation (aborts), then unwind to k of f.
         m.rts_pop_frame().unwrap();
-        m.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(77)]).unwrap();
+        m.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(77)])
+            .unwrap();
         assert_eq!(expect_values(m.run(100_000)), vec![Value::b32(82)]);
     }
 
@@ -1068,7 +1107,8 @@ mod tests {
         m.rts_pop_frame().unwrap();
         assert!(m.rts_resume(RtsTarget::Unwind(0), vec![]).is_err());
         // Correct arity succeeds.
-        m.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(3)]).unwrap();
+        m.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(3)])
+            .unwrap();
         assert_eq!(expect_values(m.run(100_000)), vec![Value::b32(3)]);
     }
 
@@ -1135,7 +1175,11 @@ mod tests {
             "#,
         );
         match run_proc(&p, "f", vec![]) {
-            Status::Wrong(Wrong::ReturnArityMismatch { claimed: 2, actual: 0, .. }) => {}
+            Status::Wrong(Wrong::ReturnArityMismatch {
+                claimed: 2,
+                actual: 0,
+                ..
+            }) => {}
             other => panic!("expected arity mismatch, got {other:?}"),
         }
     }

@@ -19,7 +19,10 @@ pub struct NodeRef {
 impl NodeRef {
     /// Creates a node reference.
     pub fn new(proc: impl Into<Name>, node: NodeId) -> NodeRef {
-        NodeRef { proc: proc.into(), node }
+        NodeRef {
+            proc: proc.into(),
+            node,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ pub struct Frame {
 impl Frame {
     /// The `NodeRef` of the suspended call site.
     pub fn site(&self) -> NodeRef {
-        NodeRef { proc: self.proc.clone(), node: self.call_site }
+        NodeRef {
+            proc: self.proc.clone(),
+            node: self.call_site,
+        }
     }
 }
 

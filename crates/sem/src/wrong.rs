@@ -103,7 +103,11 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let at = NodeRef::new("f", NodeId(2));
-        assert!(Wrong::DeadContinuation(at.clone()).to_string().contains("dead"));
-        assert!(Wrong::OpFailed(at, OpError::DivideByZero).to_string().contains("zero"));
+        assert!(Wrong::DeadContinuation(at.clone())
+            .to_string()
+            .contains("dead"));
+        assert!(Wrong::OpFailed(at, OpError::DivideByZero)
+            .to_string()
+            .contains("zero"));
     }
 }

@@ -19,27 +19,43 @@ pub struct ArchProfile {
 }
 
 /// Pentium/Linux: 6-pointer `jmp_buf`.
-pub const PENTIUM_LINUX: ArchProfile =
-    ArchProfile { name: "Pentium/Linux", jmp_buf_words: 6, longjmp_extra: 0 };
+pub const PENTIUM_LINUX: ArchProfile = ArchProfile {
+    name: "Pentium/Linux",
+    jmp_buf_words: 6,
+    longjmp_extra: 0,
+};
 
 /// SPARC/Solaris: 19-pointer `jmp_buf`, plus register-window flushing on
 /// `longjmp`.
-pub const SPARC_SOLARIS: ArchProfile =
-    ArchProfile { name: "SPARC/Solaris", jmp_buf_words: 19, longjmp_extra: 64 };
+pub const SPARC_SOLARIS: ArchProfile = ArchProfile {
+    name: "SPARC/Solaris",
+    jmp_buf_words: 19,
+    longjmp_extra: 64,
+};
 
 /// Alpha/Digital-Unix: 84-pointer `jmp_buf`.
-pub const ALPHA_DIGITAL_UNIX: ArchProfile =
-    ArchProfile { name: "Alpha/Digital-Unix", jmp_buf_words: 84, longjmp_extra: 0 };
+pub const ALPHA_DIGITAL_UNIX: ArchProfile = ArchProfile {
+    name: "Alpha/Digital-Unix",
+    jmp_buf_words: 84,
+    longjmp_extra: 0,
+};
 
 /// A native-code stack cutter "saves 2 pointers" (the `(pc, sp)` pair of
 /// a C-- continuation, §5.4).
-pub const NATIVE_CUTTER: ArchProfile =
-    ArchProfile { name: "native C-- cutter", jmp_buf_words: 2, longjmp_extra: 0 };
+pub const NATIVE_CUTTER: ArchProfile = ArchProfile {
+    name: "native C-- cutter",
+    jmp_buf_words: 2,
+    longjmp_extra: 0,
+};
 
 /// All profiles quoted in §2, in the paper's order, plus the native
 /// cutter baseline.
-pub const ALL: [ArchProfile; 4] =
-    [PENTIUM_LINUX, SPARC_SOLARIS, ALPHA_DIGITAL_UNIX, NATIVE_CUTTER];
+pub const ALL: [ArchProfile; 4] = [
+    PENTIUM_LINUX,
+    SPARC_SOLARIS,
+    ALPHA_DIGITAL_UNIX,
+    NATIVE_CUTTER,
+];
 
 #[cfg(test)]
 mod tests {
@@ -51,6 +67,6 @@ mod tests {
         assert_eq!(SPARC_SOLARIS.jmp_buf_words, 19);
         assert_eq!(ALPHA_DIGITAL_UNIX.jmp_buf_words, 84);
         assert_eq!(NATIVE_CUTTER.jmp_buf_words, 2);
-        assert!(SPARC_SOLARIS.longjmp_extra > 0);
+        assert_ne!(SPARC_SOLARIS.longjmp_extra, 0);
     }
 }

@@ -43,11 +43,17 @@ impl fmt::Display for CodegenError {
                 regs::NUM_ARGS
             ),
             CodegenError::ExprTooDeep(p) => {
-                write!(f, "procedure `{p}`: expression exceeds the scratch registers")
+                write!(
+                    f,
+                    "procedure `{p}`: expression exceeds the scratch registers"
+                )
             }
             CodegenError::TooManyGlobals => write!(f, "too many global registers"),
             CodegenError::LiteralTooWide(p) => {
-                write!(f, "procedure `{p}`: 64-bit literal does not fit an immediate")
+                write!(
+                    f,
+                    "procedure `{p}`: 64-bit literal does not fit an immediate"
+                )
             }
         }
     }
@@ -84,7 +90,10 @@ impl VmProgram {
 
     /// Number of instructions generated for a procedure.
     pub fn proc_len(&self, name: &str) -> Option<u32> {
-        self.proc_meta.iter().find(|m| m.name == name).map(|m| m.end - m.entry)
+        self.proc_meta
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.end - m.entry)
     }
 }
 
@@ -114,10 +123,17 @@ pub fn compile(prog: &Program) -> Result<VmProgram, CodegenError> {
         if reg >= regs::NUM_REGS {
             return Err(CodegenError::TooManyGlobals);
         }
-        out.globals.push((g.name.clone(), reg as Reg, g.init.map(|l| l.bits).unwrap_or(0)));
+        out.globals.push((
+            g.name.clone(),
+            reg as Reg,
+            g.init.map(|l| l.bits).unwrap_or(0),
+        ));
     }
-    let global_regs: HashMap<Name, Reg> =
-        out.globals.iter().map(|(n, r, _)| (n.clone(), *r)).collect();
+    let global_regs: HashMap<Name, Reg> = out
+        .globals
+        .iter()
+        .map(|(n, r, _)| (n.clone(), *r))
+        .collect();
 
     let mut call_fixups: Vec<(u32, Name)> = Vec::new();
     for (name, g) in &prog.procs {
@@ -151,12 +167,33 @@ pub fn compile(prog: &Program) -> Result<VmProgram, CodegenError> {
 /// run-time system resumes normally) return.
 fn gen_yield(out: &mut VmProgram, entry: u32) {
     let frame = 8u32;
-    out.code.push(Inst::Addi { rd: regs::SP, rs: regs::SP, imm: -(frame as i32) });
-    out.code.push(Inst::Store { w: Width::W32, rs: regs::RA, rb: regs::SP, off: 0 });
+    out.code.push(Inst::Addi {
+        rd: regs::SP,
+        rs: regs::SP,
+        imm: -(frame as i32),
+    });
+    out.code.push(Inst::Store {
+        w: Width::W32,
+        rs: regs::RA,
+        rb: regs::SP,
+        off: 0,
+    });
     out.code.push(Inst::SysYield);
-    out.code.push(Inst::Load { w: Width::W32, rd: regs::RA, rb: regs::SP, off: 0 });
-    out.code.push(Inst::Addi { rd: regs::SP, rs: regs::SP, imm: frame as i32 });
-    out.code.push(Inst::Jr { rs: regs::RA, off: 0 });
+    out.code.push(Inst::Load {
+        w: Width::W32,
+        rd: regs::RA,
+        rb: regs::SP,
+        off: 0,
+    });
+    out.code.push(Inst::Addi {
+        rd: regs::SP,
+        rs: regs::SP,
+        imm: frame as i32,
+    });
+    out.code.push(Inst::Jr {
+        rs: regs::RA,
+        off: 0,
+    });
     out.proc_meta.push(ProcMeta {
         name: Name::from(YIELD),
         entry,
@@ -219,8 +256,12 @@ impl<'a> ProcGen<'a> {
     /// Continuation names used as values in some expression (those need
     /// a materialized `(pc, sp)` pair in the frame).
     fn value_continuations(&self) -> BTreeSet<Name> {
-        let cont_names: BTreeSet<Name> =
-            self.g.continuations().iter().map(|(n, _)| n.clone()).collect();
+        let cont_names: BTreeSet<Name> = self
+            .g
+            .continuations()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         let mut used = BTreeSet::new();
         let mut visit = |e: &Expr| {
             e.visit_names(&mut |n| {
@@ -229,8 +270,13 @@ impl<'a> ProcGen<'a> {
                 }
             });
         };
-        for node in &self.g.nodes {
-            match node {
+        // Only reachable nodes count: the optimizer can strand a call
+        // site that took a continuation's value without pruning the node
+        // from the arena, and a slot for such a use would fix up against
+        // a body that is never emitted.
+        let reachable = self.g.reachable();
+        for id in self.g.ids().filter(|id| reachable[id.index()]) {
+            match self.g.node(id) {
                 Node::Assign { lhs, rhs, .. } => {
                     visit(rhs);
                     if let Lvalue::Mem(_, a) = lhs {
@@ -324,6 +370,10 @@ impl<'a> ProcGen<'a> {
         self.allocate();
         let entry_pc = out.code.len() as u32;
         self.prologue(out);
+        // A continuation whose (pc, sp) pair is materialized can be
+        // entered through `SetCutToCont` even when no surviving call
+        // site names it in an annotation, so its body must be emitted.
+        self.pending.extend(self.cont_slot_of.keys().copied());
         // Emit the body starting at the entry node's successor.
         let Node::Entry { next, .. } = self.g.node(self.g.entry) else {
             unreachable!("procedure graphs start with Entry");
@@ -354,7 +404,10 @@ impl<'a> ProcGen<'a> {
         }
         for (site, nodes) in std::mem::take(&mut self.site_fixups) {
             let pcs: Vec<u32> = nodes.iter().map(|n| self.emitted[n]).collect();
-            out.call_sites.get_mut(&site).expect("site registered").unwind_pcs = pcs;
+            out.call_sites
+                .get_mut(&site)
+                .expect("site registered")
+                .unwind_pcs = pcs;
         }
         out.proc_meta.push(ProcMeta {
             name: self.g.name.clone(),
@@ -383,7 +436,12 @@ impl<'a> ProcGen<'a> {
             off: self.ra_offset as i32,
         });
         for &(reg, off) in &self.saved_callee {
-            out.code.push(Inst::Store { w: Width::W32, rs: reg, rb: regs::SP, off: off as i32 });
+            out.code.push(Inst::Store {
+                w: Width::W32,
+                rs: reg,
+                rb: regs::SP,
+                off: off as i32,
+            });
         }
         // Initialize continuation (pc, sp) pairs — "2 pointers" (§2) —
         // for the continuations whose values are actually taken.
@@ -392,7 +450,10 @@ impl<'a> ProcGen<'a> {
         slots.sort_by_key(|&(_, o)| o);
         for (node, off) in slots {
             let li_at = out.code.len() as u32;
-            out.code.push(Inst::Li { rd: regs::SCRATCH0, imm: 0 });
+            out.code.push(Inst::Li {
+                rd: regs::SCRATCH0,
+                imm: 0,
+            });
             self.cont_pc_fixups.push((li_at, node));
             out.code.push(Inst::Store {
                 w: Width::W32,
@@ -411,7 +472,12 @@ impl<'a> ProcGen<'a> {
 
     fn epilogue(&self, out: &mut VmProgram) {
         for &(reg, off) in &self.saved_callee {
-            out.code.push(Inst::Load { w: Width::W32, rd: reg, rb: regs::SP, off: off as i32 });
+            out.code.push(Inst::Load {
+                w: Width::W32,
+                rd: reg,
+                rb: regs::SP,
+                off: off as i32,
+            });
         }
         out.code.push(Inst::Load {
             w: Width::W32,
@@ -419,7 +485,11 @@ impl<'a> ProcGen<'a> {
             rb: regs::SP,
             off: self.ra_offset as i32,
         });
-        out.code.push(Inst::Addi { rd: regs::SP, rs: regs::SP, imm: self.frame_bytes as i32 });
+        out.code.push(Inst::Addi {
+            rd: regs::SP,
+            rs: regs::SP,
+            imm: self.frame_bytes as i32,
+        });
     }
 
     fn emit_chain(
@@ -458,7 +528,10 @@ impl<'a> ProcGen<'a> {
                     }
                     for (i, e) in exprs.iter().enumerate() {
                         let r = self.eval(out, e, 0)?;
-                        out.code.push(Inst::Mov { rd: regs::ARG0 + i as u8, rs: r });
+                        out.code.push(Inst::Mov {
+                            rd: regs::ARG0 + i as u8,
+                            rs: r,
+                        });
                     }
                     cur = next;
                 }
@@ -479,7 +552,10 @@ impl<'a> ProcGen<'a> {
                             let rv = if rv == regs::SCRATCH0 {
                                 rv
                             } else {
-                                out.code.push(Inst::Mov { rd: regs::SCRATCH0, rs: rv });
+                                out.code.push(Inst::Mov {
+                                    rd: regs::SCRATCH0,
+                                    rs: rv,
+                                });
                                 regs::SCRATCH0
                             };
                             let ra_ = self.eval(out, &a, 1)?;
@@ -501,7 +577,11 @@ impl<'a> ProcGen<'a> {
                     self.pending.push(f);
                     cur = t;
                 }
-                Node::Call { callee, bundle, descriptors } => {
+                Node::Call {
+                    callee,
+                    bundle,
+                    descriptors,
+                } => {
                     self.emit_call(out, &callee, &bundle, &descriptors, call_fixups)?;
                     // Fall through to the normal return point, which
                     // lands exactly at ra + alternates.
@@ -516,7 +596,9 @@ impl<'a> ProcGen<'a> {
                     self.epilogue(out);
                     match target {
                         None => {
-                            let Expr::Name(n) = &callee else { unreachable!() };
+                            let Expr::Name(n) = &callee else {
+                                unreachable!()
+                            };
                             let at = out.code.len() as u32;
                             out.code.push(Inst::Jmp { target: 0 });
                             call_fixups.push((at, n.clone()));
@@ -527,7 +609,10 @@ impl<'a> ProcGen<'a> {
                 }
                 Node::Exit { index, .. } => {
                     self.epilogue(out);
-                    out.code.push(Inst::Jr { rs: regs::RA, off: index as i32 });
+                    out.code.push(Inst::Jr {
+                        rs: regs::RA,
+                        off: index as i32,
+                    });
                     return Ok(());
                 }
                 Node::CutTo { cont, .. } => {
@@ -539,8 +624,16 @@ impl<'a> ProcGen<'a> {
                         rb: r,
                         off: 0,
                     });
-                    out.code.push(Inst::Load { w: Width::W32, rd: regs::SP, rb: r, off: 4 });
-                    out.code.push(Inst::Jr { rs: regs::SCRATCH0 + 1, off: 0 });
+                    out.code.push(Inst::Load {
+                        w: Width::W32,
+                        rd: regs::SP,
+                        rb: r,
+                        off: 4,
+                    });
+                    out.code.push(Inst::Jr {
+                        rs: regs::SCRATCH0 + 1,
+                        off: 0,
+                    });
                     return Ok(());
                 }
                 Node::Yield => unreachable!("yield stub generated separately"),
@@ -568,7 +661,7 @@ impl<'a> ProcGen<'a> {
             }
         }
         let site = out.code.len() as u32; // the return address
-        // Branch table for `also returns to` (Figures 3/4).
+                                          // Branch table for `also returns to` (Figures 3/4).
         let alternates = bundle.alternates();
         for &alt in &bundle.returns[..alternates as usize] {
             let at = out.code.len() as u32;
@@ -615,7 +708,12 @@ impl<'a> ProcGen<'a> {
             }
             Some(Loc::Frame(off)) => {
                 let w = self.var_widths.get(v).copied().unwrap_or(Width::W32);
-                out.code.push(Inst::Store { w, rs: from, rb: regs::SP, off: *off as i32 });
+                out.code.push(Inst::Store {
+                    w,
+                    rs: from,
+                    rb: regs::SP,
+                    off: *off as i32,
+                });
             }
             None => {
                 // A global register.
@@ -638,7 +736,10 @@ impl<'a> ProcGen<'a> {
                 if l.bits > u64::from(u32::MAX) {
                     return Err(CodegenError::LiteralTooWide(self.g.name.clone()));
                 }
-                out.code.push(Inst::Li { rd: dst, imm: l.bits as u32 });
+                out.code.push(Inst::Li {
+                    rd: dst,
+                    imm: l.bits as u32,
+                });
                 Ok(dst)
             }
             Expr::Name(n) => {
@@ -646,7 +747,12 @@ impl<'a> ProcGen<'a> {
                     Some(Loc::CallerReg(r)) | Some(Loc::CalleeReg(r)) => return Ok(*r),
                     Some(Loc::Frame(off)) => {
                         let w = self.var_widths.get(n).copied().unwrap_or(Width::W32);
-                        out.code.push(Inst::Load { w, rd: dst, rb: regs::SP, off: *off as i32 });
+                        out.code.push(Inst::Load {
+                            w,
+                            rd: dst,
+                            rb: regs::SP,
+                            off: *off as i32,
+                        });
                         return Ok(dst);
                     }
                     None => {}
@@ -664,7 +770,11 @@ impl<'a> ProcGen<'a> {
                     .map(|(_, id)| id)
                 {
                     let off = self.cont_slot_of[&node];
-                    out.code.push(Inst::Addi { rd: dst, rs: regs::SP, imm: off as i32 });
+                    out.code.push(Inst::Addi {
+                        rd: dst,
+                        rs: regs::SP,
+                        imm: off as i32,
+                    });
                     return Ok(dst);
                 }
                 // A procedure or data symbol: a link-time constant.
@@ -673,32 +783,46 @@ impl<'a> ProcGen<'a> {
                     .image
                     .symbol(n.as_str())
                     .expect("build_program validated all names");
-                out.code.push(Inst::Li { rd: dst, imm: addr as u32 });
+                out.code.push(Inst::Li {
+                    rd: dst,
+                    imm: addr as u32,
+                });
                 Ok(dst)
             }
             Expr::Mem(ty, a) => {
                 let r = self.eval(out, a, sidx)?;
-                out.code.push(Inst::Load { w: width_of(*ty), rd: dst, rb: r, off: 0 });
+                out.code.push(Inst::Load {
+                    w: width_of(*ty),
+                    rd: dst,
+                    rb: r,
+                    off: 0,
+                });
                 Ok(dst)
             }
             Expr::Unary(op, a) => {
                 let w = self.infer_width(a);
                 let r = self.eval(out, a, sidx)?;
-                out.code.push(Inst::Un { op: *op, w, rd: dst, ra: r });
+                out.code.push(Inst::Un {
+                    op: *op,
+                    w,
+                    rd: dst,
+                    ra: r,
+                });
                 Ok(dst)
             }
             Expr::Binary(op, a, b) => {
                 let w = self.infer_width(a);
+                // If the left operand landed in our scratch register it
+                // stays safe: the right subtree evaluates at sidx + 1.
                 let ra_ = self.eval(out, a, sidx)?;
-                // Protect the left operand if it landed in our scratch
-                // register and the right subtree will also use scratch.
-                let ra_ = if ra_ == dst && !matches!(**b, Expr::Name(_)) {
-                    ra_ // right subtree evaluates at sidx + 1; dst is safe
-                } else {
-                    ra_
-                };
                 let rb = self.eval(out, b, sidx + 1)?;
-                out.code.push(Inst::Bin { op: *op, w, rd: dst, ra: ra_, rb });
+                out.code.push(Inst::Bin {
+                    op: *op,
+                    w,
+                    rd: dst,
+                    ra: ra_,
+                    rb,
+                });
                 Ok(dst)
             }
         }
@@ -755,7 +879,10 @@ mod tests {
         assert!(vp.entries.contains_key("sp1"));
         assert!(vp.proc_len("sp1").unwrap() > 10);
         assert_eq!(vp.code[0], Inst::Halt);
-        assert!(vp.entries["sp1"] >= 8, "halt vector occupies the first 8 slots");
+        assert!(
+            vp.entries["sp1"] >= 8,
+            "halt vector occupies the first 8 slots"
+        );
     }
 
     #[test]

@@ -51,10 +51,20 @@ pub fn inst_to_string(i: &Inst) -> String {
             w.bits()
         ),
         Inst::Load { w, rd, rb, off } => {
-            format!("ld{}  {}, {off}({})", w.bits(), reg_name(*rd), reg_name(*rb))
+            format!(
+                "ld{}  {}, {off}({})",
+                w.bits(),
+                reg_name(*rd),
+                reg_name(*rb)
+            )
         }
         Inst::Store { w, rs, rb, off } => {
-            format!("st{}  {}, {off}({})", w.bits(), reg_name(*rs), reg_name(*rb))
+            format!(
+                "st{}  {}, {off}({})",
+                w.bits(),
+                reg_name(*rs),
+                reg_name(*rb)
+            )
         }
         Inst::Bnz { rs, target } => format!("bnz   {}, {target}", reg_name(*rs)),
         Inst::Bz { rs, target } => format!("bz    {}, {target}", reg_name(*rs)),
@@ -70,7 +80,11 @@ pub fn inst_to_string(i: &Inst) -> String {
 /// markers, and frame-layout comments.
 pub fn disassemble(p: &VmProgram) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "; halt vector at 0..8; {} instructions total\n", p.code.len());
+    let _ = writeln!(
+        out,
+        "; halt vector at 0..8; {} instructions total\n",
+        p.code.len()
+    );
     for meta in &p.proc_meta {
         let _ = writeln!(
             out,
@@ -131,7 +145,19 @@ mod tests {
         let prog = build_program(&parse_module(&src).unwrap()).unwrap();
         let vp = crate::codegen::compile(&prog).unwrap();
         let asm = disassemble(&vp);
-        for needle in ["li", "mov", "call", "jr", "bz", "jmp", "sys.yield", "st", "ld", "f:", "g:"] {
+        for needle in [
+            "li",
+            "mov",
+            "call",
+            "jr",
+            "bz",
+            "jmp",
+            "sys.yield",
+            "st",
+            "ld",
+            "f:",
+            "g:",
+        ] {
             assert!(asm.contains(needle), "missing `{needle}` in:\n{asm}");
         }
         assert!(asm.contains("call site"));

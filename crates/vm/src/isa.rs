@@ -193,7 +193,10 @@ mod tests {
         ];
         for (i, &(s1, n1)) in ranges.iter().enumerate() {
             for &(s2, n2) in &ranges[i + 1..] {
-                assert!(s1 + n1 <= s2 || s2 + n2 <= s1, "overlap: {s1}+{n1} vs {s2}+{n2}");
+                assert!(
+                    s1 + n1 <= s2 || s2 + n2 <= s1,
+                    "overlap: {s1}+{n1} vs {s2}+{n2}"
+                );
             }
         }
         assert!((regs::SP as usize) < regs::NUM_REGS);
@@ -202,7 +205,11 @@ mod tests {
     #[test]
     fn branch_classification() {
         assert!(Inst::Jmp { target: 0 }.is_branch());
-        assert!(Inst::Jr { rs: regs::RA, off: 2 }.is_branch());
+        assert!(Inst::Jr {
+            rs: regs::RA,
+            off: 2
+        }
+        .is_branch());
         assert!(!Inst::Li { rd: 1, imm: 0 }.is_branch());
     }
 }

@@ -245,15 +245,13 @@ impl<'p> VmMachine<'p> {
                 }
             }
             Inst::Jmp { target } => next = target,
-            Inst::Jr { rs, off } => {
-                match self.code_target(self.regs[rs as usize]) {
-                    Ok(base) => next = base.wrapping_add(off as u32),
-                    Err(e) => {
-                        self.status = VmStatus::Error(e);
-                        return;
-                    }
+            Inst::Jr { rs, off } => match self.code_target(self.regs[rs as usize]) {
+                Ok(base) => next = base.wrapping_add(off as u32),
+                Err(e) => {
+                    self.status = VmStatus::Error(e);
+                    return;
                 }
-            }
+            },
             Inst::Call { target } => {
                 self.cost.calls += 1;
                 self.regs[regs::RA as usize] = u64::from(self.pc + 1);
@@ -445,7 +443,10 @@ mod tests {
     #[test]
     fn divide_fault_is_reported() {
         let status = run("f(bits32 a, bits32 b) { return (a / b); }", "f", &[1, 0], 1);
-        assert!(matches!(status, VmStatus::Error(ref e) if e.contains("zero")), "{status:?}");
+        assert!(
+            matches!(status, VmStatus::Error(ref e) if e.contains("zero")),
+            "{status:?}"
+        );
     }
 
     #[test]

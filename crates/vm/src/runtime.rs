@@ -54,8 +54,15 @@ pub struct VmActivation {
 
 #[derive(Clone, Debug)]
 enum VmPending {
-    Activation { act: VmActivation, unwind: Option<usize>, params: Vec<u64> },
-    Cut { k: u32, params: Vec<u64> },
+    Activation {
+        act: VmActivation,
+        unwind: Option<usize>,
+        params: Vec<u64>,
+    },
+    Cut {
+        k: u32,
+        params: Vec<u64>,
+    },
 }
 
 /// A thread of simulated execution plus the run-time interface.
@@ -69,7 +76,10 @@ pub struct VmThread<'p> {
 impl<'p> VmThread<'p> {
     /// Creates a thread over a compiled program.
     pub fn new(program: &'p VmProgram) -> VmThread<'p> {
-        VmThread { machine: VmMachine::new(program), pending: None }
+        VmThread {
+            machine: VmMachine::new(program),
+            pending: None,
+        }
     }
 
     /// Starts a procedure (see [`VmMachine::start`]).
@@ -98,7 +108,9 @@ impl<'p> VmThread<'p> {
         }
         self.machine.cost.runtime_instructions += costs::FIRST_ACTIVATION;
         // pc is inside the yield stub; its frame holds the caller's ra.
-        let stub = self.program().proc_at_pc(self.machine.pc.saturating_sub(1))?;
+        let stub = self
+            .program()
+            .proc_at_pc(self.machine.pc.saturating_sub(1))?;
         let sp = self.machine.reg(regs::SP) as u32;
         let site = self.machine.mem.read32(sp + stub.ra_offset);
         let base = sp + stub.frame_bytes;
@@ -114,7 +126,9 @@ impl<'p> VmThread<'p> {
     /// registers into the context. Returns `false` at the stack bottom.
     pub fn next_activation(&mut self, a: &mut VmActivation) -> bool {
         self.machine.cost.runtime_instructions += costs::NEXT_ACTIVATION;
-        let Some(site) = self.site_meta(a.site) else { return false };
+        let Some(site) = self.site_meta(a.site) else {
+            return false;
+        };
         let meta = &self.program().proc_meta[site.proc];
         let ra_next = self.machine.mem.read32(a.base + meta.ra_offset);
         if ra_next < 8 {
@@ -153,8 +167,11 @@ impl<'p> VmThread<'p> {
             return Err("an activation being discarded has no `also aborts` annotation".into());
         }
         let n = self.site_meta(a.site).map(|s| s.normal_params).unwrap_or(0);
-        self.pending =
-            Some(VmPending::Activation { act: a.clone(), unwind: None, params: vec![0; n] });
+        self.pending = Some(VmPending::Activation {
+            act: a.clone(),
+            unwind: None,
+            params: vec![0; n],
+        });
         Ok(())
     }
 
@@ -198,7 +215,10 @@ impl<'p> VmThread<'p> {
         if !matches!(self.machine.status(), VmStatus::Suspended) {
             return Err("thread is not suspended".into());
         }
-        self.pending = Some(VmPending::Cut { k, params: vec![0; 8] });
+        self.pending = Some(VmPending::Cut {
+            k,
+            params: vec![0; 8],
+        });
         Ok(())
     }
 
@@ -219,9 +239,16 @@ impl<'p> VmThread<'p> {
     ///
     /// Fails if nothing was staged.
     pub fn resume(&mut self) -> Result<(), String> {
-        let pending = self.pending.take().ok_or_else(|| "Resume with nothing staged".to_string())?;
+        let pending = self
+            .pending
+            .take()
+            .ok_or_else(|| "Resume with nothing staged".to_string())?;
         match pending {
-            VmPending::Activation { act, unwind, params } => {
+            VmPending::Activation {
+                act,
+                unwind,
+                params,
+            } => {
                 self.machine.cost.runtime_instructions += costs::RESUME;
                 let site = self
                     .program()

@@ -33,7 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = parse_module(SRC)?;
     let program = build_program(&module)?;
 
-    for (proc, a, b) in [("fast", 42, 6), ("fast", 1, 0), ("checked", 42, 6), ("checked", 1, 0)] {
+    for (proc, a, b) in [
+        ("fast", 42, 6),
+        ("fast", 1, 0),
+        ("checked", 42, 6),
+        ("checked", 1, 0),
+    ] {
         let mut t = Thread::new(&program);
         t.start(proc, vec![Value::b32(a), Value::b32(b)])?;
         match t.run(100_000) {

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert_eq!(r, 43);
             totals.push(cost.total());
         }
-        let growth =
-            (totals[2] as f64 - totals[1] as f64) / f64::from(depths[2] - depths[1]);
+        let growth = (totals[2] as f64 - totals[1] as f64) / f64::from(depths[2] - depths[1]);
         print!("{:<18}", strategy.label());
         for t in &totals {
             print!("{:>12}", t);

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     strategies.push(Strategy::Sjlj(arch::SPARC_SOLARIS));
     strategies.push(Strategy::Sjlj(arch::ALPHA_DIGITAL_UNIX));
 
-    println!("Figure 7's TryAMove, all strategies, seeds {:?}\n", GAME_CASES.map(|(s, _)| s));
+    println!(
+        "Figure 7's TryAMove, all strategies, seeds {:?}\n",
+        GAME_CASES.map(|(s, _)| s)
+    );
     println!(
         "{:<26} {:>8} {:>8} {:>8} {:>8}   {:>12} {:>8} {:>8}",
         "strategy", "seed3", "seed0", "seed50", "seed9", "instructions", "loads", "stores"

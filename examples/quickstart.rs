@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiler = Compiler::new().source(FIGURE_1)?;
 
     println!("Figure 1: sum and product of 1..{n}\n");
-    println!("{:<10} {:>10} {:>12} {:>14} {:>8} {:>8}", "proc", "sum", "product", "instructions", "loads", "stores");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>8} {:>8}",
+        "proc", "sum", "product", "instructions", "loads", "stores"
+    );
     for proc in ["sp1", "sp2", "sp3"] {
         // The formal semantics (cmm-sem)...
         let vals = compiler.interpret(proc, vec![Value::b32(n)])?;

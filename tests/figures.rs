@@ -73,7 +73,10 @@ fn figure1_sum_and_product() {
 
 #[test]
 fn figure1_unoptimized_matches_optimized() {
-    let plain = Compiler::new().options(cmm_opt::OptOptions::none()).source(FIGURE_1).unwrap();
+    let plain = Compiler::new()
+        .options(cmm_opt::OptOptions::none())
+        .source(FIGURE_1)
+        .unwrap();
     let opt = Compiler::new().source(FIGURE_1).unwrap();
     for proc in ["sp1", "sp2", "sp3"] {
         assert_eq!(
@@ -100,8 +103,7 @@ const FIGURE_5: &str = r#"
 
 #[test]
 fn figure6_ssa_numbering() {
-    let prog =
-        cmm_cfg::build_program(&cmm_parse::parse_module(FIGURE_5).unwrap()).unwrap();
+    let prog = cmm_cfg::build_program(&cmm_parse::parse_module(FIGURE_5).unwrap()).unwrap();
     let g = prog.proc("f").unwrap();
     let ssa = Ssa::build(g);
     assert!(ssa.verify(g).is_empty());
@@ -109,7 +111,10 @@ fn figure6_ssa_numbering() {
     // The figure's essence: b and c each have multiple SSA versions
     // (the parameters copied in, the assignments, the call results).
     for needle in ["b.1", "b.2", "c.1", "c.2"] {
-        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
     }
     // The continuation is reachable only through the call's unwind
     // edge, and its use of b resolves to a version that dominates the
@@ -129,9 +134,7 @@ fn c_runs_figure5(prog: &cmm_cfg::Program) -> Vec<Value> {
 
 /// The paper's §4.1 example shape: passing a continuation to a callee
 /// that cuts to it.
-#[test]
-fn section41_cut_example() {
-    let src = r#"
+const SECTION_4_1: &str = r#"
         f(bits32 x) {
             bits32 y, r;
             float64 w;
@@ -146,18 +149,25 @@ fn section41_cut_example() {
             return (x);
         }
     "#;
-    let c = Compiler::new().source(src).unwrap();
-    assert_eq!(c.interpret("f", vec![Value::b32(3)]).unwrap(), vec![Value::b32(3)]);
-    assert_eq!(c.interpret("f", vec![Value::b32(20)]).unwrap(), vec![Value::b32(121)]);
+
+#[test]
+fn section41_cut_example() {
+    let c = Compiler::new().source(SECTION_4_1).unwrap();
+    assert_eq!(
+        c.interpret("f", vec![Value::b32(3)]).unwrap(),
+        vec![Value::b32(3)]
+    );
+    assert_eq!(
+        c.interpret("f", vec![Value::b32(20)]).unwrap(),
+        vec![Value::b32(121)]
+    );
     let (vm, _) = c.execute("f", &[20], 1).unwrap();
     assert_eq!(vm, vec![121]);
 }
 
 /// Figure 10's shape in raw C--: a dynamic exception stack of
 /// continuations with `cut to` dispatch.
-#[test]
-fn figure10_shape_in_raw_cmm() {
-    let src = r#"
+const FIGURE_10: &str = r#"
         register bits32 exn_top;
         data exn_stack { space 256; }
         data BadMove { string "BadMove"; }
@@ -201,9 +211,46 @@ fn figure10_shape_in_raw_cmm() {
             return (r);
         }
     "#;
-    let c = Compiler::new().source(src).unwrap();
-    assert_eq!(c.interpret("main", vec![Value::b32(5)]).unwrap(), vec![Value::b32(5)]);
-    assert_eq!(c.interpret("main", vec![Value::b32(50)]).unwrap(), vec![Value::b32(1050)]);
+
+#[test]
+fn figure10_shape_in_raw_cmm() {
+    let c = Compiler::new().source(FIGURE_10).unwrap();
+    assert_eq!(
+        c.interpret("main", vec![Value::b32(5)]).unwrap(),
+        vec![Value::b32(5)]
+    );
+    assert_eq!(
+        c.interpret("main", vec![Value::b32(50)]).unwrap(),
+        vec![Value::b32(1050)]
+    );
     let (vm, _) = c.execute("main", &[50], 1).unwrap();
     assert_eq!(vm, vec![1050]);
+}
+
+/// Pretty-print ∘ re-parse is the identity (up to AST equality) on
+/// every figure program above — the same round-trip invariant
+/// `cmm-difftest` enforces on each generated case.
+#[test]
+fn figure_programs_round_trip_through_the_pretty_printer() {
+    let figures = [
+        ("figure 1", FIGURE_1),
+        ("figure 5", FIGURE_5),
+        ("section 4.1", SECTION_4_1),
+        ("figure 10", FIGURE_10),
+    ];
+    for (name, src) in figures {
+        let module = cmm_parse::parse_module(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let errors = cmm_ir::verify_module(&module);
+        assert!(
+            errors.is_empty(),
+            "{name}: verifier rejects the figure: {errors:?}"
+        );
+        let printed = cmm_ir::pretty::module_to_string(&module);
+        let reparsed = cmm_parse::parse_module(&printed)
+            .unwrap_or_else(|e| panic!("{name}: pretty output does not re-parse: {e}\n{printed}"));
+        assert_eq!(
+            reparsed, module,
+            "{name}: round trip changed the AST\n{printed}"
+        );
+    }
 }

@@ -8,7 +8,11 @@ use cmm_ir::pretty;
 use cmm_parse::parse_module;
 
 fn interp(src: &str, proc: &str, args: Vec<Value>) -> Vec<Value> {
-    Compiler::new().source(src).unwrap().interpret(proc, args).unwrap()
+    Compiler::new()
+        .source(src)
+        .unwrap()
+        .interpret(proc, args)
+        .unwrap()
 }
 
 #[test]
@@ -57,7 +61,11 @@ fn every_integer_width() {
     "#;
     assert_eq!(
         interp(src, "f", vec![Value::b32(0x1234_5678)]),
-        vec![Value::b32(0x78), Value::b32(0x5678), Value::b32(0x2468_ACF0)]
+        vec![
+            Value::b32(0x78),
+            Value::b32(0x5678),
+            Value::b32(0x2468_ACF0)
+        ]
     );
 }
 
@@ -162,8 +170,7 @@ fn imports_are_declarative_only() {
 #[test]
 fn shift_out_of_range_goes_wrong() {
     let prog =
-        cmm_cfg::build_program(&parse_module("f(bits32 a) { return (1 << a); }").unwrap())
-            .unwrap();
+        cmm_cfg::build_program(&parse_module("f(bits32 a) { return (1 << a); }").unwrap()).unwrap();
     let mut m = Machine::new(&prog);
     m.start("f", vec![Value::b32(40)]).unwrap();
     assert!(matches!(m.run(1000), Status::Wrong(_)));

@@ -1,51 +1,21 @@
 //! Property tests: the optimizer preserves the operational semantics on
 //! randomly generated programs — including programs with exceptional
-//! control flow (cut-to continuations) — and the simulated target agrees
-//! with the abstract machine on the optimized code.
+//! control flow (weak continuations, `cut to`, `also unwinds to` /
+//! `also returns to` / `also aborts` annotations, `%%` checked
+//! primitives) — and the simulated target agrees with the abstract
+//! machine on the optimized code.
+//!
+//! The random sweep rides on `cmm-difftest`'s structured generator and
+//! multi-oracle executor; shrunk counterexamples found by past sweeps
+//! are replayed below as fixed regressions and recorded in
+//! `optimizer_soundness.proptest-regressions` (checked in, per the
+//! policy in DESIGN.md §4).
 
 use cmm_cfg::{build_program, Program};
-use cmm_ir::{pretty, Module};
+use cmm_difftest::{observe_sem, observe_vm, run_fuzz, FuzzConfig, Limits};
 use cmm_opt::{optimize_program, OptOptions};
 use cmm_parse::parse_module;
 use cmm_sem::{Machine, Status, Value};
-use cmm_vm::{compile, VmMachine, VmStatus};
-use proptest::prelude::*;
-
-/// A random pure expression over the variables a, b, c, d (no division,
-/// so generated programs never go wrong).
-fn expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0u32..50).prop_map(|v| v.to_string()),
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")].prop_map(str::to_string),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")], inner)
-            .prop_map(|(l, op, r)| format!("({l} {op} {r})"))
-    })
-    .boxed()
-}
-
-/// A random statement block body (straight-line, ifs, bounded loops,
-/// memory traffic, helper calls).
-fn stmts(depth: u32) -> BoxedStrategy<String> {
-    let assign = (prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")], expr(2))
-        .prop_map(|(v, e)| format!("{v} = {e};"));
-    let store = expr(1).prop_map(|e| format!("bits32[cells + (({e}) % 4) * 4] = {e};"));
-    let load = (prop_oneof![Just("a"), Just("b")], expr(1))
-        .prop_map(|(v, e)| format!("{v} = bits32[cells + (({e}) % 4) * 4];"));
-    let call = (prop_oneof![Just("c"), Just("d")], expr(1))
-        .prop_map(|(v, e)| format!("{v} = h({e});"));
-    let leaf = prop_oneof![4 => assign, 1 => store, 1 => load, 1 => call];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        let block = prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.join("\n"));
-        prop_oneof![
-            3 => prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.join("\n")),
-            2 => (expr(1), block.clone(), block.clone())
-                .prop_map(|(c, t, e)| format!("if {c} {{ {t} }} else {{ {e} }}")),
-        ]
-    })
-    .boxed()
-}
 
 fn harness(body: &str) -> String {
     format!(
@@ -68,111 +38,166 @@ fn harness(body: &str) -> String {
 
 fn run_sem(prog: &Program, args: (u32, u32)) -> Status {
     let mut m = Machine::new(prog);
-    m.start("f", vec![Value::b32(args.0), Value::b32(args.1)]).unwrap();
+    m.start("f", vec![Value::b32(args.0), Value::b32(args.1)])
+        .unwrap();
     m.run(10_000_000)
-}
-
-fn run_vm_prog(prog: &Program, args: (u32, u32)) -> Vec<u64> {
-    let vp = compile(prog).expect("codegen");
-    let mut m = VmMachine::new(&vp);
-    m.start("f", &[u64::from(args.0), u64::from(args.1)], 1);
-    match m.run(50_000_000) {
-        VmStatus::Halted(vals) => vals,
-        other => panic!("vm did not halt: {other:?}"),
-    }
 }
 
 fn build(src: &str) -> Program {
     build_program(&parse_module(src).unwrap_or_else(|e| panic!("{e}\n{src}"))).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// The randomized sweep proper: a fixed budget of generated programs
+/// through every oracle (reference semantics, each pass individually,
+/// the full pipeline, and the VM unoptimized and optimized). The CLI
+/// (`cmm fuzz`) runs the same pipeline at much higher case counts.
+#[test]
+fn optimizer_preserves_semantics_on_random_programs() {
+    let cfg = FuzzConfig {
+        cases: 150,
+        seed: 7,
+        shrink: true,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    assert!(
+        report.ok(),
+        "case {} failed: {}\nshrunk:\n{}",
+        report.failures[0].index,
+        report.failures[0].failure,
+        report.failures[0]
+            .shrunk
+            .as_ref()
+            .unwrap_or(&report.failures[0].case)
+            .render()
+    );
+}
 
-    /// Optimization preserves the abstract-machine semantics, and the
-    /// optimized code produces the same results on the VM.
-    #[test]
-    fn optimizer_preserves_semantics(body in stmts(3), a in 0u32..100, b in 0u32..100) {
-        let src = harness(&body);
-        let prog = build(&src);
-        let mut opt = prog.clone();
-        optimize_program(&mut opt, &OptOptions::default());
-
-        let before = run_sem(&prog, (a, b));
-        let after = run_sem(&opt, (a, b));
-        prop_assert_eq!(&before, &after, "optimization changed behaviour\n{}", src);
-
-        if let Status::Terminated(vals) = before {
-            let bits: Vec<u64> = vals.iter().filter_map(Value::bits).collect();
-            prop_assert_eq!(bits.clone(), run_vm_prog(&opt, (a, b)), "vm disagrees (optimized)");
-            prop_assert_eq!(bits, run_vm_prog(&prog, (a, b)), "vm disagrees (unoptimized)");
+/// Replays the shrunk counterexample recorded in
+/// `optimizer_soundness.proptest-regressions`: a memory store on a
+/// statically-dead `else` branch.
+#[test]
+fn regression_store_on_dead_branch() {
+    let body = "if 0 { a = 0; } else { bits32[cells + ((0) % 4) * 4] = 0; }";
+    let src = harness(body);
+    let prog = build(&src);
+    let mut opt = prog.clone();
+    optimize_program(&mut opt, &OptOptions::default());
+    for a in [0u32, 1, 7] {
+        for b in [0u32, 3] {
+            assert_eq!(
+                run_sem(&prog, (a, b)),
+                run_sem(&opt, (a, b)),
+                "optimization changed behaviour for ({a}, {b})\n{src}"
+            );
         }
-    }
-
-    /// Pretty-printing and re-parsing a module is the identity (up to
-    /// formatting): parse ∘ pretty ∘ parse = parse.
-    #[test]
-    fn pretty_parse_round_trip(body in stmts(3)) {
-        let src = harness(&body);
-        let m1: Module = parse_module(&src).unwrap();
-        let printed = pretty::module_to_string(&m1);
-        let m2 = parse_module(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        prop_assert_eq!(&m1, &m2, "round trip changed the module:\n{}", printed);
-    }
-
-    /// SSA invariants hold on random graphs: every use is dominated by
-    /// its definition.
-    #[test]
-    fn ssa_invariants(body in stmts(3)) {
-        let src = harness(&body);
-        let prog = build(&src);
-        let g = prog.proc("f").unwrap();
-        let ssa = cmm_opt::Ssa::build(g);
-        prop_assert!(ssa.verify(g).is_empty());
     }
 }
 
-/// Exception-heavy templates, randomized over the raise condition: the
-/// optimizer must preserve the cut behaviour.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn optimizer_preserves_cut_semantics(threshold in 0u32..20, x in 0u32..20) {
-        let src = format!(
-            r#"
-            f(bits32 x) {{
-                bits32 y, w, r, d;
-                y = x * 3;
-                w = x + 5;
-                r = g(x, k) also cuts to k also aborts;
-                return (r + y);
-                continuation k(d):
-                return (d + y + w);
-            }}
-            g(bits32 x, bits32 kk) {{
-                if x > {threshold} {{ cut to kk(100); }}
-                return (x);
-            }}
-            "#
-        );
-        let prog = build(&src);
-        let mut opt = prog.clone();
-        optimize_program(&mut opt, &OptOptions::default());
-        let run = |p: &Program| {
-            let mut m = Machine::new(p);
-            m.start("f", vec![Value::b32(x)]).unwrap();
-            m.run(1_000_000)
-        };
-        prop_assert_eq!(run(&prog), run(&opt));
-        // And the VM agrees.
-        if let Status::Terminated(vals) = run(&opt) {
-            let bits: Vec<u64> = vals.iter().filter_map(Value::bits).collect();
-            let vp = compile(&opt).unwrap();
-            let mut m = VmMachine::new(&vp);
-            m.start("f", &[u64::from(x)], 1);
-            prop_assert_eq!(m.run(1_000_000), VmStatus::Halted(bits));
-        }
+/// Shrunk by `cmm-difftest` (seed 14 of the `--seed 0` sweep): the
+/// callee-saves pass staged a set at the `yield` call site and let the
+/// later `also cuts to` call site inherit it, so the cut (which cannot
+/// restore callee-saves registers, §4.2) lost `d` and the optimized
+/// program went wrong with "unbound name `d`" while the reference
+/// halted. The pass must stage its chosen set at *every* call.
+const REGRESSION_CALLEE_SAVES_ACROSS_CUT: &str = r#"
+    data cells { bits32 0, 0, 0, 0, 0, 0, 0, 0; }
+    h(bits32 x) { return ((x * 2) + 1); }
+    g0(bits32 x, bits32 kk) {
+        if x > 9 { cut to kk(x - 1); } else { return (x + 1); }
     }
+    f(bits32 a, bits32 b) {
+        bits32 c, d, t, i;
+        c = 0; d = 0; t = 0;
+        i = 1;
+      loop:
+        if i == 0 { return ((((a + b) + c) + d) + t); } else {
+            yield((0) & 15) also aborts;
+            t = g0(15, kc) also cuts to kc also aborts;
+            i = i - 1;
+            goto loop;
+        }
+        continuation kc(t):
+        d = d + t;
+        i = i - 1;
+        goto loop;
+    }
+"#;
+
+#[test]
+fn regression_callee_saves_set_inherited_across_cut_site() {
+    let prog = build(REGRESSION_CALLEE_SAVES_ACROSS_CUT);
+    let limits = Limits::default();
+    let (reference, ref_detail) = observe_sem(&prog, (0, 0), &limits);
+    let mut opt = prog.clone();
+    optimize_program(
+        &mut opt,
+        &OptOptions {
+            callee_save_regs: 6,
+            ..OptOptions::none()
+        },
+    );
+    let (obs, detail) = observe_sem(&opt, (0, 0), &limits);
+    assert_eq!(
+        obs,
+        reference,
+        "callee-saves pass changed behaviour: reference {}, observed {}",
+        reference.describe(&ref_detail),
+        obs.describe(&detail)
+    );
+    // And through the full pipeline on both substrates.
+    let mut full = prog.clone();
+    optimize_program(&mut full, &OptOptions::default());
+    let (obs, _) = observe_sem(&full, (0, 0), &limits);
+    assert_eq!(obs, reference);
+    let vm = cmm_vm::compile(&full).unwrap();
+    let (obs, _) = observe_vm(&vm, (0, 0), &limits);
+    assert_eq!(obs, reference);
+}
+
+/// Shrunk by `cmm-difftest` (seed 0 sweep): constant propagation folds
+/// the `if 0` away, stranding the only call site that takes `kc`'s
+/// value; VM code generation then materialized a continuation (pc, sp)
+/// pair whose body was never emitted and panicked on the fixup.
+const REGRESSION_DEAD_CONT_VALUE: &str = r#"
+    data cells { bits32 0, 0, 0, 0, 0, 0, 0, 0; }
+    h(bits32 x) { return ((x * 2) + 1); }
+    g0(bits32 x, bits32 kk) {
+        if x > 9 { cut to kk(x - 1); } else { return (x + 1); }
+    }
+    f(bits32 a, bits32 b) {
+        bits32 c, d, t, i;
+        c = 0; d = 0; t = 0;
+        i = 1;
+      loop:
+        if i == 0 { return ((((a + b) + c) + d) + t); } else {
+            if 0 {
+                c = g0(0, kc) also cuts to kc also aborts;
+            } else {
+            }
+            i = i - 1;
+            goto loop;
+        }
+        continuation kc(t):
+        return ((t + b) + 1000);
+    }
+"#;
+
+#[test]
+fn regression_codegen_of_optimized_dead_continuation_value() {
+    let prog = build(REGRESSION_DEAD_CONT_VALUE);
+    let limits = Limits::default();
+    let (reference, _) = observe_sem(&prog, (0, 0), &limits);
+    let mut opt = prog.clone();
+    optimize_program(
+        &mut opt,
+        &OptOptions {
+            constprop: true,
+            ..OptOptions::none()
+        },
+    );
+    // This compile used to panic ("no entry found for key").
+    let vm = cmm_vm::compile(&opt).unwrap();
+    let (obs, _) = observe_vm(&vm, (0, 0), &limits);
+    assert_eq!(obs, reference);
 }

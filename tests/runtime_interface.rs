@@ -63,7 +63,10 @@ fn full_walk_and_dispatch_on_the_abstract_machine() {
         t.set_unwind_cont(if v < 10 { 0 } else { 1 }).unwrap();
         *t.find_cont_param(0).unwrap() = Value::b32(v);
         t.resume().unwrap();
-        assert_eq!(t.run(100_000), Status::Terminated(vec![Value::b32(expected)]));
+        assert_eq!(
+            t.run(100_000),
+            Status::Terminated(vec![Value::b32(expected)])
+        );
     }
 }
 
@@ -170,5 +173,8 @@ fn abort_annotations_are_enforced() {
     t.run(1_000_000);
     let mut a = t.first_activation().unwrap();
     assert!(t.next_activation(&mut a));
-    assert!(t.set_activation(&a).is_err(), "discarding g's frame must be rejected");
+    assert!(
+        t.set_activation(&a).is_err(),
+        "discarding g's frame must be rejected"
+    );
 }

@@ -14,18 +14,31 @@ fn agree(src: &str, proc: &str, args: &[u32], results: usize) -> Vec<u64> {
     let prog = build_program(&parse_module(src).unwrap()).unwrap();
     let sem_out = sem_values(&prog, proc, args);
     // Unoptimized VM.
-    assert_eq!(sem_out, vm_values(&prog, proc, args, results), "unoptimized VM disagrees");
+    assert_eq!(
+        sem_out,
+        vm_values(&prog, proc, args, results),
+        "unoptimized VM disagrees"
+    );
     // Optimized VM.
     let mut opt = prog.clone();
     optimize_program(&mut opt, &OptOptions::default());
-    assert_eq!(sem_values(&opt, proc, args), sem_out, "optimizer changed semantics");
-    assert_eq!(sem_out, vm_values(&opt, proc, args, results), "optimized VM disagrees");
+    assert_eq!(
+        sem_values(&opt, proc, args),
+        sem_out,
+        "optimizer changed semantics"
+    );
+    assert_eq!(
+        sem_out,
+        vm_values(&opt, proc, args, results),
+        "optimized VM disagrees"
+    );
     sem_out
 }
 
 fn sem_values(prog: &Program, proc: &str, args: &[u32]) -> Vec<u64> {
     let mut m = Machine::new(prog);
-    m.start(proc, args.iter().map(|&a| Value::b32(a)).collect()).unwrap();
+    m.start(proc, args.iter().map(|&a| Value::b32(a)).collect())
+        .unwrap();
     match m.run(50_000_000) {
         Status::Terminated(vals) => vals.iter().filter_map(Value::bits).collect(),
         other => panic!("abstract machine: {other:?}"),

@@ -59,14 +59,12 @@ fn five_hundred_block_procedure() {
 fn nested_tries(depth: usize) -> String {
     let mut body = String::from("r = boom(x);");
     for i in 0..depth {
-        body = format!(
-            "try {{ {body} }} except {{ E{i}(v) => {{ r = v + {i}; }} }}"
-        );
+        body = format!("try {{ {body} }} except {{ E{i}(v) => {{ r = v + {i}; }} }}");
     }
     let mut exceptions = String::new();
     let mut raises = String::new();
     for i in 0..depth {
-        let _ = write!(exceptions, "exception E{i};\n");
+        let _ = writeln!(exceptions, "exception E{i};");
         let _ = writeln!(raises, "if x == {i} {{ raise E{i}(100); }}");
     }
     format!(
@@ -81,12 +79,15 @@ fn sixteen_deep_try_nesting_all_strategies() {
     let depth = 16;
     let src = nested_tries(depth);
     for strategy in Strategy::CORE {
-        let module = compile_minim3(&src, strategy)
-            .unwrap_or_else(|e| panic!("{strategy}: {e}"));
+        let module = compile_minim3(&src, strategy).unwrap_or_else(|e| panic!("{strategy}: {e}"));
         // Raising E3 is caught by the scope at nesting level 3.
         assert_eq!(run_sem(&module, strategy, &[3]).unwrap(), 103, "{strategy}");
         // No raise: the value passes through every scope.
-        assert_eq!(run_sem(&module, strategy, &[999]).unwrap(), 999, "{strategy}");
+        assert_eq!(
+            run_sem(&module, strategy, &[999]).unwrap(),
+            999,
+            "{strategy}"
+        );
         let (vm, _) = run_vm(&module, strategy, &[3]).unwrap();
         assert_eq!(vm, 103, "{strategy}/vm");
     }
@@ -120,8 +121,7 @@ fn deep_dynamic_handler_stack() {
 #[test]
 fn optimizer_scales_on_generated_code() {
     let src = wide_proc(200);
-    let mut prog =
-        cmm_cfg::build_program(&cmm_parse::parse_module(&src).unwrap()).unwrap();
+    let mut prog = cmm_cfg::build_program(&cmm_parse::parse_module(&src).unwrap()).unwrap();
     let stats = cmm_opt::optimize_program(&mut prog, &cmm_opt::OptOptions::default());
     assert!(stats.iterations >= 1);
     // `acc * 1` arms fold away.
