@@ -1,0 +1,102 @@
+//! `trajectory` — run every paper workload under both execution engines
+//! and emit `BENCH_trajectory.json`.
+//!
+//! ```text
+//! trajectory [--iters N] [--out FILE] [--check BASELINE] [--tolerance PCT]
+//! ```
+//!
+//! With `--check`, the run exits nonzero if any workload's deterministic
+//! instruction count regressed more than `PCT`% (default 25) against the
+//! baseline file, or if a baseline workload disappeared. Wall times are
+//! reported but never gated.
+
+use cmm_bench::trajectory::{check_against_baseline, parse_baseline, run_trajectory, to_json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("trajectory: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut iters = 100u64;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut tolerance = 25.0f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--iters needs a number")?;
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a file")?),
+            "--check" => check = Some(it.next().ok_or("--check needs a baseline file")?),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--tolerance needs a percentage")?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown option `{other}`\n\
+                     usage: trajectory [--iters N] [--out FILE] [--check BASELINE] [--tolerance PCT]"
+                ));
+            }
+        }
+    }
+
+    let measurements = run_trajectory(iters);
+    let json = to_json(iters, &measurements);
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>9}",
+        "workload", "instructions", "old ns/it", "decoded ns/it", "speedup"
+    );
+    for m in &measurements {
+        println!(
+            "{:<34} {:>12} {:>12} {:>12} {:>8.2}x",
+            m.name,
+            m.instructions,
+            m.old_ns_per_iter,
+            m.decoded_ns_per_iter,
+            m.speedup()
+        );
+    }
+
+    if let Some(path) = out {
+        std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            return Err(format!("{path}: no workloads found in baseline"));
+        }
+        let violations = check_against_baseline(&baseline, &measurements, tolerance / 100.0);
+        for v in &violations {
+            eprintln!("regression: {v}");
+        }
+        if !violations.is_empty() {
+            return Err(format!(
+                "{} workload(s) regressed more than {tolerance}% vs {path}",
+                violations.len()
+            ));
+        }
+        println!(
+            "all {} baseline workloads within {tolerance}% of {path}",
+            baseline.len()
+        );
+    }
+    Ok(())
+}

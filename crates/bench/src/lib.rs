@@ -20,5 +20,6 @@
 //! `benches/micro.rs`.
 
 pub mod experiments;
+pub mod trajectory;
 
 pub use experiments::*;

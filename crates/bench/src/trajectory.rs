@@ -1,0 +1,421 @@
+//! The benchmark trajectory: every paper workload run under **both**
+//! execution engines of each substrate — the reference step loops and
+//! the pre-decoded/pre-resolved fast paths — emitting one
+//! machine-readable JSON document (`BENCH_trajectory.json`).
+//!
+//! Two kinds of numbers appear:
+//!
+//! * **Simulated instruction counts** (`instructions`) come from the
+//!   `cmm-vm` cost model. They are deterministic, identical across
+//!   engines (asserted on every run), and identical across machines —
+//!   the CI regression gate compares them against the committed
+//!   baseline.
+//! * **Wall times** (`*_ns_per_iter`, `speedup`) measure the host-level
+//!   cost of the two engines on this machine. They are reported for the
+//!   trajectory but never gated: they vary with hardware.
+//!
+//! The JSON is hand-rolled (the workspace deliberately has no external
+//! dependencies); [`parse_baseline`] reads back exactly the subset the
+//! gate needs.
+
+use cmm_cfg::build_program;
+use cmm_frontend::workloads::{deep_raise, NO_RAISE};
+use cmm_frontend::{compile_minim3, run_vm, run_vm_decoded, Strategy};
+use cmm_ir::Module;
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_parse::parse_module;
+use cmm_vm::{compile, VmMachine, VmProgram, VmStatus};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured workload.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Stable workload name (the regression-gate key).
+    pub name: String,
+    /// Deterministic simulated work (instructions + run-time-system
+    /// equivalents), identical under both engines.
+    pub instructions: u64,
+    /// The workload's result, as a sanity anchor.
+    pub result: u64,
+    /// Mean wall time per iteration under the reference engine.
+    pub old_ns_per_iter: u64,
+    /// Mean wall time per iteration under the pre-decoded engine.
+    pub decoded_ns_per_iter: u64,
+}
+
+impl Measurement {
+    /// Reference wall time over decoded wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.decoded_ns_per_iter == 0 {
+            return 1.0;
+        }
+        self.old_ns_per_iter as f64 / self.decoded_ns_per_iter as f64
+    }
+}
+
+fn compile_cmm(src: &str) -> VmProgram {
+    let mut prog =
+        build_program(&parse_module(src).expect("workload parses")).expect("workload builds");
+    optimize_program(&mut prog, &OptOptions::default());
+    compile(&prog).expect("workload compiles")
+}
+
+fn run_to_halt(m: &mut VmMachine<'_>, proc: &str, args: &[u64]) -> u64 {
+    m.start(proc, args, 1);
+    match m.run(500_000_000) {
+        VmStatus::Halted(vals) => vals.first().copied().unwrap_or(0),
+        other => panic!("workload did not halt: {other:?}"),
+    }
+}
+
+/// Measures a raw C-- workload on the simulated target: the decoded
+/// stream is built once and shared (`VmMachine` clones share it), so
+/// the timing loop isolates the two step loops.
+fn measure_cmm(name: &str, src: &str, proc: &str, args: &[u64], iters: u64) -> Measurement {
+    let vp = compile_cmm(src);
+    let old_template = VmMachine::new(&vp);
+    let decoded_template = VmMachine::new_decoded(&vp);
+
+    // Correctness anchor + deterministic work, both engines.
+    let mut m = old_template.clone();
+    let result = run_to_halt(&mut m, proc, args);
+    let instructions = m.cost.total();
+    let mut d = decoded_template.clone();
+    let dresult = run_to_halt(&mut d, proc, args);
+    assert_eq!(result, dresult, "{name}: engines disagree on the result");
+    assert_eq!(
+        instructions,
+        d.cost.total(),
+        "{name}: engines disagree on simulated work"
+    );
+
+    let time = |template: &VmMachine<'_>| {
+        // The workloads are restartable: a halted run leaves the stack
+        // balanced and `start` resets the entry state, so the timed
+        // loop reuses one machine and measures the step loop alone.
+        let mut m = template.clone();
+        let r1 = run_to_halt(&mut m, proc, args);
+        let r2 = run_to_halt(&mut m, proc, args);
+        assert_eq!(r1, r2, "{name}: workload is not restartable");
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run_to_halt(&mut m, proc, args);
+        }
+        (t0.elapsed().as_nanos() / u128::from(iters.max(1))) as u64
+    };
+    let old_ns_per_iter = time(&old_template);
+    let decoded_ns_per_iter = time(&decoded_template);
+    Measurement {
+        name: name.to_string(),
+        instructions,
+        result,
+        old_ns_per_iter,
+        decoded_ns_per_iter,
+    }
+}
+
+/// Measures a MiniM3 workload end to end (compile + run + front-end
+/// run-time system) under the two driver entry points. Both engines pay
+/// the same compilation cost, so speedups here are diluted relative to
+/// [`measure_cmm`]'s isolated step loops.
+fn measure_m3(
+    name: &str,
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+    iters: u64,
+) -> Measurement {
+    let (result, cost) = run_vm(module, strategy, args).expect("workload runs");
+    let (dresult, dcost) = run_vm_decoded(module, strategy, args).expect("workload runs");
+    assert_eq!(result, dresult, "{name}: engines disagree on the result");
+    assert_eq!(
+        cost.total(),
+        dcost.total(),
+        "{name}: engines disagree on simulated work"
+    );
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = run_vm(module, strategy, args).expect("workload runs");
+    }
+    let old_ns_per_iter = (t0.elapsed().as_nanos() / u128::from(iters.max(1))) as u64;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        let _ = run_vm_decoded(module, strategy, args).expect("workload runs");
+    }
+    let decoded_ns_per_iter = (t0.elapsed().as_nanos() / u128::from(iters.max(1))) as u64;
+    Measurement {
+        name: name.to_string(),
+        instructions: cost.total(),
+        result: u64::from(result),
+        old_ns_per_iter,
+        decoded_ns_per_iter,
+    }
+}
+
+/// The Figures 3/4 loop of always-normal calls, scaled up so execution
+/// dominates; `table` adds one alternate return continuation per call
+/// (the branch-table method).
+fn fig34_src(table: bool) -> String {
+    let call = if table {
+        "r = g(n) also returns to kexn;"
+    } else {
+        "r = g(n);"
+    };
+    let ret = if table {
+        "return <1/1> (x);"
+    } else {
+        "return (x);"
+    };
+    let cont = if table {
+        "continuation kexn(r):\n            return (0 - 1);"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+        f(bits32 n) {{
+            bits32 acc, r;
+            acc = 0;
+          loop:
+            if n == 0 {{ return (acc); }} else {{
+                {call}
+                acc = acc + r;
+                n = n - 1;
+                goto loop;
+            }}
+            {cont}
+        }}
+        g(bits32 x) {{ {ret} }}
+        "#
+    )
+}
+
+/// The §4.2 callee-saves workload: locals live across a call annotated
+/// with either a cut edge or an unwind edge.
+fn sec42_src(cuts: bool) -> String {
+    let ann = if cuts {
+        "also cuts to k"
+    } else {
+        "also unwinds to k"
+    };
+    format!(
+        r#"
+        f(bits32 n) {{
+            bits32 acc, x, y, w, r;
+            acc = 0;
+          loop:
+            if n == 0 {{ return (acc); }} else {{
+                y = n * 3;
+                w = n + 7;
+                r = g(n, k) {ann};
+                acc = acc + r + y + w;
+                n = n - 1;
+                goto loop;
+            }}
+            continuation k(r):
+            return (r + y + w);
+        }}
+        g(bits32 a, bits32 kk) {{
+            return (a);
+        }}
+        "#
+    )
+}
+
+/// Runs the full trajectory: the paper's C-- workloads under the raw
+/// simulated machine, plus each MiniM3 strategy on the Figure 7 game —
+/// seed 3 is the normal case, seed 50 raises `BadMove` out of
+/// `getMove` — and the Figure 2 / §2 scope-entry workloads.
+pub fn run_trajectory(iters: u64) -> Vec<Measurement> {
+    // Raw C-- workloads: isolated step-loop comparison.
+    let mut out = vec![
+        measure_cmm("fig34_plain", &fig34_src(false), "f", &[2000], iters),
+        measure_cmm("fig34_table", &fig34_src(true), "f", &[2000], iters),
+        measure_cmm("sec42_cuts", &sec42_src(true), "f", &[400], iters),
+        measure_cmm("sec42_unwinds", &sec42_src(false), "f", &[400], iters),
+    ];
+
+    // MiniM3 end-to-end workloads. Fewer iterations: each pays a full
+    // compile.
+    let m3_iters = (iters / 8).max(1);
+    let game = cmm_frontend::workloads::GAME;
+    for strategy in Strategy::CORE {
+        let module = compile_minim3(game, strategy).expect("game compiles");
+        out.push(measure_m3(
+            &format!("game_normal_{}", strategy.label()),
+            &module,
+            strategy,
+            &[3],
+            m3_iters,
+        ));
+        out.push(measure_m3(
+            &format!("game_raise_{}", strategy.label()),
+            &module,
+            strategy,
+            &[50],
+            m3_iters,
+        ));
+    }
+    // Figure 2's deep raise (100 frames) under the interpretive
+    // unwinder — the dispatch-heaviest workload.
+    let module = compile_minim3(&deep_raise(true), Strategy::RuntimeUnwind).expect("compiles");
+    out.push(measure_m3(
+        "fig2_deep_raise_runtime-unwind",
+        &module,
+        Strategy::RuntimeUnwind,
+        &[100],
+        m3_iters,
+    ));
+    // §2's scope-entry cost under the sjlj strategy.
+    let module =
+        compile_minim3(NO_RAISE, Strategy::Sjlj(cmm_vm::arch::PENTIUM_LINUX)).expect("compiles");
+    out.push(measure_m3(
+        "sec2_no_raise_sjlj-pentium",
+        &module,
+        Strategy::Sjlj(cmm_vm::arch::PENTIUM_LINUX),
+        &[200],
+        m3_iters,
+    ));
+    out
+}
+
+/// Renders the trajectory as JSON. Field order is stable:
+/// [`parse_baseline`] relies on `name` preceding `instructions`.
+pub fn to_json(iters: u64, measurements: &[Measurement]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(
+        s,
+        "  \"note\": \"instructions are deterministic and gated in CI; wall times are per-machine\","
+    );
+    s.push_str("  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"name\": \"{}\", \"instructions\": {}, \"result\": {}, \
+             \"old_ns_per_iter\": {}, \"decoded_ns_per_iter\": {}, \"speedup\": {:.2} }}",
+            m.name,
+            m.instructions,
+            m.result,
+            m.old_ns_per_iter,
+            m.decoded_ns_per_iter,
+            m.speedup()
+        );
+        s.push_str(if i + 1 < measurements.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `(name, instructions)` pairs from a trajectory JSON
+/// document (the committed baseline). Only the subset the regression
+/// gate needs is read; the parser relies on the stable field order
+/// [`to_json`] emits.
+pub fn parse_baseline(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + "\"name\": \"".len()..];
+        let Some(end) = rest.find('"') else { continue };
+        let name = rest[..end].to_string();
+        let Some(ipos) = rest.find("\"instructions\": ") else {
+            continue;
+        };
+        let irest = &rest[ipos + "\"instructions\": ".len()..];
+        let digits: String = irest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if let Ok(n) = digits.parse() {
+            out.push((name, n));
+        }
+    }
+    out
+}
+
+/// The CI regression gate: every baseline workload must still exist and
+/// must not have grown its deterministic instruction count by more than
+/// `tolerance` (e.g. `0.25` for 25%). Returns the list of violations.
+pub fn check_against_baseline(
+    baseline: &[(String, u64)],
+    current: &[Measurement],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, base) in baseline {
+        let Some(m) = current.iter().find(|m| &m.name == name) else {
+            violations.push(format!("workload `{name}` disappeared from the trajectory"));
+            continue;
+        };
+        let limit = (*base as f64 * (1.0 + tolerance)).floor() as u64;
+        if m.instructions > limit {
+            violations.push(format!(
+                "workload `{name}` regressed: {} instructions vs baseline {} (limit {})",
+                m.instructions, base, limit
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_the_gated_subset() {
+        let ms = vec![
+            Measurement {
+                name: "a".into(),
+                instructions: 123,
+                result: 7,
+                old_ns_per_iter: 10,
+                decoded_ns_per_iter: 5,
+            },
+            Measurement {
+                name: "b".into(),
+                instructions: 456,
+                result: 8,
+                old_ns_per_iter: 0,
+                decoded_ns_per_iter: 0,
+            },
+        ];
+        let parsed = parse_baseline(&to_json(3, &ms));
+        assert_eq!(parsed, vec![("a".into(), 123), ("b".into(), 456)]);
+    }
+
+    #[test]
+    fn gate_flags_regressions_and_lost_workloads() {
+        let current = vec![Measurement {
+            name: "a".into(),
+            instructions: 130,
+            result: 0,
+            old_ns_per_iter: 0,
+            decoded_ns_per_iter: 0,
+        }];
+        // 130 <= 100 * 1.25 is false: regression.
+        let v = check_against_baseline(&[("a".into(), 100)], &current, 0.25);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Within tolerance.
+        assert!(check_against_baseline(&[("a".into(), 110)], &current, 0.25).is_empty());
+        // Lost workload.
+        let v = check_against_baseline(&[("gone".into(), 1)], &current, 0.25);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn instruction_counts_agree_across_engines_on_every_workload() {
+        // measure_cmm / measure_m3 assert old == decoded internally;
+        // one iteration of the full trajectory is the test.
+        let ms = run_trajectory(1);
+        assert!(ms.len() >= 12);
+        for m in &ms {
+            assert!(m.instructions > 0, "{} did no work", m.name);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! cmm dump-vm <file.cmm>              # disassembled simulated target
 //! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
 //! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]
+//! cmm fuzz --replay DIR               # re-run checked-in reproducers
 //! ```
 //!
 //! Strategies: `runtime-unwind`, `cutting`, `native-unwind`, `cps`,
@@ -122,8 +123,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 shrink: false,
                 ..Default::default()
             };
+            let mut replay_dir: Option<String> = None;
             while let Some(a) = args.next() {
                 match a.as_str() {
+                    "--replay" => {
+                        replay_dir = Some(args.next().ok_or("--replay needs a directory")?);
+                    }
                     "--cases" => {
                         cfg.cases = args
                             .next()
@@ -143,6 +148,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     }
                     other => return Err(format!("unknown fuzz option `{other}`")),
                 }
+            }
+            if let Some(dir) = replay_dir {
+                let report = cmm_difftest::replay_corpus(dir.as_ref(), &cfg.limits)
+                    .map_err(|e| format!("{dir}: {e}"))?;
+                for f in &report.failures {
+                    eprintln!("reproducer {} diverges: {}", f.path.display(), f.failure);
+                }
+                println!(
+                    "fuzz replay: {} reproducer(s) from {dir}: {} failure(s)",
+                    report.files_run,
+                    report.failures.len()
+                );
+                return if report.ok() {
+                    Ok(())
+                } else {
+                    Err("corpus replay found divergence".into())
+                };
             }
             let report = cmm_difftest::run_fuzz(&cfg);
             for f in &report.failures {
@@ -201,6 +223,7 @@ fn usage() -> String {
      \x20      cmm dump-ssa <file> [proc]\n\
      \x20      cmm dump-vm <file>\n\
      \x20      cmm m3 <file> <strategy> [args..]\n\
-     \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]"
+     \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]\n\
+     \x20      cmm fuzz --replay DIR"
         .into()
 }

@@ -32,8 +32,8 @@ pub mod shrink;
 
 pub use genprog::{generate, shrink_candidates, TestCase};
 pub use oracle::{
-    observe_sem, observe_vm, pass_variants, run_case, run_case_with, ExtraPass, Failure, Limits,
-    Obs, Outcome,
+    observe_sem, observe_sem_resolved, observe_vm, observe_vm_decoded, pass_variants, run_case,
+    run_case_with, run_source, ExtraPass, Failure, Limits, Obs, Outcome,
 };
 pub use rng::Rng;
 pub use shrink::shrink;
@@ -191,6 +191,74 @@ pub fn write_reproducer(
     Ok(path)
 }
 
+/// One checked-in reproducer that diverged (or stopped parsing) on
+/// replay.
+#[derive(Clone, Debug)]
+pub struct ReplayFailure {
+    /// The corpus file.
+    pub path: PathBuf,
+    /// Why it failed.
+    pub failure: Failure,
+}
+
+/// The result of replaying a corpus directory.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayReport {
+    /// Corpus files replayed.
+    pub files_run: usize,
+    /// Files that no longer pass the oracle stack.
+    pub failures: Vec<ReplayFailure>,
+}
+
+impl ReplayReport {
+    /// Whether every corpus file still passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Replays every `.cmm` reproducer in `dir` (sorted by file name)
+/// through the full oracle stack — reference semantics, every pass
+/// variant, and both VM engines. Entry arguments are recovered from the
+/// reproducer header written by [`write_reproducer`]
+/// (`* Entry point: f(A, B)`), defaulting to `f(0, 0)` for hand-written
+/// corpus files without one.
+///
+/// A file that fails to parse is itself a failure: a stale corpus must
+/// be loud, not silently skipped.
+///
+/// # Errors
+///
+/// Returns the I/O error if the directory or a file cannot be read.
+pub fn replay_corpus(dir: &Path, limits: &Limits) -> std::io::Result<ReplayReport> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "cmm"))
+        .collect();
+    files.sort();
+    let mut report = ReplayReport::default();
+    for path in files {
+        let text = std::fs::read_to_string(&path)?;
+        let args = entry_args(&text).unwrap_or((0, 0));
+        report.files_run += 1;
+        if let Err(failure) = oracle::run_source(&text, args, limits) {
+            report.failures.push(ReplayFailure { path, failure });
+        }
+    }
+    Ok(report)
+}
+
+/// Parses the `* Entry point: f(A, B)` header line of a reproducer.
+fn entry_args(text: &str) -> Option<(u32, u32)> {
+    let line = text.lines().find(|l| l.contains("Entry point: f("))?;
+    let open = line.find("f(")? + 2;
+    let close = line[open..].find(')')? + open;
+    let mut parts = line[open..close].split(',');
+    let a = parts.next()?.trim().parse().ok()?;
+    let b = parts.next()?.trim().parse().ok()?;
+    Some((a, b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +283,31 @@ mod tests {
             "{:?}",
             report.failures.first().map(|f| f.failure.to_string())
         );
+    }
+
+    #[test]
+    fn entry_args_reads_the_reproducer_header() {
+        assert_eq!(
+            entry_args("/* x\n * Entry point: f(3, 41)\n */"),
+            Some((3, 41))
+        );
+        assert_eq!(entry_args("f() { return (0); }"), None);
+    }
+
+    #[test]
+    fn replay_accepts_a_passing_reproducer_and_rejects_a_stale_one() {
+        let dir = std::env::temp_dir().join("cmm-difftest-replay-selftest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = case_for(5, 2);
+        let failure = Failure::Build("synthetic".into());
+        write_reproducer(&dir, 5, 2, &case, &failure).unwrap();
+        std::fs::write(dir.join("case-stale.cmm"), "not a program at all").unwrap();
+        let report = replay_corpus(&dir, &Limits::default()).unwrap();
+        assert_eq!(report.files_run, 2);
+        assert_eq!(report.failures.len(), 1, "only the stale file fails");
+        assert!(report.failures[0].path.ends_with("case-stale.cmm"));
+        assert!(matches!(report.failures[0].failure, Failure::Parse(_)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::genprog::TestCase;
 use cmm_cfg::Program;
 use cmm_opt::OptOptions;
 use cmm_rt::Thread;
-use cmm_sem::{Status, Value};
+use cmm_sem::{ResolvedProgram, SemEngine, Status, Value};
 use cmm_vm::{VmProgram, VmStatus, VmThread};
 use std::fmt;
 use std::fmt::Write as _;
@@ -119,7 +119,22 @@ fn fill(code: u64) -> u32 {
 ///    take the unwind edge exactly when the call site is annotated);
 /// 5. fill every continuation parameter with [`fill`]`(code)`; `Resume`.
 pub fn observe_sem(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, String) {
-    let mut t = Thread::new(prog);
+    observe_sem_thread(Thread::new(prog), args, limits)
+}
+
+/// [`observe_sem`] over the pre-resolved engine
+/// ([`cmm_sem::ResolvedMachine`]) — the same policy, so its observation
+/// must be identical to the reference oracle's.
+pub fn observe_sem_resolved(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, String) {
+    let rp = ResolvedProgram::new(prog);
+    observe_sem_thread(Thread::new_resolved(&rp), args, limits)
+}
+
+fn observe_sem_thread<'p, M: SemEngine<'p>>(
+    mut t: Thread<'p, M>,
+    args: (u32, u32),
+    limits: &Limits,
+) -> (Obs, String) {
     let mut yields = Vec::new();
     let obs = |outcome: Outcome, yields: &[u64]| Obs {
         outcome,
@@ -180,7 +195,16 @@ pub fn observe_sem(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, S
 /// Runs `f(args)` on the simulated machine under the same dispatcher
 /// policy as [`observe_sem`].
 pub fn observe_vm(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> (Obs, String) {
-    let mut t = VmThread::new(prog);
+    observe_vm_thread(VmThread::new(prog), args, limits)
+}
+
+/// [`observe_vm`] over the pre-decoded engine ([`cmm_vm::DecodedCode`])
+/// — the same policy, so its observation must be identical.
+pub fn observe_vm_decoded(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> (Obs, String) {
+    observe_vm_thread(VmThread::new_decoded(prog), args, limits)
+}
+
+fn observe_vm_thread(mut t: VmThread<'_>, args: (u32, u32), limits: &Limits) -> (Obs, String) {
     let mut yields = Vec::new();
     let obs = |outcome: Outcome, yields: &[u64]| Obs {
         outcome,
@@ -344,8 +368,27 @@ pub fn run_case_with(
     limits: &Limits,
     extra_passes: &[ExtraPass<'_>],
 ) -> Result<(), Failure> {
-    let src = case.render();
-    let module = cmm_parse::parse_module(&src).map_err(|e| Failure::Parse(e.to_string()))?;
+    run_source_with(&case.render(), case.args, limits, extra_passes)
+}
+
+/// Runs raw C-- source through every oracle (the path corpus replay
+/// takes: a checked-in reproducer is source text, not a generator
+/// state).
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_source(src: &str, args: (u32, u32), limits: &Limits) -> Result<(), Failure> {
+    run_source_with(src, args, limits, &[])
+}
+
+fn run_source_with(
+    src: &str,
+    case_args: (u32, u32),
+    limits: &Limits,
+    extra_passes: &[ExtraPass<'_>],
+) -> Result<(), Failure> {
+    let module = cmm_parse::parse_module(src).map_err(|e| Failure::Parse(e.to_string()))?;
     let errors = cmm_ir::verify_module(&module);
     if !errors.is_empty() {
         return Err(Failure::Verify(errors));
@@ -360,12 +403,25 @@ pub fn run_case_with(
     }
     let program = cmm_cfg::build_program(&module).map_err(|e| Failure::Build(e.to_string()))?;
 
-    let (reference, ref_detail) = observe_sem(&program, case.args, limits);
+    let (reference, ref_detail) = observe_sem(&program, case_args, limits);
+
+    // The pre-resolved engine over the same unoptimized program: an
+    // engine-equivalence oracle rather than a pass oracle.
+    let (o, detail) = observe_sem_resolved(&program, case_args, limits);
+    if o != reference {
+        return Err(diverged(
+            "sem-resolved".into(),
+            &reference,
+            &ref_detail,
+            &o,
+            &detail,
+        ));
+    }
 
     for (name, opts) in pass_variants() {
         let mut p = program.clone();
         cmm_opt::optimize_program(&mut p, &opts);
-        let (o, detail) = observe_sem(&p, case.args, limits);
+        let (o, detail) = observe_sem(&p, case_args, limits);
         if o != reference {
             return Err(diverged(
                 format!("sem+{name}"),
@@ -380,7 +436,7 @@ pub fn run_case_with(
     for (name, pass) in extra_passes {
         let mut p = program.clone();
         pass(&mut p);
-        let (o, detail) = observe_sem(&p, case.args, limits);
+        let (o, detail) = observe_sem(&p, case_args, limits);
         if o != reference {
             return Err(diverged(
                 format!("sem+{name}"),
@@ -393,18 +449,40 @@ pub fn run_case_with(
     }
 
     let vm_prog = cmm_vm::compile(&program).map_err(|e| Failure::Codegen(e.to_string()))?;
-    let (o, detail) = observe_vm(&vm_prog, case.args, limits);
+    let (o, detail) = observe_vm(&vm_prog, case_args, limits);
     if o != reference {
         return Err(diverged("vm".into(), &reference, &ref_detail, &o, &detail));
+    }
+
+    let (o, detail) = observe_vm_decoded(&vm_prog, case_args, limits);
+    if o != reference {
+        return Err(diverged(
+            "vm-decoded".into(),
+            &reference,
+            &ref_detail,
+            &o,
+            &detail,
+        ));
     }
 
     let mut p = program.clone();
     cmm_opt::optimize_program(&mut p, &OptOptions::default());
     let vm_opt = cmm_vm::compile(&p).map_err(|e| Failure::Codegen(format!("after O2: {e}")))?;
-    let (o, detail) = observe_vm(&vm_opt, case.args, limits);
+    let (o, detail) = observe_vm(&vm_opt, case_args, limits);
     if o != reference {
         return Err(diverged(
             "vm+O2".into(),
+            &reference,
+            &ref_detail,
+            &o,
+            &detail,
+        ));
+    }
+
+    let (o, detail) = observe_vm_decoded(&vm_opt, case_args, limits);
+    if o != reference {
+        return Err(diverged(
+            "vm-decoded+O2".into(),
             &reference,
             &ref_detail,
             &o,

@@ -37,7 +37,7 @@
 //! vice versa.
 
 use cmm_rt::Thread;
-use cmm_sem::Value;
+use cmm_sem::{SemEngine, Value};
 use cmm_vm::VmThread;
 
 /// The outcome of one dispatch.
@@ -53,13 +53,14 @@ pub enum Dispatch {
 }
 
 /// Dispatches the pending `yield(M3_EXCEPTION, tag, value)` on the
-/// abstract machine.
+/// abstract machine (either engine — the dispatcher uses only the
+/// Table 1 interface, which is engine-independent).
 ///
 /// # Errors
 ///
 /// Returns a message if the thread is not suspended with an exception
 /// request or a Table 1 operation is rejected.
-pub fn dispatch_sem(t: &mut Thread<'_>) -> Result<Dispatch, String> {
+pub fn dispatch_sem<'p, M: SemEngine<'p>>(t: &mut Thread<'p, M>) -> Result<Dispatch, String> {
     let args = t.yield_args();
     if args.len() < 3 {
         return Err("exception yield needs (code, tag, value)".into());

@@ -1,5 +1,11 @@
 //! Drivers: compile, link, and run MiniM3 programs on either execution
 //! substrate, with the front-end run-time system in the loop.
+//!
+//! Each substrate has two interchangeable engines — the reference step
+//! loop and the pre-decoded/pre-resolved fast path — selected by the
+//! `run_*` entry point. The engines are observationally equal (enforced
+//! by the difftest equivalence suite), so which one a driver picks is
+//! purely a speed decision.
 
 use crate::dispatch::{dispatch_sem, dispatch_vm, Dispatch};
 use crate::lower::{Strategy, ENTRY};
@@ -8,7 +14,7 @@ use cmm_cfg::build_program;
 use cmm_ir::Module;
 use cmm_opt::{optimize_program, OptOptions};
 use cmm_rt::Thread;
-use cmm_sem::{Status, Value};
+use cmm_sem::{ResolvedProgram, SemEngine, Status, Value};
 use cmm_vm::{compile, Cost, VmStatus, VmThread};
 use std::fmt;
 
@@ -70,7 +76,28 @@ fn exception_name(image: &cmm_cfg::DataImage, tag: u64) -> String {
 /// [`M3Error::Fault`] if the program goes wrong.
 pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
     let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
-    let mut t = Thread::new(&prog);
+    sem_loop(Thread::new(&prog), strategy, args)
+}
+
+/// [`run_sem`] over the pre-resolved engine
+/// ([`cmm_sem::ResolvedMachine`]) instead of the reference step loop.
+///
+/// # Errors
+///
+/// As [`run_sem`].
+pub fn run_sem_resolved(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
+    let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
+    let rp = ResolvedProgram::new(&prog);
+    sem_loop(Thread::new_resolved(&rp), strategy, args)
+}
+
+/// The run/dispatch loop, engine-independent.
+fn sem_loop<'p, M: SemEngine<'p>>(
+    mut t: Thread<'p, M>,
+    strategy: Strategy,
+    args: &[u32],
+) -> Result<u32, M3Error> {
+    let image = &t.machine().program().image;
     t.start(ENTRY, args.iter().map(|&a| Value::b32(a)).collect())
         .map_err(|e| M3Error::Fault(e.to_string()))?;
     loop {
@@ -82,7 +109,7 @@ pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32,
                     return Ok(value);
                 }
                 return Err(M3Error::Uncaught {
-                    exception: exception_name(&prog.image, u64::from(value)),
+                    exception: exception_name(image, u64::from(value)),
                 });
             }
             Status::Suspended => {
@@ -92,7 +119,7 @@ pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32,
                         Dispatch::Handled => continue,
                         Dispatch::Unhandled { tag } => {
                             return Err(M3Error::Uncaught {
-                                exception: exception_name(&prog.image, tag),
+                                exception: exception_name(image, tag),
                             });
                         }
                     }
@@ -113,7 +140,7 @@ pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32,
 ///
 /// As [`run_sem`], plus code-generation errors.
 pub fn run_vm(module: &Module, strategy: Strategy, args: &[u32]) -> Result<(u32, Cost), M3Error> {
-    run_vm_with(module, strategy, args, &OptOptions::default())
+    run_vm_impl(module, strategy, args, &OptOptions::default(), false)
 }
 
 /// [`run_vm`] with explicit optimization options (used by the benches to
@@ -128,10 +155,52 @@ pub fn run_vm_with(
     args: &[u32],
     opts: &OptOptions,
 ) -> Result<(u32, Cost), M3Error> {
+    run_vm_impl(module, strategy, args, opts, false)
+}
+
+/// [`run_vm`] over the pre-decoded engine ([`cmm_vm::DecodedCode`])
+/// instead of the reference step loop.
+///
+/// # Errors
+///
+/// As [`run_vm`].
+pub fn run_vm_decoded(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+) -> Result<(u32, Cost), M3Error> {
+    run_vm_impl(module, strategy, args, &OptOptions::default(), true)
+}
+
+/// [`run_vm_with`] over the pre-decoded engine.
+///
+/// # Errors
+///
+/// As [`run_vm`].
+pub fn run_vm_decoded_with(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+    opts: &OptOptions,
+) -> Result<(u32, Cost), M3Error> {
+    run_vm_impl(module, strategy, args, opts, true)
+}
+
+fn run_vm_impl(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+    opts: &OptOptions,
+    decoded: bool,
+) -> Result<(u32, Cost), M3Error> {
     let mut prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
     optimize_program(&mut prog, opts);
     let vp = compile(&prog).map_err(|e| M3Error::Codegen(e.to_string()))?;
-    let mut t = VmThread::new(&vp);
+    let mut t = if decoded {
+        VmThread::new_decoded(&vp)
+    } else {
+        VmThread::new(&vp)
+    };
     let vargs: Vec<u64> = args.iter().map(|&a| u64::from(a)).collect();
     t.start(ENTRY, &vargs, 2);
     loop {

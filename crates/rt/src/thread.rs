@@ -1,8 +1,11 @@
 //! Threads and activation handles.
 
-use cmm_cfg::{Node, Program};
-use cmm_ir::Ty;
-use cmm_sem::{Frame, Machine, RtsTarget, Status, Value, Wrong};
+use cmm_cfg::{Bundle, Graph, Node, Program};
+use cmm_ir::{Name, Ty};
+use cmm_sem::{
+    Frame, Machine, ResolvedMachine, ResolvedProgram, RtsTarget, SemEngine, Status, Value, Wrong,
+};
+use std::marker::PhantomData;
 
 /// An activation handle: a cursor over the stack of abstract activations
 /// of a suspended thread.
@@ -40,18 +43,48 @@ enum Pending {
 
 /// A suspended or running C-- computation, manipulated through the
 /// run-time interface of Table 1.
+///
+/// The thread is generic over the execution engine: the reference
+/// abstract machine ([`Machine`], the default) or the pre-resolved
+/// engine ([`ResolvedMachine`]). Table 1 is implemented entirely in
+/// terms of the [`SemEngine`] trait, so a front-end run-time system
+/// works unchanged over either.
 #[derive(Debug)]
-pub struct Thread<'p> {
-    machine: Machine<'p>,
+pub struct Thread<'p, M: SemEngine<'p> = Machine<'p>> {
+    machine: M,
     pending: Option<Pending>,
+    _marker: PhantomData<&'p ()>,
 }
 
 impl<'p> Thread<'p> {
-    /// Creates a thread over a program.
+    /// Creates a thread over a program, run by the reference machine.
     pub fn new(prog: &'p Program) -> Thread<'p> {
+        Thread::over(Machine::new(prog))
+    }
+}
+
+impl<'p> Thread<'p, ResolvedMachine<'p>> {
+    /// Creates a thread run by the pre-resolved engine.
+    pub fn new_resolved(rp: &'p ResolvedProgram<'p>) -> Thread<'p, ResolvedMachine<'p>> {
+        Thread::over(ResolvedMachine::new(rp))
+    }
+}
+
+impl<'p> Thread<'p, Machine<'p>> {
+    /// The frame behind an activation handle (for inspection; specific
+    /// to the reference machine, which exposes its frames directly).
+    pub fn frame(&self, a: &Activation) -> Option<&Frame> {
+        self.machine.activation(a.index)
+    }
+}
+
+impl<'p, M: SemEngine<'p>> Thread<'p, M> {
+    /// Creates a thread over an already-constructed engine.
+    pub fn over(machine: M) -> Thread<'p, M> {
         Thread {
-            machine: Machine::new(prog),
+            machine,
             pending: None,
+            _marker: PhantomData,
         }
     }
 
@@ -69,14 +102,14 @@ impl<'p> Thread<'p> {
         self.machine.run(fuel)
     }
 
-    /// The underlying abstract machine.
-    pub fn machine(&self) -> &Machine<'p> {
+    /// The underlying execution engine.
+    pub fn machine(&self) -> &M {
         &self.machine
     }
 
-    /// Mutable access to the abstract machine (the run-time system may
-    /// read and write memory and global registers while suspended).
-    pub fn machine_mut(&mut self) -> &mut Machine<'p> {
+    /// Mutable access to the engine (the run-time system may read and
+    /// write memory and global registers while suspended).
+    pub fn machine_mut(&mut self) -> &mut M {
         &mut self.machine
     }
 
@@ -91,6 +124,24 @@ impl<'p> Thread<'p> {
         self.machine.yield_args().first().and_then(Value::bits)
     }
 
+    /// The graph, continuation bundle, and descriptors of the call site
+    /// where activation `index` is suspended. Every frame below a
+    /// suspension is stopped at a `Call` node, and its bundle is the
+    /// node's bundle, so this recovers exactly what the frame holds.
+    fn call_site(&self, index: usize) -> Option<(&'p Graph, &'p Bundle, &'p [Name])> {
+        let site = self.machine.activation_site(index)?;
+        let g = self.machine.program().proc(site.proc.as_str())?;
+        let Node::Call {
+            bundle,
+            descriptors,
+            ..
+        } = g.node(site.node)
+        else {
+            return None;
+        };
+        Some((g, bundle, descriptors))
+    }
+
     // ----- Table 1 -----
 
     /// `FirstActivation(t, &a)`: "sets `a` to the 'currently executing'
@@ -100,7 +151,7 @@ impl<'p> Thread<'p> {
     /// Returns `None` if the thread is not suspended or has no
     /// activations.
     pub fn first_activation(&self) -> Option<Activation> {
-        if matches!(self.machine.status(), Status::Suspended) && !self.machine.stack().is_empty() {
+        if matches!(self.machine.status(), Status::Suspended) && self.machine.depth() > 0 {
             Some(Activation { index: 0 })
         } else {
             None
@@ -112,7 +163,7 @@ impl<'p> Thread<'p> {
     /// at the bottom of the stack (the paper's dispatcher treats that as
     /// an unhandled exception).
     pub fn next_activation(&self, a: &mut Activation) -> bool {
-        if a.index + 1 < self.machine.stack().len() {
+        if a.index + 1 < self.machine.depth() {
             a.index += 1;
             true
         } else {
@@ -120,9 +171,10 @@ impl<'p> Thread<'p> {
         }
     }
 
-    /// The frame behind an activation handle (for inspection).
-    pub fn frame(&self, a: &Activation) -> Option<&Frame> {
-        self.machine.activation(a.index)
+    /// The procedure of the activation behind a handle (for inspection
+    /// and diagnostics).
+    pub fn activation_proc(&self, a: &Activation) -> Option<Name> {
+        self.machine.activation_site(a.index).map(|s| s.proc)
     }
 
     /// `GetDescriptor(a, n)`: "returns a pointer to the n'th descriptor
@@ -130,11 +182,7 @@ impl<'p> Thread<'p> {
     /// block named by the n'th `also descriptor` annotation at the call
     /// site where the activation is suspended.
     pub fn get_descriptor(&self, a: &Activation, n: usize) -> Option<u64> {
-        let frame = self.machine.activation(a.index)?;
-        let g = self.machine.program().proc(frame.proc.as_str())?;
-        let Node::Call { descriptors, .. } = g.node(frame.call_site) else {
-            return None;
-        };
+        let (_, _, descriptors) = self.call_site(a.index)?;
         let name = descriptors.get(n)?;
         self.machine.program().image.symbol(name.as_str())
     }
@@ -153,31 +201,19 @@ impl<'p> Thread<'p> {
     /// Fails if the thread is not suspended.
     pub fn set_activation(&mut self, a: &Activation) -> Result<(), Wrong> {
         self.require_suspended()?;
-        let frame = self
-            .machine
-            .activation(a.index)
-            .ok_or_else(|| Wrong::RtsViolation("stale activation handle".into()))?;
-        let params = vec![Value::Bits(cmm_ir::Width::W32, 0); self.normal_return_params(frame)];
+        if self.machine.activation_site(a.index).is_none() {
+            return Err(Wrong::RtsViolation("stale activation handle".into()));
+        }
+        let count = match self.call_site(a.index) {
+            Some((g, bundle, _)) => copyin_len(g, bundle.normal_return()),
+            None => 0,
+        };
         self.pending = Some(Pending::Activation {
             pops: a.index,
             target: None,
-            params,
+            params: vec![Value::Bits(cmm_ir::Width::W32, 0); count],
         });
         Ok(())
-    }
-
-    fn normal_return_params(&self, frame: &Frame) -> usize {
-        let Some(g) = self.machine.program().proc(frame.proc.as_str()) else {
-            return 0;
-        };
-        self.copyin_len(g, frame.bundle.normal_return())
-    }
-
-    fn copyin_len(&self, g: &cmm_cfg::Graph, node: cmm_cfg::NodeId) -> usize {
-        match g.node(node) {
-            Node::CopyIn { vars, .. } => vars.len(),
-            _ => 0,
-        }
     }
 
     /// `SetUnwindCont(t, n)`: "arranges for thread `t` to resume
@@ -197,22 +233,18 @@ impl<'p> Thread<'p> {
             ));
         };
         let pops = *pops;
-        let frame = self
+        let site = self
             .machine
-            .activation(pops)
+            .activation_site(pops)
             .ok_or_else(|| Wrong::RtsViolation("stale activation handle".into()))?;
-        let Some(&node) = frame.bundle.unwinds.get(n) else {
+        let (g, bundle, _) = self.call_site(pops).ok_or(Wrong::NoSuchProc(site.proc))?;
+        let Some(&node) = bundle.unwinds.get(n) else {
             return Err(Wrong::RtsViolation(format!(
                 "call site has {} unwind continuations; {n} requested",
-                frame.bundle.unwinds.len()
+                bundle.unwinds.len()
             )));
         };
-        let g = self
-            .machine
-            .program()
-            .proc(frame.proc.as_str())
-            .ok_or_else(|| Wrong::NoSuchProc(frame.proc.clone()))?;
-        let count = self.copyin_len(g, node);
+        let count = copyin_len(g, node);
         let Some(Pending::Activation { target, params, .. }) = self.pending.as_mut() else {
             unreachable!("pending checked above");
         };
@@ -285,11 +317,10 @@ impl<'p> Thread<'p> {
                     None => {
                         // Resume at the normal return point: the last
                         // entry of kp_r.
-                        let top = self
-                            .machine
-                            .activation(0)
+                        let (_, bundle, _) = self
+                            .call_site(0)
                             .ok_or_else(|| Wrong::RtsViolation("empty stack".into()))?;
-                        let normal = top.bundle.returns.len() - 1;
+                        let normal = bundle.returns.len() - 1;
                         self.machine.rts_resume(RtsTarget::Return(normal), params)
                     }
                 }
@@ -321,6 +352,13 @@ impl<'p> Thread<'p> {
     /// Writes a 32-bit word to memory.
     pub fn write_u32(&mut self, addr: u64, v: u32) {
         self.machine.store(Ty::B32, addr, u64::from(v));
+    }
+}
+
+fn copyin_len(g: &Graph, node: cmm_cfg::NodeId) -> usize {
+    match g.node(node) {
+        Node::CopyIn { vars, .. } => vars.len(),
+        _ => 0,
     }
 }
 
@@ -380,6 +418,32 @@ mod tests {
         assert!(!t.next_activation(&mut a), "f is the bottom activation");
 
         // Unwind to f's second continuation with parameter 40.
+        t.set_activation(&a).unwrap();
+        t.set_unwind_cont(1).unwrap();
+        *t.find_cont_param(0).unwrap() = Value::b32(40);
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), Status::Terminated(vec![Value::b32(42)]));
+    }
+
+    #[test]
+    fn resolved_engine_drives_the_same_dispatch() {
+        // The identical Table 1 exchange over the pre-resolved engine.
+        let p = prog(NEST);
+        let rp = ResolvedProgram::new(&p);
+        let mut t = Thread::new_resolved(&rp);
+        t.start("f", vec![]).unwrap();
+        assert_eq!(t.run(100_000), Status::Suspended);
+        assert_eq!(t.yield_code(), Some(9));
+
+        let mut a = t.first_activation().unwrap();
+        assert_eq!(t.activation_proc(&a).unwrap().as_str(), "g");
+        assert!(t.next_activation(&mut a));
+        assert_eq!(t.activation_proc(&a).unwrap().as_str(), "mid");
+        assert_eq!(t.read_u32(t.get_descriptor(&a, 0).unwrap()), 222);
+        assert!(t.next_activation(&mut a));
+        assert_eq!(t.read_u32(t.get_descriptor(&a, 0).unwrap()), 111);
+        assert!(!t.next_activation(&mut a));
+
         t.set_activation(&a).unwrap();
         t.set_unwind_cont(1).unwrap();
         *t.find_cont_param(0).unwrap() = Value::b32(40);

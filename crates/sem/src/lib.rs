@@ -62,12 +62,16 @@
 //! }
 //! ```
 
+pub mod engine;
 pub mod machine;
+pub mod resolved;
 pub mod state;
 pub mod value;
 pub mod wrong;
 
+pub use engine::SemEngine;
 pub use machine::{Machine, RtsTarget, Status};
+pub use resolved::{ResolvedMachine, ResolvedProgram};
 pub use state::{Frame, NodeRef};
 pub use value::Value;
 pub use wrong::Wrong;

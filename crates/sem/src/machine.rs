@@ -13,7 +13,7 @@ use std::collections::{BTreeSet, HashMap};
 /// is to allocate two words in the current activation record, and to
 /// represent `Cont (p, u)` as a pointer to this pair"; we model the
 /// pointer with a synthetic address range and a side table.
-const CONT_BASE: u64 = 0x9000_0000;
+pub(crate) const CONT_BASE: u64 = 0x9000_0000;
 
 /// The execution status of a [`Machine`].
 #[derive(Clone, PartialEq, Debug)]
@@ -531,6 +531,19 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// The whole memory as sorted `(address, byte)` pairs, zero bytes
+    /// elided — a canonical form for cross-engine equivalence checks.
+    pub fn mem_snapshot(&self) -> Vec<(u64, u8)> {
+        let mut v: Vec<(u64, u8)> = self
+            .mem
+            .iter()
+            .filter(|&(_, &b)| b != 0)
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Reads a global register.
     pub fn global(&self, name: &str) -> Option<&Value> {
         self.globals.get(name)
@@ -733,7 +746,7 @@ impl<'p> Machine<'p> {
     }
 }
 
-fn width_of(ty: Ty) -> Width {
+pub(crate) fn width_of(ty: Ty) -> Width {
     match ty {
         Ty::Bits(w) => w,
         Ty::Float(FWidth::F32) => Width::W32,
@@ -741,7 +754,7 @@ fn width_of(ty: Ty) -> Width {
     }
 }
 
-fn lit_value(l: Lit) -> Value {
+pub(crate) fn lit_value(l: Lit) -> Value {
     Value::Bits(width_of(l.ty), l.bits)
 }
 

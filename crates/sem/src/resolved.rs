@@ -1,0 +1,1291 @@
+//! The pre-resolved execution engine: §5.2 with the name resolution
+//! hoisted out of the step loop.
+//!
+//! The reference [`Machine`](crate::Machine) interprets the CFG
+//! directly: every transition re-fetches the current procedure from a
+//! `BTreeMap`, every variable access hashes a [`Name`], and every
+//! environment save/restore clones a `HashMap`. [`ResolvedProgram`]
+//! performs that work once per program instead of once per step:
+//!
+//! * each procedure's statement stream is flattened into an
+//!   index-aligned [`RNode`] arena (node ids are preserved, so every
+//!   [`NodeRef`] the engine reports — in `Wrong` values, continuation
+//!   values, activation sites — is identical to the reference
+//!   machine's);
+//! * the environment ρ becomes an indexed frame: every name that can
+//!   ever be bound locally (declared variables, continuation names)
+//!   gets a slot computed at resolve time, and `ρ(x)` is a vector
+//!   index instead of a hash lookup;
+//! * names in expressions are resolved to a slot, a global-register
+//!   index, and a prebuilt fallback constant (procedure address or
+//!   data-block address), tried in exactly the reference machine's
+//!   `ρ → globals → procs → image` order, so shadowing and
+//!   unbound-name behaviour are preserved bit for bit;
+//! * call targets that can only ever denote a procedure are resolved
+//!   to a procedure index at resolve time.
+//!
+//! [`ResolvedMachine`] is observationally equal to the reference
+//! machine — same [`Status`] (including `Wrong` payloads), same
+//! memory, same continuation encodings, same `steps` count — which the
+//! difftest oracle suite and `tests/engine_equivalence.rs` enforce
+//! over generated programs.
+
+use crate::machine::{lit_value, width_of, RtsTarget, Status, CONT_BASE};
+use crate::state::NodeRef;
+use crate::value::Value;
+use crate::wrong::Wrong;
+use cmm_cfg::{Bundle, Graph, Node, NodeId, Program};
+use cmm_ir::{BinOp, Expr, Lvalue, Name, Ty, UnOp, Width};
+use std::collections::HashMap;
+
+/// A slot index into a procedure's indexed frame.
+type Slot = u32;
+
+/// Where an assignment to a bare name lands, decided at resolve time
+/// with the reference machine's `write_var` rules.
+#[derive(Clone, Debug)]
+enum Target {
+    /// A declared local variable.
+    Slot(Slot),
+    /// A global register.
+    Global(u32),
+    /// Neither — goes wrong with `UnboundName` if ever executed.
+    Unbound(Name),
+}
+
+/// A pre-resolved name occurrence: the lookup chain of the reference
+/// machine (`ρ → globals → procs → image symbols`) with each stage
+/// resolved to an index or a prebuilt value.
+#[derive(Clone, Debug)]
+struct RName {
+    /// The original name (for `UnboundName` and `Value::Code`).
+    name: Name,
+    /// Slot in the current frame, if the name can be bound locally.
+    slot: Option<Slot>,
+    /// Global-register index, if a global of this name exists.
+    global: Option<u32>,
+    /// Prebuilt procedure/data-address value, if any.
+    fallback: Option<Value>,
+}
+
+/// A pre-resolved expression.
+#[derive(Clone, Debug)]
+enum RExpr {
+    /// A literal, already a [`Value`].
+    Lit(Value),
+    /// A name occurrence.
+    Name(RName),
+    /// A typed memory load.
+    Mem(Ty, Box<RExpr>),
+    /// A unary operator.
+    Un(UnOp, Box<RExpr>),
+    /// A binary operator; the flag marks shift operators, whose widths
+    /// need not agree.
+    Bin(BinOp, bool, Box<RExpr>, Box<RExpr>),
+}
+
+/// A pre-resolved call target.
+#[derive(Clone, Debug)]
+enum RCallee {
+    /// A name that can only denote this procedure (not shadowable by a
+    /// local or global).
+    Direct(usize),
+    /// Anything else: evaluate, then resolve as the reference machine
+    /// does.
+    Dynamic(RExpr),
+}
+
+/// A pre-resolved CFG node, index-aligned with the source graph.
+#[derive(Clone, Debug)]
+enum RNode<'p> {
+    /// Bind this procedure's continuations into a fresh frame.
+    Entry {
+        /// `(slot, continuation node)` pairs.
+        conts: Vec<(Slot, NodeId)>,
+        /// Successor.
+        next: NodeId,
+    },
+    /// Pop an activation and return to `kp_r[index]`.
+    Exit {
+        /// Which return continuation.
+        index: u32,
+        /// Claimed number of alternate returns.
+        alternates: u32,
+    },
+    /// Move the areal values into slots.
+    CopyIn {
+        /// Destination slots, in parameter order.
+        slots: Vec<Slot>,
+        /// Successor.
+        next: NodeId,
+    },
+    /// Evaluate into the area.
+    CopyOut {
+        /// The expressions, in order.
+        exprs: Vec<RExpr>,
+        /// Successor.
+        next: NodeId,
+    },
+    /// Replace the callee-saves set.
+    CalleeSaves {
+        /// The promoted slots.
+        slots: Vec<Slot>,
+        /// Successor.
+        next: NodeId,
+    },
+    /// Assignment to a bare name.
+    AssignVar {
+        /// Destination.
+        target: Target,
+        /// Right-hand side.
+        rhs: RExpr,
+        /// Successor.
+        next: NodeId,
+    },
+    /// Assignment through memory.
+    AssignMem {
+        /// Access type.
+        ty: Ty,
+        /// Address expression.
+        addr: RExpr,
+        /// Right-hand side.
+        rhs: RExpr,
+        /// Successor.
+        next: NodeId,
+    },
+    /// Two-way branch.
+    Branch {
+        /// Condition.
+        cond: RExpr,
+        /// True successor.
+        t: NodeId,
+        /// False successor.
+        f: NodeId,
+    },
+    /// Procedure call; the bundle is borrowed from the source graph.
+    Call {
+        /// Target.
+        callee: RCallee,
+        /// The call site's continuation bundle.
+        bundle: &'p Bundle,
+    },
+    /// Tail call.
+    Jump {
+        /// Target.
+        callee: RCallee,
+    },
+    /// `cut to`.
+    CutTo {
+        /// The continuation expression.
+        cont: RExpr,
+        /// `also cuts to` annotations on the `cut to` itself.
+        cuts: &'p [NodeId],
+    },
+    /// Suspend into the front-end run-time system.
+    Yield,
+}
+
+/// One procedure, pre-resolved.
+#[derive(Debug)]
+struct RProc<'p> {
+    /// The procedure's name (for `NodeRef`s and continuation values).
+    name: Name,
+    /// The source graph (for `cont_param_count` and descriptors).
+    graph: &'p Graph,
+    /// Entry node.
+    entry: NodeId,
+    /// Frame size in slots.
+    nslots: usize,
+    /// The flattened statement stream, index-aligned with
+    /// `graph.nodes`.
+    nodes: Vec<RNode<'p>>,
+}
+
+/// A whole program, pre-resolved. Create once with
+/// [`ResolvedProgram::new`], then run any number of
+/// [`ResolvedMachine`]s over it.
+#[derive(Debug)]
+pub struct ResolvedProgram<'p> {
+    prog: &'p Program,
+    procs: Vec<RProc<'p>>,
+    proc_idx: HashMap<Name, usize>,
+    globals_init: Vec<(Name, Value)>,
+    globals_idx: HashMap<Name, u32>,
+}
+
+impl<'p> ResolvedProgram<'p> {
+    /// Pre-resolves a program: one pass over every node of every
+    /// procedure.
+    pub fn new(prog: &'p Program) -> ResolvedProgram<'p> {
+        let mut globals_init = Vec::new();
+        let mut globals_idx = HashMap::new();
+        for g in &prog.globals {
+            let w = width_of(g.ty);
+            let v = g.init.map(|l| l.bits).unwrap_or(0);
+            globals_idx.insert(g.name.clone(), globals_init.len() as u32);
+            globals_init.push((g.name.clone(), Value::Bits(w, v)));
+        }
+        let proc_idx: HashMap<Name, usize> = prog
+            .procs
+            .keys()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let mut rp = ResolvedProgram {
+            prog,
+            procs: Vec::with_capacity(prog.procs.len()),
+            proc_idx,
+            globals_init,
+            globals_idx,
+        };
+        for g in prog.procs.values() {
+            let resolver = Resolver::new(&rp, g);
+            rp.procs.push(resolver.resolve());
+        }
+        rp
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &'p Program {
+        self.prog
+    }
+
+    fn idx_of(&self, name: &Name) -> Option<usize> {
+        self.proc_idx.get(name).copied()
+    }
+}
+
+/// Per-procedure resolution state.
+struct Resolver<'r, 'p> {
+    rp: &'r ResolvedProgram<'p>,
+    g: &'p Graph,
+    slot_of: HashMap<Name, Slot>,
+}
+
+impl<'r, 'p> Resolver<'r, 'p> {
+    fn new(rp: &'r ResolvedProgram<'p>, g: &'p Graph) -> Resolver<'r, 'p> {
+        // The slot universe: every name that can ever be bound in ρ.
+        // Bindings enter only through `Entry` (continuation names),
+        // `CopyIn` (parameters), and `Assign` to a declared variable,
+        // so declared variables plus all `Entry`/`CopyIn` names cover
+        // it.
+        let mut slot_of = HashMap::new();
+        let add = |n: &Name, slot_of: &mut HashMap<Name, Slot>| {
+            let next = slot_of.len() as Slot;
+            slot_of.entry(n.clone()).or_insert(next);
+        };
+        for (n, _) in &g.vars {
+            add(n, &mut slot_of);
+        }
+        for node in &g.nodes {
+            match node {
+                Node::Entry { conts, .. } => {
+                    for (n, _) in conts {
+                        add(n, &mut slot_of);
+                    }
+                }
+                Node::CopyIn { vars, .. } => {
+                    for n in vars {
+                        add(n, &mut slot_of);
+                    }
+                }
+                Node::CalleeSaves { vars, .. } => {
+                    for n in vars {
+                        add(n, &mut slot_of);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Resolver { rp, g, slot_of }
+    }
+
+    fn resolve(self) -> RProc<'p> {
+        let nodes = self.g.nodes.iter().map(|n| self.node(n)).collect();
+        RProc {
+            name: self.g.name.clone(),
+            graph: self.g,
+            entry: self.g.entry,
+            nslots: self.slot_of.len(),
+            nodes,
+        }
+    }
+
+    fn slot(&self, n: &Name) -> Slot {
+        self.slot_of[n]
+    }
+
+    fn node(&self, node: &'p Node) -> RNode<'p> {
+        match node {
+            Node::Entry { conts, next } => RNode::Entry {
+                conts: conts.iter().map(|(n, id)| (self.slot(n), *id)).collect(),
+                next: *next,
+            },
+            Node::Exit { index, alternates } => RNode::Exit {
+                index: *index,
+                alternates: *alternates,
+            },
+            Node::CopyIn { vars, next } => RNode::CopyIn {
+                slots: vars.iter().map(|n| self.slot(n)).collect(),
+                next: *next,
+            },
+            Node::CopyOut { exprs, next } => RNode::CopyOut {
+                exprs: exprs.iter().map(|e| self.expr(e)).collect(),
+                next: *next,
+            },
+            Node::CalleeSaves { vars, next } => RNode::CalleeSaves {
+                slots: vars.iter().map(|n| self.slot(n)).collect(),
+                next: *next,
+            },
+            Node::Assign { lhs, rhs, next } => match lhs {
+                Lvalue::Var(n) => RNode::AssignVar {
+                    target: self.target(n),
+                    rhs: self.expr(rhs),
+                    next: *next,
+                },
+                Lvalue::Mem(ty, a) => RNode::AssignMem {
+                    ty: *ty,
+                    addr: self.expr(a),
+                    rhs: self.expr(rhs),
+                    next: *next,
+                },
+            },
+            Node::Branch { cond, t, f } => RNode::Branch {
+                cond: self.expr(cond),
+                t: *t,
+                f: *f,
+            },
+            Node::Call { callee, bundle, .. } => RNode::Call {
+                callee: self.callee(callee),
+                bundle,
+            },
+            Node::Jump { callee } => RNode::Jump {
+                callee: self.callee(callee),
+            },
+            Node::CutTo { cont, cuts } => RNode::CutTo {
+                cont: self.expr(cont),
+                cuts,
+            },
+            Node::Yield => RNode::Yield,
+        }
+    }
+
+    /// `write_var`'s decision, taken at resolve time: declared variable,
+    /// else global, else unbound.
+    fn target(&self, n: &Name) -> Target {
+        if self.g.var_ty(n).is_some() {
+            Target::Slot(self.slot(n))
+        } else if let Some(&g) = self.rp.globals_idx.get(n) {
+            Target::Global(g)
+        } else {
+            Target::Unbound(n.clone())
+        }
+    }
+
+    fn name(&self, n: &Name) -> RName {
+        let fallback = if self.rp.prog.procs.contains_key(n) {
+            Some(Value::Code(n.clone()))
+        } else {
+            self.rp
+                .prog
+                .image
+                .symbol(n.as_str())
+                .map(|addr| Value::Bits(Width::W32, addr))
+        };
+        RName {
+            name: n.clone(),
+            slot: self.slot_of.get(n).copied(),
+            global: self.rp.globals_idx.get(n).copied(),
+            fallback,
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> RExpr {
+        match e {
+            Expr::Lit(l) => RExpr::Lit(lit_value(*l)),
+            Expr::Name(n) => RExpr::Name(self.name(n)),
+            Expr::Mem(ty, a) => RExpr::Mem(*ty, Box::new(self.expr(a))),
+            Expr::Unary(op, a) => RExpr::Un(*op, Box::new(self.expr(a))),
+            Expr::Binary(op, a, b) => {
+                let shiftish = matches!(op, BinOp::Shl | BinOp::ShrU | BinOp::ShrS);
+                RExpr::Bin(
+                    *op,
+                    shiftish,
+                    Box::new(self.expr(a)),
+                    Box::new(self.expr(b)),
+                )
+            }
+        }
+    }
+
+    fn callee(&self, e: &Expr) -> RCallee {
+        // A bare name resolves directly iff nothing can ever shadow it:
+        // not in the slot universe, not a global, and a procedure.
+        if let Expr::Name(n) = e {
+            if !self.slot_of.contains_key(n) && !self.rp.globals_idx.contains_key(n) {
+                if let Some(idx) = self.rp.idx_of(n) {
+                    return RCallee::Direct(idx);
+                }
+            }
+        }
+        RCallee::Dynamic(self.expr(e))
+    }
+}
+
+/// One activation frame: the suspended indexed environment.
+#[derive(Clone, Debug)]
+struct RFrame<'p> {
+    proc: usize,
+    call_site: NodeId,
+    bundle: &'p Bundle,
+    rho: Vec<Option<Value>>,
+    saves: Vec<Slot>,
+    uid: u64,
+}
+
+/// The pre-resolved abstract machine. Observationally equal to
+/// [`Machine`](crate::Machine); see the module documentation.
+#[derive(Clone, Debug)]
+pub struct ResolvedMachine<'p> {
+    rp: &'p ResolvedProgram<'p>,
+    cur_proc: usize,
+    cur_node: NodeId,
+    rho: Vec<Option<Value>>,
+    saves: Vec<Slot>,
+    uid: u64,
+    mem: HashMap<u64, u8>,
+    area: Vec<Value>,
+    stack: Vec<RFrame<'p>>,
+    globals: Vec<Value>,
+    next_uid: u64,
+    cont_encodings: Vec<(NodeRef, u64)>,
+    status: Status,
+    /// Number of transitions taken so far (for cost measurements).
+    pub steps: u64,
+}
+
+impl<'p> ResolvedMachine<'p> {
+    /// Creates a machine over a pre-resolved program, with memory from
+    /// the data image and global registers from their declarations.
+    pub fn new(rp: &'p ResolvedProgram<'p>) -> ResolvedMachine<'p> {
+        ResolvedMachine {
+            rp,
+            cur_proc: 0,
+            cur_node: NodeId(0),
+            rho: Vec::new(),
+            saves: Vec::new(),
+            uid: 0,
+            mem: rp.prog.image.bytes.iter().map(|(&a, &b)| (a, b)).collect(),
+            area: Vec::new(),
+            stack: Vec::new(),
+            globals: rp.globals_init.iter().map(|(_, v)| v.clone()).collect(),
+            next_uid: 1,
+            cont_encodings: Vec::new(),
+            status: Status::Idle,
+            steps: 0,
+        }
+    }
+
+    /// The current status.
+    pub fn status(&self) -> &Status {
+        &self.status
+    }
+
+    fn fresh_uid(&mut self) -> u64 {
+        let u = self.next_uid;
+        self.next_uid += 1;
+        u
+    }
+
+    fn proc(&self) -> &'p RProc<'p> {
+        &self.rp.procs[self.cur_proc]
+    }
+
+    fn here(&self) -> NodeRef {
+        NodeRef {
+            proc: self.rp.procs[self.cur_proc].name.clone(),
+            node: self.cur_node,
+        }
+    }
+
+    /// Begins execution of the named procedure (see
+    /// [`Machine::start`](crate::Machine::start)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the procedure does not exist or the machine is
+    /// suspended in the run-time system.
+    pub fn start(&mut self, proc: &str, args: Vec<Value>) -> Result<(), Wrong> {
+        if matches!(self.status, Status::Suspended) {
+            return Err(Wrong::NotRunnable);
+        }
+        let idx = self
+            .rp
+            .idx_of(&Name::from(proc))
+            .ok_or_else(|| Wrong::NoSuchProc(Name::from(proc)))?;
+        self.cur_proc = idx;
+        self.cur_node = self.rp.procs[idx].entry;
+        self.rho = Vec::new();
+        self.saves.clear();
+        self.uid = self.fresh_uid();
+        self.area = args;
+        self.stack.clear();
+        self.status = Status::Running;
+        Ok(())
+    }
+
+    /// Runs up to `fuel` transitions; returns the resulting status.
+    pub fn run(&mut self, fuel: u64) -> Status {
+        if matches!(self.status, Status::OutOfFuel) {
+            self.status = Status::Running;
+        }
+        for _ in 0..fuel {
+            if !matches!(self.status, Status::Running) {
+                return self.status.clone();
+            }
+            self.step();
+        }
+        if matches!(self.status, Status::Running) {
+            self.status = Status::OutOfFuel;
+        }
+        self.status.clone()
+    }
+
+    /// Takes a single transition. No-op unless the status is `Running`.
+    pub fn step(&mut self) {
+        if !matches!(self.status, Status::Running) {
+            return;
+        }
+        self.steps += 1;
+        if let Err(w) = self.transition() {
+            self.status = Status::Wrong(w);
+        }
+    }
+
+    fn transition(&mut self) -> Result<(), Wrong> {
+        let p = self.proc();
+        let node = &p.nodes[self.cur_node.index()];
+        match node {
+            RNode::Entry { conts, next } => {
+                let mut rho = vec![None; p.nslots];
+                for &(slot, id) in conts {
+                    rho[slot as usize] = Some(Value::Cont(
+                        NodeRef {
+                            proc: p.name.clone(),
+                            node: id,
+                        },
+                        self.uid,
+                    ));
+                }
+                self.rho = rho;
+                self.saves.clear();
+                self.cur_node = *next;
+                Ok(())
+            }
+            RNode::Exit { index, alternates } => {
+                let Some(frame) = self.stack.pop() else {
+                    if *index == 0 && *alternates == 0 {
+                        self.status = Status::Terminated(self.area.clone());
+                        return Ok(());
+                    }
+                    return Err(Wrong::AbnormalTopLevelExit(self.here()));
+                };
+                if frame.bundle.alternates() != *alternates || *index > *alternates {
+                    let actual = frame.bundle.alternates();
+                    self.stack.push(frame);
+                    return Err(Wrong::ReturnArityMismatch {
+                        at: self.here(),
+                        claimed: *alternates,
+                        actual,
+                    });
+                }
+                let target = frame.bundle.returns[*index as usize];
+                self.cur_proc = frame.proc;
+                self.cur_node = target;
+                self.rho = frame.rho;
+                self.saves = frame.saves;
+                self.uid = frame.uid;
+                Ok(())
+            }
+            RNode::CopyIn { slots, next } => {
+                if self.area.len() < slots.len() {
+                    return Err(Wrong::TooFewValues(self.here()));
+                }
+                let values = std::mem::take(&mut self.area);
+                for (&slot, val) in slots.iter().zip(values) {
+                    self.rho[slot as usize] = Some(val);
+                }
+                self.cur_node = *next;
+                Ok(())
+            }
+            RNode::CopyOut { exprs, next } => {
+                let mut vals = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    vals.push(self.eval(e)?);
+                }
+                self.area = vals;
+                self.cur_node = *next;
+                Ok(())
+            }
+            RNode::CalleeSaves { slots, next } => {
+                self.saves = slots.clone();
+                self.cur_node = *next;
+                Ok(())
+            }
+            RNode::AssignVar { target, rhs, next } => {
+                let v = self.eval(rhs)?;
+                match target {
+                    Target::Slot(s) => self.rho[*s as usize] = Some(v),
+                    Target::Global(g) => self.globals[*g as usize] = v,
+                    Target::Unbound(n) => return Err(Wrong::UnboundName(n.clone())),
+                }
+                self.cur_node = *next;
+                Ok(())
+            }
+            RNode::AssignMem {
+                ty,
+                addr,
+                rhs,
+                next,
+            } => {
+                let v = self.eval(rhs)?;
+                let a = self.eval_bits(addr)?.1;
+                let bits = self.flatten(v)?;
+                self.store(*ty, a, bits);
+                self.cur_node = *next;
+                Ok(())
+            }
+            RNode::Branch { cond, t, f } => {
+                let (_, v) = self.eval_bits(cond)?;
+                self.cur_node = if v != 0 { *t } else { *f };
+                Ok(())
+            }
+            RNode::Call { callee, bundle } => {
+                let target = self.resolve_code(callee)?;
+                let frame = RFrame {
+                    proc: self.cur_proc,
+                    call_site: self.cur_node,
+                    bundle,
+                    rho: std::mem::take(&mut self.rho),
+                    saves: std::mem::take(&mut self.saves),
+                    uid: self.uid,
+                };
+                self.stack.push(frame);
+                self.enter(target)
+            }
+            RNode::Jump { callee } => {
+                let target = self.resolve_code(callee)?;
+                self.rho.clear();
+                self.saves.clear();
+                self.enter(target)
+            }
+            RNode::CutTo { cont, cuts } => {
+                let v = self.eval(cont)?;
+                let (target, tuid) = self
+                    .decode_cont(&v)
+                    .ok_or_else(|| Wrong::DeadContinuation(self.here()))?;
+                if tuid == self.uid && target.proc == self.proc().name {
+                    if !cuts.contains(&target.node) {
+                        return Err(Wrong::CutNotAnnotated(self.here()));
+                    }
+                    for s in std::mem::take(&mut self.saves) {
+                        self.rho[s as usize] = None;
+                    }
+                    self.cur_node = target.node;
+                    return Ok(());
+                }
+                self.cut_stack(target, tuid)
+            }
+            RNode::Yield => {
+                self.status = Status::Suspended;
+                Ok(())
+            }
+        }
+    }
+
+    /// The stack-truncating loop shared by `CutTo` and `rts_cut_to`.
+    fn cut_stack(&mut self, target: NodeRef, tuid: u64) -> Result<(), Wrong> {
+        loop {
+            let Some(top) = self.stack.last() else {
+                return Err(Wrong::DeadContinuation(self.here()));
+            };
+            if top.uid == tuid {
+                if self.rp.procs[top.proc].name != target.proc
+                    || !top.bundle.cuts.contains(&target.node)
+                {
+                    return Err(Wrong::CutNotAnnotated(self.here()));
+                }
+                let mut frame = self.stack.pop().expect("frame checked above");
+                for &s in &frame.saves {
+                    frame.rho[s as usize] = None;
+                }
+                self.cur_proc = frame.proc;
+                self.cur_node = target.node;
+                self.rho = frame.rho;
+                self.saves = Vec::new();
+                self.uid = frame.uid;
+                return Ok(());
+            }
+            if !top.bundle.aborts {
+                return Err(Wrong::NotAbortable(self.site_of(top)));
+            }
+            self.stack.pop();
+        }
+    }
+
+    fn site_of(&self, frame: &RFrame<'p>) -> NodeRef {
+        NodeRef {
+            proc: self.rp.procs[frame.proc].name.clone(),
+            node: frame.call_site,
+        }
+    }
+
+    fn enter(&mut self, target: Result<usize, Name>) -> Result<(), Wrong> {
+        let idx = match target {
+            Ok(idx) => idx,
+            Err(name) => return Err(Wrong::NoSuchProc(name)),
+        };
+        self.cur_proc = idx;
+        self.cur_node = self.rp.procs[idx].entry;
+        self.uid = self.fresh_uid();
+        Ok(())
+    }
+
+    /// Resolves a call target. `Ok(Ok(idx))` is a live procedure;
+    /// `Ok(Err(name))` is a `Code` value naming a missing procedure
+    /// (which, as in the reference machine, goes wrong only in `enter`,
+    /// *after* a `Call` has pushed its frame).
+    #[allow(clippy::type_complexity)]
+    fn resolve_code(&mut self, callee: &RCallee) -> Result<Result<usize, Name>, Wrong> {
+        match callee {
+            RCallee::Direct(idx) => Ok(Ok(*idx)),
+            RCallee::Dynamic(e) => match self.eval(e)? {
+                Value::Code(n) => Ok(self.rp.idx_of(&n).ok_or(n)),
+                Value::Bits(_, addr) => {
+                    let name = self
+                        .rp
+                        .prog
+                        .proc_at(addr)
+                        .ok_or_else(|| Wrong::NotCode(self.here()))?;
+                    Ok(Ok(self
+                        .rp
+                        .idx_of(name)
+                        .expect("proc_at returns live procs")))
+                }
+                Value::Cont(..) => Err(Wrong::NotCode(self.here())),
+            },
+        }
+    }
+
+    // ----- expression evaluation -----
+
+    fn eval(&mut self, e: &RExpr) -> Result<Value, Wrong> {
+        match e {
+            RExpr::Lit(v) => Ok(v.clone()),
+            RExpr::Name(n) => self.lookup(n),
+            RExpr::Mem(ty, a) => {
+                let addr = self.eval_bits(a)?.1;
+                Ok(self.load(*ty, addr))
+            }
+            RExpr::Un(op, a) => {
+                let (w, bits) = self.eval_bits(a)?;
+                let (r, rw) = op.eval(w, bits);
+                Ok(Value::Bits(rw, r))
+            }
+            RExpr::Bin(op, shiftish, a, b) => {
+                let (wa, va) = self.eval_bits(a)?;
+                let (wb, vb) = self.eval_bits(b)?;
+                if wa != wb && !*shiftish {
+                    return Err(Wrong::WidthMismatch(self.here()));
+                }
+                let (r, rw) = op
+                    .eval(wa, va, vb)
+                    .map_err(|e| Wrong::OpFailed(self.here(), e))?;
+                Ok(Value::Bits(rw, r))
+            }
+        }
+    }
+
+    fn eval_bits(&mut self, e: &RExpr) -> Result<(Width, u64), Wrong> {
+        let v = self.eval(e)?;
+        match v {
+            Value::Bits(w, b) => Ok((w, b)),
+            other => {
+                let bits = self.flatten(other)?;
+                Ok((Width::W32, bits))
+            }
+        }
+    }
+
+    fn lookup(&mut self, n: &RName) -> Result<Value, Wrong> {
+        if let Some(s) = n.slot {
+            if let Some(Some(v)) = self.rho.get(s as usize) {
+                return Ok(v.clone());
+            }
+        }
+        if let Some(g) = n.global {
+            return Ok(self.globals[g as usize].clone());
+        }
+        match &n.fallback {
+            Some(v) => Ok(v.clone()),
+            None => Err(Wrong::UnboundName(n.name.clone())),
+        }
+    }
+
+    fn flatten(&mut self, v: Value) -> Result<u64, Wrong> {
+        match v {
+            Value::Bits(_, b) => Ok(b),
+            Value::Code(n) => self
+                .rp
+                .prog
+                .proc_addr(n.as_str())
+                .ok_or(Wrong::NoSuchProc(n)),
+            Value::Cont(p, u) => Ok(self.encode_cont(p, u)),
+        }
+    }
+
+    fn encode_cont(&mut self, p: NodeRef, u: u64) -> u64 {
+        if let Some(i) = self
+            .cont_encodings
+            .iter()
+            .position(|(q, v)| *q == p && *v == u)
+        {
+            return CONT_BASE + (i as u64) * 8;
+        }
+        self.cont_encodings.push((p, u));
+        CONT_BASE + ((self.cont_encodings.len() - 1) as u64) * 8
+    }
+
+    /// Recovers a continuation from a `Cont` value or its flattened
+    /// encoding.
+    pub fn decode_cont(&self, v: &Value) -> Option<(NodeRef, u64)> {
+        match v {
+            Value::Cont(p, u) => Some((p.clone(), *u)),
+            Value::Bits(_, b) if *b >= CONT_BASE && (*b - CONT_BASE).is_multiple_of(8) => {
+                let i = ((*b - CONT_BASE) / 8) as usize;
+                self.cont_encodings.get(i).cloned()
+            }
+            _ => None,
+        }
+    }
+
+    // ----- memory -----
+
+    /// Loads a typed value from memory.
+    pub fn load(&self, ty: Ty, addr: u64) -> Value {
+        let w = width_of(ty);
+        let mut v = 0u64;
+        for i in 0..ty.bytes() {
+            v |= u64::from(*self.mem.get(&(addr + i)).unwrap_or(&0)) << (8 * i);
+        }
+        Value::Bits(w, v)
+    }
+
+    /// Stores bits to memory with the width of `ty`.
+    pub fn store(&mut self, ty: Ty, addr: u64, bits: u64) {
+        for i in 0..ty.bytes() {
+            self.mem.insert(addr + i, ((bits >> (8 * i)) & 0xff) as u8);
+        }
+    }
+
+    /// The whole memory as sorted `(address, byte)` pairs, zero bytes
+    /// elided.
+    pub fn mem_snapshot(&self) -> Vec<(u64, u8)> {
+        let mut v: Vec<(u64, u8)> = self
+            .mem
+            .iter()
+            .filter(|&(_, &b)| b != 0)
+            .map(|(&a, &b)| (a, b))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ----- the run-time system's window on a suspended thread -----
+
+    /// The values passed to `yield` (available while suspended).
+    pub fn yield_args(&self) -> &[Value] {
+        &self.area
+    }
+
+    /// Number of live activations.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// The call site of the activation `i` frames down from the top.
+    pub fn activation_site(&self, i: usize) -> Option<NodeRef> {
+        let len = self.stack.len();
+        if i < len {
+            Some(self.site_of(&self.stack[len - 1 - i]))
+        } else {
+            None
+        }
+    }
+
+    fn require_suspended(&self) -> Result<(), Wrong> {
+        if matches!(self.status, Status::Suspended) {
+            Ok(())
+        } else {
+            Err(Wrong::RtsViolation(
+                "machine is not suspended in yield".into(),
+            ))
+        }
+    }
+
+    /// Discards the topmost activation (requires `also aborts`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::rts_pop_frame`](crate::Machine::rts_pop_frame).
+    pub fn rts_pop_frame(&mut self) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let Some(top) = self.stack.last() else {
+            return Err(Wrong::RtsViolation("no activation to discard".into()));
+        };
+        if !top.bundle.aborts {
+            return Err(Wrong::NotAbortable(self.site_of(top)));
+        }
+        self.stack.pop();
+        Ok(())
+    }
+
+    /// Resumes at a continuation of the topmost frame's bundle.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::rts_resume`](crate::Machine::rts_resume).
+    pub fn rts_resume(&mut self, target: RtsTarget, args: Vec<Value>) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let Some(top) = self.stack.last() else {
+            return Err(Wrong::RtsViolation("no activation to resume".into()));
+        };
+        let (node, restore) = match target {
+            RtsTarget::Return(i) => (top.bundle.returns.get(i).copied(), true),
+            RtsTarget::Unwind(i) => (top.bundle.unwinds.get(i).copied(), true),
+            RtsTarget::Cut(i) => (top.bundle.cuts.get(i).copied(), false),
+        };
+        let Some(node) = node else {
+            return Err(Wrong::RtsViolation(format!(
+                "{target:?} not present in the bundle"
+            )));
+        };
+        let proc_name = self.rp.procs[top.proc].name.clone();
+        let expected = self.cont_param_count(&proc_name, node);
+        if let Some(expected) = expected {
+            if args.len() != expected {
+                return Err(Wrong::RtsViolation(format!(
+                    "continuation expects {expected} parameters, got {}",
+                    args.len()
+                )));
+            }
+        }
+        let mut frame = self.stack.pop().expect("frame checked above");
+        if !restore {
+            for &s in &frame.saves {
+                frame.rho[s as usize] = None;
+            }
+            frame.saves.clear();
+        }
+        self.cur_proc = frame.proc;
+        self.cur_node = node;
+        self.rho = frame.rho;
+        self.saves = frame.saves;
+        self.uid = frame.uid;
+        self.area = args;
+        self.status = Status::Running;
+        Ok(())
+    }
+
+    /// Cuts the stack to a continuation value from the run-time system.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::rts_cut_to`](crate::Machine::rts_cut_to).
+    pub fn rts_cut_to(&mut self, cont: &Value, args: Vec<Value>) -> Result<(), Wrong> {
+        self.require_suspended()?;
+        let (target, tuid) = self
+            .decode_cont(cont)
+            .ok_or_else(|| Wrong::DeadContinuation(self.here()))?;
+        let expected = self.cont_param_count(&target.proc, target.node);
+        if let Some(expected) = expected {
+            if args.len() != expected {
+                return Err(Wrong::RtsViolation(format!(
+                    "continuation expects {expected} parameters, got {}",
+                    args.len()
+                )));
+            }
+        }
+        let saved_stack = self.stack.clone();
+        match self.cut_stack(target, tuid) {
+            Ok(()) => {
+                self.area = args;
+                self.status = Status::Running;
+                Ok(())
+            }
+            Err(w) => {
+                self.stack = saved_stack;
+                Err(w)
+            }
+        }
+    }
+
+    /// Number of parameters the continuation at `node` expects, if it
+    /// is a `CopyIn` node.
+    pub fn cont_param_count(&self, proc: &Name, node: NodeId) -> Option<usize> {
+        let g = self.rp.procs[self.rp.idx_of(proc)?].graph;
+        match g.node(node) {
+            Node::CopyIn { vars, .. } => Some(vars.len()),
+            _ => None,
+        }
+    }
+}
+
+impl<'p> crate::engine::SemEngine<'p> for ResolvedMachine<'p> {
+    fn program(&self) -> &'p Program {
+        self.rp.prog
+    }
+
+    fn status(&self) -> &Status {
+        ResolvedMachine::status(self)
+    }
+
+    fn start(&mut self, proc: &str, args: Vec<Value>) -> Result<(), Wrong> {
+        ResolvedMachine::start(self, proc, args)
+    }
+
+    fn run(&mut self, fuel: u64) -> Status {
+        ResolvedMachine::run(self, fuel)
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn yield_args(&self) -> &[Value] {
+        ResolvedMachine::yield_args(self)
+    }
+
+    fn depth(&self) -> usize {
+        ResolvedMachine::depth(self)
+    }
+
+    fn activation_site(&self, i: usize) -> Option<NodeRef> {
+        ResolvedMachine::activation_site(self, i)
+    }
+
+    fn rts_pop_frame(&mut self) -> Result<(), Wrong> {
+        ResolvedMachine::rts_pop_frame(self)
+    }
+
+    fn rts_resume(&mut self, target: RtsTarget, args: Vec<Value>) -> Result<(), Wrong> {
+        ResolvedMachine::rts_resume(self, target, args)
+    }
+
+    fn rts_cut_to(&mut self, cont: &Value, args: Vec<Value>) -> Result<(), Wrong> {
+        ResolvedMachine::rts_cut_to(self, cont, args)
+    }
+
+    fn decode_cont(&self, v: &Value) -> Option<(NodeRef, u64)> {
+        ResolvedMachine::decode_cont(self, v)
+    }
+
+    fn cont_param_count(&self, proc: &Name, node: NodeId) -> Option<usize> {
+        ResolvedMachine::cont_param_count(self, proc, node)
+    }
+
+    fn load(&self, ty: Ty, addr: u64) -> Value {
+        ResolvedMachine::load(self, ty, addr)
+    }
+
+    fn store(&mut self, ty: Ty, addr: u64, bits: u64) {
+        ResolvedMachine::store(self, ty, addr, bits)
+    }
+
+    fn mem_snapshot(&self) -> Vec<(u64, u8)> {
+        ResolvedMachine::mem_snapshot(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn prog(src: &str) -> Program {
+        build_program(&parse_module(src).unwrap()).unwrap()
+    }
+
+    /// Runs a source program to completion on both engines and asserts
+    /// identical status, step count, and memory.
+    fn both(src: &str, proc: &str, args: Vec<Value>) -> Status {
+        let p = prog(src);
+        let rp = ResolvedProgram::new(&p);
+        let mut old = Machine::new(&p);
+        let mut new = ResolvedMachine::new(&rp);
+        let so = old.start(proc, args.clone()).err();
+        let sn = new.start(proc, args).err();
+        assert_eq!(so, sn);
+        if so.is_some() {
+            return Status::Idle;
+        }
+        let a = old.run(1_000_000);
+        let b = new.run(1_000_000);
+        assert_eq!(a, b, "status diverged");
+        assert_eq!(old.steps, new.steps, "step counts diverged");
+        assert_eq!(old.mem_snapshot(), new.mem_snapshot(), "memory diverged");
+        b
+    }
+
+    #[test]
+    fn figure1_matches_reference() {
+        let src = r#"
+            sp1(bits32 n) {
+                bits32 s, p;
+                if n == 1 { return (1, 1); }
+                else { s, p = sp1(n - 1); return (s + n, p * n); }
+            }
+        "#;
+        let s = both(src, "sp1", vec![Value::b32(10)]);
+        assert_eq!(
+            s,
+            Status::Terminated(vec![Value::b32(55), Value::b32(3628800)])
+        );
+    }
+
+    #[test]
+    fn cut_to_matches_reference() {
+        let src = r#"
+            f() {
+                bits32 r;
+                r = mid(k) also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r + 1);
+            }
+            mid(bits32 kk) {
+                bits32 r;
+                r = g(kk) also aborts;
+                return (r);
+            }
+            g(bits32 kk) { cut to kk(10); return (0); }
+        "#;
+        assert_eq!(
+            both(src, "f", vec![]),
+            Status::Terminated(vec![Value::b32(11)])
+        );
+    }
+
+    #[test]
+    fn wrong_payloads_match_reference() {
+        // Every `Wrong` constructor carries a NodeRef; the resolved
+        // engine must produce the identical payload.
+        for (src, args) in [
+            // Use before definition: UnboundName.
+            ("f() { bits32 x; return (x); }", vec![]),
+            // Call site lacks `also cuts to`: CutNotAnnotated.
+            ("f() { bits32 r; r = g(k); return (0); continuation k(r): return (r); } g(bits32 kk) { cut to kk(1); return (0); }", vec![]),
+            // Claimed alternates disagree with the bundle: ReturnArityMismatch.
+            ("f() { bits32 r; r = g(); return (r); } g() { return <0/2> (5); }", vec![]),
+            // bits8 + bits32: WidthMismatch.
+            ("f(bits32 a) { bits8 b; b = %lo8(a); return (a + b); }", vec![Value::b32(1)]),
+        ] {
+            let s = both(src, "f", args);
+            assert!(matches!(s, Status::Wrong(_)), "{src}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn continuation_encodings_match_reference() {
+        // Continuations stored to memory intern identically, so the
+        // final memory (and any arithmetic on the encodings) agrees.
+        let src = r#"
+            data slot { bits32 0; }
+            f() {
+                bits32 r;
+                bits32[slot] = k;
+                r = g() also cuts to k;
+                return (0);
+                continuation k(r):
+                return (r + 100);
+            }
+            g() {
+                bits32 kk;
+                kk = bits32[slot];
+                cut to kk(1);
+                return (0);
+            }
+        "#;
+        assert_eq!(
+            both(src, "f", vec![]),
+            Status::Terminated(vec![Value::b32(101)])
+        );
+    }
+
+    #[test]
+    fn globals_and_memory_match_reference() {
+        let src = r#"
+            register bits32 counter = 5;
+            data cell { bits32 7; }
+            f() {
+                bits32 x;
+                counter = counter + 1;
+                x = bits32[cell];
+                bits32[cell] = x + counter;
+                return (bits32[cell]);
+            }
+        "#;
+        assert_eq!(
+            both(src, "f", vec![]),
+            Status::Terminated(vec![Value::b32(13)])
+        );
+    }
+
+    #[test]
+    fn missing_proc_matches_reference() {
+        assert_eq!(both("f() { return (0); }", "nope", vec![]), Status::Idle);
+    }
+
+    #[test]
+    fn rts_walk_and_unwind_match_reference() {
+        let src = r#"
+            f() {
+                bits32 y, r;
+                y = 5;
+                r = g() also unwinds to k;
+                return (0);
+                continuation k(r):
+                return (r + y);
+            }
+            g() { yield(9) also aborts; return (0); }
+        "#;
+        let p = prog(src);
+        let rp = ResolvedProgram::new(&p);
+        let mut old = Machine::new(&p);
+        let mut new = ResolvedMachine::new(&rp);
+        old.start("f", vec![]).unwrap();
+        new.start("f", vec![]).unwrap();
+        assert_eq!(old.run(100_000), Status::Suspended);
+        assert_eq!(new.run(100_000), Status::Suspended);
+        assert_eq!(old.yield_args(), new.yield_args());
+        // Identical walk order.
+        let walk_old: Vec<_> = (0..old.stack().len())
+            .map(|i| old.activation(i).unwrap().site())
+            .collect();
+        let walk_new: Vec<_> = (0..new.depth())
+            .map(|i| new.activation_site(i).unwrap())
+            .collect();
+        assert_eq!(walk_old, walk_new);
+        // Identical resumption behaviour.
+        old.rts_pop_frame().unwrap();
+        new.rts_pop_frame().unwrap();
+        old.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(77)])
+            .unwrap();
+        new.rts_resume(RtsTarget::Unwind(0), vec![Value::b32(77)])
+            .unwrap();
+        assert_eq!(old.run(100_000), new.run(100_000));
+        assert_eq!(*new.status(), Status::Terminated(vec![Value::b32(82)]));
+    }
+}

@@ -85,7 +85,11 @@ pub struct VmProgram {
 impl VmProgram {
     /// The procedure whose code contains `pc`, if any.
     pub fn proc_at_pc(&self, pc: u32) -> Option<&ProcMeta> {
-        self.proc_meta.iter().find(|m| m.contains(pc))
+        // `proc_meta` is sorted by entry pc (procedures are emitted
+        // back to back after the halt vector), so the owner — if any —
+        // is the last procedure whose entry is at or below `pc`.
+        let i = self.proc_meta.partition_point(|m| m.entry <= pc);
+        self.proc_meta[..i].last().filter(|m| m.contains(pc))
     }
 
     /// Number of instructions generated for a procedure.

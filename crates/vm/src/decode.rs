@@ -1,0 +1,521 @@
+//! Pre-decoded execution engine.
+//!
+//! [`DecodedCode`] is a one-time lowering of the assembled [`Inst`]
+//! stream into a dense array of fixed-size [`DInst`] words whose opcode
+//! is a small flat enum: the hot `step` match becomes a single jump, the
+//! common infallible 32-bit operators get their own opcodes (no nested
+//! `BinOp`/`Width` dispatch, no `Result` plumbing), and the branch/cost
+//! classification is folded into the opcode itself instead of being a
+//! second match per retired instruction.
+//!
+//! The lowering is index-preserving: `insts[pc]` decodes `code[pc]`, so
+//! every pc-derived structure — branch-table return offsets (`jr ra+i`),
+//! `call_sites` keyed by return address, `code_map`, `proc_at_pc` — is
+//! valid unchanged under both engines, and the front-end run-time system
+//! (`VmThread`) never needs to know which engine is driving. Rare or
+//! fallible forms (`%divu` and friends, width-polymorphic unaries) keep a
+//! `*Slow` opcode that re-reads the original instruction at the same
+//! index, so their exact error strings and semantics are inherited from
+//! the one canonical implementation rather than duplicated.
+
+use crate::codegen::VmProgram;
+use crate::isa::{regs, Inst};
+use crate::machine::{VmMachine, VmStatus};
+use cmm_ir::expr::sign_extend;
+use cmm_ir::{BinOp, Width};
+
+/// A flat opcode: one variant per specialized execution path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum DOp {
+    /// Stop the machine (only meaningful at the halt vector).
+    Halt,
+    /// `a ← imm`.
+    Li,
+    /// `a ← b + imm` (32-bit wrapping, zero-extended).
+    Addi,
+    /// `a ← b`.
+    Mov,
+    /// `a ← b + c` at 32 bits.
+    Add32,
+    /// `a ← b - c` at 32 bits.
+    Sub32,
+    /// `a ← b * c` at 32 bits.
+    Mul32,
+    /// `a ← b & c` at 32 bits.
+    And32,
+    /// `a ← b | c` at 32 bits.
+    Or32,
+    /// `a ← b ^ c` at 32 bits.
+    Xor32,
+    /// `a ← (b == c)` on 32-bit operands.
+    Eq32,
+    /// `a ← (b != c)` on 32-bit operands.
+    Ne32,
+    /// `a ← (b < c)` unsigned, 32-bit operands.
+    LtU32,
+    /// `a ← (b <= c)` unsigned, 32-bit operands.
+    LeU32,
+    /// `a ← (b > c)` unsigned, 32-bit operands.
+    GtU32,
+    /// `a ← (b >= c)` unsigned, 32-bit operands.
+    GeU32,
+    /// `a ← (b < c)` signed, 32-bit operands.
+    LtS32,
+    /// `a ← (b <= c)` signed, 32-bit operands.
+    LeS32,
+    /// `a ← (b > c)` signed, 32-bit operands.
+    GtS32,
+    /// `a ← (b >= c)` signed, 32-bit operands.
+    GeS32,
+    /// Any other `Inst::Bin`: re-read the original instruction.
+    BinSlow,
+    /// Any `Inst::Un`: re-read the original instruction.
+    UnSlow,
+    /// `a ← mem8[b + imm]`.
+    Load8,
+    /// `a ← mem16[b + imm]`.
+    Load16,
+    /// `a ← mem32[b + imm]`.
+    Load32,
+    /// `a ← mem64[b + imm]`.
+    Load64,
+    /// `mem8[b + imm] ← a`.
+    Store8,
+    /// `mem16[b + imm] ← a`.
+    Store16,
+    /// `mem32[b + imm] ← a`.
+    Store32,
+    /// `mem64[b + imm] ← a`.
+    Store64,
+    /// Branch to `imm` if `a` is non-zero.
+    Bnz,
+    /// Branch to `imm` if `a` is zero.
+    Bz,
+    /// Unconditional jump to `imm`.
+    Jmp,
+    /// `pc ← a + imm` (register-indirect; code addresses translated).
+    Jr,
+    /// Direct call: `ra ← pc + 1; pc ← imm`.
+    Call,
+    /// Indirect call through register `a`.
+    CallR,
+    /// Trap into the front-end run-time system.
+    SysYield,
+}
+
+/// One decoded instruction word: flat opcode, three register operands,
+/// one 32-bit immediate. Eight bytes, so a cache line holds eight.
+#[derive(Clone, Copy, Debug)]
+pub struct DInst {
+    /// Specialized opcode.
+    pub op: DOp,
+    /// First operand (destination register, or stored/tested source).
+    pub a: u8,
+    /// Second operand (source/base register).
+    pub b: u8,
+    /// Third operand (second source register).
+    pub c: u8,
+    /// Immediate: value, byte offset, or target instruction index.
+    pub imm: u32,
+}
+
+/// The pre-decoded form of a whole [`VmProgram`]: `insts[pc]` is the
+/// lowering of `program.code[pc]`.
+#[derive(Debug)]
+pub struct DecodedCode {
+    /// The dense instruction array, index-aligned with the source code.
+    pub insts: Vec<DInst>,
+}
+
+fn load_op(w: Width) -> DOp {
+    match w {
+        Width::W8 => DOp::Load8,
+        Width::W16 => DOp::Load16,
+        Width::W32 => DOp::Load32,
+        Width::W64 => DOp::Load64,
+    }
+}
+
+fn store_op(w: Width) -> DOp {
+    match w {
+        Width::W8 => DOp::Store8,
+        Width::W16 => DOp::Store16,
+        Width::W32 => DOp::Store32,
+        Width::W64 => DOp::Store64,
+    }
+}
+
+/// The specialized opcode for an infallible 32-bit binary operator, if
+/// one exists.
+fn bin32_op(op: BinOp) -> Option<DOp> {
+    Some(match op {
+        BinOp::Add => DOp::Add32,
+        BinOp::Sub => DOp::Sub32,
+        BinOp::Mul => DOp::Mul32,
+        BinOp::And => DOp::And32,
+        BinOp::Or => DOp::Or32,
+        BinOp::Xor => DOp::Xor32,
+        BinOp::Eq => DOp::Eq32,
+        BinOp::Ne => DOp::Ne32,
+        BinOp::LtU => DOp::LtU32,
+        BinOp::LeU => DOp::LeU32,
+        BinOp::GtU => DOp::GtU32,
+        BinOp::GeU => DOp::GeU32,
+        BinOp::LtS => DOp::LtS32,
+        BinOp::LeS => DOp::LeS32,
+        BinOp::GtS => DOp::GtS32,
+        BinOp::GeS => DOp::GeS32,
+        _ => return None,
+    })
+}
+
+impl DecodedCode {
+    /// Lowers the whole instruction stream. Pure function of the
+    /// program; runs once per execution engine, not per step.
+    pub fn decode(program: &VmProgram) -> DecodedCode {
+        let insts = program.code.iter().map(decode_inst).collect();
+        DecodedCode { insts }
+    }
+}
+
+fn decode_inst(inst: &Inst) -> DInst {
+    let d = |op, a, b, c, imm| DInst { op, a, b, c, imm };
+    match *inst {
+        Inst::Halt => d(DOp::Halt, 0, 0, 0, 0),
+        Inst::Li { rd, imm } => d(DOp::Li, rd, 0, 0, imm),
+        Inst::Addi { rd, rs, imm } => d(DOp::Addi, rd, rs, 0, imm as u32),
+        Inst::Mov { rd, rs } => d(DOp::Mov, rd, rs, 0, 0),
+        Inst::Bin { op, w, rd, ra, rb } => match (w, bin32_op(op)) {
+            (Width::W32, Some(fast)) => d(fast, rd, ra, rb, 0),
+            _ => d(DOp::BinSlow, rd, ra, rb, 0),
+        },
+        Inst::Un {
+            op: _,
+            w: _,
+            rd,
+            ra,
+        } => d(DOp::UnSlow, rd, ra, 0, 0),
+        Inst::Load { w, rd, rb, off } => d(load_op(w), rd, rb, 0, off as u32),
+        Inst::Store { w, rs, rb, off } => d(store_op(w), rs, rb, 0, off as u32),
+        Inst::Bnz { rs, target } => d(DOp::Bnz, rs, 0, 0, target),
+        Inst::Bz { rs, target } => d(DOp::Bz, rs, 0, 0, target),
+        Inst::Jmp { target } => d(DOp::Jmp, 0, 0, 0, target),
+        Inst::Jr { rs, off } => d(DOp::Jr, rs, 0, 0, off as u32),
+        Inst::Call { target } => d(DOp::Call, 0, 0, 0, target),
+        Inst::CallR { rs } => d(DOp::CallR, rs, 0, 0, 0),
+        Inst::SysYield => d(DOp::SysYield, 0, 0, 0, 0),
+    }
+}
+
+const M32: u64 = 0xffff_ffff;
+
+fn s32(v: u64) -> i64 {
+    sign_extend(v, Width::W32)
+}
+
+impl VmMachine<'_> {
+    /// Runs up to `fuel` instructions over the decoded stream. Exactly
+    /// the semantics (status transitions, costs, error strings) of the
+    /// original [`VmMachine::run`]/`step` loop, but with the program
+    /// counter and cost counters held in locals and a single flat match
+    /// per retired instruction.
+    pub(crate) fn run_decoded(&mut self, decoded: &DecodedCode, fuel: u64) -> VmStatus {
+        if matches!(self.status, VmStatus::OutOfFuel) {
+            self.status = VmStatus::Running;
+        }
+        if !matches!(self.status, VmStatus::Running) {
+            return self.status.clone();
+        }
+        let prog = self.program;
+        let code = decoded.insts.as_slice();
+        let mut pc = self.pc;
+        let mut cost = self.cost;
+        // Register operands come from the assembler, which only emits
+        // indices below NUM_REGS (= 64, a power of two): masking is a
+        // no-op that lets the compiler drop the bounds checks on the
+        // register file.
+        const RM: usize = crate::isa::regs::NUM_REGS - 1;
+        macro_rules! r {
+            ($i:expr) => {
+                self.regs[$i as usize & RM]
+            };
+        }
+        // Every exit below must flush `pc` and `cost` back into the
+        // machine; this macro keeps the arms honest.
+        macro_rules! flush {
+            ($status:expr) => {{
+                self.pc = pc;
+                self.cost = cost;
+                self.status = $status;
+                return self.status.clone();
+            }};
+        }
+        for _ in 0..fuel {
+            let Some(&DInst { op, a, b, c, imm }) = code.get(pc as usize) else {
+                flush!(VmStatus::Error(format!("pc {pc} out of range")));
+            };
+            cost.instructions += 1;
+            let mut next = pc + 1;
+            match op {
+                DOp::Halt => {
+                    if pc == 0 {
+                        let results = (0..self.expected_results)
+                            .map(|i| self.regs[regs::ARG0 as usize + i])
+                            .collect();
+                        flush!(VmStatus::Halted(results));
+                    }
+                    flush!(VmStatus::Error(format!(
+                        "abnormal top-level return (pc {pc})"
+                    )));
+                }
+                DOp::Li => r!(a) = u64::from(imm),
+                DOp::Addi => {
+                    let v = (r!(b) as u32).wrapping_add(imm);
+                    r!(a) = u64::from(v);
+                }
+                DOp::Mov => r!(a) = r!(b),
+                DOp::Add32 => {
+                    r!(a) = r!(b).wrapping_add(r!(c)) & M32;
+                }
+                DOp::Sub32 => {
+                    r!(a) = r!(b).wrapping_sub(r!(c)) & M32;
+                }
+                DOp::Mul32 => {
+                    r!(a) = r!(b).wrapping_mul(r!(c)) & M32;
+                }
+                DOp::And32 => {
+                    r!(a) = r!(b) & r!(c) & M32;
+                }
+                DOp::Or32 => {
+                    r!(a) = (r!(b) | r!(c)) & M32;
+                }
+                DOp::Xor32 => {
+                    r!(a) = (r!(b) ^ r!(c)) & M32;
+                }
+                DOp::Eq32 => {
+                    r!(a) = u64::from(r!(b) & M32 == r!(c) & M32);
+                }
+                DOp::Ne32 => {
+                    r!(a) = u64::from(r!(b) & M32 != r!(c) & M32);
+                }
+                DOp::LtU32 => {
+                    r!(a) = u64::from(r!(b) & M32 < r!(c) & M32);
+                }
+                DOp::LeU32 => {
+                    r!(a) = u64::from(r!(b) & M32 <= r!(c) & M32);
+                }
+                DOp::GtU32 => {
+                    r!(a) = u64::from(r!(b) & M32 > r!(c) & M32);
+                }
+                DOp::GeU32 => {
+                    r!(a) = u64::from(r!(b) & M32 >= r!(c) & M32);
+                }
+                DOp::LtS32 => {
+                    r!(a) = u64::from(s32(r!(b)) < s32(r!(c)));
+                }
+                DOp::LeS32 => {
+                    r!(a) = u64::from(s32(r!(b)) <= s32(r!(c)));
+                }
+                DOp::GtS32 => {
+                    r!(a) = u64::from(s32(r!(b)) > s32(r!(c)));
+                }
+                DOp::GeS32 => {
+                    r!(a) = u64::from(s32(r!(b)) >= s32(r!(c)));
+                }
+                DOp::BinSlow => {
+                    // Rare/fallible operator: defer to the canonical
+                    // evaluator on the original instruction word.
+                    let Inst::Bin { op, w, rd, ra, rb } = prog.code[pc as usize] else {
+                        unreachable!("decode preserved instruction indices");
+                    };
+                    match op.eval(w, r!(ra), r!(rb)) {
+                        Ok((v, _)) => r!(rd) = v,
+                        Err(e) => flush!(VmStatus::Error(format!("fault at pc {pc}: {e}"))),
+                    }
+                }
+                DOp::UnSlow => {
+                    let Inst::Un { op, w, rd, ra } = prog.code[pc as usize] else {
+                        unreachable!("decode preserved instruction indices");
+                    };
+                    let (v, _) = op.eval(w, r!(ra));
+                    r!(rd) = v;
+                }
+                DOp::Load8 => {
+                    cost.loads += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    r!(a) = self.mem.read_wide(Width::W8, addr);
+                }
+                DOp::Load16 => {
+                    cost.loads += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    r!(a) = self.mem.read_wide(Width::W16, addr);
+                }
+                DOp::Load32 => {
+                    cost.loads += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    r!(a) = self.mem.read_wide(Width::W32, addr);
+                }
+                DOp::Load64 => {
+                    cost.loads += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    r!(a) = self.mem.read_wide(Width::W64, addr);
+                }
+                DOp::Store8 => {
+                    cost.stores += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    self.mem.write_wide(Width::W8, addr, r!(a));
+                }
+                DOp::Store16 => {
+                    cost.stores += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    self.mem.write_wide(Width::W16, addr, r!(a));
+                }
+                DOp::Store32 => {
+                    cost.stores += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    self.mem.write_wide(Width::W32, addr, r!(a));
+                }
+                DOp::Store64 => {
+                    cost.stores += 1;
+                    let addr = (r!(b) as u32).wrapping_add(imm);
+                    self.mem.write_wide(Width::W64, addr, r!(a));
+                }
+                DOp::Bnz => {
+                    cost.branches += 1;
+                    if r!(a) != 0 {
+                        next = imm;
+                    }
+                }
+                DOp::Bz => {
+                    cost.branches += 1;
+                    if r!(a) == 0 {
+                        next = imm;
+                    }
+                }
+                DOp::Jmp => {
+                    cost.branches += 1;
+                    next = imm;
+                }
+                DOp::Jr => {
+                    cost.branches += 1;
+                    match self.code_target(r!(a)) {
+                        Ok(base) => next = base.wrapping_add(imm),
+                        Err(e) => flush!(VmStatus::Error(e)),
+                    }
+                }
+                DOp::Call => {
+                    cost.branches += 1;
+                    cost.calls += 1;
+                    self.regs[regs::RA as usize] = u64::from(pc + 1);
+                    next = imm;
+                }
+                DOp::CallR => {
+                    cost.branches += 1;
+                    cost.calls += 1;
+                    match self.code_target(r!(a)) {
+                        Ok(t) => {
+                            self.regs[regs::RA as usize] = u64::from(pc + 1);
+                            next = t;
+                        }
+                        Err(e) => flush!(VmStatus::Error(e)),
+                    }
+                }
+                DOp::SysYield => {
+                    pc += 1;
+                    flush!(VmStatus::Suspended);
+                }
+            }
+            pc = next;
+        }
+        self.pc = pc;
+        self.cost = cost;
+        self.status = VmStatus::OutOfFuel;
+        self.status.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use cmm_cfg::build_program;
+    use cmm_parse::parse_module;
+
+    fn program(src: &str) -> VmProgram {
+        compile(&build_program(&parse_module(src).unwrap()).unwrap()).unwrap()
+    }
+
+    /// The lowering is index-preserving and total.
+    #[test]
+    fn decode_is_index_aligned() {
+        let vp = program("f(bits32 n) { bits32 s; s = n + 1; return (s); }");
+        let d = DecodedCode::decode(&vp);
+        assert_eq!(d.insts.len(), vp.code.len());
+        for (i, inst) in vp.code.iter().enumerate() {
+            let di = d.insts[i];
+            match inst {
+                Inst::Jmp { target } => assert_eq!((di.op, di.imm), (DOp::Jmp, *target)),
+                Inst::Call { target } => assert_eq!((di.op, di.imm), (DOp::Call, *target)),
+                Inst::SysYield => assert_eq!(di.op, DOp::SysYield),
+                _ => {}
+            }
+        }
+    }
+
+    /// Both engines retire identical instruction streams: same result,
+    /// same pc, same cost breakdown.
+    #[test]
+    fn decoded_run_matches_step_loop_exactly() {
+        let src = r#"
+            f(bits32 n) {
+                bits32 s, p;
+                if n == 1 { return (1, 1); }
+                else { s, p = f(n - 1); return (s + n, p * n); }
+            }
+        "#;
+        let vp = program(src);
+        let mut old = VmMachine::new(&vp);
+        let mut new = VmMachine::new_decoded(&vp);
+        old.start("f", &[10], 2);
+        new.start("f", &[10], 2);
+        assert_eq!(old.run(1_000_000), new.run(1_000_000));
+        assert_eq!(old.pc, new.pc);
+        assert_eq!(old.cost, new.cost);
+        assert_eq!(old.regs, new.regs);
+    }
+
+    /// Fuel exhaustion and resumption agree step-for-step.
+    #[test]
+    fn decoded_fuel_boundary_matches() {
+        let src = "f(bits32 n) { bits32 s; s = 0; loop: if n == 0 { return (s); } else { s = s + n; n = n - 1; goto loop; } }";
+        let vp = program(src);
+        for fuel in [1u64, 3, 7, 50] {
+            let mut old = VmMachine::new(&vp);
+            let mut new = VmMachine::new_decoded(&vp);
+            old.start("f", &[100], 1);
+            new.start("f", &[100], 1);
+            loop {
+                let a = old.run(fuel);
+                let b = new.run(fuel);
+                assert_eq!(a, b, "fuel slice {fuel}");
+                assert_eq!((old.pc, old.cost), (new.pc, new.cost));
+                if !matches!(a, VmStatus::OutOfFuel) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Fault reporting (strings included) is inherited, not duplicated.
+    #[test]
+    fn decoded_faults_match_old_engine() {
+        let vp = program("f(bits32 a, bits32 b) { return (a / b); }");
+        let mut old = VmMachine::new(&vp);
+        let mut new = VmMachine::new_decoded(&vp);
+        old.start("f", &[1, 0], 1);
+        new.start("f", &[1, 0], 1);
+        assert_eq!(old.run(10_000), new.run(10_000));
+        assert!(matches!(new.status(), VmStatus::Error(e) if e.contains("division by zero")));
+    }
+}

@@ -38,6 +38,7 @@
 
 pub mod arch;
 pub mod codegen;
+pub mod decode;
 pub mod disasm;
 pub mod frame;
 pub mod isa;
@@ -47,6 +48,7 @@ pub mod runtime;
 
 pub use arch::ArchProfile;
 pub use codegen::{compile, CodegenError, VmProgram};
+pub use decode::{DInst, DOp, DecodedCode};
 pub use isa::{Inst, Reg};
 pub use machine::{Cost, VmMachine, VmStatus};
 pub use runtime::VmThread;

@@ -1,8 +1,10 @@
 //! The simulated machine: executor and cost model.
 
 use crate::codegen::VmProgram;
+use crate::decode::DecodedCode;
 use crate::isa::{regs, Inst};
 use crate::mem::Memory;
+use std::sync::Arc;
 
 /// Synthetic image code addresses start here (see `cmm_cfg::DataImage`).
 const CODE_BASE: u32 = 0x4000_0000;
@@ -77,8 +79,12 @@ pub struct VmMachine<'p> {
     pub pc: u32,
     /// Accumulated costs.
     pub cost: Cost,
-    status: VmStatus,
-    expected_results: usize,
+    pub(crate) status: VmStatus,
+    pub(crate) expected_results: usize,
+    /// When present, `run` executes over this pre-decoded stream
+    /// instead of the original `Inst` array (see [`crate::decode`]).
+    /// Shared so cloning a machine shares the lowering.
+    decoded: Option<Arc<DecodedCode>>,
 }
 
 impl<'p> VmMachine<'p> {
@@ -102,7 +108,23 @@ impl<'p> VmMachine<'p> {
             cost: Cost::default(),
             status: VmStatus::Idle,
             expected_results: 0,
+            decoded: None,
         }
+    }
+
+    /// Creates a machine that executes via the pre-decoded engine: the
+    /// instruction stream is lowered once (see [`crate::decode`]) and
+    /// `run` dispatches over the dense form. Observable behaviour is
+    /// identical to [`VmMachine::new`]; only the step loop differs.
+    pub fn new_decoded(program: &'p VmProgram) -> VmMachine<'p> {
+        let mut m = VmMachine::new(program);
+        m.decoded = Some(Arc::new(DecodedCode::decode(program)));
+        m
+    }
+
+    /// True if this machine runs over the pre-decoded stream.
+    pub fn is_decoded(&self) -> bool {
+        self.decoded.is_some()
     }
 
     /// Current status.
@@ -163,6 +185,10 @@ impl<'p> VmMachine<'p> {
 
     /// Runs up to `fuel` instructions.
     pub fn run(&mut self, fuel: u64) -> VmStatus {
+        if let Some(decoded) = &self.decoded {
+            let decoded = Arc::clone(decoded);
+            return self.run_decoded(&decoded, fuel);
+        }
         if matches!(self.status, VmStatus::OutOfFuel) {
             self.status = VmStatus::Running;
         }

@@ -82,6 +82,17 @@ impl<'p> VmThread<'p> {
         }
     }
 
+    /// Creates a thread whose machine runs the pre-decoded engine (see
+    /// [`crate::decode`]). The runtime interface is engine-agnostic: it
+    /// reads registers, memory, and pc, all of which the two engines
+    /// maintain identically.
+    pub fn new_decoded(program: &'p VmProgram) -> VmThread<'p> {
+        VmThread {
+            machine: VmMachine::new_decoded(program),
+            pending: None,
+        }
+    }
+
     /// Starts a procedure (see [`VmMachine::start`]).
     pub fn start(&mut self, proc: &str, args: &[u64], expected_results: usize) {
         self.machine.start(proc, args, expected_results);

@@ -1,0 +1,168 @@
+//! Edge cases for the pre-decoded/pre-resolved engines' *decode time*:
+//! shapes that stress index resolution rather than execution — empty
+//! procedures, continuations nothing ever targets, programs pushed past
+//! the small-index boundaries — plus the checked-in corpus reproducers
+//! replayed on the new engines.
+//!
+//! Each case asserts the new engine's observation equals the reference
+//! engine's, using the `cmm-difftest` oracle observers.
+
+use cmm_cfg::Program;
+use cmm_difftest::{observe_sem, observe_sem_resolved, observe_vm, observe_vm_decoded, Limits};
+use std::fmt::Write as _;
+
+fn build(src: &str) -> Program {
+    let module = cmm_parse::parse_module(src).expect("program parses");
+    cmm_cfg::build_program(&module).expect("program builds")
+}
+
+/// Asserts both new engines observe exactly what their reference
+/// engines observe on `src` at entry `f(args)`.
+fn engines_agree(src: &str, args: (u32, u32)) {
+    let limits = Limits::default();
+    let prog = build(src);
+    let (reference, ref_detail) = observe_sem(&prog, args, &limits);
+    let (resolved, detail) = observe_sem_resolved(&prog, args, &limits);
+    assert_eq!(
+        resolved,
+        reference,
+        "resolved sem diverged: reference {}, observed {}",
+        reference.describe(&ref_detail),
+        resolved.describe(&detail)
+    );
+    let vp = cmm_vm::compile(&prog).expect("program compiles");
+    let (vm_ref, vm_ref_detail) = observe_vm(&vp, args, &limits);
+    let (decoded, detail) = observe_vm_decoded(&vp, args, &limits);
+    assert_eq!(
+        decoded,
+        vm_ref,
+        "decoded vm diverged: reference {}, observed {}",
+        vm_ref.describe(&vm_ref_detail),
+        decoded.describe(&detail)
+    );
+}
+
+/// Procedures whose bodies are a bare `return;` decode to the minimal
+/// node/instruction stream and still run.
+#[test]
+fn empty_procs_decode_and_run() {
+    engines_agree(
+        r#"
+            e() { return; }
+            e2(bits32 x) { return; }
+            f(bits32 a, bits32 b) {
+                e();
+                e2(a);
+                return (a + b);
+            }
+        "#,
+        (31, 11),
+    );
+}
+
+/// A continuation only ever named by a call annotation in a branch that
+/// never executes: the decoder must still resolve it (it is part of the
+/// entry's continuation environment) even though no execution reaches
+/// it. This is the shape of the `dead-cont-value` corpus regression,
+/// before any optimizer involvement.
+#[test]
+fn unreachable_continuations_decode() {
+    engines_agree(
+        r#"
+            g0(bits32 x, bits32 kk) {
+                if x > 9 { cut to kk(x - 1); } else { return (x + 1); }
+            }
+            f(bits32 a, bits32 b) {
+                bits32 c, t;
+                c = 0;
+                if 0 {
+                    c = g0(0, kc) also cuts to kc also aborts;
+                } else {
+                }
+                return ((a + b) + c);
+                continuation kc(t):
+                return (t + 1000);
+            }
+        "#,
+        (5, 6),
+    );
+}
+
+/// A procedure pushed past the one-byte index boundaries: more than 256
+/// CFG nodes, 80 local variables (slots), and 40 continuations, each of
+/// which is genuinely cut to once. Exercises the dense index arrays the
+/// decoders build.
+#[test]
+fn max_index_programs_decode() {
+    let mut src = String::new();
+    // 40 target procs, one per continuation.
+    let _ = writeln!(
+        src,
+        "g0(bits32 x, bits32 kk) {{ if x > 9 {{ cut to kk(x - 1); }} else {{ return (x + 1); }} }}"
+    );
+    let _ = writeln!(src, "f(bits32 a, bits32 b) {{");
+    // 80 locals.
+    for i in 0..80 {
+        let _ = writeln!(src, "    bits32 v{i};");
+    }
+    let _ = writeln!(src, "    bits32 acc;");
+    for k in 0..40 {
+        let _ = writeln!(src, "    bits32 t{k};");
+    }
+    for i in 0..80 {
+        let _ = writeln!(src, "    v{i} = a + {i};");
+    }
+    // > 256 nodes of straight-line arithmetic.
+    let _ = writeln!(src, "    acc = 0;");
+    for i in 0..300 {
+        let _ = writeln!(src, "    acc = (acc + v{}) & 65535;", i % 80);
+    }
+    // 40 continuations, each reached by one cut.
+    for k in 0..40 {
+        let _ = writeln!(src, "    acc = g0(15, k{k}) also cuts to k{k} also aborts;");
+    }
+    let _ = writeln!(src, "    return (acc + b);");
+    for k in 0..40 {
+        let _ = writeln!(src, "    continuation k{k}(t{k}):");
+        let _ = writeln!(src, "    acc = acc + t{k};");
+    }
+    let _ = writeln!(src, "}}");
+    engines_agree(&src, (2, 3));
+}
+
+/// The checked-in corpus reproducers (the two shrunk regressions from
+/// the fuzzing subsystem's first sweep) replay cleanly on the new
+/// engines.
+#[test]
+fn corpus_reproducers_agree_on_new_engines() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut replayed = 0;
+    for entry in std::fs::read_dir(&dir).expect("corpus directory exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "cmm") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        engines_agree(&text, (0, 0));
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 2,
+        "expected both corpus reproducers, got {replayed}"
+    );
+}
+
+/// And the full oracle stack over the corpus — the same check `cmm fuzz
+/// --replay corpus` performs in CI.
+#[test]
+fn corpus_replay_is_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let report = cmm_difftest::replay_corpus(&dir, &Limits::default()).unwrap();
+    assert!(report.files_run >= 2);
+    assert!(
+        report.ok(),
+        "{}: {}",
+        report.failures[0].path.display(),
+        report.failures[0].failure
+    );
+}

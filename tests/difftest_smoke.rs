@@ -8,7 +8,10 @@
 //! corpus writer.
 
 use cmm_cfg::{Node, NodeId, Program};
-use cmm_difftest::{case_for, run_fuzz, run_fuzz_with, Failure, FuzzConfig};
+use cmm_difftest::{
+    case_for, observe_sem, observe_sem_resolved, observe_vm, observe_vm_decoded, run_fuzz,
+    run_fuzz_with, Failure, FuzzConfig, Limits,
+};
 
 fn smoke_config(cases: usize) -> FuzzConfig {
     FuzzConfig {
@@ -30,6 +33,46 @@ fn fuzz_smoke_all_oracles_agree() {
         report.failures[0].index,
         report.failures[0].failure
     );
+}
+
+/// The pre-resolved `cmm-sem` engine and the pre-decoded `cmm-vm`
+/// engine agree with their reference step loops — on results, on
+/// goes-wrong states, and on the full yield sequence — across 200
+/// generated programs. This is the direct old-vs-new cross-check; the
+/// full oracle matrix (per-pass, O2) runs in
+/// [`fuzz_smoke_all_oracles_agree`].
+#[test]
+fn generated_programs_agree_across_engines() {
+    let limits = Limits::default();
+    let mut checked = 0;
+    for index in 0..200u64 {
+        let case = case_for(0, index);
+        let module = cmm_parse::parse_module(&case.render()).expect("generated program parses");
+        let prog = cmm_cfg::build_program(&module).expect("generated program builds");
+        let (reference, ref_detail) = observe_sem(&prog, case.args, &limits);
+        let (resolved, detail) = observe_sem_resolved(&prog, case.args, &limits);
+        assert_eq!(
+            resolved,
+            reference,
+            "case {index}: resolved sem engine diverged: reference {}, observed {}\n{}",
+            reference.describe(&ref_detail),
+            resolved.describe(&detail),
+            case.render()
+        );
+        let vp = cmm_vm::compile(&prog).expect("generated program compiles");
+        let (vm_ref, vm_ref_detail) = observe_vm(&vp, case.args, &limits);
+        let (decoded, detail) = observe_vm_decoded(&vp, case.args, &limits);
+        assert_eq!(
+            decoded,
+            vm_ref,
+            "case {index}: decoded vm engine diverged: reference {}, observed {}\n{}",
+            vm_ref.describe(&vm_ref_detail),
+            decoded.describe(&detail),
+            case.render()
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 200);
 }
 
 /// Case derivation is pure in (seed, index): re-running a slice of the
