@@ -58,14 +58,24 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let json = to_json(iters, &measurements);
 
     println!(
-        "{:<34} {:>12} {:>12} {:>12} {:>9}",
-        "workload", "instructions", "old ns/it", "decoded ns/it", "speedup"
+        "{:<34} {:>12} {:>7} {:>8} {:>7} {:>12} {:>12} {:>9}",
+        "workload",
+        "instructions",
+        "calls",
+        "rts ops",
+        "yields",
+        "old ns/it",
+        "decoded ns/it",
+        "speedup"
     );
     for m in &measurements {
         println!(
-            "{:<34} {:>12} {:>12} {:>12} {:>8.2}x",
+            "{:<34} {:>12} {:>7} {:>8} {:>7} {:>12} {:>12} {:>8.2}x",
             m.name,
             m.instructions,
+            m.dispatch.calls,
+            m.dispatch.rts_ops,
+            m.dispatch.yields,
             m.old_ns_per_iter,
             m.decoded_ns_per_iter,
             m.speedup()

@@ -13,6 +13,11 @@
 //! * **Wall times** (`*_ns_per_iter`, `speedup`) measure the host-level
 //!   cost of the two engines on this machine. They are reported for the
 //!   trajectory but never gated: they vary with hardware.
+//! * **Dispatch-event counts** (`dispatch`) come from a separate
+//!   [`CountingSink`]-instrumented run per workload, so the gated
+//!   instruction counts — measured through the zero-cost `NopSink` —
+//!   stay bit-identical whether or not anyone reads the events. Both
+//!   engines are instrumented and asserted to agree.
 //!
 //! The JSON is hand-rolled (the workspace deliberately has no external
 //! dependencies); [`parse_baseline`] reads back exactly the subset the
@@ -20,8 +25,9 @@
 
 use cmm_cfg::build_program;
 use cmm_frontend::workloads::{deep_raise, NO_RAISE};
-use cmm_frontend::{compile_minim3, run_vm, run_vm_decoded, Strategy};
+use cmm_frontend::{compile_minim3, run_vm, run_vm_decoded, run_vm_traced, Strategy};
 use cmm_ir::Module;
+use cmm_obs::{CountingSink, EventCounts, TraceSink};
 use cmm_opt::{optimize_program, OptOptions};
 use cmm_parse::parse_module;
 use cmm_vm::{compile, VmMachine, VmProgram, VmStatus};
@@ -42,6 +48,9 @@ pub struct Measurement {
     pub old_ns_per_iter: u64,
     /// Mean wall time per iteration under the pre-decoded engine.
     pub decoded_ns_per_iter: u64,
+    /// Exception-dispatch event counts from an instrumented run,
+    /// identical under both engines (asserted on every run).
+    pub dispatch: EventCounts,
 }
 
 impl Measurement {
@@ -61,7 +70,7 @@ fn compile_cmm(src: &str) -> VmProgram {
     compile(&prog).expect("workload compiles")
 }
 
-fn run_to_halt(m: &mut VmMachine<'_>, proc: &str, args: &[u64]) -> u64 {
+fn run_to_halt<S: TraceSink>(m: &mut VmMachine<'_, S>, proc: &str, args: &[u64]) -> u64 {
     m.start(proc, args, 1);
     match m.run(500_000_000) {
         VmStatus::Halted(vals) => vals.first().copied().unwrap_or(0),
@@ -90,6 +99,19 @@ fn measure_cmm(name: &str, src: &str, proc: &str, args: &[u64], iters: u64) -> M
         "{name}: engines disagree on simulated work"
     );
 
+    // Dispatch counts: a separate counting-sink run per engine, so the
+    // gated NopSink instruction counts above stay untouched.
+    let mut c = VmMachine::with_sink(&vp, CountingSink::default());
+    run_to_halt(&mut c, proc, args);
+    let dispatch = c.into_sink().counts;
+    let mut cd = VmMachine::with_sink_decoded(&vp, CountingSink::default());
+    run_to_halt(&mut cd, proc, args);
+    assert_eq!(
+        dispatch,
+        cd.into_sink().counts,
+        "{name}: engines disagree on dispatch events"
+    );
+
     let time = |template: &VmMachine<'_>| {
         // The workloads are restartable: a halted run leaves the stack
         // balanced and `start` resets the entry state, so the timed
@@ -112,6 +134,7 @@ fn measure_cmm(name: &str, src: &str, proc: &str, args: &[u64], iters: u64) -> M
         result,
         old_ns_per_iter,
         decoded_ns_per_iter,
+        dispatch,
     }
 }
 
@@ -134,6 +157,19 @@ fn measure_m3(
         dcost.total(),
         "{name}: engines disagree on simulated work"
     );
+
+    // Dispatch counts via separately traced runs, both engines.
+    let opts = OptOptions::default();
+    let (r, events) = run_vm_traced(module, strategy, args, &opts, false).expect("workload runs");
+    r.expect("workload runs");
+    let dispatch = EventCounts::of(&events);
+    let (r, devents) = run_vm_traced(module, strategy, args, &opts, true).expect("workload runs");
+    r.expect("workload runs");
+    assert_eq!(
+        dispatch,
+        EventCounts::of(&devents),
+        "{name}: engines disagree on dispatch events"
+    );
     let t0 = Instant::now();
     for _ in 0..iters {
         let _ = run_vm(module, strategy, args).expect("workload runs");
@@ -150,6 +186,7 @@ fn measure_m3(
         result: u64::from(result),
         old_ns_per_iter,
         decoded_ns_per_iter,
+        dispatch,
     }
 }
 
@@ -292,13 +329,23 @@ pub fn to_json(iters: u64, measurements: &[Measurement]) -> String {
     );
     s.push_str("  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
+        let c = &m.dispatch;
         let _ = write!(
             s,
             "    {{ \"name\": \"{}\", \"instructions\": {}, \"result\": {}, \
+             \"dispatch\": {{ \"calls\": {}, \"tail_calls\": {}, \"returns\": {}, \
+             \"abnormal_returns\": {}, \"cuts\": {}, \"yields\": {}, \"rts_ops\": {} }}, \
              \"old_ns_per_iter\": {}, \"decoded_ns_per_iter\": {}, \"speedup\": {:.2} }}",
             m.name,
             m.instructions,
             m.result,
+            c.calls,
+            c.tail_calls,
+            c.returns,
+            c.abnormal_returns,
+            c.cuts,
+            c.yields,
+            c.rts_ops,
             m.old_ns_per_iter,
             m.decoded_ns_per_iter,
             m.speedup()
@@ -376,6 +423,7 @@ mod tests {
                 result: 7,
                 old_ns_per_iter: 10,
                 decoded_ns_per_iter: 5,
+                dispatch: EventCounts::default(),
             },
             Measurement {
                 name: "b".into(),
@@ -383,6 +431,7 @@ mod tests {
                 result: 8,
                 old_ns_per_iter: 0,
                 decoded_ns_per_iter: 0,
+                dispatch: EventCounts::default(),
             },
         ];
         let parsed = parse_baseline(&to_json(3, &ms));
@@ -397,6 +446,7 @@ mod tests {
             result: 0,
             old_ns_per_iter: 0,
             decoded_ns_per_iter: 0,
+            dispatch: EventCounts::default(),
         }];
         // 130 <= 100 * 1.25 is false: regression.
         let v = check_against_baseline(&[("a".into(), 100)], &current, 0.25);
@@ -417,5 +467,33 @@ mod tests {
         for m in &ms {
             assert!(m.instructions > 0, "{} did no work", m.name);
         }
+    }
+
+    #[test]
+    fn dispatch_counts_match_hand_counted_figures() {
+        // The Figures 3/4 loop makes exactly `n` calls into `g` plus one
+        // top-level return of `f`; no abnormal arm is ever taken. The
+        // Figure 2 deep raise walks depth + 1 frames: every Table 1 op
+        // of that walk shows up in `rts_ops`.
+        let ms = run_trajectory(1);
+        let get = |name: &str| {
+            ms.iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("workload `{name}` missing"))
+        };
+        for name in ["fig34_plain", "fig34_table"] {
+            let m = get(name);
+            assert_eq!(m.dispatch.calls, 2000, "{name}");
+            assert_eq!(m.dispatch.returns, 2001, "{name}");
+            assert_eq!(m.dispatch.abnormal_returns, 0, "{name}");
+            assert_eq!(m.dispatch.cuts, 0, "{name}");
+        }
+        let deep = get("fig2_deep_raise_runtime-unwind");
+        assert!(deep.dispatch.yields > 0, "deep raise never suspended");
+        assert!(deep.dispatch.rts_ops > 0, "deep raise used no Table 1 ops");
+        // The sjlj strategy transfers to handlers with `cut to`; no-raise
+        // runs never cut, while the interpretive unwinder's raise does
+        // resume through the RTS.
+        assert_eq!(get("sec2_no_raise_sjlj-pentium").dispatch.cuts, 0);
     }
 }

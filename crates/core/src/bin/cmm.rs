@@ -6,15 +6,27 @@
 //! cmm dump-ssa <file.cmm> [proc]      # Figure 6-style SSA numbering
 //! cmm dump-vm <file.cmm>              # disassembled simulated target
 //! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
+//! cmm trace <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0] [--out F]
+//! cmm profile <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0]
 //! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]
 //! cmm fuzz --replay DIR               # re-run checked-in reproducers
 //! ```
 //!
 //! Strategies: `runtime-unwind`, `cutting`, `native-unwind`, `cps`,
 //! `sjlj-pentium`, `sjlj-sparc`, `sjlj-alpha`.
+//!
+//! `trace` and `profile` run the program with a recording sink in the
+//! engine: `trace` prints the exception-flow event log (and exports
+//! Chrome `trace_event` JSON with `--out`, `-` for stdout), `profile`
+//! aggregates it into per-procedure and per-strategy metrics with
+//! cost-model attribution. Both take a `.cmm` file with an entry
+//! procedure, or a `.m3` file with a strategy (entry `main` via the
+//! MiniM3 driver). Suspensions of raw C-- programs are serviced by the
+//! same fixed dispatcher policy the differential fuzzer uses, so a
+//! trace of a fuzz case reproduces the oracle's run exactly.
 
-use cmm_core::sem::Value;
-use cmm_core::{frontend, opt, vm, Compiler};
+use cmm_core::sem::{SemEngine, Status, Value};
+use cmm_core::{frontend, ir, obs, opt, rt, sem, vm, Compiler};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -118,6 +130,72 @@ fn run(args: Vec<String>) -> Result<(), String> {
             );
             Ok(())
         }
+        "trace" | "profile" => {
+            let file = args.next().ok_or_else(usage)?;
+            let entry_arg = args.next().ok_or_else(usage)?;
+            let mut use_sem = false;
+            let mut decoded = false;
+            let mut opts = opt::OptOptions::default();
+            let mut out: Option<String> = None;
+            let mut results = 1usize;
+            let mut call_args: Vec<u64> = Vec::new();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--sem" => use_sem = true,
+                    "--decoded" => decoded = true,
+                    "-O0" => opts = opt::OptOptions::none(),
+                    "--out" => out = Some(args.next().ok_or("--out needs a path")?),
+                    "--results" => {
+                        results = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--results needs a number")?;
+                    }
+                    v => call_args.push(v.parse().map_err(|_| format!("bad argument `{v}`"))?),
+                }
+            }
+            let run = if file.ends_with(".m3") {
+                trace_m3(&file, &entry_arg, &call_args, &opts, use_sem, decoded)?
+            } else {
+                trace_cmm(
+                    &file, &entry_arg, &call_args, results, opts, use_sem, decoded,
+                )?
+            };
+            if cmd == "profile" {
+                let p = obs::Profile::build(&run.entry, &run.events);
+                println!("{file}: {} ({} events)", run.outcome, run.events.len());
+                print!("{}", p.report(run.clock));
+                return Ok(());
+            }
+            if out.as_deref() != Some("-") {
+                for t in &run.events {
+                    println!("{:>12}  {}", t.ts, t.event.render());
+                }
+                let c = obs::EventCounts::of(&run.events);
+                println!(
+                    "{file}: {} — {} events ({} calls, {} returns [{} abnormal], \
+                     {} cuts, {} yields, {} rts ops)",
+                    run.outcome,
+                    run.events.len(),
+                    c.calls,
+                    c.returns,
+                    c.abnormal_returns,
+                    c.cuts,
+                    c.yields,
+                    c.rts_ops
+                );
+            }
+            match out.as_deref() {
+                Some("-") => print!("{}", obs::chrome_trace_json(&run.entry, &run.events)),
+                Some(path) => {
+                    let json = obs::chrome_trace_json(&run.entry, &run.events);
+                    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                    println!("chrome trace written to {path}");
+                }
+                None => {}
+            }
+            Ok(())
+        }
         "fuzz" => {
             let mut cfg = cmm_difftest::FuzzConfig {
                 shrink: false,
@@ -182,6 +260,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 if let Some(p) = &f.corpus_path {
                     eprintln!("reproducer written to {}", p.display());
                 }
+                if let Some(p) = &f.events_path {
+                    eprintln!("divergence event logs written to {}", p.display());
+                }
             }
             println!(
                 "fuzz: {} cases, seed {}: {} failure(s)",
@@ -196,6 +277,203 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
         }
         _ => Err(usage()),
+    }
+}
+
+/// One traced run, ready for `trace` rendering or `profile`
+/// aggregation.
+struct TraceRun {
+    entry: ir::Name,
+    clock: &'static str,
+    outcome: String,
+    events: Vec<obs::TimedEvent>,
+}
+
+const TRACE_FUEL: u64 = 500_000_000;
+const TRACE_MAX_YIELDS: usize = 1024;
+
+/// The deterministic parameter fill the fixed dispatcher policy uses —
+/// the same function as `cmm-difftest`'s oracles, so a traced replay of
+/// a fuzz case follows the oracle's exact path.
+fn fill(code: u64) -> u32 {
+    (code.wrapping_mul(13).wrapping_add(7) & 0xfff) as u32
+}
+
+/// Traces a MiniM3 program end to end through the driver (dispatcher
+/// included), on the chosen substrate.
+fn trace_m3(
+    file: &str,
+    strat: &str,
+    args: &[u64],
+    opts: &opt::OptOptions,
+    use_sem: bool,
+    decoded: bool,
+) -> Result<TraceRun, String> {
+    let strategy = parse_strategy(strat)?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let module = frontend::compile_minim3(&src, strategy).map_err(|e| e.to_string())?;
+    let args32: Vec<u32> = args.iter().map(|&a| a as u32).collect();
+    let entry = ir::Name::from(frontend::lower::ENTRY);
+    if use_sem {
+        let (r, events) =
+            frontend::run_sem_traced(&module, strategy, &args32).map_err(|e| e.to_string())?;
+        let outcome = match r {
+            Ok(v) => format!("result {v}"),
+            Err(e) => e.to_string(),
+        };
+        Ok(TraceRun {
+            entry,
+            clock: "steps",
+            outcome,
+            events,
+        })
+    } else {
+        let (r, events) = frontend::run_vm_traced(&module, strategy, &args32, opts, decoded)
+            .map_err(|e| e.to_string())?;
+        let outcome = match r {
+            Ok((v, _)) => format!("result {v}"),
+            Err(e) => e.to_string(),
+        };
+        Ok(TraceRun {
+            entry,
+            clock: "cost units",
+            outcome,
+            events,
+        })
+    }
+}
+
+/// Traces a raw C-- program on the chosen substrate, servicing
+/// suspensions with the fixed dispatcher policy.
+#[allow(clippy::too_many_arguments)]
+fn trace_cmm(
+    file: &str,
+    proc: &str,
+    args: &[u64],
+    results: usize,
+    opts: opt::OptOptions,
+    use_sem: bool,
+    decoded: bool,
+) -> Result<TraceRun, String> {
+    let c = compiler(file)?.options(opts);
+    let entry = ir::Name::from(proc);
+    if use_sem {
+        let prog = c.program().map_err(|e| e.to_string())?;
+        let mut t = rt::Thread::over(sem::Machine::with_sink(
+            &prog,
+            obs::RecordingSink::default(),
+        ));
+        let outcome = drive_sem(&mut t, proc, args);
+        Ok(TraceRun {
+            entry,
+            clock: "steps",
+            outcome,
+            events: t.into_machine().into_sink().events,
+        })
+    } else {
+        let vp = c.vm_program().map_err(|e| e.to_string())?;
+        let mut t = if decoded {
+            vm::VmThread::with_sink_decoded(&vp, obs::RecordingSink::default())
+        } else {
+            vm::VmThread::with_sink(&vp, obs::RecordingSink::default())
+        };
+        let outcome = drive_vm(&mut t, proc, args, results);
+        Ok(TraceRun {
+            entry,
+            clock: "cost units",
+            outcome,
+            events: t.machine.into_sink().events,
+        })
+    }
+}
+
+/// Runs a raw C-- program on the abstract machine under the fixed
+/// dispatcher policy (see `cmm-difftest`'s `observe_sem`): resume one
+/// hop toward the caller, take the first unwind continuation on odd
+/// yield codes, fill every parameter with [`fill`].
+fn drive_sem<'p, M: SemEngine<'p>>(t: &mut rt::Thread<'p, M>, proc: &str, args: &[u64]) -> String {
+    if let Err(w) = t.start(proc, args.iter().map(|&a| Value::b32(a as u32)).collect()) {
+        return format!("wrong: {w}");
+    }
+    let mut yields = 0usize;
+    loop {
+        match t.run(TRACE_FUEL) {
+            Status::Terminated(vals) => return format!("halt {vals:?}"),
+            Status::Wrong(w) => return format!("wrong: {w}"),
+            Status::OutOfFuel => return "out of fuel".into(),
+            Status::Suspended => {
+                yields += 1;
+                if yields > TRACE_MAX_YIELDS {
+                    return "suspension bound reached".into();
+                }
+                let code = t.yield_code().unwrap_or(0);
+                let Some(mut a) = t.first_activation() else {
+                    return "rts error: no first activation".into();
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(w) = t.set_activation(&a) {
+                    return format!("rts error: {w}");
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = Value::b32(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v.clone();
+                    n += 1;
+                }
+                if let Err(w) = t.resume() {
+                    return format!("rts error: {w}");
+                }
+            }
+            other => return format!("unexpected status {other:?}"),
+        }
+    }
+}
+
+/// [`drive_sem`]'s policy on the simulated target.
+fn drive_vm<S: obs::TraceSink>(
+    t: &mut vm::VmThread<'_, S>,
+    proc: &str,
+    args: &[u64],
+    results: usize,
+) -> String {
+    t.start(proc, args, results);
+    let mut yields = 0usize;
+    loop {
+        match t.run(TRACE_FUEL) {
+            vm::VmStatus::Halted(vals) => return format!("halt {vals:?}"),
+            vm::VmStatus::Error(e) => return format!("fault: {e}"),
+            vm::VmStatus::OutOfFuel => return "out of fuel".into(),
+            vm::VmStatus::Suspended => {
+                yields += 1;
+                if yields > TRACE_MAX_YIELDS {
+                    return "suspension bound reached".into();
+                }
+                let code = t.machine.yield_args(1)[0];
+                let Some(mut a) = t.first_activation() else {
+                    return "rts error: no first activation".into();
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(e) = t.set_activation(&a) {
+                    return format!("rts error: {e}");
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = u64::from(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v;
+                    n += 1;
+                }
+                if let Err(e) = t.resume() {
+                    return format!("rts error: {e}");
+                }
+            }
+            other => return format!("unexpected status {other:?}"),
+        }
     }
 }
 
@@ -223,6 +501,8 @@ fn usage() -> String {
      \x20      cmm dump-ssa <file> [proc]\n\
      \x20      cmm dump-vm <file>\n\
      \x20      cmm m3 <file> <strategy> [args..]\n\
+     \x20      cmm trace <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0] [--out F]\n\
+     \x20      cmm profile <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0]\n\
      \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]\n\
      \x20      cmm fuzz --replay DIR"
         .into()

@@ -13,6 +13,8 @@
 //! * [`opt`] — Table 3 dataflow and the optimizer (§6);
 //! * [`vm`] — the simulated native target: code generation, branch
 //!   tables (Figs 3/4), constant-time `cut to`, unwind tables;
+//! * [`obs`] — exception-flow tracing and the cost-model profiler
+//!   behind `cmm trace` / `cmm profile`;
 //! * [`frontend`] — MiniM3 and its four exception-implementation
 //!   strategies (§2, Appendix A).
 //!
@@ -46,6 +48,7 @@
 pub use cmm_cfg as cfg;
 pub use cmm_frontend as frontend;
 pub use cmm_ir as ir;
+pub use cmm_obs as obs;
 pub use cmm_opt as opt;
 pub use cmm_parse as parse;
 pub use cmm_rt as rt;

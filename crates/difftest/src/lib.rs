@@ -32,8 +32,8 @@ pub mod shrink;
 
 pub use genprog::{generate, shrink_candidates, TestCase};
 pub use oracle::{
-    observe_sem, observe_sem_resolved, observe_vm, observe_vm_decoded, pass_variants, run_case,
-    run_case_with, run_source, ExtraPass, Failure, Limits, Obs, Outcome,
+    observe_sem, observe_sem_resolved, observe_traced, observe_vm, observe_vm_decoded,
+    pass_variants, run_case, run_case_with, run_source, ExtraPass, Failure, Limits, Obs, Outcome,
 };
 pub use rng::Rng;
 pub use shrink::shrink;
@@ -88,6 +88,9 @@ pub struct FailureReport {
     pub shrunk: Option<TestCase>,
     /// Where the reproducer was written, when a corpus was configured.
     pub corpus_path: Option<PathBuf>,
+    /// Where the divergence event-stream artifact was written, when the
+    /// failure was a divergence and a corpus was configured.
+    pub events_path: Option<PathBuf>,
 }
 
 /// The result of a fuzzing run.
@@ -143,12 +146,37 @@ pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzRe
             .corpus_dir
             .as_deref()
             .and_then(|dir| write_reproducer(dir, cfg.seed, index, reported, &failure).ok());
+        // Shrinking may move the divergence to a different oracle, so
+        // the artifact names whichever oracle fails on the *reported*
+        // case.
+        let diverged_oracle =
+            match oracle::run_source(&reported.render(), reported.args, &cfg.limits) {
+                Err(Failure::Diverged { oracle, .. }) => Some(oracle),
+                _ => match &failure {
+                    Failure::Diverged { oracle, .. } => Some(oracle.clone()),
+                    _ => None,
+                },
+            };
+        let events_path = match (cfg.corpus_dir.as_deref(), diverged_oracle) {
+            (Some(dir), Some(oracle)) => write_divergence_events(
+                dir,
+                cfg.seed,
+                index,
+                &reported.render(),
+                reported.args,
+                &cfg.limits,
+                &oracle,
+            )
+            .ok(),
+            _ => None,
+        };
         report.failures.push(FailureReport {
             index,
             case,
             failure,
             shrunk,
             corpus_path,
+            events_path,
         });
         if report.failures.len() >= cfg.max_failures {
             break;
@@ -187,6 +215,79 @@ pub fn write_reproducer(
     let _ = writeln!(text, " * Entry point: f({}, {})", case.args.0, case.args.1);
     let _ = writeln!(text, " */");
     text.push_str(&case.render());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Writes the divergence event-stream artifact
+/// `case-s<seed>-i<index>.events.txt` next to the reproducer: the
+/// reference oracle and the diverging oracle re-run with recording
+/// sinks, the first diverging event of their exception projections, and
+/// both full event logs. This is the observability counterpart of the
+/// reproducer — the `.cmm` file says *what* to re-run, the `.events.txt`
+/// says *where* the two substrates parted ways.
+///
+/// # Errors
+///
+/// Returns the I/O error if the directory or file cannot be written.
+pub fn write_divergence_events(
+    dir: &Path,
+    seed: u64,
+    index: u64,
+    src: &str,
+    args: (u32, u32),
+    limits: &Limits,
+    oracle_name: &str,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("case-s{seed}-i{index}.events.txt"));
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "cmm-difftest divergence events (seed {seed}, case {index}, oracle {oracle_name})"
+    );
+    let _ = writeln!(
+        text,
+        "replay: cmm fuzz --seed {seed} --cases {} --shrink",
+        index + 1
+    );
+    let reference = oracle::observe_traced(src, "reference", args, limits);
+    let observed = oracle::observe_traced(src, oracle_name, args, limits);
+    match (&reference, &observed) {
+        (Ok((_, _, re)), Ok((_, _, oe))) => {
+            let rp = cmm_obs::projection(re);
+            let op = cmm_obs::projection(oe);
+            match cmm_obs::first_divergence(&rp, &op) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        text,
+                        "exception projections agree; the divergence is in results or yields only"
+                    );
+                }
+                Err((i, l, r)) => {
+                    let _ = writeln!(text, "first diverging event, at projection index {i}:");
+                    let _ = writeln!(text, "  reference:    {l}");
+                    let _ = writeln!(text, "  {oracle_name}: {r}");
+                }
+            }
+        }
+        _ => {
+            let _ = writeln!(text, "(one of the traced re-runs failed; logs follow)");
+        }
+    }
+    for (label, run) in [("reference", &reference), (oracle_name, &observed)] {
+        match run {
+            Ok((obs, detail, events)) => {
+                let _ = writeln!(text, "\n== {label}: {} ==", obs.describe(detail));
+                for t in events {
+                    let _ = writeln!(text, "{:>10}  {}", t.ts, t.event.render());
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(text, "\n== {label}: re-trace failed: {e} ==");
+            }
+        }
+    }
     std::fs::write(&path, text)?;
     Ok(path)
 }
@@ -307,6 +408,22 @@ mod tests {
         assert_eq!(report.failures.len(), 1, "only the stale file fails");
         assert!(report.failures[0].path.ends_with("case-stale.cmm"));
         assert!(matches!(report.failures[0].failure, Failure::Parse(_)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn divergence_event_artifact_contains_both_logs() {
+        let dir = std::env::temp_dir().join("cmm-difftest-events-selftest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = case_for(1, 0);
+        let src = case.render();
+        let path =
+            write_divergence_events(&dir, 1, 0, &src, case.args, &Limits::default(), "vm").unwrap();
+        assert!(path.ends_with("case-s1-i0.events.txt"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("replay: cmm fuzz --seed 1"), "{text}");
+        assert!(text.contains("== reference:"), "{text}");
+        assert!(text.contains("== vm:"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -24,9 +24,10 @@
 
 use crate::genprog::TestCase;
 use cmm_cfg::Program;
+use cmm_obs::{RecordingSink, TimedEvent, TraceSink};
 use cmm_opt::OptOptions;
 use cmm_rt::Thread;
-use cmm_sem::{ResolvedProgram, SemEngine, Status, Value};
+use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemEngine, Status, Value};
 use cmm_vm::{VmProgram, VmStatus, VmThread};
 use std::fmt;
 use std::fmt::Write as _;
@@ -119,7 +120,7 @@ fn fill(code: u64) -> u32 {
 ///    take the unwind edge exactly when the call site is annotated);
 /// 5. fill every continuation parameter with [`fill`]`(code)`; `Resume`.
 pub fn observe_sem(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, String) {
-    observe_sem_thread(Thread::new(prog), args, limits)
+    observe_sem_thread(&mut Thread::new(prog), args, limits)
 }
 
 /// [`observe_sem`] over the pre-resolved engine
@@ -127,11 +128,11 @@ pub fn observe_sem(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, S
 /// must be identical to the reference oracle's.
 pub fn observe_sem_resolved(prog: &Program, args: (u32, u32), limits: &Limits) -> (Obs, String) {
     let rp = ResolvedProgram::new(prog);
-    observe_sem_thread(Thread::new_resolved(&rp), args, limits)
+    observe_sem_thread(&mut Thread::new_resolved(&rp), args, limits)
 }
 
 fn observe_sem_thread<'p, M: SemEngine<'p>>(
-    mut t: Thread<'p, M>,
+    t: &mut Thread<'p, M>,
     args: (u32, u32),
     limits: &Limits,
 ) -> (Obs, String) {
@@ -195,16 +196,20 @@ fn observe_sem_thread<'p, M: SemEngine<'p>>(
 /// Runs `f(args)` on the simulated machine under the same dispatcher
 /// policy as [`observe_sem`].
 pub fn observe_vm(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> (Obs, String) {
-    observe_vm_thread(VmThread::new(prog), args, limits)
+    observe_vm_thread(&mut VmThread::new(prog), args, limits)
 }
 
 /// [`observe_vm`] over the pre-decoded engine ([`cmm_vm::DecodedCode`])
 /// — the same policy, so its observation must be identical.
 pub fn observe_vm_decoded(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> (Obs, String) {
-    observe_vm_thread(VmThread::new_decoded(prog), args, limits)
+    observe_vm_thread(&mut VmThread::new_decoded(prog), args, limits)
 }
 
-fn observe_vm_thread(mut t: VmThread<'_>, args: (u32, u32), limits: &Limits) -> (Obs, String) {
+fn observe_vm_thread<S: TraceSink>(
+    t: &mut VmThread<'_, S>,
+    args: (u32, u32),
+    limits: &Limits,
+) -> (Obs, String) {
     let mut yields = Vec::new();
     let obs = |outcome: Outcome, yields: &[u64]| Obs {
         outcome,
@@ -252,6 +257,67 @@ fn observe_vm_thread(mut t: VmThread<'_>, args: (u32, u32), limits: &Limits) -> 
                 );
             }
         }
+    }
+}
+
+/// Re-runs one named oracle over raw source with a recording sink in
+/// the engine, returning the observation, its detail text, and the
+/// recorded exception-flow event stream.
+///
+/// Oracle names are the ones [`run_source`] reports in
+/// [`Failure::Diverged`] — `reference`, `sem-resolved`, `sem+<pass>`,
+/// `vm`, `vm-decoded`, `vm+O2`, `vm-decoded+O2` — so a divergence can
+/// be replayed event-for-event. Injected extra passes cannot be
+/// re-traced (their closures are gone by reporting time).
+///
+/// # Errors
+///
+/// Returns a message if the source no longer compiles or the oracle
+/// name is unknown.
+pub fn observe_traced(
+    src: &str,
+    oracle: &str,
+    args: (u32, u32),
+    limits: &Limits,
+) -> Result<(Obs, String, Vec<TimedEvent>), String> {
+    let module = cmm_parse::parse_module(src).map_err(|e| e.to_string())?;
+    let mut program = cmm_cfg::build_program(&module).map_err(|e| e.to_string())?;
+    let sem_traced = |prog: &Program| {
+        let mut t = Thread::over(Machine::with_sink(prog, RecordingSink::default()));
+        let (o, d) = observe_sem_thread(&mut t, args, limits);
+        (o, d, t.into_machine().into_sink().events)
+    };
+    match oracle {
+        "reference" => Ok(sem_traced(&program)),
+        "sem-resolved" => {
+            let rp = ResolvedProgram::new(&program);
+            let mut t = Thread::over(ResolvedMachine::with_sink(&rp, RecordingSink::default()));
+            let (o, d) = observe_sem_thread(&mut t, args, limits);
+            Ok((o, d, t.into_machine().into_sink().events))
+        }
+        name if name.starts_with("sem+") => {
+            let pass = &name["sem+".len()..];
+            let (_, opts) = pass_variants()
+                .into_iter()
+                .find(|(n, _)| *n == pass)
+                .ok_or_else(|| format!("oracle `{name}` cannot be re-traced"))?;
+            cmm_opt::optimize_program(&mut program, &opts);
+            Ok(sem_traced(&program))
+        }
+        "vm" | "vm-decoded" | "vm+O2" | "vm-decoded+O2" => {
+            if oracle.ends_with("+O2") {
+                cmm_opt::optimize_program(&mut program, &OptOptions::default());
+            }
+            let vp = cmm_vm::compile(&program).map_err(|e| e.to_string())?;
+            let mut t = if oracle.starts_with("vm-decoded") {
+                VmThread::with_sink_decoded(&vp, RecordingSink::default())
+            } else {
+                VmThread::with_sink(&vp, RecordingSink::default())
+            };
+            let (o, d) = observe_vm_thread(&mut t, args, limits);
+            Ok((o, d, t.machine.into_sink().events))
+        }
+        other => Err(format!("oracle `{other}` cannot be re-traced")),
     }
 }
 
@@ -525,6 +591,35 @@ mod tests {
             saw_yield |= !o.yields.is_empty();
         }
         assert!(saw_yield, "no seed in 0..60 ever suspended");
+    }
+
+    #[test]
+    fn traced_oracles_project_identically() {
+        // The unoptimized engines run the same program, so their
+        // exception-event projections must match event-for-event.
+        // Wrong-outcome cases are skipped: the engines agree that such
+        // runs are wrong but may fault at different trace granularity.
+        let limits = Limits::default();
+        let mut compared = 0;
+        for seed in 0..25 {
+            let case = generate(&mut Rng::new(seed));
+            let src = case.render();
+            let (ro, _, ref_events) =
+                observe_traced(&src, "reference", case.args, &limits).unwrap();
+            if matches!(ro.outcome, Outcome::Wrong) {
+                continue;
+            }
+            let want = cmm_obs::projection(&ref_events);
+            for oracle in ["sem-resolved", "vm", "vm-decoded"] {
+                let (_, _, events) = observe_traced(&src, oracle, case.args, &limits).unwrap();
+                let got = cmm_obs::projection(&events);
+                if let Err((i, a, b)) = cmm_obs::first_divergence(&want, &got) {
+                    panic!("seed {seed} {oracle} event {i}: `{a}` vs `{b}`\n{src}");
+                }
+            }
+            compared += 1;
+        }
+        assert!(compared > 0, "every seed in 0..25 went wrong");
     }
 
     #[test]

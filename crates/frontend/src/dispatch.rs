@@ -36,6 +36,7 @@
 //! front ends may interoperate with the same C-- run-time system" and
 //! vice versa.
 
+use cmm_obs::TraceSink;
 use cmm_rt::Thread;
 use cmm_sem::{SemEngine, Value};
 use cmm_vm::VmThread;
@@ -103,7 +104,7 @@ pub fn dispatch_sem<'p, M: SemEngine<'p>>(t: &mut Thread<'p, M>) -> Result<Dispa
 ///
 /// Returns a message if the thread is not suspended with an exception
 /// request or an interface operation is rejected.
-pub fn dispatch_vm(t: &mut VmThread<'_>) -> Result<Dispatch, String> {
+pub fn dispatch_vm<S: TraceSink>(t: &mut VmThread<'_, S>) -> Result<Dispatch, String> {
     let args = t.machine.yield_args(3);
     let tag = args[1];
     let value = args[2];

@@ -12,9 +12,10 @@ use crate::lower::{Strategy, ENTRY};
 use crate::M3_EXCEPTION;
 use cmm_cfg::build_program;
 use cmm_ir::Module;
+use cmm_obs::{RecordingSink, TimedEvent, TraceSink};
 use cmm_opt::{optimize_program, OptOptions};
 use cmm_rt::Thread;
-use cmm_sem::{ResolvedProgram, SemEngine, Status, Value};
+use cmm_sem::{Machine, ResolvedProgram, SemEngine, Status, Value};
 use cmm_vm::{compile, Cost, VmStatus, VmThread};
 use std::fmt;
 
@@ -76,7 +77,7 @@ fn exception_name(image: &cmm_cfg::DataImage, tag: u64) -> String {
 /// [`M3Error::Fault`] if the program goes wrong.
 pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
     let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
-    sem_loop(Thread::new(&prog), strategy, args)
+    sem_loop(&mut Thread::new(&prog), strategy, args)
 }
 
 /// [`run_sem`] over the pre-resolved engine
@@ -88,12 +89,33 @@ pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32,
 pub fn run_sem_resolved(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
     let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
     let rp = ResolvedProgram::new(&prog);
-    sem_loop(Thread::new_resolved(&rp), strategy, args)
+    sem_loop(&mut Thread::new_resolved(&rp), strategy, args)
+}
+
+/// A traced driver run: compilation errors in the outer `Result`, the
+/// run's outcome paired with its recorded event stream in the inner.
+pub type Traced<T> = Result<(Result<T, M3Error>, Vec<TimedEvent>), M3Error>;
+
+/// [`run_sem`] with a recording sink in the loop: alongside the run's
+/// outcome it returns the full exception-flow event stream, including
+/// the Table 1 operations the Figure 9 dispatcher issued. The stream is
+/// returned even when the run fails — a failing run's trace is usually
+/// the interesting one.
+///
+/// # Errors
+///
+/// Only compilation failures abort the trace; run-time failures are in
+/// the inner `Result`.
+pub fn run_sem_traced(module: &Module, strategy: Strategy, args: &[u32]) -> Traced<u32> {
+    let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
+    let mut t = Thread::over(Machine::with_sink(&prog, RecordingSink::default()));
+    let r = sem_loop(&mut t, strategy, args);
+    Ok((r, t.into_machine().into_sink().events))
 }
 
 /// The run/dispatch loop, engine-independent.
 fn sem_loop<'p, M: SemEngine<'p>>(
-    mut t: Thread<'p, M>,
+    t: &mut Thread<'p, M>,
     strategy: Strategy,
     args: &[u32],
 ) -> Result<u32, M3Error> {
@@ -115,7 +137,7 @@ fn sem_loop<'p, M: SemEngine<'p>>(
             Status::Suspended => {
                 let code = t.yield_code().unwrap_or(0);
                 if code == M3_EXCEPTION && matches!(strategy, Strategy::RuntimeUnwind) {
-                    match dispatch_sem(&mut t).map_err(M3Error::Fault)? {
+                    match dispatch_sem(t).map_err(M3Error::Fault)? {
                         Dispatch::Handled => continue,
                         Dispatch::Unhandled { tag } => {
                             return Err(M3Error::Uncaught {
@@ -201,6 +223,42 @@ fn run_vm_impl(
     } else {
         VmThread::new(&vp)
     };
+    vm_loop(&mut t, &vp.image, strategy, args)
+}
+
+/// [`run_vm`] with a recording sink in the loop; the counterpart of
+/// [`run_sem_traced`] on the simulated target. Timestamps are cost-model
+/// totals rather than transition counts.
+///
+/// # Errors
+///
+/// As [`run_sem_traced`].
+pub fn run_vm_traced(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+    opts: &OptOptions,
+    decoded: bool,
+) -> Traced<(u32, Cost)> {
+    let mut prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
+    optimize_program(&mut prog, opts);
+    let vp = compile(&prog).map_err(|e| M3Error::Codegen(e.to_string()))?;
+    let mut t = if decoded {
+        VmThread::with_sink_decoded(&vp, RecordingSink::default())
+    } else {
+        VmThread::with_sink(&vp, RecordingSink::default())
+    };
+    let r = vm_loop(&mut t, &vp.image, strategy, args);
+    Ok((r, t.machine.into_sink().events))
+}
+
+/// The run/dispatch loop on the simulated target, sink-independent.
+fn vm_loop<S: TraceSink>(
+    t: &mut VmThread<'_, S>,
+    image: &cmm_cfg::DataImage,
+    strategy: Strategy,
+    args: &[u32],
+) -> Result<(u32, Cost), M3Error> {
     let vargs: Vec<u64> = args.iter().map(|&a| u64::from(a)).collect();
     t.start(ENTRY, &vargs, 2);
     loop {
@@ -212,17 +270,17 @@ fn run_vm_impl(
                     return Ok((value, t.machine.cost));
                 }
                 return Err(M3Error::Uncaught {
-                    exception: exception_name(&vp.image, u64::from(value)),
+                    exception: exception_name(image, u64::from(value)),
                 });
             }
             VmStatus::Suspended => {
                 let code = t.machine.yield_args(1)[0];
                 if code == M3_EXCEPTION && matches!(strategy, Strategy::RuntimeUnwind) {
-                    match dispatch_vm(&mut t).map_err(M3Error::Fault)? {
+                    match dispatch_vm(t).map_err(M3Error::Fault)? {
                         Dispatch::Handled => continue,
                         Dispatch::Unhandled { tag } => {
                             return Err(M3Error::Uncaught {
-                                exception: exception_name(&vp.image, tag),
+                                exception: exception_name(image, tag),
                             });
                         }
                     }

@@ -1,0 +1,394 @@
+//! Aggregation of a recorded event stream into per-procedure and
+//! per-strategy metrics, and the `cmm profile` text report.
+//!
+//! Cost is attributed by *timestamp deltas over a shadow call stack*:
+//! the stream's transfer events (call, tail call, return, cut, resume)
+//! are replayed against a stack of procedure frames, and the engine
+//! time elapsed between consecutive events is charged to the procedure
+//! on top. This recovers per-procedure self and inclusive cost from
+//! the timestamps alone — no per-instruction events exist, so tracing
+//! stays cheap even when recording.
+//!
+//! The resumption bookkeeping mirrors the Table 1 dispatcher protocol:
+//! a successful `Resume` at the activation chosen after `k` successful
+//! `NextActivation` hops discards `k + 1` shadow frames (the `yield`
+//! pseudo-procedure plus the activations walked past), and a cut-class
+//! `Resume` truncates to the procedure named by the preceding
+//! `SetCutToCont`. Programs that go wrong mid-flight simply leave
+//! frames open; they are flushed at the final timestamp.
+
+use crate::event::{Event, ResumeKind, RtsOp, TimedEvent};
+use crate::sink::EventCounts;
+use cmm_ir::Name;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Power-of-two histogram buckets for per-invocation self cost.
+pub const HIST_BUCKETS: usize = 17;
+
+/// Metrics for one procedure.
+#[derive(Clone, Debug, Default)]
+pub struct ProcStats {
+    /// Times entered (by call or tail call).
+    pub entries: u64,
+    /// Returns executed by this procedure.
+    pub returns: u64,
+    /// Of those, abnormal (branch-table arm below the normal one).
+    pub abnormal_returns: u64,
+    /// `cut to` transfers executed by this procedure.
+    pub cuts_out: u64,
+    /// Cuts that landed in a continuation of this procedure.
+    pub cuts_in: u64,
+    /// Engine time spent with this procedure on top of the shadow
+    /// stack.
+    pub self_cost: u64,
+    /// Engine time spent with this procedure anywhere on the shadow
+    /// stack (counted once per procedure per interval).
+    pub total_cost: u64,
+    /// Histogram of per-invocation self cost: bucket `i` counts
+    /// invocations with self cost in `[2^(i-1), 2^i)` (bucket 0 is
+    /// zero-cost invocations).
+    pub hist: [u64; HIST_BUCKETS],
+}
+
+impl ProcStats {
+    fn finish_invocation(&mut self, self_cost: u64) {
+        let bucket = match self_cost {
+            0 => 0,
+            c => ((u64::BITS - c.leading_zeros()) as usize).min(HIST_BUCKETS - 1),
+        };
+        self.hist[bucket] += 1;
+    }
+}
+
+/// Per-strategy dispatch counters: how often each of the paper's
+/// exception-implementation mechanisms fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrategyCounts {
+    /// `cut to` transfers plus cut-class resumptions.
+    pub cuts: u64,
+    /// Table 1 unwind-walk hops (successful `NextActivation`s).
+    pub unwind_hops: u64,
+    /// Unwind-class resumptions.
+    pub unwind_resumes: u64,
+    /// Abnormal returns through a Figure 3/4 branch-table arm.
+    pub abnormal_returns: u64,
+    /// Normal-class resumptions.
+    pub normal_resumes: u64,
+}
+
+/// The aggregated profile of one run.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Per-procedure metrics, keyed by name.
+    pub procs: BTreeMap<Name, ProcStats>,
+    /// Raw event counters.
+    pub counts: EventCounts,
+    /// Per-strategy dispatch counters.
+    pub strategies: StrategyCounts,
+    /// Table 1 operation counts, keyed by operation name.
+    pub rts_ops: BTreeMap<&'static str, u64>,
+    /// Total engine time covered by the stream (last timestamp minus
+    /// first).
+    pub total_cost: u64,
+}
+
+/// One shadow frame.
+struct ShadowFrame {
+    name: Name,
+    self_cost: u64,
+}
+
+impl Profile {
+    /// Replays a recorded stream, attributing cost as described in the
+    /// module documentation. `entry` is the procedure the run started
+    /// in (events alone cannot name it).
+    pub fn build(entry: &Name, events: &[TimedEvent]) -> Profile {
+        let mut p = Profile::default();
+        let mut stack = vec![ShadowFrame {
+            name: entry.clone(),
+            self_cost: 0,
+        }];
+        p.procs.entry(entry.clone()).or_default().entries += 1;
+        // Both engine clocks start at zero, so the interval before the
+        // first event belongs to the entry procedure.
+        let mut prev_ts = 0u64;
+        let mut hops: u64 = 0;
+        let mut cut_target: Option<Name> = None;
+
+        for t in events {
+            // Charge the elapsed interval to the current stack.
+            let delta = t.ts.saturating_sub(prev_ts);
+            prev_ts = t.ts;
+            if delta > 0 {
+                if let Some(top) = stack.last_mut() {
+                    top.self_cost += delta;
+                    p.procs.entry(top.name.clone()).or_default().self_cost += delta;
+                }
+                let mut seen: Vec<&Name> = Vec::with_capacity(stack.len());
+                for f in &stack {
+                    if !seen.contains(&&f.name) {
+                        seen.push(&f.name);
+                        p.procs.entry(f.name.clone()).or_default().total_cost += delta;
+                    }
+                }
+            }
+
+            p.counts.record(&t.event);
+            match &t.event {
+                Event::Call { callee, .. } => {
+                    p.procs.entry(callee.clone()).or_default().entries += 1;
+                    stack.push(ShadowFrame {
+                        name: callee.clone(),
+                        self_cost: 0,
+                    });
+                }
+                Event::TailCall { callee, .. } => {
+                    Self::pop(&mut p, &mut stack);
+                    p.procs.entry(callee.clone()).or_default().entries += 1;
+                    stack.push(ShadowFrame {
+                        name: callee.clone(),
+                        self_cost: 0,
+                    });
+                }
+                Event::Return {
+                    proc,
+                    index,
+                    alternates,
+                } => {
+                    let st = p.procs.entry(proc.clone()).or_default();
+                    st.returns += 1;
+                    if index < alternates {
+                        st.abnormal_returns += 1;
+                        p.strategies.abnormal_returns += 1;
+                    }
+                    Self::pop(&mut p, &mut stack);
+                }
+                Event::CutTo { proc, target, .. } => {
+                    p.procs.entry(proc.clone()).or_default().cuts_out += 1;
+                    p.procs.entry(target.clone()).or_default().cuts_in += 1;
+                    p.strategies.cuts += 1;
+                    Self::truncate_to(&mut p, &mut stack, target);
+                }
+                Event::Yield { .. } => {}
+                Event::ContCapture { .. } | Event::ContDeath { .. } => {}
+                Event::Rts(op) => {
+                    *p.rts_ops.entry(op.name()).or_default() += 1;
+                    match op {
+                        RtsOp::FirstActivation { .. } => hops = 0,
+                        RtsOp::NextActivation { moved: true, .. } => {
+                            hops += 1;
+                            p.strategies.unwind_hops += 1;
+                        }
+                        RtsOp::SetCutToCont { target } => cut_target = target.clone(),
+                        RtsOp::Resume { kind, ok: true } => match kind {
+                            ResumeKind::Normal | ResumeKind::Unwind => {
+                                if *kind == ResumeKind::Unwind {
+                                    p.strategies.unwind_resumes += 1;
+                                } else {
+                                    p.strategies.normal_resumes += 1;
+                                }
+                                for _ in 0..=hops {
+                                    Self::pop(&mut p, &mut stack);
+                                }
+                            }
+                            ResumeKind::Cut => {
+                                p.strategies.cuts += 1;
+                                if let Some(target) = cut_target.take() {
+                                    Self::truncate_to(&mut p, &mut stack, &target);
+                                }
+                            }
+                        },
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        while !stack.is_empty() {
+            Self::pop(&mut p, &mut stack);
+        }
+        p.total_cost = prev_ts;
+        p
+    }
+
+    fn pop(p: &mut Profile, stack: &mut Vec<ShadowFrame>) {
+        if let Some(f) = stack.pop() {
+            p.procs
+                .entry(f.name)
+                .or_default()
+                .finish_invocation(f.self_cost);
+        }
+    }
+
+    fn truncate_to(p: &mut Profile, stack: &mut Vec<ShadowFrame>, target: &Name) {
+        if stack.iter().any(|f| &f.name == target) {
+            while stack.last().is_some_and(|f| &f.name != target) {
+                Self::pop(p, stack);
+            }
+        } else {
+            while !stack.is_empty() {
+                Self::pop(p, stack);
+            }
+            p.procs.entry(target.clone()).or_default().entries += 1;
+            stack.push(ShadowFrame {
+                name: target.clone(),
+                self_cost: 0,
+            });
+        }
+    }
+
+    /// The `cmm profile` text report.
+    pub fn report(&self, clock_label: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "total cost: {} {clock_label}", self.total_cost);
+        let c = &self.counts;
+        let _ = writeln!(
+            out,
+            "transfers: {} calls, {} tail calls, {} returns ({} abnormal), {} cuts, {} yields",
+            c.calls, c.tail_calls, c.returns, c.abnormal_returns, c.cuts, c.yields
+        );
+        let s = &self.strategies;
+        let _ = writeln!(
+            out,
+            "strategies: cut x{}, unwind x{} ({} hops), abnormal-return x{}, normal-resume x{}",
+            s.cuts, s.unwind_resumes, s.unwind_hops, s.abnormal_returns, s.normal_resumes
+        );
+        if self.rts_ops.is_empty() {
+            let _ = writeln!(out, "runtime interface (Table 1): no calls");
+        } else {
+            let _ = writeln!(out, "runtime interface (Table 1):");
+            for (name, n) in &self.rts_ops {
+                let _ = writeln!(out, "  {name:<16} x{n}");
+            }
+        }
+        let _ = writeln!(out, "per procedure:");
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>7} {:>7} {:>5} {:>5} {:>5} {:>10} {:>10}  cost-histogram",
+            "name", "entries", "rets", "abn", "cut>", ">cut", "self", "total"
+        );
+        let mut rows: Vec<(&Name, &ProcStats)> = self.procs.iter().collect();
+        rows.sort_by(|a, b| b.1.self_cost.cmp(&a.1.self_cost).then(a.0.cmp(b.0)));
+        for (name, st) in rows {
+            let mut hist = String::new();
+            for (i, n) in st.hist.iter().enumerate() {
+                if *n > 0 {
+                    if !hist.is_empty() {
+                        hist.push(' ');
+                    }
+                    let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    let _ = write!(hist, "{lo}+:{n}");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>7} {:>7} {:>5} {:>5} {:>5} {:>10} {:>10}  {}",
+                name.as_str(),
+                st.entries,
+                st.returns,
+                st.abnormal_returns,
+                st.cuts_out,
+                st.cuts_in,
+                st.self_cost,
+                st.total_cost,
+                hist
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64, event: Event) -> TimedEvent {
+        TimedEvent { ts, event }
+    }
+
+    #[test]
+    fn call_return_attributes_self_cost() {
+        let f = Name::from("f");
+        let g = Name::from("g");
+        let events = vec![
+            ev(
+                2,
+                Event::Call {
+                    caller: f.clone(),
+                    callee: g.clone(),
+                },
+            ),
+            ev(
+                7,
+                Event::Return {
+                    proc: g.clone(),
+                    index: 0,
+                    alternates: 0,
+                },
+            ),
+            ev(
+                10,
+                Event::Return {
+                    proc: f.clone(),
+                    index: 0,
+                    alternates: 0,
+                },
+            ),
+        ];
+        let p = Profile::build(&f, &events);
+        assert_eq!(p.procs[&g].self_cost, 5);
+        assert_eq!(p.procs[&f].self_cost, 5);
+        assert_eq!(p.procs[&f].total_cost, 10);
+        assert_eq!(p.procs[&f].entries, 1);
+        assert_eq!(p.procs[&g].entries, 1);
+        assert_eq!(p.total_cost, 10);
+    }
+
+    #[test]
+    fn cut_truncates_the_shadow_stack() {
+        let f = Name::from("f");
+        let g = Name::from("g");
+        let events = vec![
+            ev(
+                1,
+                Event::Call {
+                    caller: f.clone(),
+                    callee: g.clone(),
+                },
+            ),
+            ev(
+                4,
+                Event::CutTo {
+                    proc: g.clone(),
+                    target: f.clone(),
+                    killed_saves: 1,
+                },
+            ),
+            ev(
+                9,
+                Event::Return {
+                    proc: f.clone(),
+                    index: 0,
+                    alternates: 0,
+                },
+            ),
+        ];
+        let p = Profile::build(&f, &events);
+        assert_eq!(p.strategies.cuts, 1);
+        assert_eq!(p.procs[&g].cuts_out, 1);
+        assert_eq!(p.procs[&f].cuts_in, 1);
+        // After the cut, the remaining 5 units belong to f again.
+        assert_eq!(p.procs[&f].self_cost, 1 + 5);
+        assert_eq!(p.total_cost, 9);
+    }
+
+    #[test]
+    fn report_is_renderable() {
+        let f = Name::from("f");
+        let p = Profile::build(&f, &[ev(0, Event::Yield { code: 3 })]);
+        let r = p.report("steps");
+        assert!(r.contains("per procedure"));
+        assert!(r.contains("yields"));
+    }
+}

@@ -2,6 +2,7 @@
 
 use cmm_cfg::{Bundle, Graph, Node, Program};
 use cmm_ir::{Name, Ty};
+use cmm_obs::{Event, ResumeKind, RtsOp};
 use cmm_sem::{
     Frame, Machine, ResolvedMachine, ResolvedProgram, RtsTarget, SemEngine, Status, Value, Wrong,
 };
@@ -113,6 +114,12 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
         &mut self.machine
     }
 
+    /// Consumes the thread, returning the engine (used to recover a
+    /// trace sink after a run).
+    pub fn into_machine(self) -> M {
+        self.machine
+    }
+
     /// The values passed to `yield`, valid while suspended.
     pub fn yield_args(&self) -> &[Value] {
         self.machine.yield_args()
@@ -150,8 +157,18 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     ///
     /// Returns `None` if the thread is not suspended or has no
     /// activations.
-    pub fn first_activation(&self) -> Option<Activation> {
-        if matches!(self.machine.status(), Status::Suspended) && self.machine.depth() > 0 {
+    pub fn first_activation(&mut self) -> Option<Activation> {
+        let found = matches!(self.machine.status(), Status::Suspended) && self.machine.depth() > 0;
+        if self.machine.trace_enabled() {
+            let proc = if found {
+                self.machine.activation_site(0).map(|s| s.proc)
+            } else {
+                None
+            };
+            self.machine
+                .trace(Event::Rts(RtsOp::FirstActivation { proc }));
+        }
+        if found {
             Some(Activation { index: 0 })
         } else {
             None
@@ -162,13 +179,23 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// which `a` will return (normally `a`'s caller)". Returns `false`
     /// at the bottom of the stack (the paper's dispatcher treats that as
     /// an unhandled exception).
-    pub fn next_activation(&self, a: &mut Activation) -> bool {
-        if a.index + 1 < self.machine.depth() {
+    pub fn next_activation(&mut self, a: &mut Activation) -> bool {
+        let moved = if a.index + 1 < self.machine.depth() {
             a.index += 1;
             true
         } else {
             false
+        };
+        if self.machine.trace_enabled() {
+            let proc = if moved {
+                self.machine.activation_site(a.index).map(|s| s.proc)
+            } else {
+                None
+            };
+            self.machine
+                .trace(Event::Rts(RtsOp::NextActivation { moved, proc }));
         }
+        moved
     }
 
     /// The procedure of the activation behind a handle (for inspection
@@ -181,10 +208,19 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// associated with activation `a`" — here, the address of the data
     /// block named by the n'th `also descriptor` annotation at the call
     /// site where the activation is suspended.
-    pub fn get_descriptor(&self, a: &Activation, n: usize) -> Option<u64> {
-        let (_, _, descriptors) = self.call_site(a.index)?;
-        let name = descriptors.get(n)?;
-        self.machine.program().image.symbol(name.as_str())
+    pub fn get_descriptor(&mut self, a: &Activation, n: usize) -> Option<u64> {
+        let addr = (|| {
+            let (_, _, descriptors) = self.call_site(a.index)?;
+            let name = descriptors.get(n)?;
+            self.machine.program().image.symbol(name.as_str())
+        })();
+        if self.machine.trace_enabled() {
+            self.machine.trace(Event::Rts(RtsOp::GetDescriptor {
+                index: n as u32,
+                found: addr.is_some(),
+            }));
+        }
+        addr
     }
 
     /// `SetActivation(t, a)`: "arranges for thread `t` to resume
@@ -200,6 +236,15 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     ///
     /// Fails if the thread is not suspended.
     pub fn set_activation(&mut self, a: &Activation) -> Result<(), Wrong> {
+        let r = self.set_activation_inner(a);
+        if self.machine.trace_enabled() {
+            self.machine
+                .trace(Event::Rts(RtsOp::SetActivation { ok: r.is_ok() }));
+        }
+        r
+    }
+
+    fn set_activation_inner(&mut self, a: &Activation) -> Result<(), Wrong> {
         self.require_suspended()?;
         if self.machine.activation_site(a.index).is_none() {
             return Err(Wrong::RtsViolation("stale activation handle".into()));
@@ -227,6 +272,17 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// [`Thread::set_activation`], or the call site has fewer than `n+1`
     /// unwind continuations.
     pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), Wrong> {
+        let r = self.set_unwind_cont_inner(n);
+        if self.machine.trace_enabled() {
+            self.machine.trace(Event::Rts(RtsOp::SetUnwindCont {
+                index: n as u32,
+                ok: r.is_ok(),
+            }));
+        }
+        r
+    }
+
+    fn set_unwind_cont_inner(&mut self, n: usize) -> Result<(), Wrong> {
         let Some(Pending::Activation { pops, .. }) = self.pending.as_ref() else {
             return Err(Wrong::RtsViolation(
                 "SetUnwindCont before SetActivation".into(),
@@ -237,7 +293,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
             .machine
             .activation_site(pops)
             .ok_or_else(|| Wrong::RtsViolation("stale activation handle".into()))?;
-        let (g, bundle, _) = self.call_site(pops).ok_or(Wrong::NoSuchProc(site.proc))?;
+        let (g, bundle, _) = self
+            .call_site(pops)
+            .ok_or_else(|| Wrong::NoSuchProc(site.clone(), site.proc.clone()))?;
         let Some(&node) = bundle.unwinds.get(n) else {
             return Err(Wrong::RtsViolation(format!(
                 "call site has {} unwind continuations; {n} requested",
@@ -263,6 +321,16 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// Fails if the thread is not suspended or `k` is not a live
     /// continuation value.
     pub fn set_cut_to_cont(&mut self, k: Value) -> Result<(), Wrong> {
+        let r = self.set_cut_to_cont_inner(k);
+        if self.machine.trace_enabled() {
+            self.machine.trace(Event::Rts(RtsOp::SetCutToCont {
+                target: r.as_ref().ok().cloned().flatten(),
+            }));
+        }
+        r.map(|_| ())
+    }
+
+    fn set_cut_to_cont_inner(&mut self, k: Value) -> Result<Option<Name>, Wrong> {
         self.require_suspended()?;
         let (target, _) = self
             .machine
@@ -272,11 +340,12 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
             .machine
             .cont_param_count(&target.proc, target.node)
             .unwrap_or(0);
+        let target_proc = target.proc;
         self.pending = Some(Pending::CutTo {
             cont: k,
             params: vec![Value::Bits(cmm_ir::Width::W32, 0); count],
         });
-        Ok(())
+        Ok(Some(target_proc))
     }
 
     /// `FindContParam(t, n)`: "returns a pointer to the location in
@@ -284,6 +353,18 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// be returned to thread `t`". Write the parameter value through the
     /// returned reference before calling [`Thread::resume`].
     pub fn find_cont_param(&mut self, n: usize) -> Option<&mut Value> {
+        let found = match self.pending.as_ref() {
+            Some(Pending::Activation { params, .. }) | Some(Pending::CutTo { params, .. }) => {
+                n < params.len()
+            }
+            None => false,
+        };
+        if self.machine.trace_enabled() {
+            self.machine.trace(Event::Rts(RtsOp::FindContParam {
+                index: n as u32,
+                found,
+            }));
+        }
         match self.pending.as_mut()? {
             Pending::Activation { params, .. } | Pending::CutTo { params, .. } => params.get_mut(n),
         }
@@ -299,6 +380,29 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// not abortable, or if the continuation is dead or unannotated. On
     /// error the suspension is left intact where possible.
     pub fn resume(&mut self) -> Result<(), Wrong> {
+        let kind = match &self.pending {
+            Some(Pending::CutTo { .. }) => ResumeKind::Cut,
+            Some(Pending::Activation {
+                target: Some(RtsTarget::Unwind(_)),
+                ..
+            }) => ResumeKind::Unwind,
+            Some(Pending::Activation {
+                target: Some(RtsTarget::Cut(_)),
+                ..
+            }) => ResumeKind::Cut,
+            _ => ResumeKind::Normal,
+        };
+        let r = self.resume_inner();
+        if self.machine.trace_enabled() {
+            self.machine.trace(Event::Rts(RtsOp::Resume {
+                kind,
+                ok: r.is_ok(),
+            }));
+        }
+        r
+    }
+
+    fn resume_inner(&mut self) -> Result<(), Wrong> {
         let pending = self
             .pending
             .take()
@@ -439,9 +543,11 @@ mod tests {
         assert_eq!(t.activation_proc(&a).unwrap().as_str(), "g");
         assert!(t.next_activation(&mut a));
         assert_eq!(t.activation_proc(&a).unwrap().as_str(), "mid");
-        assert_eq!(t.read_u32(t.get_descriptor(&a, 0).unwrap()), 222);
+        let d = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.read_u32(d), 222);
         assert!(t.next_activation(&mut a));
-        assert_eq!(t.read_u32(t.get_descriptor(&a, 0).unwrap()), 111);
+        let d = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.read_u32(d), 111);
         assert!(!t.next_activation(&mut a));
 
         t.set_activation(&a).unwrap();
@@ -537,7 +643,7 @@ mod tests {
     #[test]
     fn first_activation_requires_suspension() {
         let p = prog("f() { return; }");
-        let t = Thread::new(&p);
+        let mut t = Thread::new(&p);
         assert!(t.first_activation().is_none());
     }
 

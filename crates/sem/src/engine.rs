@@ -16,6 +16,7 @@ use crate::value::Value;
 use crate::wrong::Wrong;
 use cmm_cfg::{NodeId, Program};
 use cmm_ir::{Name, Ty};
+use cmm_obs::{Event, TraceSink};
 
 /// One thread of C-- execution, as seen by the front-end run-time
 /// system. See the module documentation.
@@ -91,9 +92,22 @@ pub trait SemEngine<'p> {
     /// The whole memory as sorted `(address, byte)` pairs, zero bytes
     /// elided — a canonical form for cross-engine equivalence checks.
     fn mem_snapshot(&self) -> Vec<(u64, u8)>;
+
+    /// Whether the engine's trace sink is live. Layers above the engine
+    /// (the Table 1 run-time system) guard event construction with
+    /// this, exactly as the engine guards with `S::ENABLED` — for the
+    /// default `NopSink` instantiation it is a constant `false` and the
+    /// emission code folds away.
+    fn trace_enabled(&self) -> bool {
+        false
+    }
+
+    /// Emits an event into the engine's sink at its current clock.
+    /// No-op when tracing is off.
+    fn trace(&mut self, _e: Event) {}
 }
 
-impl<'p> SemEngine<'p> for Machine<'p> {
+impl<'p, S: TraceSink> SemEngine<'p> for Machine<'p, S> {
     fn program(&self) -> &'p Program {
         Machine::program(self)
     }
@@ -156,5 +170,13 @@ impl<'p> SemEngine<'p> for Machine<'p> {
 
     fn mem_snapshot(&self) -> Vec<(u64, u8)> {
         Machine::mem_snapshot(self)
+    }
+
+    fn trace_enabled(&self) -> bool {
+        S::ENABLED
+    }
+
+    fn trace(&mut self, e: Event) {
+        self.emit(e);
     }
 }

@@ -6,6 +6,7 @@ use crate::wrong::Wrong;
 use cmm_cfg::{Node, NodeId, Program};
 use cmm_ir::expr::sign_extend;
 use cmm_ir::{BinOp, Expr, FWidth, Lit, Lvalue, Name, Ty, Width};
+use cmm_obs::{Event, NopSink, TraceSink};
 use std::collections::{BTreeSet, HashMap};
 
 /// Where continuation values live when flattened to bits (stored to
@@ -52,8 +53,12 @@ pub enum RtsTarget {
 
 /// The C-- abstract machine: one thread of §5.2, together with its
 /// memory, global registers, and stack.
+///
+/// The machine is generic over a [`TraceSink`]; the default
+/// [`NopSink`] compiles every emission away (guarded by
+/// `S::ENABLED`), so untraced machines pay nothing.
 #[derive(Clone, Debug)]
-pub struct Machine<'p> {
+pub struct Machine<'p, S: TraceSink = NopSink> {
     prog: &'p Program,
     control: NodeRef,
     rho: Env,
@@ -68,12 +73,20 @@ pub struct Machine<'p> {
     status: Status,
     /// Number of transitions taken so far (for cost measurements).
     pub steps: u64,
+    sink: S,
 }
 
 impl<'p> Machine<'p> {
     /// Creates a machine over a program, with memory initialized from the
     /// program's data image and global registers from their declarations.
     pub fn new(prog: &'p Program) -> Machine<'p> {
+        Machine::with_sink(prog, NopSink)
+    }
+}
+
+impl<'p, S: TraceSink> Machine<'p, S> {
+    /// [`Machine::new`] with an explicit trace sink.
+    pub fn with_sink(prog: &'p Program, sink: S) -> Machine<'p, S> {
         let mem = prog.image.bytes.iter().map(|(&a, &b)| (a, b)).collect();
         let globals = prog
             .globals
@@ -102,6 +115,26 @@ impl<'p> Machine<'p> {
             cont_encodings: Vec::new(),
             status: Status::Idle,
             steps: 0,
+            sink,
+        }
+    }
+
+    /// The trace sink (to read back recorded events or counters).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the machine, returning its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Emits a trace event at the current step count. Callers must
+    /// guard payload construction with `S::ENABLED` themselves.
+    #[inline]
+    pub(crate) fn emit(&mut self, e: Event) {
+        if S::ENABLED {
+            self.sink.event(self.steps, e);
         }
     }
 
@@ -131,7 +164,7 @@ impl<'p> Machine<'p> {
         let g = self
             .prog
             .proc(proc)
-            .ok_or_else(|| Wrong::NoSuchProc(Name::from(proc)))?;
+            .ok_or_else(|| Wrong::NoSuchProc(NodeRef::new(proc, NodeId(0)), Name::from(proc)))?;
         self.control = NodeRef {
             proc: g.name.clone(),
             node: g.entry,
@@ -187,7 +220,7 @@ impl<'p> Machine<'p> {
         let g = self
             .prog
             .proc(self.control.proc.as_str())
-            .ok_or_else(|| Wrong::NoSuchProc(self.control.proc.clone()))?;
+            .ok_or_else(|| Wrong::NoSuchProc(self.here(), self.control.proc.clone()))?;
         // `g` borrows from `prog` (lifetime 'p), not from `self`, so the
         // node can be inspected while `self` is mutated.
         let node: &'p Node = g.node(self.control.node);
@@ -209,6 +242,13 @@ impl<'p> Machine<'p> {
                 }
                 self.rho = rho;
                 self.saves.clear();
+                if S::ENABLED && !conts.is_empty() {
+                    self.emit(Event::ContCapture {
+                        proc: self.control.proc.clone(),
+                        uid: self.uid,
+                        conts: conts.len() as u32,
+                    });
+                }
                 self.control.node = *next;
                 Ok(())
             }
@@ -216,6 +256,13 @@ impl<'p> Machine<'p> {
             Node::Exit { index, alternates } => {
                 let Some(frame) = self.stack.pop() else {
                     if *index == 0 && *alternates == 0 {
+                        if S::ENABLED {
+                            self.emit(Event::Return {
+                                proc: self.control.proc.clone(),
+                                index: *index,
+                                alternates: *alternates,
+                            });
+                        }
                         self.status = Status::Terminated(self.area.clone());
                         return Ok(());
                     }
@@ -228,6 +275,13 @@ impl<'p> Machine<'p> {
                         at: self.here(),
                         claimed: *alternates,
                         actual,
+                    });
+                }
+                if S::ENABLED {
+                    self.emit(Event::Return {
+                        proc: self.control.proc.clone(),
+                        index: *index,
+                        alternates: *alternates,
                     });
                 }
                 let target = frame.bundle.returns[*index as usize];
@@ -291,6 +345,12 @@ impl<'p> Machine<'p> {
             // Call e_f Γ: push an activation; fresh uid.
             Node::Call { callee, bundle, .. } => {
                 let target = self.resolve_code(callee)?;
+                if S::ENABLED {
+                    self.emit(Event::Call {
+                        caller: self.control.proc.clone(),
+                        callee: target.clone(),
+                    });
+                }
                 let frame = Frame {
                     proc: self.control.proc.clone(),
                     call_site: self.control.node,
@@ -305,6 +365,12 @@ impl<'p> Machine<'p> {
             // Jump e_f: the continuation bundle is already on the stack.
             Node::Jump { callee } => {
                 let target = self.resolve_code(callee)?;
+                if S::ENABLED {
+                    self.emit(Event::TailCall {
+                        caller: self.control.proc.clone(),
+                        callee: target.clone(),
+                    });
+                }
                 self.rho.clear();
                 self.saves.clear();
                 self.enter(&target)
@@ -321,16 +387,43 @@ impl<'p> Machine<'p> {
                     if !cuts.contains(&target.node) {
                         return Err(Wrong::CutNotAnnotated(self.here()));
                     }
-                    for s in std::mem::take(&mut self.saves) {
-                        self.rho.remove(&s);
+                    let killed = std::mem::take(&mut self.saves);
+                    for s in &killed {
+                        self.rho.remove(s);
+                    }
+                    if S::ENABLED {
+                        self.emit(Event::CutTo {
+                            proc: self.control.proc.clone(),
+                            target: target.proc.clone(),
+                            killed_saves: killed.len() as u32,
+                        });
                     }
                     self.control = target;
                     return Ok(());
                 }
-                self.cut_stack(target, tuid)
+                let cutter = if S::ENABLED {
+                    Some((self.control.proc.clone(), target.proc.clone()))
+                } else {
+                    None
+                };
+                let killed = self.cut_stack(target, tuid)?;
+                if S::ENABLED {
+                    if let Some((proc, target)) = cutter {
+                        self.emit(Event::CutTo {
+                            proc,
+                            target,
+                            killed_saves: killed,
+                        });
+                    }
+                }
+                Ok(())
             }
             // Yield: execution passes to the front-end run-time system.
             Node::Yield => {
+                if S::ENABLED {
+                    let code = self.area.first().and_then(Value::bits).unwrap_or(0);
+                    self.emit(Event::Yield { code });
+                }
                 self.status = Status::Suspended;
                 Ok(())
             }
@@ -339,7 +432,9 @@ impl<'p> Machine<'p> {
 
     /// The stack-truncating loop shared by the `CutTo` node and the
     /// run-time interface's `SetCutToCont` (§5.2's CutTo rules).
-    fn cut_stack(&mut self, target: NodeRef, tuid: u64) -> Result<(), Wrong> {
+    /// Returns the number of callee-saves the cut killed in the target
+    /// frame.
+    fn cut_stack(&mut self, target: NodeRef, tuid: u64) -> Result<u32, Wrong> {
         loop {
             let Some(top) = self.stack.last() else {
                 return Err(Wrong::DeadContinuation(self.here()));
@@ -352,6 +447,7 @@ impl<'p> Machine<'p> {
                 // "cut to does not restore values stored in callee-saves
                 // registers; we model this behaviour by removing them
                 // from the saved environment ρ'."
+                let killed = frame.saves.len() as u32;
                 for s in &frame.saves {
                     frame.rho.remove(s);
                 }
@@ -359,12 +455,18 @@ impl<'p> Machine<'p> {
                 self.rho = frame.rho;
                 self.saves = BTreeSet::new();
                 self.uid = frame.uid;
-                return Ok(());
+                return Ok(killed);
             }
             if !top.bundle.aborts {
                 return Err(Wrong::NotAbortable(top.site()));
             }
-            self.stack.pop();
+            let dead = self.stack.pop().expect("frame checked above");
+            if S::ENABLED {
+                self.emit(Event::ContDeath {
+                    proc: dead.proc,
+                    uid: dead.uid,
+                });
+            }
         }
     }
 
@@ -372,7 +474,7 @@ impl<'p> Machine<'p> {
         let g = self
             .prog
             .proc(proc.as_str())
-            .ok_or_else(|| Wrong::NoSuchProc(proc.clone()))?;
+            .ok_or_else(|| Wrong::NoSuchProc(self.here(), proc.clone()))?;
         self.control = NodeRef {
             proc: g.name.clone(),
             node: g.entry,
@@ -405,7 +507,7 @@ impl<'p> Machine<'p> {
             self.globals.insert(n.clone(), v);
             Ok(())
         } else {
-            Err(Wrong::UnboundName(n.clone()))
+            Err(Wrong::UnboundName(self.here(), n.clone()))
         }
     }
 
@@ -472,7 +574,7 @@ impl<'p> Machine<'p> {
             // block (§3.1). (Procedure names were handled above.)
             return Ok(Value::Bits(Width::W32, addr));
         }
-        Err(Wrong::UnboundName(n.clone()))
+        Err(Wrong::UnboundName(self.here(), n.clone()))
     }
 
     /// Converts a value to raw bits: `Code` becomes its synthetic code
@@ -481,7 +583,10 @@ impl<'p> Machine<'p> {
     fn flatten(&mut self, v: Value) -> Result<u64, Wrong> {
         match v {
             Value::Bits(_, b) => Ok(b),
-            Value::Code(n) => self.prog.proc_addr(n.as_str()).ok_or(Wrong::NoSuchProc(n)),
+            Value::Code(n) => self
+                .prog
+                .proc_addr(n.as_str())
+                .ok_or_else(|| Wrong::NoSuchProc(self.here(), n)),
             Value::Cont(p, u) => Ok(self.encode_cont(p, u)),
         }
     }
@@ -560,7 +665,7 @@ impl<'p> Machine<'p> {
                 *slot = v;
                 Ok(())
             }
-            None => Err(Wrong::UnboundName(Name::from(name))),
+            None => Err(Wrong::UnboundName(self.here(), Name::from(name))),
         }
     }
 
@@ -603,7 +708,13 @@ impl<'p> Machine<'p> {
         if !top.bundle.aborts {
             return Err(Wrong::NotAbortable(top.site()));
         }
-        self.stack.pop();
+        let dead = self.stack.pop().expect("frame checked above");
+        if S::ENABLED {
+            self.emit(Event::ContDeath {
+                proc: dead.proc,
+                uid: dead.uid,
+            });
+        }
         Ok(())
     }
 
@@ -690,7 +801,7 @@ impl<'p> Machine<'p> {
         // cut leaves the suspension intact.
         let saved_stack = self.stack.clone();
         match self.cut_stack(target, tuid) {
-            Ok(()) => {
+            Ok(_) => {
                 self.area = args;
                 self.status = Status::Running;
                 Ok(())

@@ -36,6 +36,7 @@ use crate::value::Value;
 use crate::wrong::Wrong;
 use cmm_cfg::{Bundle, Graph, Node, NodeId, Program};
 use cmm_ir::{BinOp, Expr, Lvalue, Name, Ty, UnOp, Width};
+use cmm_obs::{Event, NopSink, TraceSink};
 use std::collections::HashMap;
 
 /// A slot index into a procedure's indexed frame.
@@ -445,8 +446,12 @@ struct RFrame<'p> {
 
 /// The pre-resolved abstract machine. Observationally equal to
 /// [`Machine`](crate::Machine); see the module documentation.
+///
+/// Generic over a [`TraceSink`] exactly like the reference machine,
+/// with identical emission points and payloads, so traced runs compare
+/// event-for-event.
 #[derive(Clone, Debug)]
-pub struct ResolvedMachine<'p> {
+pub struct ResolvedMachine<'p, S: TraceSink = NopSink> {
     rp: &'p ResolvedProgram<'p>,
     cur_proc: usize,
     cur_node: NodeId,
@@ -462,12 +467,20 @@ pub struct ResolvedMachine<'p> {
     status: Status,
     /// Number of transitions taken so far (for cost measurements).
     pub steps: u64,
+    sink: S,
 }
 
 impl<'p> ResolvedMachine<'p> {
     /// Creates a machine over a pre-resolved program, with memory from
     /// the data image and global registers from their declarations.
     pub fn new(rp: &'p ResolvedProgram<'p>) -> ResolvedMachine<'p> {
+        ResolvedMachine::with_sink(rp, NopSink)
+    }
+}
+
+impl<'p, S: TraceSink> ResolvedMachine<'p, S> {
+    /// [`ResolvedMachine::new`] with an explicit trace sink.
+    pub fn with_sink(rp: &'p ResolvedProgram<'p>, sink: S) -> ResolvedMachine<'p, S> {
         ResolvedMachine {
             rp,
             cur_proc: 0,
@@ -483,6 +496,26 @@ impl<'p> ResolvedMachine<'p> {
             cont_encodings: Vec::new(),
             status: Status::Idle,
             steps: 0,
+            sink,
+        }
+    }
+
+    /// The trace sink (to read back recorded events or counters).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the machine, returning its sink.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Emits a trace event at the current step count. Callers must
+    /// guard payload construction with `S::ENABLED` themselves.
+    #[inline]
+    pub(crate) fn emit(&mut self, e: Event) {
+        if S::ENABLED {
+            self.sink.event(self.steps, e);
         }
     }
 
@@ -522,7 +555,7 @@ impl<'p> ResolvedMachine<'p> {
         let idx = self
             .rp
             .idx_of(&Name::from(proc))
-            .ok_or_else(|| Wrong::NoSuchProc(Name::from(proc)))?;
+            .ok_or_else(|| Wrong::NoSuchProc(NodeRef::new(proc, NodeId(0)), Name::from(proc)))?;
         self.cur_proc = idx;
         self.cur_node = self.rp.procs[idx].entry;
         self.rho = Vec::new();
@@ -579,12 +612,26 @@ impl<'p> ResolvedMachine<'p> {
                 }
                 self.rho = rho;
                 self.saves.clear();
+                if S::ENABLED && !conts.is_empty() {
+                    self.emit(Event::ContCapture {
+                        proc: p.name.clone(),
+                        uid: self.uid,
+                        conts: conts.len() as u32,
+                    });
+                }
                 self.cur_node = *next;
                 Ok(())
             }
             RNode::Exit { index, alternates } => {
                 let Some(frame) = self.stack.pop() else {
                     if *index == 0 && *alternates == 0 {
+                        if S::ENABLED {
+                            self.emit(Event::Return {
+                                proc: p.name.clone(),
+                                index: *index,
+                                alternates: *alternates,
+                            });
+                        }
                         self.status = Status::Terminated(self.area.clone());
                         return Ok(());
                     }
@@ -597,6 +644,13 @@ impl<'p> ResolvedMachine<'p> {
                         at: self.here(),
                         claimed: *alternates,
                         actual,
+                    });
+                }
+                if S::ENABLED {
+                    self.emit(Event::Return {
+                        proc: p.name.clone(),
+                        index: *index,
+                        alternates: *alternates,
                     });
                 }
                 let target = frame.bundle.returns[*index as usize];
@@ -637,7 +691,7 @@ impl<'p> ResolvedMachine<'p> {
                 match target {
                     Target::Slot(s) => self.rho[*s as usize] = Some(v),
                     Target::Global(g) => self.globals[*g as usize] = v,
-                    Target::Unbound(n) => return Err(Wrong::UnboundName(n.clone())),
+                    Target::Unbound(n) => return Err(Wrong::UnboundName(self.here(), n.clone())),
                 }
                 self.cur_node = *next;
                 Ok(())
@@ -662,6 +716,16 @@ impl<'p> ResolvedMachine<'p> {
             }
             RNode::Call { callee, bundle } => {
                 let target = self.resolve_code(callee)?;
+                if S::ENABLED {
+                    let callee_name = match &target {
+                        Ok(idx) => self.rp.procs[*idx].name.clone(),
+                        Err(n) => n.clone(),
+                    };
+                    self.emit(Event::Call {
+                        caller: p.name.clone(),
+                        callee: callee_name,
+                    });
+                }
                 let frame = RFrame {
                     proc: self.cur_proc,
                     call_site: self.cur_node,
@@ -675,6 +739,16 @@ impl<'p> ResolvedMachine<'p> {
             }
             RNode::Jump { callee } => {
                 let target = self.resolve_code(callee)?;
+                if S::ENABLED {
+                    let callee_name = match &target {
+                        Ok(idx) => self.rp.procs[*idx].name.clone(),
+                        Err(n) => n.clone(),
+                    };
+                    self.emit(Event::TailCall {
+                        caller: p.name.clone(),
+                        callee: callee_name,
+                    });
+                }
                 self.rho.clear();
                 self.saves.clear();
                 self.enter(target)
@@ -688,15 +762,42 @@ impl<'p> ResolvedMachine<'p> {
                     if !cuts.contains(&target.node) {
                         return Err(Wrong::CutNotAnnotated(self.here()));
                     }
-                    for s in std::mem::take(&mut self.saves) {
+                    let killed = std::mem::take(&mut self.saves);
+                    for &s in &killed {
                         self.rho[s as usize] = None;
+                    }
+                    if S::ENABLED {
+                        self.emit(Event::CutTo {
+                            proc: p.name.clone(),
+                            target: target.proc.clone(),
+                            killed_saves: killed.len() as u32,
+                        });
                     }
                     self.cur_node = target.node;
                     return Ok(());
                 }
-                self.cut_stack(target, tuid)
+                let cutter = if S::ENABLED {
+                    Some((p.name.clone(), target.proc.clone()))
+                } else {
+                    None
+                };
+                let killed = self.cut_stack(target, tuid)?;
+                if S::ENABLED {
+                    if let Some((proc, target)) = cutter {
+                        self.emit(Event::CutTo {
+                            proc,
+                            target,
+                            killed_saves: killed,
+                        });
+                    }
+                }
+                Ok(())
             }
             RNode::Yield => {
+                if S::ENABLED {
+                    let code = self.area.first().and_then(Value::bits).unwrap_or(0);
+                    self.emit(Event::Yield { code });
+                }
                 self.status = Status::Suspended;
                 Ok(())
             }
@@ -704,7 +805,9 @@ impl<'p> ResolvedMachine<'p> {
     }
 
     /// The stack-truncating loop shared by `CutTo` and `rts_cut_to`.
-    fn cut_stack(&mut self, target: NodeRef, tuid: u64) -> Result<(), Wrong> {
+    /// Returns the number of callee-saves the cut killed in the target
+    /// frame.
+    fn cut_stack(&mut self, target: NodeRef, tuid: u64) -> Result<u32, Wrong> {
         loop {
             let Some(top) = self.stack.last() else {
                 return Err(Wrong::DeadContinuation(self.here()));
@@ -716,6 +819,7 @@ impl<'p> ResolvedMachine<'p> {
                     return Err(Wrong::CutNotAnnotated(self.here()));
                 }
                 let mut frame = self.stack.pop().expect("frame checked above");
+                let killed = frame.saves.len() as u32;
                 for &s in &frame.saves {
                     frame.rho[s as usize] = None;
                 }
@@ -724,12 +828,18 @@ impl<'p> ResolvedMachine<'p> {
                 self.rho = frame.rho;
                 self.saves = Vec::new();
                 self.uid = frame.uid;
-                return Ok(());
+                return Ok(killed);
             }
             if !top.bundle.aborts {
                 return Err(Wrong::NotAbortable(self.site_of(top)));
             }
-            self.stack.pop();
+            let dead = self.stack.pop().expect("frame checked above");
+            if S::ENABLED {
+                self.emit(Event::ContDeath {
+                    proc: self.rp.procs[dead.proc].name.clone(),
+                    uid: dead.uid,
+                });
+            }
         }
     }
 
@@ -743,7 +853,7 @@ impl<'p> ResolvedMachine<'p> {
     fn enter(&mut self, target: Result<usize, Name>) -> Result<(), Wrong> {
         let idx = match target {
             Ok(idx) => idx,
-            Err(name) => return Err(Wrong::NoSuchProc(name)),
+            Err(name) => return Err(Wrong::NoSuchProc(self.here(), name)),
         };
         self.cur_proc = idx;
         self.cur_node = self.rp.procs[idx].entry;
@@ -828,7 +938,7 @@ impl<'p> ResolvedMachine<'p> {
         }
         match &n.fallback {
             Some(v) => Ok(v.clone()),
-            None => Err(Wrong::UnboundName(n.name.clone())),
+            None => Err(Wrong::UnboundName(self.here(), n.name.clone())),
         }
     }
 
@@ -839,7 +949,7 @@ impl<'p> ResolvedMachine<'p> {
                 .rp
                 .prog
                 .proc_addr(n.as_str())
-                .ok_or(Wrong::NoSuchProc(n)),
+                .ok_or_else(|| Wrong::NoSuchProc(self.here(), n)),
             Value::Cont(p, u) => Ok(self.encode_cont(p, u)),
         }
     }
@@ -946,7 +1056,13 @@ impl<'p> ResolvedMachine<'p> {
         if !top.bundle.aborts {
             return Err(Wrong::NotAbortable(self.site_of(top)));
         }
-        self.stack.pop();
+        let dead = self.stack.pop().expect("frame checked above");
+        if S::ENABLED {
+            self.emit(Event::ContDeath {
+                proc: self.rp.procs[dead.proc].name.clone(),
+                uid: dead.uid,
+            });
+        }
         Ok(())
     }
 
@@ -1018,7 +1134,7 @@ impl<'p> ResolvedMachine<'p> {
         }
         let saved_stack = self.stack.clone();
         match self.cut_stack(target, tuid) {
-            Ok(()) => {
+            Ok(_) => {
                 self.area = args;
                 self.status = Status::Running;
                 Ok(())
@@ -1041,7 +1157,7 @@ impl<'p> ResolvedMachine<'p> {
     }
 }
 
-impl<'p> crate::engine::SemEngine<'p> for ResolvedMachine<'p> {
+impl<'p, S: TraceSink> crate::engine::SemEngine<'p> for ResolvedMachine<'p, S> {
     fn program(&self) -> &'p Program {
         self.rp.prog
     }
@@ -1104,6 +1220,14 @@ impl<'p> crate::engine::SemEngine<'p> for ResolvedMachine<'p> {
 
     fn mem_snapshot(&self) -> Vec<(u64, u8)> {
         ResolvedMachine::mem_snapshot(self)
+    }
+
+    fn trace_enabled(&self) -> bool {
+        S::ENABLED
+    }
+
+    fn trace(&mut self, e: Event) {
+        self.emit(e);
     }
 }
 

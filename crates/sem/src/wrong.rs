@@ -17,7 +17,7 @@ use std::fmt;
 pub enum Wrong {
     /// A name was evaluated that is bound nowhere (use before
     /// definition, or an undeclared name that escaped validation).
-    UnboundName(Name),
+    UnboundName(NodeRef, Name),
     /// A call's callee did not evaluate to code.
     NotCode(NodeRef),
     /// An operand that must be `Bits` was a `Code` or `Cont` value.
@@ -54,7 +54,7 @@ pub enum Wrong {
     /// not permit (e.g. resuming at a node not in the topmost bundle).
     RtsViolation(String),
     /// There is no procedure with the given name.
-    NoSuchProc(Name),
+    NoSuchProc(NodeRef, Name),
     /// The machine was used while not in a usable status (e.g. `run`
     /// after it went wrong).
     NotRunnable,
@@ -63,7 +63,7 @@ pub enum Wrong {
 impl fmt::Display for Wrong {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Wrong::UnboundName(n) => write!(f, "unbound name `{n}`"),
+            Wrong::UnboundName(at, n) => write!(f, "{at}: unbound name `{n}`"),
             Wrong::NotCode(at) => write!(f, "{at}: callee is not code"),
             Wrong::NotBits(at) => write!(f, "{at}: operand is not a bits value"),
             Wrong::WidthMismatch(at) => write!(f, "{at}: operand widths differ"),
@@ -87,7 +87,7 @@ impl fmt::Display for Wrong {
                 write!(f, "{at}: abnormal exit with an empty stack")
             }
             Wrong::RtsViolation(msg) => write!(f, "run-time system violation: {msg}"),
-            Wrong::NoSuchProc(n) => write!(f, "no such procedure `{n}`"),
+            Wrong::NoSuchProc(at, n) => write!(f, "{at}: no such procedure `{n}`"),
             Wrong::NotRunnable => write!(f, "machine is not in a runnable state"),
         }
     }

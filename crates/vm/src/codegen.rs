@@ -61,6 +61,25 @@ impl fmt::Display for CodegenError {
 
 impl std::error::Error for CodegenError {}
 
+/// An exception-relevant control transfer the code generator deposited
+/// at a specific instruction, keyed by that instruction's pc in
+/// [`VmProgram::trace_sites`]. The executing engines consult the table
+/// only when a trace sink is live, so tagging costs nothing otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceSite {
+    /// The `jr ra+index` of a `return <index/alternates>`.
+    Ret {
+        /// The chosen branch-table arm.
+        index: u32,
+        /// The call site's alternate count claimed by the return.
+        alternates: u32,
+    },
+    /// The terminal transfer of a `jump` (a tail call).
+    TailCall,
+    /// The `jr` of the constant-time `cut to` sequence (§5.4).
+    Cut,
+}
+
 /// A compiled program: code, tables, and layout.
 #[derive(Clone, Debug)]
 pub struct VmProgram {
@@ -80,6 +99,15 @@ pub struct VmProgram {
     pub image: DataImage,
     /// Initial stack pointer.
     pub stack_top: u32,
+    /// Exception-relevant transfer instructions, keyed by pc.
+    pub trace_sites: HashMap<u32, TraceSite>,
+    /// Source map: first pc of each emitted graph node, sorted by pc
+    /// (emission order is monotone). [`VmProgram::node_at_pc`] recovers
+    /// the node — and hence the source statement — behind any pc.
+    pub node_map: Vec<(u32, NodeId)>,
+    /// Parameter count of each materialized continuation, keyed by the
+    /// continuation's entry pc (the pc stored in its `(pc, sp)` pair).
+    pub cont_params: HashMap<u32, usize>,
 }
 
 impl VmProgram {
@@ -98,6 +126,27 @@ impl VmProgram {
             .iter()
             .find(|m| m.name == name)
             .map(|m| m.end - m.entry)
+    }
+
+    /// The graph node whose code contains `pc`, with its procedure: the
+    /// source statement behind a machine fault or trace event. `None`
+    /// for pcs outside generated node code (halt vector, prologues, the
+    /// yield stub).
+    pub fn node_at_pc(&self, pc: u32) -> Option<(&ProcMeta, NodeId)> {
+        let meta = self.proc_at_pc(pc)?;
+        let i = self.node_map.partition_point(|&(p, _)| p <= pc);
+        let &(p, node) = self.node_map[..i].last()?;
+        (p >= meta.entry).then_some((meta, node))
+    }
+
+    /// A ` (proc:node)` source-location suffix for fault messages, in
+    /// the same `f:n12` form the abstract machine's `Wrong` errors use;
+    /// empty when `pc` has no source node.
+    pub fn locate(&self, pc: u32) -> String {
+        match self.node_at_pc(pc) {
+            Some((m, n)) => format!(" ({}:{})", m.name, n),
+            None => String::new(),
+        }
     }
 }
 
@@ -120,6 +169,9 @@ pub fn compile(prog: &Program) -> Result<VmProgram, CodegenError> {
         globals: Vec::new(),
         image: prog.image.clone(),
         stack_top: 0x0800_0000,
+        trace_sites: HashMap::new(),
+        node_map: Vec::new(),
+        cont_params: HashMap::new(),
     };
     // Global registers.
     for (i, g) in prog.globals.iter().enumerate() {
@@ -405,6 +457,14 @@ impl<'a> ProcGen<'a> {
                 Inst::Li { imm, .. } => *imm = pc,
                 other => unreachable!("cont fixup at {other:?}"),
             }
+            // The pc stored in the continuation's (pc, sp) pair keys its
+            // parameter count, so SetCutToCont can stage exactly the
+            // slots the continuation expects.
+            let params = match self.g.node(node) {
+                Node::CopyIn { vars, .. } => vars.len(),
+                _ => 0,
+            };
+            out.cont_params.insert(pc, params);
         }
         for (site, nodes) in std::mem::take(&mut self.site_fixups) {
             let pcs: Vec<u32> = nodes.iter().map(|n| self.emitted[n]).collect();
@@ -509,6 +569,7 @@ impl<'a> ProcGen<'a> {
                 return Ok(());
             }
             self.emitted.insert(cur, out.code.len() as u32);
+            out.node_map.push((out.code.len() as u32, cur));
             match self.g.node(cur).clone() {
                 Node::Entry { .. } => unreachable!("entry emitted via prologue"),
                 Node::CopyIn { vars, next } => {
@@ -598,12 +659,13 @@ impl<'a> ProcGen<'a> {
                         e => Some(self.eval(out, e, 5)?),
                     };
                     self.epilogue(out);
+                    let at = out.code.len() as u32;
+                    out.trace_sites.insert(at, TraceSite::TailCall);
                     match target {
                         None => {
                             let Expr::Name(n) = &callee else {
                                 unreachable!()
                             };
-                            let at = out.code.len() as u32;
                             out.code.push(Inst::Jmp { target: 0 });
                             call_fixups.push((at, n.clone()));
                         }
@@ -611,8 +673,10 @@ impl<'a> ProcGen<'a> {
                     }
                     return Ok(());
                 }
-                Node::Exit { index, .. } => {
+                Node::Exit { index, alternates } => {
                     self.epilogue(out);
+                    out.trace_sites
+                        .insert(out.code.len() as u32, TraceSite::Ret { index, alternates });
                     out.code.push(Inst::Jr {
                         rs: regs::RA,
                         off: index as i32,
@@ -634,6 +698,8 @@ impl<'a> ProcGen<'a> {
                         rb: r,
                         off: 4,
                     });
+                    out.trace_sites
+                        .insert(out.code.len() as u32, TraceSite::Cut);
                     out.code.push(Inst::Jr {
                         rs: regs::SCRATCH0 + 1,
                         off: 0,

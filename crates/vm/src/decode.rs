@@ -20,9 +20,10 @@
 
 use crate::codegen::VmProgram;
 use crate::isa::{regs, Inst};
-use crate::machine::{VmMachine, VmStatus};
+use crate::machine::{name_at, VmMachine, VmStatus};
 use cmm_ir::expr::sign_extend;
 use cmm_ir::{BinOp, Width};
+use cmm_obs::{Event, TraceSink};
 
 /// A flat opcode: one variant per specialized execution path.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -214,7 +215,7 @@ fn s32(v: u64) -> i64 {
     sign_extend(v, Width::W32)
 }
 
-impl VmMachine<'_> {
+impl<S: TraceSink> VmMachine<'_, S> {
     /// Runs up to `fuel` instructions over the decoded stream. Exactly
     /// the semantics (status transitions, costs, error strings) of the
     /// original [`VmMachine::run`]/`step` loop, but with the program
@@ -331,7 +332,10 @@ impl VmMachine<'_> {
                     };
                     match op.eval(w, r!(ra), r!(rb)) {
                         Ok((v, _)) => r!(rd) = v,
-                        Err(e) => flush!(VmStatus::Error(format!("fault at pc {pc}: {e}"))),
+                        Err(e) => flush!(VmStatus::Error(format!(
+                            "fault at pc {pc}{}: {e}",
+                            prog.locate(pc)
+                        ))),
                     }
                 }
                 DOp::UnSlow => {
@@ -395,18 +399,33 @@ impl VmMachine<'_> {
                 }
                 DOp::Jmp => {
                     cost.branches += 1;
+                    if S::ENABLED {
+                        self.emit_jmp_site(cost.total(), pc, imm);
+                    }
                     next = imm;
                 }
                 DOp::Jr => {
                     cost.branches += 1;
                     match self.code_target(r!(a)) {
-                        Ok(base) => next = base.wrapping_add(imm),
-                        Err(e) => flush!(VmStatus::Error(e)),
+                        Ok(base) => {
+                            next = base.wrapping_add(imm);
+                            if S::ENABLED {
+                                self.emit_jr_site(cost.total(), pc, next);
+                            }
+                        }
+                        Err(e) => flush!(VmStatus::Error(format!("{e}{}", prog.locate(pc)))),
                     }
                 }
                 DOp::Call => {
                     cost.branches += 1;
                     cost.calls += 1;
+                    if S::ENABLED {
+                        let e = Event::Call {
+                            caller: name_at(prog, pc),
+                            callee: name_at(prog, imm),
+                        };
+                        self.sink.event(cost.total(), e);
+                    }
                     self.regs[regs::RA as usize] = u64::from(pc + 1);
                     next = imm;
                 }
@@ -415,13 +434,26 @@ impl VmMachine<'_> {
                     cost.calls += 1;
                     match self.code_target(r!(a)) {
                         Ok(t) => {
+                            if S::ENABLED {
+                                let e = Event::Call {
+                                    caller: name_at(prog, pc),
+                                    callee: name_at(prog, t),
+                                };
+                                self.sink.event(cost.total(), e);
+                            }
                             self.regs[regs::RA as usize] = u64::from(pc + 1);
                             next = t;
                         }
-                        Err(e) => flush!(VmStatus::Error(e)),
+                        Err(e) => flush!(VmStatus::Error(format!("{e}{}", prog.locate(pc)))),
                     }
                 }
                 DOp::SysYield => {
+                    if S::ENABLED {
+                        let e = Event::Yield {
+                            code: self.regs[regs::ARG0 as usize],
+                        };
+                        self.sink.event(cost.total(), e);
+                    }
                     pc += 1;
                     flush!(VmStatus::Suspended);
                 }

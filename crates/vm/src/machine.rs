@@ -1,9 +1,11 @@
 //! The simulated machine: executor and cost model.
 
-use crate::codegen::VmProgram;
+use crate::codegen::{TraceSite, VmProgram};
 use crate::decode::DecodedCode;
 use crate::isa::{regs, Inst};
 use crate::mem::Memory;
+use cmm_ir::Name;
+use cmm_obs::{Event, NopSink, TraceSink};
 use std::sync::Arc;
 
 /// Synthetic image code addresses start here (see `cmm_cfg::DataImage`).
@@ -67,8 +69,12 @@ impl Cost {
 }
 
 /// The simulated machine.
+///
+/// Generic over a [`TraceSink`]; the default [`NopSink`] has
+/// `ENABLED = false`, so every emission site below folds away and the
+/// untraced machine is bit-identical to the pre-observability one.
 #[derive(Clone, Debug)]
-pub struct VmMachine<'p> {
+pub struct VmMachine<'p, S: TraceSink = NopSink> {
     /// The compiled program.
     pub program: &'p VmProgram,
     /// The register file.
@@ -85,12 +91,38 @@ pub struct VmMachine<'p> {
     /// instead of the original `Inst` array (see [`crate::decode`]).
     /// Shared so cloning a machine shares the lowering.
     decoded: Option<Arc<DecodedCode>>,
+    pub(crate) sink: S,
 }
 
 impl<'p> VmMachine<'p> {
     /// Creates a machine with memory loaded from the program's data
     /// image and global registers initialized.
     pub fn new(program: &'p VmProgram) -> VmMachine<'p> {
+        VmMachine::with_sink(program, NopSink)
+    }
+
+    /// Creates a machine that executes via the pre-decoded engine: the
+    /// instruction stream is lowered once (see [`crate::decode`]) and
+    /// `run` dispatches over the dense form. Observable behaviour is
+    /// identical to [`VmMachine::new`]; only the step loop differs.
+    pub fn new_decoded(program: &'p VmProgram) -> VmMachine<'p> {
+        VmMachine::with_sink_decoded(program, NopSink)
+    }
+}
+
+/// The procedure name owning `pc` (shared by both step loops so their
+/// event payloads cannot drift).
+pub(crate) fn name_at(program: &VmProgram, pc: u32) -> Name {
+    program
+        .proc_at_pc(pc)
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| Name::from("?"))
+}
+
+impl<'p, S: TraceSink> VmMachine<'p, S> {
+    /// Creates a machine emitting trace events into `sink` (see
+    /// [`VmMachine::new`] for the machine-state initialization).
+    pub fn with_sink(program: &'p VmProgram, sink: S) -> VmMachine<'p, S> {
         let mut mem = Memory::new();
         for (&a, &b) in &program.image.bytes {
             mem.write_u8(a as u32, b);
@@ -109,17 +141,75 @@ impl<'p> VmMachine<'p> {
             status: VmStatus::Idle,
             expected_results: 0,
             decoded: None,
+            sink,
         }
     }
 
-    /// Creates a machine that executes via the pre-decoded engine: the
-    /// instruction stream is lowered once (see [`crate::decode`]) and
-    /// `run` dispatches over the dense form. Observable behaviour is
-    /// identical to [`VmMachine::new`]; only the step loop differs.
-    pub fn new_decoded(program: &'p VmProgram) -> VmMachine<'p> {
-        let mut m = VmMachine::new(program);
+    /// Creates a pre-decoded machine emitting trace events into `sink`
+    /// (see [`VmMachine::new_decoded`]).
+    pub fn with_sink_decoded(program: &'p VmProgram, sink: S) -> VmMachine<'p, S> {
+        let mut m = VmMachine::with_sink(program, sink);
         m.decoded = Some(Arc::new(DecodedCode::decode(program)));
         m
+    }
+
+    /// The trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the machine, returning the sink (and its recording).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Emits a trace event stamped with the cost-model clock. Compiles
+    /// to nothing for the default `NopSink`.
+    #[inline]
+    pub(crate) fn emit(&mut self, e: Event) {
+        if S::ENABLED {
+            self.sink.event(self.cost.total(), e);
+        }
+    }
+
+    /// Emits the event deposited at a `jr` instruction, if any (shared
+    /// by both step loops so the payloads cannot drift). `now` is the
+    /// emitting loop's cost clock and `next` the resolved target pc.
+    #[inline]
+    pub(crate) fn emit_jr_site(&mut self, now: u64, pc: u32, next: u32) {
+        let Some(&site) = self.program.trace_sites.get(&pc) else {
+            return;
+        };
+        let e = match site {
+            TraceSite::Ret { index, alternates } => Event::Return {
+                proc: name_at(self.program, pc),
+                index,
+                alternates,
+            },
+            TraceSite::TailCall => Event::TailCall {
+                caller: name_at(self.program, pc),
+                callee: name_at(self.program, next),
+            },
+            TraceSite::Cut => Event::CutTo {
+                proc: name_at(self.program, pc),
+                target: name_at(self.program, next),
+                killed_saves: 0,
+            },
+        };
+        self.sink.event(now, e);
+    }
+
+    /// Emits the tail-call event deposited at a direct `jmp`, if any
+    /// (the only site kind the code generator tags on a `jmp`).
+    #[inline]
+    pub(crate) fn emit_jmp_site(&mut self, now: u64, pc: u32, target: u32) {
+        if self.program.trace_sites.get(&pc) == Some(&TraceSite::TailCall) {
+            let e = Event::TailCall {
+                caller: name_at(self.program, pc),
+                callee: name_at(self.program, target),
+            };
+            self.sink.event(now, e);
+        }
     }
 
     /// True if this machine runs over the pre-decoded stream.
@@ -241,7 +331,11 @@ impl<'p> VmMachine<'p> {
                 match op.eval(w, self.regs[ra as usize], self.regs[rb as usize]) {
                     Ok((v, _)) => self.regs[rd as usize] = v,
                     Err(e) => {
-                        self.status = VmStatus::Error(format!("fault at pc {}: {e}", self.pc));
+                        self.status = VmStatus::Error(format!(
+                            "fault at pc {}{}: {e}",
+                            self.pc,
+                            self.program.locate(self.pc)
+                        ));
                         return;
                     }
                 }
@@ -270,16 +364,32 @@ impl<'p> VmMachine<'p> {
                     next = target;
                 }
             }
-            Inst::Jmp { target } => next = target,
+            Inst::Jmp { target } => {
+                if S::ENABLED {
+                    self.emit_jmp_site(self.cost.total(), self.pc, target);
+                }
+                next = target;
+            }
             Inst::Jr { rs, off } => match self.code_target(self.regs[rs as usize]) {
-                Ok(base) => next = base.wrapping_add(off as u32),
+                Ok(base) => {
+                    next = base.wrapping_add(off as u32);
+                    if S::ENABLED {
+                        self.emit_jr_site(self.cost.total(), self.pc, next);
+                    }
+                }
                 Err(e) => {
-                    self.status = VmStatus::Error(e);
+                    self.status = VmStatus::Error(format!("{e}{}", self.program.locate(self.pc)));
                     return;
                 }
             },
             Inst::Call { target } => {
                 self.cost.calls += 1;
+                if S::ENABLED {
+                    self.emit(Event::Call {
+                        caller: name_at(self.program, self.pc),
+                        callee: name_at(self.program, target),
+                    });
+                }
                 self.regs[regs::RA as usize] = u64::from(self.pc + 1);
                 next = target;
             }
@@ -287,16 +397,27 @@ impl<'p> VmMachine<'p> {
                 self.cost.calls += 1;
                 match self.code_target(self.regs[rs as usize]) {
                     Ok(t) => {
+                        if S::ENABLED {
+                            self.emit(Event::Call {
+                                caller: name_at(self.program, self.pc),
+                                callee: name_at(self.program, t),
+                            });
+                        }
                         self.regs[regs::RA as usize] = u64::from(self.pc + 1);
                         next = t;
                     }
                     Err(e) => {
-                        self.status = VmStatus::Error(e);
+                        self.status =
+                            VmStatus::Error(format!("{e}{}", self.program.locate(self.pc)));
                         return;
                     }
                 }
             }
             Inst::SysYield => {
+                if S::ENABLED {
+                    let code = self.regs[regs::ARG0 as usize];
+                    self.emit(Event::Yield { code });
+                }
                 // Leave pc at the instruction *after* the trap so a plain
                 // resume continues with the stub's epilogue.
                 self.pc += 1;

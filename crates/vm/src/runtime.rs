@@ -16,6 +16,8 @@ use crate::codegen::VmProgram;
 use crate::frame::CallSiteMeta;
 use crate::isa::regs;
 use crate::machine::{VmMachine, VmStatus};
+use cmm_ir::Name;
+use cmm_obs::{Event, NopSink, ResumeKind, RtsOp, TraceSink};
 
 /// Instruction-equivalent charges for the interpretive dispatcher.
 pub mod costs {
@@ -66,20 +68,22 @@ enum VmPending {
 }
 
 /// A thread of simulated execution plus the run-time interface.
+///
+/// Generic over a [`TraceSink`] like the machine it drives: each
+/// Table 1 operation below emits one [`RtsOp`] event into the machine's
+/// sink, with payloads mirroring `cmm-rt`'s `Thread` exactly so the
+/// cross-engine exception projection compares equal.
 #[derive(Debug)]
-pub struct VmThread<'p> {
+pub struct VmThread<'p, S: TraceSink = NopSink> {
     /// The machine.
-    pub machine: VmMachine<'p>,
+    pub machine: VmMachine<'p, S>,
     pending: Option<VmPending>,
 }
 
 impl<'p> VmThread<'p> {
     /// Creates a thread over a compiled program.
     pub fn new(program: &'p VmProgram) -> VmThread<'p> {
-        VmThread {
-            machine: VmMachine::new(program),
-            pending: None,
-        }
+        VmThread::with_sink(program, NopSink)
     }
 
     /// Creates a thread whose machine runs the pre-decoded engine (see
@@ -87,10 +91,32 @@ impl<'p> VmThread<'p> {
     /// reads registers, memory, and pc, all of which the two engines
     /// maintain identically.
     pub fn new_decoded(program: &'p VmProgram) -> VmThread<'p> {
+        VmThread::with_sink_decoded(program, NopSink)
+    }
+}
+
+impl<'p, S: TraceSink> VmThread<'p, S> {
+    /// Creates a tracing thread (see [`VmThread::new`]).
+    pub fn with_sink(program: &'p VmProgram, sink: S) -> VmThread<'p, S> {
         VmThread {
-            machine: VmMachine::new_decoded(program),
+            machine: VmMachine::with_sink(program, sink),
             pending: None,
         }
+    }
+
+    /// Creates a tracing thread over the pre-decoded engine (see
+    /// [`VmThread::new_decoded`]).
+    pub fn with_sink_decoded(program: &'p VmProgram, sink: S) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_decoded(program, sink),
+            pending: None,
+        }
+    }
+
+    /// The procedure owning a call-site key, for event payloads.
+    fn site_proc(&self, site: u32) -> Option<Name> {
+        self.site_meta(site)
+            .map(|s| self.program().proc_meta[s.proc].name.clone())
     }
 
     /// Starts a procedure (see [`VmMachine::start`]).
@@ -114,6 +140,16 @@ impl<'p> VmThread<'p> {
     /// `FirstActivation`: the activation that called into the run-time
     /// system. `None` unless suspended.
     pub fn first_activation(&mut self) -> Option<VmActivation> {
+        let r = self.first_activation_inner();
+        if S::ENABLED {
+            let proc = r.as_ref().and_then(|a| self.site_proc(a.site));
+            self.machine
+                .emit(Event::Rts(RtsOp::FirstActivation { proc }));
+        }
+        r
+    }
+
+    fn first_activation_inner(&mut self) -> Option<VmActivation> {
         if !matches!(self.machine.status(), VmStatus::Suspended) {
             return None;
         }
@@ -136,6 +172,16 @@ impl<'p> VmThread<'p> {
     /// `NextActivation`: move to the caller, restoring its callee-saves
     /// registers into the context. Returns `false` at the stack bottom.
     pub fn next_activation(&mut self, a: &mut VmActivation) -> bool {
+        let moved = self.next_activation_inner(a);
+        if S::ENABLED {
+            let proc = if moved { self.site_proc(a.site) } else { None };
+            self.machine
+                .emit(Event::Rts(RtsOp::NextActivation { moved, proc }));
+        }
+        moved
+    }
+
+    fn next_activation_inner(&mut self, a: &mut VmActivation) -> bool {
         self.machine.cost.runtime_instructions += costs::NEXT_ACTIVATION;
         let Some(site) = self.site_meta(a.site) else {
             return false;
@@ -161,7 +207,16 @@ impl<'p> VmThread<'p> {
     /// attached to the activation's call site.
     pub fn get_descriptor(&mut self, a: &VmActivation, n: usize) -> Option<u32> {
         self.machine.cost.runtime_instructions += costs::GET_DESCRIPTOR;
-        self.site_meta(a.site)?.descriptors.get(n).copied()
+        let addr = self
+            .site_meta(a.site)
+            .and_then(|s| s.descriptors.get(n).copied());
+        if S::ENABLED {
+            self.machine.emit(Event::Rts(RtsOp::GetDescriptor {
+                index: n as u32,
+                found: addr.is_some(),
+            }));
+        }
+        addr
     }
 
     /// `SetActivation`: stage resumption with this activation topmost.
@@ -171,6 +226,15 @@ impl<'p> VmThread<'p> {
     /// Fails if the thread is not suspended or an activation being
     /// discarded is not suspended at an `also aborts` call site.
     pub fn set_activation(&mut self, a: &VmActivation) -> Result<(), String> {
+        let r = self.set_activation_inner(a);
+        if S::ENABLED {
+            self.machine
+                .emit(Event::Rts(RtsOp::SetActivation { ok: r.is_ok() }));
+        }
+        r
+    }
+
+    fn set_activation_inner(&mut self, a: &VmActivation) -> Result<(), String> {
         if !matches!(self.machine.status(), VmStatus::Suspended) {
             return Err("thread is not suspended".into());
         }
@@ -193,6 +257,17 @@ impl<'p> VmThread<'p> {
     ///
     /// Fails without a staged activation or with an out-of-range index.
     pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), String> {
+        let r = self.set_unwind_cont_inner(n);
+        if S::ENABLED {
+            self.machine.emit(Event::Rts(RtsOp::SetUnwindCont {
+                index: n as u32,
+                ok: r.is_ok(),
+            }));
+        }
+        r
+    }
+
+    fn set_unwind_cont_inner(&mut self, n: usize) -> Result<(), String> {
         let Some(VmPending::Activation { act, .. }) = self.pending.as_ref() else {
             return Err("SetUnwindCont before SetActivation".into());
         };
@@ -223,19 +298,48 @@ impl<'p> VmThread<'p> {
     ///
     /// Fails if the thread is not suspended.
     pub fn set_cut_to_cont(&mut self, k: u32) -> Result<(), String> {
+        let r = self.set_cut_to_cont_inner(k);
+        if S::ENABLED {
+            self.machine.emit(Event::Rts(RtsOp::SetCutToCont {
+                target: r.as_ref().ok().cloned().flatten(),
+            }));
+        }
+        r.map(|_| ())
+    }
+
+    fn set_cut_to_cont_inner(&mut self, k: u32) -> Result<Option<Name>, String> {
         if !matches!(self.machine.status(), VmStatus::Suspended) {
             return Err("thread is not suspended".into());
         }
+        // The pc half of the (pc, sp) pair identifies the continuation:
+        // it keys the back end's parameter-count table and lies within
+        // the owning procedure's code.
+        let pc = self.machine.mem.read32(k);
+        let (count, target) = match self.program().cont_params.get(&pc) {
+            Some(&count) => (count, self.program().proc_at_pc(pc).map(|m| m.name.clone())),
+            None => (0, None),
+        };
         self.pending = Some(VmPending::Cut {
             k,
-            params: vec![0; 8],
+            params: vec![0; count],
         });
-        Ok(())
+        Ok(target)
     }
 
     /// `FindContParam(t, n)`: where to put the n'th parameter of the
     /// staged continuation.
     pub fn find_cont_param(&mut self, n: usize) -> Option<&mut u64> {
+        if S::ENABLED {
+            let found = match self.pending.as_ref() {
+                Some(VmPending::Activation { params, .. })
+                | Some(VmPending::Cut { params, .. }) => n < params.len(),
+                None => false,
+            };
+            self.machine.emit(Event::Rts(RtsOp::FindContParam {
+                index: n as u32,
+                found,
+            }));
+        }
         match self.pending.as_mut()? {
             VmPending::Activation { params, .. } | VmPending::Cut { params, .. } => {
                 params.get_mut(n)
@@ -250,6 +354,24 @@ impl<'p> VmThread<'p> {
     ///
     /// Fails if nothing was staged.
     pub fn resume(&mut self) -> Result<(), String> {
+        let kind = match &self.pending {
+            Some(VmPending::Cut { .. }) => ResumeKind::Cut,
+            Some(VmPending::Activation {
+                unwind: Some(_), ..
+            }) => ResumeKind::Unwind,
+            _ => ResumeKind::Normal,
+        };
+        let r = self.resume_inner();
+        if S::ENABLED {
+            self.machine.emit(Event::Rts(RtsOp::Resume {
+                kind,
+                ok: r.is_ok(),
+            }));
+        }
+        r
+    }
+
+    fn resume_inner(&mut self) -> Result<(), String> {
         let pending = self
             .pending
             .take()

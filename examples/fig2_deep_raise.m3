@@ -1,0 +1,24 @@
+// The Figure 2 deep-raise workload: an exception raised `depth` call
+// frames below its handler, measuring how dispatch cost scales with
+// stack depth. Run under the interpretive unwinder — the
+// dispatch-heaviest strategy — with
+//
+//     cmm trace examples/fig2_deep_raise.m3 runtime-unwind 100
+//     cmm profile examples/fig2_deep_raise.m3 runtime-unwind 100
+//
+// The profile's unwind-hop count is depth + 1: the Table 1 walk visits
+// every recurse frame plus main before finding the handler.
+exception Deep;
+
+proc recurse(n) {
+    var r;
+    if n == 0 { raise Deep(42); }
+    r = recurse(n - 1);
+    return r + 0;
+}
+
+proc main(depth) {
+    var r;
+    try { r = recurse(depth); } except { Deep(v) => { r = v + 1; } }
+    return r;
+}

@@ -53,10 +53,12 @@ fn full_walk_and_dispatch_on_the_abstract_machine() {
         assert_eq!(t.frame(&a).unwrap().proc.as_str(), "g");
         assert!(t.next_activation(&mut a));
         assert_eq!(t.frame(&a).unwrap().proc.as_str(), "mid");
-        assert_eq!(t.read_u32(t.get_descriptor(&a, 0).unwrap()), 1);
+        let d = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.read_u32(d), 1);
         assert!(t.next_activation(&mut a));
         assert_eq!(t.frame(&a).unwrap().proc.as_str(), "f");
-        assert_eq!(t.read_u32(t.get_descriptor(&a, 0).unwrap()), 2);
+        let d = t.get_descriptor(&a, 0).unwrap();
+        assert_eq!(t.read_u32(d), 2);
         assert!(!t.next_activation(&mut a));
 
         t.set_activation(&a).unwrap();
