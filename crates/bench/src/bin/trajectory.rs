@@ -10,7 +10,9 @@
 //! baseline file, or if a baseline workload disappeared. Wall times are
 //! reported but never gated.
 
-use cmm_bench::trajectory::{check_against_baseline, parse_baseline, run_trajectory, to_json};
+use cmm_bench::trajectory::{
+    check_against_baseline, parse_baseline, run_chaos_histogram, run_trajectory, to_json,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -55,7 +57,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
     }
 
     let measurements = run_trajectory(iters);
-    let json = to_json(iters, &measurements);
+    // The chaos-sweep outcome histogram rides along in the JSON: a
+    // deterministic record of what the seeded fault schedules do to a
+    // fixed population of generated cases. Seeds are fixed so the
+    // figures are bit-reproducible across machines.
+    let chaos = run_chaos_histogram(40, 0, 0, 5);
+    let json = to_json(iters, &measurements, &chaos);
 
     println!(
         "{:<34} {:>12} {:>7} {:>8} {:>7} {:>12} {:>12} {:>9}",
@@ -81,6 +88,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
             m.speedup()
         );
     }
+
+    println!(
+        "chaos sweep {}x{}: {} halt, {} wrong, {} rts-error, {} fuel; {} fault(s) injected, {} quiet",
+        chaos.cases,
+        chaos.schedules,
+        chaos.halt,
+        chaos.wrong,
+        chaos.rts_error,
+        chaos.fuel,
+        chaos.faults_injected,
+        chaos.quiet
+    );
 
     if let Some(path) = out {
         std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;

@@ -317,9 +317,84 @@ pub fn run_trajectory(iters: u64) -> Vec<Measurement> {
     out
 }
 
+/// Outcome histogram of a seeded chaos sweep: generated difftest cases
+/// run under seeded Table 1 fault schedules, with every (case,
+/// schedule) outcome tallied. Engines agree on each outcome by
+/// construction (the chaos sweep in `cmm-difftest` asserts it), so one
+/// reference observation per pair suffices; the figures are
+/// deterministic functions of `(case seed, fault seed)` and land in the
+/// trajectory JSON as a bit-reproducible record of the fault model's
+/// coverage.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosHistogram {
+    /// Generated cases swept.
+    pub cases: u64,
+    /// Base seed for case generation.
+    pub case_seed: u64,
+    /// Base seed for the fault schedules.
+    pub fault_seed: u64,
+    /// Schedules per case.
+    pub schedules: u64,
+    /// (case, schedule) pairs ending in normal termination.
+    pub halt: u64,
+    /// Pairs ending wrong (program fault or injected dispatch fault).
+    pub wrong: u64,
+    /// Pairs where a Table 1 operation failed during dispatch.
+    pub rts_error: u64,
+    /// Pairs cut off by fuel or the suspension bound.
+    pub fuel: u64,
+    /// Total faults injected across all pairs.
+    pub faults_injected: u64,
+    /// Pairs whose schedule never fired (the happy path re-covered).
+    pub quiet: u64,
+}
+
+/// Runs the chaos sweep histogram over `cases` generated cases.
+pub fn run_chaos_histogram(
+    cases: u64,
+    case_seed: u64,
+    fault_seed: u64,
+    schedules: u64,
+) -> ChaosHistogram {
+    use cmm_difftest::oracle::{observe_sem_chaos, Limits, Outcome, CHAOS_HORIZON};
+    let limits = Limits::default();
+    let mut h = ChaosHistogram {
+        cases,
+        case_seed,
+        fault_seed,
+        schedules,
+        ..ChaosHistogram::default()
+    };
+    for index in 0..cases {
+        let case = cmm_difftest::case_for(case_seed, index);
+        let prog = build_program(&parse_module(&case.render()).expect("generated cases parse"))
+            .expect("generated cases build");
+        for k in 0..schedules {
+            let plan = cmm_chaos::FaultPlan::seeded(
+                cmm_chaos::schedule_seed(fault_seed, k),
+                CHAOS_HORIZON,
+            );
+            let (obs, _, log) = observe_sem_chaos(&prog, case.args, &limits, &plan);
+            match obs.outcome {
+                Outcome::Halt(_) => h.halt += 1,
+                Outcome::Wrong => h.wrong += 1,
+                Outcome::RtsError => h.rts_error += 1,
+                Outcome::Fuel => h.fuel += 1,
+            }
+            h.faults_injected += log.len() as u64;
+            if log.is_empty() {
+                h.quiet += 1;
+            }
+        }
+    }
+    h
+}
+
 /// Renders the trajectory as JSON. Field order is stable:
-/// [`parse_baseline`] relies on `name` preceding `instructions`.
-pub fn to_json(iters: u64, measurements: &[Measurement]) -> String {
+/// [`parse_baseline`] relies on `name` preceding `instructions`. The
+/// chaos section deliberately avoids `"name":` keys so the baseline
+/// parser never mistakes it for a workload entry.
+pub fn to_json(iters: u64, measurements: &[Measurement], chaos: &ChaosHistogram) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"iters\": {iters},");
@@ -356,7 +431,24 @@ pub fn to_json(iters: u64, measurements: &[Measurement]) -> String {
             "\n"
         });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"chaos\": {{ \"cases\": {}, \"case_seed\": {}, \"fault_seed\": {}, \
+         \"schedules\": {}, \"outcomes\": {{ \"halt\": {}, \"wrong\": {}, \
+         \"rts_error\": {}, \"fuel\": {} }}, \"faults_injected\": {}, \"quiet\": {} }}",
+        chaos.cases,
+        chaos.case_seed,
+        chaos.fault_seed,
+        chaos.schedules,
+        chaos.halt,
+        chaos.wrong,
+        chaos.rts_error,
+        chaos.fuel,
+        chaos.faults_injected,
+        chaos.quiet
+    );
+    s.push_str("}\n");
     s
 }
 
@@ -434,8 +526,34 @@ mod tests {
                 dispatch: EventCounts::default(),
             },
         ];
-        let parsed = parse_baseline(&to_json(3, &ms));
+        let chaos = ChaosHistogram {
+            cases: 40,
+            schedules: 5,
+            halt: 150,
+            wrong: 30,
+            rts_error: 15,
+            fuel: 5,
+            faults_injected: 60,
+            quiet: 120,
+            ..ChaosHistogram::default()
+        };
+        let json = to_json(3, &ms, &chaos);
+        let parsed = parse_baseline(&json);
+        // The chaos section must not leak into the gated workload list.
         assert_eq!(parsed, vec![("a".into(), 123), ("b".into(), 456)]);
+        assert!(json.contains("\"faults_injected\": 60"), "{json}");
+    }
+
+    #[test]
+    fn chaos_histogram_is_reproducible_and_non_vacuous() {
+        let a = run_chaos_histogram(10, 0, 0, 3);
+        let b = run_chaos_histogram(10, 0, 0, 3);
+        assert_eq!(a, b, "histogram must be a pure function of its seeds");
+        assert_eq!(a.halt + a.wrong + a.rts_error + a.fuel, 30);
+        assert!(
+            a.faults_injected > 0,
+            "a 10x3 sweep should inject at least one fault"
+        );
     }
 
     #[test]

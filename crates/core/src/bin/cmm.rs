@@ -9,8 +9,14 @@
 //! cmm trace <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0] [--out F]
 //! cmm profile <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0]
 //! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]
+//!          [--chaos] [--fault-seed S] [--schedules K]
 //! cmm fuzz --replay DIR               # re-run checked-in reproducers
 //! ```
+//!
+//! `--chaos` additionally runs every generated case under K seeded
+//! Table 1 fault schedules (derived from `--fault-seed`), asserting the
+//! reference semantics, pre-resolved semantics, VM, and pre-decoded VM
+//! observe identical outcomes and injected-fault logs under each.
 //!
 //! Strategies: `runtime-unwind`, `cutting`, `native-unwind`, `cps`,
 //! `sjlj-pentium`, `sjlj-sparc`, `sjlj-alpha`.
@@ -223,6 +229,19 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     "--corpus" => {
                         cfg.corpus_dir =
                             Some(args.next().ok_or("--corpus needs a directory")?.into());
+                    }
+                    "--chaos" => cfg.chaos = true,
+                    "--fault-seed" => {
+                        cfg.fault_seed = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--fault-seed needs a number")?;
+                    }
+                    "--schedules" => {
+                        cfg.schedules = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--schedules needs a number")?;
                     }
                     other => return Err(format!("unknown fuzz option `{other}`")),
                 }
@@ -504,6 +523,7 @@ fn usage() -> String {
      \x20      cmm trace <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0] [--out F]\n\
      \x20      cmm profile <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0]\n\
      \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]\n\
+     \x20               [--chaos] [--fault-seed S] [--schedules K]\n\
      \x20      cmm fuzz --replay DIR"
         .into()
 }

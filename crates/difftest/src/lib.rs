@@ -32,8 +32,10 @@ pub mod shrink;
 
 pub use genprog::{generate, shrink_candidates, TestCase};
 pub use oracle::{
-    observe_sem, observe_sem_resolved, observe_traced, observe_vm, observe_vm_decoded,
-    pass_variants, run_case, run_case_with, run_source, ExtraPass, Failure, Limits, Obs, Outcome,
+    observe_sem, observe_sem_chaos, observe_sem_resolved, observe_sem_resolved_chaos,
+    observe_traced, observe_vm, observe_vm_chaos, observe_vm_decoded, observe_vm_decoded_chaos,
+    pass_variants, run_case, run_case_with, run_source, run_source_chaos, ExtraPass, Failure,
+    Limits, Obs, Outcome,
 };
 pub use rng::Rng;
 pub use shrink::shrink;
@@ -59,6 +61,15 @@ pub struct FuzzConfig {
     pub shrink_budget: usize,
     /// Stop after this many failures.
     pub max_failures: usize,
+    /// Additionally run each case under seeded Table 1 fault schedules
+    /// (`cmm fuzz --chaos`), asserting all four engines observe the same
+    /// outcomes and injected-fault logs.
+    pub chaos: bool,
+    /// Base seed for the fault schedules; schedule `k` of a case uses
+    /// `schedule_seed(fault_seed, k)`.
+    pub fault_seed: u64,
+    /// Fault schedules per case when `chaos` is on.
+    pub schedules: u64,
 }
 
 impl Default for FuzzConfig {
@@ -71,6 +82,9 @@ impl Default for FuzzConfig {
             limits: Limits::default(),
             shrink_budget: 4000,
             max_failures: 1,
+            chaos: false,
+            fault_seed: 0,
+            schedules: 5,
         }
     }
 }
@@ -125,27 +139,46 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 /// [`run_fuzz`] with extra injected passes (see [`oracle::run_case_with`]).
 pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzReport {
     let mut report = FuzzReport::default();
+    // The full per-case check: the normal oracle stack, then (in chaos
+    // mode) the cross-engine fault-schedule sweep.
+    let check = |case: &TestCase| -> Result<(), Failure> {
+        oracle::run_case_with(case, &cfg.limits, extra_passes)?;
+        if cfg.chaos {
+            oracle::run_source_chaos(
+                &case.render(),
+                case.args,
+                &cfg.limits,
+                cfg.fault_seed,
+                cfg.schedules,
+            )?;
+        }
+        Ok(())
+    };
     for index in 0..cfg.cases as u64 {
         let case = case_for(cfg.seed, index);
         report.cases_run += 1;
-        let Err(failure) = oracle::run_case_with(&case, &cfg.limits, extra_passes) else {
+        let Err(failure) = check(&case) else {
             continue;
         };
         let shrunk = if cfg.shrink {
-            let limits = cfg.limits;
+            // Only candidates reproducing the original classification
+            // count: shrinking must not wander from, say, a panic to an
+            // unrelated divergence.
+            let class = failure.classify();
             Some(shrink::shrink(
                 &case,
-                &mut |c| oracle::run_case_with(c, &limits, extra_passes).is_err(),
+                &mut |c| check(c).is_err_and(|f| f.classify() == class),
                 cfg.shrink_budget,
             ))
         } else {
             None
         };
         let reported = shrunk.as_ref().unwrap_or(&case);
+        let chaos = cfg.chaos.then_some((cfg.fault_seed, cfg.schedules));
         let corpus_path = cfg
             .corpus_dir
             .as_deref()
-            .and_then(|dir| write_reproducer(dir, cfg.seed, index, reported, &failure).ok());
+            .and_then(|dir| write_reproducer(dir, cfg.seed, index, reported, &failure, chaos).ok());
         // Shrinking may move the divergence to a different oracle, so
         // the artifact names whichever oracle fails on the *reported*
         // case.
@@ -187,13 +220,16 @@ pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzRe
 
 /// Writes a standalone reproducer file `case-s<seed>-i<index>.cmm` into
 /// `dir`, creating it if necessary. The header comment records the
-/// failure and how to re-run the case.
+/// failure and how to re-run the case; a chaos-sweep failure records its
+/// `(fault_seed, schedules)` so [`replay_corpus`] re-runs the same fault
+/// schedules.
 pub fn write_reproducer(
     dir: &Path,
     seed: u64,
     index: u64,
     case: &TestCase,
     failure: &Failure,
+    chaos: Option<(u64, u64)>,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("case-s{seed}-i{index}.cmm"));
@@ -207,12 +243,24 @@ pub fn write_reproducer(
         let _ = writeln!(text, " * {line}");
     }
     let _ = writeln!(text, " *");
+    let chaos_flags = match chaos {
+        Some((fault_seed, schedules)) => {
+            format!(" --chaos --fault-seed {fault_seed} --schedules {schedules}")
+        }
+        None => String::new(),
+    };
     let _ = writeln!(
         text,
-        " * Reproduce with: cmm fuzz --seed {seed} --cases {} --shrink",
+        " * Reproduce with: cmm fuzz --seed {seed} --cases {} --shrink{chaos_flags}",
         index + 1
     );
     let _ = writeln!(text, " * Entry point: f({}, {})", case.args.0, case.args.1);
+    if let Some((fault_seed, schedules)) = chaos {
+        let _ = writeln!(
+            text,
+            " * Chaos: fault-seed {fault_seed}, schedules {schedules}"
+        );
+    }
     let _ = writeln!(text, " */");
     text.push_str(&case.render());
     std::fs::write(&path, text)?;
@@ -323,7 +371,9 @@ impl ReplayReport {
 /// variant, and both VM engines. Entry arguments are recovered from the
 /// reproducer header written by [`write_reproducer`]
 /// (`* Entry point: f(A, B)`), defaulting to `f(0, 0)` for hand-written
-/// corpus files without one.
+/// corpus files without one. A `* Chaos: fault-seed F, schedules K`
+/// header additionally replays the case under the same K fault
+/// schedules through all four engines.
 ///
 /// A file that fails to parse is itself a failure: a stale corpus must
 /// be loud, not silently skipped.
@@ -342,7 +392,14 @@ pub fn replay_corpus(dir: &Path, limits: &Limits) -> std::io::Result<ReplayRepor
         let text = std::fs::read_to_string(&path)?;
         let args = entry_args(&text).unwrap_or((0, 0));
         report.files_run += 1;
-        if let Err(failure) = oracle::run_source(&text, args, limits) {
+        let replayed =
+            oracle::run_source(&text, args, limits).and_then(|()| match chaos_header(&text) {
+                Some((fault_seed, schedules)) => {
+                    oracle::run_source_chaos(&text, args, limits, fault_seed, schedules)
+                }
+                None => Ok(()),
+            });
+        if let Err(failure) = replayed {
             report.failures.push(ReplayFailure { path, failure });
         }
     }
@@ -358,6 +415,17 @@ fn entry_args(text: &str) -> Option<(u32, u32)> {
     let a = parts.next()?.trim().parse().ok()?;
     let b = parts.next()?.trim().parse().ok()?;
     Some((a, b))
+}
+
+/// Parses the `* Chaos: fault-seed F, schedules K` header line.
+fn chaos_header(text: &str) -> Option<(u64, u64)> {
+    let line = text.lines().find(|l| l.contains("Chaos: fault-seed "))?;
+    let rest = &line[line.find("fault-seed ")? + "fault-seed ".len()..];
+    let mut parts = rest.split(',');
+    let fault_seed = parts.next()?.trim().parse().ok()?;
+    let sched_part = parts.next()?.trim();
+    let schedules = sched_part.strip_prefix("schedules ")?.trim().parse().ok()?;
+    Some((fault_seed, schedules))
 }
 
 #[cfg(test)]
@@ -401,7 +469,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let case = case_for(5, 2);
         let failure = Failure::Build("synthetic".into());
-        write_reproducer(&dir, 5, 2, &case, &failure).unwrap();
+        write_reproducer(&dir, 5, 2, &case, &failure, None).unwrap();
         std::fs::write(dir.join("case-stale.cmm"), "not a program at all").unwrap();
         let report = replay_corpus(&dir, &Limits::default()).unwrap();
         assert_eq!(report.files_run, 2);
@@ -433,10 +501,67 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let case = case_for(3, 1);
         let failure = Failure::Build("synthetic".into());
-        let path = write_reproducer(&dir, 3, 1, &case, &failure).unwrap();
+        let path = write_reproducer(&dir, 3, 1, &case, &failure, None).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("/* cmm-difftest reproducer"));
         cmm_parse::parse_module(&text).expect("reproducer parses (comment included)");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_header_round_trips() {
+        assert_eq!(
+            chaos_header("/* x\n * Chaos: fault-seed 7, schedules 3\n */"),
+            Some((7, 3))
+        );
+        assert_eq!(chaos_header("/* no chaos here */"), None);
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failure_classification() {
+        // Property (satellite of the chaos PR): the minimized case must
+        // reproduce the *same classification* of failure as the case it
+        // was shrunk from, for every failure in a sweep against a
+        // deliberately broken pass.
+        let force_true = |p: &mut cmm_cfg::Program| {
+            for g in p.procs.values_mut() {
+                for id in 0..g.nodes.len() {
+                    let id = cmm_cfg::NodeId(id as u32);
+                    if let cmm_cfg::Node::Branch { t, .. } = g.node(id) {
+                        let t = *t;
+                        *g.node_mut(id) = cmm_cfg::Node::Branch {
+                            cond: cmm_ir::Expr::b32(1),
+                            t,
+                            f: t,
+                        };
+                    }
+                }
+            }
+        };
+        let cfg = FuzzConfig {
+            cases: 80,
+            shrink: true,
+            shrink_budget: 400,
+            max_failures: 3,
+            ..FuzzConfig::default()
+        };
+        let passes: &[ExtraPass<'_>] = &[("force-true", &force_true)];
+        let report = run_fuzz_with(&cfg, passes);
+        assert!(
+            !report.failures.is_empty(),
+            "no case in 0..80 exposed the forced-branch pass"
+        );
+        for f in &report.failures {
+            let shrunk = f.shrunk.as_ref().expect("shrinking was enabled");
+            let refail = oracle::run_case_with(shrunk, &cfg.limits, passes)
+                .expect_err("shrunk case must still fail");
+            assert_eq!(
+                refail.classify(),
+                f.failure.classify(),
+                "shrunk case slid from {} to {}",
+                f.failure,
+                refail
+            );
+        }
     }
 }

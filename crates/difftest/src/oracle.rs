@@ -24,6 +24,7 @@
 
 use crate::genprog::TestCase;
 use cmm_cfg::Program;
+use cmm_chaos::{schedule_seed, FaultPlan, InjectedFault};
 use cmm_obs::{RecordingSink, TimedEvent, TraceSink};
 use cmm_opt::OptOptions;
 use cmm_rt::Thread;
@@ -31,6 +32,12 @@ use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemEngine, Status, Valu
 use cmm_vm::{VmProgram, VmStatus, VmThread};
 use std::fmt;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Latest invocation (per Table 1 op) at which a seeded fault plan may
+/// schedule its failure. Small, so most scheduled faults actually fire
+/// within a dispatch exchange or two.
+pub const CHAOS_HORIZON: u64 = 4;
 
 /// Execution limits shared by every oracle.
 #[derive(Clone, Copy, Debug)]
@@ -260,6 +267,131 @@ fn observe_vm_thread<S: TraceSink>(
     }
 }
 
+/// [`observe_sem`] with a `cmm-chaos` fault plan installed on the
+/// thread; additionally returns the log of faults actually injected.
+pub fn observe_sem_chaos(
+    prog: &Program,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: &FaultPlan,
+) -> (Obs, String, Vec<InjectedFault>) {
+    let mut t = Thread::new(prog);
+    t.set_chaos(plan.clone());
+    let (o, d) = observe_sem_thread(&mut t, args, limits);
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    (o, d, log)
+}
+
+/// [`observe_sem_resolved`] under a fault plan.
+pub fn observe_sem_resolved_chaos(
+    prog: &Program,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: &FaultPlan,
+) -> (Obs, String, Vec<InjectedFault>) {
+    let rp = ResolvedProgram::new(prog);
+    let mut t = Thread::new_resolved(&rp);
+    t.set_chaos(plan.clone());
+    let (o, d) = observe_sem_thread(&mut t, args, limits);
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    (o, d, log)
+}
+
+/// [`observe_vm`] under a fault plan.
+pub fn observe_vm_chaos(
+    prog: &VmProgram,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: &FaultPlan,
+) -> (Obs, String, Vec<InjectedFault>) {
+    let mut t = VmThread::new(prog);
+    t.set_chaos(plan.clone());
+    let (o, d) = observe_vm_thread(&mut t, args, limits);
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    (o, d, log)
+}
+
+/// [`observe_vm_decoded`] under a fault plan.
+pub fn observe_vm_decoded_chaos(
+    prog: &VmProgram,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: &FaultPlan,
+) -> (Obs, String, Vec<InjectedFault>) {
+    let mut t = VmThread::new_decoded(prog);
+    t.set_chaos(plan.clone());
+    let (o, d) = observe_vm_thread(&mut t, args, limits);
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    (o, d, log)
+}
+
+/// An observation plus the injected-fault log, described for reports.
+fn describe_chaos(obs: &Obs, detail: &str, log: &[InjectedFault]) -> String {
+    let mut s = obs.describe(detail);
+    if !log.is_empty() {
+        let faults: Vec<String> = log.iter().map(|f| f.to_string()).collect();
+        let _ = write!(s, " faults [{}]", faults.join(", "));
+    }
+    s
+}
+
+/// Runs raw source under `schedules` seeded fault plans, asserting that
+/// all four engines — reference semantics, pre-resolved semantics, VM,
+/// and pre-decoded VM — observe the *same* outcome, yield sequence, and
+/// injected-fault log under each plan. Every oracle is panic-isolated.
+///
+/// Schedule `k` uses `FaultPlan::seeded(schedule_seed(fault_seed, k))`,
+/// so the whole sweep is bit-reproducible from `fault_seed`.
+///
+/// # Errors
+///
+/// As [`run_source`], plus [`Failure::Diverged`] with an oracle name of
+/// the form `vm@chaos3` when engines disagree under schedule 3, and
+/// [`Failure::Panicked`] if an engine panics instead of failing softly.
+pub fn run_source_chaos(
+    src: &str,
+    args: (u32, u32),
+    limits: &Limits,
+    fault_seed: u64,
+    schedules: u64,
+) -> Result<(), Failure> {
+    let module = cmm_parse::parse_module(src).map_err(|e| Failure::Parse(e.to_string()))?;
+    let program = cmm_cfg::build_program(&module).map_err(|e| Failure::Build(e.to_string()))?;
+    let vm_prog = cmm_vm::compile(&program).map_err(|e| Failure::Codegen(e.to_string()))?;
+    for k in 0..schedules {
+        let plan = FaultPlan::seeded(schedule_seed(fault_seed, k), CHAOS_HORIZON);
+        let (reference, ref_detail, ref_log) = guarded(&format!("sem@chaos{k}"), || {
+            observe_sem_chaos(&program, args, limits, &plan)
+        })?;
+        let ref_desc = describe_chaos(&reference, &ref_detail, &ref_log);
+        let compare =
+            |name: &str, (o, d, log): (Obs, String, Vec<InjectedFault>)| -> Result<(), Failure> {
+                if o == reference && log == ref_log {
+                    Ok(())
+                } else {
+                    Err(Failure::Diverged {
+                        oracle: format!("{name}@chaos{k}"),
+                        reference: ref_desc.clone(),
+                        observed: describe_chaos(&o, &d, &log),
+                    })
+                }
+            };
+        let r = guarded(&format!("sem-resolved@chaos{k}"), || {
+            observe_sem_resolved_chaos(&program, args, limits, &plan)
+        })?;
+        compare("sem-resolved", r)?;
+        let r = guarded(&format!("vm@chaos{k}"), || {
+            observe_vm_chaos(&vm_prog, args, limits, &plan)
+        })?;
+        compare("vm", r)?;
+        let r = guarded(&format!("vm-decoded@chaos{k}"), || {
+            observe_vm_decoded_chaos(&vm_prog, args, limits, &plan)
+        })?;
+        compare("vm-decoded", r)?;
+    }
+    Ok(())
+}
+
 /// Re-runs one named oracle over raw source with a recording sink in
 /// the engine, returning the observation, its detail text, and the
 /// recorded exception-flow event stream.
@@ -382,6 +514,33 @@ pub enum Failure {
         /// The divergent observation, described.
         observed: String,
     },
+    /// An oracle panicked instead of reporting a recoverable status —
+    /// always an engine bug. The panic is caught per oracle, so a
+    /// crashing engine becomes a reported, shrinkable failure instead of
+    /// killing the harness.
+    Panicked {
+        /// Which oracle panicked.
+        oracle: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl Failure {
+    /// A coarse classification, stable under shrinking: the minimizer
+    /// only accepts candidates reproducing the original classification,
+    /// so a shrunk reproducer demonstrates the *same kind* of bug.
+    pub fn classify(&self) -> &'static str {
+        match self {
+            Failure::Parse(_) => "parse",
+            Failure::Verify(_) => "verify",
+            Failure::RoundTrip(_) => "round-trip",
+            Failure::Build(_) => "build",
+            Failure::Codegen(_) => "codegen",
+            Failure::Diverged { .. } => "diverged",
+            Failure::Panicked { .. } => "panicked",
+        }
+    }
 }
 
 impl fmt::Display for Failure {
@@ -406,8 +565,29 @@ impl fmt::Display for Failure {
                     "oracle {oracle} diverged: reference {reference}, observed {observed}"
                 )
             }
+            Failure::Panicked { oracle, message } => {
+                write!(f, "oracle {oracle} panicked: {message}")
+            }
         }
     }
+}
+
+/// Runs one oracle with panics isolated: a panicking engine is reported
+/// as [`Failure::Panicked`] rather than unwinding through the harness.
+fn guarded<T>(oracle: &str, f: impl FnOnce() -> T) -> Result<T, Failure> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
+        let message = if let Some(s) = e.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = e.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Failure::Panicked {
+            oracle: oracle.to_string(),
+            message,
+        }
+    })
 }
 
 fn diverged(oracle: String, reference: &Obs, ref_detail: &str, obs: &Obs, detail: &str) -> Failure {
@@ -469,11 +649,14 @@ fn run_source_with(
     }
     let program = cmm_cfg::build_program(&module).map_err(|e| Failure::Build(e.to_string()))?;
 
-    let (reference, ref_detail) = observe_sem(&program, case_args, limits);
+    let (reference, ref_detail) =
+        guarded("reference", || observe_sem(&program, case_args, limits))?;
 
     // The pre-resolved engine over the same unoptimized program: an
     // engine-equivalence oracle rather than a pass oracle.
-    let (o, detail) = observe_sem_resolved(&program, case_args, limits);
+    let (o, detail) = guarded("sem-resolved", || {
+        observe_sem_resolved(&program, case_args, limits)
+    })?;
     if o != reference {
         return Err(diverged(
             "sem-resolved".into(),
@@ -485,9 +668,11 @@ fn run_source_with(
     }
 
     for (name, opts) in pass_variants() {
-        let mut p = program.clone();
-        cmm_opt::optimize_program(&mut p, &opts);
-        let (o, detail) = observe_sem(&p, case_args, limits);
+        let (o, detail) = guarded(&format!("sem+{name}"), || {
+            let mut p = program.clone();
+            cmm_opt::optimize_program(&mut p, &opts);
+            observe_sem(&p, case_args, limits)
+        })?;
         if o != reference {
             return Err(diverged(
                 format!("sem+{name}"),
@@ -500,9 +685,11 @@ fn run_source_with(
     }
 
     for (name, pass) in extra_passes {
-        let mut p = program.clone();
-        pass(&mut p);
-        let (o, detail) = observe_sem(&p, case_args, limits);
+        let (o, detail) = guarded(&format!("sem+{name}"), || {
+            let mut p = program.clone();
+            pass(&mut p);
+            observe_sem(&p, case_args, limits)
+        })?;
         if o != reference {
             return Err(diverged(
                 format!("sem+{name}"),
@@ -515,12 +702,14 @@ fn run_source_with(
     }
 
     let vm_prog = cmm_vm::compile(&program).map_err(|e| Failure::Codegen(e.to_string()))?;
-    let (o, detail) = observe_vm(&vm_prog, case_args, limits);
+    let (o, detail) = guarded("vm", || observe_vm(&vm_prog, case_args, limits))?;
     if o != reference {
         return Err(diverged("vm".into(), &reference, &ref_detail, &o, &detail));
     }
 
-    let (o, detail) = observe_vm_decoded(&vm_prog, case_args, limits);
+    let (o, detail) = guarded("vm-decoded", || {
+        observe_vm_decoded(&vm_prog, case_args, limits)
+    })?;
     if o != reference {
         return Err(diverged(
             "vm-decoded".into(),
@@ -534,7 +723,7 @@ fn run_source_with(
     let mut p = program.clone();
     cmm_opt::optimize_program(&mut p, &OptOptions::default());
     let vm_opt = cmm_vm::compile(&p).map_err(|e| Failure::Codegen(format!("after O2: {e}")))?;
-    let (o, detail) = observe_vm(&vm_opt, case_args, limits);
+    let (o, detail) = guarded("vm+O2", || observe_vm(&vm_opt, case_args, limits))?;
     if o != reference {
         return Err(diverged(
             "vm+O2".into(),
@@ -545,7 +734,9 @@ fn run_source_with(
         ));
     }
 
-    let (o, detail) = observe_vm_decoded(&vm_opt, case_args, limits);
+    let (o, detail) = guarded("vm-decoded+O2", || {
+        observe_vm_decoded(&vm_opt, case_args, limits)
+    })?;
     if o != reference {
         return Err(diverged(
             "vm-decoded+O2".into(),
@@ -650,5 +841,88 @@ mod tests {
             )
         });
         assert!(caught, "no seed in 0..60 exposed the forced-branch pass");
+    }
+
+    #[test]
+    fn chaos_sweep_agrees_on_generated_cases() {
+        let limits = Limits::default();
+        for seed in 0..30 {
+            let case = generate(&mut Rng::new(seed));
+            if let Err(f) = run_source_chaos(&case.render(), case.args, &limits, seed, 3) {
+                panic!("seed {seed} chaos sweep failed: {f}\n{}", case.render());
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_faults_actually_fire_on_yielding_cases() {
+        // The sweep above is vacuous if no schedule ever trips; find a
+        // (case, schedule) pair whose fault log is non-empty and check
+        // all four engines observed the identical log.
+        let limits = Limits::default();
+        for seed in 0..60 {
+            let case = generate(&mut Rng::new(seed));
+            let src = case.render();
+            let m = cmm_parse::parse_module(&src).unwrap();
+            let prog = cmm_cfg::build_program(&m).unwrap();
+            let vp = cmm_vm::compile(&prog).unwrap();
+            for k in 0..5 {
+                let plan = FaultPlan::seeded(schedule_seed(seed, k), CHAOS_HORIZON);
+                let (o1, _, log) = observe_sem_chaos(&prog, case.args, &limits, &plan);
+                if log.is_empty() {
+                    continue;
+                }
+                let (o2, _, l2) = observe_sem_resolved_chaos(&prog, case.args, &limits, &plan);
+                let (o3, _, l3) = observe_vm_chaos(&vp, case.args, &limits, &plan);
+                let (o4, _, l4) = observe_vm_decoded_chaos(&vp, case.args, &limits, &plan);
+                assert_eq!((&o1, &log), (&o2, &l2), "sem-resolved diverged\n{src}");
+                assert_eq!((&o1, &log), (&o3, &l3), "vm diverged\n{src}");
+                assert_eq!((&o1, &log), (&o4, &l4), "vm-decoded diverged\n{src}");
+                return;
+            }
+        }
+        panic!("no (seed, schedule) pair in 0..60 x 0..5 ever injected a fault");
+    }
+
+    #[test]
+    fn chaos_observations_are_bit_reproducible() {
+        // Same (case seed, fault seed) in, same observation out — twice.
+        let limits = Limits::default();
+        let case = generate(&mut Rng::new(11));
+        let src = case.render();
+        let m = cmm_parse::parse_module(&src).unwrap();
+        let prog = cmm_cfg::build_program(&m).unwrap();
+        let vp = cmm_vm::compile(&prog).unwrap();
+        for k in 0..5 {
+            let plan = FaultPlan::seeded(schedule_seed(99, k), CHAOS_HORIZON);
+            assert_eq!(
+                observe_sem_chaos(&prog, case.args, &limits, &plan),
+                observe_sem_chaos(&prog, case.args, &limits, &plan),
+            );
+            assert_eq!(
+                observe_vm_chaos(&vp, case.args, &limits, &plan),
+                observe_vm_chaos(&vp, case.args, &limits, &plan),
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_pass_is_isolated_and_classified() {
+        // A pass that panics outright must surface as a Panicked
+        // failure naming the oracle, not abort the fuzzing run.
+        let boom = |_: &mut Program| panic!("intentional test panic");
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let case = generate(&mut Rng::new(0));
+        let result = run_case_with(&case, &Limits::default(), &[("boom", &boom)]);
+        std::panic::set_hook(prev);
+        match result {
+            Err(f @ Failure::Panicked { .. }) => {
+                assert_eq!(f.classify(), "panicked");
+                assert!(f.to_string().contains("sem+boom"), "got: {f}");
+                assert!(f.to_string().contains("intentional test panic"), "got: {f}");
+            }
+            other => panic!("expected a panicked failure, got {other:?}"),
+        }
     }
 }

@@ -3,10 +3,12 @@
 //! Greedy first-improvement descent: [`crate::genprog::shrink_candidates`]
 //! proposes one-step-simpler variants in decreasing order of how much
 //! they simplify, the first variant that still fails becomes the new
-//! current case, and the loop repeats to a fixpoint. The predicate is
-//! "still fails *somehow*" rather than "fails identically" — sliding to
-//! a different failure during shrinking still leaves a real bug, and the
-//! looser predicate shrinks much further.
+//! current case, and the loop repeats to a fixpoint. The predicate the
+//! fuzzer supplies is "still fails with the *same classification*"
+//! (diverged, panicked, …): looser than "fails identically", so the
+//! minimizer can still slide between bugs of one kind, but tight enough
+//! that a panic reproducer never wanders off to an unrelated
+//! divergence.
 
 use crate::genprog::{shrink_candidates, TestCase};
 

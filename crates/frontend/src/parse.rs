@@ -89,7 +89,11 @@ fn tokenize(src: &str) -> Vec<Tok> {
         {
             i += 2;
         } else {
-            i += 1;
+            // Advance over the whole (possibly multi-byte) character so
+            // the slice below stays on a char boundary: unknown input
+            // becomes an unrecognized token the parser rejects with a
+            // normal error, never a panic.
+            i += src[i..].chars().next().map_or(1, char::len_utf8);
         }
         toks.push(Tok {
             text: src[start..i].to_string(),
@@ -488,5 +492,12 @@ mod tests {
     fn errors_have_positions() {
         let e = parse_minim3("proc f( { }").unwrap_err();
         assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn multibyte_input_is_an_error_not_a_panic() {
+        let e = parse_minim3("proc f(x) { return x λ 1; }").unwrap_err();
+        assert!(e.message.contains("expected"));
+        assert!(parse_minim3("λλλ").is_err());
     }
 }

@@ -141,6 +141,9 @@ pub fn chrome_trace_json(entry: &Name, events: &[TimedEvent]) -> String {
             Event::Yield { code } => {
                 w.instant(ts, &format!("yield {code}"), "yield");
             }
+            Event::Chaos { what } => {
+                w.instant(ts, &format!("chaos {what}"), "chaos");
+            }
             Event::Rts(op) => {
                 w.instant(ts, &t.event.render(), "rts");
                 match op {

@@ -186,13 +186,25 @@ pub enum Event {
     },
     /// A Table 1 operation.
     Rts(RtsOp),
+    /// A `cmm-chaos` intervention: an injected Table 1 fault or a
+    /// resource-governor limit trip. Instrumentation, not semantics —
+    /// excluded from the projection (governor trips are expressed in
+    /// engine-family units and need not align across families).
+    Chaos {
+        /// What was injected or tripped, e.g. `"fault resume #2"` or
+        /// `"limit stack-depth"`.
+        what: String,
+    },
 }
 
 impl Event {
     /// Whether this event is part of the engine-independent exception
     /// projection (see the module documentation).
     pub fn in_projection(&self) -> bool {
-        !matches!(self, Event::ContCapture { .. } | Event::ContDeath { .. })
+        !matches!(
+            self,
+            Event::ContCapture { .. } | Event::ContDeath { .. } | Event::Chaos { .. }
+        )
     }
 
     /// A canonical one-line rendering. Projection-relevant fields only:
@@ -240,6 +252,7 @@ impl Event {
                     format!("rts GetDescriptor {index} found={found}")
                 }
             },
+            Event::Chaos { what } => format!("chaos {what}"),
         }
     }
 }

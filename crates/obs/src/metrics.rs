@@ -171,7 +171,7 @@ impl Profile {
                     Self::truncate_to(&mut p, &mut stack, target);
                 }
                 Event::Yield { .. } => {}
-                Event::ContCapture { .. } | Event::ContDeath { .. } => {}
+                Event::ContCapture { .. } | Event::ContDeath { .. } | Event::Chaos { .. } => {}
                 Event::Rts(op) => {
                     *p.rts_ops.entry(op.name()).or_default() += 1;
                     match op {

@@ -102,6 +102,9 @@ pub struct EventCounts {
     pub cont_captures: u64,
     /// Continuation deaths (abstract machine only).
     pub cont_deaths: u64,
+    /// Chaos interventions: injected Table 1 faults and governor limit
+    /// trips (zero outside chaos runs).
+    pub chaos_events: u64,
 }
 
 impl EventCounts {
@@ -123,6 +126,7 @@ impl EventCounts {
             Event::ContDeath { .. } => self.cont_deaths += 1,
             Event::Yield { .. } => self.yields += 1,
             Event::Rts(_) => self.rts_ops += 1,
+            Event::Chaos { .. } => self.chaos_events += 1,
         }
     }
 

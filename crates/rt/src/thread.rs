@@ -1,6 +1,7 @@
 //! Threads and activation handles.
 
 use cmm_cfg::{Bundle, Graph, Node, Program};
+use cmm_chaos::{ChaosOp, FaultPlan, InjectedFault};
 use cmm_ir::{Name, Ty};
 use cmm_obs::{Event, ResumeKind, RtsOp};
 use cmm_sem::{
@@ -54,6 +55,7 @@ enum Pending {
 pub struct Thread<'p, M: SemEngine<'p> = Machine<'p>> {
     machine: M,
     pending: Option<Pending>,
+    chaos: Option<Box<FaultPlan>>,
     _marker: PhantomData<&'p ()>,
 }
 
@@ -85,8 +87,36 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
         Thread {
             machine,
             pending: None,
+            chaos: None,
             _marker: PhantomData,
         }
+    }
+
+    /// Installs a `cmm-chaos` fault plan: each Table 1 operation consults
+    /// the plan before doing any real work, and a scheduled fault makes
+    /// the operation fail (return `None`/`false`, or
+    /// [`Wrong::ChaosFault`]) without touching the thread.
+    pub fn set_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(Box::new(plan));
+    }
+
+    /// The installed fault plan, if any (its log records every fault
+    /// actually injected so far).
+    pub fn chaos(&self) -> Option<&FaultPlan> {
+        self.chaos.as_deref()
+    }
+
+    /// Consults the fault plan for `op`. On a scheduled fault, records a
+    /// `chaos` trace event and returns the fault for the caller to turn
+    /// into the op's failure mode.
+    fn trip(&mut self, op: ChaosOp) -> Option<InjectedFault> {
+        let fault = self.chaos.as_mut()?.trip(op)?;
+        if self.machine.trace_enabled() {
+            self.machine.trace(Event::Chaos {
+                what: format!("fault {fault}"),
+            });
+        }
+        Some(fault)
     }
 
     /// Starts executing the named procedure (see [`Machine::start`]).
@@ -158,6 +188,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// Returns `None` if the thread is not suspended or has no
     /// activations.
     pub fn first_activation(&mut self) -> Option<Activation> {
+        if self.trip(ChaosOp::FirstActivation).is_some() {
+            return None;
+        }
         let found = matches!(self.machine.status(), Status::Suspended) && self.machine.depth() > 0;
         if self.machine.trace_enabled() {
             let proc = if found {
@@ -180,6 +213,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// at the bottom of the stack (the paper's dispatcher treats that as
     /// an unhandled exception).
     pub fn next_activation(&mut self, a: &mut Activation) -> bool {
+        if self.trip(ChaosOp::NextActivation).is_some() {
+            return false;
+        }
         let moved = if a.index + 1 < self.machine.depth() {
             a.index += 1;
             true
@@ -209,6 +245,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// block named by the n'th `also descriptor` annotation at the call
     /// site where the activation is suspended.
     pub fn get_descriptor(&mut self, a: &Activation, n: usize) -> Option<u64> {
+        if self.trip(ChaosOp::GetDescriptor).is_some() {
+            return None;
+        }
         let addr = (|| {
             let (_, _, descriptors) = self.call_site(a.index)?;
             let name = descriptors.get(n)?;
@@ -236,6 +275,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     ///
     /// Fails if the thread is not suspended.
     pub fn set_activation(&mut self, a: &Activation) -> Result<(), Wrong> {
+        if let Some(fault) = self.trip(ChaosOp::SetActivation) {
+            return Err(chaos_wrong(fault));
+        }
         let r = self.set_activation_inner(a);
         if self.machine.trace_enabled() {
             self.machine
@@ -272,6 +314,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// [`Thread::set_activation`], or the call site has fewer than `n+1`
     /// unwind continuations.
     pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), Wrong> {
+        if let Some(fault) = self.trip(ChaosOp::SetUnwindCont) {
+            return Err(chaos_wrong(fault));
+        }
         let r = self.set_unwind_cont_inner(n);
         if self.machine.trace_enabled() {
             self.machine.trace(Event::Rts(RtsOp::SetUnwindCont {
@@ -321,6 +366,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// Fails if the thread is not suspended or `k` is not a live
     /// continuation value.
     pub fn set_cut_to_cont(&mut self, k: Value) -> Result<(), Wrong> {
+        if let Some(fault) = self.trip(ChaosOp::SetCutToCont) {
+            return Err(chaos_wrong(fault));
+        }
         let r = self.set_cut_to_cont_inner(k);
         if self.machine.trace_enabled() {
             self.machine.trace(Event::Rts(RtsOp::SetCutToCont {
@@ -353,6 +401,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// be returned to thread `t`". Write the parameter value through the
     /// returned reference before calling [`Thread::resume`].
     pub fn find_cont_param(&mut self, n: usize) -> Option<&mut Value> {
+        if self.trip(ChaosOp::FindContParam).is_some() {
+            return None;
+        }
         let found = match self.pending.as_ref() {
             Some(Pending::Activation { params, .. }) | Some(Pending::CutTo { params, .. }) => {
                 n < params.len()
@@ -380,6 +431,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// not abortable, or if the continuation is dead or unannotated. On
     /// error the suspension is left intact where possible.
     pub fn resume(&mut self) -> Result<(), Wrong> {
+        if let Some(fault) = self.trip(ChaosOp::Resume) {
+            return Err(chaos_wrong(fault));
+        }
         let kind = match &self.pending {
             Some(Pending::CutTo { .. }) => ResumeKind::Cut,
             Some(Pending::Activation {
@@ -424,7 +478,9 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
                         let (_, bundle, _) = self
                             .call_site(0)
                             .ok_or_else(|| Wrong::RtsViolation("empty stack".into()))?;
-                        let normal = bundle.returns.len() - 1;
+                        let normal = bundle.returns.len().checked_sub(1).ok_or_else(|| {
+                            Wrong::RtsViolation("call site has no return continuation".into())
+                        })?;
                         self.machine.rts_resume(RtsTarget::Return(normal), params)
                     }
                 }
@@ -456,6 +512,13 @@ impl<'p, M: SemEngine<'p>> Thread<'p, M> {
     /// Writes a 32-bit word to memory.
     pub fn write_u32(&mut self, addr: u64, v: u32) {
         self.machine.store(Ty::B32, addr, u64::from(v));
+    }
+}
+
+fn chaos_wrong(fault: InjectedFault) -> Wrong {
+    Wrong::ChaosFault {
+        op: fault.op.name().into(),
+        invocation: fault.invocation,
     }
 }
 
@@ -660,5 +723,86 @@ mod tests {
         t.run(100_000);
         let a = t.first_activation().unwrap();
         assert_eq!(t.get_descriptor(&a, 0), None);
+    }
+
+    #[test]
+    fn chaos_faults_option_ops_to_none() {
+        let p = prog(NEST);
+        let mut t = Thread::new(&p);
+        t.set_chaos(FaultPlan::failing(ChaosOp::FirstActivation, 1));
+        t.start("f", vec![]).unwrap();
+        assert_eq!(t.run(100_000), Status::Suspended);
+        assert!(t.first_activation().is_none(), "fault masks the walk root");
+        let log = t.chaos().unwrap().log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].op, ChaosOp::FirstActivation);
+        assert_eq!(log[0].invocation, 1);
+        // The schedule trips once; the op works again afterwards.
+        assert!(t.first_activation().is_some());
+    }
+
+    #[test]
+    fn chaos_faults_result_ops_to_chaos_wrong() {
+        let p = prog(NEST);
+        let mut t = Thread::new(&p);
+        t.set_chaos(FaultPlan::failing(ChaosOp::SetUnwindCont, 1));
+        t.start("f", vec![]).unwrap();
+        assert_eq!(t.run(100_000), Status::Suspended);
+        let mut a = t.first_activation().unwrap();
+        while t.next_activation(&mut a) {}
+        t.set_activation(&a).unwrap();
+        match t.set_unwind_cont(1) {
+            Err(Wrong::ChaosFault { op, invocation }) => {
+                assert_eq!(op, "set-unwind-cont");
+                assert_eq!(invocation, 1);
+            }
+            other => panic!("expected an injected fault, got {other:?}"),
+        }
+        // Recoverable: retry the op, finish the unwind normally.
+        t.set_unwind_cont(1).unwrap();
+        *t.find_cont_param(0).unwrap() = Value::b32(40);
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), Status::Terminated(vec![Value::b32(42)]));
+    }
+
+    #[test]
+    fn chaos_counts_invocations_per_op() {
+        let p = prog(NEST);
+        let mut t = Thread::new(&p);
+        t.set_chaos(FaultPlan::failing(ChaosOp::NextActivation, 2));
+        t.start("f", vec![]).unwrap();
+        assert_eq!(t.run(100_000), Status::Suspended);
+        let mut a = t.first_activation().unwrap();
+        assert!(t.next_activation(&mut a), "invocation 1 is clean");
+        assert!(!t.next_activation(&mut a), "invocation 2 is the fault");
+        assert!(t.next_activation(&mut a), "invocation 3 is clean again");
+        assert_eq!(t.chaos().unwrap().log().len(), 1);
+    }
+
+    #[test]
+    fn chaos_schedule_is_identical_over_the_resolved_engine() {
+        // The same plan, installed on both sem engines, injects at the
+        // same dispatch point and leaves the same log.
+        fn drive<'p, M: SemEngine<'p>>(mut t: Thread<'p, M>) -> Vec<InjectedFault> {
+            t.set_chaos(FaultPlan::seeded(7, 4));
+            t.start("f", vec![]).unwrap();
+            assert_eq!(t.run(100_000), Status::Suspended);
+            if let Some(mut a) = t.first_activation() {
+                while t.next_activation(&mut a) {}
+                let _ = t.set_activation(&a);
+                let _ = t.set_unwind_cont(0);
+                if let Some(p0) = t.find_cont_param(0) {
+                    *p0 = Value::b32(1);
+                }
+                let _ = t.resume();
+            }
+            t.chaos().unwrap().log().to_vec()
+        }
+        let p = prog(NEST);
+        let rp = ResolvedProgram::new(&p);
+        let plain = drive(Thread::new(&p));
+        let resolved = drive(Thread::new_resolved(&rp));
+        assert_eq!(plain, resolved);
+        assert!(!plain.is_empty(), "seed 7 should fire at least once");
     }
 }

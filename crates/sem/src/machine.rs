@@ -4,6 +4,7 @@ use crate::state::{Env, Frame, NodeRef};
 use crate::value::Value;
 use crate::wrong::Wrong;
 use cmm_cfg::{Node, NodeId, Program};
+use cmm_chaos::{LimitTrip, ResourceGovernor};
 use cmm_ir::expr::sign_extend;
 use cmm_ir::{BinOp, Expr, FWidth, Lit, Lvalue, Name, Ty, Width};
 use cmm_obs::{Event, NopSink, TraceSink};
@@ -73,6 +74,7 @@ pub struct Machine<'p, S: TraceSink = NopSink> {
     status: Status,
     /// Number of transitions taken so far (for cost measurements).
     pub steps: u64,
+    governor: Option<ResourceGovernor>,
     sink: S,
 }
 
@@ -115,7 +117,37 @@ impl<'p, S: TraceSink> Machine<'p, S> {
             cont_encodings: Vec::new(),
             status: Status::Idle,
             steps: 0,
+            governor: None,
             sink,
+        }
+    }
+
+    /// Installs a resource governor: depth and memory limits are
+    /// enforced at the matching transition rules, and `run`'s fuel is
+    /// clipped to the governor's per-resume slice. Both abstract-machine
+    /// engines place the checks at identical transitions, so a governed
+    /// pair stays observationally equal.
+    pub fn set_governor(&mut self, g: ResourceGovernor) {
+        self.governor = Some(g);
+    }
+
+    /// The installed governor, if any.
+    pub fn governor(&self) -> Option<&ResourceGovernor> {
+        self.governor.as_ref()
+    }
+
+    /// Emits the chaos event for a limit trip (when tracing) and builds
+    /// the `Wrong` that reports it.
+    #[cold]
+    pub(crate) fn limit_wrong(&mut self, trip: LimitTrip, observed: u64) -> Wrong {
+        if S::ENABLED {
+            self.emit(Event::Chaos {
+                what: format!("limit {trip}"),
+            });
+        }
+        Wrong::LimitTripped {
+            limit: trip.to_string(),
+            observed,
         }
     }
 
@@ -185,7 +217,13 @@ impl<'p, S: TraceSink> Machine<'p, S> {
     }
 
     /// Runs up to `fuel` transitions; returns the resulting status.
+    /// A governed machine additionally clips `fuel` to the governor's
+    /// per-resume slice.
     pub fn run(&mut self, fuel: u64) -> Status {
+        let fuel = match &self.governor {
+            Some(g) => g.slice(fuel),
+            None => fuel,
+        };
         if matches!(self.status, Status::OutOfFuel) {
             self.status = Status::Running;
         }
@@ -331,6 +369,12 @@ impl<'p, S: TraceSink> Machine<'p, S> {
                         let addr = self.eval_bits(a)?.1;
                         let bits = self.flatten(v)?;
                         self.store(*ty, addr, bits);
+                        if let Some(g) = self.governor {
+                            let bytes = self.mem.len();
+                            if let Some(trip) = g.check_memory(bytes) {
+                                return Err(self.limit_wrong(trip, bytes as u64));
+                            }
+                        }
                     }
                 }
                 self.control.node = *next;
@@ -345,6 +389,12 @@ impl<'p, S: TraceSink> Machine<'p, S> {
             // Call e_f Γ: push an activation; fresh uid.
             Node::Call { callee, bundle, .. } => {
                 let target = self.resolve_code(callee)?;
+                if let Some(g) = self.governor {
+                    let depth = self.stack.len() + 1;
+                    if let Some(trip) = g.check_depth(depth) {
+                        return Err(self.limit_wrong(trip, depth as u64));
+                    }
+                }
                 if S::ENABLED {
                     self.emit(Event::Call {
                         caller: self.control.proc.clone(),

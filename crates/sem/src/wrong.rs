@@ -58,6 +58,22 @@ pub enum Wrong {
     /// The machine was used while not in a usable status (e.g. `run`
     /// after it went wrong).
     NotRunnable,
+    /// A `cmm-chaos` fault plan injected a failure into a Table 1
+    /// operation (`op @ invocation`, in `FaultPlan` terms).
+    ChaosFault {
+        /// The faulted operation's stable name.
+        op: String,
+        /// The 1-based invocation count at which it tripped.
+        invocation: u64,
+    },
+    /// A `cmm-chaos` resource-governor limit tripped (stack depth or
+    /// memory), expressed in this engine family's units.
+    LimitTripped {
+        /// Which limit (`"stack-depth"` or `"memory"`).
+        limit: String,
+        /// The observed figure that exceeded the limit.
+        observed: u64,
+    },
 }
 
 impl fmt::Display for Wrong {
@@ -89,6 +105,12 @@ impl fmt::Display for Wrong {
             Wrong::RtsViolation(msg) => write!(f, "run-time system violation: {msg}"),
             Wrong::NoSuchProc(at, n) => write!(f, "{at}: no such procedure `{n}`"),
             Wrong::NotRunnable => write!(f, "machine is not in a runnable state"),
+            Wrong::ChaosFault { op, invocation } => {
+                write!(f, "chaos: injected fault in {op} at invocation {invocation}")
+            }
+            Wrong::LimitTripped { limit, observed } => {
+                write!(f, "chaos: {limit} limit tripped at {observed}")
+            }
         }
     }
 }

@@ -252,6 +252,34 @@ impl<S: TraceSink> VmMachine<'_, S> {
                 return self.status.clone();
             }};
         }
+        // Governor checks at the same transition points as `step`:
+        // mapped-page bytes after a store, the stack floor at a call.
+        macro_rules! govern_mem {
+            () => {
+                if let Some(g) = self.governor {
+                    let bytes = self.mem.mapped_bytes();
+                    if let Some(trip) = g.check_memory(bytes) {
+                        self.pc = pc;
+                        self.cost = cost;
+                        self.trip_limit(trip, bytes as u64);
+                        return self.status.clone();
+                    }
+                }
+            };
+        }
+        macro_rules! govern_sp {
+            () => {
+                if let Some(g) = self.governor {
+                    let sp = self.regs[regs::SP as usize];
+                    if let Some(trip) = g.check_sp(sp) {
+                        self.pc = pc;
+                        self.cost = cost;
+                        self.trip_limit(trip, sp);
+                        return self.status.clone();
+                    }
+                }
+            };
+        }
         for _ in 0..fuel {
             let Some(&DInst { op, a, b, c, imm }) = code.get(pc as usize) else {
                 flush!(VmStatus::Error(format!("pc {pc} out of range")));
@@ -369,21 +397,25 @@ impl<S: TraceSink> VmMachine<'_, S> {
                     cost.stores += 1;
                     let addr = (r!(b) as u32).wrapping_add(imm);
                     self.mem.write_wide(Width::W8, addr, r!(a));
+                    govern_mem!();
                 }
                 DOp::Store16 => {
                     cost.stores += 1;
                     let addr = (r!(b) as u32).wrapping_add(imm);
                     self.mem.write_wide(Width::W16, addr, r!(a));
+                    govern_mem!();
                 }
                 DOp::Store32 => {
                     cost.stores += 1;
                     let addr = (r!(b) as u32).wrapping_add(imm);
                     self.mem.write_wide(Width::W32, addr, r!(a));
+                    govern_mem!();
                 }
                 DOp::Store64 => {
                     cost.stores += 1;
                     let addr = (r!(b) as u32).wrapping_add(imm);
                     self.mem.write_wide(Width::W64, addr, r!(a));
+                    govern_mem!();
                 }
                 DOp::Bnz => {
                     cost.branches += 1;
@@ -419,6 +451,7 @@ impl<S: TraceSink> VmMachine<'_, S> {
                 DOp::Call => {
                     cost.branches += 1;
                     cost.calls += 1;
+                    govern_sp!();
                     if S::ENABLED {
                         let e = Event::Call {
                             caller: name_at(prog, pc),
@@ -432,6 +465,7 @@ impl<S: TraceSink> VmMachine<'_, S> {
                 DOp::CallR => {
                     cost.branches += 1;
                     cost.calls += 1;
+                    govern_sp!();
                     match self.code_target(r!(a)) {
                         Ok(t) => {
                             if S::ENABLED {
@@ -549,5 +583,92 @@ mod tests {
         new.start("f", &[1, 0], 1);
         assert_eq!(old.run(10_000), new.run(10_000));
         assert!(matches!(new.status(), VmStatus::Error(e) if e.contains("division by zero")));
+    }
+
+    const DEEP: &str = r#"
+        f(bits32 n) {
+            bits32 r;
+            if n == 0 { return (0); }
+            else { r = f(n - 1); return (r + 1); }
+        }
+    "#;
+
+    /// Runs `f(1000)` governed on both engines and asserts they trip at
+    /// the same transition with the same cost breakdown.
+    fn both_governed(src: &str, g: cmm_chaos::ResourceGovernor) -> VmStatus {
+        let vp = program(src);
+        let mut old = VmMachine::new(&vp);
+        let mut new = VmMachine::new_decoded(&vp);
+        old.set_governor(g);
+        new.set_governor(g);
+        old.start("f", &[1000], 1);
+        new.start("f", &[1000], 1);
+        let a = old.run(100_000_000);
+        let b = new.run(100_000_000);
+        assert_eq!(a, b, "governed status diverged");
+        assert_eq!(
+            (old.pc, old.cost),
+            (new.pc, new.cost),
+            "governed trip point diverged"
+        );
+        b
+    }
+
+    #[test]
+    fn governor_stack_floor_trips_identically_on_both_engines() {
+        // Find the floor empirically: run once ungoverned, note how far
+        // SP descends, then set a floor strictly inside that range.
+        let vp = program(DEEP);
+        let mut probe = VmMachine::new(&vp);
+        let sp0 = probe.reg(regs::SP);
+        probe.start("f", &[1000], 1);
+        let mut min_sp = sp0;
+        while matches!(probe.status(), VmStatus::Running) {
+            probe.step();
+            min_sp = min_sp.min(probe.reg(regs::SP));
+        }
+        assert!(matches!(probe.status(), VmStatus::Halted(_)));
+        let floor = (sp0 + min_sp) / 2;
+        let g = cmm_chaos::ResourceGovernor {
+            stack_floor: Some(floor),
+            ..cmm_chaos::ResourceGovernor::unlimited()
+        };
+        match both_governed(DEEP, g) {
+            VmStatus::Error(e) => assert!(e.contains("stack-depth"), "unexpected error {e:?}"),
+            other => panic!("expected a stack-floor trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governor_memory_limit_trips_identically_on_both_engines() {
+        // Each store lands on a fresh page, so mapped bytes climb by a
+        // page per iteration until the cap trips.
+        let src = r#"
+            data base { bits32 0; }
+            f(bits32 n) {
+                bits32 i;
+                i = 0;
+              loop:
+                if i == n { return (i); }
+                else { bits32[base + i * 4096] = i; i = i + 1; goto loop; }
+            }
+        "#;
+        let g = cmm_chaos::ResourceGovernor {
+            max_memory_bytes: Some(16 * 4096),
+            ..cmm_chaos::ResourceGovernor::unlimited()
+        };
+        match both_governed(src, g) {
+            VmStatus::Error(e) => assert!(e.contains("memory"), "unexpected error {e:?}"),
+            other => panic!("expected a memory trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governor_fuel_slice_clips_each_run_call() {
+        let g = cmm_chaos::ResourceGovernor {
+            fuel_slice: Some(10),
+            ..cmm_chaos::ResourceGovernor::unlimited()
+        };
+        assert_eq!(both_governed(DEEP, g), VmStatus::OutOfFuel);
     }
 }

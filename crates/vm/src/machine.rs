@@ -4,6 +4,7 @@ use crate::codegen::{TraceSite, VmProgram};
 use crate::decode::DecodedCode;
 use crate::isa::{regs, Inst};
 use crate::mem::Memory;
+use cmm_chaos::{LimitTrip, ResourceGovernor};
 use cmm_ir::Name;
 use cmm_obs::{Event, NopSink, TraceSink};
 use std::sync::Arc;
@@ -91,6 +92,10 @@ pub struct VmMachine<'p, S: TraceSink = NopSink> {
     /// instead of the original `Inst` array (see [`crate::decode`]).
     /// Shared so cloning a machine shares the lowering.
     decoded: Option<Arc<DecodedCode>>,
+    /// Optional `cmm-chaos` resource governor. In this family the stack
+    /// limit is a floor on `sp` (activation records live in simulated
+    /// memory) and the memory cap counts mapped page bytes.
+    pub(crate) governor: Option<ResourceGovernor>,
     pub(crate) sink: S,
 }
 
@@ -141,8 +146,33 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
             status: VmStatus::Idle,
             expected_results: 0,
             decoded: None,
+            governor: None,
             sink,
         }
+    }
+
+    /// Installs a `cmm-chaos` resource governor. `stack_floor` bounds
+    /// how far `sp` may descend and `max_memory_bytes` caps mapped page
+    /// bytes; `fuel_slice` clips each `run` call's fuel.
+    pub fn set_governor(&mut self, g: ResourceGovernor) {
+        self.governor = Some(g);
+    }
+
+    /// The installed governor, if any.
+    pub fn governor(&self) -> Option<&ResourceGovernor> {
+        self.governor.as_ref()
+    }
+
+    /// Records a governor limit trip: emits a `chaos` trace event and
+    /// moves the machine into the corresponding error status.
+    #[cold]
+    pub(crate) fn trip_limit(&mut self, trip: LimitTrip, observed: u64) {
+        if S::ENABLED {
+            self.emit(Event::Chaos {
+                what: format!("limit {trip}"),
+            });
+        }
+        self.status = VmStatus::Error(format!("chaos: {trip} limit tripped at {observed}"));
     }
 
     /// Creates a pre-decoded machine emitting trace events into `sink`
@@ -226,12 +256,13 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
     /// registers; on return to the halt vector, `expected_results`
     /// values are collected from them.
     ///
-    /// # Panics
-    ///
-    /// Panics if the procedure does not exist (programs are linked
-    /// before execution).
+    /// A procedure that does not exist (programs are normally linked
+    /// before execution) leaves the machine in [`VmStatus::Error`].
     pub fn start(&mut self, proc: &str, args: &[u64], expected_results: usize) {
-        let entry = self.program.entries[proc];
+        let Some(&entry) = self.program.entries.get(proc) else {
+            self.status = VmStatus::Error(format!("no such procedure `{proc}`"));
+            return;
+        };
         for (i, &a) in args.iter().enumerate() {
             self.regs[regs::ARG0 as usize + i] = a;
         }
@@ -275,6 +306,10 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
 
     /// Runs up to `fuel` instructions.
     pub fn run(&mut self, fuel: u64) -> VmStatus {
+        let fuel = match &self.governor {
+            Some(g) => g.slice(fuel),
+            None => fuel,
+        };
         if let Some(decoded) = &self.decoded {
             let decoded = Arc::clone(decoded);
             return self.run_decoded(&decoded, fuel);
@@ -353,6 +388,13 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
                 self.cost.stores += 1;
                 let addr = (self.regs[rb as usize] as u32).wrapping_add(off as u32);
                 self.mem.write(w, addr, self.regs[rs as usize]);
+                if let Some(g) = self.governor {
+                    let bytes = self.mem.mapped_bytes();
+                    if let Some(trip) = g.check_memory(bytes) {
+                        self.trip_limit(trip, bytes as u64);
+                        return;
+                    }
+                }
             }
             Inst::Bnz { rs, target } => {
                 if self.regs[rs as usize] != 0 {
@@ -384,6 +426,13 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
             },
             Inst::Call { target } => {
                 self.cost.calls += 1;
+                if let Some(g) = self.governor {
+                    let sp = self.regs[regs::SP as usize];
+                    if let Some(trip) = g.check_sp(sp) {
+                        self.trip_limit(trip, sp);
+                        return;
+                    }
+                }
                 if S::ENABLED {
                     self.emit(Event::Call {
                         caller: name_at(self.program, self.pc),
@@ -395,6 +444,13 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
             }
             Inst::CallR { rs } => {
                 self.cost.calls += 1;
+                if let Some(g) = self.governor {
+                    let sp = self.regs[regs::SP as usize];
+                    if let Some(trip) = g.check_sp(sp) {
+                        self.trip_limit(trip, sp);
+                        return;
+                    }
+                }
                 match self.code_target(self.regs[rs as usize]) {
                     Ok(t) => {
                         if S::ENABLED {

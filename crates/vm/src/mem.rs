@@ -18,6 +18,12 @@ impl Memory {
         Memory::default()
     }
 
+    /// Bytes of mapped pages — the footprint figure the `cmm-chaos`
+    /// resource governor caps in this engine family.
+    pub fn mapped_bytes(&self) -> usize {
+        self.pages.len() * PAGE_SIZE
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
         match self.pages.get(&(addr >> PAGE_BITS)) {

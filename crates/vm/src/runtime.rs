@@ -16,6 +16,7 @@ use crate::codegen::VmProgram;
 use crate::frame::CallSiteMeta;
 use crate::isa::regs;
 use crate::machine::{VmMachine, VmStatus};
+use cmm_chaos::{ChaosOp, FaultPlan, InjectedFault};
 use cmm_ir::Name;
 use cmm_obs::{Event, NopSink, ResumeKind, RtsOp, TraceSink};
 
@@ -78,6 +79,7 @@ pub struct VmThread<'p, S: TraceSink = NopSink> {
     /// The machine.
     pub machine: VmMachine<'p, S>,
     pending: Option<VmPending>,
+    chaos: Option<Box<FaultPlan>>,
 }
 
 impl<'p> VmThread<'p> {
@@ -101,6 +103,7 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
         VmThread {
             machine: VmMachine::with_sink(program, sink),
             pending: None,
+            chaos: None,
         }
     }
 
@@ -110,7 +113,32 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
         VmThread {
             machine: VmMachine::with_sink_decoded(program, sink),
             pending: None,
+            chaos: None,
         }
+    }
+
+    /// Installs a `cmm-chaos` fault plan; each Table 1 operation
+    /// consults it before doing any real work, exactly like `cmm-rt`'s
+    /// `Thread`, so both families fail at the same schedule points.
+    pub fn set_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(Box::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn chaos(&self) -> Option<&FaultPlan> {
+        self.chaos.as_deref()
+    }
+
+    /// Consults the fault plan for `op`, emitting a `chaos` trace event
+    /// when a scheduled fault trips.
+    fn trip(&mut self, op: ChaosOp) -> Option<InjectedFault> {
+        let fault = self.chaos.as_mut()?.trip(op)?;
+        if S::ENABLED {
+            self.machine.emit(Event::Chaos {
+                what: format!("fault {fault}"),
+            });
+        }
+        Some(fault)
     }
 
     /// The procedure owning a call-site key, for event payloads.
@@ -140,6 +168,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     /// `FirstActivation`: the activation that called into the run-time
     /// system. `None` unless suspended.
     pub fn first_activation(&mut self) -> Option<VmActivation> {
+        if self.trip(ChaosOp::FirstActivation).is_some() {
+            return None;
+        }
         let r = self.first_activation_inner();
         if S::ENABLED {
             let proc = r.as_ref().and_then(|a| self.site_proc(a.site));
@@ -172,6 +203,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     /// `NextActivation`: move to the caller, restoring its callee-saves
     /// registers into the context. Returns `false` at the stack bottom.
     pub fn next_activation(&mut self, a: &mut VmActivation) -> bool {
+        if self.trip(ChaosOp::NextActivation).is_some() {
+            return false;
+        }
         let moved = self.next_activation_inner(a);
         if S::ENABLED {
             let proc = if moved { self.site_proc(a.site) } else { None };
@@ -206,6 +240,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     /// `GetDescriptor(a, n)`: the address of the n'th descriptor block
     /// attached to the activation's call site.
     pub fn get_descriptor(&mut self, a: &VmActivation, n: usize) -> Option<u32> {
+        if self.trip(ChaosOp::GetDescriptor).is_some() {
+            return None;
+        }
         self.machine.cost.runtime_instructions += costs::GET_DESCRIPTOR;
         let addr = self
             .site_meta(a.site)
@@ -226,6 +263,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     /// Fails if the thread is not suspended or an activation being
     /// discarded is not suspended at an `also aborts` call site.
     pub fn set_activation(&mut self, a: &VmActivation) -> Result<(), String> {
+        if let Some(fault) = self.trip(ChaosOp::SetActivation) {
+            return Err(chaos_err(fault));
+        }
         let r = self.set_activation_inner(a);
         if S::ENABLED {
             self.machine
@@ -257,6 +297,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     ///
     /// Fails without a staged activation or with an out-of-range index.
     pub fn set_unwind_cont(&mut self, n: usize) -> Result<(), String> {
+        if let Some(fault) = self.trip(ChaosOp::SetUnwindCont) {
+            return Err(chaos_err(fault));
+        }
         let r = self.set_unwind_cont_inner(n);
         if S::ENABLED {
             self.machine.emit(Event::Rts(RtsOp::SetUnwindCont {
@@ -298,6 +341,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     ///
     /// Fails if the thread is not suspended.
     pub fn set_cut_to_cont(&mut self, k: u32) -> Result<(), String> {
+        if let Some(fault) = self.trip(ChaosOp::SetCutToCont) {
+            return Err(chaos_err(fault));
+        }
         let r = self.set_cut_to_cont_inner(k);
         if S::ENABLED {
             self.machine.emit(Event::Rts(RtsOp::SetCutToCont {
@@ -329,6 +375,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     /// `FindContParam(t, n)`: where to put the n'th parameter of the
     /// staged continuation.
     pub fn find_cont_param(&mut self, n: usize) -> Option<&mut u64> {
+        if self.trip(ChaosOp::FindContParam).is_some() {
+            return None;
+        }
         if S::ENABLED {
             let found = match self.pending.as_ref() {
                 Some(VmPending::Activation { params, .. })
@@ -354,6 +403,9 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     ///
     /// Fails if nothing was staged.
     pub fn resume(&mut self) -> Result<(), String> {
+        if let Some(fault) = self.trip(ChaosOp::Resume) {
+            return Err(chaos_err(fault));
+        }
         let kind = match &self.pending {
             Some(VmPending::Cut { .. }) => ResumeKind::Cut,
             Some(VmPending::Activation {
@@ -416,6 +468,16 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
             }
         }
     }
+}
+
+/// The same wording as `Wrong::ChaosFault`'s display, so outcome
+/// comparisons across engine families line up textually too.
+fn chaos_err(fault: InjectedFault) -> String {
+    format!(
+        "chaos: injected fault in {} at invocation {}",
+        fault.op.name(),
+        fault.invocation
+    )
 }
 
 #[cfg(test)]
@@ -587,5 +649,68 @@ mod tests {
         let mut a = t.first_activation().unwrap();
         while t.next_activation(&mut a) {}
         assert!(t.machine.cost.runtime_instructions > before + costs::NEXT_ACTIVATION);
+    }
+
+    #[test]
+    fn chaos_faults_option_ops_to_none_on_the_vm() {
+        let vp = compile_src(NEST);
+        let mut t = VmThread::new(&vp);
+        t.set_chaos(FaultPlan::failing(ChaosOp::FirstActivation, 1));
+        t.start("f", &[], 1);
+        assert_eq!(t.run(100_000), VmStatus::Suspended);
+        assert!(t.first_activation().is_none(), "fault masks the walk root");
+        let log = t.chaos().unwrap().log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].op, ChaosOp::FirstActivation);
+        // Trips once; the op works again afterwards.
+        assert!(t.first_activation().is_some());
+    }
+
+    #[test]
+    fn chaos_faults_result_ops_with_the_sem_fault_wording() {
+        let vp = compile_src(NEST);
+        let mut t = VmThread::new(&vp);
+        t.set_chaos(FaultPlan::failing(ChaosOp::SetUnwindCont, 1));
+        t.start("f", &[], 1);
+        assert_eq!(t.run(100_000), VmStatus::Suspended);
+        let mut a = t.first_activation().unwrap();
+        while t.next_activation(&mut a) {}
+        t.set_activation(&a).unwrap();
+        let err = t.set_unwind_cont(1).unwrap_err();
+        // Must match `Wrong::ChaosFault`'s display so the two engine
+        // families produce textually identical outcomes in difftest.
+        assert_eq!(
+            err,
+            "chaos: injected fault in set-unwind-cont at invocation 1"
+        );
+        // Recoverable: retry, then finish the unwind normally.
+        t.set_unwind_cont(1).unwrap();
+        *t.find_cont_param(0).unwrap() = 40;
+        t.resume().unwrap();
+        assert_eq!(t.run(100_000), VmStatus::Halted(vec![42]));
+    }
+
+    #[test]
+    fn chaos_schedule_is_identical_over_the_decoded_engine() {
+        fn drive(mut t: VmThread<'_>) -> Vec<cmm_chaos::InjectedFault> {
+            t.set_chaos(FaultPlan::seeded(7, 4));
+            t.start("f", &[], 1);
+            assert_eq!(t.run(100_000), VmStatus::Suspended);
+            if let Some(mut a) = t.first_activation() {
+                while t.next_activation(&mut a) {}
+                let _ = t.set_activation(&a);
+                let _ = t.set_unwind_cont(0);
+                if let Some(p0) = t.find_cont_param(0) {
+                    *p0 = 1;
+                }
+                let _ = t.resume();
+            }
+            t.chaos().unwrap().log().to_vec()
+        }
+        let vp = compile_src(NEST);
+        let stepped = drive(VmThread::new(&vp));
+        let decoded = drive(VmThread::new_decoded(&vp));
+        assert_eq!(stepped, decoded);
+        assert!(!stepped.is_empty(), "seed 7 should fire at least once");
     }
 }
