@@ -11,7 +11,8 @@
 //! reported but never gated.
 
 use cmm_bench::trajectory::{
-    check_against_baseline, parse_baseline, run_chaos_histogram, run_trajectory, to_json,
+    check_against_baseline, parse_baseline, run_chaos_histogram, run_pool_throughput,
+    run_trajectory, to_json,
 };
 use std::process::ExitCode;
 
@@ -62,7 +63,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
     // fixed population of generated cases. Seeds are fixed so the
     // figures are bit-reproducible across machines.
     let chaos = run_chaos_histogram(40, 0, 0, 5);
-    let json = to_json(iters, &measurements, &chaos);
+    // Batch-service throughput at several worker counts. Jobs/sec is
+    // wall-clock (reported, never gated); the run itself asserts the
+    // timing-stripped batch report is byte-identical at every -j.
+    let pool = run_pool_throughput(&[1, 2, 4]);
+    let json = to_json(iters, &measurements, &chaos, &pool);
 
     println!(
         "{:<34} {:>12} {:>7} {:>8} {:>7} {:>12} {:>12} {:>9}",
@@ -99,6 +104,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
         chaos.fuel,
         chaos.faults_injected,
         chaos.quiet
+    );
+
+    let rates: Vec<String> = pool
+        .rates
+        .iter()
+        .map(|(w, r)| format!("-j{w} {r} jobs/s"))
+        .collect();
+    println!(
+        "pool batch {} jobs: {} ({}‰ cache hits, reports byte-identical)",
+        pool.jobs,
+        rates.join(", "),
+        pool.hit_rate_permille
     );
 
     if let Some(path) = out {

@@ -390,11 +390,135 @@ pub fn run_chaos_histogram(
     h
 }
 
+/// Throughput of the `cmm-pool` batch service over a fixed manifest of
+/// paper workloads, at several worker counts.
+///
+/// Jobs/sec is a **wall-time** figure — reported for the trajectory,
+/// never gated (like `*_ns_per_iter`). The cache hit rate and the
+/// batch report bytes are deterministic: every run here asserts the
+/// timing-stripped report is byte-identical across worker counts, the
+/// same property CI checks through the CLI.
+#[derive(Clone, Debug)]
+pub struct PoolThroughput {
+    /// Jobs per batch run.
+    pub jobs: u64,
+    /// Compilation-cache hit rate over one run, in permille
+    /// (scheduling-independent: identical at every worker count).
+    pub hit_rate_permille: u64,
+    /// `(workers, jobs_per_sec)` per measured worker count.
+    pub rates: Vec<(usize, u64)>,
+}
+
+/// The batch manifest measured by [`run_pool_throughput`]: every raw
+/// C-- workload on all four engines, plus the Figure 2 deep raise
+/// under two strategies on both substrates.
+fn pool_specs() -> Vec<cmm_pool::JobSpec> {
+    use cmm_pool::{EngineKind, JobSpec, SourceLang};
+    let engines = [
+        EngineKind::Sem,
+        EngineKind::SemResolved,
+        EngineKind::Vm,
+        EngineKind::VmDecoded,
+    ];
+    let mut specs = Vec::new();
+    for (name, src) in [
+        ("fig34_plain", fig34_src(false)),
+        ("fig34_table", fig34_src(true)),
+        ("sec42_cuts", sec42_src(true)),
+        ("sec42_unwinds", sec42_src(false)),
+    ] {
+        for engine in engines {
+            specs.push(JobSpec {
+                name: name.to_string(),
+                lang: SourceLang::Cmm,
+                source: src.clone(),
+                entry: "f".to_string(),
+                args: vec![200],
+                results: 1,
+                engine,
+                opts: OptOptions::default(),
+                fuel: 20_000_000,
+                max_yields: 64,
+            });
+        }
+    }
+    let deep = deep_raise(true);
+    for strategy in [Strategy::RuntimeUnwind, Strategy::Cutting] {
+        for engine in [EngineKind::Sem, EngineKind::Vm] {
+            specs.push(JobSpec {
+                name: "fig2_deep_raise".to_string(),
+                lang: SourceLang::MiniM3(strategy),
+                source: deep.clone(),
+                entry: "main".to_string(),
+                args: vec![50],
+                results: 1,
+                engine,
+                opts: OptOptions::default(),
+                fuel: 20_000_000,
+                max_yields: 64,
+            });
+        }
+    }
+    specs
+}
+
+/// Measures batch throughput (jobs/sec) at each worker count, each
+/// over a fresh cache, asserting along the way that the
+/// timing-stripped report is byte-identical across counts.
+pub fn run_pool_throughput(worker_counts: &[usize]) -> PoolThroughput {
+    use cmm_pool::{run_batch, BatchConfig, PipelineCache};
+    let specs = pool_specs();
+    let mut rates = Vec::new();
+    let mut reference: Option<String> = None;
+    let mut hit_rate_permille = 0;
+    for &workers in worker_counts {
+        let cache = PipelineCache::default();
+        let t0 = Instant::now();
+        let report = run_batch(
+            &specs,
+            &cache,
+            &BatchConfig {
+                workers,
+                queue_cap: 256,
+            },
+        );
+        let elapsed = t0.elapsed().as_nanos().max(1);
+        let jobs_per_sec = (specs.len() as u128 * 1_000_000_000 / elapsed) as u64;
+        rates.push((workers, jobs_per_sec));
+        let stripped = report.to_json(false);
+        match &reference {
+            None => {
+                let snap = report.cache;
+                hit_rate_permille = (snap.hits * 1000)
+                    .checked_div(snap.hits + snap.misses)
+                    .unwrap_or(0);
+                assert!(hit_rate_permille > 0, "batch run must share compilations");
+                reference = Some(stripped);
+            }
+            Some(r) => assert_eq!(
+                r, &stripped,
+                "batch reports must be byte-identical at every -j"
+            ),
+        }
+    }
+    PoolThroughput {
+        jobs: specs.len() as u64,
+        hit_rate_permille,
+        rates,
+    }
+}
+
 /// Renders the trajectory as JSON. Field order is stable:
 /// [`parse_baseline`] relies on `name` preceding `instructions`. The
-/// chaos section deliberately avoids `"name":` keys so the baseline
-/// parser never mistakes it for a workload entry.
-pub fn to_json(iters: u64, measurements: &[Measurement], chaos: &ChaosHistogram) -> String {
+/// chaos and pool sections deliberately avoid `"name":` keys so the
+/// baseline parser never mistakes them for workload entries — which is
+/// what keeps wall-clock throughput out of the `--tolerance 0` gate.
+pub fn to_json(
+    iters: u64,
+    measurements: &[Measurement],
+    chaos: &ChaosHistogram,
+    pool: &PoolThroughput,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"iters\": {iters},");
@@ -436,7 +560,7 @@ pub fn to_json(iters: u64, measurements: &[Measurement], chaos: &ChaosHistogram)
         s,
         "  \"chaos\": {{ \"cases\": {}, \"case_seed\": {}, \"fault_seed\": {}, \
          \"schedules\": {}, \"outcomes\": {{ \"halt\": {}, \"wrong\": {}, \
-         \"rts_error\": {}, \"fuel\": {} }}, \"faults_injected\": {}, \"quiet\": {} }}",
+         \"rts_error\": {}, \"fuel\": {} }}, \"faults_injected\": {}, \"quiet\": {} }},",
         chaos.cases,
         chaos.case_seed,
         chaos.fault_seed,
@@ -447,6 +571,18 @@ pub fn to_json(iters: u64, measurements: &[Measurement], chaos: &ChaosHistogram)
         chaos.fuel,
         chaos.faults_injected,
         chaos.quiet
+    );
+    let rates: Vec<String> = pool
+        .rates
+        .iter()
+        .map(|(w, r)| format!("{{ \"workers\": {w}, \"jobs_per_sec\": {r} }}"))
+        .collect();
+    let _ = writeln!(
+        s,
+        "  \"pool\": {{ \"jobs\": {}, \"hit_rate_permille\": {}, \"throughput\": [{}] }}",
+        pool.jobs,
+        pool.hit_rate_permille,
+        rates.join(", ")
     );
     s.push_str("}\n");
     s
@@ -537,11 +673,64 @@ mod tests {
             quiet: 120,
             ..ChaosHistogram::default()
         };
-        let json = to_json(3, &ms, &chaos);
+        let pool = PoolThroughput {
+            jobs: 20,
+            hit_rate_permille: 400,
+            rates: vec![(1, 111), (4, 333)],
+        };
+        let json = to_json(3, &ms, &chaos, &pool);
         let parsed = parse_baseline(&json);
-        // The chaos section must not leak into the gated workload list.
+        // The chaos and pool sections must not leak into the gated
+        // workload list.
         assert_eq!(parsed, vec![("a".into(), 123), ("b".into(), 456)]);
         assert!(json.contains("\"faults_injected\": 60"), "{json}");
+        assert!(json.contains("\"jobs_per_sec\": 111"), "{json}");
+    }
+
+    #[test]
+    fn throughput_is_reported_but_never_gated() {
+        // The honesty property behind `--tolerance 0`: perturbing a
+        // wall-clock throughput figure in the committed baseline must
+        // not move the gate, while perturbing a deterministic
+        // instruction count must trip it.
+        let ms = vec![Measurement {
+            name: "a".into(),
+            instructions: 123,
+            result: 7,
+            old_ns_per_iter: 10,
+            decoded_ns_per_iter: 5,
+            dispatch: EventCounts::default(),
+        }];
+        let pool = PoolThroughput {
+            jobs: 20,
+            hit_rate_permille: 400,
+            rates: vec![(1, 111), (4, 333)],
+        };
+        let json = to_json(3, &ms, &ChaosHistogram::default(), &pool);
+
+        // Throughput perturbed 9x: the gated subset is unchanged, so a
+        // zero-tolerance check still passes.
+        let faster = json.replace("\"jobs_per_sec\": 111", "\"jobs_per_sec\": 999");
+        assert_ne!(json, faster, "the perturbation must actually hit");
+        assert_eq!(parse_baseline(&json), parse_baseline(&faster));
+        assert!(check_against_baseline(&parse_baseline(&faster), &ms, 0.0).is_empty());
+
+        // One instruction shaved off the baseline: current (123) now
+        // exceeds baseline (122) and zero tolerance must flag it.
+        let tighter = json.replace("\"instructions\": 123", "\"instructions\": 122");
+        let v = check_against_baseline(&parse_baseline(&tighter), &ms, 0.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn pool_throughput_shares_compiles_and_stays_deterministic() {
+        // run_pool_throughput asserts internally that the stripped
+        // batch report is byte-identical across worker counts and that
+        // the cache hit rate is nonzero; one two-count run is the test.
+        let p = run_pool_throughput(&[1, 4]);
+        assert_eq!(p.rates.len(), 2);
+        assert!(p.jobs >= 20, "the manifest should be non-trivial");
+        assert!(p.hit_rate_permille > 0);
     }
 
     #[test]

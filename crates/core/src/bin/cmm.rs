@@ -8,10 +8,18 @@
 //! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
 //! cmm trace <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0] [--out F]
 //! cmm profile <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0]
-//! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]
+//! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]
 //!          [--chaos] [--fault-seed S] [--schedules K]
 //! cmm fuzz --replay DIR               # re-run checked-in reproducers
+//! cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]
 //! ```
+//!
+//! `batch` executes a manifest of jobs (see `cmm-pool`'s docs for the
+//! format) on a work-stealing pool, sharing compilations through the
+//! content-addressed cache, and prints a JSON report. With
+//! `--no-timing` the report is byte-identical for every `-j`, which CI
+//! exploits; `--jobs N` likewise parallelizes `fuzz` without changing
+//! a byte of its report or corpus.
 //!
 //! `--chaos` additionally runs every generated case under K seeded
 //! Table 1 fault schedules (derived from `--fault-seed`), asserting the
@@ -32,7 +40,7 @@
 //! trace of a fuzz case reproduces the oracle's run exactly.
 
 use cmm_core::sem::{SemEngine, Status, Value};
-use cmm_core::{frontend, ir, obs, opt, rt, sem, vm, Compiler};
+use cmm_core::{frontend, ir, obs, opt, pool, rt, sem, vm, Compiler};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -66,7 +74,15 @@ fn run(args: Vec<String>) -> Result<(), String> {
                             .ok_or("--results needs a number")?;
                     }
                     "-O0" => opts = opt::OptOptions::none(),
-                    v => call_args.push(v.parse().map_err(|_| format!("bad argument `{v}`"))?),
+                    // Arguments are machine words (bits32). Parsing as
+                    // u32 up front rejects oversized values instead of
+                    // letting the semantics see a truncated word while
+                    // the target sees the full u64.
+                    v => call_args.push(
+                        v.parse::<u32>()
+                            .map(u64::from)
+                            .map_err(|_| format!("bad argument `{v}`"))?,
+                    ),
                 }
             }
             let c = compiler(&file)?.options(opts);
@@ -157,7 +173,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
                             .and_then(|v| v.parse().ok())
                             .ok_or("--results needs a number")?;
                     }
-                    v => call_args.push(v.parse().map_err(|_| format!("bad argument `{v}`"))?),
+                    v => call_args.push(
+                        v.parse::<u32>()
+                            .map(u64::from)
+                            .map_err(|_| format!("bad argument `{v}`"))?,
+                    ),
                 }
             }
             let run = if file.ends_with(".m3") {
@@ -243,6 +263,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
                             .and_then(|v| v.parse().ok())
                             .ok_or("--schedules needs a number")?;
                     }
+                    "--jobs" | "-j" => {
+                        cfg.jobs = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--jobs needs a number >= 1")?;
+                    }
                     other => return Err(format!("unknown fuzz option `{other}`")),
                 }
             }
@@ -295,6 +322,74 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 Err("differential fuzzing found divergence".into())
             }
         }
+        "batch" => {
+            let manifest = args.next().ok_or_else(usage)?;
+            let mut jobs = 1usize;
+            let mut out: Option<String> = None;
+            let mut timing = true;
+            let mut cache_bytes: Option<u64> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--jobs" | "-j" => {
+                        jobs = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--jobs needs a number >= 1")?;
+                    }
+                    "--out" => out = Some(args.next().ok_or("--out needs a path")?),
+                    "--no-timing" => timing = false,
+                    "--cache-bytes" => {
+                        cache_bytes = Some(
+                            args.next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or("--cache-bytes needs a number")?,
+                        );
+                    }
+                    other => return Err(format!("unknown batch option `{other}`")),
+                }
+            }
+            let specs = pool::load_manifest(manifest.as_ref())?;
+            if specs.is_empty() {
+                return Err(format!("{manifest}: no jobs"));
+            }
+            let cache = pool::PipelineCache::new(match cache_bytes {
+                Some(max_bytes) => pool::CacheConfig { max_bytes },
+                None => pool::CacheConfig::default(),
+            });
+            let report = pool::run_batch(
+                &specs,
+                &cache,
+                &pool::BatchConfig {
+                    workers: jobs,
+                    queue_cap: 256,
+                },
+            );
+            let json = report.to_json(timing);
+            match out.as_deref() {
+                Some(path) => {
+                    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+                }
+                None => print!("{json}"),
+            }
+            // Broken *jobs* (a program halting "wrong" is a legitimate
+            // result; a job that could not even compile is not).
+            let broken = report
+                .jobs
+                .iter()
+                .filter(|j| j.outcome == "compile-error" || j.outcome == "panicked")
+                .count();
+            eprintln!(
+                "batch: {} job(s) at -j{jobs}, cache {}",
+                report.jobs.len(),
+                cache.snapshot()
+            );
+            if broken == 0 {
+                Ok(())
+            } else {
+                Err(format!("{broken} job(s) failed to compile or panicked"))
+            }
+        }
         _ => Err(usage()),
     }
 }
@@ -331,7 +426,11 @@ fn trace_m3(
     let strategy = parse_strategy(strat)?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let module = frontend::compile_minim3(&src, strategy).map_err(|e| e.to_string())?;
-    let args32: Vec<u32> = args.iter().map(|&a| a as u32).collect();
+    // MiniM3 arguments are 32-bit; reject rather than silently truncate.
+    let args32: Vec<u32> = args
+        .iter()
+        .map(|&a| u32::try_from(a).map_err(|_| format!("argument {a} out of range for MiniM3")))
+        .collect::<Result<_, _>>()?;
     let entry = ir::Name::from(frontend::lower::ENTRY);
     if use_sem {
         let (r, events) =
@@ -522,8 +621,9 @@ fn usage() -> String {
      \x20      cmm m3 <file> <strategy> [args..]\n\
      \x20      cmm trace <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0] [--out F]\n\
      \x20      cmm profile <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0]\n\
-     \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR]\n\
+     \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]\n\
      \x20               [--chaos] [--fault-seed S] [--schedules K]\n\
-     \x20      cmm fuzz --replay DIR"
+     \x20      cmm fuzz --replay DIR\n\
+     \x20      cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]"
         .into()
 }

@@ -16,7 +16,9 @@
 //! * [`obs`] — exception-flow tracing and the cost-model profiler
 //!   behind `cmm trace` / `cmm profile`;
 //! * [`frontend`] — MiniM3 and its four exception-implementation
-//!   strategies (§2, Appendix A).
+//!   strategies (§2, Appendix A);
+//! * [`pool`] — the batch-execution service behind `cmm batch`: a
+//!   work-stealing job pool over a content-addressed compilation cache.
 //!
 //! [`Compiler`] packages the standard pipeline:
 //!
@@ -51,6 +53,7 @@ pub use cmm_ir as ir;
 pub use cmm_obs as obs;
 pub use cmm_opt as opt;
 pub use cmm_parse as parse;
+pub use cmm_pool as pool;
 pub use cmm_rt as rt;
 pub use cmm_sem as sem;
 pub use cmm_vm as vm;

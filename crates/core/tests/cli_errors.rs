@@ -1,0 +1,178 @@
+//! Error-path coverage for the `cmm` binary's argument parsing, plus a
+//! determinism smoke over `cmm batch`.
+//!
+//! Every test drives the real executable (`CARGO_BIN_EXE_cmm`), so the
+//! assertions hold for exactly what a user types: bad input must come
+//! back as a one-line `cmm: ...` diagnostic and a nonzero exit, never a
+//! panic backtrace.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cmm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cmm"))
+        .args(args)
+        .output()
+        .expect("spawn cmm")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A scratch directory removed on drop, named per test to keep
+/// concurrent test binaries out of each other's way.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(test: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("cmm-cli-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> PathBuf {
+        let p = self.0.join(name);
+        std::fs::write(&p, contents).expect("write scratch file");
+        p
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn assert_fails_mentioning(out: &Output, needle: &str) {
+    assert!(!out.status.success(), "expected failure, got success");
+    let err = stderr(out);
+    assert!(
+        err.contains(needle),
+        "stderr should mention `{needle}`, got:\n{err}"
+    );
+    assert!(
+        !err.contains("panicked"),
+        "errors must be diagnostics, not panics:\n{err}"
+    );
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    assert_fails_mentioning(&cmm(&[]), "usage:");
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    assert_fails_mentioning(&cmm(&["frobnicate"]), "usage:");
+}
+
+#[test]
+fn missing_file_is_a_diagnostic() {
+    assert_fails_mentioning(&cmm(&["run", "no_such.cmm", "f"]), "no_such.cmm");
+    assert_fails_mentioning(&cmm(&["batch", "no_such.manifest"]), "no_such.manifest");
+}
+
+#[test]
+fn bad_numeric_arguments_are_diagnostics() {
+    let s = Scratch::new("badnum");
+    let src = s.file("t.cmm", "f(bits32 a) { return (a); }");
+    let src = src.to_str().unwrap();
+    assert_fails_mentioning(&cmm(&["run", src, "f", "not-a-number"]), "bad argument");
+    assert_fails_mentioning(&cmm(&["run", src, "f", "--results"]), "--results");
+    // Arguments are 32-bit machine words: out-of-range values must be
+    // rejected up front, not silently truncated for one engine while
+    // the other sees the full u64 (regression for the old `as u32`).
+    assert_fails_mentioning(&cmm(&["run", src, "f", "4294967296"]), "bad argument");
+    assert_fails_mentioning(&cmm(&["trace", src, "f", "4294967296"]), "bad argument");
+    let m3 = s.file("t.m3", "proc main(n) { return n; }");
+    let out = cmm(&["m3", m3.to_str().unwrap(), "cutting", "4294967296"]);
+    assert_fails_mentioning(&out, "bad argument");
+}
+
+#[test]
+fn fuzz_rejects_bad_options() {
+    assert_fails_mentioning(&cmm(&["fuzz", "--frob"]), "--frob");
+    assert_fails_mentioning(&cmm(&["fuzz", "--jobs", "0"]), "--jobs");
+    assert_fails_mentioning(&cmm(&["fuzz", "--jobs"]), "--jobs");
+    assert_fails_mentioning(&cmm(&["fuzz", "--cases"]), "--cases");
+}
+
+#[test]
+fn batch_rejects_bad_options_and_manifests() {
+    let s = Scratch::new("badmanifest");
+    let good = s.file("ok.cmm", "f(bits32 a) { return (a); }");
+    let _ = good;
+    let m = s.file("bad.manifest", "ok.cmm warp-drive entry=f\n");
+    assert_fails_mentioning(&cmm(&["batch", m.to_str().unwrap()]), "line 1");
+    let m = s.file("bad2.manifest", "ok.cmm sem entry\n");
+    assert_fails_mentioning(&cmm(&["batch", m.to_str().unwrap()]), "key=value");
+    let m = s.file("empty.manifest", "# nothing here\n");
+    assert_fails_mentioning(&cmm(&["batch", m.to_str().unwrap()]), "no jobs");
+    assert_fails_mentioning(
+        &cmm(&["batch", m.to_str().unwrap(), "--warp"]),
+        "unknown batch option",
+    );
+    assert_fails_mentioning(&cmm(&["batch", m.to_str().unwrap(), "-j", "0"]), "--jobs");
+}
+
+#[test]
+fn batch_compile_errors_fail_the_run_but_stay_in_the_report() {
+    let s = Scratch::new("compileerr");
+    s.file("ok.cmm", "f(bits32 a) { return (a + 1); }");
+    s.file("broken.cmm", "f(bits32 a) { return (a +; }");
+    let m = s.file("mix.manifest", "ok.cmm sem args=1\nbroken.cmm sem,vm\n");
+    let out = cmm(&["batch", m.to_str().unwrap(), "--no-timing"]);
+    assert!(!out.status.success(), "a compile error must fail the run");
+    let json = stdout(&out);
+    assert!(json.contains("\"outcome\": \"halt [2]\""), "good job ran");
+    assert!(
+        json.matches("\"outcome\": \"compile-error\"").count() == 2,
+        "both broken jobs reported:\n{json}"
+    );
+    assert!(stderr(&out).contains("2 job(s) failed"));
+}
+
+#[test]
+fn batch_reports_are_byte_identical_across_jobs_and_share_compiles() {
+    let s = Scratch::new("determinism");
+    s.file(
+        "loop.cmm",
+        "f(bits32 n) {\n  bits32 acc;\n  acc = 0;\nloop:\n  if n == 0 { return (acc); }\n  else { acc = acc + n; n = n - 1; goto loop; }\n}",
+    );
+    s.file(
+        "raise.m3",
+        "exception E;\nproc main(n) {\n  var r;\n  try { raise E(n); r = 0; } except { E(v) => { r = v + 1; } }\n  return r;\n}",
+    );
+    let m = s.file(
+        "jobs.manifest",
+        "loop.cmm sem,sem-resolved,vm,vm-decoded entry=f args=9\n\
+         loop.cmm vm entry=f args=9 opt=none\n\
+         raise.m3 sem,vm strategy=cutting args=5\n\
+         raise.m3 vm strategy=runtime-unwind args=5\n",
+    );
+    let run = |jobs: &str| {
+        let out = cmm(&["batch", m.to_str().unwrap(), "--no-timing", "-j", jobs]);
+        assert!(out.status.success(), "batch -j{jobs}: {}", stderr(&out));
+        stdout(&out)
+    };
+    let j1 = run("1");
+    let j4 = run("4");
+    assert_eq!(j1, j4, "-j1 and -j4 reports must be byte-identical");
+    assert!(j1.contains("\"outcome\": \"halt [45]\""));
+    assert!(j1.contains("\"outcome\": \"result 6\""));
+    // Each digest group compiles once and every job then refetches, so
+    // a fresh cache still finishes warm.
+    let rate = j1
+        .split("\"hit_rate_permille\": ")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.trim_end_matches(['}', ',']).parse::<u64>().ok())
+        .expect("report carries a hit rate");
+    assert!(rate > 0, "cache hit rate must be nonzero:\n{j1}");
+}

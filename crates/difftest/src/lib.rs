@@ -70,6 +70,12 @@ pub struct FuzzConfig {
     pub fault_seed: u64,
     /// Fault schedules per case when `chaos` is on.
     pub schedules: u64,
+    /// Worker threads for case checking (`cmm fuzz --jobs N`). `1`
+    /// runs fully sequentially. Any value produces a bit-identical
+    /// report: cases are *checked* in parallel on the `cmm-pool`
+    /// executor, but failures are folded, shrunk, and written to the
+    /// corpus in index order by the calling thread.
+    pub jobs: usize,
 }
 
 impl Default for FuzzConfig {
@@ -85,6 +91,7 @@ impl Default for FuzzConfig {
             chaos: false,
             fault_seed: 0,
             schedules: 5,
+            jobs: 1,
         }
     }
 }
@@ -154,66 +161,99 @@ pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzRe
         }
         Ok(())
     };
-    for index in 0..cfg.cases as u64 {
-        let case = case_for(cfg.seed, index);
-        report.cases_run += 1;
-        let Err(failure) = check(&case) else {
-            continue;
-        };
-        let shrunk = if cfg.shrink {
-            // Only candidates reproducing the original classification
-            // count: shrinking must not wander from, say, a panic to an
-            // unrelated divergence.
-            let class = failure.classify();
-            Some(shrink::shrink(
-                &case,
-                &mut |c| check(c).is_err_and(|f| f.classify() == class),
-                cfg.shrink_budget,
-            ))
-        } else {
-            None
-        };
-        let reported = shrunk.as_ref().unwrap_or(&case);
-        let chaos = cfg.chaos.then_some((cfg.fault_seed, cfg.schedules));
-        let corpus_path = cfg
-            .corpus_dir
-            .as_deref()
-            .and_then(|dir| write_reproducer(dir, cfg.seed, index, reported, &failure, chaos).ok());
-        // Shrinking may move the divergence to a different oracle, so
-        // the artifact names whichever oracle fails on the *reported*
-        // case.
-        let diverged_oracle =
-            match oracle::run_source(&reported.render(), reported.args, &cfg.limits) {
-                Err(Failure::Diverged { oracle, .. }) => Some(oracle),
-                _ => match &failure {
-                    Failure::Diverged { oracle, .. } => Some(oracle.clone()),
-                    _ => None,
-                },
-            };
-        let events_path = match (cfg.corpus_dir.as_deref(), diverged_oracle) {
-            (Some(dir), Some(oracle)) => write_divergence_events(
-                dir,
-                cfg.seed,
-                index,
-                &reported.render(),
-                reported.args,
-                &cfg.limits,
-                &oracle,
-            )
-            .ok(),
-            _ => None,
-        };
-        report.failures.push(FailureReport {
-            index,
-            case,
-            failure,
-            shrunk,
-            corpus_path,
-            events_path,
+    // Cases are *checked* in waves on the `cmm-pool` executor (inline
+    // when `jobs <= 1`); everything order-sensitive — the `cases_run`
+    // count, the `max_failures` cutoff, shrinking, corpus writes —
+    // happens in this thread's index-ordered fold over each finished
+    // wave, so the report is bit-identical for every `jobs` value. A
+    // wave may check a few cases past the cutoff; their results are
+    // discarded by the fold exactly as the sequential loop would never
+    // have reached them.
+    let pool = cmm_pool::PoolConfig {
+        workers: cfg.jobs,
+        queue_cap: 256,
+    };
+    let wave = if cfg.jobs <= 1 { 1 } else { cfg.jobs * 8 };
+    let total = cfg.cases as u64;
+    let mut next = 0u64;
+    'run: while next < total {
+        let hi = (next + wave as u64).min(total);
+        let outcomes = cmm_pool::run_jobs(&pool, (next..hi).collect(), |_, i| {
+            check(&case_for(cfg.seed, i))
         });
-        if report.failures.len() >= cfg.max_failures {
-            break;
+        for (k, outcome) in outcomes.into_iter().enumerate() {
+            let index = next + k as u64;
+            let case = case_for(cfg.seed, index);
+            report.cases_run += 1;
+            let result = match outcome {
+                cmm_pool::JobOutcome::Done(r) => r,
+                // Every oracle is individually panic-isolated, so a
+                // panic escaping `check` itself is a harness bug;
+                // report it in the oracle layer's vocabulary instead
+                // of unwinding through the fuzz loop.
+                cmm_pool::JobOutcome::Panicked(message) => Err(Failure::Panicked {
+                    oracle: "harness".into(),
+                    message,
+                }),
+            };
+            let Err(failure) = result else {
+                continue;
+            };
+            let shrunk = if cfg.shrink {
+                // Only candidates reproducing the original classification
+                // count: shrinking must not wander from, say, a panic to an
+                // unrelated divergence.
+                let class = failure.classify();
+                Some(shrink::shrink(
+                    &case,
+                    &mut |c| check(c).is_err_and(|f| f.classify() == class),
+                    cfg.shrink_budget,
+                ))
+            } else {
+                None
+            };
+            let reported = shrunk.as_ref().unwrap_or(&case);
+            let chaos = cfg.chaos.then_some((cfg.fault_seed, cfg.schedules));
+            let corpus_path = cfg.corpus_dir.as_deref().and_then(|dir| {
+                write_reproducer(dir, cfg.seed, index, reported, &failure, chaos).ok()
+            });
+            // Shrinking may move the divergence to a different oracle, so
+            // the artifact names whichever oracle fails on the *reported*
+            // case.
+            let diverged_oracle =
+                match oracle::run_source(&reported.render(), reported.args, &cfg.limits) {
+                    Err(Failure::Diverged { oracle, .. }) => Some(oracle),
+                    _ => match &failure {
+                        Failure::Diverged { oracle, .. } => Some(oracle.clone()),
+                        _ => None,
+                    },
+                };
+            let events_path = match (cfg.corpus_dir.as_deref(), diverged_oracle) {
+                (Some(dir), Some(oracle)) => write_divergence_events(
+                    dir,
+                    cfg.seed,
+                    index,
+                    &reported.render(),
+                    reported.args,
+                    &cfg.limits,
+                    &oracle,
+                )
+                .ok(),
+                _ => None,
+            };
+            report.failures.push(FailureReport {
+                index,
+                case,
+                failure,
+                shrunk,
+                corpus_path,
+                events_path,
+            });
+            if report.failures.len() >= cfg.max_failures {
+                break 'run;
+            }
         }
+        next = hi;
     }
     report
 }
@@ -563,5 +603,75 @@ mod tests {
                 refail
             );
         }
+    }
+
+    #[test]
+    fn parallel_fuzzing_is_bit_identical_to_sequential() {
+        // The --jobs satellite's contract: the report — cases run,
+        // failure indices, failure text, shrunk reproducers, corpus
+        // files — is a pure function of the config, not of the worker
+        // count. Exercised against a deliberately broken pass so the
+        // run actually finds, shrinks, and writes failures.
+        let force_true = |p: &mut cmm_cfg::Program| {
+            for g in p.procs.values_mut() {
+                for id in 0..g.nodes.len() {
+                    let id = cmm_cfg::NodeId(id as u32);
+                    if let cmm_cfg::Node::Branch { t, .. } = g.node(id) {
+                        let t = *t;
+                        *g.node_mut(id) = cmm_cfg::Node::Branch {
+                            cond: cmm_ir::Expr::b32(1),
+                            t,
+                            f: t,
+                        };
+                    }
+                }
+            }
+        };
+        let passes: &[ExtraPass<'_>] = &[("force-true", &force_true)];
+        let corpus = |tag: &str| std::env::temp_dir().join(format!("cmm-difftest-jobs-{tag}"));
+        let run = |jobs: usize, tag: &str| {
+            let dir = corpus(tag);
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg = FuzzConfig {
+                cases: 60,
+                shrink: true,
+                shrink_budget: 200,
+                max_failures: 2,
+                corpus_dir: Some(dir.clone()),
+                jobs,
+                ..FuzzConfig::default()
+            };
+            let report = run_fuzz_with(&cfg, passes);
+            let mut files: Vec<(String, String)> = std::fs::read_dir(&dir)
+                .map(|rd| {
+                    rd.filter_map(|e| e.ok())
+                        .map(|e| {
+                            (
+                                e.file_name().to_string_lossy().into_owned(),
+                                std::fs::read_to_string(e.path()).unwrap(),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            files.sort();
+            let _ = std::fs::remove_dir_all(&dir);
+            (report, files)
+        };
+        let (seq, seq_files) = run(1, "j1");
+        let (par, par_files) = run(4, "j4");
+        assert!(!seq.failures.is_empty(), "broken pass must be caught");
+        assert_eq!(seq.cases_run, par.cases_run);
+        assert_eq!(seq.failures.len(), par.failures.len());
+        for (a, b) in seq.failures.iter().zip(&par.failures) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.case.render(), b.case.render());
+            assert_eq!(a.failure.to_string(), b.failure.to_string());
+            assert_eq!(
+                a.shrunk.as_ref().map(|c| c.render()),
+                b.shrunk.as_ref().map(|c| c.render())
+            );
+        }
+        assert_eq!(seq_files, par_files, "corpus bytes differ across -j");
     }
 }

@@ -601,7 +601,9 @@ fn diverged(oracle: String, reference: &Obs, ref_detail: &str, obs: &Obs, detail
 /// A named program transformation injected alongside the real passes
 /// (used to test that the fuzzer catches miscompilation — see the
 /// minimizer tests).
-pub type ExtraPass<'a> = (&'a str, &'a dyn Fn(&mut Program));
+/// (`Sync` so `run_fuzz --jobs N` can evaluate cases on the `cmm-pool`
+/// executor; closures capturing only shared state qualify unchanged.)
+pub type ExtraPass<'a> = (&'a str, &'a (dyn Fn(&mut Program) + Sync));
 
 /// Runs one case through every oracle; `Ok(())` means all agreed.
 pub fn run_case(case: &TestCase, limits: &Limits) -> Result<(), Failure> {

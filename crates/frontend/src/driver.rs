@@ -77,7 +77,7 @@ fn exception_name(image: &cmm_cfg::DataImage, tag: u64) -> String {
 /// [`M3Error::Fault`] if the program goes wrong.
 pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
     let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
-    sem_loop(&mut Thread::new(&prog), strategy, args)
+    run_sem_thread(&mut Thread::new(&prog), strategy, args)
 }
 
 /// [`run_sem`] over the pre-resolved engine
@@ -89,7 +89,7 @@ pub fn run_sem(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32,
 pub fn run_sem_resolved(module: &Module, strategy: Strategy, args: &[u32]) -> Result<u32, M3Error> {
     let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
     let rp = ResolvedProgram::new(&prog);
-    sem_loop(&mut Thread::new_resolved(&rp), strategy, args)
+    run_sem_thread(&mut Thread::new_resolved(&rp), strategy, args)
 }
 
 /// A traced driver run: compilation errors in the outer `Result`, the
@@ -109,12 +109,21 @@ pub type Traced<T> = Result<(Result<T, M3Error>, Vec<TimedEvent>), M3Error>;
 pub fn run_sem_traced(module: &Module, strategy: Strategy, args: &[u32]) -> Traced<u32> {
     let prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
     let mut t = Thread::over(Machine::with_sink(&prog, RecordingSink::default()));
-    let r = sem_loop(&mut t, strategy, args);
+    let r = run_sem_thread(&mut t, strategy, args);
     Ok((r, t.into_machine().into_sink().events))
 }
 
-/// The run/dispatch loop, engine-independent.
-fn sem_loop<'p, M: SemEngine<'p>>(
+/// The run/dispatch loop, engine-independent: drives an already
+/// constructed [`Thread`] (over any machine, any sink) with the
+/// Figure 9 dispatcher in the loop. Public so callers holding cached
+/// artifacts — e.g. `cmm-pool`'s batch executor, whose compilation
+/// cache memoizes the built [`cmm_cfg::Program`] — can run them
+/// without recompiling.
+///
+/// # Errors
+///
+/// As [`run_sem`].
+pub fn run_sem_thread<'p, M: SemEngine<'p>>(
     t: &mut Thread<'p, M>,
     strategy: Strategy,
     args: &[u32],
@@ -223,7 +232,7 @@ fn run_vm_impl(
     } else {
         VmThread::new(&vp)
     };
-    vm_loop(&mut t, &vp.image, strategy, args)
+    run_vm_thread(&mut t, &vp.image, strategy, args)
 }
 
 /// [`run_vm`] with a recording sink in the loop; the counterpart of
@@ -248,12 +257,18 @@ pub fn run_vm_traced(
     } else {
         VmThread::with_sink(&vp, RecordingSink::default())
     };
-    let r = vm_loop(&mut t, &vp.image, strategy, args);
+    let r = run_vm_thread(&mut t, &vp.image, strategy, args);
     Ok((r, t.machine.into_sink().events))
 }
 
-/// The run/dispatch loop on the simulated target, sink-independent.
-fn vm_loop<S: TraceSink>(
+/// The run/dispatch loop on the simulated target, sink-independent:
+/// the [`run_sem_thread`] counterpart for callers holding a cached
+/// [`cmm_vm::VmProgram`] (and possibly a shared pre-decoded stream).
+///
+/// # Errors
+///
+/// As [`run_vm`].
+pub fn run_vm_thread<S: TraceSink>(
     t: &mut VmThread<'_, S>,
     image: &cmm_cfg::DataImage,
     strategy: Strategy,

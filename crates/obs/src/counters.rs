@@ -1,0 +1,131 @@
+//! Shared service counters: thread-safe metrics for long-lived
+//! components that serve many executions (today: `cmm-pool`'s
+//! content-addressed compilation cache).
+//!
+//! The trace-sink layer ([`crate::sink`]) observes *one* run from the
+//! inside; these counters observe a *service* from the outside, across
+//! many concurrent runs. They are plain atomics — no locks, no feature
+//! gates — so a server can read them at any time without perturbing the
+//! workers that update them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for a content-addressed artifact cache.
+///
+/// The counting discipline keeps the figures *scheduling-independent*:
+/// a request satisfied by a ready artifact is a **hit**; a request that
+/// arrives while another thread is already building the same artifact
+/// waits for it and is counted as a hit *and* as an
+/// **in-flight wait** (the single-flight channel); the one request that
+/// actually builds is a **miss**. Per `(digest, stage)` there is thus
+/// exactly one miss no matter how many threads race, so hit/miss totals
+/// for a fixed job set are identical at `-j1` and `-jN` (evictions can
+/// reorder under a tight byte budget; see `cmm-pool`'s docs).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Requests satisfied by a ready artifact (including single-flight
+    /// waiters).
+    pub hits: AtomicU64,
+    /// Requests that built the artifact.
+    pub misses: AtomicU64,
+    /// Artifacts evicted to respect the byte budget.
+    pub evictions: AtomicU64,
+    /// Hits that waited on another thread's in-flight build.
+    pub inflight_waits: AtomicU64,
+    /// Estimated bytes currently resident.
+    pub resident_bytes: AtomicU64,
+}
+
+impl CacheStats {
+    /// A zeroed counter set.
+    pub fn new() -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// An immutable copy of the current values.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheSnapshot {
+    /// See [`CacheStats::hits`].
+    pub hits: u64,
+    /// See [`CacheStats::misses`].
+    pub misses: u64,
+    /// See [`CacheStats::evictions`].
+    pub evictions: u64,
+    /// See [`CacheStats::inflight_waits`].
+    pub inflight_waits: u64,
+    /// See [`CacheStats::resident_bytes`].
+    pub resident_bytes: u64,
+}
+
+impl CacheSnapshot {
+    /// Hits over total requests, in `[0, 1]`; `0` before any request.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl fmt::Display for CacheSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hit(s), {} miss(es), {} eviction(s), {} in-flight wait(s), \
+             {} byte(s) resident ({:.0}% hit rate)",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.inflight_waits,
+            self.resident_bytes,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_hit_rate() {
+        let s = CacheStats::new();
+        assert_eq!(s.snapshot().hit_rate(), 0.0);
+        s.hits.fetch_add(3, Ordering::Relaxed);
+        s.misses.fetch_add(1, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.hits, 3);
+        assert_eq!(snap.hit_rate(), 0.75);
+        assert!(snap.to_string().contains("75% hit rate"), "{snap}");
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let s = std::sync::Arc::new(CacheStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        s.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.snapshot().hits, 400);
+    }
+}

@@ -23,14 +23,18 @@
 //! * [`Profile`] — per-procedure and per-strategy metrics with
 //!   cost-model attribution (`cmm profile`);
 //! * [`chrome_trace_json`] — Chrome `trace_event` export
-//!   (`cmm trace`).
+//!   (`cmm trace`);
+//! * [`CacheStats`] — atomic service counters (hits, misses,
+//!   evictions) for `cmm-pool`'s content-addressed compilation cache.
 
 pub mod chrome;
+pub mod counters;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 
 pub use chrome::chrome_trace_json;
+pub use counters::{CacheSnapshot, CacheStats};
 pub use event::{first_divergence, projection, Event, ResumeKind, RtsOp, TimedEvent};
 pub use metrics::{ProcStats, Profile, StrategyCounts};
 pub use sink::{CountingSink, EventCounts, NopSink, RecordingSink, TraceSink};

@@ -1,0 +1,757 @@
+//! Batch execution: a manifest of jobs, compiled through the shared
+//! [`PipelineCache`] and executed on the work-stealing pool.
+//!
+//! # Manifest format
+//!
+//! One job line per entry; `#` starts a comment:
+//!
+//! ```text
+//! # <source-file> <engine[,engine...]> [key=value ...]
+//! fig34_plain.cmm  vm,vm-decoded  entry=f args=20
+//! fig2_deep_raise.m3  sem  strategy=cutting args=5
+//! ```
+//!
+//! The source language is chosen by extension (`.cmm` → C--, `.m3` →
+//! MiniM3). Keys: `entry=` (C-- start procedure, default `f`),
+//! `args=` (comma-separated `u32`s), `results=` (C-- result arity on
+//! the simulated target, default 1), `strategy=` (MiniM3 lowering,
+//! default `runtime-unwind`), `opt=full|none` (default `full`),
+//! `fuel=` (per-run budget; defaults match difftest's limits), and
+//! `yields=` (suspension bound, default 64). A comma-separated engine
+//! list expands to one job per engine — the usual way a manifest earns
+//! cache hits, since all four engines share per-family artifacts.
+//!
+//! # Determinism
+//!
+//! [`run_batch`] produces a report whose non-timing content is a pure
+//! function of the job list: job records are keyed and ordered by
+//! submission index, the dispatcher policy that services suspensions
+//! is the fixed deterministic one difftest's oracles use, and the
+//! cache counters are scheduling-independent by the single-flight
+//! counting discipline (see [`crate::cache`]). Serializing with
+//! `with_timing = false` therefore yields byte-identical output at
+//! `-j1` and `-jN`; CI diffs exactly that.
+
+use crate::cache::{EngineFamily, PipelineCache, SourceKey, SourceLang};
+use crate::executor::{run_jobs, JobOutcome, PoolConfig};
+use cmm_chaos::ResourceGovernor;
+use cmm_frontend::{run_sem_thread, run_vm_thread, Strategy};
+use cmm_obs::{CacheSnapshot, NopSink, TraceSink};
+use cmm_opt::OptOptions;
+use cmm_rt::Thread;
+use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemEngine, Status, Value};
+use cmm_vm::{VmStatus, VmThread};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which execution engine a job runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EngineKind {
+    /// The reference abstract machine (`cmm-sem`).
+    Sem,
+    /// The pre-resolved abstract machine (`cmm-sem`, resolved tables).
+    SemResolved,
+    /// The simulated target (`cmm-vm`).
+    Vm,
+    /// The simulated target over pre-decoded code.
+    VmDecoded,
+}
+
+impl EngineKind {
+    /// The report label; also the manifest spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Sem => "sem",
+            EngineKind::SemResolved => "sem-resolved",
+            EngineKind::Vm => "vm",
+            EngineKind::VmDecoded => "vm-decoded",
+        }
+    }
+
+    /// Which artifact chain this engine consumes.
+    pub fn family(self) -> EngineFamily {
+        match self {
+            EngineKind::Sem | EngineKind::SemResolved => EngineFamily::Sem,
+            EngineKind::Vm | EngineKind::VmDecoded => EngineFamily::Vm,
+        }
+    }
+
+    /// Parses a manifest spelling.
+    pub fn parse(s: &str) -> Result<EngineKind, String> {
+        Ok(match s {
+            "sem" => EngineKind::Sem,
+            "sem-resolved" => EngineKind::SemResolved,
+            "vm" => EngineKind::Vm,
+            "vm-decoded" => EngineKind::VmDecoded,
+            other => return Err(format!("unknown engine `{other}`")),
+        })
+    }
+}
+
+/// Parses a MiniM3 strategy name (same spellings as the `cmm` CLI).
+pub fn parse_strategy(s: &str) -> Result<Strategy, String> {
+    Ok(match s {
+        "runtime-unwind" => Strategy::RuntimeUnwind,
+        "cutting" => Strategy::Cutting,
+        "native-unwind" => Strategy::NativeUnwind,
+        "cps" => Strategy::Cps,
+        "sjlj-pentium" => Strategy::Sjlj(cmm_vm::arch::PENTIUM_LINUX),
+        "sjlj-sparc" => Strategy::Sjlj(cmm_vm::arch::SPARC_SOLARIS),
+        "sjlj-alpha" => Strategy::Sjlj(cmm_vm::arch::ALPHA_DIGITAL_UNIX),
+        other => return Err(format!("unknown strategy `{other}`")),
+    })
+}
+
+/// One job: a source, an engine, and execution parameters.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Display name (the manifest's source path).
+    pub name: String,
+    /// Language / lowering.
+    pub lang: SourceLang,
+    /// Source text (loaded up front; execution never touches the
+    /// filesystem).
+    pub source: String,
+    /// Start procedure (C-- only; MiniM3 always enters `main`).
+    pub entry: String,
+    /// Call arguments.
+    pub args: Vec<u32>,
+    /// Expected result arity on the simulated target (C-- only).
+    pub results: usize,
+    /// Execution engine.
+    pub engine: EngineKind,
+    /// Optimization configuration (a cache-digest input).
+    pub opts: OptOptions,
+    /// Per-run fuel budget, enforced through the `cmm-chaos`
+    /// [`ResourceGovernor`]'s fuel slice.
+    pub fuel: u64,
+    /// Suspensions serviced before the run is cut off.
+    pub max_yields: usize,
+}
+
+impl JobSpec {
+    /// The cache key this job compiles under.
+    pub fn source_key(&self) -> SourceKey {
+        SourceKey {
+            source: self.source.clone(),
+            lang: self.lang.clone(),
+            opts: self.opts,
+            family: self.engine.family(),
+        }
+    }
+}
+
+/// Reads a manifest file, loading each referenced source relative to
+/// the manifest's directory.
+pub fn load_manifest(path: &Path) -> Result<Vec<JobSpec>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let base = path.parent().unwrap_or_else(|| Path::new("."));
+    parse_manifest(&text, &mut |rel| {
+        let p = base.join(rel);
+        std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))
+    })
+}
+
+/// Parses manifest text; `read_source` maps a source path to its text
+/// (injected so tests need no filesystem).
+pub fn parse_manifest(
+    text: &str,
+    read_source: &mut dyn FnMut(&str) -> Result<String, String>,
+) -> Result<Vec<JobSpec>, String> {
+    let mut specs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("manifest line {}: {msg}", lineno + 1);
+        let mut tokens = line.split_whitespace();
+        let file = tokens.next().expect("non-empty line");
+        let engines = tokens
+            .next()
+            .ok_or_else(|| at(format!("`{file}`: missing engine list")))?;
+        let mut entry = "f".to_string();
+        let mut args: Vec<u32> = Vec::new();
+        let mut results = 1usize;
+        let mut strategy = Strategy::RuntimeUnwind;
+        let mut opts = OptOptions::default();
+        let mut fuel: Option<u64> = None;
+        let mut max_yields = 64usize;
+        for tok in tokens {
+            let Some((k, v)) = tok.split_once('=') else {
+                return Err(at(format!("expected key=value, got `{tok}`")));
+            };
+            match k {
+                "entry" => entry = v.to_string(),
+                "args" => {
+                    args = v
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.parse().map_err(|_| at(format!("bad argument `{s}`"))))
+                        .collect::<Result<_, _>>()?;
+                }
+                "results" => {
+                    results = v.parse().map_err(|_| at(format!("bad results `{v}`")))?;
+                }
+                "strategy" => strategy = parse_strategy(v).map_err(&at)?,
+                "opt" => {
+                    opts = match v {
+                        "full" => OptOptions::default(),
+                        "none" => OptOptions::none(),
+                        other => return Err(at(format!("bad opt level `{other}`"))),
+                    };
+                }
+                "fuel" => fuel = Some(v.parse().map_err(|_| at(format!("bad fuel `{v}`")))?),
+                "yields" => {
+                    max_yields = v.parse().map_err(|_| at(format!("bad yields `{v}`")))?;
+                }
+                other => return Err(at(format!("unknown key `{other}`"))),
+            }
+        }
+        let lang = if file.ends_with(".cmm") {
+            SourceLang::Cmm
+        } else if file.ends_with(".m3") {
+            SourceLang::MiniM3(strategy)
+        } else {
+            return Err(at(format!("`{file}`: expected a .cmm or .m3 source")));
+        };
+        let source = read_source(file)?;
+        for eng in engines.split(',') {
+            let engine = EngineKind::parse(eng).map_err(&at)?;
+            // Difftest's default limits, scaled to the engine family.
+            let fuel = fuel.unwrap_or(match engine.family() {
+                EngineFamily::Sem => 2_000_000,
+                EngineFamily::Vm => 20_000_000,
+            });
+            specs.push(JobSpec {
+                name: file.to_string(),
+                lang: lang.clone(),
+                source: source.clone(),
+                entry: match lang {
+                    SourceLang::Cmm => entry.clone(),
+                    // The MiniM3 driver always enters `main`; report
+                    // that rather than the (ignored) C-- default.
+                    SourceLang::MiniM3(_) => "main".to_string(),
+                },
+                args: args.clone(),
+                results,
+                engine,
+                opts,
+                fuel,
+                max_yields,
+            });
+        }
+    }
+    Ok(specs)
+}
+
+/// Batch-service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Worker threads (`1` = run inline).
+    pub workers: usize,
+    /// Injector bound (see [`PoolConfig`]).
+    pub queue_cap: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            workers: 1,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// What one job reported.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobRecord {
+    /// Submission index (report order).
+    pub id: usize,
+    /// Source path from the manifest.
+    pub name: String,
+    /// Engine label.
+    pub engine: &'static str,
+    /// Start procedure.
+    pub entry: String,
+    /// Call arguments.
+    pub args: Vec<u32>,
+    /// How the run ended (`halt [..]`, `result N`, `wrong`, `fuel`,
+    /// `rts-error`, `error`, `compile-error`, `panicked`).
+    pub outcome: String,
+    /// Engine-specific detail text (empty on clean halts).
+    pub detail: String,
+    /// Yield codes serviced, in order (C-- jobs).
+    pub yields: Vec<u64>,
+    /// Deterministic simulated instruction count (vm-family jobs).
+    pub instructions: u64,
+    /// Wall-clock nanoseconds (excluded from deterministic output).
+    pub ns: u128,
+}
+
+/// The result of one [`run_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job records, in submission order.
+    pub jobs: Vec<JobRecord>,
+    /// Cache-counter *delta* over this batch (resident bytes are the
+    /// absolute post-batch estimate).
+    pub cache: CacheSnapshot,
+    /// Worker threads used (timing section only — `-j` must not
+    /// change the deterministic output).
+    pub workers: usize,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub wall_ns: u128,
+}
+
+/// Runs every job, sharing compilations through `cache`.
+///
+/// Three phases: **(A)** one parallel compile per distinct cache
+/// digest — these are the misses; **(B)** resolved-table construction
+/// for `sem-resolved` jobs on the calling thread (a
+/// [`ResolvedProgram`] borrows its [`Program`](cmm_cfg::Program), so
+/// the tables are memoized per batch, not cached across calls — the
+/// workspace is `unsafe`-free by policy, which rules out the
+/// self-referential cache entry); **(C)** every job in parallel,
+/// fetching its artifacts back out of the cache — the hits. A batch
+/// over a fresh cache therefore always reports a positive hit rate
+/// once any group has a runnable job.
+pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig) -> BatchReport {
+    let before = cache.snapshot();
+    let t0 = Instant::now();
+    let pool = PoolConfig {
+        workers: config.workers,
+        queue_cap: config.queue_cap,
+    };
+
+    // Group jobs by cache digest.
+    struct Group {
+        key: SourceKey,
+        want_decoded: bool,
+        want_resolved: bool,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut group_of: Vec<usize> = Vec::with_capacity(specs.len());
+    let mut by_digest = std::collections::HashMap::new();
+    for spec in specs {
+        let key = spec.source_key();
+        let g = *by_digest.entry(key.digest()).or_insert_with(|| {
+            groups.push(Group {
+                key,
+                want_decoded: false,
+                want_resolved: false,
+            });
+            groups.len() - 1
+        });
+        groups[g].want_decoded |= spec.engine == EngineKind::VmDecoded;
+        groups[g].want_resolved |= spec.engine == EngineKind::SemResolved;
+        group_of.push(g);
+    }
+
+    // Phase A: compile each group once, in parallel.
+    let compile_errs: Vec<Option<String>> = run_jobs(&pool, (0..groups.len()).collect(), |_, g| {
+        let grp = &groups[g];
+        let r = match grp.key.family {
+            EngineFamily::Sem => cache.program(&grp.key).map(|_| ()),
+            EngineFamily::Vm if grp.want_decoded => cache.decoded(&grp.key).map(|_| ()),
+            EngineFamily::Vm => cache.vm_code(&grp.key).map(|_| ()),
+        };
+        r.err()
+    })
+    .into_iter()
+    .map(|o| match o {
+        JobOutcome::Done(err) => err,
+        JobOutcome::Panicked(msg) => Some(format!("compiler panicked: {msg}")),
+    })
+    .collect();
+
+    // Phase B: per-batch resolved tables (borrow the cached programs,
+    // which the surrounding scope keeps alive).
+    let progs: Vec<Option<Arc<cmm_cfg::Program>>> = groups
+        .iter()
+        .enumerate()
+        .map(|(g, grp)| {
+            (grp.want_resolved && compile_errs[g].is_none())
+                .then(|| cache.program(&grp.key).ok())
+                .flatten()
+        })
+        .collect();
+    let resolveds: Vec<Option<ResolvedProgram>> = progs
+        .iter()
+        .map(|p| p.as_deref().map(ResolvedProgram::new))
+        .collect();
+
+    // Phase C: run every job in parallel against the warm cache.
+    let jobs = run_jobs(&pool, (0..specs.len()).collect(), |_, i| {
+        let spec = &specs[i];
+        let started = Instant::now();
+        let g = group_of[i];
+        let mut obs = match &compile_errs[g] {
+            Some(e) => RunObs::failed("compile-error", e.clone()),
+            None => execute(spec, cache, resolveds[g].as_ref()),
+        };
+        obs.ns = started.elapsed().as_nanos();
+        record(i, spec, obs)
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(i, o)| match o {
+        JobOutcome::Done(rec) => rec,
+        JobOutcome::Panicked(msg) => record(i, &specs[i], RunObs::failed("panicked", msg)),
+    })
+    .collect();
+
+    let after = cache.snapshot();
+    BatchReport {
+        jobs,
+        cache: CacheSnapshot {
+            hits: after.hits - before.hits,
+            misses: after.misses - before.misses,
+            evictions: after.evictions - before.evictions,
+            inflight_waits: after.inflight_waits - before.inflight_waits,
+            resident_bytes: after.resident_bytes,
+        },
+        workers: config.workers,
+        wall_ns: t0.elapsed().as_nanos(),
+    }
+}
+
+/// What a single execution observed (pre-record form).
+struct RunObs {
+    outcome: String,
+    detail: String,
+    yields: Vec<u64>,
+    instructions: u64,
+    ns: u128,
+}
+
+impl RunObs {
+    fn failed(outcome: &str, detail: String) -> RunObs {
+        RunObs {
+            outcome: outcome.to_string(),
+            detail,
+            yields: Vec::new(),
+            instructions: 0,
+            ns: 0,
+        }
+    }
+}
+
+fn record(id: usize, spec: &JobSpec, obs: RunObs) -> JobRecord {
+    JobRecord {
+        id,
+        name: spec.name.clone(),
+        engine: spec.engine.label(),
+        entry: spec.entry.clone(),
+        args: spec.args.clone(),
+        outcome: obs.outcome,
+        detail: obs.detail,
+        yields: obs.yields,
+        instructions: obs.instructions,
+        ns: obs.ns,
+    }
+}
+
+/// The per-job resource governor: the `cmm-chaos` fuel slice is the
+/// job's "timeout" (every `run` call is clipped to the job budget).
+fn governor(spec: &JobSpec) -> ResourceGovernor {
+    ResourceGovernor {
+        fuel_slice: Some(spec.fuel),
+        ..ResourceGovernor::unlimited()
+    }
+}
+
+/// Runs one job against the warm cache.
+fn execute(spec: &JobSpec, cache: &PipelineCache, resolved: Option<&ResolvedProgram>) -> RunObs {
+    let key = spec.source_key();
+    match spec.engine {
+        EngineKind::Sem => {
+            let prog = match cache.program(&key) {
+                Ok(p) => p,
+                Err(e) => return RunObs::failed("compile-error", e),
+            };
+            let mut m = Machine::new(&prog);
+            m.set_governor(governor(spec));
+            run_sem_job(spec, Thread::over(m))
+        }
+        EngineKind::SemResolved => {
+            let Some(rp) = resolved else {
+                return RunObs::failed("compile-error", "resolved tables unavailable".into());
+            };
+            let mut m = ResolvedMachine::new(rp);
+            m.set_governor(governor(spec));
+            run_sem_job(spec, Thread::over(m))
+        }
+        EngineKind::Vm => {
+            let vp = match cache.vm_code(&key) {
+                Ok(vp) => vp,
+                Err(e) => return RunObs::failed("compile-error", e),
+            };
+            let mut t = VmThread::new(&vp);
+            t.machine.set_governor(governor(spec));
+            run_vm_job(spec, t, &vp.image)
+        }
+        EngineKind::VmDecoded => {
+            let (vp, dec) = match cache.decoded(&key) {
+                Ok(x) => x,
+                Err(e) => return RunObs::failed("compile-error", e),
+            };
+            let mut t = VmThread::with_sink_shared_decoded(&vp, dec, NopSink);
+            t.machine.set_governor(governor(spec));
+            run_vm_job(spec, t, &vp.image)
+        }
+    }
+}
+
+fn run_sem_job<'p, M: SemEngine<'p>>(spec: &JobSpec, mut t: Thread<'p, M>) -> RunObs {
+    match &spec.lang {
+        SourceLang::Cmm => drive_sem(&mut t, spec),
+        SourceLang::MiniM3(strategy) => match run_sem_thread(&mut t, *strategy, &spec.args) {
+            Ok(v) => RunObs {
+                outcome: format!("result {v}"),
+                ..RunObs::failed("", String::new())
+            },
+            Err(e) => RunObs::failed("error", e.to_string()),
+        },
+    }
+}
+
+fn run_vm_job<S: TraceSink>(
+    spec: &JobSpec,
+    mut t: VmThread<'_, S>,
+    image: &cmm_cfg::DataImage,
+) -> RunObs {
+    match &spec.lang {
+        SourceLang::Cmm => drive_vm(&mut t, spec),
+        SourceLang::MiniM3(strategy) => match run_vm_thread(&mut t, image, *strategy, &spec.args) {
+            Ok((v, cost)) => RunObs {
+                outcome: format!("result {v}"),
+                instructions: cost.total(),
+                ..RunObs::failed("", String::new())
+            },
+            Err(e) => RunObs::failed("error", e.to_string()),
+        },
+    }
+}
+
+/// The fixed dispatcher's continuation-parameter fill value — the same
+/// policy difftest's oracles use (`cmm-pool` cannot depend on
+/// `cmm-difftest`: difftest's parallel fuzzing runs on this executor).
+fn fill(code: u64) -> u32 {
+    (code.wrapping_mul(13).wrapping_add(7) & 0xfff) as u32
+}
+
+/// Drives a C-- job on an abstract-machine engine, servicing
+/// suspensions with the fixed deterministic dispatcher policy (record
+/// the code, hop one activation toward the caller, odd codes take
+/// unwind continuation 0, parameters filled with [`fill`]).
+fn drive_sem<'p, M: SemEngine<'p>>(t: &mut Thread<'p, M>, spec: &JobSpec) -> RunObs {
+    let mut obs = RunObs::failed("", String::new());
+    let args = spec.args.iter().map(|&a| Value::b32(a)).collect();
+    if let Err(w) = t.start(&spec.entry, args) {
+        return RunObs::failed("wrong", w.to_string());
+    }
+    loop {
+        match t.run(spec.fuel) {
+            Status::Terminated(vals) => {
+                let bits: Vec<u64> = vals.iter().map(|v| v.bits().unwrap_or(u64::MAX)).collect();
+                obs.outcome = format!("halt {bits:?}");
+                return obs;
+            }
+            Status::Wrong(w) => {
+                obs.outcome = "wrong".into();
+                obs.detail = w.to_string();
+                return obs;
+            }
+            Status::OutOfFuel => {
+                obs.outcome = "fuel".into();
+                obs.detail = "out of fuel".into();
+                return obs;
+            }
+            Status::Suspended => {
+                if obs.yields.len() >= spec.max_yields {
+                    obs.outcome = "fuel".into();
+                    obs.detail = "suspension bound".into();
+                    return obs;
+                }
+                let code = t.yield_code().unwrap_or(0);
+                obs.yields.push(code);
+                let Some(mut a) = t.first_activation() else {
+                    obs.outcome = "rts-error".into();
+                    obs.detail = "no first activation".into();
+                    return obs;
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(w) = t.set_activation(&a) {
+                    obs.outcome = "rts-error".into();
+                    obs.detail = w.to_string();
+                    return obs;
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = Value::b32(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v.clone();
+                    n += 1;
+                }
+                if let Err(w) = t.resume() {
+                    obs.outcome = "rts-error".into();
+                    obs.detail = w.to_string();
+                    return obs;
+                }
+            }
+            other => {
+                obs.outcome = "rts-error".into();
+                obs.detail = format!("unexpected status {other:?}");
+                return obs;
+            }
+        }
+    }
+}
+
+/// [`drive_sem`] for the simulated target.
+fn drive_vm<S: TraceSink>(t: &mut VmThread<'_, S>, spec: &JobSpec) -> RunObs {
+    let mut obs = RunObs::failed("", String::new());
+    let args: Vec<u64> = spec.args.iter().map(|&a| u64::from(a)).collect();
+    t.start(&spec.entry, &args, spec.results);
+    loop {
+        match t.run(spec.fuel) {
+            VmStatus::Halted(vals) => {
+                obs.outcome = format!("halt {vals:?}");
+                obs.instructions = t.machine.cost.total();
+                return obs;
+            }
+            VmStatus::Error(e) => {
+                obs.outcome = "wrong".into();
+                obs.detail = e;
+                obs.instructions = t.machine.cost.total();
+                return obs;
+            }
+            VmStatus::OutOfFuel => {
+                obs.outcome = "fuel".into();
+                obs.detail = "out of fuel".into();
+                obs.instructions = t.machine.cost.total();
+                return obs;
+            }
+            VmStatus::Suspended => {
+                if obs.yields.len() >= spec.max_yields {
+                    obs.outcome = "fuel".into();
+                    obs.detail = "suspension bound".into();
+                    obs.instructions = t.machine.cost.total();
+                    return obs;
+                }
+                let code = t.machine.yield_args(1)[0];
+                obs.yields.push(code);
+                let Some(mut a) = t.first_activation() else {
+                    obs.outcome = "rts-error".into();
+                    obs.detail = "no first activation".into();
+                    return obs;
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(e) = t.set_activation(&a) {
+                    obs.outcome = "rts-error".into();
+                    obs.detail = e;
+                    return obs;
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = u64::from(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v;
+                    n += 1;
+                }
+                if let Err(e) = t.resume() {
+                    obs.outcome = "rts-error".into();
+                    obs.detail = e;
+                    return obs;
+                }
+            }
+            other => {
+                obs.outcome = "rts-error".into();
+                obs.detail = format!("unexpected status {other:?}");
+                return obs;
+            }
+        }
+    }
+}
+
+impl BatchReport {
+    /// Serializes the report. With `with_timing = false` every
+    /// scheduling- or clock-dependent field is omitted (per-job `ns`,
+    /// the `timing` section, the cache's in-flight waits and resident
+    /// estimate), which makes the output a pure function of the job
+    /// list: CI runs `-j1` and `-j4` and byte-compares.
+    pub fn to_json(&self, with_timing: bool) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"cmm-pool-batch-v1\",\n");
+        let _ = writeln!(s, "  \"jobs\": [");
+        for (i, j) in self.jobs.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{ \"id\": {}, \"source\": {}, \"engine\": {}, \"entry\": {}, \
+                 \"args\": {:?}, \"outcome\": {}, \"detail\": {}, \"yields\": {:?}, \
+                 \"instructions\": {}",
+                j.id,
+                json_str(&j.name),
+                json_str(j.engine),
+                json_str(&j.entry),
+                j.args,
+                json_str(&j.outcome),
+                json_str(&j.detail),
+                j.yields,
+                j.instructions,
+            );
+            if with_timing {
+                let _ = write!(s, ", \"ns\": {}", j.ns);
+            }
+            let _ = writeln!(s, " }}{}", if i + 1 < self.jobs.len() { "," } else { "" });
+        }
+        s.push_str("  ],\n");
+        let c = &self.cache;
+        // Permille, to keep floats out of gated output.
+        let rate = (c.hits * 1000).checked_div(c.hits + c.misses).unwrap_or(0);
+        let _ = write!(
+            s,
+            "  \"cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"hit_rate_permille\": {} }}",
+            c.hits, c.misses, c.evictions, rate
+        );
+        if with_timing {
+            let _ = write!(
+                s,
+                ",\n  \"timing\": {{ \"workers\": {}, \"wall_ns\": {}, \
+                 \"inflight_waits\": {}, \"resident_bytes\": {} }}",
+                self.workers, self.wall_ns, c.inflight_waits, c.resident_bytes
+            );
+        }
+        s.push_str("\n}\n");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,423 @@
+//! The content-addressed compilation cache.
+//!
+//! A [`PipelineCache`] memoizes every stage of the compilation
+//! pipeline, keyed by `(`[`Digest`]`, `[`Stage`]`)`:
+//!
+//! | [`Stage`] | artifact | produced by |
+//! |---|---|---|
+//! | `Module`  | parsed (and for C-- sources, verified) AST | `cmm-parse` / `cmm-frontend` |
+//! | `Program` | CFG after the configured optimization pipeline | `cmm-cfg` + `cmm-opt` |
+//! | `VmCode`  | compiled `VmProgram` | `cmm-vm` codegen |
+//! | `Decoded` | pre-decoded instruction array | `cmm-vm` decode |
+//!
+//! The digest covers the raw source bytes, the [`OptOptions`], and the
+//! engine *family* ([`EngineFamily`]): the two abstract-machine engines
+//! share one artifact chain, the two simulated-target engines another.
+//! See [`crate::digest`] for why the source is hashed byte-exactly.
+//!
+//! **Single flight.** The first requester of a missing artifact
+//! installs an in-flight marker and builds outside the lock; concurrent
+//! requesters block on a condvar until the artifact is ready. Waiters
+//! count as *hits* (plus an `inflight_waits` tally), so per key there
+//! is exactly one miss no matter how many threads race — hit/miss
+//! totals for a fixed job set are scheduling-independent.
+//!
+//! **Eviction.** Ready artifacts carry a byte estimate and a
+//! last-touched stamp from a logical clock; when the resident estimate
+//! exceeds [`CacheConfig::max_bytes`] the least-recently-used ready
+//! entries are dropped (in-flight markers are never evicted). The
+//! `Arc`s already handed out keep their artifacts alive — eviction
+//! only forgets, it cannot invalidate.
+
+use crate::digest::Digest;
+use cmm_cfg::Program;
+use cmm_ir::Module;
+use cmm_obs::{CacheSnapshot, CacheStats};
+use cmm_opt::OptOptions;
+use cmm_vm::{DecodedCode, VmProgram};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Which artifact chain a job needs: the abstract machines (`sem`,
+/// `sem-resolved`) execute the CFG [`Program`]; the simulated targets
+/// (`vm`, `vm-decoded`) execute [`VmProgram`] code. The family is a
+/// digest input, so the chains never alias.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EngineFamily {
+    /// Abstract-machine chain (stops at [`Stage::Program`]).
+    Sem,
+    /// Simulated-target chain (extends to [`Stage::VmCode`] /
+    /// [`Stage::Decoded`]).
+    Vm,
+}
+
+impl EngineFamily {
+    fn tag(self) -> &'static [u8] {
+        match self {
+            EngineFamily::Sem => b"sem",
+            EngineFamily::Vm => b"vm",
+        }
+    }
+}
+
+/// What language the source text is in, and how to lower it.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SourceLang {
+    /// A C-- module, parsed by `cmm-parse` and checked by the
+    /// `cmm-ir` verifier.
+    Cmm,
+    /// A MiniM3 module, lowered by `cmm-frontend` with the given
+    /// exception-implementation strategy. (The lowering is validated
+    /// by the cross-strategy equivalence suite, not re-verified here.)
+    MiniM3(cmm_frontend::Strategy),
+}
+
+/// Everything that identifies a compilation: source text, language and
+/// lowering strategy, optimization configuration, engine family.
+#[derive(Clone, Debug)]
+pub struct SourceKey {
+    /// Raw source text (whitespace-sensitive by design).
+    pub source: String,
+    /// Language / lowering.
+    pub lang: SourceLang,
+    /// Optimization pipeline configuration.
+    pub opts: OptOptions,
+    /// Artifact chain.
+    pub family: EngineFamily,
+}
+
+impl SourceKey {
+    /// The cache digest: raw source bytes + language/strategy tag +
+    /// rendered [`OptOptions`] + engine-family tag, length-prefixed.
+    pub fn digest(&self) -> Digest {
+        let lang = match &self.lang {
+            SourceLang::Cmm => "cmm".to_string(),
+            // Debug form includes the arch profile for Sjlj, which is
+            // exactly the information the lowering consumes.
+            SourceLang::MiniM3(s) => format!("m3:{s:?}"),
+        };
+        let o = &self.opts;
+        let opts = format!(
+            "constprop={} localopt={} dce={} callee_save_regs={} max_iters={}",
+            o.constprop, o.localopt, o.dce, o.callee_save_regs, o.max_iters
+        );
+        Digest::of(&[
+            self.source.as_bytes(),
+            lang.as_bytes(),
+            opts.as_bytes(),
+            self.family.tag(),
+        ])
+    }
+}
+
+/// Pipeline stage of a cached artifact.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Stage {
+    /// Parsed (and verified, for C--) AST.
+    Module,
+    /// Optimized CFG.
+    Program,
+    /// Compiled simulated-target code.
+    VmCode,
+    /// Pre-decoded instruction array.
+    Decoded,
+}
+
+/// A memoized artifact. All variants are cheap-to-clone `Arc`s.
+#[derive(Clone)]
+pub enum Artifact {
+    /// [`Stage::Module`].
+    Module(Arc<Module>),
+    /// [`Stage::Program`].
+    Program(Arc<Program>),
+    /// [`Stage::VmCode`].
+    VmCode(Arc<VmProgram>),
+    /// [`Stage::Decoded`].
+    Decoded(Arc<DecodedCode>),
+}
+
+impl Artifact {
+    /// Estimated resident size. A heuristic over node/instruction
+    /// counts — the budget is a pressure valve, not an allocator
+    /// ledger, so proportionality is what matters.
+    pub fn cost_bytes(&self) -> u64 {
+        match self {
+            Artifact::Module(m) => {
+                let items: usize = m.procs().map(|p| 2 + p.body.len()).sum();
+                256 + 96 * (m.decls.len() + items) as u64
+            }
+            Artifact::Program(p) => {
+                let nodes: usize = p.procs.values().map(|g| g.nodes.len() + g.vars.len()).sum();
+                512 + 160 * nodes as u64 + 24 * p.image.bytes.len() as u64
+            }
+            Artifact::VmCode(vp) => {
+                512 + 32 * vp.code.len() as u64 + 24 * vp.image.bytes.len() as u64
+            }
+            Artifact::Decoded(d) => 64 + 48 * d.insts.len() as u64,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct Key {
+    digest: Digest,
+    stage: Stage,
+}
+
+enum Slot {
+    /// Another thread is building this artifact.
+    InFlight,
+    /// Ready to serve.
+    Ready {
+        artifact: Artifact,
+        bytes: u64,
+        last_use: u64,
+    },
+}
+
+struct Inner {
+    map: HashMap<Key, Slot>,
+    /// Logical clock for LRU stamps (bumped on every touch).
+    clock: u64,
+    /// Sum of `bytes` over ready slots.
+    resident: u64,
+}
+
+/// Configuration for a [`PipelineCache`].
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Eviction threshold for the estimated resident bytes.
+    pub max_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            max_bytes: 256 << 20,
+        }
+    }
+}
+
+/// A content-addressed, single-flight, LRU-bounded compilation cache.
+pub struct PipelineCache {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    config: CacheConfig,
+    stats: Arc<CacheStats>,
+}
+
+impl Default for PipelineCache {
+    fn default() -> PipelineCache {
+        PipelineCache::new(CacheConfig::default())
+    }
+}
+
+impl PipelineCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(config: CacheConfig) -> PipelineCache {
+        PipelineCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                resident: 0,
+            }),
+            ready: Condvar::new(),
+            config,
+            stats: Arc::new(CacheStats::new()),
+        }
+    }
+
+    /// The shared service counters (hits, misses, evictions, …).
+    pub fn stats(&self) -> &Arc<CacheStats> {
+        &self.stats
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The single-flight memoization core: returns the ready artifact
+    /// for `(digest, stage)`, building it with `build` on a miss.
+    /// Concurrent requesters of the same key wait for the one builder.
+    ///
+    /// If the build fails the in-flight marker is removed and each
+    /// waiter retries as a builder; a deterministic build error is
+    /// therefore rediscovered (never cached), which keeps the error
+    /// path simple and the counters monotone.
+    pub(crate) fn get_or_build(
+        &self,
+        digest: Digest,
+        stage: Stage,
+        build: impl FnOnce() -> Result<Artifact, String>,
+    ) -> Result<Artifact, String> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key = Key { digest, stage };
+        let mut waited = false;
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        loop {
+            inner.clock += 1;
+            let stamp = inner.clock;
+            match inner.map.get_mut(&key) {
+                Some(Slot::Ready {
+                    artifact, last_use, ..
+                }) => {
+                    *last_use = stamp;
+                    let art = artifact.clone();
+                    self.stats.hits.fetch_add(1, Relaxed);
+                    if waited {
+                        self.stats.inflight_waits.fetch_add(1, Relaxed);
+                    }
+                    return Ok(art);
+                }
+                Some(Slot::InFlight) => {
+                    waited = true;
+                    inner = self.ready.wait(inner).expect("cache poisoned");
+                }
+                None => {
+                    inner.map.insert(key, Slot::InFlight);
+                    self.stats.misses.fetch_add(1, Relaxed);
+                    break;
+                }
+            }
+        }
+        drop(inner);
+        // Build outside the lock. A panic in `build` would strand the
+        // in-flight marker and hang waiters, so clean up via a guard.
+        let guard = FlightGuard { cache: self, key };
+        let built = build();
+        std::mem::forget(guard);
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        match built {
+            Ok(artifact) => {
+                let bytes = artifact.cost_bytes();
+                inner.clock += 1;
+                let stamp = inner.clock;
+                inner.map.insert(
+                    key,
+                    Slot::Ready {
+                        artifact: artifact.clone(),
+                        bytes,
+                        last_use: stamp,
+                    },
+                );
+                inner.resident += bytes;
+                self.evict_over_budget(&mut inner);
+                self.stats.resident_bytes.store(inner.resident, Relaxed);
+                drop(inner);
+                self.ready.notify_all();
+                Ok(artifact)
+            }
+            Err(e) => {
+                inner.map.remove(&key);
+                drop(inner);
+                self.ready.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops least-recently-used ready entries until the resident
+    /// estimate fits the budget. In-flight markers are never touched.
+    /// The scan is `O(entries)` per eviction — fine at the budgets a
+    /// build service runs with, where eviction is the rare case.
+    fn evict_over_budget(&self, inner: &mut Inner) {
+        use std::sync::atomic::Ordering::Relaxed;
+        while inner.resident > self.config.max_bytes {
+            let victim = inner
+                .map
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready { last_use, .. } => Some((*last_use, *k)),
+                    Slot::InFlight => None,
+                })
+                .min();
+            let Some((_, key)) = victim else { break };
+            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key) {
+                inner.resident -= bytes;
+                self.stats.evictions.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// The parsed [`Module`] for `key` (verified, for C-- sources).
+    pub fn module(&self, key: &SourceKey) -> Result<Arc<Module>, String> {
+        let art = self.get_or_build(key.digest(), Stage::Module, || {
+            let module = match &key.lang {
+                SourceLang::Cmm => {
+                    let m = cmm_parse::parse_module(&key.source).map_err(|e| e.to_string())?;
+                    let errors = cmm_ir::verify_module(&m);
+                    if !errors.is_empty() {
+                        return Err(format!("verifier: {}", errors.join("; ")));
+                    }
+                    m
+                }
+                SourceLang::MiniM3(strategy) => {
+                    cmm_frontend::compile_minim3(&key.source, *strategy)
+                        .map_err(|e| e.to_string())?
+                }
+            };
+            Ok(Artifact::Module(Arc::new(module)))
+        })?;
+        match art {
+            Artifact::Module(m) => Ok(m),
+            _ => unreachable!("stage key mismatch"),
+        }
+    }
+
+    /// The optimized CFG [`Program`] for `key`.
+    pub fn program(&self, key: &SourceKey) -> Result<Arc<Program>, String> {
+        let art = self.get_or_build(key.digest(), Stage::Program, || {
+            let module = self.module(key)?;
+            let mut prog = cmm_cfg::build_program(&module).map_err(|e| e.to_string())?;
+            cmm_opt::optimize_program(&mut prog, &key.opts);
+            Ok(Artifact::Program(Arc::new(prog)))
+        })?;
+        match art {
+            Artifact::Program(p) => Ok(p),
+            _ => unreachable!("stage key mismatch"),
+        }
+    }
+
+    /// The compiled [`VmProgram`] for `key`.
+    pub fn vm_code(&self, key: &SourceKey) -> Result<Arc<VmProgram>, String> {
+        let art = self.get_or_build(key.digest(), Stage::VmCode, || {
+            let prog = self.program(key)?;
+            let vp = cmm_vm::compile(&prog).map_err(|e| e.to_string())?;
+            Ok(Artifact::VmCode(Arc::new(vp)))
+        })?;
+        match art {
+            Artifact::VmCode(vp) => Ok(vp),
+            _ => unreachable!("stage key mismatch"),
+        }
+    }
+
+    /// The compiled program together with its pre-decoded instruction
+    /// array.
+    pub fn decoded(&self, key: &SourceKey) -> Result<(Arc<VmProgram>, Arc<DecodedCode>), String> {
+        let vp = self.vm_code(key)?;
+        let art = self.get_or_build(key.digest(), Stage::Decoded, || {
+            Ok(Artifact::Decoded(Arc::new(DecodedCode::decode(&vp))))
+        })?;
+        match art {
+            Artifact::Decoded(d) => Ok((vp, d)),
+            _ => unreachable!("stage key mismatch"),
+        }
+    }
+}
+
+/// Removes the in-flight marker if the builder panics (forgotten on
+/// the normal path).
+struct FlightGuard<'c> {
+    cache: &'c PipelineCache,
+    key: Key,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut inner) = self.cache.inner.lock() {
+            inner.map.remove(&self.key);
+        }
+        self.cache.ready.notify_all();
+    }
+}

@@ -1,0 +1,302 @@
+//! A bounded work-stealing thread pool over `std::thread::scope`.
+//!
+//! No async runtime, no channels-of-channels: a mutex-guarded bounded
+//! injector queue (submission blocks when it is full — backpressure),
+//! one overflow deque per worker fed by batched grabs from the
+//! injector, and round-robin stealing between workers when both the
+//! local deque and the injector are dry.
+//!
+//! Each job runs under [`std::panic::catch_unwind`], so one panicking
+//! job reports [`JobOutcome::Panicked`] without taking the pool (or
+//! sibling jobs) down. Results are delivered **by submission index**,
+//! which is the root of the service's determinism guarantee: whatever
+//! order workers finish in, `run_jobs` returns `out[i] = f(i, items[i])`
+//! — byte-identical at `-j1` and `-jN` provided `f` is a function of
+//! its arguments (the batch layer keeps wall-clock timing out of `f`).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker threads. `0` and `1` both mean "run inline on the
+    /// calling thread".
+    pub workers: usize,
+    /// Injector-queue bound; submission blocks once this many jobs are
+    /// pending (backpressure toward the submitter).
+    pub queue_cap: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            workers: 1,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JobOutcome<R> {
+    /// The job returned a value.
+    Done(R),
+    /// The job panicked; the payload's display text.
+    Panicked(String),
+}
+
+impl<R> JobOutcome<R> {
+    /// The value, if the job completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            JobOutcome::Done(r) => Some(r),
+            JobOutcome::Panicked(_) => None,
+        }
+    }
+}
+
+struct Injector<T> {
+    queue: VecDeque<(usize, T)>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    injector: Mutex<Injector<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    locals: Vec<Mutex<VecDeque<(usize, T)>>>,
+    cap: usize,
+}
+
+/// Runs `f(index, item)` for every item and returns the outcomes in
+/// submission order. See the module docs for the execution model.
+pub fn run_jobs<T, R, F>(config: &PoolConfig, items: Vec<T>, f: F) -> Vec<JobOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let run_one = |i: usize, item: T| match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+        Ok(r) => JobOutcome::Done(r),
+        Err(payload) => JobOutcome::Panicked(panic_text(payload.as_ref())),
+    };
+    if config.workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
+    }
+
+    let n = items.len();
+    let workers = config.workers.min(n.max(1));
+    let shared = Shared {
+        injector: Mutex::new(Injector {
+            queue: VecDeque::new(),
+            closed: false,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        cap: config.queue_cap.max(1),
+    };
+    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<R>)>();
+
+    std::thread::scope(|scope| {
+        for id in 0..workers {
+            let shared = &shared;
+            let tx = tx.clone();
+            let run_one = &run_one;
+            scope.spawn(move || {
+                while let Some((i, item)) = next_job(shared, id) {
+                    // A send can only fail if the collector below has
+                    // already gathered all n results, which it cannot
+                    // have while this job was still owed.
+                    let _ = tx.send((i, run_one(i, item)));
+                }
+            });
+        }
+        drop(tx);
+
+        // Submit with backpressure, then collect by index.
+        for (i, item) in items.into_iter().enumerate() {
+            let mut inj = shared.injector.lock().expect("injector poisoned");
+            while inj.queue.len() >= shared.cap {
+                inj = shared.not_full.wait(inj).expect("injector poisoned");
+            }
+            inj.queue.push_back((i, item));
+            drop(inj);
+            shared.not_empty.notify_one();
+        }
+        {
+            let mut inj = shared.injector.lock().expect("injector poisoned");
+            inj.closed = true;
+        }
+        shared.not_empty.notify_all();
+
+        let mut out: Vec<Option<JobOutcome<R>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, outcome) = rx.recv().expect("all workers hung up with jobs owed");
+            out[i] = Some(outcome);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every index reported"))
+            .collect()
+    })
+}
+
+/// One attempt at finding work: local deque, then a batched grab from
+/// the injector, then stealing from siblings.
+fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
+    if let Some(job) = shared.locals[id]
+        .lock()
+        .expect("local poisoned")
+        .pop_front()
+    {
+        return Some(job);
+    }
+    {
+        let mut inj = shared.injector.lock().expect("injector poisoned");
+        if !inj.queue.is_empty() {
+            // Grab a fair share (≤ 8) in one locking; keep the first,
+            // bank the rest locally so siblings can steal them.
+            let share = inj.queue.len().div_ceil(shared.locals.len()).clamp(1, 8);
+            let first = inj.queue.pop_front().expect("non-empty");
+            let extras: Vec<_> = (1..share).map_while(|_| inj.queue.pop_front()).collect();
+            drop(inj);
+            shared.not_full.notify_all();
+            if !extras.is_empty() {
+                shared.locals[id]
+                    .lock()
+                    .expect("local poisoned")
+                    .extend(extras);
+                shared.not_empty.notify_all();
+            }
+            return Some(first);
+        }
+    }
+    let n = shared.locals.len();
+    for k in 1..n {
+        let victim = (id + k) % n;
+        let mut local = shared.locals[victim].lock().expect("local poisoned");
+        if let Some(job) = local.pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Blocks until a job is available or the pool is drained and closed.
+fn next_job<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
+    loop {
+        if let Some(job) = try_get(shared, id) {
+            return Some(job);
+        }
+        let inj = shared.injector.lock().expect("injector poisoned");
+        if inj.closed && inj.queue.is_empty() && all_locals_empty(shared) {
+            return None;
+        }
+        if inj.queue.is_empty() {
+            // The timeout covers the one wakeup the condvar cannot
+            // deliver: work banked into a *sibling's* local deque
+            // between our try_get and this wait. Correctness never
+            // depends on the wakeup, only tail latency.
+            let _ = shared
+                .not_empty
+                .wait_timeout(inj, Duration::from_millis(1))
+                .expect("injector poisoned");
+        }
+    }
+}
+
+fn all_locals_empty<T>(shared: &Shared<T>) -> bool {
+    shared
+        .locals
+        .iter()
+        .all(|l| l.lock().expect("local poisoned").is_empty())
+}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads;
+/// anything else gets a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_submission_order() {
+        for workers in [1, 2, 4] {
+            let cfg = PoolConfig {
+                workers,
+                queue_cap: 4, // small: exercises backpressure
+            };
+            let items: Vec<u64> = (0..100).collect();
+            let out = run_jobs(&cfg, items, |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            let values: Vec<u64> = out.into_iter().map(|o| o.ok().unwrap()).collect();
+            let expect: Vec<u64> = (0..100).map(|x| x * x).collect();
+            assert_eq!(values, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_isolated() {
+        let cfg = PoolConfig {
+            workers: 3,
+            queue_cap: 8,
+        };
+        let out = run_jobs(&cfg, (0..20).collect::<Vec<u64>>(), |_, x| {
+            if x == 7 {
+                panic!("job {x} exploded");
+            }
+            x
+        });
+        for (i, o) in out.iter().enumerate() {
+            if i == 7 {
+                assert_eq!(*o, JobOutcome::Panicked("job 7 exploded".to_string()));
+            } else {
+                assert_eq!(*o, JobOutcome::Done(i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let cfg = PoolConfig {
+            workers: 4,
+            queue_cap: 2,
+        };
+        let out = run_jobs(&cfg, vec![(); 257], |_, ()| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn zero_items_and_zero_workers() {
+        let cfg = PoolConfig {
+            workers: 0,
+            queue_cap: 1,
+        };
+        let out = run_jobs(&cfg, Vec::<u8>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

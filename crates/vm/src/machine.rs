@@ -113,6 +113,15 @@ impl<'p> VmMachine<'p> {
     pub fn new_decoded(program: &'p VmProgram) -> VmMachine<'p> {
         VmMachine::with_sink_decoded(program, NopSink)
     }
+
+    /// [`VmMachine::new_decoded`] over an *already decoded* stream,
+    /// e.g. one memoized by `cmm-pool`'s compilation cache: the caller
+    /// pays the lowering once and every machine after that shares it.
+    /// `decoded` must come from [`DecodedCode::decode`] on this same
+    /// `program`.
+    pub fn new_shared_decoded(program: &'p VmProgram, decoded: Arc<DecodedCode>) -> VmMachine<'p> {
+        VmMachine::with_sink_shared_decoded(program, decoded, NopSink)
+    }
 }
 
 /// The procedure name owning `pc` (shared by both step loops so their
@@ -180,6 +189,18 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
     pub fn with_sink_decoded(program: &'p VmProgram, sink: S) -> VmMachine<'p, S> {
         let mut m = VmMachine::with_sink(program, sink);
         m.decoded = Some(Arc::new(DecodedCode::decode(program)));
+        m
+    }
+
+    /// Creates a tracing pre-decoded machine over a shared, already
+    /// decoded stream (see [`VmMachine::new_shared_decoded`]).
+    pub fn with_sink_shared_decoded(
+        program: &'p VmProgram,
+        decoded: Arc<DecodedCode>,
+        sink: S,
+    ) -> VmMachine<'p, S> {
+        let mut m = VmMachine::with_sink(program, sink);
+        m.decoded = Some(decoded);
         m
     }
 

@@ -117,6 +117,22 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
         }
     }
 
+    /// Creates a tracing thread over a shared, already decoded stream
+    /// (see [`VmMachine::new_shared_decoded`]): the lowering is paid
+    /// once — e.g. by `cmm-pool`'s compilation cache — and every thread
+    /// after that reuses it.
+    pub fn with_sink_shared_decoded(
+        program: &'p VmProgram,
+        decoded: std::sync::Arc<crate::decode::DecodedCode>,
+        sink: S,
+    ) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_shared_decoded(program, decoded, sink),
+            pending: None,
+            chaos: None,
+        }
+    }
+
     /// Installs a `cmm-chaos` fault plan; each Table 1 operation
     /// consults it before doing any real work, exactly like `cmm-rt`'s
     /// `Thread`, so both families fail at the same schedule points.
