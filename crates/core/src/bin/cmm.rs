@@ -372,22 +372,35 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
                 None => print!("{json}"),
             }
-            // Broken *jobs* (a program halting "wrong" is a legitimate
-            // result; a job that could not even compile is not).
-            let broken = report
-                .jobs
-                .iter()
-                .filter(|j| j.outcome == "compile-error" || j.outcome == "panicked")
-                .count();
             eprintln!(
                 "batch: {} job(s) at -j{jobs}, cache {}",
                 report.jobs.len(),
                 cache.snapshot()
             );
-            if broken == 0 {
+            // A failing job (compile error, panic, or a `wrong`
+            // verdict from the machine) must fail the batch loudly,
+            // naming the culprit — not just sit inside the JSON.
+            let failing = report.failing_jobs();
+            if failing.is_empty() {
                 Ok(())
             } else {
-                Err(format!("{broken} job(s) failed to compile or panicked"))
+                for j in &failing {
+                    eprintln!(
+                        "batch: job {} failed: {} [{}] entry={} args={:?}: {}{}{}",
+                        j.id,
+                        j.name,
+                        j.engine,
+                        j.entry,
+                        j.args,
+                        j.outcome,
+                        if j.detail.is_empty() { "" } else { ": " },
+                        j.detail
+                    );
+                }
+                Err(format!(
+                    "{} job(s) failed (compile error, panic, or wrong)",
+                    failing.len()
+                ))
             }
         }
         _ => Err(usage()),

@@ -71,6 +71,18 @@ pub struct CacheSnapshot {
 }
 
 impl CacheSnapshot {
+    /// Adds another snapshot's counts into this one — the aggregation
+    /// step for per-shard counters (see [`ShardedCacheStats`]). Every
+    /// field sums, including `resident_bytes`: each shard accounts its
+    /// own resident estimate, so the sum is the cache-wide figure.
+    pub fn absorb(&mut self, other: &CacheSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.inflight_waits += other.inflight_waits;
+        self.resident_bytes += other.resident_bytes;
+    }
+
     /// Hits over total requests, in `[0, 1]`; `0` before any request.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -78,6 +90,67 @@ impl CacheSnapshot {
             return 0.0;
         }
         self.hits as f64 / total as f64
+    }
+}
+
+/// One [`CacheStats`] per shard of a lock-striped cache.
+///
+/// A sharded cache that funneled every hit through one shared counter
+/// set would reintroduce the very cache-line contention the shards
+/// remove, so each shard owns its counters and readers aggregate on
+/// demand. The counting discipline is unchanged — single-flight keeps
+/// per-key miss counts at exactly one — so the *aggregate* hit/miss
+/// totals for a fixed job set stay scheduling-independent even though
+/// the per-shard split depends only on the digest, not the schedule.
+#[derive(Debug)]
+pub struct ShardedCacheStats {
+    shards: Vec<CacheStats>,
+}
+
+impl ShardedCacheStats {
+    /// `n` zeroed shard counter sets.
+    pub fn new(n: usize) -> ShardedCacheStats {
+        ShardedCacheStats {
+            shards: (0..n.max(1)).map(|_| CacheStats::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True only for a zero-shard set (never constructed by `new`).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The counter set of shard `i`.
+    pub fn shard(&self, i: usize) -> &CacheStats {
+        &self.shards[i]
+    }
+
+    /// Point-in-time copies of every shard's counters, in shard order.
+    pub fn shard_snapshots(&self) -> Vec<CacheSnapshot> {
+        self.shards.iter().map(|s| s.snapshot()).collect()
+    }
+
+    /// The cache-wide aggregate of every shard's counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut total = CacheSnapshot::default();
+        for s in &self.shards {
+            total.absorb(&s.snapshot());
+        }
+        total
+    }
+
+    /// Sum of the per-shard resident estimates — the figure a byte
+    /// budget is enforced against, readable without any lock.
+    pub fn resident_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.resident_bytes.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -111,6 +184,34 @@ mod tests {
         assert_eq!(snap.hits, 3);
         assert_eq!(snap.hit_rate(), 0.75);
         assert!(snap.to_string().contains("75% hit rate"), "{snap}");
+    }
+
+    #[test]
+    fn sharded_stats_aggregate_across_shards() {
+        let s = ShardedCacheStats::new(4);
+        s.shard(0).hits.fetch_add(2, Ordering::Relaxed);
+        s.shard(3).hits.fetch_add(1, Ordering::Relaxed);
+        s.shard(1).misses.fetch_add(1, Ordering::Relaxed);
+        s.shard(2).resident_bytes.store(100, Ordering::Relaxed);
+        s.shard(3).resident_bytes.store(50, Ordering::Relaxed);
+        let total = s.snapshot();
+        assert_eq!((total.hits, total.misses), (3, 1));
+        assert_eq!(total.resident_bytes, 150);
+        assert_eq!(s.resident_total(), 150);
+        // The aggregate is exactly the absorb-fold of the per-shard
+        // snapshots.
+        let mut folded = CacheSnapshot::default();
+        for snap in s.shard_snapshots() {
+            folded.absorb(&snap);
+        }
+        assert_eq!(folded, total);
+    }
+
+    #[test]
+    fn sharded_stats_never_have_zero_shards() {
+        let s = ShardedCacheStats::new(0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
     }
 
     #[test]

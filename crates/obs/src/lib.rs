@@ -34,7 +34,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome::chrome_trace_json;
-pub use counters::{CacheSnapshot, CacheStats};
+pub use counters::{CacheSnapshot, CacheStats, ShardedCacheStats};
 pub use event::{first_divergence, projection, Event, ResumeKind, RtsOp, TimedEvent};
 pub use metrics::{ProcStats, Profile, StrategyCounts};
 pub use sink::{CountingSink, EventCounts, NopSink, RecordingSink, TraceSink};

@@ -33,14 +33,14 @@
 //! `-j1` and `-jN`; CI diffs exactly that.
 
 use crate::cache::{EngineFamily, PipelineCache, SourceKey, SourceLang};
-use crate::executor::{run_jobs, JobOutcome, PoolConfig};
+use crate::executor::{run_jobs, run_jobs_ctx, JobOutcome, PoolConfig};
 use cmm_chaos::ResourceGovernor;
 use cmm_frontend::{run_sem_thread, run_vm_thread, Strategy};
 use cmm_obs::{CacheSnapshot, NopSink, TraceSink};
 use cmm_opt::OptOptions;
 use cmm_rt::Thread;
-use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemEngine, Status, Value};
-use cmm_vm::{VmStatus, VmThread};
+use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemArena, SemEngine, Status, Value};
+use cmm_vm::{VmArena, VmStatus, VmThread};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
@@ -285,7 +285,10 @@ pub struct JobRecord {
     pub detail: String,
     /// Yield codes serviced, in order (C-- jobs).
     pub yields: Vec<u64>,
-    /// Deterministic simulated instruction count (vm-family jobs).
+    /// Deterministic work count: the cost-model total (instructions +
+    /// runtime-instruction equivalents) for vm-family jobs, the
+    /// transition count for abstract-machine jobs. Zero only when the
+    /// job never ran (compile errors, panics).
     pub instructions: u64,
     /// Wall-clock nanoseconds (excluded from deterministic output).
     pub ns: u128,
@@ -383,25 +386,35 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
         .map(|p| p.as_deref().map(ResolvedProgram::new))
         .collect();
 
-    // Phase C: run every job in parallel against the warm cache.
-    let jobs = run_jobs(&pool, (0..specs.len()).collect(), |_, i| {
-        let spec = &specs[i];
-        let started = Instant::now();
-        let g = group_of[i];
-        let mut obs = match &compile_errs[g] {
-            Some(e) => RunObs::failed("compile-error", e.clone()),
-            None => execute(spec, cache, resolveds[g].as_ref()),
-        };
-        obs.ns = started.elapsed().as_nanos();
-        record(i, spec, obs)
-    })
-    .into_iter()
-    .enumerate()
-    .map(|(i, o)| match o {
-        JobOutcome::Done(rec) => rec,
-        JobOutcome::Panicked(msg) => record(i, &specs[i], RunObs::failed("panicked", msg)),
-    })
-    .collect();
+    // Phase C: run every job in parallel against the warm cache. Each
+    // worker owns one pair of execution arenas, reused job after job so
+    // the hot phase stops paying the allocator; the executor rebuilds a
+    // worker's arenas from scratch if one of its jobs panics, so a
+    // half-mutated arena never reaches the next job.
+    let (outcomes, _pool_stats) = run_jobs_ctx(
+        &pool,
+        (0..specs.len()).collect(),
+        |_| ExecArenas::default(),
+        |arenas, _, i| {
+            let spec = &specs[i];
+            let started = Instant::now();
+            let g = group_of[i];
+            let mut obs = match &compile_errs[g] {
+                Some(e) => RunObs::failed("compile-error", e.clone()),
+                None => execute(spec, cache, resolveds[g].as_ref(), arenas),
+            };
+            obs.ns = started.elapsed().as_nanos();
+            record(i, spec, obs)
+        },
+    );
+    let jobs = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            JobOutcome::Done(rec) => rec,
+            JobOutcome::Panicked(msg) => record(i, &specs[i], RunObs::failed("panicked", msg)),
+        })
+        .collect();
 
     let after = cache.snapshot();
     BatchReport {
@@ -463,8 +476,24 @@ fn governor(spec: &JobSpec) -> ResourceGovernor {
     }
 }
 
-/// Runs one job against the warm cache.
-fn execute(spec: &JobSpec, cache: &PipelineCache, resolved: Option<&ResolvedProgram>) -> RunObs {
+/// One worker's reusable execution arenas, one per engine family —
+/// the phase C worker context (see [`run_jobs_ctx`]). Arenas bank
+/// allocation capacity only, never observable state, so threading one
+/// through consecutive jobs cannot change any job's record.
+#[derive(Default)]
+struct ExecArenas {
+    sem: SemArena,
+    vm: VmArena,
+}
+
+/// Runs one job against the warm cache, drawing machine state from
+/// (and returning it to) the worker's arenas.
+fn execute(
+    spec: &JobSpec,
+    cache: &PipelineCache,
+    resolved: Option<&ResolvedProgram>,
+    arenas: &mut ExecArenas,
+) -> RunObs {
     let key = spec.source_key();
     match spec.engine {
         EngineKind::Sem => {
@@ -472,60 +501,75 @@ fn execute(spec: &JobSpec, cache: &PipelineCache, resolved: Option<&ResolvedProg
                 Ok(p) => p,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut m = Machine::new(&prog);
+            let mut m = Machine::with_sink_in(&prog, NopSink, &mut arenas.sem);
             m.set_governor(governor(spec));
-            run_sem_job(spec, Thread::over(m))
+            let mut t = Thread::over(m);
+            let obs = run_sem_job(spec, &mut t);
+            t.into_machine().recycle_into(&mut arenas.sem);
+            obs
         }
         EngineKind::SemResolved => {
             let Some(rp) = resolved else {
                 return RunObs::failed("compile-error", "resolved tables unavailable".into());
             };
-            let mut m = ResolvedMachine::new(rp);
+            let mut m = ResolvedMachine::with_sink_in(rp, NopSink, &mut arenas.sem);
             m.set_governor(governor(spec));
-            run_sem_job(spec, Thread::over(m))
+            let mut t = Thread::over(m);
+            let obs = run_sem_job(spec, &mut t);
+            t.into_machine().recycle_into(&mut arenas.sem);
+            obs
         }
         EngineKind::Vm => {
             let vp = match cache.vm_code(&key) {
                 Ok(vp) => vp,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut t = VmThread::new(&vp);
+            let mut t = VmThread::with_sink_in(&vp, NopSink, &mut arenas.vm);
             t.machine.set_governor(governor(spec));
-            run_vm_job(spec, t, &vp.image)
+            let obs = run_vm_job(spec, &mut t, &vp.image);
+            t.into_machine().recycle_into(&mut arenas.vm);
+            obs
         }
         EngineKind::VmDecoded => {
             let (vp, dec) = match cache.decoded(&key) {
                 Ok(x) => x,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut t = VmThread::with_sink_shared_decoded(&vp, dec, NopSink);
+            let mut t = VmThread::with_sink_shared_decoded_in(&vp, dec, NopSink, &mut arenas.vm);
             t.machine.set_governor(governor(spec));
-            run_vm_job(spec, t, &vp.image)
+            let obs = run_vm_job(spec, &mut t, &vp.image);
+            t.into_machine().recycle_into(&mut arenas.vm);
+            obs
         }
     }
 }
 
-fn run_sem_job<'p, M: SemEngine<'p>>(spec: &JobSpec, mut t: Thread<'p, M>) -> RunObs {
-    match &spec.lang {
-        SourceLang::Cmm => drive_sem(&mut t, spec),
-        SourceLang::MiniM3(strategy) => match run_sem_thread(&mut t, *strategy, &spec.args) {
+fn run_sem_job<'p, M: SemEngine<'p>>(spec: &JobSpec, t: &mut Thread<'p, M>) -> RunObs {
+    let mut obs = match &spec.lang {
+        SourceLang::Cmm => drive_sem(t, spec),
+        SourceLang::MiniM3(strategy) => match run_sem_thread(t, *strategy, &spec.args) {
             Ok(v) => RunObs {
                 outcome: format!("result {v}"),
                 ..RunObs::failed("", String::new())
             },
             Err(e) => RunObs::failed("error", e.to_string()),
         },
-    }
+    };
+    // The abstract machines' work figure: transitions taken. As
+    // deterministic as the run itself, so it belongs in the gated
+    // (timing-stripped) report alongside the vm-family cost totals.
+    obs.instructions = t.machine().steps();
+    obs
 }
 
 fn run_vm_job<S: TraceSink>(
     spec: &JobSpec,
-    mut t: VmThread<'_, S>,
+    t: &mut VmThread<'_, S>,
     image: &cmm_cfg::DataImage,
 ) -> RunObs {
     match &spec.lang {
-        SourceLang::Cmm => drive_vm(&mut t, spec),
-        SourceLang::MiniM3(strategy) => match run_vm_thread(&mut t, image, *strategy, &spec.args) {
+        SourceLang::Cmm => drive_vm(t, spec),
+        SourceLang::MiniM3(strategy) => match run_vm_thread(t, image, *strategy, &spec.args) {
             Ok((v, cost)) => RunObs {
                 outcome: format!("result {v}"),
                 instructions: cost.total(),
@@ -682,6 +726,17 @@ fn drive_vm<S: TraceSink>(t: &mut VmThread<'_, S>, spec: &JobSpec) -> RunObs {
 }
 
 impl BatchReport {
+    /// Job records that make the batch a failure: compile errors,
+    /// panicked jobs, and `wrong` verdicts. The CLI exits non-zero and
+    /// names each of these — a broken job must never hide inside an
+    /// otherwise-green JSON report.
+    pub fn failing_jobs(&self) -> Vec<&JobRecord> {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome.as_str(), "compile-error" | "panicked" | "wrong"))
+            .collect()
+    }
+
     /// Serializes the report. With `with_timing = false` every
     /// scheduling- or clock-dependent field is omitted (per-job `ns`,
     /// the `timing` section, the cache's in-flight waits and resident

@@ -15,27 +15,43 @@
 //! share one artifact chain, the two simulated-target engines another.
 //! See [`crate::digest`] for why the source is hashed byte-exactly.
 //!
+//! **Sharding.** The map is lock-striped into [`SHARDS`] buckets keyed
+//! by the digest's low bits, each with its own mutex, condvar, and
+//! [`cmm_obs::CacheStats`] — so a batch's hot phase, where every job
+//! refetches
+//! its artifacts, never funnels through one lock or one contended
+//! counter cache line. Both stages of one source land in the same
+//! shard (the key is the digest; the stage only subdivides it), which
+//! keeps a source's artifact chain local to one stripe.
+//!
 //! **Single flight.** The first requester of a missing artifact
 //! installs an in-flight marker and builds outside the lock; concurrent
-//! requesters block on a condvar until the artifact is ready. Waiters
-//! count as *hits* (plus an `inflight_waits` tally), so per key there
-//! is exactly one miss no matter how many threads race — hit/miss
-//! totals for a fixed job set are scheduling-independent.
+//! requesters block on the shard's condvar until the artifact is ready.
+//! Waiters count as *hits* (plus an `inflight_waits` tally), so per key
+//! there is exactly one miss no matter how many threads race — hit/miss
+//! totals for a fixed job set are scheduling-independent. The split of
+//! those totals across shards is a pure function of the digests, so it
+//! is scheduling-independent too.
 //!
 //! **Eviction.** Ready artifacts carry a byte estimate and a
-//! last-touched stamp from a logical clock; when the resident estimate
-//! exceeds [`CacheConfig::max_bytes`] the least-recently-used ready
-//! entries are dropped (in-flight markers are never evicted). The
-//! `Arc`s already handed out keep their artifacts alive — eviction
-//! only forgets, it cannot invalidate.
+//! last-touched stamp from a *global* logical clock (one atomic; bumped
+//! on every touch); when the summed resident estimate exceeds
+//! [`CacheConfig::max_bytes`], a single evictor (serialized by a gate
+//! mutex so concurrent inserters do not over-evict) drops the globally
+//! least-recently-used ready entries, whichever shard they live in —
+//! sharding changes who holds which lock, not which entry is the LRU
+//! victim. In-flight markers are never evicted, and the `Arc`s already
+//! handed out keep their artifacts alive — eviction only forgets, it
+//! cannot invalidate.
 
 use crate::digest::Digest;
 use cmm_cfg::Program;
 use cmm_ir::Module;
-use cmm_obs::{CacheSnapshot, CacheStats};
+use cmm_obs::{CacheSnapshot, ShardedCacheStats};
 use cmm_opt::OptOptions;
 use cmm_vm::{DecodedCode, VmProgram};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Which artifact chain a job needs: the abstract machines (`sem`,
@@ -175,11 +191,21 @@ enum Slot {
     },
 }
 
+/// Number of lock stripes. A small power of two: enough that eight
+/// workers rarely collide on a stripe, small enough that the global
+/// eviction scan stays trivial.
+pub const SHARDS: usize = 16;
+
+/// One lock stripe: its slice of the map plus the condvar that
+/// single-flight waiters in this stripe block on.
+struct Shard {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+}
+
 struct Inner {
     map: HashMap<Key, Slot>,
-    /// Logical clock for LRU stamps (bumped on every touch).
-    clock: u64,
-    /// Sum of `bytes` over ready slots.
+    /// Sum of `bytes` over this shard's ready slots.
     resident: u64,
 }
 
@@ -198,12 +224,21 @@ impl Default for CacheConfig {
     }
 }
 
-/// A content-addressed, single-flight, LRU-bounded compilation cache.
+/// A content-addressed, single-flight, LRU-bounded compilation cache,
+/// lock-striped into [`SHARDS`] buckets by digest.
 pub struct PipelineCache {
-    inner: Mutex<Inner>,
-    ready: Condvar,
+    shards: Vec<Shard>,
+    /// Global logical clock for LRU stamps (bumped on every touch, in
+    /// any shard) — what makes eviction order shard-independent.
+    clock: AtomicU64,
+    /// Serializes eviction passes so concurrent inserters do not race
+    /// each other into over-evicting. An evictor holds at most one
+    /// shard lock at a time while holding the gate, and no thread
+    /// acquires the gate while holding a shard lock, so the gate
+    /// introduces no lock-order cycle.
+    evict_gate: Mutex<()>,
     config: CacheConfig,
-    stats: Arc<CacheStats>,
+    stats: ShardedCacheStats,
 }
 
 impl Default for PipelineCache {
@@ -216,25 +251,50 @@ impl PipelineCache {
     /// An empty cache with the given byte budget.
     pub fn new(config: CacheConfig) -> PipelineCache {
         PipelineCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                clock: 0,
-                resident: 0,
-            }),
-            ready: Condvar::new(),
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    inner: Mutex::new(Inner {
+                        map: HashMap::new(),
+                        resident: 0,
+                    }),
+                    ready: Condvar::new(),
+                })
+                .collect(),
+            clock: AtomicU64::new(0),
+            evict_gate: Mutex::new(()),
             config,
-            stats: Arc::new(CacheStats::new()),
+            stats: ShardedCacheStats::new(SHARDS),
         }
     }
 
-    /// The shared service counters (hits, misses, evictions, …).
-    pub fn stats(&self) -> &Arc<CacheStats> {
+    /// The per-shard service counters (hits, misses, evictions, …).
+    pub fn stats(&self) -> &ShardedCacheStats {
         &self.stats
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters, aggregated across shards.
     pub fn snapshot(&self) -> CacheSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Point-in-time copies of every shard's counters, in shard order.
+    /// The split is a pure function of the digests in play, so for a
+    /// fixed job set it is as scheduling-independent as the aggregate.
+    pub fn shard_snapshots(&self) -> Vec<CacheSnapshot> {
+        self.stats.shard_snapshots()
+    }
+
+    /// Which stripe a digest lives in: its low bits. FNV-1a mixes the
+    /// whole input into every output byte, so the low bits are well
+    /// spread even across near-identical sources.
+    fn shard_index(digest: Digest) -> usize {
+        (digest.0 as usize) & (SHARDS - 1)
+    }
+
+    /// A fresh LRU stamp, strictly later than every stamp issued
+    /// before it.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Relaxed) + 1
     }
 
     /// The single-flight memoization core: returns the ready artifact
@@ -245,38 +305,38 @@ impl PipelineCache {
     /// waiter retries as a builder; a deterministic build error is
     /// therefore rediscovered (never cached), which keeps the error
     /// path simple and the counters monotone.
-    pub(crate) fn get_or_build(
+    pub fn get_or_build(
         &self,
         digest: Digest,
         stage: Stage,
         build: impl FnOnce() -> Result<Artifact, String>,
     ) -> Result<Artifact, String> {
-        use std::sync::atomic::Ordering::Relaxed;
         let key = Key { digest, stage };
+        let idx = PipelineCache::shard_index(digest);
+        let shard = &self.shards[idx];
+        let stats = self.stats.shard(idx);
         let mut waited = false;
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = shard.inner.lock().expect("cache poisoned");
         loop {
-            inner.clock += 1;
-            let stamp = inner.clock;
             match inner.map.get_mut(&key) {
                 Some(Slot::Ready {
                     artifact, last_use, ..
                 }) => {
-                    *last_use = stamp;
+                    *last_use = self.tick();
                     let art = artifact.clone();
-                    self.stats.hits.fetch_add(1, Relaxed);
+                    stats.hits.fetch_add(1, Relaxed);
                     if waited {
-                        self.stats.inflight_waits.fetch_add(1, Relaxed);
+                        stats.inflight_waits.fetch_add(1, Relaxed);
                     }
                     return Ok(art);
                 }
                 Some(Slot::InFlight) => {
                     waited = true;
-                    inner = self.ready.wait(inner).expect("cache poisoned");
+                    inner = shard.ready.wait(inner).expect("cache poisoned");
                 }
                 None => {
                     inner.map.insert(key, Slot::InFlight);
-                    self.stats.misses.fetch_add(1, Relaxed);
+                    stats.misses.fetch_add(1, Relaxed);
                     break;
                 }
             }
@@ -284,15 +344,14 @@ impl PipelineCache {
         drop(inner);
         // Build outside the lock. A panic in `build` would strand the
         // in-flight marker and hang waiters, so clean up via a guard.
-        let guard = FlightGuard { cache: self, key };
+        let guard = FlightGuard { shard, key };
         let built = build();
         std::mem::forget(guard);
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = shard.inner.lock().expect("cache poisoned");
         match built {
             Ok(artifact) => {
                 let bytes = artifact.cost_bytes();
-                inner.clock += 1;
-                let stamp = inner.clock;
+                let stamp = self.tick();
                 inner.map.insert(
                     key,
                     Slot::Ready {
@@ -302,41 +361,66 @@ impl PipelineCache {
                     },
                 );
                 inner.resident += bytes;
-                self.evict_over_budget(&mut inner);
-                self.stats.resident_bytes.store(inner.resident, Relaxed);
+                stats.resident_bytes.store(inner.resident, Relaxed);
                 drop(inner);
-                self.ready.notify_all();
+                shard.ready.notify_all();
+                self.evict_over_budget();
                 Ok(artifact)
             }
             Err(e) => {
                 inner.map.remove(&key);
                 drop(inner);
-                self.ready.notify_all();
+                shard.ready.notify_all();
                 Err(e)
             }
         }
     }
 
-    /// Drops least-recently-used ready entries until the resident
-    /// estimate fits the budget. In-flight markers are never touched.
-    /// The scan is `O(entries)` per eviction — fine at the budgets a
-    /// build service runs with, where eviction is the rare case.
-    fn evict_over_budget(&self, inner: &mut Inner) {
-        use std::sync::atomic::Ordering::Relaxed;
-        while inner.resident > self.config.max_bytes {
-            let victim = inner
-                .map
-                .iter()
-                .filter_map(|(k, s)| match s {
-                    Slot::Ready { last_use, .. } => Some((*last_use, *k)),
-                    Slot::InFlight => None,
-                })
-                .min();
-            let Some((_, key)) = victim else { break };
-            if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key) {
-                inner.resident -= bytes;
-                self.stats.evictions.fetch_add(1, Relaxed);
+    /// Drops globally least-recently-used ready entries until the
+    /// summed resident estimate fits the budget. In-flight markers are
+    /// never touched. One evictor runs at a time (the gate); it scans
+    /// all shards for the oldest stamp holding one shard lock at a
+    /// time, then re-validates the victim under its shard's lock before
+    /// removing it — a concurrent hit that refreshed the stamp in the
+    /// gap forces a rescan instead of a wrong eviction. The scan is
+    /// `O(entries)` per eviction — fine at the budgets a build service
+    /// runs with, where eviction is the rare case.
+    fn evict_over_budget(&self) {
+        if self.stats.resident_total() <= self.config.max_bytes {
+            return;
+        }
+        let _gate = self.evict_gate.lock().expect("evict gate poisoned");
+        while self.stats.resident_total() > self.config.max_bytes {
+            let mut victim: Option<(u64, usize, Key)> = None;
+            for (idx, shard) in self.shards.iter().enumerate() {
+                let inner = shard.inner.lock().expect("cache poisoned");
+                for (k, s) in &inner.map {
+                    if let Slot::Ready { last_use, .. } = s {
+                        let cand = (*last_use, idx, *k);
+                        if victim.is_none_or(|v| cand < v) {
+                            victim = Some(cand);
+                        }
+                    }
+                }
             }
+            let Some((stamp, idx, key)) = victim else {
+                break;
+            };
+            let shard = &self.shards[idx];
+            let mut inner = shard.inner.lock().expect("cache poisoned");
+            let still_oldest = matches!(
+                inner.map.get(&key),
+                Some(Slot::Ready { last_use, .. }) if *last_use == stamp
+            );
+            if still_oldest {
+                if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key) {
+                    inner.resident -= bytes;
+                    let stats = self.stats.shard(idx);
+                    stats.resident_bytes.store(inner.resident, Relaxed);
+                    stats.evictions.fetch_add(1, Relaxed);
+                }
+            }
+            // Touched or gone since the scan: loop and rescan.
         }
     }
 
@@ -409,15 +493,15 @@ impl PipelineCache {
 /// Removes the in-flight marker if the builder panics (forgotten on
 /// the normal path).
 struct FlightGuard<'c> {
-    cache: &'c PipelineCache,
+    shard: &'c Shard,
     key: Key,
 }
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        if let Ok(mut inner) = self.cache.inner.lock() {
+        if let Ok(mut inner) = self.shard.inner.lock() {
             inner.map.remove(&self.key);
         }
-        self.cache.ready.notify_all();
+        self.shard.ready.notify_all();
     }
 }

@@ -1,22 +1,34 @@
 //! A bounded work-stealing thread pool over `std::thread::scope`.
 //!
-//! No async runtime, no channels-of-channels: a mutex-guarded bounded
-//! injector queue (submission blocks when it is full — backpressure),
-//! one overflow deque per worker fed by batched grabs from the
-//! injector, and round-robin stealing between workers when both the
-//! local deque and the injector are dry.
+//! No async runtime, no channels: a mutex-guarded bounded injector
+//! queue (submission blocks when it is full — backpressure), one
+//! overflow deque per worker fed by batched grabs from the injector,
+//! and round-robin stealing between workers when both the local deque
+//! and the injector are dry. Each worker accumulates its results in a
+//! private `Vec` and hands the whole batch back through its join
+//! handle — result delivery costs one `Vec` per worker instead of one
+//! synchronized send per job.
 //!
 //! Each job runs under [`std::panic::catch_unwind`], so one panicking
 //! job reports [`JobOutcome::Panicked`] without taking the pool (or
-//! sibling jobs) down. Results are delivered **by submission index**,
+//! sibling jobs) down. Results are merged **by submission index**,
 //! which is the root of the service's determinism guarantee: whatever
 //! order workers finish in, `run_jobs` returns `out[i] = f(i, items[i])`
 //! — byte-identical at `-j1` and `-jN` provided `f` is a function of
 //! its arguments (the batch layer keeps wall-clock timing out of `f`).
+//!
+//! [`run_jobs_ctx`] extends the model with one long-lived **context**
+//! per worker (the batch layer passes an execution arena): the context
+//! is built once when the worker starts, threaded through every job it
+//! runs, and — because a panicking job may abandon its context in an
+//! arbitrary intermediate state — discarded and rebuilt fresh after
+//! any panic. Contexts must therefore never carry state that later
+//! jobs *observe*; they are for reusing allocations, not for sharing
+//! results.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
@@ -59,9 +71,27 @@ impl<R> JobOutcome<R> {
     }
 }
 
+/// What one pool run did, mechanically. Scheduling figures — unlike
+/// the outcomes, these legitimately vary run to run and must never be
+/// folded into a deterministic report.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct PoolStats {
+    /// Deepest the injector queue ever got (bounded by `queue_cap`:
+    /// submission blocks rather than exceed it).
+    pub queue_high_water: usize,
+    /// Jobs taken from a sibling's local deque.
+    pub steals: u64,
+    /// Multi-job grabs from the injector (a grab of one job does not
+    /// count).
+    pub batched_grabs: u64,
+    /// Worker contexts discarded and rebuilt after a panicking job.
+    pub ctx_rebuilds: u64,
+}
+
 struct Injector<T> {
     queue: VecDeque<(usize, T)>,
     closed: bool,
+    high_water: usize,
 }
 
 struct Shared<T> {
@@ -70,6 +100,9 @@ struct Shared<T> {
     not_full: Condvar,
     locals: Vec<Mutex<VecDeque<(usize, T)>>>,
     cap: usize,
+    steals: AtomicU64,
+    batched_grabs: AtomicU64,
+    ctx_rebuilds: AtomicU64,
 }
 
 /// Runs `f(index, item)` for every item and returns the outcomes in
@@ -80,16 +113,52 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    let run_one = |i: usize, item: T| match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-        Ok(r) => JobOutcome::Done(r),
-        Err(payload) => JobOutcome::Panicked(panic_text(payload.as_ref())),
-    };
+    run_jobs_ctx(config, items, |_| (), |(), i, item| f(i, item)).0
+}
+
+/// Runs `f(&mut ctx, index, item)` for every item, where each worker
+/// owns one context built by `init(worker_id)` and reused across all
+/// the jobs that worker runs (rebuilt fresh after a panicking job).
+/// Returns the outcomes in submission order plus the run's
+/// [`PoolStats`].
+pub fn run_jobs_ctx<C, T, R, I, F>(
+    config: &PoolConfig,
+    items: Vec<T>,
+    init: I,
+    f: F,
+) -> (Vec<JobOutcome<R>>, PoolStats)
+where
+    T: Send,
+    R: Send,
+    I: Fn(usize) -> C + Sync,
+    F: Fn(&mut C, usize, T) -> R + Sync,
+{
     if config.workers <= 1 {
-        return items
+        let mut rebuilds = 0;
+        let mut ctx = init(0);
+        let out = items
             .into_iter()
             .enumerate()
-            .map(|(i, item)| run_one(i, item))
+            .map(|(i, item)| {
+                match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))) {
+                    Ok(r) => JobOutcome::Done(r),
+                    Err(payload) => {
+                        // The panic may have left the context half
+                        // mutated; start the next job from a fresh one.
+                        ctx = init(0);
+                        rebuilds += 1;
+                        JobOutcome::Panicked(panic_text(payload.as_ref()))
+                    }
+                }
+            })
             .collect();
+        return (
+            out,
+            PoolStats {
+                ctx_rebuilds: rebuilds,
+                ..PoolStats::default()
+            },
+        );
     }
 
     let n = items.len();
@@ -98,54 +167,82 @@ where
         injector: Mutex::new(Injector {
             queue: VecDeque::new(),
             closed: false,
+            high_water: 0,
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
         locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         cap: config.queue_cap.max(1),
+        steals: AtomicU64::new(0),
+        batched_grabs: AtomicU64::new(0),
+        ctx_rebuilds: AtomicU64::new(0),
     };
-    let (tx, rx) = mpsc::channel::<(usize, JobOutcome<R>)>();
 
     std::thread::scope(|scope| {
-        for id in 0..workers {
-            let shared = &shared;
-            let tx = tx.clone();
-            let run_one = &run_one;
-            scope.spawn(move || {
-                while let Some((i, item)) = next_job(shared, id) {
-                    // A send can only fail if the collector below has
-                    // already gathered all n results, which it cannot
-                    // have while this job was still owed.
-                    let _ = tx.send((i, run_one(i, item)));
-                }
-            });
-        }
-        drop(tx);
+        let handles: Vec<_> = (0..workers)
+            .map(|id| {
+                let shared = &shared;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut ctx = init(id);
+                    let mut results: Vec<(usize, JobOutcome<R>)> = Vec::new();
+                    while let Some((i, item)) = next_job(shared, id) {
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))) {
+                            Ok(r) => results.push((i, JobOutcome::Done(r))),
+                            Err(payload) => {
+                                results
+                                    .push((i, JobOutcome::Panicked(panic_text(payload.as_ref()))));
+                                ctx = init(id);
+                                shared.ctx_rebuilds.fetch_add(1, Relaxed);
+                            }
+                        }
+                    }
+                    results
+                })
+            })
+            .collect();
 
-        // Submit with backpressure, then collect by index.
+        // Submit with backpressure.
         for (i, item) in items.into_iter().enumerate() {
             let mut inj = shared.injector.lock().expect("injector poisoned");
             while inj.queue.len() >= shared.cap {
                 inj = shared.not_full.wait(inj).expect("injector poisoned");
             }
             inj.queue.push_back((i, item));
+            inj.high_water = inj.high_water.max(inj.queue.len());
             drop(inj);
             shared.not_empty.notify_one();
         }
+        let high_water;
         {
             let mut inj = shared.injector.lock().expect("injector poisoned");
             inj.closed = true;
+            high_water = inj.high_water;
         }
         shared.not_empty.notify_all();
 
+        // Collect each worker's batch through its join handle and
+        // merge by submission index.
         let mut out: Vec<Option<JobOutcome<R>>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let (i, outcome) = rx.recv().expect("all workers hung up with jobs owed");
-            out[i] = Some(outcome);
+        for handle in handles {
+            let batch = handle.join().expect("worker thread itself never panics");
+            for (i, outcome) in batch {
+                debug_assert!(out[i].is_none(), "job {i} reported twice");
+                out[i] = Some(outcome);
+            }
         }
-        out.into_iter()
+        let out = out
+            .into_iter()
             .map(|o| o.expect("every index reported"))
-            .collect()
+            .collect();
+        let stats = PoolStats {
+            queue_high_water: high_water,
+            steals: shared.steals.load(Relaxed),
+            batched_grabs: shared.batched_grabs.load(Relaxed),
+            ctx_rebuilds: shared.ctx_rebuilds.load(Relaxed),
+        };
+        (out, stats)
     })
 }
 
@@ -170,6 +267,7 @@ fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
             drop(inj);
             shared.not_full.notify_all();
             if !extras.is_empty() {
+                shared.batched_grabs.fetch_add(1, Relaxed);
                 shared.locals[id]
                     .lock()
                     .expect("local poisoned")
@@ -184,6 +282,7 @@ fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
         let victim = (id + k) % n;
         let mut local = shared.locals[victim].lock().expect("local poisoned");
         if let Some(job) = local.pop_back() {
+            shared.steals.fetch_add(1, Relaxed);
             return Some(job);
         }
     }
@@ -298,5 +397,69 @@ mod tests {
         };
         let out = run_jobs(&cfg, Vec::<u8>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn contexts_are_built_once_per_worker_and_reused() {
+        let builds = AtomicUsize::new(0);
+        let cfg = PoolConfig {
+            workers: 2,
+            queue_cap: 8,
+        };
+        let (out, stats) = run_jobs_ctx(
+            &cfg,
+            (0..50u64).collect::<Vec<_>>(),
+            |id| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                (id, 0u64) // (worker id, per-context job tally)
+            },
+            |ctx, _, x| {
+                ctx.1 += 1;
+                x + 1
+            },
+        );
+        assert_eq!(out.len(), 50);
+        // At most one context per worker (a worker that never picked
+        // up a job may still build its context — that's fine, but no
+        // context is ever rebuilt without a panic).
+        assert!(builds.load(Ordering::Relaxed) <= 2);
+        assert_eq!(stats.ctx_rebuilds, 0);
+    }
+
+    #[test]
+    fn a_panic_discards_the_worker_context() {
+        let cfg = PoolConfig {
+            workers: 1,
+            queue_cap: 8,
+        };
+        // The context accumulates a tally; job 3 panics after bumping
+        // it. The rebuild means job 4 onward sees a fresh tally, so
+        // the panic's half-done mutation never leaks forward.
+        let (out, stats) = run_jobs_ctx(
+            &cfg,
+            (0..6u64).collect::<Vec<_>>(),
+            |_| 0u64,
+            |tally, i, _| {
+                *tally += 1;
+                if i == 3 {
+                    panic!("job 3 exploded");
+                }
+                *tally
+            },
+        );
+        assert_eq!(stats.ctx_rebuilds, 1);
+        let values: Vec<_> = out
+            .into_iter()
+            .map(|o| match o {
+                JobOutcome::Done(v) => Some(v),
+                JobOutcome::Panicked(_) => None,
+            })
+            .collect();
+        // Jobs 0..=2 see tallies 1,2,3; job 3 panics; jobs 4,5 restart
+        // at 1,2 on the rebuilt context.
+        assert_eq!(
+            values,
+            vec![Some(1), Some(2), Some(3), None, Some(1), Some(2)]
+        );
     }
 }

@@ -37,9 +37,11 @@ pub use batch::{
     load_manifest, parse_manifest, run_batch, BatchConfig, BatchReport, EngineKind, JobRecord,
     JobSpec,
 };
-pub use cache::{Artifact, CacheConfig, EngineFamily, PipelineCache, SourceKey, SourceLang, Stage};
+pub use cache::{
+    Artifact, CacheConfig, EngineFamily, PipelineCache, SourceKey, SourceLang, Stage, SHARDS,
+};
 pub use digest::Digest;
-pub use executor::{run_jobs, JobOutcome, PoolConfig};
+pub use executor::{run_jobs, run_jobs_ctx, JobOutcome, PoolConfig, PoolStats};
 
 #[cfg(test)]
 mod tests {

@@ -62,6 +62,7 @@
 //! }
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod machine;
 pub mod resolved;
@@ -69,6 +70,7 @@ pub mod state;
 pub mod value;
 pub mod wrong;
 
+pub use arena::SemArena;
 pub use engine::SemEngine;
 pub use machine::{Machine, RtsTarget, Status};
 pub use resolved::{ResolvedMachine, ResolvedProgram};

@@ -89,37 +89,85 @@ impl<'p> Machine<'p> {
 impl<'p, S: TraceSink> Machine<'p, S> {
     /// [`Machine::new`] with an explicit trace sink.
     pub fn with_sink(prog: &'p Program, sink: S) -> Machine<'p, S> {
-        let mem = prog.image.bytes.iter().map(|(&a, &b)| (a, b)).collect();
-        let globals = prog
-            .globals
-            .iter()
-            .map(|g| {
-                let w = match g.ty {
-                    Ty::Bits(w) => w,
-                    Ty::Float(FWidth::F32) => Width::W32,
-                    Ty::Float(FWidth::F64) => Width::W64,
-                };
-                let v = g.init.map(|l| l.bits).unwrap_or(0);
-                (g.name.clone(), Value::Bits(w, v))
-            })
-            .collect();
+        Machine::with_sink_in(prog, sink, &mut crate::arena::SemArena::new())
+    }
+
+    /// [`Machine::with_sink`] drawing the machine's heap containers
+    /// from `arena` instead of the allocator. The machine starts from
+    /// exactly the state a fresh one would; reclaim the allocations
+    /// afterwards with [`Machine::recycle_into`].
+    pub fn with_sink_in(
+        prog: &'p Program,
+        sink: S,
+        arena: &mut crate::arena::SemArena,
+    ) -> Machine<'p, S> {
+        let mut mem = std::mem::take(&mut arena.mem);
+        mem.clear();
+        mem.extend(prog.image.bytes.iter().map(|(&a, &b)| (a, b)));
+        let mut globals = std::mem::take(&mut arena.globals);
+        globals.clear();
+        globals.extend(prog.globals.iter().map(|g| {
+            let w = match g.ty {
+                Ty::Bits(w) => w,
+                Ty::Float(FWidth::F32) => Width::W32,
+                Ty::Float(FWidth::F64) => Width::W64,
+            };
+            let v = g.init.map(|l| l.bits).unwrap_or(0);
+            (g.name.clone(), Value::Bits(w, v))
+        }));
+        let mut rho = std::mem::take(&mut arena.rho);
+        rho.clear();
+        let mut area = std::mem::take(&mut arena.area);
+        area.clear();
+        let mut stack = std::mem::take(&mut arena.stack);
+        stack.clear();
+        let mut cont_encodings = std::mem::take(&mut arena.cont_encodings);
+        cont_encodings.clear();
         Machine {
             prog,
             control: NodeRef::new("", NodeId(0)),
-            rho: Env::new(),
+            rho,
             saves: BTreeSet::new(),
             uid: 0,
             mem,
-            area: Vec::new(),
-            stack: Vec::new(),
+            area,
+            stack,
             globals,
             next_uid: 1,
-            cont_encodings: Vec::new(),
+            cont_encodings,
             status: Status::Idle,
             steps: 0,
             governor: None,
             sink,
         }
+    }
+
+    /// Consumes the machine and banks its heap containers (cleared) in
+    /// `arena` for the next [`Machine::with_sink_in`]. Nothing from
+    /// this run can leak into the next: every container is emptied
+    /// here, and capacity is not observable state.
+    pub fn recycle_into(self, arena: &mut crate::arena::SemArena) {
+        let Machine {
+            mut mem,
+            mut rho,
+            mut area,
+            mut stack,
+            mut globals,
+            mut cont_encodings,
+            ..
+        } = self;
+        mem.clear();
+        rho.clear();
+        area.clear();
+        stack.clear();
+        globals.clear();
+        cont_encodings.clear();
+        arena.mem = mem;
+        arena.rho = rho;
+        arena.area = area;
+        arena.stack = stack;
+        arena.globals = globals;
+        arena.cont_encodings = cont_encodings;
     }
 
     /// Installs a resource governor: depth and memory limits are

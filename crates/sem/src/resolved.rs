@@ -483,24 +483,80 @@ impl<'p> ResolvedMachine<'p> {
 impl<'p, S: TraceSink> ResolvedMachine<'p, S> {
     /// [`ResolvedMachine::new`] with an explicit trace sink.
     pub fn with_sink(rp: &'p ResolvedProgram<'p>, sink: S) -> ResolvedMachine<'p, S> {
+        ResolvedMachine::with_sink_in(rp, sink, &mut crate::arena::SemArena::new())
+    }
+
+    /// [`ResolvedMachine::with_sink`] drawing the machine's heap
+    /// containers from `arena` instead of the allocator (all but the
+    /// activation stack, whose frames borrow `rp` and therefore cannot
+    /// be banked across programs — see [`crate::arena`]). The machine
+    /// starts from exactly the state a fresh one would; reclaim the
+    /// allocations afterwards with [`ResolvedMachine::recycle_into`].
+    pub fn with_sink_in(
+        rp: &'p ResolvedProgram<'p>,
+        sink: S,
+        arena: &mut crate::arena::SemArena,
+    ) -> ResolvedMachine<'p, S> {
+        let mut mem = std::mem::take(&mut arena.mem);
+        mem.clear();
+        mem.extend(rp.prog.image.bytes.iter().map(|(&a, &b)| (a, b)));
+        let mut globals = std::mem::take(&mut arena.r_globals);
+        globals.clear();
+        globals.extend(rp.globals_init.iter().map(|(_, v)| v.clone()));
+        let mut rho = std::mem::take(&mut arena.r_rho);
+        rho.clear();
+        let mut saves = std::mem::take(&mut arena.r_saves);
+        saves.clear();
+        let mut area = std::mem::take(&mut arena.r_area);
+        area.clear();
+        let mut cont_encodings = std::mem::take(&mut arena.r_cont_encodings);
+        cont_encodings.clear();
         ResolvedMachine {
             rp,
             cur_proc: 0,
             cur_node: NodeId(0),
-            rho: Vec::new(),
-            saves: Vec::new(),
+            rho,
+            saves,
             uid: 0,
-            mem: rp.prog.image.bytes.iter().map(|(&a, &b)| (a, b)).collect(),
-            area: Vec::new(),
+            mem,
+            area,
             stack: Vec::new(),
-            globals: rp.globals_init.iter().map(|(_, v)| v.clone()).collect(),
+            globals,
             next_uid: 1,
-            cont_encodings: Vec::new(),
+            cont_encodings,
             status: Status::Idle,
             steps: 0,
             governor: None,
             sink,
         }
+    }
+
+    /// Consumes the machine and banks its heap containers (cleared) in
+    /// `arena` for the next [`ResolvedMachine::with_sink_in`]. The
+    /// activation stack is dropped, not banked — its frames borrow the
+    /// program.
+    pub fn recycle_into(self, arena: &mut crate::arena::SemArena) {
+        let ResolvedMachine {
+            mut mem,
+            mut rho,
+            mut saves,
+            mut area,
+            mut globals,
+            mut cont_encodings,
+            ..
+        } = self;
+        mem.clear();
+        rho.clear();
+        saves.clear();
+        area.clear();
+        globals.clear();
+        cont_encodings.clear();
+        arena.mem = mem;
+        arena.r_rho = rho;
+        arena.r_saves = saves;
+        arena.r_area = area;
+        arena.r_globals = globals;
+        arena.r_cont_encodings = cont_encodings;
     }
 
     /// Installs a resource governor (see

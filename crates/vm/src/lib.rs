@@ -50,5 +50,5 @@ pub use arch::ArchProfile;
 pub use codegen::{compile, CodegenError, VmProgram};
 pub use decode::{DInst, DOp, DecodedCode};
 pub use isa::{Inst, Reg};
-pub use machine::{Cost, VmMachine, VmStatus};
+pub use machine::{Cost, VmArena, VmMachine, VmStatus};
 pub use runtime::VmThread;

@@ -124,6 +124,28 @@ impl<'p> VmMachine<'p> {
     }
 }
 
+/// A reusable execution arena: the heap structures a machine allocates
+/// per run (today: [`Memory`] and its page pool), banked by one batch
+/// worker and threaded through consecutive jobs so the hot run phase
+/// stops paying the allocator per job.
+///
+/// The arena carries **no observable state**: a machine built `_in` an
+/// arena starts from exactly the state a fresh one would (the recycled
+/// memory reads all-zero and reports zero mapped bytes before the image
+/// loads), so arena reuse is invisible to every oracle — the
+/// engine-equivalence suite locks this in.
+#[derive(Debug, Default)]
+pub struct VmArena {
+    mem: Memory,
+}
+
+impl VmArena {
+    /// An empty arena.
+    pub fn new() -> VmArena {
+        VmArena::default()
+    }
+}
+
 /// The procedure name owning `pc` (shared by both step loops so their
 /// event payloads cannot drift).
 pub(crate) fn name_at(program: &VmProgram, pc: u32) -> Name {
@@ -137,7 +159,18 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
     /// Creates a machine emitting trace events into `sink` (see
     /// [`VmMachine::new`] for the machine-state initialization).
     pub fn with_sink(program: &'p VmProgram, sink: S) -> VmMachine<'p, S> {
-        let mut mem = Memory::new();
+        VmMachine::with_sink_in(program, sink, &mut VmArena::new())
+    }
+
+    /// [`VmMachine::with_sink`] drawing the machine's heap structures
+    /// from `arena` instead of the allocator. The machine starts from
+    /// exactly the state a fresh one would; reclaim the allocations
+    /// afterwards with [`VmMachine::recycle_into`].
+    pub fn with_sink_in(program: &'p VmProgram, sink: S, arena: &mut VmArena) -> VmMachine<'p, S> {
+        let mut mem = std::mem::take(&mut arena.mem);
+        // Already recycled on reclaim, but an arena handed a live
+        // memory (or a fresh Default) must still start clean.
+        mem.recycle();
         for (&a, &b) in &program.image.bytes {
             mem.write_u8(a as u32, b);
         }
@@ -202,6 +235,28 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
         let mut m = VmMachine::with_sink(program, sink);
         m.decoded = Some(decoded);
         m
+    }
+
+    /// [`VmMachine::with_sink_shared_decoded`] drawing the machine's
+    /// heap structures from `arena` (see [`VmMachine::with_sink_in`]).
+    pub fn with_sink_shared_decoded_in(
+        program: &'p VmProgram,
+        decoded: Arc<DecodedCode>,
+        sink: S,
+        arena: &mut VmArena,
+    ) -> VmMachine<'p, S> {
+        let mut m = VmMachine::with_sink_in(program, sink, arena);
+        m.decoded = Some(decoded);
+        m
+    }
+
+    /// Consumes the machine and banks its heap allocations in `arena`
+    /// for the next [`VmMachine::with_sink_in`]. The arena ends up
+    /// observationally empty (the memory is recycled on the spot), so
+    /// nothing from this run can leak into the next.
+    pub fn recycle_into(mut self, arena: &mut VmArena) {
+        self.mem.recycle();
+        arena.mem = self.mem;
     }
 
     /// The trace sink.

@@ -7,9 +7,30 @@ const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
 /// Sparse little-endian memory. Unmapped bytes read as zero.
-#[derive(Clone, Debug, Default)]
+///
+/// Carries a private **page pool**: [`Memory::recycle`] unmaps every
+/// page but banks the allocations, and subsequent writes draw from the
+/// bank before touching the allocator. The pool is invisible to every
+/// observation — reads, [`Memory::snapshot`], and [`Memory::mapped_bytes`]
+/// (the `cmm-chaos` footprint figure) see only mapped pages — which is
+/// what lets a batch worker reuse one `Memory` across jobs without
+/// perturbing governed runs.
+#[derive(Debug, Default)]
 pub struct Memory {
     pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Zeroed pages banked by [`Memory::recycle`].
+    pool: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Clone for Memory {
+    /// Clones the mapped contents. The recycle pool is not observable
+    /// state and stays with the original.
+    fn clone(&self) -> Memory {
+        Memory {
+            pages: self.pages.clone(),
+            pool: Vec::new(),
+        }
+    }
 }
 
 impl Memory {
@@ -24,6 +45,28 @@ impl Memory {
         self.pages.len() * PAGE_SIZE
     }
 
+    /// Unmaps every page but keeps the allocations for reuse. The
+    /// result is observationally a fresh `Memory::new()` — every byte
+    /// reads zero, `mapped_bytes` is `0`, `snapshot` is empty — and a
+    /// later write maps a banked (re-zeroed) page instead of
+    /// allocating one.
+    pub fn recycle(&mut self) {
+        for (_, mut page) in self.pages.drain() {
+            page.fill(0);
+            self.pool.push(page);
+        }
+    }
+
+    /// The mapped-or-banked page for `addr`, mapping one on demand.
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        let key = addr >> PAGE_BITS;
+        if !self.pages.contains_key(&key) {
+            let page = self.pool.pop().unwrap_or_else(|| Box::new([0; PAGE_SIZE]));
+            self.pages.insert(key, page);
+        }
+        self.pages.get_mut(&key).expect("just mapped")
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
         match self.pages.get(&(addr >> PAGE_BITS)) {
@@ -34,10 +77,7 @@ impl Memory {
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u32, v: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let page = self.page_mut(addr);
         page[(addr as usize) & (PAGE_SIZE - 1)] = v;
     }
 
@@ -99,10 +139,7 @@ impl Memory {
         if off + n > PAGE_SIZE {
             return self.write(w, addr, v);
         }
-        let page = self
-            .pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        let page = self.page_mut(addr);
         for i in 0..n {
             page[off + i] = ((v >> (8 * i)) & 0xff) as u8;
         }
@@ -192,6 +229,29 @@ mod tests {
         // Unmapped pages read zero through the wide path too.
         let m = Memory::new();
         assert_eq!(m.read_wide(Width::W64, 0x5000), 0);
+    }
+
+    #[test]
+    fn recycled_memory_is_observationally_fresh() {
+        let mut m = Memory::new();
+        m.write(Width::W64, 0x10, 0xdead_beef_cafe_f00d);
+        m.write(Width::W32, 0x5004, 0x1234_5678); // second page
+        assert_eq!(m.mapped_bytes(), 2 * PAGE_SIZE);
+
+        m.recycle();
+        assert_eq!(m.mapped_bytes(), 0, "no pages mapped");
+        assert!(m.snapshot().is_empty(), "no nonzero bytes");
+        assert_eq!(m.read(Width::W64, 0x10), 0, "old contents unreadable");
+
+        // A write after recycling reuses a banked page, and the reused
+        // page carries no stale bytes from its previous life.
+        m.write_u8(0x5000, 7);
+        assert_eq!(m.mapped_bytes(), PAGE_SIZE);
+        assert_eq!(m.snapshot(), vec![(0x5000, 7)]);
+        // Behaviour matches a genuinely fresh memory, byte for byte.
+        let mut fresh = Memory::new();
+        fresh.write_u8(0x5000, 7);
+        assert_eq!(m.snapshot(), fresh.snapshot());
     }
 
     #[test]

@@ -133,6 +133,42 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
         }
     }
 
+    /// [`VmThread::with_sink`] with the machine's heap structures drawn
+    /// from `arena` (see [`VmMachine::with_sink_in`]).
+    pub fn with_sink_in(
+        program: &'p VmProgram,
+        sink: S,
+        arena: &mut crate::machine::VmArena,
+    ) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_in(program, sink, arena),
+            pending: None,
+            chaos: None,
+        }
+    }
+
+    /// [`VmThread::with_sink_shared_decoded`] with the machine's heap
+    /// structures drawn from `arena` (see [`VmMachine::with_sink_in`]).
+    pub fn with_sink_shared_decoded_in(
+        program: &'p VmProgram,
+        decoded: std::sync::Arc<crate::decode::DecodedCode>,
+        sink: S,
+        arena: &mut crate::machine::VmArena,
+    ) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_shared_decoded_in(program, decoded, sink, arena),
+            pending: None,
+            chaos: None,
+        }
+    }
+
+    /// Consumes the thread, returning its machine — e.g. to bank the
+    /// machine's allocations via [`VmMachine::recycle_into`] once the
+    /// run is over.
+    pub fn into_machine(self) -> VmMachine<'p, S> {
+        self.machine
+    }
+
     /// Installs a `cmm-chaos` fault plan; each Table 1 operation
     /// consults it before doing any real work, exactly like `cmm-rt`'s
     /// `Thread`, so both families fail at the same schedule points.

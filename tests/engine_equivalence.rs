@@ -63,7 +63,7 @@ enum SemEnd {
 /// Runs one engine under the dispatcher policy, recording every
 /// suspension and the final state.
 fn drive_sem<'p, M: SemEngine<'p>>(
-    mut t: Thread<'p, M>,
+    t: &mut Thread<'p, M>,
     args: (u32, u32),
 ) -> (Vec<SemSuspension>, SemEnd, Vec<(u64, u8)>) {
     let mut suspensions = Vec::new();
@@ -145,7 +145,7 @@ enum VmEnd {
     YieldBound,
 }
 
-fn drive_vm(mut t: VmThread<'_>, args: (u32, u32)) -> (Vec<VmSuspension>, VmEnd, Vec<(u32, u8)>) {
+fn drive_vm(t: &mut VmThread<'_>, args: (u32, u32)) -> (Vec<VmSuspension>, VmEnd, Vec<(u32, u8)>) {
     let mut suspensions = Vec::new();
     let end = 'run: {
         t.start("f", &[u64::from(args.0), u64::from(args.1)], 1);
@@ -209,8 +209,8 @@ fn sem_engines_make_identical_observations() {
         let case = case_for(0, index);
         let prog = build(&case.render());
         let rp = ResolvedProgram::new(&prog);
-        let reference = drive_sem(Thread::new(&prog), case.args);
-        let resolved = drive_sem(Thread::new_resolved(&rp), case.args);
+        let reference = drive_sem(&mut Thread::new(&prog), case.args);
+        let resolved = drive_sem(&mut Thread::new_resolved(&rp), case.args);
         assert_eq!(
             resolved,
             reference,
@@ -232,8 +232,8 @@ fn vm_engines_make_identical_observations() {
             Ok(vp) => vp,
             Err(e) => panic!("case {index} failed to compile: {e}"),
         };
-        let reference = drive_vm(VmThread::new(&vp), case.args);
-        let decoded = drive_vm(VmThread::new_decoded(&vp), case.args);
+        let reference = drive_vm(&mut VmThread::new(&vp), case.args);
+        let decoded = drive_vm(&mut VmThread::new_decoded(&vp), case.args);
         assert_eq!(
             decoded,
             reference,
@@ -267,8 +267,8 @@ fn nested_walk_order_is_identical_and_correct() {
     "#;
     let prog = build(src);
     let rp = ResolvedProgram::new(&prog);
-    let reference = drive_sem(Thread::new(&prog), (100, 7));
-    let resolved = drive_sem(Thread::new_resolved(&rp), (100, 7));
+    let reference = drive_sem(&mut Thread::new(&prog), (100, 7));
+    let resolved = drive_sem(&mut Thread::new_resolved(&rp), (100, 7));
     assert_eq!(resolved, reference);
     let (suspensions, end, _) = reference;
     assert_eq!(suspensions.len(), 1);
@@ -278,4 +278,65 @@ fn nested_walk_order_is_identical_and_correct() {
         end,
         SemEnd::Status(Status::Terminated(vec![Value::b32(54)]))
     );
+}
+
+/// Machines built from **recycled execution arenas** are observationally
+/// fresh: the whole generator sweep runs every engine twice — once on a
+/// fresh machine, once drawing its heap containers from a single arena
+/// that every prior case in the sweep already ran through — and the two
+/// runs must make deeply equal Table 1 observations (suspensions, final
+/// status, final memory). One sem arena is deliberately shared between
+/// the reference and pre-resolved machines, and one vm arena across all
+/// vm cases, so any state leaking through `recycle_into` would cross
+/// both case and engine boundaries and diverge loudly.
+#[test]
+fn recycled_arenas_make_identical_observations() {
+    use cmm_obs::NopSink;
+    use cmm_sem::{Machine, ResolvedMachine, SemArena};
+    use cmm_vm::VmArena;
+
+    let mut sem_arena = SemArena::new();
+    let mut vm_arena = VmArena::new();
+    for index in 0..SWEEP {
+        let case = case_for(0, index);
+        let prog = build(&case.render());
+        let rp = ResolvedProgram::new(&prog);
+
+        let fresh = drive_sem(&mut Thread::new(&prog), case.args);
+        let mut t = Thread::over(Machine::with_sink_in(&prog, NopSink, &mut sem_arena));
+        let recycled = drive_sem(&mut t, case.args);
+        t.into_machine().recycle_into(&mut sem_arena);
+        assert_eq!(
+            recycled,
+            fresh,
+            "case {index}: recycled reference-sem arena diverged:\n{}",
+            case.render()
+        );
+
+        let fresh = drive_sem(&mut Thread::new_resolved(&rp), case.args);
+        let mut t = Thread::over(ResolvedMachine::with_sink_in(&rp, NopSink, &mut sem_arena));
+        let recycled = drive_sem(&mut t, case.args);
+        t.into_machine().recycle_into(&mut sem_arena);
+        assert_eq!(
+            recycled,
+            fresh,
+            "case {index}: recycled resolved-sem arena diverged:\n{}",
+            case.render()
+        );
+
+        let vp: VmProgram = match cmm_vm::compile(&prog) {
+            Ok(vp) => vp,
+            Err(e) => panic!("case {index} failed to compile: {e}"),
+        };
+        let fresh = drive_vm(&mut VmThread::new(&vp), case.args);
+        let mut t = VmThread::with_sink_in(&vp, NopSink, &mut vm_arena);
+        let recycled = drive_vm(&mut t, case.args);
+        t.into_machine().recycle_into(&mut vm_arena);
+        assert_eq!(
+            recycled,
+            fresh,
+            "case {index}: recycled vm arena diverged:\n{}",
+            case.render()
+        );
+    }
 }
