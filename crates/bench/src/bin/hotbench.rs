@@ -1,0 +1,78 @@
+//! Decoded-vs-fused wall time on the trajectory's six hot rows.
+//!
+//! Interleaves the two engines round-robin and keeps the minimum
+//! per-iteration time across rounds, which is far more stable on a
+//! shared core than the trajectory's single timed pass. Use this when
+//! tuning the fuser:
+//!
+//! ```text
+//! cargo run --release -p cmm-bench --bin hotbench -- 16
+//! ```
+//!
+//! The argument is the round count (default 20). The instruction-count
+//! lines printed per row must match the `hot_*` entries in
+//! `BENCH_trajectory.json` — fusion never changes retired counts.
+
+use cmm_cfg::build_program;
+use cmm_frontend::workloads::{NO_RAISE, RAISE_FREQUENCY};
+use cmm_frontend::{compile_minim3, Strategy};
+use cmm_opt::{optimize_program, OptOptions};
+use cmm_vm::{compile, VmMachine, VmStatus};
+use std::time::Instant;
+
+fn run(m: &mut VmMachine<'_>, args: &[u64]) -> u64 {
+    m.start(cmm_frontend::lower::ENTRY, args, 2);
+    loop {
+        match m.run(1_000_000_000) {
+            VmStatus::Halted(v) => return v[1],
+            VmStatus::OutOfFuel => continue,
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+fn main() {
+    let rounds: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    for (wname, src) in [("raise_freq", RAISE_FREQUENCY), ("no_raise", NO_RAISE)] {
+        for strategy in [Strategy::Cps, Strategy::Cutting, Strategy::NativeUnwind] {
+            let module = compile_minim3(src, strategy).unwrap();
+            let mut prog = build_program(&module).unwrap();
+            optimize_program(&mut prog, &OptOptions::default());
+            let vp = compile(&prog).unwrap();
+            let args: &[u64] = if src == RAISE_FREQUENCY {
+                &[300, 10]
+            } else {
+                &[400]
+            };
+            let mut dec = VmMachine::new_decoded(&vp);
+            let mut fus = VmMachine::new_fused(&vp);
+            assert_eq!(run(&mut dec, args), run(&mut fus, args));
+            let c = dec.cost;
+            println!(
+                "  {} insts: {} loads {} stores {} branches {} calls",
+                c.instructions, c.loads, c.stores, c.branches, c.calls
+            );
+            let iters = 40u32;
+            let mut best = [u64::MAX; 2];
+            for _ in 0..rounds {
+                for (slot, m) in [&mut dec, &mut fus].into_iter().enumerate() {
+                    let t0 = Instant::now();
+                    for _ in 0..iters {
+                        run(m, args);
+                    }
+                    best[slot] = best[slot].min(t0.elapsed().as_nanos() as u64 / u64::from(iters));
+                }
+            }
+            println!(
+                "{wname:<12} {:<15} dec {:>8} ns  fus {:>8} ns  ratio {:.3}",
+                strategy.label(),
+                best[0],
+                best[1],
+                best[0] as f64 / best[1] as f64
+            );
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! cmm dump-ssa <file.cmm> [proc]      # Figure 6-style SSA numbering
 //! cmm dump-vm <file.cmm>              # disassembled simulated target
 //! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
-//! cmm trace <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0] [--out F]
-//! cmm profile <file> <proc|strategy> [args...] [--sem] [--decoded] [-O0]
+//! cmm trace <file> <proc|strategy> [args...] [--sem] [--decoded|--fused] [-O0] [--out F]
+//! cmm profile <file> <proc|strategy> [args...] [--sem] [--decoded|--fused] [-O0]
 //! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]
 //!          [--chaos] [--fault-seed S] [--schedules K]
 //! cmm fuzz --replay DIR               # re-run checked-in reproducers
@@ -156,7 +156,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let file = args.next().ok_or_else(usage)?;
             let entry_arg = args.next().ok_or_else(usage)?;
             let mut use_sem = false;
-            let mut decoded = false;
+            let mut engine = frontend::VmEngine::Stepped;
             let mut opts = opt::OptOptions::default();
             let mut out: Option<String> = None;
             let mut results = 1usize;
@@ -164,7 +164,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--sem" => use_sem = true,
-                    "--decoded" => decoded = true,
+                    "--decoded" => engine = frontend::VmEngine::Decoded,
+                    "--fused" => engine = frontend::VmEngine::Fused,
                     "-O0" => opts = opt::OptOptions::none(),
                     "--out" => out = Some(args.next().ok_or("--out needs a path")?),
                     "--results" => {
@@ -181,10 +182,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 }
             }
             let run = if file.ends_with(".m3") {
-                trace_m3(&file, &entry_arg, &call_args, &opts, use_sem, decoded)?
+                trace_m3(&file, &entry_arg, &call_args, &opts, use_sem, engine)?
             } else {
                 trace_cmm(
-                    &file, &entry_arg, &call_args, results, opts, use_sem, decoded,
+                    &file, &entry_arg, &call_args, results, opts, use_sem, engine,
                 )?
             };
             if cmd == "profile" {
@@ -434,7 +435,7 @@ fn trace_m3(
     args: &[u64],
     opts: &opt::OptOptions,
     use_sem: bool,
-    decoded: bool,
+    engine: frontend::VmEngine,
 ) -> Result<TraceRun, String> {
     let strategy = parse_strategy(strat)?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
@@ -459,7 +460,7 @@ fn trace_m3(
             events,
         })
     } else {
-        let (r, events) = frontend::run_vm_traced(&module, strategy, &args32, opts, decoded)
+        let (r, events) = frontend::run_vm_traced(&module, strategy, &args32, opts, engine)
             .map_err(|e| e.to_string())?;
         let outcome = match r {
             Ok((v, _)) => format!("result {v}"),
@@ -484,7 +485,7 @@ fn trace_cmm(
     results: usize,
     opts: opt::OptOptions,
     use_sem: bool,
-    decoded: bool,
+    engine: frontend::VmEngine,
 ) -> Result<TraceRun, String> {
     let c = compiler(file)?.options(opts);
     let entry = ir::Name::from(proc);
@@ -503,10 +504,16 @@ fn trace_cmm(
         })
     } else {
         let vp = c.vm_program().map_err(|e| e.to_string())?;
-        let mut t = if decoded {
-            vm::VmThread::with_sink_decoded(&vp, obs::RecordingSink::default())
-        } else {
-            vm::VmThread::with_sink(&vp, obs::RecordingSink::default())
+        let mut t = match engine {
+            frontend::VmEngine::Stepped => {
+                vm::VmThread::with_sink(&vp, obs::RecordingSink::default())
+            }
+            frontend::VmEngine::Decoded => {
+                vm::VmThread::with_sink_decoded(&vp, obs::RecordingSink::default())
+            }
+            frontend::VmEngine::Fused => {
+                vm::VmThread::with_sink_fused(&vp, obs::RecordingSink::default())
+            }
         };
         let outcome = drive_vm(&mut t, proc, args, results);
         Ok(TraceRun {
@@ -632,8 +639,8 @@ fn usage() -> String {
      \x20      cmm dump-ssa <file> [proc]\n\
      \x20      cmm dump-vm <file>\n\
      \x20      cmm m3 <file> <strategy> [args..]\n\
-     \x20      cmm trace <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0] [--out F]\n\
-     \x20      cmm profile <file> <proc|strategy> [args..] [--sem] [--decoded] [-O0]\n\
+     \x20      cmm trace <file> <proc|strategy> [args..] [--sem] [--decoded|--fused] [-O0] [--out F]\n\
+     \x20      cmm profile <file> <proc|strategy> [args..] [--sem] [--decoded|--fused] [-O0]\n\
      \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]\n\
      \x20               [--chaos] [--fault-seed S] [--schedules K]\n\
      \x20      cmm fuzz --replay DIR\n\

@@ -1,8 +1,8 @@
 //! The exception-event projection — the engine-independent stream of
 //! calls, returns, cuts, yields, and Table 1 operations — must be
-//! identical across all four engines: the abstract machine, its
-//! pre-resolved variant, the simulated target, and its pre-decoded
-//! step loop. Timestamps differ (steps vs cost units) and the abstract
+//! identical across all five engines: the abstract machine, its
+//! pre-resolved variant, the simulated target, its pre-decoded step
+//! loop, and the fused superinstruction tier. Timestamps differ (steps vs cost units) and the abstract
 //! machine additionally reports continuation capture/death, but the
 //! projection drops both, so equality is exact.
 
@@ -36,9 +36,11 @@ fn run_engine(src: &str, engine: &str, proc: &str, args: &[u64]) -> Vec<TimedEve
             assert!(matches!(s, Status::Terminated(_)), "{engine}: {s:?}");
             t.into_machine().into_sink().events
         }
-        "vm" | "vm-decoded" => {
+        "vm" | "vm-decoded" | "vm-fused" => {
             let vp = vm::compile(&prog).expect("workload compiles");
-            let mut t = if engine == "vm-decoded" {
+            let mut t = if engine == "vm-fused" {
+                vm::VmThread::with_sink_fused(&vp, RecordingSink::default())
+            } else if engine == "vm-decoded" {
                 vm::VmThread::with_sink_decoded(&vp, RecordingSink::default())
             } else {
                 vm::VmThread::with_sink(&vp, RecordingSink::default())
@@ -68,7 +70,7 @@ fn figure_workloads_project_identically_across_all_engines() {
         let src = example(file);
         let want = projection(&run_engine(&src, "sem", "f", &[arg]));
         assert!(!want.is_empty(), "{file}: empty projection");
-        for engine in ["sem-resolved", "vm", "vm-decoded"] {
+        for engine in ["sem-resolved", "vm", "vm-decoded", "vm-fused"] {
             let got = projection(&run_engine(&src, engine, "f", &[arg]));
             if let Err((i, a, b)) = first_divergence(&want, &got) {
                 panic!("{file} sem vs {engine}, event {i}: `{a}` vs `{b}`");
@@ -84,7 +86,7 @@ fn fig34_dispatch_counts_match_hand_counts() {
     // normal arm, so neither workload takes an abnormal return.
     for file in ["fig34_plain.cmm", "fig34_table.cmm"] {
         let src = example(file);
-        for engine in ["sem", "sem-resolved", "vm", "vm-decoded"] {
+        for engine in ["sem", "sem-resolved", "vm", "vm-decoded", "vm-fused"] {
             let c = EventCounts::of(&run_engine(&src, engine, "f", &[20]));
             assert_eq!(c.calls, 20, "{file} {engine}");
             assert_eq!(c.returns, 21, "{file} {engine}");
@@ -108,7 +110,7 @@ fn generated_sweep_projects_identically() {
             continue;
         }
         let want = projection(&ref_events);
-        for oracle in ["sem-resolved", "vm", "vm-decoded"] {
+        for oracle in ["sem-resolved", "vm", "vm-decoded", "vm-fused"] {
             let (_, _, events) = observe_traced(&src, oracle, case.args, &limits).unwrap();
             if let Err((i, a, b)) = first_divergence(&want, &projection(&events)) {
                 panic!("seed {seed} reference vs {oracle}, event {i}: `{a}` vs `{b}`\n{src}");
@@ -119,7 +121,7 @@ fn generated_sweep_projects_identically() {
         let (oo, _, o_events) = observe_traced(&src, "sem+O2", case.args, &limits).unwrap();
         if !matches!(oo.outcome, Outcome::Wrong) {
             let owant = projection(&o_events);
-            for oracle in ["vm+O2", "vm-decoded+O2"] {
+            for oracle in ["vm+O2", "vm-decoded+O2", "vm-fused+O2"] {
                 let (_, _, events) = observe_traced(&src, oracle, case.args, &limits).unwrap();
                 if let Err((i, a, b)) = first_divergence(&owant, &projection(&events)) {
                     panic!("seed {seed} sem+O2 vs {oracle}, event {i}: `{a}` vs `{b}`\n{src}");
@@ -152,13 +154,19 @@ fn minim3_strategies_project_identically_across_substrates() {
             r.expect("sem run succeeds");
             let want = projection(&sem_events);
             assert!(!want.is_empty(), "{label}: empty projection");
-            for decoded in [false, true] {
-                let (r, events) =
-                    frontend::run_vm_traced(&module, strategy, &[arg], &opts, decoded)
-                        .expect("runs");
+            for engine in [
+                frontend::VmEngine::Stepped,
+                frontend::VmEngine::Decoded,
+                frontend::VmEngine::Fused,
+            ] {
+                let (r, events) = frontend::run_vm_traced(&module, strategy, &[arg], &opts, engine)
+                    .expect("runs");
                 r.expect("vm run succeeds");
                 if let Err((i, a, b)) = first_divergence(&want, &projection(&events)) {
-                    panic!("{label} sem vs vm(decoded={decoded}), event {i}: `{a}` vs `{b}`");
+                    panic!(
+                        "{label} sem vs {}, event {i}: `{a}` vs `{b}`",
+                        engine.label()
+                    );
                 }
             }
         }

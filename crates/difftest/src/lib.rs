@@ -34,8 +34,8 @@ pub use genprog::{generate, shrink_candidates, TestCase};
 pub use oracle::{
     observe_sem, observe_sem_chaos, observe_sem_resolved, observe_sem_resolved_chaos,
     observe_traced, observe_vm, observe_vm_chaos, observe_vm_decoded, observe_vm_decoded_chaos,
-    pass_variants, run_case, run_case_with, run_source, run_source_chaos, ExtraPass, Failure,
-    Limits, Obs, Outcome,
+    observe_vm_fused, observe_vm_fused_chaos, pass_variants, run_case, run_case_with, run_source,
+    run_source_chaos, ExtraPass, Failure, Limits, Obs, Outcome,
 };
 pub use rng::Rng;
 pub use shrink::shrink;

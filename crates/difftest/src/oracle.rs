@@ -212,6 +212,12 @@ pub fn observe_vm_decoded(prog: &VmProgram, args: (u32, u32), limits: &Limits) -
     observe_vm_thread(&mut VmThread::new_decoded(prog), args, limits)
 }
 
+/// [`observe_vm`] over the fused engine ([`cmm_vm::FusedCode`]) — the
+/// same policy, so its observation must be identical.
+pub fn observe_vm_fused(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> (Obs, String) {
+    observe_vm_thread(&mut VmThread::new_fused(prog), args, limits)
+}
+
 fn observe_vm_thread<S: TraceSink>(
     t: &mut VmThread<'_, S>,
     args: (u32, u32),
@@ -325,6 +331,20 @@ pub fn observe_vm_decoded_chaos(
     (o, d, log)
 }
 
+/// [`observe_vm_fused`] under a fault plan.
+pub fn observe_vm_fused_chaos(
+    prog: &VmProgram,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: &FaultPlan,
+) -> (Obs, String, Vec<InjectedFault>) {
+    let mut t = VmThread::new_fused(prog);
+    t.set_chaos(plan.clone());
+    let (o, d) = observe_vm_thread(&mut t, args, limits);
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    (o, d, log)
+}
+
 /// An observation plus the injected-fault log, described for reports.
 fn describe_chaos(obs: &Obs, detail: &str, log: &[InjectedFault]) -> String {
     let mut s = obs.describe(detail);
@@ -336,9 +356,10 @@ fn describe_chaos(obs: &Obs, detail: &str, log: &[InjectedFault]) -> String {
 }
 
 /// Runs raw source under `schedules` seeded fault plans, asserting that
-/// all four engines — reference semantics, pre-resolved semantics, VM,
-/// and pre-decoded VM — observe the *same* outcome, yield sequence, and
-/// injected-fault log under each plan. Every oracle is panic-isolated.
+/// all five engines — reference semantics, pre-resolved semantics, VM,
+/// pre-decoded VM, and fused VM — observe the *same* outcome, yield
+/// sequence, and injected-fault log under each plan. Every oracle is
+/// panic-isolated.
 ///
 /// Schedule `k` uses `FaultPlan::seeded(schedule_seed(fault_seed, k))`,
 /// so the whole sweep is bit-reproducible from `fault_seed`.
@@ -388,6 +409,10 @@ pub fn run_source_chaos(
             observe_vm_decoded_chaos(&vm_prog, args, limits, &plan)
         })?;
         compare("vm-decoded", r)?;
+        let r = guarded(&format!("vm-fused@chaos{k}"), || {
+            observe_vm_fused_chaos(&vm_prog, args, limits, &plan)
+        })?;
+        compare("vm-fused", r)?;
     }
     Ok(())
 }
@@ -398,9 +423,10 @@ pub fn run_source_chaos(
 ///
 /// Oracle names are the ones [`run_source`] reports in
 /// [`Failure::Diverged`] — `reference`, `sem-resolved`, `sem+<pass>`,
-/// `vm`, `vm-decoded`, `vm+O2`, `vm-decoded+O2` — so a divergence can
-/// be replayed event-for-event. Injected extra passes cannot be
-/// re-traced (their closures are gone by reporting time).
+/// `vm`, `vm-decoded`, `vm-fused`, `vm+O2`, `vm-decoded+O2`,
+/// `vm-fused+O2` — so a divergence can be replayed event-for-event.
+/// Injected extra passes cannot be re-traced (their closures are gone
+/// by reporting time).
 ///
 /// # Errors
 ///
@@ -436,12 +462,14 @@ pub fn observe_traced(
             cmm_opt::optimize_program(&mut program, &opts);
             Ok(sem_traced(&program))
         }
-        "vm" | "vm-decoded" | "vm+O2" | "vm-decoded+O2" => {
+        "vm" | "vm-decoded" | "vm-fused" | "vm+O2" | "vm-decoded+O2" | "vm-fused+O2" => {
             if oracle.ends_with("+O2") {
                 cmm_opt::optimize_program(&mut program, &OptOptions::default());
             }
             let vp = cmm_vm::compile(&program).map_err(|e| e.to_string())?;
-            let mut t = if oracle.starts_with("vm-decoded") {
+            let mut t = if oracle.starts_with("vm-fused") {
+                VmThread::with_sink_fused(&vp, RecordingSink::default())
+            } else if oracle.starts_with("vm-decoded") {
                 VmThread::with_sink_decoded(&vp, RecordingSink::default())
             } else {
                 VmThread::with_sink(&vp, RecordingSink::default())
@@ -722,6 +750,17 @@ fn run_source_with(
         ));
     }
 
+    let (o, detail) = guarded("vm-fused", || observe_vm_fused(&vm_prog, case_args, limits))?;
+    if o != reference {
+        return Err(diverged(
+            "vm-fused".into(),
+            &reference,
+            &ref_detail,
+            &o,
+            &detail,
+        ));
+    }
+
     let mut p = program.clone();
     cmm_opt::optimize_program(&mut p, &OptOptions::default());
     let vm_opt = cmm_vm::compile(&p).map_err(|e| Failure::Codegen(format!("after O2: {e}")))?;
@@ -742,6 +781,19 @@ fn run_source_with(
     if o != reference {
         return Err(diverged(
             "vm-decoded+O2".into(),
+            &reference,
+            &ref_detail,
+            &o,
+            &detail,
+        ));
+    }
+
+    let (o, detail) = guarded("vm-fused+O2", || {
+        observe_vm_fused(&vm_opt, case_args, limits)
+    })?;
+    if o != reference {
+        return Err(diverged(
+            "vm-fused+O2".into(),
             &reference,
             &ref_detail,
             &o,
@@ -803,7 +855,7 @@ mod tests {
                 continue;
             }
             let want = cmm_obs::projection(&ref_events);
-            for oracle in ["sem-resolved", "vm", "vm-decoded"] {
+            for oracle in ["sem-resolved", "vm", "vm-decoded", "vm-fused"] {
                 let (_, _, events) = observe_traced(&src, oracle, case.args, &limits).unwrap();
                 let got = cmm_obs::projection(&events);
                 if let Err((i, a, b)) = cmm_obs::first_divergence(&want, &got) {

@@ -154,18 +154,57 @@ fn vm_engines_agree_at_every_fuel_boundary() {
             m.start("f", &[n], 1);
             m.run(fuel)
         };
+        let run_fused = |fuel: u64| -> VmStatus {
+            let mut m = VmMachine::new_fused(&vp);
+            m.start("f", &[n], 1);
+            m.run(fuel)
+        };
         let fuel = minimal_fuel(|f| !matches!(run_step(f), VmStatus::OutOfFuel));
         assert!(fuel > 1, "{name}: completes implausibly fast");
         for f in [fuel - 1, fuel, fuel + 1] {
             let a = run_step(f);
             let b = run_decoded(f);
             assert_eq!(a, b, "{name}: vm engines diverge at fuel {f}");
+            let c = run_fused(f);
+            assert_eq!(a, c, "{name}: fused engine diverges at fuel {f}");
             let complete = f >= fuel;
             assert_eq!(
                 !matches!(a, VmStatus::OutOfFuel),
                 complete,
                 "{name}: wrong completion at fuel {f}"
             );
+        }
+    }
+}
+
+/// The fused engine's fuel accounting is exact at **every** budget, not
+/// just the completion edge: a window head reached with less fuel than
+/// the window needs must delegate to the decoded loop rather than run
+/// ahead, so status, cost, and pc match the decoded engine at all
+/// budgets from 1 to completion.
+#[test]
+fn fused_engine_matches_decoded_at_every_fuel_level() {
+    for (name, src, n) in workloads() {
+        let vp: VmProgram = cmm_vm::compile(&prog(&src)).unwrap();
+        let total = {
+            let mut m = VmMachine::new_decoded(&vp);
+            m.start("f", &[n], 1);
+            assert!(
+                !matches!(m.run(1 << 24), VmStatus::OutOfFuel),
+                "{name}: never completes"
+            );
+            m.cost.instructions
+        };
+        for fuel in 1..=total {
+            let mut dec = VmMachine::new_decoded(&vp);
+            dec.start("f", &[n], 1);
+            let a = dec.run(fuel);
+            let mut fus = VmMachine::new_fused(&vp);
+            fus.start("f", &[n], 1);
+            let b = fus.run(fuel);
+            assert_eq!(a, b, "{name}: status diverges at fuel {fuel}");
+            assert_eq!(fus.cost, dec.cost, "{name}: cost diverges at fuel {fuel}");
+            assert_eq!(fus.pc, dec.pc, "{name}: pc diverges at fuel {fuel}");
         }
     }
 }

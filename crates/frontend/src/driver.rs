@@ -56,6 +56,31 @@ impl std::error::Error for M3Error {}
 
 const FUEL: u64 = 500_000_000;
 
+/// Which VM execution tier a driver run uses. The tiers are
+/// observationally equal (enforced by the difftest equivalence suite),
+/// so which one a caller picks is purely a speed decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum VmEngine {
+    /// The reference step loop.
+    #[default]
+    Stepped,
+    /// The pre-decoded flat dispatch loop ([`cmm_vm::DecodedCode`]).
+    Decoded,
+    /// The fused superinstruction loop ([`cmm_vm::FusedCode`]).
+    Fused,
+}
+
+impl VmEngine {
+    /// The engine's display label (matches the difftest oracle names).
+    pub fn label(self) -> &'static str {
+        match self {
+            VmEngine::Stepped => "vm",
+            VmEngine::Decoded => "vm-decoded",
+            VmEngine::Fused => "vm-fused",
+        }
+    }
+}
+
 /// Recovers an exception's source name from its tag (the address of its
 /// `exn$NAME` block).
 fn exception_name(image: &cmm_cfg::DataImage, tag: u64) -> String {
@@ -171,7 +196,13 @@ pub fn run_sem_thread<'p, M: SemEngine<'p>>(
 ///
 /// As [`run_sem`], plus code-generation errors.
 pub fn run_vm(module: &Module, strategy: Strategy, args: &[u32]) -> Result<(u32, Cost), M3Error> {
-    run_vm_impl(module, strategy, args, &OptOptions::default(), false)
+    run_vm_impl(
+        module,
+        strategy,
+        args,
+        &OptOptions::default(),
+        VmEngine::Stepped,
+    )
 }
 
 /// [`run_vm`] with explicit optimization options (used by the benches to
@@ -186,7 +217,7 @@ pub fn run_vm_with(
     args: &[u32],
     opts: &OptOptions,
 ) -> Result<(u32, Cost), M3Error> {
-    run_vm_impl(module, strategy, args, opts, false)
+    run_vm_impl(module, strategy, args, opts, VmEngine::Stepped)
 }
 
 /// [`run_vm`] over the pre-decoded engine ([`cmm_vm::DecodedCode`])
@@ -200,7 +231,13 @@ pub fn run_vm_decoded(
     strategy: Strategy,
     args: &[u32],
 ) -> Result<(u32, Cost), M3Error> {
-    run_vm_impl(module, strategy, args, &OptOptions::default(), true)
+    run_vm_impl(
+        module,
+        strategy,
+        args,
+        &OptOptions::default(),
+        VmEngine::Decoded,
+    )
 }
 
 /// [`run_vm_with`] over the pre-decoded engine.
@@ -214,7 +251,41 @@ pub fn run_vm_decoded_with(
     args: &[u32],
     opts: &OptOptions,
 ) -> Result<(u32, Cost), M3Error> {
-    run_vm_impl(module, strategy, args, opts, true)
+    run_vm_impl(module, strategy, args, opts, VmEngine::Decoded)
+}
+
+/// [`run_vm`] over the fused superinstruction engine
+/// ([`cmm_vm::FusedCode`]).
+///
+/// # Errors
+///
+/// As [`run_vm`].
+pub fn run_vm_fused(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+) -> Result<(u32, Cost), M3Error> {
+    run_vm_impl(
+        module,
+        strategy,
+        args,
+        &OptOptions::default(),
+        VmEngine::Fused,
+    )
+}
+
+/// [`run_vm_with`] over the fused engine.
+///
+/// # Errors
+///
+/// As [`run_vm`].
+pub fn run_vm_fused_with(
+    module: &Module,
+    strategy: Strategy,
+    args: &[u32],
+    opts: &OptOptions,
+) -> Result<(u32, Cost), M3Error> {
+    run_vm_impl(module, strategy, args, opts, VmEngine::Fused)
 }
 
 fn run_vm_impl(
@@ -222,15 +293,15 @@ fn run_vm_impl(
     strategy: Strategy,
     args: &[u32],
     opts: &OptOptions,
-    decoded: bool,
+    engine: VmEngine,
 ) -> Result<(u32, Cost), M3Error> {
     let mut prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
     optimize_program(&mut prog, opts);
     let vp = compile(&prog).map_err(|e| M3Error::Codegen(e.to_string()))?;
-    let mut t = if decoded {
-        VmThread::new_decoded(&vp)
-    } else {
-        VmThread::new(&vp)
+    let mut t = match engine {
+        VmEngine::Stepped => VmThread::new(&vp),
+        VmEngine::Decoded => VmThread::new_decoded(&vp),
+        VmEngine::Fused => VmThread::new_fused(&vp),
     };
     run_vm_thread(&mut t, &vp.image, strategy, args)
 }
@@ -247,15 +318,15 @@ pub fn run_vm_traced(
     strategy: Strategy,
     args: &[u32],
     opts: &OptOptions,
-    decoded: bool,
+    engine: VmEngine,
 ) -> Traced<(u32, Cost)> {
     let mut prog = build_program(module).map_err(|e| M3Error::Build(e.to_string()))?;
     optimize_program(&mut prog, opts);
     let vp = compile(&prog).map_err(|e| M3Error::Codegen(e.to_string()))?;
-    let mut t = if decoded {
-        VmThread::with_sink_decoded(&vp, RecordingSink::default())
-    } else {
-        VmThread::with_sink(&vp, RecordingSink::default())
+    let mut t = match engine {
+        VmEngine::Stepped => VmThread::with_sink(&vp, RecordingSink::default()),
+        VmEngine::Decoded => VmThread::with_sink_decoded(&vp, RecordingSink::default()),
+        VmEngine::Fused => VmThread::with_sink_fused(&vp, RecordingSink::default()),
     };
     let r = run_vm_thread(&mut t, &vp.image, strategy, args);
     Ok((r, t.machine.into_sink().events))

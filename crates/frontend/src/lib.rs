@@ -62,7 +62,8 @@ pub mod workloads;
 
 pub use driver::{
     run_sem, run_sem_resolved, run_sem_thread, run_sem_traced, run_vm, run_vm_decoded,
-    run_vm_decoded_with, run_vm_thread, run_vm_traced, run_vm_with, M3Error,
+    run_vm_decoded_with, run_vm_fused, run_vm_fused_with, run_vm_thread, run_vm_traced,
+    run_vm_with, M3Error, VmEngine,
 };
 pub use lower::{compile_minim3, compile_program, LowerError, Strategy};
 pub use parse::parse_minim3;

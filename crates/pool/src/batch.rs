@@ -19,7 +19,7 @@
 //! `fuel=` (per-run budget; defaults match difftest's limits), and
 //! `yields=` (suspension bound, default 64). A comma-separated engine
 //! list expands to one job per engine — the usual way a manifest earns
-//! cache hits, since all four engines share per-family artifacts.
+//! cache hits, since all five engines share per-family artifacts.
 //!
 //! # Determinism
 //!
@@ -57,6 +57,8 @@ pub enum EngineKind {
     Vm,
     /// The simulated target over pre-decoded code.
     VmDecoded,
+    /// The simulated target over the fused superinstruction stream.
+    VmFused,
 }
 
 impl EngineKind {
@@ -67,6 +69,7 @@ impl EngineKind {
             EngineKind::SemResolved => "sem-resolved",
             EngineKind::Vm => "vm",
             EngineKind::VmDecoded => "vm-decoded",
+            EngineKind::VmFused => "vm-fused",
         }
     }
 
@@ -74,7 +77,7 @@ impl EngineKind {
     pub fn family(self) -> EngineFamily {
         match self {
             EngineKind::Sem | EngineKind::SemResolved => EngineFamily::Sem,
-            EngineKind::Vm | EngineKind::VmDecoded => EngineFamily::Vm,
+            EngineKind::Vm | EngineKind::VmDecoded | EngineKind::VmFused => EngineFamily::Vm,
         }
     }
 
@@ -85,6 +88,7 @@ impl EngineKind {
             "sem-resolved" => EngineKind::SemResolved,
             "vm" => EngineKind::Vm,
             "vm-decoded" => EngineKind::VmDecoded,
+            "vm-fused" => EngineKind::VmFused,
             other => return Err(format!("unknown engine `{other}`")),
         })
     }
@@ -333,6 +337,7 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
     struct Group {
         key: SourceKey,
         want_decoded: bool,
+        want_fused: bool,
         want_resolved: bool,
     }
     let mut groups: Vec<Group> = Vec::new();
@@ -344,11 +349,13 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
             groups.push(Group {
                 key,
                 want_decoded: false,
+                want_fused: false,
                 want_resolved: false,
             });
             groups.len() - 1
         });
         groups[g].want_decoded |= spec.engine == EngineKind::VmDecoded;
+        groups[g].want_fused |= spec.engine == EngineKind::VmFused;
         groups[g].want_resolved |= spec.engine == EngineKind::SemResolved;
         group_of.push(g);
     }
@@ -358,6 +365,7 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
         let grp = &groups[g];
         let r = match grp.key.family {
             EngineFamily::Sem => cache.program(&grp.key).map(|_| ()),
+            EngineFamily::Vm if grp.want_fused => cache.fused(&grp.key).map(|_| ()),
             EngineFamily::Vm if grp.want_decoded => cache.decoded(&grp.key).map(|_| ()),
             EngineFamily::Vm => cache.vm_code(&grp.key).map(|_| ()),
         };
@@ -536,6 +544,17 @@ fn execute(
                 Err(e) => return RunObs::failed("compile-error", e),
             };
             let mut t = VmThread::with_sink_shared_decoded_in(&vp, dec, NopSink, &mut arenas.vm);
+            t.machine.set_governor(governor(spec));
+            let obs = run_vm_job(spec, &mut t, &vp.image);
+            t.into_machine().recycle_into(&mut arenas.vm);
+            obs
+        }
+        EngineKind::VmFused => {
+            let (vp, fu) = match cache.fused(&key) {
+                Ok(x) => x,
+                Err(e) => return RunObs::failed("compile-error", e),
+            };
+            let mut t = VmThread::with_sink_shared_fused_in(&vp, fu, NopSink, &mut arenas.vm);
             t.machine.set_governor(governor(spec));
             let obs = run_vm_job(spec, &mut t, &vp.image);
             t.into_machine().recycle_into(&mut arenas.vm);

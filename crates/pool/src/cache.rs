@@ -9,10 +9,11 @@
 //! | `Program` | CFG after the configured optimization pipeline | `cmm-cfg` + `cmm-opt` |
 //! | `VmCode`  | compiled `VmProgram` | `cmm-vm` codegen |
 //! | `Decoded` | pre-decoded instruction array | `cmm-vm` decode |
+//! | `Fused`   | fused superinstruction stream | `cmm-vm` fuse |
 //!
 //! The digest covers the raw source bytes, the [`OptOptions`], and the
 //! engine *family* ([`EngineFamily`]): the two abstract-machine engines
-//! share one artifact chain, the two simulated-target engines another.
+//! share one artifact chain, the three simulated-target engines another.
 //! See [`crate::digest`] for why the source is hashed byte-exactly.
 //!
 //! **Sharding.** The map is lock-striped into [`SHARDS`] buckets keyed
@@ -49,21 +50,21 @@ use cmm_cfg::Program;
 use cmm_ir::Module;
 use cmm_obs::{CacheSnapshot, ShardedCacheStats};
 use cmm_opt::OptOptions;
-use cmm_vm::{DecodedCode, VmProgram};
+use cmm_vm::{DecodedCode, FusedCode, VmProgram};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Which artifact chain a job needs: the abstract machines (`sem`,
 /// `sem-resolved`) execute the CFG [`Program`]; the simulated targets
-/// (`vm`, `vm-decoded`) execute [`VmProgram`] code. The family is a
-/// digest input, so the chains never alias.
+/// (`vm`, `vm-decoded`, `vm-fused`) execute [`VmProgram`] code. The
+/// family is a digest input, so the chains never alias.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EngineFamily {
     /// Abstract-machine chain (stops at [`Stage::Program`]).
     Sem,
     /// Simulated-target chain (extends to [`Stage::VmCode`] /
-    /// [`Stage::Decoded`]).
+    /// [`Stage::Decoded`] / [`Stage::Fused`]).
     Vm,
 }
 
@@ -137,6 +138,8 @@ pub enum Stage {
     VmCode,
     /// Pre-decoded instruction array.
     Decoded,
+    /// Fused superinstruction stream (built over [`Stage::Decoded`]).
+    Fused,
 }
 
 /// A memoized artifact. All variants are cheap-to-clone `Arc`s.
@@ -150,6 +153,8 @@ pub enum Artifact {
     VmCode(Arc<VmProgram>),
     /// [`Stage::Decoded`].
     Decoded(Arc<DecodedCode>),
+    /// [`Stage::Fused`].
+    Fused(Arc<FusedCode>),
 }
 
 impl Artifact {
@@ -170,6 +175,11 @@ impl Artifact {
                 512 + 32 * vp.code.len() as u64 + 24 * vp.image.bytes.len() as u64
             }
             Artifact::Decoded(d) => 64 + 48 * d.insts.len() as u64,
+            // The fused stream keeps its own 16-byte insts plus an Arc
+            // to the plain decoded stream it retains for fuel tails;
+            // the latter is shared with the Decoded entry, so only the
+            // fused array is charged here.
+            Artifact::Fused(f) => 64 + 16 * f.insts.len() as u64,
         }
     }
 }
@@ -485,6 +495,21 @@ impl PipelineCache {
         })?;
         match art {
             Artifact::Decoded(d) => Ok((vp, d)),
+            _ => unreachable!("stage key mismatch"),
+        }
+    }
+
+    /// The compiled program together with its fused superinstruction
+    /// stream. Builds on [`PipelineCache::decoded`]: the fused stream
+    /// retains the decoded stream, so a batch wanting both pays for
+    /// one decode.
+    pub fn fused(&self, key: &SourceKey) -> Result<(Arc<VmProgram>, Arc<FusedCode>), String> {
+        let (vp, dec) = self.decoded(key)?;
+        let art = self.get_or_build(key.digest(), Stage::Fused, || {
+            Ok(Artifact::Fused(Arc::new(FusedCode::fuse(&vp, dec.clone()))))
+        })?;
+        match art {
+            Artifact::Fused(f) => Ok((vp, f)),
             _ => unreachable!("stage key mismatch"),
         }
     }

@@ -41,6 +41,7 @@ pub mod codegen;
 pub mod decode;
 pub mod disasm;
 pub mod frame;
+pub mod fuse;
 pub mod isa;
 pub mod machine;
 pub mod mem;
@@ -49,6 +50,7 @@ pub mod runtime;
 pub use arch::ArchProfile;
 pub use codegen::{compile, CodegenError, VmProgram};
 pub use decode::{DInst, DOp, DecodedCode};
+pub use fuse::{FInst, FOp, FusedCode};
 pub use isa::{Inst, Reg};
 pub use machine::{Cost, VmArena, VmMachine, VmStatus};
 pub use runtime::VmThread;

@@ -2,6 +2,7 @@
 
 use crate::codegen::{TraceSite, VmProgram};
 use crate::decode::DecodedCode;
+use crate::fuse::FusedCode;
 use crate::isa::{regs, Inst};
 use crate::mem::Memory;
 use cmm_chaos::{LimitTrip, ResourceGovernor};
@@ -92,6 +93,10 @@ pub struct VmMachine<'p, S: TraceSink = NopSink> {
     /// instead of the original `Inst` array (see [`crate::decode`]).
     /// Shared so cloning a machine shares the lowering.
     decoded: Option<Arc<DecodedCode>>,
+    /// When present, `run` executes over this fused superinstruction
+    /// stream (see [`crate::fuse`]); takes precedence over `decoded`.
+    /// Shared so cloning a machine shares the lowering.
+    fused: Option<Arc<FusedCode>>,
     /// Optional `cmm-chaos` resource governor. In this family the stack
     /// limit is a floor on `sp` (activation records live in simulated
     /// memory) and the memory cap counts mapped page bytes.
@@ -121,6 +126,22 @@ impl<'p> VmMachine<'p> {
     /// `program`.
     pub fn new_shared_decoded(program: &'p VmProgram, decoded: Arc<DecodedCode>) -> VmMachine<'p> {
         VmMachine::with_sink_shared_decoded(program, decoded, NopSink)
+    }
+
+    /// Creates a machine that executes via the fused engine: the
+    /// instruction stream is decoded and then fused once (see
+    /// [`crate::fuse`]) and `run` dispatches whole superinstruction
+    /// windows. Observable behaviour is identical to
+    /// [`VmMachine::new`]; only the step loop differs.
+    pub fn new_fused(program: &'p VmProgram) -> VmMachine<'p> {
+        VmMachine::with_sink_fused(program, NopSink)
+    }
+
+    /// [`VmMachine::new_fused`] over an *already fused* stream, e.g.
+    /// one memoized by `cmm-pool`'s compilation cache. `fused` must
+    /// come from [`FusedCode::fuse`] on this same `program`.
+    pub fn new_shared_fused(program: &'p VmProgram, fused: Arc<FusedCode>) -> VmMachine<'p> {
+        VmMachine::with_sink_shared_fused(program, fused, NopSink)
     }
 }
 
@@ -188,6 +209,7 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
             status: VmStatus::Idle,
             expected_results: 0,
             decoded: None,
+            fused: None,
             governor: None,
             sink,
         }
@@ -247,6 +269,37 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
     ) -> VmMachine<'p, S> {
         let mut m = VmMachine::with_sink_in(program, sink, arena);
         m.decoded = Some(decoded);
+        m
+    }
+
+    /// Creates a fused machine emitting trace events into `sink` (see
+    /// [`VmMachine::new_fused`]).
+    pub fn with_sink_fused(program: &'p VmProgram, sink: S) -> VmMachine<'p, S> {
+        let plain = Arc::new(DecodedCode::decode(program));
+        let fused = Arc::new(FusedCode::fuse(program, plain));
+        VmMachine::with_sink_shared_fused(program, fused, sink)
+    }
+
+    /// Creates a tracing fused machine over a shared, already fused
+    /// stream (see [`VmMachine::new_shared_fused`]).
+    pub fn with_sink_shared_fused(
+        program: &'p VmProgram,
+        fused: Arc<FusedCode>,
+        sink: S,
+    ) -> VmMachine<'p, S> {
+        VmMachine::with_sink_shared_fused_in(program, fused, sink, &mut VmArena::new())
+    }
+
+    /// [`VmMachine::with_sink_shared_fused`] drawing the machine's
+    /// heap structures from `arena` (see [`VmMachine::with_sink_in`]).
+    pub fn with_sink_shared_fused_in(
+        program: &'p VmProgram,
+        fused: Arc<FusedCode>,
+        sink: S,
+        arena: &mut VmArena,
+    ) -> VmMachine<'p, S> {
+        let mut m = VmMachine::with_sink_in(program, sink, arena);
+        m.fused = Some(fused);
         m
     }
 
@@ -323,6 +376,11 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
         self.decoded.is_some()
     }
 
+    /// True if this machine runs over the fused stream.
+    pub fn is_fused(&self) -> bool {
+        self.fused.is_some()
+    }
+
     /// Current status.
     pub fn status(&self) -> &VmStatus {
         &self.status
@@ -386,6 +444,10 @@ impl<'p, S: TraceSink> VmMachine<'p, S> {
             Some(g) => g.slice(fuel),
             None => fuel,
         };
+        if let Some(fused) = &self.fused {
+            let fused = Arc::clone(fused);
+            return self.run_fused(&fused, fuel);
+        }
         if let Some(decoded) = &self.decoded {
             let decoded = Arc::clone(decoded);
             return self.run_decoded(&decoded, fuel);

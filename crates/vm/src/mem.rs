@@ -1,12 +1,27 @@
 //! Paged byte-addressed memory.
 
 use cmm_ir::Width;
-use std::collections::HashMap;
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+// A 32-bit address splits into a 10-bit root index, a 10-bit leaf
+// index, and a 12-bit page offset.
+const LEAF_BITS: u32 = 10;
+const LEAF_LEN: usize = 1 << LEAF_BITS;
+const ROOT_LEN: usize = 1 << (32 - PAGE_BITS - LEAF_BITS);
+
+type Page = Box<[u8; PAGE_SIZE]>;
+type Leaf = [Option<Page>; LEAF_LEN];
+
+const EMPTY_PAGE: Option<Page> = None;
+const EMPTY_LEAF: Option<Box<Leaf>> = None;
 
 /// Sparse little-endian memory. Unmapped bytes read as zero.
+///
+/// Pages live in a two-level table indexed directly by address bits, so
+/// the load/store hot path is two dependent indexed reads — no hashing.
+/// Leaf tables are allocated on demand (one per mapped 4 MiB region)
+/// and, like the page pool below, are invisible to every observation.
 ///
 /// Carries a private **page pool**: [`Memory::recycle`] unmaps every
 /// page but banks the allocations, and subsequent writes draw from the
@@ -15,21 +30,34 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// (the `cmm-chaos` footprint figure) see only mapped pages — which is
 /// what lets a batch worker reuse one `Memory` across jobs without
 /// perturbing governed runs.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    roots: Box<[Option<Box<Leaf>>; ROOT_LEN]>,
+    mapped_pages: usize,
     /// Zeroed pages banked by [`Memory::recycle`].
-    pool: Vec<Box<[u8; PAGE_SIZE]>>,
+    pool: Vec<Page>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory {
+            roots: Box::new([EMPTY_LEAF; ROOT_LEN]),
+            mapped_pages: 0,
+            pool: Vec::new(),
+        }
+    }
 }
 
 impl Clone for Memory {
     /// Clones the mapped contents. The recycle pool is not observable
     /// state and stays with the original.
     fn clone(&self) -> Memory {
-        Memory {
-            pages: self.pages.clone(),
-            pool: Vec::new(),
+        let mut m = Memory::default();
+        for (key, page) in self.iter_pages() {
+            *m.slot_mut(key) = Some(page.clone());
         }
+        m.mapped_pages = self.mapped_pages;
+        m
     }
 }
 
@@ -39,37 +67,73 @@ impl Memory {
         Memory::default()
     }
 
+    /// Mapped pages in address order, with their page keys.
+    fn iter_pages(&self) -> impl Iterator<Item = (u32, &Page)> {
+        self.roots.iter().enumerate().flat_map(|(i, leaf)| {
+            leaf.iter().flat_map(move |l| {
+                l.iter().enumerate().filter_map(move |(j, p)| {
+                    p.as_ref().map(|p| (((i << LEAF_BITS) | j) as u32, p))
+                })
+            })
+        })
+    }
+
+    /// The table slot for page `key`, allocating its leaf on demand.
+    fn slot_mut(&mut self, key: u32) -> &mut Option<Page> {
+        let leaf = self.roots[(key >> LEAF_BITS) as usize]
+            .get_or_insert_with(|| Box::new([EMPTY_PAGE; LEAF_LEN]));
+        &mut leaf[(key as usize) & (LEAF_LEN - 1)]
+    }
+
+    /// The mapped page holding `addr`, if any.
+    #[inline]
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        let key = addr >> PAGE_BITS;
+        match &self.roots[(key >> LEAF_BITS) as usize] {
+            Some(leaf) => leaf[(key as usize) & (LEAF_LEN - 1)].as_deref(),
+            None => None,
+        }
+    }
+
     /// Bytes of mapped pages — the footprint figure the `cmm-chaos`
     /// resource governor caps in this engine family.
     pub fn mapped_bytes(&self) -> usize {
-        self.pages.len() * PAGE_SIZE
+        self.mapped_pages * PAGE_SIZE
     }
 
     /// Unmaps every page but keeps the allocations for reuse. The
     /// result is observationally a fresh `Memory::new()` — every byte
     /// reads zero, `mapped_bytes` is `0`, `snapshot` is empty — and a
     /// later write maps a banked (re-zeroed) page instead of
-    /// allocating one.
+    /// allocating one. Leaf tables stay allocated; they hold no bytes.
     pub fn recycle(&mut self) {
-        for (_, mut page) in self.pages.drain() {
-            page.fill(0);
-            self.pool.push(page);
+        for leaf in self.roots.iter_mut().flatten() {
+            for slot in leaf.iter_mut() {
+                if let Some(mut page) = slot.take() {
+                    page.fill(0);
+                    self.pool.push(page);
+                }
+            }
         }
+        self.mapped_pages = 0;
     }
 
     /// The mapped-or-banked page for `addr`, mapping one on demand.
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
         let key = addr >> PAGE_BITS;
-        if !self.pages.contains_key(&key) {
-            let page = self.pool.pop().unwrap_or_else(|| Box::new([0; PAGE_SIZE]));
-            self.pages.insert(key, page);
-        }
-        self.pages.get_mut(&key).expect("just mapped")
+        let pool = &mut self.pool;
+        let mapped = &mut self.mapped_pages;
+        let leaf = self.roots[(key >> LEAF_BITS) as usize]
+            .get_or_insert_with(|| Box::new([EMPTY_PAGE; LEAF_LEN]));
+        leaf[(key as usize) & (LEAF_LEN - 1)].get_or_insert_with(|| {
+            *mapped += 1;
+            pool.pop().unwrap_or_else(|| Box::new([0; PAGE_SIZE]))
+        })
     }
 
     /// Reads one byte.
     pub fn read_u8(&self, addr: u32) -> u8 {
-        match self.pages.get(&(addr >> PAGE_BITS)) {
+        match self.page(addr) {
             Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
             None => 0,
         }
@@ -118,7 +182,7 @@ impl Memory {
         if off + n > PAGE_SIZE {
             return self.read(w, addr);
         }
-        match self.pages.get(&(addr >> PAGE_BITS)) {
+        match self.page(addr) {
             Some(p) => {
                 let mut v = 0u64;
                 for i in 0..n {
@@ -149,13 +213,11 @@ impl Memory {
     /// Two memories with equal snapshots are observationally equal
     /// (unmapped bytes read as zero), whatever their page layout.
     pub fn snapshot(&self) -> Vec<(u32, u8)> {
-        let mut pages: Vec<_> = self.pages.iter().collect();
-        pages.sort_by_key(|(&k, _)| k);
         let mut out = Vec::new();
-        for (&k, p) in pages {
+        for (key, p) in self.iter_pages() {
             for (i, &b) in p.iter().enumerate() {
                 if b != 0 {
-                    out.push(((k << PAGE_BITS) | i as u32, b));
+                    out.push(((key << PAGE_BITS) | i as u32, b));
                 }
             }
         }
@@ -210,6 +272,15 @@ mod tests {
     }
 
     #[test]
+    fn high_addresses_round_trip() {
+        // The top of the address space exercises the last root slot.
+        let mut m = Memory::new();
+        m.write(Width::W64, u32::MAX - 8, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read(Width::W64, u32::MAX - 8), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.mapped_bytes(), PAGE_SIZE);
+    }
+
+    #[test]
     fn wide_accessors_match_byte_loop_everywhere() {
         // Including the cross-page boundary, where the wide path falls
         // back to the byte loop.
@@ -229,6 +300,16 @@ mod tests {
         // Unmapped pages read zero through the wide path too.
         let m = Memory::new();
         assert_eq!(m.read_wide(Width::W64, 0x5000), 0);
+    }
+
+    #[test]
+    fn clone_copies_mapped_contents_only() {
+        let mut m = Memory::new();
+        m.write32(0x10, 7);
+        m.write32(0x8000_0000, 9);
+        let c = m.clone();
+        assert_eq!(c.snapshot(), m.snapshot());
+        assert_eq!(c.mapped_bytes(), m.mapped_bytes());
     }
 
     #[test]

@@ -95,6 +95,12 @@ impl<'p> VmThread<'p> {
     pub fn new_decoded(program: &'p VmProgram) -> VmThread<'p> {
         VmThread::with_sink_decoded(program, NopSink)
     }
+
+    /// Creates a thread whose machine runs the fused engine (see
+    /// [`crate::fuse`]). The runtime interface is engine-agnostic.
+    pub fn new_fused(program: &'p VmProgram) -> VmThread<'p> {
+        VmThread::with_sink_fused(program, NopSink)
+    }
 }
 
 impl<'p, S: TraceSink> VmThread<'p, S> {
@@ -133,6 +139,30 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
         }
     }
 
+    /// Creates a tracing thread over the fused engine (see
+    /// [`VmThread::new_fused`]).
+    pub fn with_sink_fused(program: &'p VmProgram, sink: S) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_fused(program, sink),
+            pending: None,
+            chaos: None,
+        }
+    }
+
+    /// Creates a tracing thread over a shared, already fused stream
+    /// (see [`VmMachine::new_shared_fused`]).
+    pub fn with_sink_shared_fused(
+        program: &'p VmProgram,
+        fused: std::sync::Arc<crate::fuse::FusedCode>,
+        sink: S,
+    ) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_shared_fused(program, fused, sink),
+            pending: None,
+            chaos: None,
+        }
+    }
+
     /// [`VmThread::with_sink`] with the machine's heap structures drawn
     /// from `arena` (see [`VmMachine::with_sink_in`]).
     pub fn with_sink_in(
@@ -157,6 +187,21 @@ impl<'p, S: TraceSink> VmThread<'p, S> {
     ) -> VmThread<'p, S> {
         VmThread {
             machine: VmMachine::with_sink_shared_decoded_in(program, decoded, sink, arena),
+            pending: None,
+            chaos: None,
+        }
+    }
+
+    /// [`VmThread::with_sink_shared_fused`] with the machine's heap
+    /// structures drawn from `arena` (see [`VmMachine::with_sink_in`]).
+    pub fn with_sink_shared_fused_in(
+        program: &'p VmProgram,
+        fused: std::sync::Arc<crate::fuse::FusedCode>,
+        sink: S,
+        arena: &mut crate::machine::VmArena,
+    ) -> VmThread<'p, S> {
+        VmThread {
+            machine: VmMachine::with_sink_shared_fused_in(program, fused, sink, arena),
             pending: None,
             chaos: None,
         }
@@ -762,7 +807,9 @@ mod tests {
         let vp = compile_src(NEST);
         let stepped = drive(VmThread::new(&vp));
         let decoded = drive(VmThread::new_decoded(&vp));
+        let fused = drive(VmThread::new_fused(&vp));
         assert_eq!(stepped, decoded);
+        assert_eq!(stepped, fused);
         assert!(!stepped.is_empty(), "seed 7 should fire at least once");
     }
 }

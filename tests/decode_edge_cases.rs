@@ -1,15 +1,21 @@
-//! Edge cases for the pre-decoded/pre-resolved engines' *decode time*:
-//! shapes that stress index resolution rather than execution — empty
-//! procedures, continuations nothing ever targets, programs pushed past
-//! the small-index boundaries — plus the checked-in corpus reproducers
-//! replayed on the new engines.
+//! Edge cases for the pre-decoded/pre-resolved/fused engines' *decode
+//! time*: shapes that stress index resolution and window formation
+//! rather than execution — empty procedures, continuations nothing
+//! ever targets, programs pushed past the small-index boundaries,
+//! fusable sequences split by control-flow boundaries — plus the
+//! checked-in corpus reproducers replayed on the new engines, and a
+//! golden disassembly table covering every fused opcode.
 //!
 //! Each case asserts the new engine's observation equals the reference
 //! engine's, using the `cmm-difftest` oracle observers.
 
 use cmm_cfg::Program;
-use cmm_difftest::{observe_sem, observe_sem_resolved, observe_vm, observe_vm_decoded, Limits};
+use cmm_difftest::{
+    observe_sem, observe_sem_resolved, observe_vm, observe_vm_decoded, observe_vm_fused, Limits,
+};
+use cmm_vm::{DInst, DOp, DecodedCode, FInst, FOp, FusedCode, VmProgram};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 fn build(src: &str) -> Program {
     let module = cmm_parse::parse_module(src).expect("program parses");
@@ -40,6 +46,56 @@ fn engines_agree(src: &str, args: (u32, u32)) {
         vm_ref.describe(&vm_ref_detail),
         decoded.describe(&detail)
     );
+    let (fused, detail) = observe_vm_fused(&vp, args, &limits);
+    assert_eq!(
+        fused,
+        vm_ref,
+        "fused vm diverged: reference {}, observed {}",
+        vm_ref.describe(&vm_ref_detail),
+        fused.describe(&detail)
+    );
+}
+
+/// Compiles `src` and returns its decoded and fused streams for
+/// structural assertions on window formation.
+fn streams(src: &str) -> (VmProgram, Arc<DecodedCode>, FusedCode) {
+    let prog = build(src);
+    let vp = cmm_vm::compile(&prog).expect("program compiles");
+    let plain = Arc::new(DecodedCode::decode(&vp));
+    let fused = FusedCode::fuse(&vp, plain.clone());
+    (vp, plain, fused)
+}
+
+/// Every statically-visible control transfer target (branch, jump,
+/// call) in `plain`.
+fn static_targets(plain: &DecodedCode) -> Vec<u32> {
+    plain
+        .insts
+        .iter()
+        .filter_map(|i: &DInst| match i.op {
+            DOp::Bz | DOp::Bnz | DOp::Jmp | DOp::Call => Some(i.imm),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Asserts no fused window absorbs any of `targets` as an interior:
+/// a transfer must always land on a window head, or execution would
+/// teleport into the middle of a superinstruction.
+fn assert_targets_are_window_heads(fused: &FusedCode, targets: &[u32]) {
+    for (pc, fi) in fused.insts.iter().enumerate() {
+        if fi.n <= 1 {
+            continue;
+        }
+        for &t in targets {
+            let t = t as usize;
+            assert!(
+                !(pc < t && t < pc + fi.n as usize),
+                "target {t} is an interior of the window at {pc} (width {})",
+                fi.n
+            );
+        }
+    }
 }
 
 /// Procedures whose bodies are a bare `return;` decode to the minimal
@@ -165,4 +221,182 @@ fn corpus_replay_is_clean() {
         report.failures[0].path.display(),
         report.failures[0].failure
     );
+}
+
+/// A fusable `li`/`mov` pair whose second half is also a `goto` target:
+/// the basic-block boundary must split the pair — the loop-head target
+/// keeps its own dispatch slot — while the engines still agree
+/// observation-for-observation.
+#[test]
+fn fusable_pairs_split_across_block_boundaries() {
+    let src = r#"
+        f(bits32 a, bits32 b) {
+            bits32 c, i;
+            c = 1;
+            i = a;
+          loop:
+            c = (c + 3) & 65535;
+            i = i - 1;
+            if i > 0 { goto loop; }
+            return (c + b);
+        }
+    "#;
+    let (_vp, plain, fused) = streams(src);
+    let targets = static_targets(&plain);
+    assert!(!targets.is_empty(), "expected a backward branch");
+    assert!(
+        fused.insts.iter().any(|i| i.n > 1),
+        "expected the loop body to fuse"
+    );
+    assert_targets_are_window_heads(&fused, &targets);
+    engines_agree(src, (9, 4));
+}
+
+/// Branch targets landing mid-pattern suppress fusion on a shape the
+/// fuser would otherwise collapse greedily: straight-line arithmetic
+/// whose middle instruction is a branch target. Observed behaviour
+/// must match the reference on both the fall-through and the taken
+/// path.
+#[test]
+fn branch_targets_mid_pattern_suppress_fusion() {
+    let src = r#"
+        f(bits32 a, bits32 b) {
+            bits32 c, d;
+            c = (a + 1) & 65535;
+            if b > 2 { goto mid; }
+            c = (c * 3) & 65535;
+          mid:
+            d = (c + 5) & 65535;
+            c = (d * 7) & 65535;
+            return (c + d);
+        }
+    "#;
+    let (_vp, plain, fused) = streams(src);
+    assert_targets_are_window_heads(&fused, &static_targets(&plain));
+    engines_agree(src, (9, 1));
+    engines_agree(src, (9, 4));
+}
+
+/// A continuation parameter filled through `FindContParam` stays live
+/// across a fused window in the continuation body: the first thing the
+/// body does with the filled value is fusable arithmetic.
+#[test]
+fn continuation_params_live_across_fused_window() {
+    let src = r#"
+        g0(bits32 x, bits32 kk) {
+            if x > 9 { cut to kk(x - 1); } else { return (x + 1); }
+        }
+        f(bits32 a, bits32 b) {
+            bits32 c, t;
+            c = (a + 3) & 65535;
+            yield(2) also aborts;
+            t = g0(15, kc) also cuts to kc also aborts;
+            return (c + t);
+            continuation kc(t):
+            c = (t + 1) & 65535;
+            c = (c * 3) + t;
+            c = (c + t) & 65535;
+            return (c + b);
+        }
+    "#;
+    let (_vp, _plain, fused) = streams(src);
+    assert!(
+        fused.insts.iter().any(|i| i.n > 1),
+        "expected the continuation body to fuse"
+    );
+    engines_agree(src, (15, 4));
+}
+
+/// Golden disassembly for **every** fused opcode: one representative
+/// `FInst` per window-forming `FOp` variant, rendered through
+/// `fused_inst_to_string`. Plain mirrors fall through to the original
+/// instruction's rendering and are covered by the final case. Registers
+/// 1..=8 render as t0..t6 and a0.
+#[test]
+fn disasm_goldens_cover_every_fused_opcode() {
+    use cmm_vm::disasm::fused_inst_to_string;
+    let fi = |op, sel, a, b, c, d, n, imm, imm2| FInst {
+        op,
+        sel,
+        a,
+        b,
+        c,
+        d,
+        n,
+        imm,
+        imm2,
+    };
+    let add = DOp::Add32;
+    let eq = DOp::Eq32;
+    #[rustfmt::skip]
+    let goldens: Vec<(FInst, &str)> = vec![
+        (fi(FOp::CmpBz, eq, 1, 2, 3, 0, 2, 0, 7), "eq.bz t0, t1, t2, 7"),
+        (fi(FOp::CmpBnz, eq, 1, 2, 3, 0, 2, 0, 7), "eq.bnz t0, t1, t2, 7"),
+        (fi(FOp::LiCmpBz, eq, 1, 2, 0, 0, 3, 0x2a, 7), "li.eq.bz t0, t1, 0x2a, 7"),
+        (fi(FOp::LiCmpBnz, eq, 1, 2, 0, 0, 3, 0x2a, 7), "li.eq.bnz t0, t1, 0x2a, 7"),
+        (fi(FOp::AluJmp, add, 1, 2, 3, 0, 2, 0, 7), "add.jmp t0, t1, t2, 7"),
+        (fi(FOp::AddiStore32, DOp::Addi, 1, 2, 0, 4, 2, 5, 12), "addi.st32 t0, t1, 5, 12(t3)"),
+        (fi(FOp::MovCall, DOp::Mov, 1, 2, 0, 0, 2, 0, 9), "mov.call t0, t1, 9"),
+        (fi(FOp::RetJr, DOp::Jr, 1, 2, 0, 4, 3, 8, 4), "ld32.addi.jr t0, 8(t1), 4, +4"),
+        (fi(FOp::CutJr, DOp::Jr, 1, 2, 0, 0, 2, 0, 0), "cutjr t0, (t1)"),
+        (fi(FOp::MovMov, DOp::Mov, 1, 2, 3, 4, 2, 0, 0), "mov.mov t0, t1; t2, t3"),
+        (fi(FOp::MovLi, DOp::Mov, 1, 2, 3, 0, 2, 0, 0x2a), "mov.li t0, t1; t2, 0x2a"),
+        (fi(FOp::MovLoad32, DOp::Mov, 1, 2, 3, 4, 2, 0, 12), "mov.ld32 t0, t1; t2, 12(t3)"),
+        (fi(FOp::MovStore32, DOp::Mov, 1, 2, 3, 4, 2, 0, 12), "mov.st32 t0, t1; t2, 12(t3)"),
+        (fi(FOp::LiMov, DOp::Li, 1, 0, 3, 4, 2, 0x2a, 0), "li.mov t0, 0x2a; t2, t3"),
+        (fi(FOp::LiStore32, DOp::Li, 1, 0, 3, 4, 2, 0x2a, 12), "li.st32 t0, 0x2a; t2, 12(t3)"),
+        (fi(FOp::LiBin32, add, 1, 2, 3, 4, 2, 0x2a, 0), "li.add t0, 0x2a; t3, t1, t2"),
+        (fi(FOp::Load32Mov, DOp::Load32, 1, 2, 3, 4, 2, 8, 0), "ld32.mov t0, 8(t1); t2, t3"),
+        (fi(FOp::Load32Li, DOp::Load32, 1, 2, 3, 0, 2, 8, 0x2a), "ld32.li t0, 8(t1); t2, 0x2a"),
+        (fi(FOp::Load32Load32, DOp::Load32, 1, 2, 3, 4, 2, 8, 12), "ld32.ld32 t0, 8(t1); t2, 12(t3)"),
+        (fi(FOp::Load32Addi, DOp::Load32, 1, 2, 3, 4, 2, 8, 5), "ld32.addi t0, 8(t1); t2, t3, 5"),
+        (fi(FOp::Load32Store32, DOp::Load32, 1, 2, 3, 4, 2, 8, 12), "ld32.st32 t0, 8(t1); t2, 12(t3)"),
+        (fi(FOp::Store32Mov, DOp::Store32, 1, 2, 3, 4, 2, 8, 0), "st32.mov t0, 8(t1); t2, t3"),
+        (fi(FOp::Store32Li, DOp::Store32, 1, 2, 3, 0, 2, 8, 0x2a), "st32.li t0, 8(t1); t2, 0x2a"),
+        (fi(FOp::Store32Store32, DOp::Store32, 1, 2, 3, 4, 2, 8, 12), "st32.st32 t0, 8(t1); t2, 12(t3)"),
+        (fi(FOp::Bin32Store32, add, 1, 2, 3, 4, 2, 0, 12), "add.st32 t0, t1, t2; 12(t3)"),
+        (fi(FOp::Bin32Load32, add, 1, 2, 3, 4, 2, 0, 12), "add.ld32 t0, t1, t2; t3, 12(t0)"),
+        (fi(FOp::Bin32Mov, add, 1, 2, 3, 4, 2, 0, 0), "add.mov t0, t1, t2; t3"),
+        (fi(FOp::MovAddi, DOp::Mov, 1, 2, 3, 4, 2, 0, 5), "mov.addi t0, t1; t2, t3, 5"),
+        (fi(FOp::Store32Load32, DOp::Store32, 1, 2, 3, 4, 2, 8, 12), "st32.ld32 t0, 8(t1); t2, 12(t3)"),
+        (fi(FOp::AddiJr, DOp::Addi, 1, 2, 3, 4, 2, 5, 0), "addi.jr t0, t1, 5; t2+4"),
+        (fi(FOp::Mov3, DOp::Mov, 1, 2, 3, 4, 3, 5 | 6 << 8, 0), "mov.mov.mov t0, t1; t2, t3; t4, t5"),
+        (fi(FOp::Mov4, DOp::Mov, 1, 2, 3, 4, 4, 5 | 6 << 8, 7 | 8 << 8), "mov.mov.mov.mov t0, t1; t2, t3; t4, t5; t6, a0"),
+        (fi(FOp::Load32LiBin32, add, 1, 2, 3, 4, 3, 8, 0x2a), "ld32.li.add t0, 8(t1); t2, 0x2a; t3"),
+        (fi(FOp::MovMovCall, DOp::Call, 1, 2, 3, 4, 3, 0, 9), "mov.mov.call t0, t1; t2, t3; 9"),
+        (fi(FOp::Load32MovCall, DOp::Call, 1, 2, 3, 4, 3, 8, 9), "ld32.mov.call t0, 8(t1); t2, t3; 9"),
+        (fi(FOp::Load32LiBin32Store32Mov, add, 1, 2, 3, 4, 5, 8 | 12 << 16, 0x2a | 5 << 16 | 6 << 24), "ld32.li.add.st32.mov t0, 8(t1); t2, 0x2a; t3; 12(t1); t4, t5"),
+        (fi(FOp::MovRun, DOp::Mov, 0, 0, 0, 0, 3, 2, 0), "mov.run x3, [2..5]"),
+        (fi(FOp::Store32MovLoad32LiBin32, add, 1, 2, 3, 4, 5, 8 | 12 << 16, 0x2a | 5 << 8 | 6 << 16 | 7 << 24), "st32.mov.ld32.li.add t0, 8(t1); t0, t2; t4, 12(t3); t5, 0x2a; t6"),
+        (fi(FOp::LiBin32Load32Mov, add, 1, 2, 3, 4, 4, 0x2a, 12 | 5 << 16 | 6 << 24), "li.add.ld32.mov t0, 0x2a; t3, t1, t2; t4, 12(t3); t5"),
+        (fi(FOp::LiBin32Mov, add, 1, 2, 3, 4, 3, 0x2a, 5), "li.add.mov t0, 0x2a; t3, t1, t2; t4"),
+        (fi(FOp::LiBin32MovJmp, add, 1, 2, 3, 4, 4, 0x2a, 9 | 5 << 24), "li.add.mov.jmp t0, 0x2a; t3, t1, t2; t4; 9"),
+        (fi(FOp::Load32Load32CmpBz, eq, 1, 2, 3, 4, 4, 8 | 12 << 16, 9 | 5 << 24), "ld32.ld32.eq.bz t0, 8(t1); t2, 12(t3); t4; 9"),
+        (fi(FOp::Load32LiBin32Store32Jmp, add, 1, 2, 3, 4, 5, 8 | 12 << 16, 9 | 0x2a << 24), "ld32.li.add.st32.jmp t0, 8(t1); t2, 0x2a; t3; 12(t1); 9"),
+        (fi(FOp::Load32MovLoad32MovCall, DOp::Call, 1, 2, 3, 4, 5, 8 | 12 << 16, 9 | 5 << 16 | 6 << 24), "ld32.mov.ld32.mov.call t0, 8(t1); t4; t2, 12(t3); t5; 9"),
+        (fi(FOp::Bin32Li, add, 1, 2, 3, 4, 2, 0, 0x2a), "add.li t0, t1, t2; t3, 0x2a"),
+        (fi(FOp::Load32AddiJmp, DOp::Addi, 1, 2, 3, 4, 3, 8 | 9 << 16, 5), "ld32.addi.jmp t0, 8(t1); t2, t3, 5; 9"),
+        (fi(FOp::WriteRun, DOp::Store32, 0, 0, 0, 3, 15, 2, 0), "write.run x3, [2..5]"),
+        (fi(FOp::ReadRun, DOp::Li, 0, 0, 0, 2, 8, 0, 0), "read.run x2, [0..2]"),
+        (fi(FOp::MovBin32Mov, add, 1, 2, 3, 4, 3, 5, 6), "mov.add.mov t0, t1; t3, t2, t4; t5"),
+    ];
+    assert_eq!(goldens.len(), 49, "one golden per fused opcode");
+    let original = cmm_vm::Inst::Halt;
+    for (f, want) in &goldens {
+        assert_eq!(
+            &fused_inst_to_string(f, &original),
+            want,
+            "golden mismatch for {:?}",
+            f.op
+        );
+    }
+    // Distinct opcodes — no variant is golden-tested twice in place of
+    // a missed one.
+    let mut ops: Vec<String> = goldens.iter().map(|(f, _)| format!("{:?}", f.op)).collect();
+    ops.sort();
+    ops.dedup();
+    assert_eq!(ops.len(), 49, "every golden names a distinct opcode");
+    // Plain slots fall through to the original instruction's rendering.
+    let plain_slot = fi(FOp::Halt, DOp::Halt, 0, 0, 0, 0, 1, 0, 0);
+    assert_eq!(fused_inst_to_string(&plain_slot, &original), "halt");
 }

@@ -1,6 +1,7 @@
 //! Engine-equivalence suite: the pre-resolved `cmm-sem` engine and the
-//! pre-decoded `cmm-vm` engine are run in **lockstep** with their
-//! reference step loops over programs from the `cmm-difftest` generator,
+//! pre-decoded and fused `cmm-vm` engines are run in **lockstep** with
+//! their reference step loops over programs from the `cmm-difftest`
+//! generator,
 //! comparing not just final results but every intermediate Table 1
 //! observation:
 //!
@@ -145,7 +146,10 @@ enum VmEnd {
     YieldBound,
 }
 
-fn drive_vm(t: &mut VmThread<'_>, args: (u32, u32)) -> (Vec<VmSuspension>, VmEnd, Vec<(u32, u8)>) {
+fn drive_vm<S: cmm_obs::TraceSink>(
+    t: &mut VmThread<'_, S>,
+    args: (u32, u32),
+) -> (Vec<VmSuspension>, VmEnd, Vec<(u32, u8)>) {
     let mut suspensions = Vec::new();
     let end = 'run: {
         t.start("f", &[u64::from(args.0), u64::from(args.1)], 1);
@@ -220,7 +224,7 @@ fn sem_engines_make_identical_observations() {
     }
 }
 
-/// The reference and pre-decoded simulated machines agree on
+/// The reference, pre-decoded, and fused simulated machines agree on
 /// `VmStatus`, yield sequences, activation walks, cont parameters, and
 /// final memory across the generator sweep.
 #[test]
@@ -237,10 +241,156 @@ fn vm_engines_make_identical_observations() {
         assert_eq!(
             decoded,
             reference,
-            "case {index} diverged:\n{}",
+            "case {index} diverged (decoded):\n{}",
+            case.render()
+        );
+        let fused = drive_vm(&mut VmThread::new_fused(&vp), case.args);
+        assert_eq!(
+            fused,
+            reference,
+            "case {index} diverged (fused):\n{}",
             case.render()
         );
     }
+}
+
+/// Fusion is observationally invisible: across a multi-seed generator
+/// sweep, the fused engine makes the decoded engine's exact Table 1
+/// observations, charges the decoded engine's exact cost-model totals,
+/// and emits the decoded engine's exact trace-event stream — timestamps
+/// included, since fused superinstructions charge their decoded
+/// constituents' costs before any observable transition. A seeded
+/// `(seed, index)` sweep in the proptest style, with no external
+/// property-testing dependency; shrunk counterexamples from this
+/// family's history are replayed below and recorded in
+/// `engine_equivalence.proptest-regressions`.
+#[test]
+fn fusion_is_observationally_invisible() {
+    use cmm_obs::RecordingSink;
+    for seed in [1u64, 2, 3] {
+        for index in 0..40 {
+            let case = case_for(seed, index);
+            let prog = build(&case.render());
+            let vp: VmProgram = match cmm_vm::compile(&prog) {
+                Ok(vp) => vp,
+                Err(e) => panic!("seed {seed} case {index} failed to compile: {e}"),
+            };
+            let mut dec = VmThread::with_sink_decoded(&vp, RecordingSink::default());
+            let mut fus = VmThread::with_sink_fused(&vp, RecordingSink::default());
+            let reference = drive_vm(&mut dec, case.args);
+            let fused = drive_vm(&mut fus, case.args);
+            assert_eq!(
+                fused,
+                reference,
+                "seed {seed} case {index} diverged:\n{}",
+                case.render()
+            );
+            assert_eq!(
+                fus.machine.cost,
+                dec.machine.cost,
+                "seed {seed} case {index}: fused cost diverged:\n{}",
+                case.render()
+            );
+            let want = dec.into_machine().into_sink().events;
+            let got = fus.into_machine().into_sink().events;
+            if got != want {
+                let i = want
+                    .iter()
+                    .zip(&got)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| want.len().min(got.len()));
+                panic!(
+                    "seed {seed} case {index}: trace diverged at event {i}: {:?} vs {:?}\n{}",
+                    want.get(i),
+                    got.get(i),
+                    case.render()
+                );
+            }
+        }
+    }
+}
+
+/// Replays the shrunk counterexample recorded in
+/// `engine_equivalence.proptest-regressions`: a straight-line chain
+/// long enough to fuse into wide windows, run at **every** fuel budget
+/// from 1 to completion. Fuel exhaustion inside a window must delegate
+/// the partial window to the decoded loop, so status, cost, and pc
+/// agree with the decoded engine at every boundary — the fused tier's
+/// one observable temptation to run ahead of its budget.
+#[test]
+fn regression_fuel_exhaustion_mid_window() {
+    let src = r#"
+        f(bits32 a, bits32 b) {
+            bits32 c, d;
+            c = (a + 1) & 65535;
+            d = (c * 3) + b;
+            c = (d + c) & 65535;
+            d = (c * 5) + a;
+            c = (d + c) & 65535;
+            return (c + d);
+        }
+    "#;
+    let prog = build(src);
+    let vp: VmProgram = cmm_vm::compile(&prog).expect("compiles");
+    // The shape must actually fuse, or the regression tests nothing.
+    let plain = std::sync::Arc::new(cmm_vm::DecodedCode::decode(&vp));
+    let fused_code = cmm_vm::FusedCode::fuse(&vp, plain);
+    assert!(
+        fused_code.insts.iter().any(|i| i.n > 1),
+        "expected at least one fused window"
+    );
+    let total = {
+        let mut m = cmm_vm::VmMachine::new_decoded(&vp);
+        m.start("f", &[9, 4], 1);
+        assert!(matches!(m.run(1_000_000), VmStatus::Halted(_)));
+        m.cost.instructions
+    };
+    for fuel in 1..=total {
+        let mut dec = cmm_vm::VmMachine::new_decoded(&vp);
+        dec.start("f", &[9, 4], 1);
+        let ds = dec.run(fuel);
+        let mut fus = cmm_vm::VmMachine::new_fused(&vp);
+        fus.start("f", &[9, 4], 1);
+        let fs = fus.run(fuel);
+        assert_eq!(fs, ds, "fuel {fuel}: status diverged");
+        assert_eq!(fus.cost, dec.cost, "fuel {fuel}: cost diverged");
+        assert_eq!(fus.pc, dec.pc, "fuel {fuel}: pc diverged");
+    }
+}
+
+/// Replays the shrunk counterexample recorded in
+/// `engine_equivalence.proptest-regressions`: a `cut to` lands on a
+/// continuation whose body sits mid-stream between two otherwise
+/// fusable instruction runs. The continuation entry must stay a window
+/// boundary — a window absorbing it would teleport the cut into the
+/// middle of a superinstruction.
+#[test]
+fn regression_cut_into_fusable_tail() {
+    let src = r#"
+        g0(bits32 x, bits32 kk) {
+            if x > 9 { cut to kk(x - 1); } else { return (x + 1); }
+        }
+        f(bits32 a, bits32 b) {
+            bits32 c, d, t;
+            c = (a + 3) & 65535;
+            d = (c * 7) + b;
+            t = g0(15, kc) also cuts to kc also aborts;
+            c = (c + t) & 65535;
+            d = (d + c) * 3;
+            return (c + d);
+            continuation kc(t):
+            c = (c + 100) & 65535;
+            d = (d + c) * 5;
+            return (c + (d + t));
+        }
+    "#;
+    let prog = build(src);
+    let vp: VmProgram = cmm_vm::compile(&prog).expect("compiles");
+    let reference = drive_vm(&mut VmThread::new_decoded(&vp), (15, 4));
+    let fused = drive_vm(&mut VmThread::new_fused(&vp), (15, 4));
+    assert_eq!(fused, reference);
+    let stepped = drive_vm(&mut VmThread::new(&vp), (15, 4));
+    assert_eq!(fused, stepped);
 }
 
 /// A handcrafted nest makes the walk-order observation legible: a yield
@@ -294,6 +444,7 @@ fn recycled_arenas_make_identical_observations() {
     use cmm_obs::NopSink;
     use cmm_sem::{Machine, ResolvedMachine, SemArena};
     use cmm_vm::VmArena;
+    use std::sync::Arc;
 
     let mut sem_arena = SemArena::new();
     let mut vm_arena = VmArena::new();
@@ -336,6 +487,19 @@ fn recycled_arenas_make_identical_observations() {
             recycled,
             fresh,
             "case {index}: recycled vm arena diverged:\n{}",
+            case.render()
+        );
+
+        let fresh = drive_vm(&mut VmThread::new_fused(&vp), case.args);
+        let plain = Arc::new(cmm_vm::DecodedCode::decode(&vp));
+        let stream = Arc::new(cmm_vm::FusedCode::fuse(&vp, plain));
+        let mut t = VmThread::with_sink_shared_fused_in(&vp, stream, NopSink, &mut vm_arena);
+        let recycled = drive_vm(&mut t, case.args);
+        t.into_machine().recycle_into(&mut vm_arena);
+        assert_eq!(
+            recycled,
+            fresh,
+            "case {index}: recycled fused vm arena diverged:\n{}",
             case.render()
         );
     }
