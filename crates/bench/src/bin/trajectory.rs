@@ -95,6 +95,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
             m.speedup()
         );
     }
+    // Fused-tier health at a glance: reported, never gated.
+    let regressed: Vec<&str> = measurements
+        .iter()
+        .filter(|m| m.fused_regression())
+        .map(|m| m.name.as_str())
+        .collect();
+    if regressed.is_empty() {
+        println!("fused tier: no regressions vs decoded");
+    } else {
+        println!(
+            "fused tier: {} regression(s) vs decoded: {}",
+            regressed.len(),
+            regressed.join(", ")
+        );
+    }
 
     println!(
         "chaos sweep {}x{}: {} halt, {} wrong, {} rts-error, {} fuel; {} fault(s) injected, {} quiet",

@@ -76,6 +76,14 @@ impl Measurement {
         }
         self.decoded_ns_per_iter as f64 / self.fused_ns_per_iter as f64
     }
+
+    /// True when the fused tier ran *slower* than the pre-decoded one
+    /// on this machine. Reported, never gated — wall-clock noise can
+    /// flip it — but surfacing it per row makes a persistent tier
+    /// regression visible at a glance in baseline diffs.
+    pub fn fused_regression(&self) -> bool {
+        self.fused_speedup() < 1.0
+    }
 }
 
 fn compile_cmm(src: &str) -> VmProgram {
@@ -609,6 +617,7 @@ fn pool_specs() -> Vec<cmm_pool::JobSpec> {
                     opts: OptOptions::default(),
                     fuel: 20_000_000,
                     max_yields: 64,
+                    chaos: None,
                 });
             }
         }
@@ -626,6 +635,7 @@ fn pool_specs() -> Vec<cmm_pool::JobSpec> {
                     opts: OptOptions::default(),
                     fuel: 20_000_000,
                     max_yields: 64,
+                    chaos: None,
                 });
             }
         }
@@ -675,6 +685,7 @@ pub fn run_pool_throughput(worker_counts: &[usize]) -> PoolThroughput {
             &BatchConfig {
                 workers,
                 queue_cap: 256,
+                ..BatchConfig::default()
             },
         );
         let elapsed = t0.elapsed().as_nanos().max(1);
@@ -753,7 +764,8 @@ pub fn to_json(
              \"dispatch\": {{ \"calls\": {}, \"tail_calls\": {}, \"returns\": {}, \
              \"abnormal_returns\": {}, \"cuts\": {}, \"yields\": {}, \"rts_ops\": {} }}, \
              \"old_ns_per_iter\": {}, \"decoded_ns_per_iter\": {}, \
-             \"fused_ns_per_iter\": {}, \"speedup\": {:.2}, \"fused_speedup\": {:.2} }}",
+             \"fused_ns_per_iter\": {}, \"speedup\": {:.2}, \"fused_speedup\": {:.2}, \
+             \"fused_regression\": {} }}",
             m.name,
             m.instructions,
             m.result,
@@ -768,7 +780,8 @@ pub fn to_json(
             m.decoded_ns_per_iter,
             m.fused_ns_per_iter,
             m.speedup(),
-            m.fused_speedup()
+            m.fused_speedup(),
+            m.fused_regression()
         );
         s.push_str(if i + 1 < measurements.len() {
             ",\n"
@@ -777,6 +790,15 @@ pub fn to_json(
         });
     }
     s.push_str("  ],\n");
+    // Summary of fused-tier regressions: bare name strings, so the
+    // baseline parser (which needs `"name": "` on the line) never
+    // mistakes this never-gated list for workload entries.
+    let regressed: Vec<String> = measurements
+        .iter()
+        .filter(|m| m.fused_regression())
+        .map(|m| format!("\"{}\"", m.name))
+        .collect();
+    let _ = writeln!(s, "  \"fused_regressions\": [{}],", regressed.join(", "));
     let _ = writeln!(
         s,
         "  \"chaos\": {{ \"cases\": {}, \"case_seed\": {}, \"fault_seed\": {}, \
@@ -975,6 +997,7 @@ mod tests {
             "\"fused_ns_per_iter\": 4",
             "\"speedup\": 2.00",
             "\"fused_speedup\": 1.25",
+            "\"fused_regression\": false",
         ] {
             let bumped = field.rsplit_once(' ').expect("field has a value").0;
             let faster = json.replace(field, &format!("{bumped} 999999"));
@@ -988,6 +1011,43 @@ mod tests {
         let tighter = json.replace("\"instructions\": 123", "\"instructions\": 122");
         let v = check_against_baseline(&parse_baseline(&tighter), &ms, 0.0);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn fused_regressions_are_flagged_per_row_and_summarized() {
+        // One healthy row, one where the fused tier lost to decoded.
+        let mk = |name: &str, decoded: u64, fused: u64| Measurement {
+            name: name.into(),
+            instructions: 10,
+            result: 0,
+            old_ns_per_iter: 20,
+            decoded_ns_per_iter: decoded,
+            fused_ns_per_iter: fused,
+            dispatch: EventCounts::default(),
+        };
+        let good = mk("good", 5, 4);
+        let bad = mk("bad", 4, 5);
+        assert!(!good.fused_regression());
+        assert!(bad.fused_regression());
+        // Zero fused time means "tier not measured", never a regression.
+        assert!(!mk("unmeasured", 5, 0).fused_regression());
+
+        let ms = vec![good, bad];
+        let pool = PoolThroughput {
+            jobs: 1,
+            clock: POOL_CLOCK,
+            total_cost: 1,
+            hit_rate_permille: 0,
+            rates: Vec::new(),
+        };
+        let json = to_json(1, &ms, &ChaosHistogram::default(), &pool);
+        assert!(json.contains("\"fused_regression\": false"), "{json}");
+        assert!(json.contains("\"fused_regression\": true"), "{json}");
+        assert!(json.contains("\"fused_regressions\": [\"bad\"],"), "{json}");
+        // The summary line must stay invisible to the baseline parser:
+        // only real workload rows carry `"name": ` + `"instructions": `.
+        let parsed = parse_baseline(&json);
+        assert_eq!(parsed, vec![("good".into(), 10), ("bad".into(), 10)]);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!          [--chaos] [--fault-seed S] [--schedules K]
 //! cmm fuzz --replay DIR               # re-run checked-in reproducers
 //! cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]
+//!           [--metrics-out F] [--postmortem-dir DIR]
+//! cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]
 //! ```
 //!
 //! `batch` executes a manifest of jobs (see `cmm-pool`'s docs for the
@@ -19,7 +21,18 @@
 //! content-addressed cache, and prints a JSON report. With
 //! `--no-timing` the report is byte-identical for every `-j`, which CI
 //! exploits; `--jobs N` likewise parallelizes `fuzz` without changing
-//! a byte of its report or corpus.
+//! a byte of its report or corpus. `--metrics-out` turns on the batch
+//! metrics registry and writes its JSON to a file (the batch report
+//! also gains a `metrics` section); `--postmortem-dir` additionally
+//! writes each failed job's flight-recorder dump to
+//! `DIR/job-<id>.txt`. Either flag runs the jobs through the flight
+//! recorder sink; without them the engines run through `NopSink`
+//! exactly as the perf trajectory measures.
+//!
+//! `metrics` is the observability view of the same runner: it executes
+//! the manifest with the registry on and prints Prometheus text
+//! exposition (or the registry JSON with `--json`), exiting zero even
+//! when jobs fail — failures are part of what it reports.
 //!
 //! `--chaos` additionally runs every generated case under K seeded
 //! Table 1 fault schedules (derived from `--fault-seed`), asserting the
@@ -329,6 +342,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let mut out: Option<String> = None;
             let mut timing = true;
             let mut cache_bytes: Option<u64> = None;
+            let mut metrics_out: Option<String> = None;
+            let mut postmortem_dir: Option<String> = None;
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--jobs" | "-j" => {
@@ -347,6 +362,13 @@ fn run(args: Vec<String>) -> Result<(), String> {
                                 .ok_or("--cache-bytes needs a number")?,
                         );
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?);
+                    }
+                    "--postmortem-dir" => {
+                        postmortem_dir =
+                            Some(args.next().ok_or("--postmortem-dir needs a directory")?);
+                    }
                     other => return Err(format!("unknown batch option `{other}`")),
                 }
             }
@@ -364,6 +386,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 &pool::BatchConfig {
                     workers: jobs,
                     queue_cap: 256,
+                    metrics: metrics_out.is_some() || postmortem_dir.is_some(),
+                    ..Default::default()
                 },
             );
             let json = report.to_json(timing);
@@ -372,6 +396,23 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
                 }
                 None => print!("{json}"),
+            }
+            if let Some(path) = &metrics_out {
+                let reg = report.registry.as_ref().expect("metrics enabled");
+                let mut m = reg.to_json(timing);
+                m.push('\n');
+                std::fs::write(path, &m).map_err(|e| format!("{path}: {e}"))?;
+            }
+            if let Some(dir) = &postmortem_dir {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                for pm in &report.postmortems {
+                    let path = format!("{dir}/job-{}.txt", pm.job_id);
+                    std::fs::write(&path, &pm.text).map_err(|e| format!("{path}: {e}"))?;
+                    eprintln!(
+                        "batch: post-mortem for job {} ({} [{}] {}) written to {path}",
+                        pm.job_id, pm.name, pm.engine, pm.outcome
+                    );
+                }
             }
             eprintln!(
                 "batch: {} job(s) at -j{jobs}, cache {}",
@@ -403,6 +444,68 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     failing.len()
                 ))
             }
+        }
+        "metrics" => {
+            let manifest = args.next().ok_or_else(usage)?;
+            let mut jobs = 1usize;
+            let mut json = false;
+            let mut timing = true;
+            let mut cache_bytes: Option<u64> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--jobs" | "-j" => {
+                        jobs = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--jobs needs a number >= 1")?;
+                    }
+                    "--json" => json = true,
+                    "--no-timing" => timing = false,
+                    "--cache-bytes" => {
+                        cache_bytes = Some(
+                            args.next()
+                                .and_then(|v| v.parse().ok())
+                                .ok_or("--cache-bytes needs a number")?,
+                        );
+                    }
+                    other => return Err(format!("unknown metrics option `{other}`")),
+                }
+            }
+            let specs = pool::load_manifest(manifest.as_ref())?;
+            if specs.is_empty() {
+                return Err(format!("{manifest}: no jobs"));
+            }
+            let cache = pool::PipelineCache::new(match cache_bytes {
+                Some(max_bytes) => pool::CacheConfig { max_bytes },
+                None => pool::CacheConfig::default(),
+            });
+            let report = pool::run_batch(
+                &specs,
+                &cache,
+                &pool::BatchConfig {
+                    workers: jobs,
+                    queue_cap: 256,
+                    metrics: true,
+                    ..Default::default()
+                },
+            );
+            let reg = report.registry.as_ref().expect("metrics enabled");
+            if json {
+                println!("{}", reg.to_json(timing));
+            } else {
+                print!("{}", reg.to_prometheus());
+            }
+            // The observability viewer reports failures instead of
+            // failing on them: a fleet dashboard scraping this output
+            // wants the counters, not a dead scrape target.
+            for pm in &report.postmortems {
+                eprintln!(
+                    "metrics: job {} `{}` [{}] ended {}",
+                    pm.job_id, pm.name, pm.engine, pm.outcome
+                );
+            }
+            Ok(())
         }
         _ => Err(usage()),
     }
@@ -644,6 +747,8 @@ fn usage() -> String {
      \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]\n\
      \x20               [--chaos] [--fault-seed S] [--schedules K]\n\
      \x20      cmm fuzz --replay DIR\n\
-     \x20      cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]"
+     \x20      cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]\n\
+     \x20                [--metrics-out F] [--postmortem-dir DIR]\n\
+     \x20      cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]"
         .into()
 }

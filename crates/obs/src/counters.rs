@@ -4,12 +4,16 @@
 //!
 //! The trace-sink layer ([`crate::sink`]) observes *one* run from the
 //! inside; these counters observe a *service* from the outside, across
-//! many concurrent runs. They are plain atomics — no locks, no feature
-//! gates — so a server can read them at any time without perturbing the
-//! workers that update them.
+//! many concurrent runs. They are built on the registry substrate
+//! ([`crate::registry`]'s [`Counter`] and [`Gauge`] handles — plain
+//! shared atomics, no locks, no feature gates) so a server can read
+//! them at any time without perturbing the workers that update them,
+//! and so the same cells can be mounted into a [`MetricsRegistry`] as
+//! live views: there is one counting substrate, not a bespoke copy per
+//! subsystem.
 
+use crate::registry::{Counter, Gauge, Metric, MetricClass, MetricsRegistry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for a content-addressed artifact cache.
 ///
@@ -26,15 +30,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct CacheStats {
     /// Requests satisfied by a ready artifact (including single-flight
     /// waiters).
-    pub hits: AtomicU64,
+    pub hits: Counter,
     /// Requests that built the artifact.
-    pub misses: AtomicU64,
+    pub misses: Counter,
     /// Artifacts evicted to respect the byte budget.
-    pub evictions: AtomicU64,
+    pub evictions: Counter,
     /// Hits that waited on another thread's in-flight build.
-    pub inflight_waits: AtomicU64,
+    pub inflight_waits: Counter,
     /// Estimated bytes currently resident.
-    pub resident_bytes: AtomicU64,
+    pub resident_bytes: Gauge,
 }
 
 impl CacheStats {
@@ -46,11 +50,11 @@ impl CacheStats {
     /// An immutable copy of the current values.
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            inflight_waits: self.inflight_waits.load(Ordering::Relaxed),
-            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            inflight_waits: self.inflight_waits.get(),
+            resident_bytes: self.resident_bytes.get(),
         }
     }
 }
@@ -71,18 +75,6 @@ pub struct CacheSnapshot {
 }
 
 impl CacheSnapshot {
-    /// Adds another snapshot's counts into this one — the aggregation
-    /// step for per-shard counters (see [`ShardedCacheStats`]). Every
-    /// field sums, including `resident_bytes`: each shard accounts its
-    /// own resident estimate, so the sum is the cache-wide figure.
-    pub fn absorb(&mut self, other: &CacheSnapshot) {
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.evictions += other.evictions;
-        self.inflight_waits += other.inflight_waits;
-        self.resident_bytes += other.resident_bytes;
-    }
-
     /// Hits over total requests, in `[0, 1]`; `0` before any request.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -135,11 +127,18 @@ impl ShardedCacheStats {
         self.shards.iter().map(|s| s.snapshot()).collect()
     }
 
-    /// The cache-wide aggregate of every shard's counters.
+    /// The cache-wide aggregate of every shard's counters. Every field
+    /// sums, including `resident_bytes`: each shard accounts its own
+    /// resident estimate, so the sum is the cache-wide figure.
     pub fn snapshot(&self) -> CacheSnapshot {
         let mut total = CacheSnapshot::default();
         for s in &self.shards {
-            total.absorb(&s.snapshot());
+            let snap = s.snapshot();
+            total.hits += snap.hits;
+            total.misses += snap.misses;
+            total.evictions += snap.evictions;
+            total.inflight_waits += snap.inflight_waits;
+            total.resident_bytes += snap.resident_bytes;
         }
         total
     }
@@ -147,10 +146,55 @@ impl ShardedCacheStats {
     /// Sum of the per-shard resident estimates — the figure a byte
     /// budget is enforced against, readable without any lock.
     pub fn resident_total(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.resident_bytes.load(Ordering::Relaxed))
-            .sum()
+        self.shards.iter().map(|s| s.resident_bytes.get()).sum()
+    }
+
+    /// Mounts every shard's counters into `registry` as live views
+    /// (`cmm_cache_*{shard="i"}`). Hits, misses, and evictions are
+    /// deterministic under the single-flight counting discipline;
+    /// in-flight waits and the resident estimate are scheduling
+    /// artifacts and carry [`MetricClass::Timing`].
+    pub fn mount(&self, registry: &MetricsRegistry) {
+        for (i, s) in self.shards.iter().enumerate() {
+            let shard = i.to_string();
+            let labels: [(&str, &str); 1] = [("shard", shard.as_str())];
+            let det = MetricClass::Deterministic;
+            registry.mount(
+                "cmm_cache_hits_total",
+                &labels,
+                "Cache requests satisfied by a ready artifact",
+                det,
+                Metric::Counter(s.hits.clone()),
+            );
+            registry.mount(
+                "cmm_cache_misses_total",
+                &labels,
+                "Cache requests that built the artifact",
+                det,
+                Metric::Counter(s.misses.clone()),
+            );
+            registry.mount(
+                "cmm_cache_evictions_total",
+                &labels,
+                "Artifacts evicted to respect the byte budget",
+                det,
+                Metric::Counter(s.evictions.clone()),
+            );
+            registry.mount(
+                "cmm_cache_inflight_waits_total",
+                &labels,
+                "Hits that waited on another thread's in-flight build",
+                MetricClass::Timing,
+                Metric::Counter(s.inflight_waits.clone()),
+            );
+            registry.mount(
+                "cmm_cache_resident_bytes",
+                &labels,
+                "Estimated bytes currently resident",
+                MetricClass::Timing,
+                Metric::Gauge(s.resident_bytes.clone()),
+            );
+        }
     }
 }
 
@@ -178,8 +222,8 @@ mod tests {
     fn snapshot_and_hit_rate() {
         let s = CacheStats::new();
         assert_eq!(s.snapshot().hit_rate(), 0.0);
-        s.hits.fetch_add(3, Ordering::Relaxed);
-        s.misses.fetch_add(1, Ordering::Relaxed);
+        s.hits.add(3);
+        s.misses.inc();
         let snap = s.snapshot();
         assert_eq!(snap.hits, 3);
         assert_eq!(snap.hit_rate(), 0.75);
@@ -189,22 +233,18 @@ mod tests {
     #[test]
     fn sharded_stats_aggregate_across_shards() {
         let s = ShardedCacheStats::new(4);
-        s.shard(0).hits.fetch_add(2, Ordering::Relaxed);
-        s.shard(3).hits.fetch_add(1, Ordering::Relaxed);
-        s.shard(1).misses.fetch_add(1, Ordering::Relaxed);
-        s.shard(2).resident_bytes.store(100, Ordering::Relaxed);
-        s.shard(3).resident_bytes.store(50, Ordering::Relaxed);
+        s.shard(0).hits.add(2);
+        s.shard(3).hits.inc();
+        s.shard(1).misses.inc();
+        s.shard(2).resident_bytes.set(100);
+        s.shard(3).resident_bytes.set(50);
         let total = s.snapshot();
         assert_eq!((total.hits, total.misses), (3, 1));
         assert_eq!(total.resident_bytes, 150);
         assert_eq!(s.resident_total(), 150);
-        // The aggregate is exactly the absorb-fold of the per-shard
-        // snapshots.
-        let mut folded = CacheSnapshot::default();
-        for snap in s.shard_snapshots() {
-            folded.absorb(&snap);
-        }
-        assert_eq!(folded, total);
+        // The aggregate is exactly the fold of the per-shard snapshots.
+        let folded: u64 = s.shard_snapshots().iter().map(|snap| snap.hits).sum();
+        assert_eq!(folded, total.hits);
     }
 
     #[test]
@@ -222,11 +262,33 @@ mod tests {
                 let s = &s;
                 scope.spawn(move || {
                     for _ in 0..100 {
-                        s.hits.fetch_add(1, Ordering::Relaxed);
+                        s.hits.inc();
                     }
                 });
             }
         });
         assert_eq!(s.snapshot().hits, 400);
+    }
+
+    #[test]
+    fn mounted_shards_are_live_registry_views() {
+        let s = ShardedCacheStats::new(2);
+        let registry = MetricsRegistry::new();
+        s.mount(&registry);
+        // The registry exports the very cell the cache updates — no
+        // copy, no absorb pass.
+        s.shard(1).hits.add(5);
+        let text = registry.to_prometheus();
+        assert!(
+            text.contains("cmm_cache_hits_total{shard=\"1\"} 5"),
+            "{text}"
+        );
+        assert!(text.contains("cmm_cache_hits_total{shard=\"0\"} 0"));
+        // Deterministic JSON keeps hit counts but strips the
+        // timing-class resident estimate.
+        s.shard(0).resident_bytes.set(77);
+        let json = registry.to_json(false);
+        assert!(json.contains("cmm_cache_hits_total{shard='1'}"));
+        assert!(!json.contains("resident"), "{json}");
     }
 }

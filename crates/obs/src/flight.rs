@@ -1,0 +1,371 @@
+//! The flight recorder: a bounded ring-buffer [`TraceSink`] that
+//! retains the *last N* events of a run with fixed allocation, plus
+//! running tallies over the whole stream.
+//!
+//! A batch service cannot afford a full
+//! [`RecordingSink`](crate::sink::RecordingSink) per job — an
+//! adversarial job emits millions of
+//! events — but "job 17 ended Wrong" with nothing else is not
+//! actionable either. The flight recorder is the middle ground: the
+//! ring holds the final control transfers (the part of the stream a
+//! post-mortem actually reads), while counters, per-strategy dispatch
+//! figures, Table 1 op tallies, and chaos/governor tallies cover the
+//! whole run in constant memory. When a job ends in Wrong, a panic, an
+//! injected chaos fault, or a governor trip, [`FlightRecorder::dump`]
+//! renders the post-mortem artifact.
+//!
+//! [`SharedFlight`] is the handle form: a clone-able `Rc<RefCell<..>>`
+//! sink the batch layer passes into an engine while keeping its own
+//! handle, so the recording survives even if the engine panics out
+//! from under the sink.
+
+use crate::event::{Event, RtsOp, TimedEvent};
+use crate::metrics::StrategyCounts;
+use crate::sink::{EventCounts, TraceSink};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Table 1 operation names, in a fixed index order (the
+/// [`FlightRecorder::rts_ops`] table).
+pub const RTS_OP_NAMES: [&str; 8] = [
+    "FirstActivation",
+    "NextActivation",
+    "SetActivation",
+    "SetUnwindCont",
+    "SetCutToCont",
+    "FindContParam",
+    "Resume",
+    "GetDescriptor",
+];
+
+fn rts_op_index(op: &RtsOp) -> usize {
+    match op {
+        RtsOp::FirstActivation { .. } => 0,
+        RtsOp::NextActivation { .. } => 1,
+        RtsOp::SetActivation { .. } => 2,
+        RtsOp::SetUnwindCont { .. } => 3,
+        RtsOp::SetCutToCont { .. } => 4,
+        RtsOp::FindContParam { .. } => 5,
+        RtsOp::Resume { .. } => 6,
+        RtsOp::GetDescriptor { .. } => 7,
+    }
+}
+
+/// A bounded last-N event recorder with whole-stream tallies. See the
+/// module docs.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    /// Ring capacity (fixed at construction; the ring never grows past
+    /// it).
+    cap: usize,
+    ring: Vec<TimedEvent>,
+    /// Next write slot once the ring is full (also the index of the
+    /// oldest retained event).
+    head: usize,
+    /// Events ever observed (retained + overwritten).
+    total: u64,
+    /// Whole-stream event counters.
+    pub counts: EventCounts,
+    /// Whole-stream per-strategy dispatch counters.
+    pub strategy: StrategyCounts,
+    /// Whole-stream Table 1 op tallies, indexed per [`RTS_OP_NAMES`].
+    pub rts_ops: [u64; 8],
+    /// Chaos interventions by description with the invocation ordinal
+    /// stripped: `"fault resume #2"` tallies under `"fault resume"`,
+    /// `"limit stack-depth"` under itself. Bounded by the op/resource
+    /// vocabulary, not the run length.
+    pub chaos_tally: BTreeMap<String, u64>,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `cap` events (`cap` is clamped to
+    /// at least 1 so a dump always has the final event).
+    pub fn new(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            ring: Vec::with_capacity(cap),
+            head: 0,
+            total: 0,
+            counts: EventCounts::default(),
+            strategy: StrategyCounts::default(),
+            rts_ops: [0; 8],
+            chaos_tally: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one event in: tallies always, ring slot overwritten
+    /// wraparound-style once full.
+    pub fn record(&mut self, now: u64, e: Event) {
+        self.total += 1;
+        self.counts.record(&e);
+        self.strategy.record(&e);
+        match &e {
+            Event::Rts(op) => self.rts_ops[rts_op_index(op)] += 1,
+            Event::Chaos { what } => {
+                // Strip the per-injection ordinal (`#n`) so the tally
+                // key set stays bounded.
+                let key = match what.find(" #") {
+                    Some(cut) => &what[..cut],
+                    None => what.as_str(),
+                };
+                *self.chaos_tally.entry(key.to_string()).or_default() += 1;
+            }
+            _ => {}
+        }
+        let t = TimedEvent { ts: now, event: e };
+        if self.ring.len() < self.cap {
+            self.ring.push(t);
+        } else {
+            self.ring[self.head] = t;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Events ever observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events that fell off the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.ring.len() as u64
+    }
+
+    /// Injected Table 1 faults observed (chaos `fault` events).
+    pub fn chaos_faults(&self) -> u64 {
+        self.tally_with_prefix("fault ")
+    }
+
+    /// Resource-governor limit trips observed (chaos `limit` events).
+    pub fn governor_trips(&self) -> u64 {
+        self.tally_with_prefix("limit ")
+    }
+
+    fn tally_with_prefix(&self, prefix: &str) -> u64 {
+        self.chaos_tally
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        if self.ring.len() < self.cap {
+            out.extend_from_slice(&self.ring);
+        } else {
+            out.extend_from_slice(&self.ring[self.head..]);
+            out.extend_from_slice(&self.ring[..self.head]);
+        }
+        out
+    }
+
+    /// The post-mortem text: a header, the whole-stream tallies, and
+    /// the retained tail of the event stream.
+    pub fn dump(&self, header: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== flight recorder post-mortem ===");
+        let _ = writeln!(out, "{header}");
+        let c = &self.counts;
+        let _ = writeln!(
+            out,
+            "events: {} total ({} retained, {} dropped)",
+            self.total,
+            self.ring.len(),
+            self.dropped()
+        );
+        let _ = writeln!(
+            out,
+            "counts: {} calls, {} tail calls, {} returns ({} abnormal), {} cuts, \
+             {} yields, {} rts ops, {} chaos",
+            c.calls,
+            c.tail_calls,
+            c.returns,
+            c.abnormal_returns,
+            c.cuts,
+            c.yields,
+            c.rts_ops,
+            c.chaos_events
+        );
+        let s = &self.strategy;
+        let _ = writeln!(
+            out,
+            "strategies: cut x{}, unwind x{} ({} hops), abnormal-return x{}, normal-resume x{}",
+            s.cuts, s.unwind_resumes, s.unwind_hops, s.abnormal_returns, s.normal_resumes
+        );
+        if self.rts_ops.iter().any(|&n| n > 0) {
+            let mut line = String::from("table1:");
+            for (name, n) in RTS_OP_NAMES.iter().zip(self.rts_ops.iter()) {
+                if *n > 0 {
+                    let _ = write!(line, " {name} x{n}");
+                }
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        for (what, n) in &self.chaos_tally {
+            let _ = writeln!(out, "chaos: {what} x{n}");
+        }
+        let _ = writeln!(out, "--- final {} event(s) ---", self.ring.len());
+        for t in self.events() {
+            let _ = writeln!(out, "{:>12}  {}", t.ts, t.event.render());
+        }
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn event(&mut self, now: u64, e: Event) {
+        self.record(now, e);
+    }
+}
+
+/// A clone-able handle to one [`FlightRecorder`], usable as the engine
+/// sink while the caller keeps a second handle for the post-mortem.
+/// `Rc`-based: a recorder serves one job on one worker thread.
+#[derive(Clone, Debug)]
+pub struct SharedFlight(pub Rc<RefCell<FlightRecorder>>);
+
+impl SharedFlight {
+    /// A fresh recorder behind a shared handle.
+    pub fn new(cap: usize) -> SharedFlight {
+        SharedFlight(Rc::new(RefCell::new(FlightRecorder::new(cap))))
+    }
+
+    /// Reads through the handle.
+    pub fn with<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+impl TraceSink for SharedFlight {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn event(&mut self, now: u64, e: Event) {
+        self.0.borrow_mut().record(now, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmm_ir::Name;
+
+    fn yield_ev(code: u64) -> Event {
+        Event::Yield { code }
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_most_recent_events() {
+        let mut fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.record(i, yield_ev(i));
+        }
+        assert_eq!(fr.total(), 10);
+        assert_eq!(fr.dropped(), 6);
+        let tail: Vec<u64> = fr.events().iter().map(|t| t.ts).collect();
+        assert_eq!(tail, vec![6, 7, 8, 9]);
+        // Tallies cover the whole stream, not just the ring.
+        assert_eq!(fr.counts.yields, 10);
+    }
+
+    #[test]
+    fn ring_boundary_cases() {
+        // Exactly at capacity: nothing dropped, order preserved.
+        let mut fr = FlightRecorder::new(3);
+        for i in 0..3u64 {
+            fr.record(i, yield_ev(i));
+        }
+        assert_eq!(fr.dropped(), 0);
+        assert_eq!(
+            fr.events().iter().map(|t| t.ts).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // One past capacity: oldest gone.
+        fr.record(3, yield_ev(3));
+        assert_eq!(
+            fr.events().iter().map(|t| t.ts).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // Zero capacity clamps to one.
+        let mut fr = FlightRecorder::new(0);
+        fr.record(1, yield_ev(1));
+        fr.record(2, yield_ev(2));
+        assert_eq!(fr.events().len(), 1);
+        assert_eq!(fr.events()[0].ts, 2);
+    }
+
+    #[test]
+    fn tallies_classify_chaos_and_table1() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(
+            0,
+            Event::Rts(RtsOp::Resume {
+                kind: crate::event::ResumeKind::Unwind,
+                ok: true,
+            }),
+        );
+        fr.record(
+            1,
+            Event::Chaos {
+                what: "fault resume #2".into(),
+            },
+        );
+        fr.record(
+            2,
+            Event::Chaos {
+                what: "fault resume #5".into(),
+            },
+        );
+        fr.record(
+            3,
+            Event::Chaos {
+                what: "limit stack-depth".into(),
+            },
+        );
+        assert_eq!(fr.rts_ops[6], 1);
+        assert_eq!(fr.strategy.unwind_resumes, 1);
+        assert_eq!(fr.chaos_faults(), 2);
+        assert_eq!(fr.governor_trips(), 1);
+        assert_eq!(fr.chaos_tally["fault resume"], 2);
+    }
+
+    #[test]
+    fn dump_contains_header_tallies_and_tail() {
+        let mut fr = FlightRecorder::new(2);
+        fr.record(
+            0,
+            Event::Call {
+                caller: Name::from("f"),
+                callee: Name::from("g"),
+            },
+        );
+        for i in 1..5u64 {
+            fr.record(i, yield_ev(i));
+        }
+        let text = fr.dump("job 17 [vm] ended wrong");
+        assert!(text.contains("job 17 [vm] ended wrong"));
+        assert!(text.contains("5 total (2 retained, 3 dropped)"));
+        assert!(text.contains("yield 4"), "{text}");
+        assert!(!text.contains("yield 1"), "dropped event resurfaced");
+    }
+
+    #[test]
+    fn shared_handle_survives_a_panicking_user() {
+        let flight = SharedFlight::new(4);
+        let mut sink = flight.clone();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sink.event(1, yield_ev(1));
+            panic!("engine died");
+        }));
+        assert!(r.is_err());
+        assert_eq!(flight.with(|fr| fr.total()), 1);
+    }
+}

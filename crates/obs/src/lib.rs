@@ -24,17 +24,28 @@
 //!   cost-model attribution (`cmm profile`);
 //! * [`chrome_trace_json`] — Chrome `trace_event` export
 //!   (`cmm trace`);
-//! * [`CacheStats`] — atomic service counters (hits, misses,
-//!   evictions) for `cmm-pool`'s content-addressed compilation cache.
+//! * [`MetricsRegistry`] — the live metrics runtime: sharded
+//!   counters/gauges/log-bucketed histograms with Prometheus and
+//!   deterministic-JSON export (`cmm metrics`);
+//! * [`CacheStats`] — registry-backed service counters (hits, misses,
+//!   evictions) for `cmm-pool`'s content-addressed compilation cache;
+//! * [`FlightRecorder`] — a bounded ring-buffer sink that keeps a
+//!   job's final events for post-mortem dumps when it fails.
 
 pub mod chrome;
 pub mod counters;
 pub mod event;
+pub mod flight;
 pub mod metrics;
+pub mod registry;
 pub mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use counters::{CacheSnapshot, CacheStats, ShardedCacheStats};
 pub use event::{first_divergence, projection, Event, ResumeKind, RtsOp, TimedEvent};
+pub use flight::{FlightRecorder, SharedFlight, RTS_OP_NAMES};
 pub use metrics::{ProcStats, Profile, StrategyCounts};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Metric, MetricClass, MetricsRegistry,
+};
 pub use sink::{CountingSink, EventCounts, NopSink, RecordingSink, TraceSink};

@@ -77,6 +77,29 @@ pub struct StrategyCounts {
     pub normal_resumes: u64,
 }
 
+impl StrategyCounts {
+    /// Folds one event into the counters. Every increment is a pure
+    /// function of the single event, so a streaming sink (the flight
+    /// recorder) and the replay in [`Profile::build`] share this one
+    /// classification — there is exactly one definition of what counts
+    /// as, say, an unwind hop.
+    pub fn record(&mut self, e: &Event) {
+        match e {
+            Event::Return {
+                index, alternates, ..
+            } if index < alternates => self.abnormal_returns += 1,
+            Event::CutTo { .. } => self.cuts += 1,
+            Event::Rts(RtsOp::NextActivation { moved: true, .. }) => self.unwind_hops += 1,
+            Event::Rts(RtsOp::Resume { kind, ok: true }) => match kind {
+                ResumeKind::Normal => self.normal_resumes += 1,
+                ResumeKind::Unwind => self.unwind_resumes += 1,
+                ResumeKind::Cut => self.cuts += 1,
+            },
+            _ => {}
+        }
+    }
+}
+
 /// The aggregated profile of one run.
 #[derive(Clone, Debug, Default)]
 pub struct Profile {
@@ -135,6 +158,7 @@ impl Profile {
             }
 
             p.counts.record(&t.event);
+            p.strategies.record(&t.event);
             match &t.event {
                 Event::Call { callee, .. } => {
                     p.procs.entry(callee.clone()).or_default().entries += 1;
@@ -160,14 +184,12 @@ impl Profile {
                     st.returns += 1;
                     if index < alternates {
                         st.abnormal_returns += 1;
-                        p.strategies.abnormal_returns += 1;
                     }
                     Self::pop(&mut p, &mut stack);
                 }
                 Event::CutTo { proc, target, .. } => {
                     p.procs.entry(proc.clone()).or_default().cuts_out += 1;
                     p.procs.entry(target.clone()).or_default().cuts_in += 1;
-                    p.strategies.cuts += 1;
                     Self::truncate_to(&mut p, &mut stack, target);
                 }
                 Event::Yield { .. } => {}
@@ -176,24 +198,15 @@ impl Profile {
                     *p.rts_ops.entry(op.name()).or_default() += 1;
                     match op {
                         RtsOp::FirstActivation { .. } => hops = 0,
-                        RtsOp::NextActivation { moved: true, .. } => {
-                            hops += 1;
-                            p.strategies.unwind_hops += 1;
-                        }
+                        RtsOp::NextActivation { moved: true, .. } => hops += 1,
                         RtsOp::SetCutToCont { target } => cut_target = target.clone(),
                         RtsOp::Resume { kind, ok: true } => match kind {
                             ResumeKind::Normal | ResumeKind::Unwind => {
-                                if *kind == ResumeKind::Unwind {
-                                    p.strategies.unwind_resumes += 1;
-                                } else {
-                                    p.strategies.normal_resumes += 1;
-                                }
                                 for _ in 0..=hops {
                                     Self::pop(&mut p, &mut stack);
                                 }
                             }
                             ResumeKind::Cut => {
-                                p.strategies.cuts += 1;
                                 if let Some(target) = cut_target.take() {
                                     Self::truncate_to(&mut p, &mut stack, &target);
                                 }

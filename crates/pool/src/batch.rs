@@ -16,10 +16,13 @@
 //! `args=` (comma-separated `u32`s), `results=` (C-- result arity on
 //! the simulated target, default 1), `strategy=` (MiniM3 lowering,
 //! default `runtime-unwind`), `opt=full|none` (default `full`),
-//! `fuel=` (per-run budget; defaults match difftest's limits), and
-//! `yields=` (suspension bound, default 64). A comma-separated engine
-//! list expands to one job per engine — the usual way a manifest earns
-//! cache hits, since all five engines share per-family artifacts.
+//! `fuel=` (per-run budget; defaults match difftest's limits),
+//! `yields=` (suspension bound, default 64), and `chaos=SEED` (install
+//! a seeded `cmm-chaos` [`FaultPlan`] on the job's thread, so the
+//! manifest can exercise failure paths deliberately). A
+//! comma-separated engine list expands to one job per engine — the
+//! usual way a manifest earns cache hits, since all five engines share
+//! per-family artifacts.
 //!
 //! # Determinism
 //!
@@ -33,18 +36,27 @@
 //! `-j1` and `-jN`; CI diffs exactly that.
 
 use crate::cache::{EngineFamily, PipelineCache, SourceKey, SourceLang};
-use crate::executor::{run_jobs, run_jobs_ctx, JobOutcome, PoolConfig};
-use cmm_chaos::ResourceGovernor;
+use crate::executor::{panic_text, run_jobs_metered, JobOutcome, PoolConfig, PoolMeter};
+use cmm_chaos::{FaultPlan, ResourceGovernor};
 use cmm_frontend::{run_sem_thread, run_vm_thread, Strategy};
-use cmm_obs::{CacheSnapshot, NopSink, TraceSink};
+use cmm_obs::{
+    CacheSnapshot, MetricClass, MetricsRegistry, NopSink, SharedFlight, TraceSink, RTS_OP_NAMES,
+};
 use cmm_opt::OptOptions;
 use cmm_rt::Thread;
 use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemArena, SemEngine, Status, Value};
 use cmm_vm::{VmArena, VmStatus, VmThread};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The chaos horizon a `chaos=SEED` manifest key installs: each
+/// Table 1 op either passes or fails once within its first four
+/// invocations (seed-dependent) — the same wall difftest's chaos
+/// oracles run against.
+const CHAOS_HORIZON: u64 = 4;
 
 /// Which execution engine a job runs on.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -133,6 +145,9 @@ pub struct JobSpec {
     pub fuel: u64,
     /// Suspensions serviced before the run is cut off.
     pub max_yields: usize,
+    /// Chaos seed: install [`FaultPlan::seeded`] on the job's thread
+    /// (horizon [`CHAOS_HORIZON`], difftest's wall). `None` runs clean.
+    pub chaos: Option<u64>,
 }
 
 impl JobSpec {
@@ -183,6 +198,7 @@ pub fn parse_manifest(
         let mut opts = OptOptions::default();
         let mut fuel: Option<u64> = None;
         let mut max_yields = 64usize;
+        let mut chaos: Option<u64> = None;
         for tok in tokens {
             let Some((k, v)) = tok.split_once('=') else {
                 return Err(at(format!("expected key=value, got `{tok}`")));
@@ -210,6 +226,9 @@ pub fn parse_manifest(
                 "fuel" => fuel = Some(v.parse().map_err(|_| at(format!("bad fuel `{v}`")))?),
                 "yields" => {
                     max_yields = v.parse().map_err(|_| at(format!("bad yields `{v}`")))?;
+                }
+                "chaos" => {
+                    chaos = Some(v.parse().map_err(|_| at(format!("bad chaos seed `{v}`")))?);
                 }
                 other => return Err(at(format!("unknown key `{other}`"))),
             }
@@ -245,6 +264,7 @@ pub fn parse_manifest(
                 opts,
                 fuel,
                 max_yields,
+                chaos,
             });
         }
     }
@@ -258,6 +278,15 @@ pub struct BatchConfig {
     pub workers: usize,
     /// Injector bound (see [`PoolConfig`]).
     pub queue_cap: usize,
+    /// Build a [`MetricsRegistry`] for the batch: mount the cache and
+    /// pool counters, run every job through a flight-recorder sink,
+    /// flush per-job figures into the registry, and collect post-mortem
+    /// dumps for failed jobs. Off (the default), every job runs through
+    /// [`NopSink`] exactly as before — the whole layer compiles away.
+    pub metrics: bool,
+    /// Flight-recorder ring capacity (events retained per job) when
+    /// `metrics` is on.
+    pub flight_cap: usize,
 }
 
 impl Default for BatchConfig {
@@ -265,6 +294,8 @@ impl Default for BatchConfig {
         BatchConfig {
             workers: 1,
             queue_cap: 256,
+            metrics: false,
+            flight_cap: 64,
         }
     }
 }
@@ -298,6 +329,25 @@ pub struct JobRecord {
     pub ns: u128,
 }
 
+/// A flight-recorder post-mortem for one failed job: the dump text of
+/// the job's final events plus its whole-run tallies (see
+/// [`cmm_obs::FlightRecorder::dump`]). Produced only under
+/// [`BatchConfig::metrics`], for jobs that end in `wrong`, a panic, an
+/// `rts-error`/`error`, an injected chaos fault, or a governor trip.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Postmortem {
+    /// Submission index of the failed job.
+    pub job_id: usize,
+    /// Source path from the manifest.
+    pub name: String,
+    /// Engine label.
+    pub engine: &'static str,
+    /// The job's outcome string.
+    pub outcome: String,
+    /// The rendered post-mortem artifact.
+    pub text: String,
+}
+
 /// The result of one [`run_batch`] call.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
@@ -306,6 +356,14 @@ pub struct BatchReport {
     /// Cache-counter *delta* over this batch (resident bytes are the
     /// absolute post-batch estimate).
     pub cache: CacheSnapshot,
+    /// The batch's metrics registry ([`BatchConfig::metrics`] only):
+    /// cache shards, per-phase pool meters, and per-job engine /
+    /// strategy / Table 1 / chaos figures. Serialized as the report's
+    /// `metrics` section and exportable as Prometheus text.
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Flight-recorder dumps for failed jobs, in submission order
+    /// ([`BatchConfig::metrics`] only).
+    pub postmortems: Vec<Postmortem>,
     /// Worker threads used (timing section only — `-j` must not
     /// change the deterministic output).
     pub workers: usize,
@@ -332,6 +390,18 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
         workers: config.workers,
         queue_cap: config.queue_cap,
     };
+
+    // The metrics runtime, when asked for: the cache's shard counters
+    // and both phases' pool meters become live registry views, and the
+    // per-job flush below adds the engine/strategy/Table 1 figures.
+    let registry = config.metrics.then(|| Arc::new(MetricsRegistry::new()));
+    let compile_meter = PoolMeter::new();
+    let run_meter = PoolMeter::new();
+    if let Some(reg) = &registry {
+        cache.mount_metrics(reg);
+        compile_meter.mount(reg, "compile");
+        run_meter.mount(reg, "run");
+    }
 
     // Group jobs by cache digest.
     struct Group {
@@ -361,16 +431,22 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
     }
 
     // Phase A: compile each group once, in parallel.
-    let compile_errs: Vec<Option<String>> = run_jobs(&pool, (0..groups.len()).collect(), |_, g| {
-        let grp = &groups[g];
-        let r = match grp.key.family {
-            EngineFamily::Sem => cache.program(&grp.key).map(|_| ()),
-            EngineFamily::Vm if grp.want_fused => cache.fused(&grp.key).map(|_| ()),
-            EngineFamily::Vm if grp.want_decoded => cache.decoded(&grp.key).map(|_| ()),
-            EngineFamily::Vm => cache.vm_code(&grp.key).map(|_| ()),
-        };
-        r.err()
-    })
+    let compile_errs: Vec<Option<String>> = run_jobs_metered(
+        &pool,
+        (0..groups.len()).collect(),
+        |_| (),
+        |(), _, g| {
+            let grp = &groups[g];
+            let r = match grp.key.family {
+                EngineFamily::Sem => cache.program(&grp.key).map(|_| ()),
+                EngineFamily::Vm if grp.want_fused => cache.fused(&grp.key).map(|_| ()),
+                EngineFamily::Vm if grp.want_decoded => cache.decoded(&grp.key).map(|_| ()),
+                EngineFamily::Vm => cache.vm_code(&grp.key).map(|_| ()),
+            };
+            r.err()
+        },
+        &compile_meter,
+    )
     .into_iter()
     .map(|o| match o {
         JobOutcome::Done(err) => err,
@@ -399,7 +475,7 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
     // the hot phase stops paying the allocator; the executor rebuilds a
     // worker's arenas from scratch if one of its jobs panics, so a
     // half-mutated arena never reaches the next job.
-    let (outcomes, _pool_stats) = run_jobs_ctx(
+    let outcomes = run_jobs_metered(
         &pool,
         (0..specs.len()).collect(),
         |_| ExecArenas::default(),
@@ -407,22 +483,39 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
             let spec = &specs[i];
             let started = Instant::now();
             let g = group_of[i];
-            let mut obs = match &compile_errs[g] {
-                Some(e) => RunObs::failed("compile-error", e.clone()),
-                None => execute(spec, cache, resolveds[g].as_ref(), arenas),
+            let (mut obs, pm) = match &compile_errs[g] {
+                Some(e) => (RunObs::failed("compile-error", e.clone()), None),
+                None => run_one(
+                    i,
+                    spec,
+                    cache,
+                    resolveds[g].as_ref(),
+                    arenas,
+                    registry.as_deref(),
+                    config.flight_cap,
+                ),
             };
             obs.ns = started.elapsed().as_nanos();
-            record(i, spec, obs)
+            if let Some(reg) = &registry {
+                flush_outcome(spec, &obs, reg);
+            }
+            (record(i, spec, obs), pm)
         },
+        &run_meter,
     );
-    let jobs = outcomes
-        .into_iter()
-        .enumerate()
-        .map(|(i, o)| match o {
-            JobOutcome::Done(rec) => rec,
-            JobOutcome::Panicked(msg) => record(i, &specs[i], RunObs::failed("panicked", msg)),
-        })
-        .collect();
+    let mut jobs = Vec::with_capacity(specs.len());
+    let mut postmortems = Vec::new();
+    for (i, o) in outcomes.into_iter().enumerate() {
+        match o {
+            JobOutcome::Done((rec, pm)) => {
+                jobs.push(rec);
+                postmortems.extend(pm);
+            }
+            JobOutcome::Panicked(msg) => {
+                jobs.push(record(i, &specs[i], RunObs::failed("panicked", msg)));
+            }
+        }
+    }
 
     let after = cache.snapshot();
     BatchReport {
@@ -434,9 +527,198 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
             inflight_waits: after.inflight_waits - before.inflight_waits,
             resident_bytes: after.resident_bytes,
         },
+        registry,
+        postmortems,
         workers: config.workers,
         wall_ns: t0.elapsed().as_nanos(),
     }
+}
+
+/// The exception-technique label a job's figures are keyed by: the
+/// MiniM3 lowering strategy, or `raw` for hand-written C--.
+fn technique(spec: &JobSpec) -> &'static str {
+    match &spec.lang {
+        SourceLang::Cmm => "raw",
+        SourceLang::MiniM3(s) => match s {
+            Strategy::RuntimeUnwind => "runtime-unwind",
+            Strategy::Cutting => "cutting",
+            Strategy::NativeUnwind => "native-unwind",
+            Strategy::Cps => "cps",
+            Strategy::Sjlj(_) => "sjlj",
+        },
+    }
+}
+
+/// The outcome-class label (`halt`, `result`, `wrong`, …): the first
+/// word of the outcome string, so `halt [0]` and `halt [7]` share a
+/// counter.
+fn outcome_class(outcome: &str) -> String {
+    outcome
+        .split_whitespace()
+        .next()
+        .unwrap_or("empty")
+        .to_string()
+}
+
+/// Per-job registry flush, part 1: figures known without a sink — the
+/// outcome tally and the deterministic virtual-clock latency (the
+/// cost-model total, read as 1 instruction = 1 virtual ns). Runs for
+/// every job, including compile errors and panics.
+fn flush_outcome(spec: &JobSpec, obs: &RunObs, reg: &MetricsRegistry) {
+    let det = MetricClass::Deterministic;
+    let engine = spec.engine.label();
+    let class = outcome_class(&obs.outcome);
+    reg.counter(
+        "cmm_jobs_total",
+        &[("engine", engine), ("outcome", class.as_str())],
+        "Batch jobs by engine and outcome class",
+        det,
+    )
+    .inc();
+    reg.histogram(
+        "cmm_job_virtual_ns",
+        &[("engine", engine), ("phase", "run")],
+        "Deterministic job latency on the virtual cost clock (1 instruction = 1 ns)",
+        det,
+    )
+    .observe(obs.instructions);
+}
+
+/// Per-job registry flush, part 2: the flight recorder's whole-run
+/// tallies — engine events by kind, Table 1 ops, per-strategy dispatch
+/// mechanisms, and chaos/governor interventions, all keyed by the
+/// job's exception technique. Every key is registered even at zero so
+/// the exported label set is a function of the job set, not of which
+/// paths fired.
+fn flush_flight(spec: &JobSpec, flight: &SharedFlight, reg: &MetricsRegistry) {
+    let det = MetricClass::Deterministic;
+    let engine = spec.engine.label();
+    let tech = technique(spec);
+    flight.with(|f| {
+        let c = &f.counts;
+        for (kind, n) in [
+            ("call", c.calls),
+            ("tail-call", c.tail_calls),
+            ("return", c.returns),
+            ("abnormal-return", c.abnormal_returns),
+            ("cut", c.cuts),
+            ("yield", c.yields),
+            ("rts-op", c.rts_ops),
+            ("cont-capture", c.cont_captures),
+            ("cont-death", c.cont_deaths),
+            ("chaos", c.chaos_events),
+        ] {
+            reg.counter(
+                "cmm_engine_events_total",
+                &[("engine", engine), ("kind", kind), ("technique", tech)],
+                "Engine trace events by kind, engine, and exception technique",
+                det,
+            )
+            .add(n);
+        }
+        for (op, n) in RTS_OP_NAMES.iter().zip(f.rts_ops.iter()) {
+            reg.counter(
+                "cmm_rts_ops_total",
+                &[("engine", engine), ("op", op), ("technique", tech)],
+                "Table 1 run-time-interface calls by op and exception technique",
+                det,
+            )
+            .add(*n);
+        }
+        let s = &f.strategy;
+        for (mech, n) in [
+            ("cut", s.cuts),
+            ("unwind-hop", s.unwind_hops),
+            ("unwind-resume", s.unwind_resumes),
+            ("abnormal-return", s.abnormal_returns),
+            ("normal-resume", s.normal_resumes),
+        ] {
+            reg.counter(
+                "cmm_strategy_dispatch_total",
+                &[("mech", mech), ("technique", tech)],
+                "Exception-dispatch mechanism uses by technique",
+                det,
+            )
+            .add(n);
+        }
+        for (what, n) in &f.chaos_tally {
+            if let Some(op) = what.strip_prefix("fault ") {
+                reg.counter(
+                    "cmm_chaos_faults_total",
+                    &[("op", op)],
+                    "Injected Table 1 faults by operation",
+                    det,
+                )
+                .add(*n);
+            } else if let Some(resource) = what.strip_prefix("limit ") {
+                reg.counter(
+                    "cmm_governor_trips_total",
+                    &[("resource", resource)],
+                    "Resource-governor limit trips by resource",
+                    det,
+                )
+                .add(*n);
+            }
+        }
+    });
+}
+
+/// Runs one compiled job: through [`NopSink`] (identical
+/// monomorphization to the pre-metrics service) when `registry` is
+/// absent, or through a [`SharedFlight`] recorder — with the registry
+/// flush, panic capture, and a post-mortem dump on failure — when
+/// present.
+fn run_one(
+    id: usize,
+    spec: &JobSpec,
+    cache: &PipelineCache,
+    resolved: Option<&ResolvedProgram>,
+    arenas: &mut ExecArenas,
+    registry: Option<&MetricsRegistry>,
+    flight_cap: usize,
+) -> (RunObs, Option<Postmortem>) {
+    let Some(reg) = registry else {
+        return (execute(spec, cache, resolved, arenas, || NopSink), None);
+    };
+    let flight = SharedFlight::new(flight_cap);
+    // Catch the panic here (not in the executor) so the recording —
+    // held alive by our handle — survives the engine dying under it.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        execute(spec, cache, resolved, arenas, || flight.clone())
+    }));
+    let obs = match caught {
+        Ok(obs) => obs,
+        Err(payload) => {
+            // The executor never sees this panic, so take over its
+            // context hygiene: the arenas may be half mutated.
+            *arenas = ExecArenas::default();
+            RunObs::failed("panicked", panic_text(payload.as_ref()))
+        }
+    };
+    flush_flight(spec, &flight, reg);
+    let failed = matches!(
+        outcome_class(&obs.outcome).as_str(),
+        "wrong" | "panicked" | "rts-error" | "error"
+    ) || flight.with(|f| f.chaos_faults() > 0 || f.governor_trips() > 0);
+    let pm = failed.then(|| {
+        let header = format!(
+            "job {id} `{}` [{} {}] outcome: {}{}{}",
+            spec.name,
+            spec.engine.label(),
+            technique(spec),
+            obs.outcome,
+            if obs.detail.is_empty() { "" } else { " — " },
+            obs.detail,
+        );
+        Postmortem {
+            job_id: id,
+            name: spec.name.clone(),
+            engine: spec.engine.label(),
+            outcome: obs.outcome.clone(),
+            text: flight.with(|f| f.dump(&header)),
+        }
+    });
+    (obs, pm)
 }
 
 /// What a single execution observed (pre-record form).
@@ -495,12 +777,16 @@ struct ExecArenas {
 }
 
 /// Runs one job against the warm cache, drawing machine state from
-/// (and returning it to) the worker's arenas.
-fn execute(
+/// (and returning it to) the worker's arenas. Generic over a sink
+/// factory: the plain service passes `|| NopSink` and monomorphizes to
+/// exactly the zero-cost instantiation the perf trajectory measures;
+/// the metrics service passes a [`SharedFlight`] handle clone.
+fn execute<S: TraceSink>(
     spec: &JobSpec,
     cache: &PipelineCache,
     resolved: Option<&ResolvedProgram>,
     arenas: &mut ExecArenas,
+    mk_sink: impl Fn() -> S,
 ) -> RunObs {
     let key = spec.source_key();
     match spec.engine {
@@ -509,9 +795,12 @@ fn execute(
                 Ok(p) => p,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut m = Machine::with_sink_in(&prog, NopSink, &mut arenas.sem);
+            let mut m = Machine::with_sink_in(&prog, mk_sink(), &mut arenas.sem);
             m.set_governor(governor(spec));
             let mut t = Thread::over(m);
+            if let Some(seed) = spec.chaos {
+                t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
+            }
             let obs = run_sem_job(spec, &mut t);
             t.into_machine().recycle_into(&mut arenas.sem);
             obs
@@ -520,9 +809,12 @@ fn execute(
             let Some(rp) = resolved else {
                 return RunObs::failed("compile-error", "resolved tables unavailable".into());
             };
-            let mut m = ResolvedMachine::with_sink_in(rp, NopSink, &mut arenas.sem);
+            let mut m = ResolvedMachine::with_sink_in(rp, mk_sink(), &mut arenas.sem);
             m.set_governor(governor(spec));
             let mut t = Thread::over(m);
+            if let Some(seed) = spec.chaos {
+                t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
+            }
             let obs = run_sem_job(spec, &mut t);
             t.into_machine().recycle_into(&mut arenas.sem);
             obs
@@ -532,8 +824,11 @@ fn execute(
                 Ok(vp) => vp,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut t = VmThread::with_sink_in(&vp, NopSink, &mut arenas.vm);
+            let mut t = VmThread::with_sink_in(&vp, mk_sink(), &mut arenas.vm);
             t.machine.set_governor(governor(spec));
+            if let Some(seed) = spec.chaos {
+                t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
+            }
             let obs = run_vm_job(spec, &mut t, &vp.image);
             t.into_machine().recycle_into(&mut arenas.vm);
             obs
@@ -543,8 +838,11 @@ fn execute(
                 Ok(x) => x,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut t = VmThread::with_sink_shared_decoded_in(&vp, dec, NopSink, &mut arenas.vm);
+            let mut t = VmThread::with_sink_shared_decoded_in(&vp, dec, mk_sink(), &mut arenas.vm);
             t.machine.set_governor(governor(spec));
+            if let Some(seed) = spec.chaos {
+                t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
+            }
             let obs = run_vm_job(spec, &mut t, &vp.image);
             t.into_machine().recycle_into(&mut arenas.vm);
             obs
@@ -554,8 +852,11 @@ fn execute(
                 Ok(x) => x,
                 Err(e) => return RunObs::failed("compile-error", e),
             };
-            let mut t = VmThread::with_sink_shared_fused_in(&vp, fu, NopSink, &mut arenas.vm);
+            let mut t = VmThread::with_sink_shared_fused_in(&vp, fu, mk_sink(), &mut arenas.vm);
             t.machine.set_governor(governor(spec));
+            if let Some(seed) = spec.chaos {
+                t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
+            }
             let obs = run_vm_job(spec, &mut t, &vp.image);
             t.into_machine().recycle_into(&mut arenas.vm);
             obs
@@ -796,6 +1097,16 @@ impl BatchReport {
              \"hit_rate_permille\": {} }}",
             c.hits, c.misses, c.evictions, rate
         );
+        if let Some(reg) = &self.registry {
+            s.push_str(",\n  \"metrics\": ");
+            // Reindent the registry's object to sit two levels deep.
+            for (i, line) in reg.to_json(with_timing).lines().enumerate() {
+                if i > 0 {
+                    s.push_str("\n  ");
+                }
+                s.push_str(line);
+            }
+        }
         if with_timing {
             let _ = write!(
                 s,

@@ -294,6 +294,13 @@ impl PipelineCache {
         self.stats.shard_snapshots()
     }
 
+    /// Mounts the per-shard counters into `registry` as live views
+    /// (`cmm_cache_*{shard="i"}`); the registry then exports the very
+    /// cells the cache updates, with no copy step.
+    pub fn mount_metrics(&self, registry: &cmm_obs::MetricsRegistry) {
+        self.stats.mount(registry);
+    }
+
     /// Which stripe a digest lives in: its low bits. FNV-1a mixes the
     /// whole input into every output byte, so the low bits are well
     /// spread even across near-identical sources.
@@ -334,9 +341,9 @@ impl PipelineCache {
                 }) => {
                     *last_use = self.tick();
                     let art = artifact.clone();
-                    stats.hits.fetch_add(1, Relaxed);
+                    stats.hits.inc();
                     if waited {
-                        stats.inflight_waits.fetch_add(1, Relaxed);
+                        stats.inflight_waits.inc();
                     }
                     return Ok(art);
                 }
@@ -346,7 +353,7 @@ impl PipelineCache {
                 }
                 None => {
                     inner.map.insert(key, Slot::InFlight);
-                    stats.misses.fetch_add(1, Relaxed);
+                    stats.misses.inc();
                     break;
                 }
             }
@@ -371,7 +378,7 @@ impl PipelineCache {
                     },
                 );
                 inner.resident += bytes;
-                stats.resident_bytes.store(inner.resident, Relaxed);
+                stats.resident_bytes.set(inner.resident);
                 drop(inner);
                 shard.ready.notify_all();
                 self.evict_over_budget();
@@ -426,8 +433,8 @@ impl PipelineCache {
                 if let Some(Slot::Ready { bytes, .. }) = inner.map.remove(&key) {
                     inner.resident -= bytes;
                     let stats = self.stats.shard(idx);
-                    stats.resident_bytes.store(inner.resident, Relaxed);
-                    stats.evictions.fetch_add(1, Relaxed);
+                    stats.resident_bytes.set(inner.resident);
+                    stats.evictions.inc();
                 }
             }
             // Touched or gone since the scan: loop and rescan.

@@ -26,11 +26,11 @@
 //! jobs *observe*; they are for reusing allocations, not for sharing
 //! results.
 
+use cmm_obs::{Counter, Gauge, Histogram, Metric, MetricClass, MetricsRegistry};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Executor configuration.
 #[derive(Clone, Copy, Debug)]
@@ -88,21 +88,115 @@ pub struct PoolStats {
     pub ctx_rebuilds: u64,
 }
 
-struct Injector<T> {
-    queue: VecDeque<(usize, T)>,
-    closed: bool,
-    high_water: usize,
+/// The pool's counting substrate: every scheduling figure the executor
+/// tracks, as registry handles. A caller that wants the figures in a
+/// [`MetricsRegistry`] passes a mounted meter to [`run_jobs_metered`];
+/// everyone else gets a throwaway meter and reads the final values
+/// through [`PoolStats`] — one substrate, two views.
+#[derive(Clone, Debug, Default)]
+pub struct PoolMeter {
+    /// Deepest the injector queue ever got.
+    pub queue_high_water: Gauge,
+    /// Jobs taken from a sibling's local deque.
+    pub steals: Counter,
+    /// Multi-job grabs from the injector.
+    pub batched_grabs: Counter,
+    /// Worker contexts discarded and rebuilt after a panicking job.
+    pub ctx_rebuilds: Counter,
+    /// Times the submitter blocked on a full injector queue.
+    pub backpressure_waits: Counter,
+    /// Nanoseconds each job sat queued before a worker picked it up.
+    pub queue_wait_ns: Histogram,
+    /// Wall-clock nanoseconds each job spent executing.
+    pub job_wall_ns: Histogram,
 }
 
-struct Shared<T> {
+impl PoolMeter {
+    /// A zeroed meter.
+    pub fn new() -> PoolMeter {
+        PoolMeter::default()
+    }
+
+    /// A [`PoolStats`] snapshot of the current values.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            queue_high_water: self.queue_high_water.get() as usize,
+            steals: self.steals.get(),
+            batched_grabs: self.batched_grabs.get(),
+            ctx_rebuilds: self.ctx_rebuilds.get(),
+        }
+    }
+
+    /// Mounts the meter's cells into `registry` as live views
+    /// (`cmm_pool_*{phase="…"}`). Everything here is a scheduling
+    /// artifact except `ctx_rebuilds`, which equals the number of
+    /// panicking jobs — a function of the job set, not the schedule.
+    pub fn mount(&self, registry: &MetricsRegistry, phase: &str) {
+        let labels: [(&str, &str); 1] = [("phase", phase)];
+        registry.mount(
+            "cmm_pool_queue_high_water",
+            &labels,
+            "Deepest the injector queue ever got",
+            MetricClass::Timing,
+            Metric::Gauge(self.queue_high_water.clone()),
+        );
+        registry.mount(
+            "cmm_pool_steals_total",
+            &labels,
+            "Jobs taken from a sibling worker's local deque",
+            MetricClass::Timing,
+            Metric::Counter(self.steals.clone()),
+        );
+        registry.mount(
+            "cmm_pool_batched_grabs_total",
+            &labels,
+            "Multi-job grabs from the injector queue",
+            MetricClass::Timing,
+            Metric::Counter(self.batched_grabs.clone()),
+        );
+        registry.mount(
+            "cmm_pool_ctx_rebuilds_total",
+            &labels,
+            "Worker contexts rebuilt after a panicking job",
+            MetricClass::Deterministic,
+            Metric::Counter(self.ctx_rebuilds.clone()),
+        );
+        registry.mount(
+            "cmm_pool_backpressure_waits_total",
+            &labels,
+            "Times the submitter blocked on a full injector queue",
+            MetricClass::Timing,
+            Metric::Counter(self.backpressure_waits.clone()),
+        );
+        registry.mount(
+            "cmm_pool_queue_wait_ns",
+            &labels,
+            "Nanoseconds jobs sat queued before pickup",
+            MetricClass::Timing,
+            Metric::Histogram(self.queue_wait_ns.clone()),
+        );
+        registry.mount(
+            "cmm_pool_job_wall_ns",
+            &labels,
+            "Wall-clock nanoseconds jobs spent executing",
+            MetricClass::Timing,
+            Metric::Histogram(self.job_wall_ns.clone()),
+        );
+    }
+}
+
+struct Injector<T> {
+    queue: VecDeque<(usize, Instant, T)>,
+    closed: bool,
+}
+
+struct Shared<'m, T> {
     injector: Mutex<Injector<T>>,
     not_empty: Condvar,
     not_full: Condvar,
-    locals: Vec<Mutex<VecDeque<(usize, T)>>>,
+    locals: Vec<Mutex<VecDeque<(usize, Instant, T)>>>,
     cap: usize,
-    steals: AtomicU64,
-    batched_grabs: AtomicU64,
-    ctx_rebuilds: AtomicU64,
+    meter: &'m PoolMeter,
 }
 
 /// Runs `f(index, item)` for every item and returns the outcomes in
@@ -133,32 +227,52 @@ where
     I: Fn(usize) -> C + Sync,
     F: Fn(&mut C, usize, T) -> R + Sync,
 {
+    let meter = PoolMeter::new();
+    let out = run_jobs_metered(config, items, init, f, &meter);
+    let stats = meter.stats();
+    (out, stats)
+}
+
+/// [`run_jobs_ctx`] with the caller's own [`PoolMeter`]: scheduling
+/// figures, per-job queue-wait, and per-job wall latency land in the
+/// meter's cells as the run progresses (live, if the meter is mounted
+/// in a registry) instead of only in a final snapshot.
+pub fn run_jobs_metered<C, T, R, I, F>(
+    config: &PoolConfig,
+    items: Vec<T>,
+    init: I,
+    f: F,
+    meter: &PoolMeter,
+) -> Vec<JobOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    I: Fn(usize) -> C + Sync,
+    F: Fn(&mut C, usize, T) -> R + Sync,
+{
     if config.workers <= 1 {
-        let mut rebuilds = 0;
         let mut ctx = init(0);
-        let out = items
+        return items
             .into_iter()
             .enumerate()
             .map(|(i, item)| {
-                match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))) {
+                let started = Instant::now();
+                let outcome = match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))) {
                     Ok(r) => JobOutcome::Done(r),
                     Err(payload) => {
                         // The panic may have left the context half
                         // mutated; start the next job from a fresh one.
                         ctx = init(0);
-                        rebuilds += 1;
+                        meter.ctx_rebuilds.inc();
                         JobOutcome::Panicked(panic_text(payload.as_ref()))
                     }
-                }
+                };
+                meter
+                    .job_wall_ns
+                    .observe(started.elapsed().as_nanos() as u64);
+                outcome
             })
             .collect();
-        return (
-            out,
-            PoolStats {
-                ctx_rebuilds: rebuilds,
-                ..PoolStats::default()
-            },
-        );
     }
 
     let n = items.len();
@@ -167,15 +281,12 @@ where
         injector: Mutex::new(Injector {
             queue: VecDeque::new(),
             closed: false,
-            high_water: 0,
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
         locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         cap: config.queue_cap.max(1),
-        steals: AtomicU64::new(0),
-        batched_grabs: AtomicU64::new(0),
-        ctx_rebuilds: AtomicU64::new(0),
+        meter,
     };
 
     std::thread::scope(|scope| {
@@ -187,16 +298,25 @@ where
                 scope.spawn(move || {
                     let mut ctx = init(id);
                     let mut results: Vec<(usize, JobOutcome<R>)> = Vec::new();
-                    while let Some((i, item)) = next_job(shared, id) {
+                    while let Some((i, queued, item)) = next_job(shared, id) {
+                        shared
+                            .meter
+                            .queue_wait_ns
+                            .observe(queued.elapsed().as_nanos() as u64);
+                        let started = Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| f(&mut ctx, i, item))) {
                             Ok(r) => results.push((i, JobOutcome::Done(r))),
                             Err(payload) => {
                                 results
                                     .push((i, JobOutcome::Panicked(panic_text(payload.as_ref()))));
                                 ctx = init(id);
-                                shared.ctx_rebuilds.fetch_add(1, Relaxed);
+                                shared.meter.ctx_rebuilds.inc();
                             }
                         }
+                        shared
+                            .meter
+                            .job_wall_ns
+                            .observe(started.elapsed().as_nanos() as u64);
                     }
                     results
                 })
@@ -206,19 +326,23 @@ where
         // Submit with backpressure.
         for (i, item) in items.into_iter().enumerate() {
             let mut inj = shared.injector.lock().expect("injector poisoned");
-            while inj.queue.len() >= shared.cap {
-                inj = shared.not_full.wait(inj).expect("injector poisoned");
+            if inj.queue.len() >= shared.cap {
+                shared.meter.backpressure_waits.inc();
+                while inj.queue.len() >= shared.cap {
+                    inj = shared.not_full.wait(inj).expect("injector poisoned");
+                }
             }
-            inj.queue.push_back((i, item));
-            inj.high_water = inj.high_water.max(inj.queue.len());
+            inj.queue.push_back((i, Instant::now(), item));
+            shared
+                .meter
+                .queue_high_water
+                .set_max(inj.queue.len() as u64);
             drop(inj);
             shared.not_empty.notify_one();
         }
-        let high_water;
         {
             let mut inj = shared.injector.lock().expect("injector poisoned");
             inj.closed = true;
-            high_water = inj.high_water;
         }
         shared.not_empty.notify_all();
 
@@ -232,23 +356,15 @@ where
                 out[i] = Some(outcome);
             }
         }
-        let out = out
-            .into_iter()
+        out.into_iter()
             .map(|o| o.expect("every index reported"))
-            .collect();
-        let stats = PoolStats {
-            queue_high_water: high_water,
-            steals: shared.steals.load(Relaxed),
-            batched_grabs: shared.batched_grabs.load(Relaxed),
-            ctx_rebuilds: shared.ctx_rebuilds.load(Relaxed),
-        };
-        (out, stats)
+            .collect()
     })
 }
 
 /// One attempt at finding work: local deque, then a batched grab from
 /// the injector, then stealing from siblings.
-fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
+fn try_get<T>(shared: &Shared<'_, T>, id: usize) -> Option<(usize, Instant, T)> {
     if let Some(job) = shared.locals[id]
         .lock()
         .expect("local poisoned")
@@ -267,7 +383,7 @@ fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
             drop(inj);
             shared.not_full.notify_all();
             if !extras.is_empty() {
-                shared.batched_grabs.fetch_add(1, Relaxed);
+                shared.meter.batched_grabs.inc();
                 shared.locals[id]
                     .lock()
                     .expect("local poisoned")
@@ -282,7 +398,7 @@ fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
         let victim = (id + k) % n;
         let mut local = shared.locals[victim].lock().expect("local poisoned");
         if let Some(job) = local.pop_back() {
-            shared.steals.fetch_add(1, Relaxed);
+            shared.meter.steals.inc();
             return Some(job);
         }
     }
@@ -290,7 +406,7 @@ fn try_get<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
 }
 
 /// Blocks until a job is available or the pool is drained and closed.
-fn next_job<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
+fn next_job<T>(shared: &Shared<'_, T>, id: usize) -> Option<(usize, Instant, T)> {
     loop {
         if let Some(job) = try_get(shared, id) {
             return Some(job);
@@ -312,7 +428,7 @@ fn next_job<T>(shared: &Shared<T>, id: usize) -> Option<(usize, T)> {
     }
 }
 
-fn all_locals_empty<T>(shared: &Shared<T>) -> bool {
+fn all_locals_empty<T>(shared: &Shared<'_, T>) -> bool {
     shared
         .locals
         .iter()
@@ -321,7 +437,7 @@ fn all_locals_empty<T>(shared: &Shared<T>) -> bool {
 
 /// Best-effort text of a panic payload (`&str` and `String` payloads;
 /// anything else gets a placeholder).
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

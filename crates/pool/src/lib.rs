@@ -35,13 +35,15 @@ pub mod executor;
 
 pub use batch::{
     load_manifest, parse_manifest, run_batch, BatchConfig, BatchReport, EngineKind, JobRecord,
-    JobSpec,
+    JobSpec, Postmortem,
 };
 pub use cache::{
     Artifact, CacheConfig, EngineFamily, PipelineCache, SourceKey, SourceLang, Stage, SHARDS,
 };
 pub use digest::Digest;
-pub use executor::{run_jobs, run_jobs_ctx, JobOutcome, PoolConfig, PoolStats};
+pub use executor::{
+    run_jobs, run_jobs_ctx, run_jobs_metered, JobOutcome, PoolConfig, PoolMeter, PoolStats,
+};
 
 #[cfg(test)]
 mod tests {

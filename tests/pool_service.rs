@@ -53,6 +53,7 @@ fn batch_reports_are_byte_identical_at_every_worker_count() {
             &BatchConfig {
                 workers,
                 queue_cap: 8,
+                ..BatchConfig::default()
             },
         );
         reports.push(report.to_json(false));
@@ -74,6 +75,7 @@ fn a_batch_over_a_fresh_cache_still_finishes_warm() {
         &BatchConfig {
             workers: 4,
             queue_cap: 8,
+            ..BatchConfig::default()
         },
     );
     let snap = report.cache;
@@ -89,6 +91,7 @@ fn a_batch_over_a_fresh_cache_still_finishes_warm() {
         &BatchConfig {
             workers: 1,
             queue_cap: 8,
+            ..BatchConfig::default()
         },
     );
     assert_eq!(report1.cache.hits, snap.hits);
