@@ -12,7 +12,7 @@
 
 use cmm_bench::trajectory::{
     check_against_baseline, parse_baseline, run_chaos_histogram, run_pool_throughput,
-    run_trajectory, to_json,
+    run_snapshot_figures, run_trajectory, to_json, SNAPSHOT_EVERY,
 };
 use std::process::ExitCode;
 
@@ -69,7 +69,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
     // asserts the timing-stripped batch report is byte-identical at
     // every -j.
     let pool = run_pool_throughput(&[1, 2, 4, 8]);
-    let json = to_json(iters, &measurements, &chaos, &pool);
+    // One more batch over the same manifest, checkpointed at every
+    // SNAPSHOT_EVERY fuel units: the totals ride along in the JSON so
+    // checkpoint volume and blob size are visible over time, but they
+    // are never gated (the run itself asserts the checkpointed report
+    // is byte-identical at -j1 and -j4 and that no round-trip changed
+    // machine state).
+    let snap = run_snapshot_figures(SNAPSHOT_EVERY);
+    let json = to_json(iters, &measurements, &chaos, &pool, &snap);
 
     println!(
         "{:<34} {:>12} {:>7} {:>8} {:>7} {:>12} {:>12} {:>9}",
@@ -137,6 +144,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
             r.wall_jobs_per_sec
         );
     }
+
+    println!(
+        "checkpointing every {} fuel: {} job(s) took {} snapshot(s), {} blob bytes (digest {:#018x})",
+        snap.every, snap.jobs_checkpointed, snap.count, snap.bytes, snap.digest
+    );
 
     if let Some(path) = out {
         std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;

@@ -643,6 +643,101 @@ fn pool_specs() -> Vec<cmm_pool::JobSpec> {
     specs
 }
 
+/// Checkpoint totals of one `--snapshot-every` batch over the same
+/// manifest [`run_pool_throughput`] measures. Reported in the committed
+/// trajectory so checkpointing cost is visible over time, but — like
+/// wall-clock throughput — **never gated**: the section carries no
+/// `"name":` key, so [`parse_baseline`] cannot mistake it for a
+/// workload row and `--tolerance 0` cannot see it.
+///
+/// All five fields are deterministic (the blob digest folds every
+/// job's checkpoint stream in submission order), and the producing run
+/// asserts the checkpointed batch report is byte-identical at `-j1`
+/// and `-j4` — the same honesty contract as the scaling rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotFigures {
+    /// Fuel-slice interval between checkpoints (`--snapshot-every`).
+    pub every: u64,
+    /// Jobs that crossed at least one slice boundary.
+    pub jobs_checkpointed: u64,
+    /// Snapshots captured (and round-tripped) across the batch.
+    pub count: u64,
+    /// Total encoded blob bytes.
+    pub bytes: u64,
+    /// FNV fold of every job's checkpoint-stream digest, in submission
+    /// order — scheduling-independent, identical at every `-j`.
+    pub digest: u64,
+}
+
+/// The checkpoint interval the committed trajectory uses. Small enough
+/// that every C-- workload in the manifest crosses several boundaries;
+/// the MiniM3 jobs ride along uncheckpointed (their interpreter owns
+/// the inner machine).
+pub const SNAPSHOT_EVERY: u64 = 1024;
+
+/// Runs the pool manifest once per worker count in `[1, 4]` with
+/// checkpointing at every `every` fuel units, asserting the stripped
+/// reports are byte-identical, and aggregates the snapshot totals.
+/// Any `snap-error` outcome (a checkpoint round-trip that changed
+/// machine state) is a hard failure here — the difftest oracle owns
+/// diagnosis; the trajectory only refuses to commit figures over it.
+pub fn run_snapshot_figures(every: u64) -> SnapshotFigures {
+    use cmm_pool::{run_batch, BatchConfig, PipelineCache};
+    let specs = pool_specs();
+    let mut reference: Option<String> = None;
+    let mut figures = SnapshotFigures {
+        every,
+        jobs_checkpointed: 0,
+        count: 0,
+        bytes: 0,
+        digest: cmm_snap::FOLD_INIT,
+    };
+    for workers in [1usize, 4] {
+        let cache = PipelineCache::default();
+        let report = run_batch(
+            &specs,
+            &cache,
+            &BatchConfig {
+                workers,
+                queue_cap: 256,
+                snapshot_every: Some(every),
+                ..BatchConfig::default()
+            },
+        );
+        let stripped = report.to_json(false);
+        match &reference {
+            None => {
+                for j in &report.jobs {
+                    assert!(
+                        j.outcome != "snap-error",
+                        "job {} ({}) failed its checkpoint round-trip: {}",
+                        j.id,
+                        j.name,
+                        j.detail
+                    );
+                    // MiniM3 jobs carry no snapshot row: the language
+                    // interpreter owns the inner machine, so the batch
+                    // driver has no boundary to checkpoint at.
+                    let Some(snap) = j.snap else { continue };
+                    if snap.count > 0 {
+                        figures.jobs_checkpointed += 1;
+                    }
+                    figures.count += snap.count;
+                    figures.bytes += snap.bytes;
+                    figures.digest =
+                        cmm_snap::fold_digest(figures.digest, &snap.digest.to_le_bytes());
+                }
+                reference = Some(stripped);
+            }
+            Some(r) => assert_eq!(
+                r, &stripped,
+                "checkpointed batch reports must be byte-identical at every -j"
+            ),
+        }
+    }
+    figures
+}
+
 /// Deterministic list schedule: jobs are placed in submission order on
 /// the least-loaded of `workers` lanes (lowest index on ties) and the
 /// makespan is the heaviest lane. This mirrors what the executor's
@@ -747,6 +842,7 @@ pub fn to_json(
     measurements: &[Measurement],
     chaos: &ChaosHistogram,
     pool: &PoolThroughput,
+    snap: &SnapshotFigures,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -833,12 +929,21 @@ pub fn to_json(
     let _ = writeln!(
         s,
         "  \"pool\": {{ \"jobs\": {}, \"clock\": \"{}\", \"total_cost\": {}, \
-         \"hit_rate_permille\": {}, \"throughput\": [\n    {}\n  ] }}",
+         \"hit_rate_permille\": {}, \"throughput\": [\n    {}\n  ] }},",
         pool.jobs,
         pool.clock,
         pool.total_cost,
         pool.hit_rate_permille,
         rates.join(",\n    ")
+    );
+    // Checkpointing totals from a `--snapshot-every` run of the same
+    // manifest: reported for trend-watching, never gated (no `"name":`
+    // key, so the baseline parser skips the whole line).
+    let _ = writeln!(
+        s,
+        "  \"snapshots\": {{ \"every\": {}, \"jobs_checkpointed\": {}, \"count\": {}, \
+         \"bytes\": {}, \"blob_digest\": \"{:#018x}\" }}",
+        snap.every, snap.jobs_checkpointed, snap.count, snap.bytes, snap.digest
     );
     s.push_str("}\n");
     s
@@ -908,6 +1013,16 @@ mod tests {
         }
     }
 
+    fn snap_fixture() -> SnapshotFigures {
+        SnapshotFigures {
+            every: 1024,
+            jobs_checkpointed: 160,
+            count: 777,
+            bytes: 65536,
+            digest: 0xdead_beef_cafe_f00d,
+        }
+    }
+
     #[test]
     fn json_round_trips_the_gated_subset() {
         let ms = vec![
@@ -948,14 +1063,19 @@ mod tests {
             hit_rate_permille: 400,
             rates: vec![rate(1, 111, 91, 1000), rate(4, 333, 89, 3000)],
         };
-        let json = to_json(3, &ms, &chaos, &pool);
+        let json = to_json(3, &ms, &chaos, &pool, &snap_fixture());
         let parsed = parse_baseline(&json);
-        // The chaos and pool sections must not leak into the gated
-        // workload list.
+        // The chaos, pool, and snapshot sections must not leak into
+        // the gated workload list.
         assert_eq!(parsed, vec![("a".into(), 123), ("b".into(), 456)]);
         assert!(json.contains("\"faults_injected\": 60"), "{json}");
         assert!(json.contains("\"virtual_jobs_per_sec\": 111"), "{json}");
         assert!(json.contains("\"wall_jobs_per_sec\": 91"), "{json}");
+        assert!(json.contains("\"jobs_checkpointed\": 160"), "{json}");
+        assert!(
+            json.contains("\"blob_digest\": \"0xdeadbeefcafef00d\""),
+            "{json}"
+        );
     }
 
     #[test]
@@ -980,12 +1100,14 @@ mod tests {
             hit_rate_permille: 400,
             rates: vec![rate(1, 111, 91, 1000), rate(4, 333, 89, 3000)],
         };
-        let json = to_json(3, &ms, &ChaosHistogram::default(), &pool);
+        let json = to_json(3, &ms, &ChaosHistogram::default(), &pool, &snap_fixture());
 
-        // Every wall-clock and scaling figure perturbed: the gated
-        // subset is unchanged, so a zero-tolerance check still passes.
-        // This is the honesty property for the scaling rows and the
-        // fused tier's timing fields — none of them can move the gate.
+        // Every wall-clock, scaling, and checkpointing figure
+        // perturbed: the gated subset is unchanged, so a
+        // zero-tolerance check still passes. This is the honesty
+        // property for the scaling rows, the fused tier's timing
+        // fields, and the snapshot row — none of them can move the
+        // gate.
         for field in [
             "\"virtual_jobs_per_sec\": 111",
             "\"wall_jobs_per_sec\": 91",
@@ -998,6 +1120,11 @@ mod tests {
             "\"speedup\": 2.00",
             "\"fused_speedup\": 1.25",
             "\"fused_regression\": false",
+            "\"every\": 1024",
+            "\"jobs_checkpointed\": 160",
+            "\"count\": 777",
+            "\"bytes\": 65536",
+            "\"blob_digest\": \"0xdeadbeefcafef00d\"",
         ] {
             let bumped = field.rsplit_once(' ').expect("field has a value").0;
             let faster = json.replace(field, &format!("{bumped} 999999"));
@@ -1040,7 +1167,7 @@ mod tests {
             hit_rate_permille: 0,
             rates: Vec::new(),
         };
-        let json = to_json(1, &ms, &ChaosHistogram::default(), &pool);
+        let json = to_json(1, &ms, &ChaosHistogram::default(), &pool, &snap_fixture());
         assert!(json.contains("\"fused_regression\": false"), "{json}");
         assert!(json.contains("\"fused_regression\": true"), "{json}");
         assert!(json.contains("\"fused_regressions\": [\"bad\"],"), "{json}");
@@ -1110,6 +1237,23 @@ mod tests {
                 r.workers
             );
         }
+    }
+
+    #[test]
+    fn snapshot_figures_are_reproducible_and_non_vacuous() {
+        // Two fresh checkpointed runs of the trajectory manifest land
+        // on identical totals (each run also asserts -j1 == -j4
+        // internally), and the committed interval is small enough that
+        // checkpointing actually happens.
+        let a = run_snapshot_figures(SNAPSHOT_EVERY);
+        let b = run_snapshot_figures(SNAPSHOT_EVERY);
+        assert_eq!(
+            a, b,
+            "snapshot figures must be a pure function of the manifest"
+        );
+        assert!(a.jobs_checkpointed > 0, "no job ever crossed a boundary");
+        assert!(a.count > 0 && a.bytes > 0);
+        assert_ne!(a.digest, cmm_snap::FOLD_INIT, "digest never folded a blob");
     }
 
     #[test]

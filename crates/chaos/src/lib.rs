@@ -217,6 +217,31 @@ impl FaultPlan {
         self.seen[op.index()]
     }
 
+    /// Exports the plan's full mid-run state — schedule, per-op
+    /// invocation counters, and the injection log — so a checkpointed
+    /// thread can park its fault plan alongside the machine state and
+    /// pick up the schedule exactly where it left off.
+    pub fn state(&self) -> FaultPlanState {
+        FaultPlanState {
+            seed: self.seed,
+            fail_at: self.fail_at,
+            seen: self.seen,
+            log: self.log.clone(),
+        }
+    }
+
+    /// Rebuilds a plan from exported state: the restored plan trips at
+    /// exactly the invocations the original still had scheduled, and
+    /// its log continues from the faults already injected.
+    pub fn from_state(st: &FaultPlanState) -> FaultPlan {
+        FaultPlan {
+            seed: st.seed,
+            fail_at: st.fail_at,
+            seen: st.seen,
+            log: st.log.clone(),
+        }
+    }
+
     /// A one-line rendering of the schedule (reproducer headers).
     pub fn describe(&self) -> String {
         let mut parts = Vec::new();
@@ -231,6 +256,21 @@ impl FaultPlan {
             parts.join(", ")
         }
     }
+}
+
+/// The exported mid-run state of a [`FaultPlan`] (see
+/// [`FaultPlan::state`]). All fields are public so a serializer can
+/// write them without this crate growing a wire format of its own.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPlanState {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Per-op scheduled failure invocation, in [`CHAOS_OPS`] order.
+    pub fail_at: [Option<u64>; CHAOS_OPS.len()],
+    /// Per-op invocation counters, in [`CHAOS_OPS`] order.
+    pub seen: [u64; CHAOS_OPS.len()],
+    /// Every fault injected so far, in trip order.
+    pub log: Vec<InjectedFault>,
 }
 
 /// Which resource limit tripped.
@@ -353,6 +393,24 @@ mod tests {
             }
         }
         assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn exported_state_continues_the_schedule() {
+        // Trip partway, export, restore: the restored plan must be
+        // indistinguishable from the original for the rest of the run.
+        let mut p = FaultPlan::seeded(7, 6);
+        for op in CHAOS_OPS {
+            p.trip(op);
+        }
+        let mut q = FaultPlan::from_state(&p.state());
+        assert_eq!(p, q);
+        for _ in 0..8 {
+            for op in CHAOS_OPS {
+                assert_eq!(p.trip(op), q.trip(op));
+            }
+        }
+        assert_eq!(p.log(), q.log());
     }
 
     #[test]

@@ -1,18 +1,21 @@
 //! `cmm` — the command-line driver.
 //!
 //! ```text
-//! cmm run <file.cmm> <proc> [args...] [--results N] [-O0]
+//! cmm run <file.cmm> <proc> [args...] [--results N] [-O0] [--snapshot-every F]
 //! cmm dump-cfg <file.cmm> [proc]      # Abstract C-- (Table 2 nodes)
 //! cmm dump-ssa <file.cmm> [proc]      # Figure 6-style SSA numbering
 //! cmm dump-vm <file.cmm>              # disassembled simulated target
 //! cmm m3 <file.m3> <strategy> [args...]   # MiniM3 with a chosen strategy
 //! cmm trace <file> <proc|strategy> [args...] [--sem] [--decoded|--fused] [-O0] [--out F]
 //! cmm profile <file> <proc|strategy> [args...] [--sem] [--decoded|--fused] [-O0]
+//! cmm snap <file.cmm> <proc> [args...] [--engine E] [--at K] [--fuel F]
+//!          [--results N] [-O0] [--out FILE]
+//! cmm resume <snapshot> <file.cmm> [--engine E] [--fuel F]
 //! cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]
-//!          [--chaos] [--fault-seed S] [--schedules K]
+//!          [--chaos] [--fault-seed S] [--schedules K] [--snap] [--snap-slice F]
 //! cmm fuzz --replay DIR               # re-run checked-in reproducers
 //! cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]
-//!           [--metrics-out F] [--postmortem-dir DIR]
+//!           [--metrics-out F] [--postmortem-dir DIR] [--snapshot-every F]
 //! cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]
 //! ```
 //!
@@ -42,6 +45,23 @@
 //! Strategies: `runtime-unwind`, `cutting`, `native-unwind`, `cps`,
 //! `sjlj-pentium`, `sjlj-sparc`, `sjlj-alpha`.
 //!
+//! `snap` runs a raw C-- program on one engine (`sem`, `sem-resolved`,
+//! `vm`, `vm-decoded`, `vm-fused`; default `vm`) under the fixed
+//! dispatcher policy and, if it is still running after `--at K` fuel
+//! units, serializes the suspended machine to `--out` in the versioned
+//! `cmm-snap` wire format. Without `--at` it simply runs to an end and
+//! prints `outcome:` / `instructions:` lines. `resume` decodes such a
+//! blob, verifies its source digest against the given file, rebuilds
+//! the engine recorded in the snapshot (or `--engine`, any tier of the
+//! same family — VM snapshots resume on any VM tier), restores the
+//! state, and continues to an end, printing the same two lines — so a
+//! snap-at-K-then-resume pair is byte-comparable against one straight
+//! `cmm snap` run. `--snapshot-every F` on `run` and `batch` performs
+//! a full capture → encode → decode → restore round-trip at every
+//! F-fuel slice boundary (an in-process self-check that changes
+//! nothing observable); `fuzz --snap` runs the snapshot-equivalence
+//! oracle over every generated case.
+//!
 //! `trace` and `profile` run the program with a recording sink in the
 //! engine: `trace` prints the exception-flow event log (and exports
 //! Chrome `trace_event` JSON with `--out`, `-` for stdout), `profile`
@@ -53,7 +73,7 @@
 //! trace of a fuzz case reproduces the oracle's run exactly.
 
 use cmm_core::sem::{SemEngine, Status, Value};
-use cmm_core::{frontend, ir, obs, opt, pool, rt, sem, vm, Compiler};
+use cmm_core::{chaos, frontend, ir, obs, opt, pool, rt, sem, snap, vm, Compiler};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -76,6 +96,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let rest: Vec<String> = args.collect();
             let mut results = 1usize;
             let mut opts = opt::OptOptions::default();
+            let mut every: Option<u64> = None;
             let mut call_args: Vec<u64> = Vec::new();
             let mut it = rest.into_iter();
             while let Some(a) = it.next() {
@@ -87,6 +108,17 @@ fn run(args: Vec<String>) -> Result<(), String> {
                             .ok_or("--results needs a number")?;
                     }
                     "-O0" => opts = opt::OptOptions::none(),
+                    // Fuel intervals are u64 like every fuel budget in
+                    // the system; parse the full width so a large
+                    // interval is honored, not truncated.
+                    "--snapshot-every" => {
+                        every = Some(
+                            it.next()
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .filter(|&n| n >= 1)
+                                .ok_or("--snapshot-every needs a number >= 1")?,
+                        );
+                    }
                     // Arguments are machine words (bits32). Parsing as
                     // u32 up front rejects oversized values instead of
                     // letting the semantics see a truncated word while
@@ -97,6 +129,9 @@ fn run(args: Vec<String>) -> Result<(), String> {
                             .map_err(|_| format!("bad argument `{v}`"))?,
                     ),
                 }
+            }
+            if let Some(n) = every {
+                return run_checkpointed(&file, &proc, &call_args, results, opts, n);
             }
             let c = compiler(&file)?.options(opts);
             let sem_args = call_args.iter().map(|&a| Value::b32(a as u32)).collect();
@@ -111,6 +146,129 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 cost.instructions, cost.loads, cost.stores, cost.branches
             );
             Ok(())
+        }
+        "snap" => {
+            let file = args.next().ok_or_else(usage)?;
+            let proc = args.next().ok_or_else(usage)?;
+            let mut engine = snap::EngineId::Vm;
+            let mut fuel = TRACE_FUEL;
+            let mut at: Option<u64> = None;
+            let mut out = "cmm.snap".to_string();
+            let mut results = 1usize;
+            let mut opts = opt::OptOptions::default();
+            let mut call_args: Vec<u64> = Vec::new();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--engine" => {
+                        engine =
+                            snap::EngineId::parse(&args.next().ok_or("--engine needs a name")?)?;
+                    }
+                    "--fuel" => {
+                        fuel = args
+                            .next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--fuel needs a number >= 1")?;
+                    }
+                    "--at" => {
+                        at = Some(
+                            args.next()
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .ok_or("--at needs a number")?,
+                        );
+                    }
+                    "--out" => out = args.next().ok_or("--out needs a path")?,
+                    "--results" => {
+                        results = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--results needs a number")?;
+                    }
+                    "-O0" => opts = opt::OptOptions::none(),
+                    v => call_args.push(
+                        v.parse::<u32>()
+                            .map(u64::from)
+                            .map_err(|_| format!("bad argument `{v}`"))?,
+                    ),
+                }
+            }
+            let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let opt = opts != opt::OptOptions::none();
+            let cx = SnapCtx {
+                engine,
+                digest: snap::source_digest(&src, opt),
+                entry: &proc,
+                args: &call_args,
+                opt,
+                fuel,
+                first_budget: fuel,
+                at,
+                every: None,
+                yields: 0,
+                service: true,
+                out: &out,
+            };
+            snap_session(&src, None, &cx, opts, results)
+        }
+        "resume" => {
+            let snapfile = args.next().ok_or_else(usage)?;
+            let file = args.next().ok_or_else(usage)?;
+            let mut engine_override: Option<snap::EngineId> = None;
+            let mut fuel = TRACE_FUEL;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--engine" => {
+                        engine_override = Some(snap::EngineId::parse(
+                            &args.next().ok_or("--engine needs a name")?,
+                        )?);
+                    }
+                    "--fuel" => {
+                        fuel = args
+                            .next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--fuel needs a number >= 1")?;
+                    }
+                    other => return Err(format!("unknown resume option `{other}`")),
+                }
+            }
+            let blob = std::fs::read(&snapfile).map_err(|e| format!("{snapfile}: {e}"))?;
+            let snapshot = snap::Snapshot::decode(&blob).map_err(|e| format!("{snapfile}: {e}"))?;
+            let engine = match engine_override {
+                Some(e) if e.family() != snapshot.engine.family() => {
+                    return Err(format!(
+                        "cannot resume a {} snapshot on `{}`: engine families differ",
+                        snapshot.engine.name(),
+                        e.name()
+                    ));
+                }
+                Some(e) => e,
+                None => snapshot.engine,
+            };
+            let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            snapshot
+                .check_digest(snap::source_digest(&src, snapshot.meta.opt))
+                .map_err(|e| format!("{snapfile}: {e} (is `{file}` the snapshotted source?)"))?;
+            let opts = if snapshot.meta.opt {
+                opt::OptOptions::default()
+            } else {
+                opt::OptOptions::none()
+            };
+            let cx = SnapCtx {
+                engine,
+                digest: snapshot.digest,
+                entry: &snapshot.meta.entry,
+                args: &snapshot.meta.args,
+                opt: snapshot.meta.opt,
+                fuel,
+                first_budget: snapshot.meta.fuel_remaining,
+                at: None,
+                every: None,
+                yields: snapshot.meta.yields_done,
+                service: true,
+                out: "",
+            };
+            snap_session(&src, Some(&snapshot), &cx, opts, 1)
         }
         "dump-cfg" => {
             let file = args.next().ok_or_else(usage)?;
@@ -284,6 +442,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
                             .filter(|&n| n >= 1)
                             .ok_or("--jobs needs a number >= 1")?;
                     }
+                    "--snap" => cfg.snap = true,
+                    "--snap-slice" => {
+                        cfg.snap_slice = args
+                            .next()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--snap-slice needs a number >= 1")?;
+                    }
                     other => return Err(format!("unknown fuzz option `{other}`")),
                 }
             }
@@ -344,6 +510,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let mut cache_bytes: Option<u64> = None;
             let mut metrics_out: Option<String> = None;
             let mut postmortem_dir: Option<String> = None;
+            let mut snapshot_every: Option<u64> = None;
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--jobs" | "-j" => {
@@ -369,6 +536,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
                         postmortem_dir =
                             Some(args.next().ok_or("--postmortem-dir needs a directory")?);
                     }
+                    "--snapshot-every" => {
+                        snapshot_every = Some(
+                            args.next()
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .filter(|&n| n >= 1)
+                                .ok_or("--snapshot-every needs a number >= 1")?,
+                        );
+                    }
                     other => return Err(format!("unknown batch option `{other}`")),
                 }
             }
@@ -387,6 +562,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     workers: jobs,
                     queue_cap: 256,
                     metrics: metrics_out.is_some() || postmortem_dir.is_some(),
+                    snapshot_every,
                     ..Default::default()
                 },
             );
@@ -718,6 +894,502 @@ fn drive_vm<S: obs::TraceSink>(
     }
 }
 
+/// Shared parameters of the snapshot drive loops behind `cmm snap`,
+/// `cmm resume`, and `cmm run --snapshot-every`.
+struct SnapCtx<'a> {
+    engine: snap::EngineId,
+    digest: [u64; 2],
+    entry: &'a str,
+    args: &'a [u64],
+    opt: bool,
+    /// Per-segment fuel budget for segments after the first.
+    fuel: u64,
+    /// The current segment's remaining budget at loop entry
+    /// (`meta.fuel_remaining` on resume, `fuel` on a fresh start).
+    first_budget: u64,
+    /// Fuel from now until the capture point; `None` never captures.
+    at: Option<u64>,
+    /// Self-round-trip checkpoint interval (`--snapshot-every`).
+    every: Option<u64>,
+    /// Yields already serviced (nonzero when resuming).
+    yields: u64,
+    /// Service suspensions with the fixed dispatcher policy; when
+    /// false a suspension ends the run, like plain `cmm run`.
+    service: bool,
+    /// Snapshot output path (used only when `at` fires).
+    out: &'a str,
+}
+
+/// How a snapshot drive ended.
+enum DriveEnd<T> {
+    /// Clean termination with the machine's results.
+    Done(T),
+    /// Any other end (wrong, fuel, rts error, unserviced yield).
+    Stopped(String),
+    /// The capture point fired: a snapshot was written.
+    Written { path: String, bytes: usize },
+}
+
+/// Encodes the machine state under `cx`'s identity metadata.
+fn encode_snapshot(
+    cx: &SnapCtx,
+    budget: u64,
+    yields: u64,
+    plan: Option<&chaos::FaultPlan>,
+    state: snap::MachineState,
+) -> Vec<u8> {
+    snap::Snapshot {
+        engine: cx.engine,
+        digest: cx.digest,
+        meta: snap::SnapMeta {
+            entry: cx.entry.to_string(),
+            args: cx.args.to_vec(),
+            fuel_remaining: budget,
+            yields_done: yields,
+            opt: cx.opt,
+        },
+        governor: None,
+        chaos: plan.map(|p| p.state()),
+        state,
+    }
+    .encode()
+}
+
+/// Drives an abstract-machine engine in fuel slices: captures a
+/// snapshot to `cx.out` when the `--at` point fires, self-round-trips
+/// at every `--snapshot-every` boundary, and services suspensions with
+/// the fixed dispatcher policy (when `cx.service`). Returns the end
+/// plus checkpoint (count, bytes) totals. Fuel accounting is exact, so
+/// the sliced run's outcome matches the unsliced one.
+fn snap_drive_sem<'p, M: SemEngine<'p>>(
+    t: &mut rt::Thread<'p, M>,
+    cx: &SnapCtx,
+) -> Result<(DriveEnd<Vec<Value>>, u64, u64), String> {
+    let mut yields = cx.yields;
+    let mut at = cx.at;
+    let mut budget = cx.first_budget;
+    let (mut count, mut total) = (0u64, 0u64);
+    loop {
+        let status = loop {
+            if at == Some(0) {
+                let bytes = encode_snapshot(
+                    cx,
+                    budget,
+                    yields,
+                    t.chaos(),
+                    snap::MachineState::Sem(t.machine().capture()?),
+                );
+                let n = bytes.len();
+                std::fs::write(cx.out, &bytes).map_err(|e| format!("{}: {e}", cx.out))?;
+                let path = cx.out.to_string();
+                return Ok((DriveEnd::Written { path, bytes: n }, count, total));
+            }
+            let mut slice = budget;
+            if let Some(k) = at {
+                slice = slice.min(k);
+            }
+            if let Some(n) = cx.every {
+                slice = slice.min(n.max(1));
+            }
+            let before = t.machine().steps();
+            let status = t.run(slice);
+            let used = t.machine().steps().saturating_sub(before);
+            budget = budget.saturating_sub(used);
+            if let Some(k) = at.as_mut() {
+                *k = k.saturating_sub(used);
+            }
+            if matches!(status, Status::OutOfFuel) && budget > 0 {
+                // A slice boundary, not real exhaustion: checkpoint if
+                // asked, then keep going (the `--at` capture fires at
+                // the top of the loop).
+                if at != Some(0) && cx.every.is_some() {
+                    let bytes = encode_snapshot(
+                        cx,
+                        budget,
+                        yields,
+                        t.chaos(),
+                        snap::MachineState::Sem(t.machine().capture()?),
+                    );
+                    let decoded = snap::Snapshot::decode(&bytes).map_err(|e| e.to_string())?;
+                    let snap::MachineState::Sem(st) = &decoded.state else {
+                        return Err("sem snapshot decoded to a VM state".into());
+                    };
+                    t.machine_mut().restore(st)?;
+                    count += 1;
+                    total += bytes.len() as u64;
+                }
+                continue;
+            }
+            break status;
+        };
+        match status {
+            Status::Terminated(vals) => return Ok((DriveEnd::Done(vals), count, total)),
+            Status::Wrong(w) => {
+                return Ok((DriveEnd::Stopped(format!("wrong: {w}")), count, total));
+            }
+            Status::OutOfFuel => {
+                return Ok((DriveEnd::Stopped("out of fuel".into()), count, total));
+            }
+            Status::Suspended => {
+                if !cx.service {
+                    let s = "program yielded to a missing run-time system".to_string();
+                    return Ok((DriveEnd::Stopped(s), count, total));
+                }
+                if yields >= TRACE_MAX_YIELDS as u64 {
+                    return Ok((
+                        DriveEnd::Stopped("suspension bound reached".into()),
+                        count,
+                        total,
+                    ));
+                }
+                yields += 1;
+                let code = t.yield_code().unwrap_or(0);
+                let Some(mut a) = t.first_activation() else {
+                    return Ok((
+                        DriveEnd::Stopped("rts error: no first activation".into()),
+                        count,
+                        total,
+                    ));
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(w) = t.set_activation(&a) {
+                    return Ok((DriveEnd::Stopped(format!("rts error: {w}")), count, total));
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = Value::b32(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v.clone();
+                    n += 1;
+                }
+                if let Err(w) = t.resume() {
+                    return Ok((DriveEnd::Stopped(format!("rts error: {w}")), count, total));
+                }
+                budget = cx.fuel;
+            }
+            other => {
+                return Ok((
+                    DriveEnd::Stopped(format!("unexpected status {other:?}")),
+                    count,
+                    total,
+                ));
+            }
+        }
+    }
+}
+
+/// [`snap_drive_sem`] on the simulated target.
+fn snap_drive_vm<S: obs::TraceSink>(
+    t: &mut vm::VmThread<'_, S>,
+    cx: &SnapCtx,
+) -> Result<(DriveEnd<Vec<u64>>, u64, u64), String> {
+    let mut yields = cx.yields;
+    let mut at = cx.at;
+    let mut budget = cx.first_budget;
+    let (mut count, mut total) = (0u64, 0u64);
+    loop {
+        let status = loop {
+            if at == Some(0) {
+                let bytes = encode_snapshot(
+                    cx,
+                    budget,
+                    yields,
+                    t.chaos(),
+                    snap::MachineState::Vm(t.machine.capture()?),
+                );
+                let n = bytes.len();
+                std::fs::write(cx.out, &bytes).map_err(|e| format!("{}: {e}", cx.out))?;
+                let path = cx.out.to_string();
+                return Ok((DriveEnd::Written { path, bytes: n }, count, total));
+            }
+            let mut slice = budget;
+            if let Some(k) = at {
+                slice = slice.min(k);
+            }
+            if let Some(n) = cx.every {
+                slice = slice.min(n.max(1));
+            }
+            let before = t.machine.cost.instructions;
+            let status = t.run(slice);
+            let used = t.machine.cost.instructions.saturating_sub(before);
+            budget = budget.saturating_sub(used);
+            if let Some(k) = at.as_mut() {
+                *k = k.saturating_sub(used);
+            }
+            if matches!(status, vm::VmStatus::OutOfFuel) && budget > 0 {
+                if at != Some(0) && cx.every.is_some() {
+                    let bytes = encode_snapshot(
+                        cx,
+                        budget,
+                        yields,
+                        t.chaos(),
+                        snap::MachineState::Vm(t.machine.capture()?),
+                    );
+                    let decoded = snap::Snapshot::decode(&bytes).map_err(|e| e.to_string())?;
+                    let snap::MachineState::Vm(st) = &decoded.state else {
+                        return Err("vm snapshot decoded to a sem state".into());
+                    };
+                    t.machine.restore(st)?;
+                    count += 1;
+                    total += bytes.len() as u64;
+                }
+                continue;
+            }
+            break status;
+        };
+        match status {
+            vm::VmStatus::Halted(vals) => return Ok((DriveEnd::Done(vals), count, total)),
+            vm::VmStatus::Error(e) => {
+                return Ok((DriveEnd::Stopped(format!("fault: {e}")), count, total));
+            }
+            vm::VmStatus::OutOfFuel => {
+                return Ok((DriveEnd::Stopped("out of fuel".into()), count, total));
+            }
+            vm::VmStatus::Suspended => {
+                if !cx.service {
+                    let s = "program yielded to a missing run-time system".to_string();
+                    return Ok((DriveEnd::Stopped(s), count, total));
+                }
+                if yields >= TRACE_MAX_YIELDS as u64 {
+                    return Ok((
+                        DriveEnd::Stopped("suspension bound reached".into()),
+                        count,
+                        total,
+                    ));
+                }
+                yields += 1;
+                let code = t.machine.yield_args(1)[0];
+                let Some(mut a) = t.first_activation() else {
+                    return Ok((
+                        DriveEnd::Stopped("rts error: no first activation".into()),
+                        count,
+                        total,
+                    ));
+                };
+                let _ = t.next_activation(&mut a);
+                if let Err(e) = t.set_activation(&a) {
+                    return Ok((DriveEnd::Stopped(format!("rts error: {e}")), count, total));
+                }
+                if code % 2 == 1 {
+                    let _ = t.set_unwind_cont(0);
+                }
+                let v = u64::from(fill(code));
+                let mut n = 0;
+                while let Some(p) = t.find_cont_param(n) {
+                    *p = v;
+                    n += 1;
+                }
+                if let Err(e) = t.resume() {
+                    return Ok((DriveEnd::Stopped(format!("rts error: {e}")), count, total));
+                }
+                budget = cx.fuel;
+            }
+            other => {
+                return Ok((
+                    DriveEnd::Stopped(format!("unexpected status {other:?}")),
+                    count,
+                    total,
+                ));
+            }
+        }
+    }
+}
+
+/// Builds the engine `cx` names over `src`, optionally restores a
+/// decoded snapshot into it, runs the drive, and prints the end in a
+/// stable format: `outcome:` + `instructions:` lines on a finished
+/// run (byte-comparable between a straight run and a snap-then-resume
+/// pair), or a one-line report of the written snapshot.
+fn snap_session(
+    src: &str,
+    restore: Option<&snap::Snapshot>,
+    cx: &SnapCtx,
+    opts: opt::OptOptions,
+    results: usize,
+) -> Result<(), String> {
+    let c = Compiler::new()
+        .source(src)
+        .map_err(|e| e.to_string())?
+        .options(opts);
+    match cx.engine {
+        snap::EngineId::Sem => {
+            let prog = c.program().map_err(|e| e.to_string())?;
+            let mut t = rt::Thread::new(&prog);
+            snap_session_sem(&mut t, restore, cx)
+        }
+        snap::EngineId::SemResolved => {
+            let prog = c.program().map_err(|e| e.to_string())?;
+            let rp = sem::ResolvedProgram::new(&prog);
+            let mut t = rt::Thread::over(sem::ResolvedMachine::new(&rp));
+            snap_session_sem(&mut t, restore, cx)
+        }
+        _ => {
+            let vp = c.vm_program().map_err(|e| e.to_string())?;
+            let mut t = match cx.engine {
+                snap::EngineId::VmDecoded => vm::VmThread::new_decoded(&vp),
+                snap::EngineId::VmFused => vm::VmThread::new_fused(&vp),
+                _ => vm::VmThread::new(&vp),
+            };
+            snap_session_vm(&mut t, restore, cx, results)
+        }
+    }
+}
+
+/// [`snap_session`]'s sem-family start/restore + drive + report.
+fn snap_session_sem<'p, M: SemEngine<'p>>(
+    t: &mut rt::Thread<'p, M>,
+    restore: Option<&snap::Snapshot>,
+    cx: &SnapCtx,
+) -> Result<(), String> {
+    match restore {
+        Some(s) => {
+            let snap::MachineState::Sem(st) = &s.state else {
+                return Err(
+                    "snapshot holds a VM state but a sem-family engine was requested".into(),
+                );
+            };
+            t.machine_mut().restore(st)?;
+            if let Some(ch) = &s.chaos {
+                t.set_chaos(chaos::FaultPlan::from_state(ch));
+            }
+        }
+        None => {
+            let vals = cx.args.iter().map(|&a| Value::b32(a as u32)).collect();
+            t.start(cx.entry, vals).map_err(|w| format!("wrong: {w}"))?;
+        }
+    }
+    let (end, _, _) = snap_drive_sem(t, cx)?;
+    match end {
+        DriveEnd::Done(vals) => {
+            let bits: Vec<u64> = vals.iter().map(|v| v.bits().unwrap_or(u64::MAX)).collect();
+            println!("outcome: halt {bits:?}");
+            println!("instructions: {}", t.machine().steps());
+        }
+        DriveEnd::Stopped(s) => {
+            println!("outcome: {s}");
+            println!("instructions: {}", t.machine().steps());
+        }
+        DriveEnd::Written { path, bytes } => {
+            println!(
+                "snapshot written to {path} ({bytes} bytes, engine {})",
+                cx.engine.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// [`snap_session`]'s VM-family start/restore + drive + report.
+fn snap_session_vm<S: obs::TraceSink>(
+    t: &mut vm::VmThread<'_, S>,
+    restore: Option<&snap::Snapshot>,
+    cx: &SnapCtx,
+    results: usize,
+) -> Result<(), String> {
+    match restore {
+        Some(s) => {
+            let snap::MachineState::Vm(st) = &s.state else {
+                return Err(
+                    "snapshot holds a sem state but a VM-family engine was requested".into(),
+                );
+            };
+            t.machine.restore(st)?;
+            if let Some(ch) = &s.chaos {
+                t.set_chaos(chaos::FaultPlan::from_state(ch));
+            }
+        }
+        None => t.start(cx.entry, cx.args, results),
+    }
+    let (end, _, _) = snap_drive_vm(t, cx)?;
+    match end {
+        DriveEnd::Done(vals) => {
+            println!("outcome: halt {vals:?}");
+            println!("instructions: {}", t.machine.cost.total());
+        }
+        DriveEnd::Stopped(s) => {
+            println!("outcome: {s}");
+            println!("instructions: {}", t.machine.cost.total());
+        }
+        DriveEnd::Written { path, bytes } => {
+            println!(
+                "snapshot written to {path} ({bytes} bytes, engine {})",
+                cx.engine.name()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `cmm run --snapshot-every F`: the same two runs as plain `run`, but
+/// each driven in F-fuel slices with a full capture → encode → decode
+/// → restore round-trip at every boundary. Results and cost are
+/// identical to the plain run — the round-trips are a self-check —
+/// plus one extra line reporting checkpoint volume.
+fn run_checkpointed(
+    file: &str,
+    proc: &str,
+    call_args: &[u64],
+    results: usize,
+    opts: opt::OptOptions,
+    every: u64,
+) -> Result<(), String> {
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let c = Compiler::new()
+        .source(&src)
+        .map_err(|e| e.to_string())?
+        .options(opts);
+    let opt = opts != opt::OptOptions::none();
+    let mut cx = SnapCtx {
+        engine: snap::EngineId::Sem,
+        digest: snap::source_digest(&src, opt),
+        entry: proc,
+        args: call_args,
+        opt,
+        fuel: TRACE_FUEL,
+        first_budget: TRACE_FUEL,
+        at: None,
+        every: Some(every),
+        yields: 0,
+        service: false,
+        out: "",
+    };
+    let prog = c.program().map_err(|e| e.to_string())?;
+    let mut t = rt::Thread::new(&prog);
+    let sem_args = call_args.iter().map(|&a| Value::b32(a as u32)).collect();
+    t.start(proc, sem_args)
+        .map_err(|w| format!("runtime error: {w}"))?;
+    let (end, sem_count, sem_bytes) = snap_drive_sem(&mut t, &cx)?;
+    let sem_vals = match end {
+        DriveEnd::Done(vals) => vals,
+        DriveEnd::Stopped(s) => return Err(s),
+        DriveEnd::Written { .. } => return Err("internal: run never writes a snapshot".into()),
+    };
+    cx.engine = snap::EngineId::Vm;
+    let vp = c.vm_program().map_err(|e| e.to_string())?;
+    let mut tv = vm::VmThread::new(&vp);
+    tv.start(proc, call_args, results);
+    let (end, vm_count, vm_bytes) = snap_drive_vm(&mut tv, &cx)?;
+    let vm_vals = match end {
+        DriveEnd::Done(vals) => vals,
+        DriveEnd::Stopped(s) => return Err(s),
+        DriveEnd::Written { .. } => return Err("internal: run never writes a snapshot".into()),
+    };
+    let cost = tv.machine.cost;
+    println!("semantics: {sem_vals:?}");
+    println!("target:    {vm_vals:?}");
+    println!(
+        "cost:      {} instructions, {} loads, {} stores, {} branches",
+        cost.instructions, cost.loads, cost.stores, cost.branches
+    );
+    println!(
+        "snapshots: semantics {sem_count} checkpoint(s) ({sem_bytes} bytes), \
+         target {vm_count} checkpoint(s) ({vm_bytes} bytes)"
+    );
+    Ok(())
+}
+
 fn compiler(file: &str) -> Result<Compiler, String> {
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     Compiler::new().source(&src).map_err(|e| e.to_string())
@@ -737,18 +1409,21 @@ fn parse_strategy(s: &str) -> Result<frontend::Strategy, String> {
 }
 
 fn usage() -> String {
-    "usage: cmm run <file> <proc> [args..] [--results N] [-O0]\n\
+    "usage: cmm run <file> <proc> [args..] [--results N] [-O0] [--snapshot-every F]\n\
      \x20      cmm dump-cfg <file> [proc]\n\
      \x20      cmm dump-ssa <file> [proc]\n\
      \x20      cmm dump-vm <file>\n\
      \x20      cmm m3 <file> <strategy> [args..]\n\
      \x20      cmm trace <file> <proc|strategy> [args..] [--sem] [--decoded|--fused] [-O0] [--out F]\n\
      \x20      cmm profile <file> <proc|strategy> [args..] [--sem] [--decoded|--fused] [-O0]\n\
+     \x20      cmm snap <file> <proc> [args..] [--engine E] [--at K] [--fuel F]\n\
+     \x20               [--results N] [-O0] [--out FILE]\n\
+     \x20      cmm resume <snapshot> <file> [--engine E] [--fuel F]\n\
      \x20      cmm fuzz [--cases N] [--seed S] [--shrink] [--corpus DIR] [--jobs N]\n\
-     \x20               [--chaos] [--fault-seed S] [--schedules K]\n\
+     \x20               [--chaos] [--fault-seed S] [--schedules K] [--snap] [--snap-slice F]\n\
      \x20      cmm fuzz --replay DIR\n\
      \x20      cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]\n\
-     \x20                [--metrics-out F] [--postmortem-dir DIR]\n\
+     \x20                [--metrics-out F] [--postmortem-dir DIR] [--snapshot-every F]\n\
      \x20      cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]"
         .into()
 }

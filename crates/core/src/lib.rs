@@ -48,6 +48,7 @@
 //! ```
 
 pub use cmm_cfg as cfg;
+pub use cmm_chaos as chaos;
 pub use cmm_frontend as frontend;
 pub use cmm_ir as ir;
 pub use cmm_obs as obs;
@@ -56,6 +57,7 @@ pub use cmm_parse as parse;
 pub use cmm_pool as pool;
 pub use cmm_rt as rt;
 pub use cmm_sem as sem;
+pub use cmm_snap as snap;
 pub use cmm_vm as vm;
 
 use cmm_cfg::{build_program, Program};

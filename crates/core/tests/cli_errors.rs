@@ -101,6 +101,185 @@ fn fuzz_rejects_bad_options() {
     assert_fails_mentioning(&cmm(&["fuzz", "--jobs", "0"]), "--jobs");
     assert_fails_mentioning(&cmm(&["fuzz", "--jobs"]), "--jobs");
     assert_fails_mentioning(&cmm(&["fuzz", "--cases"]), "--cases");
+    // The snapshot-equivalence oracle slices fuel; a slice of zero
+    // would never make progress and must be rejected at the parser.
+    assert_fails_mentioning(&cmm(&["fuzz", "--snap-slice", "0"]), "--snap-slice");
+    assert_fails_mentioning(&cmm(&["fuzz", "--snap-slice", "many"]), "--snap-slice");
+    assert_fails_mentioning(&cmm(&["fuzz", "--snap-slice"]), "--snap-slice");
+}
+
+#[test]
+fn snapshot_flags_reject_bad_numbers() {
+    let s = Scratch::new("snapnum");
+    let src = s.file("t.cmm", "f(bits32 a) { return (a); }");
+    let src = src.to_str().unwrap();
+    // Zero-interval checkpointing would snapshot before every
+    // transition forever; zero fuel would never run at all.
+    assert_fails_mentioning(
+        &cmm(&["run", src, "f", "1", "--snapshot-every", "0"]),
+        "--snapshot-every",
+    );
+    assert_fails_mentioning(
+        &cmm(&["run", src, "f", "1", "--snapshot-every", "x"]),
+        "--snapshot-every",
+    );
+    assert_fails_mentioning(
+        &cmm(&["run", src, "f", "1", "--snapshot-every"]),
+        "--snapshot-every",
+    );
+    assert_fails_mentioning(&cmm(&["snap", src, "f", "1", "--fuel", "0"]), "--fuel");
+    assert_fails_mentioning(&cmm(&["snap", src, "f", "1", "--at", "many"]), "--at");
+    assert_fails_mentioning(&cmm(&["snap", src, "f", "1", "--engine", "warp"]), "warp");
+    // Entry arguments stay 32-bit words on the snap path too: no silent
+    // `as u32` truncation for one engine family.
+    assert_fails_mentioning(&cmm(&["snap", src, "f", "4294967296"]), "bad argument");
+    assert_fails_mentioning(
+        &cmm(&[
+            "run",
+            src,
+            "f",
+            "1",
+            "--snapshot-every",
+            "4294967296",
+            "--snapshot-every",
+            "0",
+        ]),
+        "--snapshot-every",
+    );
+    let m = s.file("one.manifest", "t.cmm sem entry=f args=1\n");
+    assert_fails_mentioning(
+        &cmm(&["batch", m.to_str().unwrap(), "--snapshot-every", "0"]),
+        "--snapshot-every",
+    );
+}
+
+#[test]
+fn resume_rejects_garbage_and_mismatched_snapshots() {
+    let s = Scratch::new("resumebad");
+    let src = s.file("t.cmm", "f(bits32 a) { return (a); }");
+    let src = src.to_str().unwrap();
+    // Missing snapshot file.
+    assert_fails_mentioning(&cmm(&["resume", "no_such.snap", src]), "no_such.snap");
+    // A file that is not a snapshot at all: structured decode error,
+    // not a panic.
+    let junk = s.file("junk.snap", "this is not a snapshot");
+    assert_fails_mentioning(&cmm(&["resume", junk.to_str().unwrap(), src]), "junk.snap");
+    // A valid snapshot of one program refuses to resume over another.
+    let loop_src = s.file(
+        "loop.cmm",
+        "f(bits32 n) {\n  bits32 acc;\n  acc = 0;\nloop:\n  if n == 0 { return (acc); }\n  else { acc = acc + n; n = n - 1; goto loop; }\n}",
+    );
+    let blob = s.0.join("loop.snap");
+    let out = cmm(&[
+        "snap",
+        loop_src.to_str().unwrap(),
+        "f",
+        "50",
+        "--at",
+        "40",
+        "--out",
+        blob.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "snap failed: {}", stderr(&out));
+    assert_fails_mentioning(
+        &cmm(&["resume", blob.to_str().unwrap(), src]),
+        "different program",
+    );
+    // ...and refuses an engine of the other family.
+    assert_fails_mentioning(
+        &cmm(&[
+            "resume",
+            blob.to_str().unwrap(),
+            loop_src.to_str().unwrap(),
+            "--engine",
+            "sem",
+        ]),
+        "families differ",
+    );
+}
+
+/// The headline CLI contract: `cmm snap --at K` + `cmm resume` prints
+/// exactly what one straight `cmm snap` run prints, for every engine —
+/// and a VM-tier snapshot resumes on a different tier.
+#[test]
+fn snap_then_resume_matches_the_straight_run_on_every_engine() {
+    let s = Scratch::new("snapresume");
+    let src = s.file(
+        "loop.cmm",
+        "f(bits32 n) {\n  bits32 acc;\n  acc = 0;\nloop:\n  if n == 0 { return (acc); }\n  else { acc = acc + n; n = n - 1; goto loop; }\n}",
+    );
+    let src = src.to_str().unwrap();
+    for engine in ["sem", "sem-resolved", "vm", "vm-decoded", "vm-fused"] {
+        let straight = cmm(&["snap", src, "f", "100", "--engine", engine]);
+        assert!(straight.status.success(), "{engine}: {}", stderr(&straight));
+        let blob = s.0.join(format!("{engine}.snap"));
+        let blob = blob.to_str().unwrap();
+        let out = cmm(&[
+            "snap", src, "f", "100", "--engine", engine, "--at", "57", "--out", blob,
+        ]);
+        assert!(out.status.success(), "{engine} snap: {}", stderr(&out));
+        assert!(
+            stdout(&out).contains("snapshot written"),
+            "{engine}: expected a snapshot, got:\n{}",
+            stdout(&out)
+        );
+        let resumed = cmm(&["resume", blob, src]);
+        assert!(
+            resumed.status.success(),
+            "{engine} resume: {}",
+            stderr(&resumed)
+        );
+        assert_eq!(
+            stdout(&resumed),
+            stdout(&straight),
+            "{engine}: resumed output differs from the straight run"
+        );
+        assert!(stdout(&straight).contains("outcome: halt"));
+    }
+    // Cross-tier: a stepped-tier blob resumes on the fused tier with
+    // the same outcome and instruction count.
+    let straight = cmm(&["snap", src, "f", "100", "--engine", "vm"]);
+    let resumed = cmm(&[
+        "resume",
+        s.0.join("vm.snap").to_str().unwrap(),
+        src,
+        "--engine",
+        "vm-fused",
+    ]);
+    assert!(resumed.status.success(), "cross-tier: {}", stderr(&resumed));
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&straight),
+        "cross-tier output differs"
+    );
+}
+
+/// `cmm run --snapshot-every` must not change what `cmm run` reports:
+/// the self-round-trip is invisible except for the trailing snapshots
+/// line.
+#[test]
+fn checkpointed_run_output_extends_the_plain_run() {
+    let s = Scratch::new("ckptrun");
+    let src = s.file(
+        "loop.cmm",
+        "f(bits32 n) {\n  bits32 acc;\n  acc = 0;\nloop:\n  if n == 0 { return (acc); }\n  else { acc = acc + n; n = n - 1; goto loop; }\n}",
+    );
+    let src = src.to_str().unwrap();
+    let plain = cmm(&["run", src, "f", "60"]);
+    assert!(plain.status.success(), "{}", stderr(&plain));
+    let ckpt = cmm(&["run", src, "f", "60", "--snapshot-every", "16"]);
+    assert!(ckpt.status.success(), "{}", stderr(&ckpt));
+    let plain = stdout(&plain);
+    let ckpt = stdout(&ckpt);
+    assert!(
+        ckpt.starts_with(&plain),
+        "checkpointed run must print the plain run verbatim first:\nplain:\n{plain}\nckpt:\n{ckpt}"
+    );
+    let extra = &ckpt[plain.len()..];
+    assert!(
+        extra.starts_with("snapshots:") && extra.contains("checkpoint(s)"),
+        "trailing snapshots line missing, got: {extra:?}"
+    );
 }
 
 #[test]

@@ -29,6 +29,7 @@ pub mod genprog;
 pub mod oracle;
 pub mod rng;
 pub mod shrink;
+pub mod snap_oracle;
 
 pub use genprog::{generate, shrink_candidates, TestCase};
 pub use oracle::{
@@ -39,6 +40,7 @@ pub use oracle::{
 };
 pub use rng::Rng;
 pub use shrink::shrink;
+pub use snap_oracle::{run_source_snap, SnapStats, SNAP_SLICE};
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -70,6 +72,14 @@ pub struct FuzzConfig {
     pub fault_seed: u64,
     /// Fault schedules per case when `chaos` is on.
     pub schedules: u64,
+    /// Additionally run the snapshot-equivalence oracle on each case
+    /// (`cmm fuzz --snap`): a straight run must deeply equal a run that
+    /// is snapshotted, serialized, and restored into a different engine
+    /// of the same family at every fuel-slice boundary — plain and
+    /// under one seeded fault schedule.
+    pub snap: bool,
+    /// Fuel slice between snapshot boundaries when `snap` is on.
+    pub snap_slice: u64,
     /// Worker threads for case checking (`cmm fuzz --jobs N`). `1`
     /// runs fully sequentially. Any value produces a bit-identical
     /// report: cases are *checked* in parallel on the `cmm-pool`
@@ -91,6 +101,8 @@ impl Default for FuzzConfig {
             chaos: false,
             fault_seed: 0,
             schedules: 5,
+            snap: false,
+            snap_slice: snap_oracle::SNAP_SLICE,
             jobs: 1,
         }
     }
@@ -159,6 +171,21 @@ pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzRe
                 cfg.schedules,
             )?;
         }
+        if cfg.snap {
+            let src = case.render();
+            snap_oracle::run_source_snap(&src, case.args, &cfg.limits, cfg.snap_slice, None)?;
+            let plan = cmm_chaos::FaultPlan::seeded(
+                cmm_chaos::schedule_seed(cfg.fault_seed, 0),
+                oracle::CHAOS_HORIZON,
+            );
+            snap_oracle::run_source_snap(
+                &src,
+                case.args,
+                &cfg.limits,
+                cfg.snap_slice,
+                Some(&plan),
+            )?;
+        }
         Ok(())
     };
     // Cases are *checked* in waves on the `cmm-pool` executor (inline
@@ -214,8 +241,9 @@ pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzRe
             };
             let reported = shrunk.as_ref().unwrap_or(&case);
             let chaos = cfg.chaos.then_some((cfg.fault_seed, cfg.schedules));
+            let snap = cfg.snap.then_some(cfg.snap_slice);
             let corpus_path = cfg.corpus_dir.as_deref().and_then(|dir| {
-                write_reproducer(dir, cfg.seed, index, reported, &failure, chaos).ok()
+                write_reproducer(dir, cfg.seed, index, reported, &failure, chaos, snap).ok()
             });
             // Shrinking may move the divergence to a different oracle, so
             // the artifact names whichever oracle fails on the *reported*
@@ -262,7 +290,9 @@ pub fn run_fuzz_with(cfg: &FuzzConfig, extra_passes: &[ExtraPass<'_>]) -> FuzzRe
 /// `dir`, creating it if necessary. The header comment records the
 /// failure and how to re-run the case; a chaos-sweep failure records its
 /// `(fault_seed, schedules)` so [`replay_corpus`] re-runs the same fault
-/// schedules.
+/// schedules, and a snapshot-oracle failure records its fuel slice so
+/// replay re-runs the snapshot-equivalence check too.
+#[allow(clippy::too_many_arguments)]
 pub fn write_reproducer(
     dir: &Path,
     seed: u64,
@@ -270,6 +300,7 @@ pub fn write_reproducer(
     case: &TestCase,
     failure: &Failure,
     chaos: Option<(u64, u64)>,
+    snap: Option<u64>,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("case-s{seed}-i{index}.cmm"));
@@ -289,9 +320,13 @@ pub fn write_reproducer(
         }
         None => String::new(),
     };
+    let snap_flags = match snap {
+        Some(slice) => format!(" --snap --snap-slice {slice}"),
+        None => String::new(),
+    };
     let _ = writeln!(
         text,
-        " * Reproduce with: cmm fuzz --seed {seed} --cases {} --shrink{chaos_flags}",
+        " * Reproduce with: cmm fuzz --seed {seed} --cases {} --shrink{chaos_flags}{snap_flags}",
         index + 1
     );
     let _ = writeln!(text, " * Entry point: f({}, {})", case.args.0, case.args.1);
@@ -300,6 +335,9 @@ pub fn write_reproducer(
             text,
             " * Chaos: fault-seed {fault_seed}, schedules {schedules}"
         );
+    }
+    if let Some(slice) = snap {
+        let _ = writeln!(text, " * Snap: slice {slice}");
     }
     let _ = writeln!(text, " */");
     text.push_str(&case.render());
@@ -413,7 +451,10 @@ impl ReplayReport {
 /// (`* Entry point: f(A, B)`), defaulting to `f(0, 0)` for hand-written
 /// corpus files without one. A `* Chaos: fault-seed F, schedules K`
 /// header additionally replays the case under the same K fault
-/// schedules through all four engines.
+/// schedules through all four engines. A `* Snap: slice N` header
+/// additionally replays the case through the snapshot-equivalence
+/// oracle at that fuel slice — plain, and (when a chaos header is also
+/// present) under the first of its fault schedules.
 ///
 /// A file that fails to parse is itself a failure: a stale corpus must
 /// be loud, not silently skipped.
@@ -432,10 +473,24 @@ pub fn replay_corpus(dir: &Path, limits: &Limits) -> std::io::Result<ReplayRepor
         let text = std::fs::read_to_string(&path)?;
         let args = entry_args(&text).unwrap_or((0, 0));
         report.files_run += 1;
-        let replayed =
-            oracle::run_source(&text, args, limits).and_then(|()| match chaos_header(&text) {
+        let replayed = oracle::run_source(&text, args, limits)
+            .and_then(|()| match chaos_header(&text) {
                 Some((fault_seed, schedules)) => {
                     oracle::run_source_chaos(&text, args, limits, fault_seed, schedules)
+                }
+                None => Ok(()),
+            })
+            .and_then(|()| match snap_header(&text) {
+                Some(slice) => {
+                    snap_oracle::run_source_snap(&text, args, limits, slice, None)?;
+                    if let Some((fault_seed, _)) = chaos_header(&text) {
+                        let plan = cmm_chaos::FaultPlan::seeded(
+                            cmm_chaos::schedule_seed(fault_seed, 0),
+                            oracle::CHAOS_HORIZON,
+                        );
+                        snap_oracle::run_source_snap(&text, args, limits, slice, Some(&plan))?;
+                    }
+                    Ok(())
                 }
                 None => Ok(()),
             });
@@ -455,6 +510,13 @@ fn entry_args(text: &str) -> Option<(u32, u32)> {
     let a = parts.next()?.trim().parse().ok()?;
     let b = parts.next()?.trim().parse().ok()?;
     Some((a, b))
+}
+
+/// Parses the `* Snap: slice N` header line.
+fn snap_header(text: &str) -> Option<u64> {
+    let line = text.lines().find(|l| l.contains("Snap: slice "))?;
+    let rest = &line[line.find("slice ")? + "slice ".len()..];
+    rest.trim().parse().ok()
 }
 
 /// Parses the `* Chaos: fault-seed F, schedules K` header line.
@@ -509,7 +571,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let case = case_for(5, 2);
         let failure = Failure::Build("synthetic".into());
-        write_reproducer(&dir, 5, 2, &case, &failure, None).unwrap();
+        write_reproducer(&dir, 5, 2, &case, &failure, None, None).unwrap();
         std::fs::write(dir.join("case-stale.cmm"), "not a program at all").unwrap();
         let report = replay_corpus(&dir, &Limits::default()).unwrap();
         assert_eq!(report.files_run, 2);
@@ -541,7 +603,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let case = case_for(3, 1);
         let failure = Failure::Build("synthetic".into());
-        let path = write_reproducer(&dir, 3, 1, &case, &failure, None).unwrap();
+        let path = write_reproducer(&dir, 3, 1, &case, &failure, None, None).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("/* cmm-difftest reproducer"));
         cmm_parse::parse_module(&text).expect("reproducer parses (comment included)");
@@ -555,6 +617,23 @@ mod tests {
             Some((7, 3))
         );
         assert_eq!(chaos_header("/* no chaos here */"), None);
+    }
+
+    #[test]
+    fn snap_header_round_trips() {
+        let dir = std::env::temp_dir().join("cmm-difftest-snap-header-selftest");
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = case_for(5, 2);
+        let failure = Failure::Snapshot("synthetic".into());
+        let path = write_reproducer(&dir, 5, 2, &case, &failure, None, Some(16)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("--snap --snap-slice 16"), "{text}");
+        assert_eq!(snap_header(&text), Some(16));
+        assert_eq!(snap_header("/* no snap here */"), None);
+        // The replayed corpus must actually run the snapshot oracle.
+        let report = replay_corpus(&dir, &Limits::default()).unwrap();
+        assert!(report.ok(), "{:?}", report.failures);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

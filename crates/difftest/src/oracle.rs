@@ -106,7 +106,7 @@ impl Obs {
 
 /// The deterministic parameter value the dispatcher passes to whatever
 /// continuation it resumes for yield code `code`.
-fn fill(code: u64) -> u32 {
+pub(crate) fn fill(code: u64) -> u32 {
     (code.wrapping_mul(13).wrapping_add(7) & 0xfff) as u32
 }
 
@@ -138,7 +138,7 @@ pub fn observe_sem_resolved(prog: &Program, args: (u32, u32), limits: &Limits) -
     observe_sem_thread(&mut Thread::new_resolved(&rp), args, limits)
 }
 
-fn observe_sem_thread<'p, M: SemEngine<'p>>(
+pub(crate) fn observe_sem_thread<'p, M: SemEngine<'p>>(
     t: &mut Thread<'p, M>,
     args: (u32, u32),
     limits: &Limits,
@@ -218,7 +218,7 @@ pub fn observe_vm_fused(prog: &VmProgram, args: (u32, u32), limits: &Limits) -> 
     observe_vm_thread(&mut VmThread::new_fused(prog), args, limits)
 }
 
-fn observe_vm_thread<S: TraceSink>(
+pub(crate) fn observe_vm_thread<S: TraceSink>(
     t: &mut VmThread<'_, S>,
     args: (u32, u32),
     limits: &Limits,
@@ -346,7 +346,7 @@ pub fn observe_vm_fused_chaos(
 }
 
 /// An observation plus the injected-fault log, described for reports.
-fn describe_chaos(obs: &Obs, detail: &str, log: &[InjectedFault]) -> String {
+pub(crate) fn describe_chaos(obs: &Obs, detail: &str, log: &[InjectedFault]) -> String {
     let mut s = obs.describe(detail);
     if !log.is_empty() {
         let faults: Vec<String> = log.iter().map(|f| f.to_string()).collect();
@@ -533,6 +533,11 @@ pub enum Failure {
     Build(String),
     /// VM code generation failed.
     Codegen(String),
+    /// The snapshot layer itself failed: a suspended state could not be
+    /// captured, a blob did not decode, a decoded blob did not re-encode
+    /// byte-identically, or an engine rejected a restore. Always a
+    /// `cmm-snap` (or capture/restore) bug.
+    Snapshot(String),
     /// An oracle disagreed with the unoptimized-semantics reference.
     Diverged {
         /// Which oracle disagreed, e.g. `sem+dce` or `vm+O2`.
@@ -565,6 +570,7 @@ impl Failure {
             Failure::RoundTrip(_) => "round-trip",
             Failure::Build(_) => "build",
             Failure::Codegen(_) => "codegen",
+            Failure::Snapshot(_) => "snapshot",
             Failure::Diverged { .. } => "diverged",
             Failure::Panicked { .. } => "panicked",
         }
@@ -583,6 +589,7 @@ impl fmt::Display for Failure {
             Failure::RoundTrip(e) => write!(f, "pretty-print round trip failed: {e}"),
             Failure::Build(e) => write!(f, "CFG construction failed: {e}"),
             Failure::Codegen(e) => write!(f, "VM code generation failed: {e}"),
+            Failure::Snapshot(e) => write!(f, "snapshot layer failed: {e}"),
             Failure::Diverged {
                 oracle,
                 reference,
@@ -602,7 +609,7 @@ impl fmt::Display for Failure {
 
 /// Runs one oracle with panics isolated: a panicking engine is reported
 /// as [`Failure::Panicked`] rather than unwinding through the harness.
-fn guarded<T>(oracle: &str, f: impl FnOnce() -> T) -> Result<T, Failure> {
+pub(crate) fn guarded<T>(oracle: &str, f: impl FnOnce() -> T) -> Result<T, Failure> {
     catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
         let message = if let Some(s) = e.downcast_ref::<&str>() {
             (*s).to_string()

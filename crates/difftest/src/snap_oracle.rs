@@ -1,0 +1,756 @@
+//! The snapshot-equivalence oracle: run-to-end must deeply equal
+//! snapshot-at-every-boundary-plus-resume.
+//!
+//! For each engine family the oracle runs a program twice under the
+//! standard dispatcher policy (see [`crate::oracle::observe_sem`]):
+//!
+//! * **straight** — each inter-yield segment gets its full fuel budget
+//!   in one `run` call, exactly as the regular oracles drive;
+//! * **sliced** — fuel is granted `slice` transitions at a time, and at
+//!   *every* resumable boundary (each fuel-slice exhaustion and each
+//!   suspension) the machine is captured, encoded with `cmm-snap`,
+//!   decoded, byte-identity-rechecked, and restored into a **fresh
+//!   machine of a different engine** of the same family: the sem run
+//!   alternates reference ↔ pre-resolved, the VM run rotates
+//!   stepped → decoded → fused. Chaos fault-plan state rides in the
+//!   snapshot, so an interrupted fault schedule resumes mid-flight.
+//!
+//! The two runs must then agree on *everything observable*: outcome,
+//! yield sequence, injected-fault log, the exception-event projection
+//! (trace events accumulate across segments; the restored clock
+//! continues, so the streams concatenate seamlessly), and the deep
+//! final state — memory byte-for-byte, and the step count (sem) or the
+//! full cost vector and register file (VM, bit-identical instruction
+//! counts). Any disagreement is a [`Failure::Diverged`] naming a
+//! `*-snap` oracle; any failure of the snapshot machinery itself
+//! (capture refused, blob rejected, restore rejected, re-encode not
+//! byte-identical) is a [`Failure::Snapshot`].
+
+use crate::oracle::{
+    describe_chaos, fill, guarded, observe_sem_thread, observe_vm_thread, Failure, Limits, Obs,
+    Outcome,
+};
+use cmm_cfg::Program;
+use cmm_chaos::{FaultPlan, FaultPlanState, InjectedFault};
+use cmm_obs::{RecordingSink, TimedEvent};
+use cmm_rt::Thread;
+use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemEngine, SemState, Status, Value};
+use cmm_snap::{source_digest, EngineId, MachineState, SnapMeta, Snapshot};
+use cmm_vm::{Cost, VmProgram, VmStatus, VmThread};
+
+/// Default fuel slice between snapshot boundaries: small enough that
+/// non-trivial programs cross many boundaries, large enough to keep the
+/// oracle fast.
+pub const SNAP_SLICE: u64 = 64;
+
+/// What a snapshot-equivalence check did: how many snapshots were
+/// taken (across both families) and their total encoded size.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnapStats {
+    /// Snapshot/restore cycles performed.
+    pub snapshots: u64,
+    /// Total encoded bytes across those snapshots.
+    pub bytes: u64,
+}
+
+/// Everything one run of a family produces, for deep comparison.
+struct RunOut<Final> {
+    obs: Obs,
+    detail: String,
+    log: Vec<InjectedFault>,
+    fin: Final,
+    events: Vec<TimedEvent>,
+}
+
+/// Deep final state of a sem-family run.
+#[derive(PartialEq)]
+struct SemFinal {
+    mem: Vec<(u64, u8)>,
+    steps: u64,
+}
+
+/// Deep final state of a VM-family run.
+#[derive(PartialEq)]
+struct VmFinal {
+    mem: Vec<(u32, u8)>,
+    cost: Cost,
+    regs: [u64; cmm_vm::isa::regs::NUM_REGS],
+}
+
+fn snap_err(e: impl std::fmt::Display) -> Failure {
+    Failure::Snapshot(e.to_string())
+}
+
+/// Encode → decode → re-encode one snapshot, checking byte identity,
+/// envelope equality, and the digest. Returns the decoded snapshot.
+fn cycle(snap: &Snapshot, stats: &mut SnapStats) -> Result<Snapshot, Failure> {
+    let bytes = snap.encode();
+    let decoded = Snapshot::decode(&bytes).map_err(|e| snap_err(format!("decode: {e}")))?;
+    if &decoded != snap {
+        return Err(snap_err(
+            "decoded snapshot is not equal to the captured one",
+        ));
+    }
+    if decoded.encode() != bytes {
+        return Err(snap_err(
+            "re-encoding a decoded snapshot is not byte-identical",
+        ));
+    }
+    decoded.check_digest(snap.digest).map_err(snap_err)?;
+    stats.snapshots += 1;
+    stats.bytes += bytes.len() as u64;
+    Ok(decoded)
+}
+
+fn meta(args: (u32, u32), budget: u64, yields_done: usize) -> SnapMeta {
+    SnapMeta {
+        entry: "f".into(),
+        args: vec![u64::from(args.0), u64::from(args.1)],
+        fuel_remaining: budget,
+        yields_done: yields_done as u64,
+        opt: false,
+    }
+}
+
+// ----- sem family -----
+
+/// A sem-family thread of either engine, so the sliced drive can hand
+/// state back and forth between them.
+enum SemT<'p> {
+    M(Thread<'p, Machine<'p, RecordingSink>>),
+    R(Thread<'p, ResolvedMachine<'p, RecordingSink>>),
+}
+
+impl<'p> SemT<'p> {
+    fn engine(&self) -> EngineId {
+        match self {
+            SemT::M(_) => EngineId::Sem,
+            SemT::R(_) => EngineId::SemResolved,
+        }
+    }
+
+    fn start(&mut self, args: (u32, u32)) -> Result<(), String> {
+        let vals = vec![Value::b32(args.0), Value::b32(args.1)];
+        match self {
+            SemT::M(t) => t.start("f", vals).map_err(|w| w.to_string()),
+            SemT::R(t) => t.start("f", vals).map_err(|w| w.to_string()),
+        }
+    }
+
+    fn run(&mut self, fuel: u64) -> Status {
+        match self {
+            SemT::M(t) => t.run(fuel),
+            SemT::R(t) => t.run(fuel),
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        match self {
+            SemT::M(t) => t.machine().steps,
+            SemT::R(t) => t.machine().steps,
+        }
+    }
+
+    fn yield_code(&self) -> Option<u64> {
+        match self {
+            SemT::M(t) => t.yield_code(),
+            SemT::R(t) => t.yield_code(),
+        }
+    }
+
+    /// The dispatcher policy of [`crate::oracle::observe_sem`], applied
+    /// to one suspension.
+    fn service(&mut self, code: u64) -> Result<(), (Outcome, String)> {
+        match self {
+            SemT::M(t) => service_thread(t, code),
+            SemT::R(t) => service_thread(t, code),
+        }
+    }
+
+    fn capture(&self) -> Result<(SemState, Option<FaultPlanState>), String> {
+        match self {
+            SemT::M(t) => Ok((t.machine().capture()?, t.chaos().map(|p| p.state()))),
+            SemT::R(t) => Ok((t.machine().capture()?, t.chaos().map(|p| p.state()))),
+        }
+    }
+
+    /// Tear down, yielding the fault log, deep final state, and the
+    /// segment's recorded events.
+    fn finish(self) -> (Vec<InjectedFault>, SemFinal, Vec<TimedEvent>) {
+        match self {
+            SemT::M(t) => {
+                let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+                let m = t.into_machine();
+                let fin = SemFinal {
+                    mem: m.mem_snapshot(),
+                    steps: m.steps,
+                };
+                (log, fin, m.into_sink().events)
+            }
+            SemT::R(t) => {
+                let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+                let m = t.into_machine();
+                let fin = SemFinal {
+                    mem: m.mem_snapshot(),
+                    steps: m.steps,
+                };
+                (log, fin, m.into_sink().events)
+            }
+        }
+    }
+}
+
+fn service_thread<'p, M: SemEngine<'p>>(
+    t: &mut Thread<'p, M>,
+    code: u64,
+) -> Result<(), (Outcome, String)> {
+    let Some(mut a) = t.first_activation() else {
+        return Err((Outcome::RtsError, "no first activation".into()));
+    };
+    let _ = t.next_activation(&mut a);
+    if let Err(w) = t.set_activation(&a) {
+        return Err((Outcome::RtsError, w.to_string()));
+    }
+    if code % 2 == 1 {
+        let _ = t.set_unwind_cont(0);
+    }
+    let v = Value::b32(fill(code));
+    let mut n = 0;
+    while let Some(p) = t.find_cont_param(n) {
+        *p = v.clone();
+        n += 1;
+    }
+    if let Err(w) = t.resume() {
+        return Err((Outcome::RtsError, w.to_string()));
+    }
+    Ok(())
+}
+
+/// Snapshot the current engine and restore into the *other* sem engine.
+fn sem_swap<'p>(
+    cur: SemT<'p>,
+    program: &'p Program,
+    rp: &'p ResolvedProgram<'p>,
+    digest: [u64; 2],
+    meta: SnapMeta,
+    events: &mut Vec<TimedEvent>,
+    stats: &mut SnapStats,
+) -> Result<SemT<'p>, Failure> {
+    let engine = cur.engine();
+    let (state, chaos) = cur.capture().map_err(snap_err)?;
+    let (_, _, ev) = cur.finish();
+    events.extend(ev);
+    let snap = Snapshot {
+        engine,
+        digest,
+        meta,
+        governor: None,
+        chaos,
+        state: MachineState::Sem(state),
+    };
+    let decoded = cycle(&snap, stats)?;
+    let MachineState::Sem(st) = &decoded.state else {
+        return Err(snap_err("sem snapshot decoded to a VM state"));
+    };
+    let next = match engine {
+        EngineId::Sem => {
+            let mut m = ResolvedMachine::with_sink(rp, RecordingSink::default());
+            m.restore(st)
+                .map_err(|e| snap_err(format!("restore into sem-resolved: {e}")))?;
+            SemT::R(with_chaos(Thread::over(m), &decoded.chaos))
+        }
+        _ => {
+            let mut m = Machine::with_sink(program, RecordingSink::default());
+            m.restore(st)
+                .map_err(|e| snap_err(format!("restore into sem: {e}")))?;
+            SemT::M(with_chaos(Thread::over(m), &decoded.chaos))
+        }
+    };
+    Ok(next)
+}
+
+fn with_chaos<'p, M: SemEngine<'p>>(
+    mut t: Thread<'p, M>,
+    chaos: &Option<FaultPlanState>,
+) -> Thread<'p, M> {
+    if let Some(cs) = chaos {
+        t.set_chaos(FaultPlan::from_state(cs));
+    }
+    t
+}
+
+/// The straight traced run: the regular policy loop, one full-budget
+/// `run` per segment, on the reference engine.
+fn sem_straight(
+    program: &Program,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: Option<&FaultPlan>,
+) -> RunOut<SemFinal> {
+    let mut t = Thread::over(Machine::with_sink(program, RecordingSink::default()));
+    if let Some(p) = plan {
+        t.set_chaos(p.clone());
+    }
+    let (obs, detail) = observe_sem_thread(&mut t, args, limits);
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    let m = t.into_machine();
+    let fin = SemFinal {
+        mem: m.mem_snapshot(),
+        steps: m.steps,
+    };
+    RunOut {
+        obs,
+        detail,
+        log,
+        fin,
+        events: m.into_sink().events,
+    }
+}
+
+/// The sliced run: snapshot + cross-engine restore at every boundary.
+#[allow(clippy::too_many_arguments)] // one parameter per oracle knob
+fn sem_sliced<'p>(
+    program: &'p Program,
+    rp: &'p ResolvedProgram<'p>,
+    args: (u32, u32),
+    limits: &Limits,
+    slice: u64,
+    plan: Option<&FaultPlan>,
+    digest: [u64; 2],
+    stats: &mut SnapStats,
+) -> Result<RunOut<SemFinal>, Failure> {
+    let mut t = Thread::over(Machine::with_sink(program, RecordingSink::default()));
+    if let Some(p) = plan {
+        t.set_chaos(p.clone());
+    }
+    let mut cur = SemT::M(t);
+    let mut yields: Vec<u64> = Vec::new();
+    let mut events: Vec<TimedEvent> = Vec::new();
+    let mut budget = limits.sem_fuel;
+    let finish = |cur: SemT<'p>,
+                  mut events: Vec<TimedEvent>,
+                  outcome: Outcome,
+                  detail: String,
+                  yields: &[u64]| {
+        let (log, fin, ev) = cur.finish();
+        events.extend(ev);
+        Ok(RunOut {
+            obs: Obs {
+                outcome,
+                yields: yields.to_vec(),
+            },
+            detail,
+            log,
+            fin,
+            events,
+        })
+    };
+    if let Err(w) = cur.start(args) {
+        return finish(cur, events, Outcome::Wrong, w, &yields);
+    }
+    loop {
+        let before = cur.steps();
+        let status = cur.run(slice.min(budget));
+        budget = budget.saturating_sub(cur.steps().saturating_sub(before));
+        match status {
+            Status::Terminated(vals) => {
+                let bits = vals.iter().map(|v| v.bits().unwrap_or(u64::MAX)).collect();
+                return finish(cur, events, Outcome::Halt(bits), String::new(), &yields);
+            }
+            Status::Wrong(w) => {
+                return finish(cur, events, Outcome::Wrong, w.to_string(), &yields);
+            }
+            Status::OutOfFuel => {
+                if budget == 0 {
+                    return finish(cur, events, Outcome::Fuel, "out of fuel".into(), &yields);
+                }
+                let m = meta(args, budget, yields.len());
+                cur = sem_swap(cur, program, rp, digest, m, &mut events, stats)?;
+            }
+            Status::Suspended => {
+                if yields.len() >= limits.max_yields {
+                    return finish(
+                        cur,
+                        events,
+                        Outcome::Fuel,
+                        "suspension bound".into(),
+                        &yields,
+                    );
+                }
+                let m = meta(args, budget, yields.len());
+                cur = sem_swap(cur, program, rp, digest, m, &mut events, stats)?;
+                let code = cur.yield_code().unwrap_or(0);
+                yields.push(code);
+                if let Err((outcome, detail)) = cur.service(code) {
+                    return finish(cur, events, outcome, detail, &yields);
+                }
+                budget = limits.sem_fuel;
+            }
+            other => {
+                return finish(
+                    cur,
+                    events,
+                    Outcome::RtsError,
+                    format!("unexpected status {other:?}"),
+                    &yields,
+                );
+            }
+        }
+    }
+}
+
+// ----- VM family -----
+
+fn vm_tier<'p>(vp: &'p VmProgram, tier: EngineId) -> VmThread<'p, RecordingSink> {
+    match tier {
+        EngineId::VmDecoded => VmThread::with_sink_decoded(vp, RecordingSink::default()),
+        EngineId::VmFused => VmThread::with_sink_fused(vp, RecordingSink::default()),
+        _ => VmThread::with_sink(vp, RecordingSink::default()),
+    }
+}
+
+fn next_tier(tier: EngineId) -> EngineId {
+    match tier {
+        EngineId::Vm => EngineId::VmDecoded,
+        EngineId::VmDecoded => EngineId::VmFused,
+        _ => EngineId::Vm,
+    }
+}
+
+fn vm_finish(t: VmThread<'_, RecordingSink>) -> (Vec<InjectedFault>, VmFinal, Vec<TimedEvent>) {
+    let log = t.chaos().map(|p| p.log().to_vec()).unwrap_or_default();
+    let m = t.into_machine();
+    let fin = VmFinal {
+        mem: m.mem.snapshot(),
+        cost: m.cost,
+        regs: m.regs,
+    };
+    (log, fin, m.into_sink().events)
+}
+
+fn vm_straight(
+    vp: &VmProgram,
+    args: (u32, u32),
+    limits: &Limits,
+    plan: Option<&FaultPlan>,
+) -> RunOut<VmFinal> {
+    let mut t = VmThread::with_sink(vp, RecordingSink::default());
+    if let Some(p) = plan {
+        t.set_chaos(p.clone());
+    }
+    let (obs, detail) = observe_vm_thread(&mut t, args, limits);
+    let (log, fin, events) = vm_finish(t);
+    RunOut {
+        obs,
+        detail,
+        log,
+        fin,
+        events,
+    }
+}
+
+fn vm_swap<'p>(
+    cur: VmThread<'p, RecordingSink>,
+    tier: EngineId,
+    vp: &'p VmProgram,
+    digest: [u64; 2],
+    meta: SnapMeta,
+    events: &mut Vec<TimedEvent>,
+    stats: &mut SnapStats,
+) -> Result<(VmThread<'p, RecordingSink>, EngineId), Failure> {
+    let state = cur.machine.capture().map_err(snap_err)?;
+    let chaos = cur.chaos().map(|p| p.state());
+    events.extend(cur.into_machine().into_sink().events);
+    let snap = Snapshot {
+        engine: tier,
+        digest,
+        meta,
+        governor: None,
+        chaos,
+        state: MachineState::Vm(state),
+    };
+    let decoded = cycle(&snap, stats)?;
+    let MachineState::Vm(st) = &decoded.state else {
+        return Err(snap_err("vm snapshot decoded to a sem state"));
+    };
+    let next = next_tier(tier);
+    let mut t = vm_tier(vp, next);
+    t.machine
+        .restore(st)
+        .map_err(|e| snap_err(format!("restore into {}: {e}", next.name())))?;
+    if let Some(cs) = &decoded.chaos {
+        t.set_chaos(FaultPlan::from_state(cs));
+    }
+    Ok((t, next))
+}
+
+fn vm_sliced<'p>(
+    vp: &'p VmProgram,
+    args: (u32, u32),
+    limits: &Limits,
+    slice: u64,
+    plan: Option<&FaultPlan>,
+    digest: [u64; 2],
+    stats: &mut SnapStats,
+) -> Result<RunOut<VmFinal>, Failure> {
+    let mut cur = vm_tier(vp, EngineId::Vm);
+    if let Some(p) = plan {
+        cur.set_chaos(p.clone());
+    }
+    let mut tier = EngineId::Vm;
+    let mut yields: Vec<u64> = Vec::new();
+    let mut events: Vec<TimedEvent> = Vec::new();
+    let mut budget = limits.vm_fuel;
+    let finish = |cur: VmThread<'p, RecordingSink>,
+                  mut events: Vec<TimedEvent>,
+                  outcome: Outcome,
+                  detail: String,
+                  yields: &[u64]| {
+        let (log, fin, ev) = vm_finish(cur);
+        events.extend(ev);
+        Ok(RunOut {
+            obs: Obs {
+                outcome,
+                yields: yields.to_vec(),
+            },
+            detail,
+            log,
+            fin,
+            events,
+        })
+    };
+    cur.start("f", &[u64::from(args.0), u64::from(args.1)], 1);
+    loop {
+        let before = cur.machine.cost.instructions;
+        let status = cur.run(slice.min(budget));
+        budget = budget.saturating_sub(cur.machine.cost.instructions.saturating_sub(before));
+        match status {
+            VmStatus::Halted(vals) => {
+                return finish(cur, events, Outcome::Halt(vals), String::new(), &yields);
+            }
+            VmStatus::Error(e) => {
+                return finish(cur, events, Outcome::Wrong, e, &yields);
+            }
+            VmStatus::OutOfFuel => {
+                if budget == 0 {
+                    return finish(cur, events, Outcome::Fuel, "out of fuel".into(), &yields);
+                }
+                let m = meta(args, budget, yields.len());
+                (cur, tier) = vm_swap(cur, tier, vp, digest, m, &mut events, stats)?;
+            }
+            VmStatus::Suspended => {
+                if yields.len() >= limits.max_yields {
+                    return finish(
+                        cur,
+                        events,
+                        Outcome::Fuel,
+                        "suspension bound".into(),
+                        &yields,
+                    );
+                }
+                let m = meta(args, budget, yields.len());
+                (cur, tier) = vm_swap(cur, tier, vp, digest, m, &mut events, stats)?;
+                let code = cur.machine.yield_args(1)[0];
+                yields.push(code);
+                if let Err((outcome, detail)) = vm_service(&mut cur, code) {
+                    return finish(cur, events, outcome, detail, &yields);
+                }
+                budget = limits.vm_fuel;
+            }
+            other => {
+                return finish(
+                    cur,
+                    events,
+                    Outcome::RtsError,
+                    format!("unexpected status {other:?}"),
+                    &yields,
+                );
+            }
+        }
+    }
+}
+
+fn vm_service(t: &mut VmThread<'_, RecordingSink>, code: u64) -> Result<(), (Outcome, String)> {
+    let Some(mut a) = t.first_activation() else {
+        return Err((Outcome::RtsError, "no first activation".into()));
+    };
+    let _ = t.next_activation(&mut a);
+    if let Err(e) = t.set_activation(&a) {
+        return Err((Outcome::RtsError, e));
+    }
+    if code % 2 == 1 {
+        let _ = t.set_unwind_cont(0);
+    }
+    let v = u64::from(fill(code));
+    let mut n = 0;
+    while let Some(p) = t.find_cont_param(n) {
+        *p = v;
+        n += 1;
+    }
+    if let Err(e) = t.resume() {
+        return Err((Outcome::RtsError, e));
+    }
+    Ok(())
+}
+
+// ----- comparison and entry point -----
+
+/// Compares a straight run against its sliced+snapshotted twin on
+/// observation, fault log, exception projection, and deep final state.
+fn compare<F: PartialEq>(
+    family: &str,
+    straight: &RunOut<F>,
+    sliced: &RunOut<F>,
+    describe_fin: impl Fn(&F) -> String,
+) -> Result<(), Failure> {
+    if sliced.obs != straight.obs || sliced.log != straight.log {
+        return Err(Failure::Diverged {
+            oracle: format!("{family}-snap"),
+            reference: describe_chaos(&straight.obs, &straight.detail, &straight.log),
+            observed: describe_chaos(&sliced.obs, &sliced.detail, &sliced.log),
+        });
+    }
+    let want = cmm_obs::projection(&straight.events);
+    let got = cmm_obs::projection(&sliced.events);
+    if let Err((i, a, b)) = cmm_obs::first_divergence(&want, &got) {
+        return Err(Failure::Diverged {
+            oracle: format!("{family}-snap@projection"),
+            reference: format!("event {i}: {a}"),
+            observed: format!("event {i}: {b}"),
+        });
+    }
+    if sliced.fin != straight.fin {
+        return Err(Failure::Diverged {
+            oracle: format!("{family}-snap@state"),
+            reference: describe_fin(&straight.fin),
+            observed: describe_fin(&sliced.fin),
+        });
+    }
+    Ok(())
+}
+
+fn describe_sem_final(f: &SemFinal) -> String {
+    format!("steps {}, {} memory bytes", f.steps, f.mem.len())
+}
+
+fn describe_vm_final(f: &VmFinal) -> String {
+    format!(
+        "cost {:?}, {} memory bytes, regs fnv {:#x}",
+        f.cost,
+        f.mem.len(),
+        f.regs.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &r| {
+            (h ^ r).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    )
+}
+
+/// Runs the snapshot-equivalence oracle on raw C-- source: for both
+/// engine families, the straight run and the
+/// snapshot-at-every-boundary run (with cross-engine restores, under an
+/// optional chaos fault plan) must agree on observation, fault log,
+/// trace projection, and deep final state. See the module docs.
+///
+/// # Errors
+///
+/// [`Failure::Parse`]/[`Failure::Build`]/[`Failure::Codegen`] if the
+/// source does not compile, [`Failure::Snapshot`] if the snapshot
+/// machinery itself fails, [`Failure::Diverged`] (oracle `sem-snap`,
+/// `vm-snap`, or a `@projection`/`@state` refinement) if the runs
+/// disagree, [`Failure::Panicked`] if an engine panics.
+pub fn run_source_snap(
+    src: &str,
+    args: (u32, u32),
+    limits: &Limits,
+    slice: u64,
+    plan: Option<&FaultPlan>,
+) -> Result<SnapStats, Failure> {
+    if slice == 0 {
+        return Err(Failure::Snapshot("slice must be positive".into()));
+    }
+    let module = cmm_parse::parse_module(src).map_err(|e| Failure::Parse(e.to_string()))?;
+    let program = cmm_cfg::build_program(&module).map_err(|e| Failure::Build(e.to_string()))?;
+    let vm_prog = cmm_vm::compile(&program).map_err(|e| Failure::Codegen(e.to_string()))?;
+    let digest = source_digest(src, false);
+    let rp = ResolvedProgram::new(&program);
+    let mut stats = SnapStats::default();
+
+    let straight = guarded("sem-snap/straight", || {
+        sem_straight(&program, args, limits, plan)
+    })?;
+    let sliced = guarded("sem-snap/sliced", || {
+        sem_sliced(&program, &rp, args, limits, slice, plan, digest, &mut stats)
+    })??;
+    compare("sem", &straight, &sliced, describe_sem_final)?;
+
+    let straight = guarded("vm-snap/straight", || {
+        vm_straight(&vm_prog, args, limits, plan)
+    })?;
+    let sliced = guarded("vm-snap/sliced", || {
+        vm_sliced(&vm_prog, args, limits, slice, plan, digest, &mut stats)
+    })??;
+    compare("vm", &straight, &sliced, describe_vm_final)?;
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genprog::generate;
+    use crate::oracle::CHAOS_HORIZON;
+    use crate::rng::Rng;
+    use cmm_chaos::schedule_seed;
+
+    #[test]
+    fn snapshot_equivalence_on_generated_cases() {
+        let limits = Limits::default();
+        let mut snapped = 0u64;
+        for seed in 0..25 {
+            let case = generate(&mut Rng::new(seed));
+            match run_source_snap(&case.render(), case.args, &limits, SNAP_SLICE, None) {
+                Ok(stats) => snapped += stats.snapshots,
+                Err(f) => panic!("seed {seed} failed: {f}\n{}", case.render()),
+            }
+        }
+        assert!(snapped > 0, "no case in 0..25 ever crossed a boundary");
+    }
+
+    #[test]
+    fn snapshot_equivalence_under_chaos() {
+        let limits = Limits::default();
+        let mut faulted = false;
+        for seed in 0..20 {
+            let case = generate(&mut Rng::new(seed));
+            let plan = FaultPlan::seeded(schedule_seed(seed, 0), CHAOS_HORIZON);
+            match run_source_snap(&case.render(), case.args, &limits, SNAP_SLICE, Some(&plan)) {
+                Ok(_) => {}
+                Err(f) => panic!("seed {seed} chaos snap failed: {f}\n{}", case.render()),
+            }
+            // The sweep is vacuous unless some plan actually fires.
+            let m = cmm_parse::parse_module(&case.render()).unwrap();
+            let p = cmm_cfg::build_program(&m).unwrap();
+            let (_, _, log) = crate::oracle::observe_sem_chaos(&p, case.args, &limits, &plan);
+            faulted |= !log.is_empty();
+        }
+        assert!(faulted, "no seed in 0..20 ever injected a fault");
+    }
+
+    #[test]
+    fn tiny_slices_agree_too() {
+        // Boundary density maximized: a slice of 1 snapshots at every
+        // single transition of a small case.
+        let limits = Limits::default();
+        let case = generate(&mut Rng::new(3));
+        let stats = run_source_snap(&case.render(), case.args, &limits, 1, None)
+            .unwrap_or_else(|f| panic!("slice=1 failed: {f}\n{}", case.render()));
+        assert!(stats.snapshots > 0);
+    }
+
+    #[test]
+    fn zero_slice_is_rejected() {
+        assert!(matches!(
+            run_source_snap("f() { return (0); }", (0, 0), &Limits::default(), 0, None),
+            Err(Failure::Snapshot(_))
+        ));
+    }
+}

@@ -15,7 +15,7 @@ fn corpus_dir() -> std::path::PathBuf {
 #[test]
 fn checked_in_corpus_replays_clean() {
     let report = replay_corpus(&corpus_dir(), &Limits::default()).unwrap();
-    assert!(report.files_run >= 3, "corpus went missing?");
+    assert!(report.files_run >= 4, "corpus went missing?");
     if let Some(f) = report.failures.first() {
         panic!("{} fails replay: {}", f.path.display(), f.failure);
     }
@@ -40,5 +40,18 @@ fn chaos_guard_reproducer_fires_faults() {
     assert!(
         fired > 0,
         "no schedule injects a fault — the guard is vacuous"
+    );
+}
+
+#[test]
+fn snap_guard_reproducer_crosses_boundaries() {
+    // The header says slice 16; the replay above already ran it through
+    // the snapshot oracle, but the guard is vacuous unless that slice
+    // actually produces snapshots on this workload.
+    let src = std::fs::read_to_string(corpus_dir().join("snap-cross-engine-resume.cmm")).unwrap();
+    let stats = cmm_difftest::run_source_snap(&src, (3, 4), &Limits::default(), 16, None).unwrap();
+    assert!(
+        stats.snapshots > 0,
+        "slice 16 never crosses a boundary — the snap guard guards nothing"
     );
 }

@@ -45,6 +45,7 @@ use cmm_obs::{
 use cmm_opt::OptOptions;
 use cmm_rt::Thread;
 use cmm_sem::{Machine, ResolvedMachine, ResolvedProgram, SemArena, SemEngine, Status, Value};
+use cmm_snap::{fold_digest, source_digest, EngineId, MachineState, SnapMeta, Snapshot, FOLD_INIT};
 use cmm_vm::{VmArena, VmStatus, VmThread};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -287,6 +288,16 @@ pub struct BatchConfig {
     /// Flight-recorder ring capacity (events retained per job) when
     /// `metrics` is on.
     pub flight_cap: usize,
+    /// Checkpoint every C-- job at this fuel-slice granularity
+    /// (`cmm batch --snapshot-every N`): at each boundary the machine
+    /// state is captured, encoded with `cmm-snap`, decoded, and
+    /// restored in-process before execution continues. Outcomes,
+    /// yields, and instruction counts are unchanged by construction —
+    /// a divergence is reported as a `snap-error` job failure. The
+    /// per-job snapshot count, encoded bytes, and running blob digest
+    /// land in the report (deterministic at any `-j`). MiniM3 jobs run
+    /// their own driver and are not checkpointed.
+    pub snapshot_every: Option<u64>,
 }
 
 impl Default for BatchConfig {
@@ -296,6 +307,29 @@ impl Default for BatchConfig {
             queue_cap: 256,
             metrics: false,
             flight_cap: 64,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Checkpointing totals for one job ([`BatchConfig::snapshot_every`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SnapSummary {
+    /// Snapshot/restore cycles performed.
+    pub count: u64,
+    /// Total encoded snapshot bytes.
+    pub bytes: u64,
+    /// Running [`fold_digest`] over every encoded blob, in order — a
+    /// deterministic fingerprint of the job's whole checkpoint stream.
+    pub digest: u64,
+}
+
+impl Default for SnapSummary {
+    fn default() -> SnapSummary {
+        SnapSummary {
+            count: 0,
+            bytes: 0,
+            digest: FOLD_INIT,
         }
     }
 }
@@ -325,6 +359,9 @@ pub struct JobRecord {
     /// transition count for abstract-machine jobs. Zero only when the
     /// job never ran (compile errors, panics).
     pub instructions: u64,
+    /// Checkpointing totals, when the batch ran with
+    /// [`BatchConfig::snapshot_every`].
+    pub snap: Option<SnapSummary>,
     /// Wall-clock nanoseconds (excluded from deterministic output).
     pub ns: u128,
 }
@@ -493,6 +530,7 @@ pub fn run_batch(specs: &[JobSpec], cache: &PipelineCache, config: &BatchConfig)
                     arenas,
                     registry.as_deref(),
                     config.flight_cap,
+                    config.snapshot_every,
                 ),
             };
             obs.ns = started.elapsed().as_nanos();
@@ -582,6 +620,23 @@ fn flush_outcome(spec: &JobSpec, obs: &RunObs, reg: &MetricsRegistry) {
         det,
     )
     .observe(obs.instructions);
+    // Registered even at zero (and when checkpointing is off), so the
+    // exported label set is a function of the job set alone.
+    let snap = obs.snap.unwrap_or_default();
+    reg.counter(
+        "cmm_snapshots_total",
+        &[("engine", engine)],
+        "Machine-state snapshots taken at fuel-slice boundaries",
+        det,
+    )
+    .add(snap.count);
+    reg.counter(
+        "cmm_snapshot_bytes_total",
+        &[("engine", engine)],
+        "Encoded snapshot bytes across fuel-slice checkpoints",
+        det,
+    )
+    .add(snap.bytes);
 }
 
 /// Per-job registry flush, part 2: the flight recorder's whole-run
@@ -668,6 +723,7 @@ fn flush_flight(spec: &JobSpec, flight: &SharedFlight, reg: &MetricsRegistry) {
 /// absent, or through a [`SharedFlight`] recorder — with the registry
 /// flush, panic capture, and a post-mortem dump on failure — when
 /// present.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     id: usize,
     spec: &JobSpec,
@@ -676,15 +732,19 @@ fn run_one(
     arenas: &mut ExecArenas,
     registry: Option<&MetricsRegistry>,
     flight_cap: usize,
+    snap_every: Option<u64>,
 ) -> (RunObs, Option<Postmortem>) {
     let Some(reg) = registry else {
-        return (execute(spec, cache, resolved, arenas, || NopSink), None);
+        return (
+            execute(spec, cache, resolved, arenas, snap_every, || NopSink),
+            None,
+        );
     };
     let flight = SharedFlight::new(flight_cap);
     // Catch the panic here (not in the executor) so the recording —
     // held alive by our handle — survives the engine dying under it.
     let caught = catch_unwind(AssertUnwindSafe(|| {
-        execute(spec, cache, resolved, arenas, || flight.clone())
+        execute(spec, cache, resolved, arenas, snap_every, || flight.clone())
     }));
     let obs = match caught {
         Ok(obs) => obs,
@@ -727,6 +787,7 @@ struct RunObs {
     detail: String,
     yields: Vec<u64>,
     instructions: u64,
+    snap: Option<SnapSummary>,
     ns: u128,
 }
 
@@ -737,6 +798,7 @@ impl RunObs {
             detail,
             yields: Vec::new(),
             instructions: 0,
+            snap: None,
             ns: 0,
         }
     }
@@ -753,6 +815,7 @@ fn record(id: usize, spec: &JobSpec, obs: RunObs) -> JobRecord {
         detail: obs.detail,
         yields: obs.yields,
         instructions: obs.instructions,
+        snap: obs.snap,
         ns: obs.ns,
     }
 }
@@ -786,6 +849,7 @@ fn execute<S: TraceSink>(
     cache: &PipelineCache,
     resolved: Option<&ResolvedProgram>,
     arenas: &mut ExecArenas,
+    snap_every: Option<u64>,
     mk_sink: impl Fn() -> S,
 ) -> RunObs {
     let key = spec.source_key();
@@ -801,7 +865,7 @@ fn execute<S: TraceSink>(
             if let Some(seed) = spec.chaos {
                 t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
             }
-            let obs = run_sem_job(spec, &mut t);
+            let obs = run_sem_job(spec, &mut t, snap_every);
             t.into_machine().recycle_into(&mut arenas.sem);
             obs
         }
@@ -815,7 +879,7 @@ fn execute<S: TraceSink>(
             if let Some(seed) = spec.chaos {
                 t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
             }
-            let obs = run_sem_job(spec, &mut t);
+            let obs = run_sem_job(spec, &mut t, snap_every);
             t.into_machine().recycle_into(&mut arenas.sem);
             obs
         }
@@ -829,7 +893,7 @@ fn execute<S: TraceSink>(
             if let Some(seed) = spec.chaos {
                 t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
             }
-            let obs = run_vm_job(spec, &mut t, &vp.image);
+            let obs = run_vm_job(spec, &mut t, &vp.image, snap_every);
             t.into_machine().recycle_into(&mut arenas.vm);
             obs
         }
@@ -843,7 +907,7 @@ fn execute<S: TraceSink>(
             if let Some(seed) = spec.chaos {
                 t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
             }
-            let obs = run_vm_job(spec, &mut t, &vp.image);
+            let obs = run_vm_job(spec, &mut t, &vp.image, snap_every);
             t.into_machine().recycle_into(&mut arenas.vm);
             obs
         }
@@ -857,16 +921,20 @@ fn execute<S: TraceSink>(
             if let Some(seed) = spec.chaos {
                 t.set_chaos(FaultPlan::seeded(seed, CHAOS_HORIZON));
             }
-            let obs = run_vm_job(spec, &mut t, &vp.image);
+            let obs = run_vm_job(spec, &mut t, &vp.image, snap_every);
             t.into_machine().recycle_into(&mut arenas.vm);
             obs
         }
     }
 }
 
-fn run_sem_job<'p, M: SemEngine<'p>>(spec: &JobSpec, t: &mut Thread<'p, M>) -> RunObs {
+fn run_sem_job<'p, M: SemEngine<'p>>(
+    spec: &JobSpec,
+    t: &mut Thread<'p, M>,
+    snap_every: Option<u64>,
+) -> RunObs {
     let mut obs = match &spec.lang {
-        SourceLang::Cmm => drive_sem(t, spec),
+        SourceLang::Cmm => drive_sem(t, spec, snap_every),
         SourceLang::MiniM3(strategy) => match run_sem_thread(t, *strategy, &spec.args) {
             Ok(v) => RunObs {
                 outcome: format!("result {v}"),
@@ -886,9 +954,10 @@ fn run_vm_job<S: TraceSink>(
     spec: &JobSpec,
     t: &mut VmThread<'_, S>,
     image: &cmm_cfg::DataImage,
+    snap_every: Option<u64>,
 ) -> RunObs {
     match &spec.lang {
-        SourceLang::Cmm => drive_vm(t, spec),
+        SourceLang::Cmm => drive_vm(t, spec, snap_every),
         SourceLang::MiniM3(strategy) => match run_vm_thread(t, image, *strategy, &spec.args) {
             Ok((v, cost)) => RunObs {
                 outcome: format!("result {v}"),
@@ -907,18 +976,123 @@ fn fill(code: u64) -> u32 {
     (code.wrapping_mul(13).wrapping_add(7) & 0xfff) as u32
 }
 
+/// The snapshot metadata a batch checkpoint records.
+fn snap_meta(spec: &JobSpec, budget: u64, yields_done: usize) -> SnapMeta {
+    SnapMeta {
+        entry: spec.entry.clone(),
+        args: spec.args.iter().map(|&a| u64::from(a)).collect(),
+        fuel_remaining: budget,
+        yields_done: yields_done as u64,
+        opt: spec.opts != OptOptions::none(),
+    }
+}
+
+/// The `cmm-snap` engine identifier for a pool job (the label sets are
+/// mirrors by construction; both crates' tests pin them).
+fn snap_engine(spec: &JobSpec) -> EngineId {
+    EngineId::parse(spec.engine.label()).expect("pool engine labels mirror cmm-snap's")
+}
+
+/// One in-process checkpoint of a sem-family job: capture → encode →
+/// decode → restore into the same machine. Totals land in `sum`.
+fn checkpoint_sem<'p, M: SemEngine<'p>>(
+    t: &mut Thread<'p, M>,
+    spec: &JobSpec,
+    budget: u64,
+    yields_done: usize,
+    sum: &mut SnapSummary,
+) -> Result<(), String> {
+    let snap = Snapshot {
+        engine: snap_engine(spec),
+        digest: source_digest(&spec.source, spec.opts != OptOptions::none()),
+        meta: snap_meta(spec, budget, yields_done),
+        governor: Some(governor(spec)),
+        chaos: t.chaos().map(|p| p.state()),
+        state: MachineState::Sem(t.machine().capture()?),
+    };
+    let bytes = snap.encode();
+    let decoded = Snapshot::decode(&bytes).map_err(|e| e.to_string())?;
+    let MachineState::Sem(st) = &decoded.state else {
+        return Err("sem snapshot decoded to a VM state".into());
+    };
+    t.machine_mut().restore(st)?;
+    sum.count += 1;
+    sum.bytes += bytes.len() as u64;
+    sum.digest = fold_digest(sum.digest, &bytes);
+    Ok(())
+}
+
+/// [`checkpoint_sem`] for the simulated target.
+fn checkpoint_vm<S: TraceSink>(
+    t: &mut VmThread<'_, S>,
+    spec: &JobSpec,
+    budget: u64,
+    yields_done: usize,
+    sum: &mut SnapSummary,
+) -> Result<(), String> {
+    let snap = Snapshot {
+        engine: snap_engine(spec),
+        digest: source_digest(&spec.source, spec.opts != OptOptions::none()),
+        meta: snap_meta(spec, budget, yields_done),
+        governor: Some(governor(spec)),
+        chaos: t.chaos().map(|p| p.state()),
+        state: MachineState::Vm(t.machine.capture()?),
+    };
+    let bytes = snap.encode();
+    let decoded = Snapshot::decode(&bytes).map_err(|e| e.to_string())?;
+    let MachineState::Vm(st) = &decoded.state else {
+        return Err("vm snapshot decoded to a sem state".into());
+    };
+    t.machine.restore(st)?;
+    sum.count += 1;
+    sum.bytes += bytes.len() as u64;
+    sum.digest = fold_digest(sum.digest, &bytes);
+    Ok(())
+}
+
 /// Drives a C-- job on an abstract-machine engine, servicing
 /// suspensions with the fixed deterministic dispatcher policy (record
 /// the code, hop one activation toward the caller, odd codes take
 /// unwind continuation 0, parameters filled with [`fill`]).
-fn drive_sem<'p, M: SemEngine<'p>>(t: &mut Thread<'p, M>, spec: &JobSpec) -> RunObs {
+///
+/// With `snap_every = Some(n)` each inter-yield segment's budget is
+/// granted `n` transitions at a time, checkpointing at every slice
+/// boundary; fuel accounting is exact on every engine, so the job's
+/// outcome, yields, and instruction count are identical to the
+/// unsliced run.
+fn drive_sem<'p, M: SemEngine<'p>>(
+    t: &mut Thread<'p, M>,
+    spec: &JobSpec,
+    snap_every: Option<u64>,
+) -> RunObs {
     let mut obs = RunObs::failed("", String::new());
+    obs.snap = snap_every.map(|_| SnapSummary::default());
     let args = spec.args.iter().map(|&a| Value::b32(a)).collect();
     if let Err(w) = t.start(&spec.entry, args) {
         return RunObs::failed("wrong", w.to_string());
     }
     loop {
-        match t.run(spec.fuel) {
+        let mut budget = spec.fuel;
+        let status = loop {
+            let slice = match snap_every {
+                Some(n) => n.max(1).min(budget),
+                None => budget,
+            };
+            let before = t.machine().steps();
+            let status = t.run(slice);
+            budget = budget.saturating_sub(t.machine().steps().saturating_sub(before));
+            if matches!(status, Status::OutOfFuel) && budget > 0 && snap_every.is_some() {
+                let sum = obs.snap.as_mut().expect("summary exists when slicing");
+                if let Err(e) = checkpoint_sem(t, spec, budget, obs.yields.len(), sum) {
+                    obs.outcome = "snap-error".into();
+                    obs.detail = e;
+                    return obs;
+                }
+                continue;
+            }
+            break status;
+        };
+        match status {
             Status::Terminated(vals) => {
                 let bits: Vec<u64> = vals.iter().map(|v| v.bits().unwrap_or(u64::MAX)).collect();
                 obs.outcome = format!("halt {bits:?}");
@@ -978,12 +1152,38 @@ fn drive_sem<'p, M: SemEngine<'p>>(t: &mut Thread<'p, M>, spec: &JobSpec) -> Run
 }
 
 /// [`drive_sem`] for the simulated target.
-fn drive_vm<S: TraceSink>(t: &mut VmThread<'_, S>, spec: &JobSpec) -> RunObs {
+fn drive_vm<S: TraceSink>(
+    t: &mut VmThread<'_, S>,
+    spec: &JobSpec,
+    snap_every: Option<u64>,
+) -> RunObs {
     let mut obs = RunObs::failed("", String::new());
+    obs.snap = snap_every.map(|_| SnapSummary::default());
     let args: Vec<u64> = spec.args.iter().map(|&a| u64::from(a)).collect();
     t.start(&spec.entry, &args, spec.results);
     loop {
-        match t.run(spec.fuel) {
+        let mut budget = spec.fuel;
+        let status = loop {
+            let slice = match snap_every {
+                Some(n) => n.max(1).min(budget),
+                None => budget,
+            };
+            let before = t.machine.cost.instructions;
+            let status = t.run(slice);
+            budget = budget.saturating_sub(t.machine.cost.instructions.saturating_sub(before));
+            if matches!(status, VmStatus::OutOfFuel) && budget > 0 && snap_every.is_some() {
+                let sum = obs.snap.as_mut().expect("summary exists when slicing");
+                if let Err(e) = checkpoint_vm(t, spec, budget, obs.yields.len(), sum) {
+                    obs.outcome = "snap-error".into();
+                    obs.detail = e;
+                    obs.instructions = t.machine.cost.total();
+                    return obs;
+                }
+                continue;
+            }
+            break status;
+        };
+        match status {
             VmStatus::Halted(vals) => {
                 obs.outcome = format!("halt {vals:?}");
                 obs.instructions = t.machine.cost.total();
@@ -1053,7 +1253,12 @@ impl BatchReport {
     pub fn failing_jobs(&self) -> Vec<&JobRecord> {
         self.jobs
             .iter()
-            .filter(|j| matches!(j.outcome.as_str(), "compile-error" | "panicked" | "wrong"))
+            .filter(|j| {
+                matches!(
+                    j.outcome.as_str(),
+                    "compile-error" | "panicked" | "wrong" | "snap-error"
+                )
+            })
             .collect()
     }
 
@@ -1082,6 +1287,13 @@ impl BatchReport {
                 j.yields,
                 j.instructions,
             );
+            if let Some(snap) = &j.snap {
+                let _ = write!(
+                    s,
+                    ", \"snapshots\": {}, \"snapshot_bytes\": {}, \"snapshot_digest\": \"{:#018x}\"",
+                    snap.count, snap.bytes, snap.digest
+                );
+            }
             if with_timing {
                 let _ = write!(s, ", \"ns\": {}", j.ns);
             }

@@ -35,7 +35,7 @@ pub mod executor;
 
 pub use batch::{
     load_manifest, parse_manifest, run_batch, BatchConfig, BatchReport, EngineKind, JobRecord,
-    JobSpec, Postmortem,
+    JobSpec, Postmortem, SnapSummary,
 };
 pub use cache::{
     Artifact, CacheConfig, EngineFamily, PipelineCache, SourceKey, SourceLang, Stage, SHARDS,

@@ -11,6 +11,7 @@
 //! trait and works unchanged over either step loop.
 
 use crate::machine::{Machine, RtsTarget, Status};
+use crate::snapshot::SemState;
 use crate::state::NodeRef;
 use crate::value::Value;
 use crate::wrong::Wrong;
@@ -93,6 +94,25 @@ pub trait SemEngine<'p> {
     /// elided — a canonical form for cross-engine equivalence checks.
     fn mem_snapshot(&self) -> Vec<(u64, u8)>;
 
+    /// Captures the suspended state as a portable [`SemState`] (see
+    /// [`crate::snapshot`]). Both engines capture equal states at
+    /// matching execution points.
+    ///
+    /// # Errors
+    ///
+    /// Fails (with a description) unless the engine is suspended or out
+    /// of fuel.
+    fn capture(&self) -> Result<SemState, String>;
+
+    /// Restores a captured state, which may come from either engine of
+    /// the family. The engine is unchanged on error.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the state does not validate against this engine's
+    /// program.
+    fn restore(&mut self, st: &SemState) -> Result<(), String>;
+
     /// Whether the engine's trace sink is live. Layers above the engine
     /// (the Table 1 run-time system) guard event construction with
     /// this, exactly as the engine guards with `S::ENABLED` — for the
@@ -170,6 +190,14 @@ impl<'p, S: TraceSink> SemEngine<'p> for Machine<'p, S> {
 
     fn mem_snapshot(&self) -> Vec<(u64, u8)> {
         Machine::mem_snapshot(self)
+    }
+
+    fn capture(&self) -> Result<SemState, String> {
+        Machine::capture(self)
+    }
+
+    fn restore(&mut self, st: &SemState) -> Result<(), String> {
+        Machine::restore(self, st)
     }
 
     fn trace_enabled(&self) -> bool {

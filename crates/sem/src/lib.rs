@@ -66,6 +66,7 @@ pub mod arena;
 pub mod engine;
 pub mod machine;
 pub mod resolved;
+pub mod snapshot;
 pub mod state;
 pub mod value;
 pub mod wrong;
@@ -74,6 +75,7 @@ pub use arena::SemArena;
 pub use engine::SemEngine;
 pub use machine::{Machine, RtsTarget, Status};
 pub use resolved::{ResolvedMachine, ResolvedProgram};
+pub use snapshot::{FrameState, SemState, SnapStatus};
 pub use state::{Frame, NodeRef};
 pub use value::Value;
 pub use wrong::Wrong;

@@ -1,5 +1,6 @@
 //! The abstract machine: every transition rule of §5.2.
 
+use crate::snapshot::{sorted_bindings, FrameState, SemState, SnapStatus};
 use crate::state::{Env, Frame, NodeRef};
 use crate::value::Value;
 use crate::wrong::Wrong;
@@ -965,6 +966,159 @@ pub(crate) fn width_of(ty: Ty) -> Width {
 
 pub(crate) fn lit_value(l: Lit) -> Value {
     Value::Bits(width_of(l.ty), l.bits)
+}
+
+// ----- snapshot capture and restore -----
+
+impl<'p, S: TraceSink> Machine<'p, S> {
+    /// Captures the machine's full suspended state in portable name
+    /// space (see [`crate::snapshot`]): environments and globals come
+    /// out sorted by name, memory as its canonical nonzero form, so the
+    /// same machine state always captures to the same value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message unless the machine is at one of the two
+    /// resumable points — suspended at a `Yield` or stopped at a fuel
+    /// boundary.
+    pub fn capture(&self) -> Result<SemState, String> {
+        let status = match &self.status {
+            Status::Suspended => SnapStatus::Suspended,
+            Status::OutOfFuel => SnapStatus::OutOfFuel,
+            other => return Err(format!("not at a resumable point (status {other:?})")),
+        };
+        Ok(SemState {
+            proc: self.control.proc.clone(),
+            node: self.control.node,
+            rho: sorted_bindings(self.rho.iter().map(|(n, v)| (n.clone(), v.clone()))),
+            saves: self.saves.iter().cloned().collect(),
+            uid: self.uid,
+            mem: self.mem_snapshot(),
+            area: self.area.clone(),
+            stack: self
+                .stack
+                .iter()
+                .map(|f| FrameState {
+                    proc: f.proc.clone(),
+                    call_site: f.call_site,
+                    rho: sorted_bindings(f.rho.iter().map(|(n, v)| (n.clone(), v.clone()))),
+                    saves: f.saves.iter().cloned().collect(),
+                    uid: f.uid,
+                })
+                .collect(),
+            globals: sorted_bindings(self.globals.iter().map(|(n, v)| (n.clone(), v.clone()))),
+            next_uid: self.next_uid,
+            cont_encodings: self.cont_encodings.clone(),
+            status,
+            steps: self.steps,
+        })
+    }
+
+    /// Restores a captured state into this machine, which should be
+    /// freshly constructed over the same program the state was captured
+    /// from (`cmm-snap` verifies the source digest; this method
+    /// re-validates the state structurally). Frame bundles are not part
+    /// of the state — each is re-derived from its call site's `Call`
+    /// node, so a state cannot smuggle in a bundle the program never
+    /// had.
+    ///
+    /// Explicitly-written zero bytes are not distinguishable from
+    /// untouched memory after a restore (the canonical memory form
+    /// elides them); a `max_memory_bytes` governor counts written
+    /// bytes, so reinstalled governors should be used with snapshots
+    /// only for fuel slicing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first component that does not fit
+    /// the program: unknown procedure, node out of bounds, a call site
+    /// that is not a `Call`, or a continuation encoding outside the
+    /// program. The machine is unchanged on error.
+    pub fn restore(&mut self, st: &SemState) -> Result<(), String> {
+        check_ref(self.prog, &st.proc, st.node, "control")?;
+        for (i, ce) in st.cont_encodings.iter().enumerate() {
+            check_ref(
+                self.prog,
+                &ce.0.proc,
+                ce.0.node,
+                &format!("cont-encoding {i}"),
+            )?;
+        }
+        let mut stack = Vec::with_capacity(st.stack.len());
+        for (i, f) in st.stack.iter().enumerate() {
+            let bundle = call_bundle(self.prog, &f.proc, f.call_site)
+                .map_err(|e| format!("frame {i}: {e}"))?;
+            stack.push(Frame {
+                proc: f.proc.clone(),
+                call_site: f.call_site,
+                bundle: bundle.clone(),
+                rho: f.rho.iter().cloned().collect(),
+                saves: f.saves.iter().cloned().collect(),
+                uid: f.uid,
+            });
+        }
+        self.control = NodeRef {
+            proc: st.proc.clone(),
+            node: st.node,
+        };
+        self.rho = st.rho.iter().cloned().collect();
+        self.saves = st.saves.iter().cloned().collect();
+        self.uid = st.uid;
+        self.mem = st.mem.iter().copied().collect();
+        self.area = st.area.clone();
+        self.stack = stack;
+        self.globals = st.globals.iter().cloned().collect();
+        self.next_uid = st.next_uid;
+        self.cont_encodings = st.cont_encodings.clone();
+        self.status = match st.status {
+            SnapStatus::Suspended => Status::Suspended,
+            SnapStatus::OutOfFuel => Status::OutOfFuel,
+        };
+        self.steps = st.steps;
+        Ok(())
+    }
+}
+
+/// Checks that `proc` exists in `prog` and `node` indexes its graph
+/// (restore validation, shared with the pre-resolved engine).
+pub(crate) fn check_ref(
+    prog: &Program,
+    proc: &Name,
+    node: NodeId,
+    what: &str,
+) -> Result<(), String> {
+    let g = prog
+        .procs
+        .get(proc)
+        .ok_or_else(|| format!("{what}: no procedure `{proc}`"))?;
+    if node.index() >= g.nodes.len() {
+        return Err(format!(
+            "{what}: node {node} out of bounds for `{proc}` ({} nodes)",
+            g.nodes.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Re-derives the continuation bundle of a restored frame from its call
+/// site's `Call` node.
+pub(crate) fn call_bundle<'q>(
+    prog: &'q Program,
+    proc: &Name,
+    call_site: NodeId,
+) -> Result<&'q cmm_cfg::Bundle, String> {
+    let g = prog
+        .procs
+        .get(proc)
+        .ok_or_else(|| format!("no procedure `{proc}`"))?;
+    match g.nodes.get(call_site.index()) {
+        Some(Node::Call { bundle, .. }) => Ok(bundle),
+        Some(n) => Err(format!(
+            "call site {proc}:{call_site} is a {} node, not a Call",
+            n.kind_name()
+        )),
+        None => Err(format!("call site {proc}:{call_site} out of bounds")),
+    }
 }
 
 #[cfg(test)]

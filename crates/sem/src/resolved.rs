@@ -30,7 +30,8 @@
 //! difftest oracle suite and `tests/engine_equivalence.rs` enforce
 //! over generated programs.
 
-use crate::machine::{lit_value, width_of, RtsTarget, Status, CONT_BASE};
+use crate::machine::{call_bundle, check_ref, lit_value, width_of, RtsTarget, Status, CONT_BASE};
+use crate::snapshot::{sorted_bindings, FrameState, SemState, SnapStatus};
 use crate::state::NodeRef;
 use crate::value::Value;
 use crate::wrong::Wrong;
@@ -198,6 +199,10 @@ struct RProc<'p> {
     entry: NodeId,
     /// Frame size in slots.
     nslots: usize,
+    /// The name each slot stands for, indexed by slot — the inverse of
+    /// the resolver's `slot_of`, kept for snapshot capture/restore
+    /// (which speaks name space so states port across engines).
+    slot_names: Vec<Name>,
     /// The flattened statement stream, index-aligned with
     /// `graph.nodes`.
     nodes: Vec<RNode<'p>>,
@@ -304,11 +309,16 @@ impl<'r, 'p> Resolver<'r, 'p> {
 
     fn resolve(self) -> RProc<'p> {
         let nodes = self.g.nodes.iter().map(|n| self.node(n)).collect();
+        let mut slot_names = vec![Name::from(""); self.slot_of.len()];
+        for (n, &s) in &self.slot_of {
+            slot_names[s as usize] = n.clone();
+        }
         RProc {
             name: self.g.name.clone(),
             graph: self.g,
             entry: self.g.entry,
             nslots: self.slot_of.len(),
+            slot_names,
             nodes,
         }
     }
@@ -1260,6 +1270,176 @@ impl<'p, S: TraceSink> ResolvedMachine<'p, S> {
             _ => None,
         }
     }
+
+    // ----- snapshot capture and restore -----
+
+    /// Captures the machine's suspended state in the same portable name
+    /// space as [`Machine::capture`](crate::Machine::capture): slots
+    /// are translated back to the names they stand for, so at matching
+    /// execution points both engines capture *equal* [`SemState`]s and
+    /// a state captured here restores into the reference machine (and
+    /// vice versa).
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::capture`](crate::Machine::capture).
+    pub fn capture(&self) -> Result<SemState, String> {
+        let status = match &self.status {
+            Status::Suspended => SnapStatus::Suspended,
+            Status::OutOfFuel => SnapStatus::OutOfFuel,
+            other => return Err(format!("not at a resumable point (status {other:?})")),
+        };
+        let env = |p: &RProc<'p>, rho: &[Option<Value>]| {
+            sorted_bindings(
+                rho.iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| v.as_ref().map(|v| (p.slot_names[i].clone(), v.clone()))),
+            )
+        };
+        let names = |p: &RProc<'p>, slots: &[Slot]| {
+            let mut v: Vec<Name> = slots
+                .iter()
+                .map(|&s| p.slot_names[s as usize].clone())
+                .collect();
+            v.sort();
+            v
+        };
+        let p = &self.rp.procs[self.cur_proc];
+        Ok(SemState {
+            proc: p.name.clone(),
+            node: self.cur_node,
+            rho: env(p, &self.rho),
+            saves: names(p, &self.saves),
+            uid: self.uid,
+            mem: self.mem_snapshot(),
+            area: self.area.clone(),
+            stack: self
+                .stack
+                .iter()
+                .map(|f| {
+                    let fp = &self.rp.procs[f.proc];
+                    FrameState {
+                        proc: fp.name.clone(),
+                        call_site: f.call_site,
+                        rho: env(fp, &f.rho),
+                        saves: names(fp, &f.saves),
+                        uid: f.uid,
+                    }
+                })
+                .collect(),
+            globals: sorted_bindings(
+                self.rp
+                    .globals_init
+                    .iter()
+                    .map(|(n, _)| n.clone())
+                    .zip(self.globals.iter().cloned()),
+            ),
+            next_uid: self.next_uid,
+            cont_encodings: self.cont_encodings.clone(),
+            status,
+            steps: self.steps,
+        })
+    }
+
+    /// Restores a captured state, translating names back into this
+    /// engine's slot space. The state may come from either engine of
+    /// the family; validation mirrors
+    /// [`Machine::restore`](crate::Machine::restore), with the extra
+    /// check that every restored binding names a variable of its
+    /// procedure's slot universe.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::restore`](crate::Machine::restore). The machine is
+    /// unchanged on error.
+    pub fn restore(&mut self, st: &SemState) -> Result<(), String> {
+        let prog = self.rp.prog;
+        check_ref(prog, &st.proc, st.node, "control")?;
+        for (i, ce) in st.cont_encodings.iter().enumerate() {
+            check_ref(prog, &ce.0.proc, ce.0.node, &format!("cont-encoding {i}"))?;
+        }
+        let resolve_env = |p: &RProc<'p>,
+                           pairs: &[(Name, Value)],
+                           what: &str|
+         -> Result<Vec<Option<Value>>, String> {
+            let mut rho = vec![None; p.nslots];
+            for (n, v) in pairs {
+                let slot =
+                    p.slot_names.iter().position(|m| m == n).ok_or_else(|| {
+                        format!("{what}: `{n}` is not a variable of `{}`", p.name)
+                    })?;
+                rho[slot] = Some(v.clone());
+            }
+            Ok(rho)
+        };
+        let resolve_names = |p: &RProc<'p>, ns: &[Name], what: &str| -> Result<Vec<Slot>, String> {
+            ns.iter()
+                .map(|n| {
+                    p.slot_names
+                        .iter()
+                        .position(|m| m == n)
+                        .map(|s| s as Slot)
+                        .ok_or_else(|| format!("{what}: `{n}` is not a variable of `{}`", p.name))
+                })
+                .collect()
+        };
+        let cur = self
+            .rp
+            .idx_of(&st.proc)
+            .expect("checked by check_ref above");
+        let p = &self.rp.procs[cur];
+        let rho = resolve_env(p, &st.rho, "environment")?;
+        let saves = resolve_names(p, &st.saves, "callee-saves")?;
+        let mut stack = Vec::with_capacity(st.stack.len());
+        for (i, f) in st.stack.iter().enumerate() {
+            let bundle =
+                call_bundle(prog, &f.proc, f.call_site).map_err(|e| format!("frame {i}: {e}"))?;
+            let fi = self
+                .rp
+                .idx_of(&f.proc)
+                .expect("call_bundle found the procedure");
+            let fp = &self.rp.procs[fi];
+            stack.push(RFrame {
+                proc: fi,
+                call_site: f.call_site,
+                bundle,
+                rho: resolve_env(fp, &f.rho, &format!("frame {i} environment"))?,
+                saves: resolve_names(fp, &f.saves, &format!("frame {i} callee-saves"))?,
+                uid: f.uid,
+            });
+        }
+        let mut globals: Vec<Value> = self
+            .rp
+            .globals_init
+            .iter()
+            .map(|(_, v)| v.clone())
+            .collect();
+        for (n, v) in &st.globals {
+            let g = self
+                .rp
+                .globals_idx
+                .get(n)
+                .ok_or_else(|| format!("global `{n}` is not declared by the program"))?;
+            globals[*g as usize] = v.clone();
+        }
+        self.cur_proc = cur;
+        self.cur_node = st.node;
+        self.rho = rho;
+        self.saves = saves;
+        self.uid = st.uid;
+        self.mem = st.mem.iter().copied().collect();
+        self.area = st.area.clone();
+        self.stack = stack;
+        self.globals = globals;
+        self.next_uid = st.next_uid;
+        self.cont_encodings = st.cont_encodings.clone();
+        self.status = match st.status {
+            SnapStatus::Suspended => Status::Suspended,
+            SnapStatus::OutOfFuel => Status::OutOfFuel,
+        };
+        self.steps = st.steps;
+        Ok(())
+    }
 }
 
 impl<'p, S: TraceSink> crate::engine::SemEngine<'p> for ResolvedMachine<'p, S> {
@@ -1325,6 +1505,14 @@ impl<'p, S: TraceSink> crate::engine::SemEngine<'p> for ResolvedMachine<'p, S> {
 
     fn mem_snapshot(&self) -> Vec<(u64, u8)> {
         ResolvedMachine::mem_snapshot(self)
+    }
+
+    fn capture(&self) -> Result<SemState, String> {
+        ResolvedMachine::capture(self)
+    }
+
+    fn restore(&mut self, st: &SemState) -> Result<(), String> {
+        ResolvedMachine::restore(self, st)
     }
 
     fn trace_enabled(&self) -> bool {

@@ -1,0 +1,258 @@
+//! The wire layer: little-endian primitives over a byte buffer, and the
+//! structured errors a hostile buffer can produce.
+//!
+//! Everything here upholds two properties the snapshot format promises:
+//!
+//! * **Determinism.** Encoding is a pure function of the value — no
+//!   maps are walked in hash order (the state types are canonically
+//!   sorted before they reach this layer), no padding, no timestamps.
+//!   Encoding the same value twice yields identical bytes.
+//! * **Totality of decoding.** The decoder never panics and never
+//!   allocates more than the buffer could possibly justify: every read
+//!   is bounds-checked, and every length prefix is validated against
+//!   the bytes actually remaining (with a per-element lower bound)
+//!   before any allocation. Corrupted, truncated, or adversarial input
+//!   produces a [`SnapError`], nothing else.
+
+use std::fmt;
+
+/// Decoding (and envelope-validation) failures. Every way a snapshot
+/// blob can be rejected, as data — never a panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapError {
+    /// The buffer ended before a read of `need` more bytes (`have`
+    /// remained). Also produced for length prefixes that could not fit
+    /// in the remaining bytes.
+    Truncated { need: usize, have: usize },
+    /// The leading magic bytes are not a snapshot's.
+    BadMagic,
+    /// The format version is not one this build reads.
+    UnsupportedVersion(u32),
+    /// An enum/option tag byte was out of range for `what`.
+    BadTag { what: &'static str, tag: u8 },
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A length prefix for `what` exceeded the format's cap.
+    TooLong { what: &'static str, len: u64 },
+    /// The envelope parsed but `n` bytes followed it.
+    TrailingBytes(usize),
+    /// The trailing checksum does not match the bytes before it.
+    ChecksumMismatch,
+    /// The snapshot's program digest does not match the program it is
+    /// being restored against.
+    DigestMismatch,
+    /// The engine byte and the state payload belong to different
+    /// families.
+    FamilyMismatch,
+    /// The state decoded but the engine rejected it at restore time.
+    Restore(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated { need, have } => {
+                write!(
+                    f,
+                    "truncated snapshot: needed {need} more bytes, had {have}"
+                )
+            }
+            SnapError::BadMagic => write!(f, "not a cmm snapshot (bad magic)"),
+            SnapError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads version 1)"
+                )
+            }
+            SnapError::BadTag { what, tag } => write!(f, "bad {what} tag byte {tag}"),
+            SnapError::BadUtf8 => write!(f, "snapshot string is not valid UTF-8"),
+            SnapError::TooLong { what, len } => {
+                write!(f, "{what} length {len} exceeds the format cap")
+            }
+            SnapError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the snapshot"),
+            SnapError::ChecksumMismatch => write!(f, "snapshot checksum mismatch (corrupted blob)"),
+            SnapError::DigestMismatch => {
+                write!(
+                    f,
+                    "snapshot was taken over a different program (digest mismatch)"
+                )
+            }
+            SnapError::FamilyMismatch => {
+                write!(
+                    f,
+                    "engine byte and state payload belong to different families"
+                )
+            }
+            SnapError::Restore(e) => write!(f, "state rejected at restore: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Longest string the format will carry (names, procedure names).
+pub(crate) const MAX_STR: u64 = 1 << 16;
+
+/// The append-only encoder.
+#[derive(Default)]
+pub(crate) struct Enc {
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+
+    /// A length prefix (counts, not byte sizes).
+    pub fn len(&mut self, n: usize) {
+        self.u32(n as u32);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// The bounds-checked reader.
+pub(crate) struct Dec<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Dec<'b> {
+    pub fn new(buf: &'b [u8]) -> Dec<'b> {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(SnapError::BadTag { what, tag }),
+        }
+    }
+
+    pub fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, SnapError> {
+        if self.bool(what)? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// A length prefix, validated so that `n` elements of at least
+    /// `min_elem_bytes` each could still fit in the remaining buffer —
+    /// the guard that keeps a hostile prefix from forcing a huge
+    /// allocation.
+    pub fn len(&mut self, what: &'static str, min_elem_bytes: usize) -> Result<usize, SnapError> {
+        let n = self.u32()? as usize;
+        let need = n.saturating_mul(min_elem_bytes.max(1));
+        if need > self.remaining() {
+            return Err(SnapError::Truncated {
+                need,
+                have: self.remaining(),
+            });
+        }
+        let _ = what;
+        Ok(n)
+    }
+
+    pub fn str(&mut self, what: &'static str) -> Result<String, SnapError> {
+        let n = self.len(what, 1)?;
+        if n as u64 > MAX_STR {
+            return Err(SnapError::TooLong {
+                what,
+                len: n as u64,
+            });
+        }
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes)
+            .map(|s| s.to_owned())
+            .map_err(|_| SnapError::BadUtf8)
+    }
+
+    /// Fails unless the whole buffer was consumed.
+    pub fn finish(self) -> Result<(), SnapError> {
+        if self.remaining() != 0 {
+            return Err(SnapError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over `bytes`, 64-bit — the trailing integrity checksum.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Two independent 64-bit FNV-1a lanes (different offset bases) — the
+/// program-identity digest. Not cryptographic; collision resistance
+/// adequate for "is this the same source text and build options".
+pub(crate) fn fnv128(bytes: &[u8]) -> [u64; 2] {
+    let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut b: u64 = 0x6c62_272e_07bb_0142;
+    for &x in bytes {
+        a ^= x as u64;
+        a = a.wrapping_mul(0x0000_0100_0000_01b3);
+        b = b.wrapping_mul(0x0000_0100_0000_01b3);
+        b ^= x as u64;
+    }
+    [a, b]
+}

@@ -46,6 +46,7 @@ pub mod isa;
 pub mod machine;
 pub mod mem;
 pub mod runtime;
+pub mod snapshot;
 
 pub use arch::ArchProfile;
 pub use codegen::{compile, CodegenError, VmProgram};
@@ -54,3 +55,4 @@ pub use fuse::{FInst, FOp, FusedCode};
 pub use isa::{Inst, Reg};
 pub use machine::{Cost, VmArena, VmMachine, VmStatus};
 pub use runtime::VmThread;
+pub use snapshot::{VmSnapStatus, VmState};

@@ -206,6 +206,7 @@ fn a_chaos_failed_job_writes_a_postmortem_with_its_final_events() {
                 queue_cap: 8,
                 metrics: true,
                 flight_cap: 4,
+                ..BatchConfig::default()
             },
         );
         assert_eq!(report.postmortems.len(), 2, "both engines faulted");

@@ -66,6 +66,60 @@ fn batch_reports_are_byte_identical_at_every_worker_count() {
 }
 
 #[test]
+fn checkpointed_batches_are_deterministic_and_outcome_preserving() {
+    // `--snapshot-every` slices each job's fuel budget and runs a full
+    // capture → encode → decode → restore cycle at every boundary. Two
+    // promises: the timing-stripped report (now carrying snapshot
+    // counts, bytes, and blob digests) stays byte-identical at every
+    // worker count, and the checkpointing changes *nothing* observable
+    // about any job — outcome, yields, instruction count.
+    let specs = specs();
+    let plain = run_batch(
+        &specs,
+        &PipelineCache::default(),
+        &BatchConfig {
+            queue_cap: 8,
+            ..BatchConfig::default()
+        },
+    );
+    let mut snapped = Vec::new();
+    for workers in [1, 2, 8] {
+        let report = run_batch(
+            &specs,
+            &PipelineCache::default(),
+            &BatchConfig {
+                workers,
+                queue_cap: 8,
+                snapshot_every: Some(16),
+                ..BatchConfig::default()
+            },
+        );
+        snapped.push(report);
+    }
+    let json: Vec<String> = snapped.iter().map(|r| r.to_json(false)).collect();
+    assert_eq!(json[0], json[1], "-j1 vs -j2");
+    assert_eq!(json[0], json[2], "-j1 vs -j8");
+    assert!(json[0].contains("\"snapshots\": "), "{}", json[0]);
+    for (p, s) in plain.jobs.iter().zip(&snapped[0].jobs) {
+        assert_eq!(p.outcome, s.outcome, "job {} `{}`", p.id, p.name);
+        assert_eq!(p.yields, s.yields, "job {} `{}`", p.id, p.name);
+        assert_eq!(
+            p.instructions, s.instructions,
+            "job {} `{}`: checkpointing changed the work count",
+            p.id, p.name
+        );
+        assert!(p.snap.is_none(), "plain runs carry no snapshot row");
+    }
+    let total: u64 = snapped[0]
+        .jobs
+        .iter()
+        .filter_map(|j| j.snap)
+        .map(|s| s.count)
+        .sum();
+    assert!(total > 0, "no job ever crossed a slice boundary at 16 fuel");
+}
+
+#[test]
 fn a_batch_over_a_fresh_cache_still_finishes_warm() {
     let specs = specs();
     let cache = PipelineCache::default();
