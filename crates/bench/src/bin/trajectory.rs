@@ -11,8 +11,9 @@
 //! reported but never gated.
 
 use cmm_bench::trajectory::{
-    check_against_baseline, parse_baseline, run_chaos_histogram, run_pool_throughput,
-    run_snapshot_figures, run_trajectory, to_json, SNAPSHOT_EVERY,
+    check_against_baseline, check_serve_baseline, parse_baseline, run_chaos_histogram,
+    run_pool_throughput, run_serve_figures, run_snapshot_figures, run_trajectory, to_json,
+    SNAPSHOT_EVERY,
 };
 use std::process::ExitCode;
 
@@ -76,7 +77,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
     // is byte-identical at -j1 and -j4 and that no round-trip changed
     // machine state).
     let snap = run_snapshot_figures(SNAPSHOT_EVERY);
-    let json = to_json(iters, &measurements, &chaos, &pool, &snap);
+    // The execution service under its acceptance load: 17 tenants ×
+    // 64 threads over all five engine tiers with rotation migration,
+    // run at -j1 and -j8. The run itself asserts the scheduler event
+    // logs are byte-identical, the parked population peaks above 1000
+    // blobs, and at least one thread crossed an engine tier. All
+    // virtual figures are gated exactly; the wall rate is not.
+    let serve = run_serve_figures();
+    let json = to_json(iters, &measurements, &chaos, &pool, &snap, &serve);
 
     println!(
         "{:<34} {:>12} {:>7} {:>8} {:>7} {:>12} {:>12} {:>9}",
@@ -150,6 +158,31 @@ fn run(args: Vec<String>) -> Result<(), String> {
         snap.every, snap.jobs_checkpointed, snap.count, snap.bytes, snap.digest
     );
 
+    println!(
+        "serve {} tenants x {} threads over {} lanes (quantum {}): {} completed, {} yields, \
+         {} migrations, parked high water {}",
+        serve.tenants,
+        serve.threads / serve.tenants.max(1),
+        serve.lanes,
+        serve.quantum,
+        serve.completed,
+        serve.yields,
+        serve.migrations,
+        serve.parked_high_water
+    );
+    println!(
+        "  virtual: {} responses/s over {} ns (queue wait p50/p99 {}/{}, turnaround p50/p99 \
+         {}/{}, event digest {:#018x}); wall (never gated): {} responses/s",
+        serve.virtual_rps,
+        serve.virtual_ns,
+        serve.queue_wait_p50,
+        serve.queue_wait_p99,
+        serve.turnaround_p50,
+        serve.turnaround_p99,
+        serve.event_digest,
+        serve.wall_rps
+    );
+
     if let Some(path) = out {
         std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
@@ -171,8 +204,21 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 violations.len()
             ));
         }
+        // The serve section is gated exactly, tolerance-free: its
+        // fields are virtual cost-model figures over a fixed profile,
+        // so any drift is a scheduler behavior change.
+        let serve_violations = check_serve_baseline(&text, &serve);
+        for v in &serve_violations {
+            eprintln!("regression: {v}");
+        }
+        if !serve_violations.is_empty() {
+            return Err(format!(
+                "{} serve field(s) drifted vs {path}",
+                serve_violations.len()
+            ));
+        }
         println!(
-            "all {} baseline workloads within {tolerance}% of {path}",
+            "all {} baseline workloads within {tolerance}% of {path}; serve section exact",
             baseline.len()
         );
     }

@@ -738,22 +738,10 @@ pub fn run_snapshot_figures(every: u64) -> SnapshotFigures {
     figures
 }
 
-/// Deterministic list schedule: jobs are placed in submission order on
-/// the least-loaded of `workers` lanes (lowest index on ties) and the
-/// makespan is the heaviest lane. This mirrors what the executor's
-/// greedy work distribution converges to, and it is a pure function of
-/// the cost list — no threads, no clocks.
-pub fn virtual_makespan(costs: &[u64], workers: usize) -> u64 {
-    let workers = workers.max(1);
-    let mut lanes = vec![0u64; workers];
-    for &cost in costs {
-        let lightest = (0..workers)
-            .min_by_key(|&i| lanes[i])
-            .expect("at least one lane");
-        lanes[lightest] += cost.max(1);
-    }
-    lanes.into_iter().max().unwrap_or(0).max(1)
-}
+// The deterministic list schedule lives in `cmm-pool` now (the serve
+// scheduler's virtual clock is built on it too); re-exported here for
+// the existing bench callers.
+pub use cmm_pool::virtual_makespan;
 
 /// What the virtual clock counts, embedded verbatim in the JSON.
 pub const POOL_CLOCK: &str = "virtual: 1 instruction = 1ns, deterministic list schedule; \
@@ -832,6 +820,128 @@ pub fn run_pool_throughput(worker_counts: &[usize]) -> PoolThroughput {
     }
 }
 
+/// What the serve scheduler's clock counts, embedded verbatim in the
+/// JSON.
+pub const SERVE_CLOCK: &str =
+    "virtual: cost-model ns over fixed lanes, deterministic at every -j; \
+     wall rates reported alongside, never gated";
+
+/// Figures from one acceptance-scale run of the execution service's
+/// deterministic load generator (`cmm serve --selftest`). Everything
+/// except `wall_rps` is a pure function of the load profile — the
+/// scheduler runs on the virtual cost-model clock over a fixed lane
+/// count — so those fields are gated **exactly** by
+/// [`check_serve_baseline`]; `wall_rps` rides along and is never
+/// gated. The section carries no `"name":` key, so [`parse_baseline`]
+/// cannot mistake it for a workload row either.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeFigures {
+    /// The clock contract, embedded verbatim.
+    pub clock: &'static str,
+    /// Tenants in the load profile.
+    pub tenants: u64,
+    /// Service threads submitted.
+    pub threads: u64,
+    /// Virtual scheduling lanes (what the clock divides work over).
+    pub lanes: u64,
+    /// Preemption quantum (fuel per slice).
+    pub quantum: u64,
+    /// Threads that ran to completion.
+    pub completed: u64,
+    /// Yield responses delivered to tenants.
+    pub yields: u64,
+    /// Cross-tier snapshot migrations.
+    pub migrations: u64,
+    /// Most threads ever parked as blobs at once.
+    pub parked_high_water: u64,
+    /// Virtual duration of the whole run.
+    pub virtual_ns: u64,
+    /// Tenant-visible responses per virtual second.
+    pub virtual_rps: u64,
+    /// Queue-wait quantiles on the virtual clock.
+    pub queue_wait_p50: u64,
+    /// 99th percentile queue wait.
+    pub queue_wait_p99: u64,
+    /// Submit-to-finish quantiles on the virtual clock.
+    pub turnaround_p50: u64,
+    /// 99th percentile turnaround.
+    pub turnaround_p99: u64,
+    /// FNV fold of the scheduler event log.
+    pub event_digest: u64,
+    /// Wall responses per second — informational, **never gated**.
+    pub wall_rps: u64,
+}
+
+impl ServeFigures {
+    /// Every field the baseline gate compares exactly, in emission
+    /// order. `wall_rps` is deliberately absent.
+    pub fn gated_fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("tenants", self.tenants),
+            ("threads", self.threads),
+            ("lanes", self.lanes),
+            ("quantum", self.quantum),
+            ("completed", self.completed),
+            ("yields", self.yields),
+            ("migrations", self.migrations),
+            ("parked_high_water", self.parked_high_water),
+            ("virtual_ns", self.virtual_ns),
+            ("virtual_rps", self.virtual_rps),
+            ("queue_wait_p50", self.queue_wait_p50),
+            ("queue_wait_p99", self.queue_wait_p99),
+            ("turnaround_p50", self.turnaround_p50),
+            ("turnaround_p99", self.turnaround_p99),
+            ("event_digest", self.event_digest),
+        ]
+    }
+}
+
+/// Runs the acceptance load (17 tenants × 64 threads, all five engine
+/// tiers, rotation migration, seeded chaos) through the service at
+/// `-j1` and `-j8`, asserting the scheduler event logs are
+/// byte-identical, the parked population peaks at ≥ 1000 blobs, and at
+/// least one thread crossed an engine tier — then reports the virtual
+/// figures (plus the `-j8` wall rate, never gated).
+pub fn run_serve_figures() -> ServeFigures {
+    use cmm_serve::{acceptance_profile, load_config, run_load};
+    let profile = acceptance_profile();
+    let (svc1, r1) = run_load(load_config(1), &profile);
+    let (svc8, r8) = run_load(load_config(8), &profile);
+    assert_eq!(
+        svc1.events_text(),
+        svc8.events_text(),
+        "serve event logs must be byte-identical at every -j"
+    );
+    assert_eq!(r1.event_digest, r8.event_digest);
+    assert_eq!(r1.completed, r1.threads, "every service thread must finish");
+    assert!(
+        r1.parked_high_water >= 1000,
+        "the acceptance load must park >= 1000 threads at once, saw {}",
+        r1.parked_high_water
+    );
+    assert!(r1.migrations >= 1, "rotation must migrate across tiers");
+    let config = load_config(8);
+    ServeFigures {
+        clock: SERVE_CLOCK,
+        tenants: profile.tenants as u64,
+        threads: r1.threads,
+        lanes: config.lanes as u64,
+        quantum: config.quantum,
+        completed: r1.completed,
+        yields: r1.yields,
+        migrations: r1.migrations,
+        parked_high_water: r1.parked_high_water,
+        virtual_ns: r1.virtual_ns,
+        virtual_rps: r1.virtual_rps,
+        queue_wait_p50: r1.queue_wait_p50,
+        queue_wait_p99: r1.queue_wait_p99,
+        turnaround_p50: r1.turnaround_p50,
+        turnaround_p99: r1.turnaround_p99,
+        event_digest: r1.event_digest,
+        wall_rps: r8.wall_rps,
+    }
+}
+
 /// Renders the trajectory as JSON. Field order is stable:
 /// [`parse_baseline`] relies on `name` preceding `instructions`. The
 /// chaos and pool sections deliberately avoid `"name":` keys so the
@@ -843,6 +953,7 @@ pub fn to_json(
     chaos: &ChaosHistogram,
     pool: &PoolThroughput,
     snap: &SnapshotFigures,
+    serve: &ServeFigures,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -942,8 +1053,36 @@ pub fn to_json(
     let _ = writeln!(
         s,
         "  \"snapshots\": {{ \"every\": {}, \"jobs_checkpointed\": {}, \"count\": {}, \
-         \"bytes\": {}, \"blob_digest\": \"{:#018x}\" }}",
+         \"bytes\": {}, \"blob_digest\": \"{:#018x}\" }},",
         snap.every, snap.jobs_checkpointed, snap.count, snap.bytes, snap.digest
+    );
+    // The execution-service figures. One line, no `"name":` key; every
+    // field except `wall_rps` is deterministic and gated exactly by
+    // `check_serve_baseline`.
+    let _ = writeln!(
+        s,
+        "  \"serve\": {{ \"clock\": \"{}\", \"tenants\": {}, \"threads\": {}, \"lanes\": {}, \
+         \"quantum\": {}, \"completed\": {}, \"yields\": {}, \"migrations\": {}, \
+         \"parked_high_water\": {}, \"virtual_ns\": {}, \"virtual_rps\": {}, \
+         \"queue_wait_p50\": {}, \"queue_wait_p99\": {}, \"turnaround_p50\": {}, \
+         \"turnaround_p99\": {}, \"event_digest\": \"{:#018x}\", \"wall_rps\": {} }}",
+        serve.clock,
+        serve.tenants,
+        serve.threads,
+        serve.lanes,
+        serve.quantum,
+        serve.completed,
+        serve.yields,
+        serve.migrations,
+        serve.parked_high_water,
+        serve.virtual_ns,
+        serve.virtual_rps,
+        serve.queue_wait_p50,
+        serve.queue_wait_p99,
+        serve.turnaround_p50,
+        serve.turnaround_p99,
+        serve.event_digest,
+        serve.wall_rps
     );
     s.push_str("}\n");
     s
@@ -972,6 +1111,43 @@ pub fn parse_baseline(text: &str) -> Vec<(String, u64)> {
         }
     }
     out
+}
+
+/// Extracts one `"key": value` pair from the serve baseline line —
+/// `value` is either a bare integer or a quoted `"0x…"` hex digest.
+fn serve_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    if let Some(hex) = rest.strip_prefix("\"0x") {
+        let digits: String = hex.chars().take_while(char::is_ascii_hexdigit).collect();
+        return u64::from_str_radix(&digits, 16).ok();
+    }
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The serve gate: every deterministic field of the committed `serve`
+/// section must match the current run **exactly** — these are virtual
+/// cost-model figures over a fixed load profile, so any drift is a
+/// behavior change, not noise. `wall_rps` is not compared (and a
+/// baseline predating the section is itself a violation: the gate
+/// never silently waves the service through).
+pub fn check_serve_baseline(baseline_text: &str, serve: &ServeFigures) -> Vec<String> {
+    let Some(line) = baseline_text.lines().find(|l| l.contains("\"serve\": {")) else {
+        return vec!["baseline has no `serve` section (regenerate it with --out)".into()];
+    };
+    let mut violations = Vec::new();
+    for (key, current) in serve.gated_fields() {
+        match serve_field(line, key) {
+            None => violations.push(format!("baseline `serve` section lacks `{key}`")),
+            Some(base) if base != current => violations.push(format!(
+                "serve `{key}` changed: {current} vs baseline {base} \
+                 (deterministic serve fields are gated exactly)"
+            )),
+            Some(_) => {}
+        }
+    }
+    violations
 }
 
 /// The CI regression gate: every baseline workload must still exist and
@@ -1023,6 +1199,28 @@ mod tests {
         }
     }
 
+    fn serve_fixture() -> ServeFigures {
+        ServeFigures {
+            clock: SERVE_CLOCK,
+            tenants: 17,
+            threads: 1088,
+            lanes: 8,
+            quantum: 2000,
+            completed: 1088,
+            yields: 4242,
+            migrations: 512,
+            parked_high_water: 1040,
+            virtual_ns: 9_876_543,
+            virtual_rps: 538_000,
+            queue_wait_p50: 100,
+            queue_wait_p99: 4000,
+            turnaround_p50: 200_000,
+            turnaround_p99: 900_000,
+            event_digest: 0x1234_5678_9abc_def0,
+            wall_rps: 31_337,
+        }
+    }
+
     #[test]
     fn json_round_trips_the_gated_subset() {
         let ms = vec![
@@ -1063,7 +1261,7 @@ mod tests {
             hit_rate_permille: 400,
             rates: vec![rate(1, 111, 91, 1000), rate(4, 333, 89, 3000)],
         };
-        let json = to_json(3, &ms, &chaos, &pool, &snap_fixture());
+        let json = to_json(3, &ms, &chaos, &pool, &snap_fixture(), &serve_fixture());
         let parsed = parse_baseline(&json);
         // The chaos, pool, and snapshot sections must not leak into
         // the gated workload list.
@@ -1100,7 +1298,14 @@ mod tests {
             hit_rate_permille: 400,
             rates: vec![rate(1, 111, 91, 1000), rate(4, 333, 89, 3000)],
         };
-        let json = to_json(3, &ms, &ChaosHistogram::default(), &pool, &snap_fixture());
+        let json = to_json(
+            3,
+            &ms,
+            &ChaosHistogram::default(),
+            &pool,
+            &snap_fixture(),
+            &serve_fixture(),
+        );
 
         // Every wall-clock, scaling, and checkpointing figure
         // perturbed: the gated subset is unchanged, so a
@@ -1141,6 +1346,70 @@ mod tests {
     }
 
     #[test]
+    fn every_serve_field_is_gated_individually_and_wall_rps_is_not() {
+        // The serve honesty property: perturbing ANY deterministic
+        // serve field in the committed baseline trips the gate on its
+        // own, while the wall-clock rate can drift freely — and a
+        // baseline predating the section is itself a violation.
+        let serve = serve_fixture();
+        let pool = PoolThroughput {
+            jobs: 1,
+            clock: POOL_CLOCK,
+            total_cost: 1,
+            hit_rate_permille: 0,
+            rates: Vec::new(),
+        };
+        let json = to_json(
+            1,
+            &[],
+            &ChaosHistogram::default(),
+            &pool,
+            &snap_fixture(),
+            &serve,
+        );
+        assert!(check_serve_baseline(&json, &serve).is_empty());
+        // The section must stay invisible to the workload-row parser.
+        assert!(parse_baseline(&json).is_empty());
+
+        for (key, value) in serve.gated_fields() {
+            let (pat, bumped) = if key == "event_digest" {
+                (
+                    format!("\"{key}\": \"{value:#018x}\""),
+                    format!("\"{key}\": \"{:#018x}\"", value + 1),
+                )
+            } else {
+                (
+                    format!("\"{key}\": {value}"),
+                    format!("\"{key}\": {}", value + 1),
+                )
+            };
+            let perturbed = json.replace(&pat, &bumped);
+            assert_ne!(json, perturbed, "perturbation must hit: {pat}");
+            let v = check_serve_baseline(&perturbed, &serve);
+            assert_eq!(v.len(), 1, "{key} perturbation not caught: {v:?}");
+            assert!(v[0].contains(key), "{key}: {v:?}");
+        }
+
+        // wall_rps is never gated.
+        let faster = json.replace(
+            &format!("\"wall_rps\": {}", serve.wall_rps),
+            "\"wall_rps\": 999999999",
+        );
+        assert_ne!(json, faster, "the wall perturbation must hit");
+        assert!(check_serve_baseline(&faster, &serve).is_empty());
+
+        // A serve-less baseline is a violation, not a silent pass.
+        let stripped: String = json
+            .lines()
+            .filter(|l| !l.contains("\"serve\": {"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let v = check_serve_baseline(&stripped, &serve);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("no `serve` section"), "{v:?}");
+    }
+
+    #[test]
     fn fused_regressions_are_flagged_per_row_and_summarized() {
         // One healthy row, one where the fused tier lost to decoded.
         let mk = |name: &str, decoded: u64, fused: u64| Measurement {
@@ -1167,7 +1436,14 @@ mod tests {
             hit_rate_permille: 0,
             rates: Vec::new(),
         };
-        let json = to_json(1, &ms, &ChaosHistogram::default(), &pool, &snap_fixture());
+        let json = to_json(
+            1,
+            &ms,
+            &ChaosHistogram::default(),
+            &pool,
+            &snap_fixture(),
+            &serve_fixture(),
+        );
         assert!(json.contains("\"fused_regression\": false"), "{json}");
         assert!(json.contains("\"fused_regression\": true"), "{json}");
         assert!(json.contains("\"fused_regressions\": [\"bad\"],"), "{json}");

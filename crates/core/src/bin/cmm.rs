@@ -17,6 +17,9 @@
 //! cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]
 //!           [--metrics-out F] [--postmortem-dir DIR] [--snapshot-every F]
 //! cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]
+//! cmm serve --listen ADDR [-j N] [--quantum F]
+//! cmm serve --selftest [--tenants N] [--threads N] [--quanta N] [--seed S]
+//!           [-j N] [--quantum F] [--metrics-out F] [--events-out F]
 //! ```
 //!
 //! `batch` executes a manifest of jobs (see `cmm-pool`'s docs for the
@@ -36,6 +39,15 @@
 //! the manifest with the registry on and prints Prometheus text
 //! exposition (or the registry JSON with `--json`), exiting zero even
 //! when jobs fail — failures are part of what it reports.
+//!
+//! `serve` is the persistent multi-tenant execution service
+//! (`cmm-serve`): `--listen` speaks the NDJSON session protocol over
+//! TCP; `--selftest` runs the deterministic load generator on the
+//! virtual cost-model clock and prints figures that are byte-identical
+//! at every `-j` (wall-clock rates are printed separately and never
+//! gated). `--events-out` writes the scheduler event log and
+//! `--metrics-out` the deterministic metrics JSON, which CI compares
+//! across worker counts.
 //!
 //! `--chaos` additionally runs every generated case under K seeded
 //! Table 1 fault schedules (derived from `--fault-seed`), asserting the
@@ -73,7 +85,7 @@
 //! trace of a fuzz case reproduces the oracle's run exactly.
 
 use cmm_core::sem::{SemEngine, Status, Value};
-use cmm_core::{chaos, frontend, ir, obs, opt, pool, rt, sem, snap, vm, Compiler};
+use cmm_core::{chaos, frontend, ir, obs, opt, pool, rt, sem, serve, snap, vm, Compiler};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -234,17 +246,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             let blob = std::fs::read(&snapfile).map_err(|e| format!("{snapfile}: {e}"))?;
             let snapshot = snap::Snapshot::decode(&blob).map_err(|e| format!("{snapfile}: {e}"))?;
-            let engine = match engine_override {
-                Some(e) if e.family() != snapshot.engine.family() => {
-                    return Err(format!(
-                        "cannot resume a {} snapshot on `{}`: engine families differ",
-                        snapshot.engine.name(),
-                        e.name()
-                    ));
-                }
-                Some(e) => e,
-                None => snapshot.engine,
-            };
+            if let Some(e) = engine_override {
+                // The structured family-mismatch diagnostic: names both
+                // engines, both families, and the blob digest.
+                snapshot.check_engine(e)?;
+            }
+            let engine = engine_override.unwrap_or(snapshot.engine);
             let src = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
             snapshot
                 .check_digest(snap::source_digest(&src, snapshot.meta.opt))
@@ -682,6 +689,126 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        "serve" => {
+            let mut listen: Option<String> = None;
+            let mut selftest = false;
+            let mut workers = 1usize;
+            let mut quantum = 2_000u64;
+            let mut tenants = 17usize;
+            let mut threads = 64usize;
+            let mut quanta = 0u64;
+            let mut seed = 0xC0FFEEu64;
+            let mut metrics_out: Option<String> = None;
+            let mut events_out: Option<String> = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--listen" => listen = Some(args.next().ok_or("--listen needs an address")?),
+                    "--selftest" => selftest = true,
+                    "--jobs" | "-j" => {
+                        workers = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--jobs needs a number >= 1")?;
+                    }
+                    "--quantum" => {
+                        quantum = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--quantum needs a number >= 1")?;
+                    }
+                    "--tenants" => {
+                        tenants = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--tenants needs a number >= 1")?;
+                    }
+                    "--threads" => {
+                        threads = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .filter(|&n| n >= 1)
+                            .ok_or("--threads needs a number >= 1")?;
+                    }
+                    "--quanta" => {
+                        quanta = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--quanta needs a number")?;
+                    }
+                    "--seed" => {
+                        seed = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--seed needs a number")?;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(args.next().ok_or("--metrics-out needs a path")?)
+                    }
+                    "--events-out" => {
+                        events_out = Some(args.next().ok_or("--events-out needs a path")?)
+                    }
+                    other => return Err(format!("unknown serve option `{other}`")),
+                }
+            }
+            let config = serve::ServeConfig {
+                quantum,
+                ..serve::load_config(workers)
+            };
+            if selftest {
+                let profile = serve::LoadProfile {
+                    tenants,
+                    threads_per_tenant: threads,
+                    quanta,
+                    seed,
+                };
+                let (svc, report) = serve::run_load(config, &profile);
+                // Deterministic figures first (byte-identical at every
+                // -j), wall-clock rates last, clearly separated.
+                println!(
+                    "threads:          {} submitted, {} completed, {} yields serviced",
+                    report.threads, report.completed, report.yields
+                );
+                println!(
+                    "scheduler:        {} quanta, {} migrations, parked high water {}",
+                    report.quanta, report.migrations, report.parked_high_water
+                );
+                println!(
+                    "virtual:          {} ns, {} responses/s",
+                    report.virtual_ns, report.virtual_rps
+                );
+                println!(
+                    "queue wait vns:   p50 {} p99 {}",
+                    report.queue_wait_p50, report.queue_wait_p99
+                );
+                println!(
+                    "turnaround vns:   p50 {} p99 {}",
+                    report.turnaround_p50, report.turnaround_p99
+                );
+                println!("event digest:     {:#018x}", report.event_digest);
+                println!(
+                    "wall (not gated): {} ms, {} responses/s",
+                    report.wall_ns / 1_000_000,
+                    report.wall_rps
+                );
+                if let Some(path) = &events_out {
+                    std::fs::write(path, svc.events_text()).map_err(|e| format!("{path}: {e}"))?;
+                }
+                if let Some(path) = &metrics_out {
+                    let reg = svc.registry().expect("selftest mounts metrics");
+                    std::fs::write(path, reg.to_json(false)).map_err(|e| format!("{path}: {e}"))?;
+                }
+                return Ok(());
+            }
+            let addr = listen.ok_or_else(usage)?;
+            let listener =
+                std::net::TcpListener::bind(&addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            println!("serving on {local}");
+            serve::serve_on(listener, serve::Service::new(config)).map_err(|e| e.to_string())
         }
         _ => Err(usage()),
     }
@@ -1424,6 +1551,9 @@ fn usage() -> String {
      \x20      cmm fuzz --replay DIR\n\
      \x20      cmm batch <manifest> [-j N] [--out F] [--no-timing] [--cache-bytes B]\n\
      \x20                [--metrics-out F] [--postmortem-dir DIR] [--snapshot-every F]\n\
-     \x20      cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]"
+     \x20      cmm metrics <manifest> [-j N] [--json] [--no-timing] [--cache-bytes B]\n\
+     \x20      cmm serve --listen ADDR [-j N] [--quantum F]\n\
+     \x20      cmm serve --selftest [--tenants N] [--threads N] [--quanta N] [--seed S]\n\
+     \x20                [-j N] [--quantum F] [--metrics-out F] [--events-out F]"
         .into()
 }

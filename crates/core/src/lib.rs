@@ -57,6 +57,7 @@ pub use cmm_parse as parse;
 pub use cmm_pool as pool;
 pub use cmm_rt as rt;
 pub use cmm_sem as sem;
+pub use cmm_serve as serve;
 pub use cmm_snap as snap;
 pub use cmm_vm as vm;
 

@@ -185,16 +185,36 @@ fn resume_rejects_garbage_and_mismatched_snapshots() {
         &cmm(&["resume", blob.to_str().unwrap(), src]),
         "different program",
     );
-    // ...and refuses an engine of the other family.
-    assert_fails_mentioning(
-        &cmm(&[
-            "resume",
-            blob.to_str().unwrap(),
-            loop_src.to_str().unwrap(),
-            "--engine",
-            "sem",
-        ]),
-        "families differ",
+    // ...and refuses an engine of the other family. The diagnostic is
+    // structured: it names both engines, both families, and the blob's
+    // program digest, so an operator can locate the blob and pick a
+    // legal tier — and the execution service's set-engine path emits
+    // the very same message.
+    let snapshot =
+        cmm_core::snap::Snapshot::decode(&std::fs::read(&blob).expect("read blob")).unwrap();
+    let out = cmm(&[
+        "resume",
+        blob.to_str().unwrap(),
+        loop_src.to_str().unwrap(),
+        "--engine",
+        "sem",
+    ]);
+    assert_fails_mentioning(&out, "engine families differ");
+    let err = stderr(&out);
+    let blob_engine = snapshot.engine.name();
+    assert!(
+        err.contains(&format!("{blob_engine} snapshot")),
+        "stderr should name the blob engine `{blob_engine}`:\n{err}"
+    );
+    assert!(
+        err.contains(&format!("family {}", snapshot.engine.family().name()))
+            && err.contains("family sem"),
+        "stderr should name both families:\n{err}"
+    );
+    let digest = cmm_core::snap::digest_hex(snapshot.digest);
+    assert!(
+        err.contains(&digest),
+        "stderr should name the blob digest {digest}:\n{err}"
     );
 }
 

@@ -52,6 +52,25 @@ impl Default for PoolConfig {
     }
 }
 
+/// Deterministic list schedule: jobs are placed in submission order on
+/// the least-loaded of `workers` lanes (lowest index on ties) and the
+/// makespan is the heaviest lane. This mirrors what the executor's
+/// greedy work distribution converges to, and it is a pure function of
+/// the cost list — no threads, no clocks. The benchmark trajectory's
+/// virtual throughput rows and the serve scheduler's virtual clock are
+/// both built on it.
+pub fn virtual_makespan(costs: &[u64], workers: usize) -> u64 {
+    let workers = workers.max(1);
+    let mut lanes = vec![0u64; workers];
+    for &cost in costs {
+        let lightest = (0..workers)
+            .min_by_key(|&i| lanes[i])
+            .expect("at least one lane");
+        lanes[lightest] += cost.max(1);
+    }
+    lanes.into_iter().max().unwrap_or(0).max(1)
+}
+
 /// How one job ended.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum JobOutcome<R> {

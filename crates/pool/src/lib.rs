@@ -42,7 +42,8 @@ pub use cache::{
 };
 pub use digest::Digest;
 pub use executor::{
-    run_jobs, run_jobs_ctx, run_jobs_metered, JobOutcome, PoolConfig, PoolMeter, PoolStats,
+    run_jobs, run_jobs_ctx, run_jobs_metered, virtual_makespan, JobOutcome, PoolConfig, PoolMeter,
+    PoolStats,
 };
 
 #[cfg(test)]

@@ -1,0 +1,366 @@
+//! The wire protocol: newline-delimited JSON over TCP.
+//!
+//! Each request is one flat JSON object on one line; each response is
+//! one JSON object on one line, `{"ok":1,...}` on success and
+//! `{"ok":0,"error":"..."}` on failure. The protocol is deliberately
+//! session-oriented and sequential — requests on a connection are
+//! served in order against one shared [`Service`], so a tenant's
+//! submit → tick → resume exchange reads like the in-process API.
+//!
+//! [`handle_line`] is the whole protocol; the TCP listener is a thin
+//! loop around it, which is why the protocol tests need no sockets and
+//! the socket test only checks framing.
+//!
+//! # Operations
+//!
+//! | op          | fields                                             |
+//! |-------------|----------------------------------------------------|
+//! | `submit`    | `tenant name source entry args results engine fuel max_yields opt chaos` |
+//! | `resume`    | `id reply`                                         |
+//! | `tick`      | `quanta` (default 1)                               |
+//! | `poll`      | `id`                                               |
+//! | `engine`    | `id engine` — migrate a parked thread              |
+//! | `awaiting`  | —                                                  |
+//! | `stats`     | —                                                  |
+//! | `metrics`   | `timing` (0/1) — registry JSON, escaped            |
+//! | `events`    | — event log, escaped                               |
+//! | `shutdown`  | — acknowledge and stop the server                  |
+
+use crate::json::{escape, get, parse_object, JsonValue};
+use crate::service::{Service, SubmitReq, ThreadState};
+use cmm_snap::EngineId;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+/// Handles one request line against the service. Returns the response
+/// line (no trailing newline) and whether the server should shut down.
+pub fn handle_line(svc: &mut Service, line: &str) -> (String, bool) {
+    match dispatch(svc, line) {
+        Ok(Reply::Body(body)) => (ok_line(&body), false),
+        Ok(Reply::Shutdown) => (ok_line(""), true),
+        Err(e) => (format!("{{\"ok\":0,\"error\":\"{}\"}}", escape(&e)), false),
+    }
+}
+
+fn ok_line(body: &str) -> String {
+    if body.is_empty() {
+        "{\"ok\":1}".to_string()
+    } else {
+        format!("{{\"ok\":1,{body}}}")
+    }
+}
+
+enum Reply {
+    Body(String),
+    Shutdown,
+}
+
+fn dispatch(svc: &mut Service, line: &str) -> Result<Reply, String> {
+    let fields = parse_object(line)?;
+    let op = str_field(&fields, "op")?;
+    match op {
+        "submit" => {
+            let defaults = SubmitReq::default();
+            let req = SubmitReq {
+                tenant: opt_str(&fields, "tenant")?
+                    .unwrap_or(&defaults.tenant)
+                    .into(),
+                name: opt_str(&fields, "name")?.unwrap_or(&defaults.name).into(),
+                source: str_field(&fields, "source")?.into(),
+                entry: opt_str(&fields, "entry")?.unwrap_or(&defaults.entry).into(),
+                args: match get(&fields, "args") {
+                    Some(JsonValue::Arr(a)) => a.clone(),
+                    Some(_) => return Err("`args` must be an array of numbers".into()),
+                    None => Vec::new(),
+                },
+                results: opt_num(&fields, "results")?.unwrap_or(defaults.results as u64) as usize,
+                engine: match opt_str(&fields, "engine")? {
+                    Some(name) => parse_engine(name)?,
+                    None => defaults.engine,
+                },
+                fuel: opt_num(&fields, "fuel")?.unwrap_or(defaults.fuel),
+                max_yields: opt_num(&fields, "max_yields")?.unwrap_or(defaults.max_yields),
+                opt: opt_num(&fields, "opt")?.unwrap_or(1) != 0,
+                chaos: opt_num(&fields, "chaos")?,
+            };
+            let id = svc.submit(req)?;
+            Ok(Reply::Body(format!("\"id\":{id}")))
+        }
+        "resume" => {
+            svc.resume(num_field(&fields, "id")?, num_field(&fields, "reply")?)?;
+            Ok(Reply::Body(String::new()))
+        }
+        "tick" => {
+            let quanta = opt_num(&fields, "quanta")?.unwrap_or(1).max(1);
+            let (mut dispatched, mut completed, mut yielded, mut advance) = (0, 0, 0, 0u64);
+            for _ in 0..quanta {
+                let r = svc.tick();
+                dispatched += r.dispatched;
+                completed += r.completed;
+                yielded += r.yielded;
+                advance += r.advance;
+                if r.dispatched == 0 {
+                    break;
+                }
+            }
+            Ok(Reply::Body(format!(
+                "\"dispatched\":{dispatched},\"completed\":{completed},\
+                 \"yielded\":{yielded},\"advance\":{advance}"
+            )))
+        }
+        "poll" => {
+            let id = num_field(&fields, "id")?;
+            let v = svc.poll(id).ok_or_else(|| format!("no thread t{id}"))?;
+            let (state, extra) = match &v.state {
+                ThreadState::Runnable => ("runnable".to_string(), String::new()),
+                ThreadState::AwaitingTenant { code } => {
+                    ("awaiting".to_string(), format!(",\"code\":{code}"))
+                }
+                ThreadState::Done { outcome } => (
+                    "done".to_string(),
+                    format!(",\"outcome\":\"{}\"", escape(outcome)),
+                ),
+            };
+            Ok(Reply::Body(format!(
+                "\"id\":{},\"state\":\"{state}\"{extra},\"engine\":\"{}\",\
+                 \"yields\":{},\"instructions\":{},\"fuel_remaining\":{},\
+                 \"slices\":{},\"migrations\":{}",
+                v.id,
+                v.engine.name(),
+                v.yields.len(),
+                v.instructions,
+                v.fuel_remaining,
+                v.slices,
+                v.migrations,
+            )))
+        }
+        "engine" => {
+            let id = num_field(&fields, "id")?;
+            let engine = parse_engine(str_field(&fields, "engine")?)?;
+            svc.set_engine(id, engine)?;
+            Ok(Reply::Body(String::new()))
+        }
+        "awaiting" => {
+            let awaiting = svc.awaiting();
+            let ids: Vec<String> = awaiting.iter().map(|(id, _)| id.to_string()).collect();
+            let codes: Vec<String> = awaiting.iter().map(|(_, c)| c.to_string()).collect();
+            Ok(Reply::Body(format!(
+                "\"ids\":[{}],\"codes\":[{}]",
+                ids.join(","),
+                codes.join(",")
+            )))
+        }
+        "stats" => {
+            let s = svc.stats();
+            let (queue_wait, turnaround) = svc.latency_quantiles();
+            Ok(Reply::Body(format!(
+                "\"submitted\":{},\"completed\":{},\"yields\":{},\"resumes\":{},\
+                 \"slices\":{},\"migrations\":{},\"parked\":{},\"parked_high_water\":{},\
+                 \"quanta\":{},\"vclock\":{},\"instructions\":{},\
+                 \"queue_wait_p50\":{},\"queue_wait_p99\":{},\
+                 \"turnaround_p50\":{},\"turnaround_p99\":{}",
+                s.submitted,
+                s.completed,
+                s.yields,
+                s.resumes,
+                s.slices,
+                s.migrations,
+                s.parked,
+                s.parked_high_water,
+                s.quanta,
+                s.vclock,
+                s.instructions,
+                queue_wait.0,
+                queue_wait.2,
+                turnaround.0,
+                turnaround.2,
+            )))
+        }
+        "metrics" => {
+            let timing = opt_num(&fields, "timing")?.unwrap_or(0) != 0;
+            let reg = svc
+                .registry()
+                .ok_or("service was started without metrics")?;
+            Ok(Reply::Body(format!(
+                "\"metrics\":\"{}\"",
+                escape(&reg.to_json(timing))
+            )))
+        }
+        "events" => Ok(Reply::Body(format!(
+            "\"events\":\"{}\"",
+            escape(&svc.events_text())
+        ))),
+        "shutdown" => Ok(Reply::Shutdown),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn parse_engine(name: &str) -> Result<EngineId, String> {
+    EngineId::parse(name)
+}
+
+fn str_field<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Result<&'a str, String> {
+    opt_str(fields, key)?.ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn opt_str<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Result<Option<&'a str>, String> {
+    match get(fields, key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a string")),
+    }
+}
+
+fn num_field(fields: &[(String, JsonValue)], key: &str) -> Result<u64, String> {
+    opt_num(fields, key)?.ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn opt_num(fields: &[(String, JsonValue)], key: &str) -> Result<Option<u64>, String> {
+    match get(fields, key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_num()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+/// Serves the protocol on `listener` until a client sends `shutdown`.
+/// Connections are handled sequentially — the service is a shared
+/// single-threaded state machine by design (parallelism lives inside
+/// [`Service::tick`], not across clients).
+///
+/// # Errors
+///
+/// Propagates accept/read/write I/O errors; per-request protocol
+/// errors go to the client as `{"ok":0,...}` lines instead.
+pub fn serve_on(listener: TcpListener, mut svc: Service) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (response, shutdown) = handle_line(&mut svc, &line);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            if shutdown {
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    const SRC: &str = "f(bits32 n) { yield(n | 1) also aborts; return (n + 1); }";
+
+    fn roundtrip(svc: &mut Service, line: &str) -> String {
+        let (response, _) = handle_line(svc, line);
+        response
+    }
+
+    /// A whole session over the protocol: submit, drive to the yield,
+    /// resume, drive to completion, poll the outcome.
+    #[test]
+    fn a_session_runs_end_to_end_over_the_protocol() {
+        let mut svc = Service::new(ServeConfig {
+            metrics: true,
+            ..ServeConfig::default()
+        });
+        let r = roundtrip(
+            &mut svc,
+            &format!(
+                "{{\"op\":\"submit\",\"tenant\":\"a\",\"source\":\"{}\",\"args\":[4]}}",
+                escape(SRC)
+            ),
+        );
+        assert_eq!(r, "{\"ok\":1,\"id\":0}", "{r}");
+        let r = roundtrip(&mut svc, "{\"op\":\"tick\",\"quanta\":10}");
+        assert!(r.contains("\"yielded\":1"), "{r}");
+        let r = roundtrip(&mut svc, "{\"op\":\"awaiting\"}");
+        assert_eq!(r, "{\"ok\":1,\"ids\":[0],\"codes\":[5]}");
+        let r = roundtrip(&mut svc, "{\"op\":\"poll\",\"id\":0}");
+        assert!(
+            r.contains("\"state\":\"awaiting\"") && r.contains("\"code\":5"),
+            "{r}"
+        );
+        let r = roundtrip(&mut svc, "{\"op\":\"resume\",\"id\":0,\"reply\":9}");
+        assert_eq!(r, "{\"ok\":1}");
+        let r = roundtrip(&mut svc, "{\"op\":\"tick\",\"quanta\":10}");
+        assert!(r.contains("\"completed\":1"), "{r}");
+        let r = roundtrip(&mut svc, "{\"op\":\"poll\",\"id\":0}");
+        assert!(
+            r.contains("\"state\":\"done\"") && r.contains("halt"),
+            "{r}"
+        );
+        let r = roundtrip(&mut svc, "{\"op\":\"stats\"}");
+        assert!(
+            r.contains("\"completed\":1") && r.contains("\"yields\":1"),
+            "{r}"
+        );
+        let r = roundtrip(&mut svc, "{\"op\":\"metrics\"}");
+        assert!(r.contains("cmm_serve_requests_total"), "{r}");
+        let r = roundtrip(&mut svc, "{\"op\":\"events\"}");
+        assert!(r.contains("submit t0") && r.contains("yield t0"), "{r}");
+    }
+
+    /// Malformed requests and bad ops come back as error lines, never
+    /// a panic or a dropped connection.
+    #[test]
+    fn protocol_errors_are_reported_in_band() {
+        let mut svc = Service::new(ServeConfig::default());
+        for bad in [
+            "not json at all",
+            "{\"op\":\"frobnicate\"}",
+            "{\"op\":\"submit\"}",
+            "{\"op\":\"resume\",\"id\":99,\"reply\":0}",
+            "{\"op\":\"poll\",\"id\":99}",
+            "{\"op\":\"submit\",\"source\":\"f() { return; }\",\"engine\":\"jit\"}",
+            "{\"op\":\"metrics\"}",
+        ] {
+            let r = roundtrip(&mut svc, bad);
+            assert!(r.starts_with("{\"ok\":0,\"error\":\""), "{bad} -> {r}");
+        }
+    }
+
+    /// The real socket path: framing, sequencing, and shutdown over
+    /// 127.0.0.1.
+    #[test]
+    fn the_tcp_loop_frames_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+        let addr = listener.local_addr().unwrap();
+        let svc = Service::new(ServeConfig::default());
+        let server = std::thread::spawn(move || serve_on(listener, svc));
+
+        let stream = std::net::TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut say = |line: &str| {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            response.trim_end().to_string()
+        };
+        let r = say(&format!(
+            "{{\"op\":\"submit\",\"source\":\"{}\",\"args\":[2]}}",
+            escape(SRC)
+        ));
+        assert_eq!(r, "{\"ok\":1,\"id\":0}");
+        let r = say("{\"op\":\"tick\",\"quanta\":10}");
+        assert!(r.contains("\"yielded\":1"), "{r}");
+        assert_eq!(say("{\"op\":\"shutdown\"}"), "{\"ok\":1}");
+        server.join().unwrap().expect("server exits cleanly");
+    }
+}

@@ -441,6 +441,47 @@ impl Snapshot {
         }
         Ok(())
     }
+
+    /// Checks that `requested` can resume this snapshot: any engine of
+    /// the snapshot's family may, any other engine may not.
+    ///
+    /// # Errors
+    ///
+    /// On a family mismatch, a structured message naming both engines,
+    /// both families, and the blob's program digest — everything an
+    /// operator needs to find the blob and pick a legal tier. Every
+    /// resume surface (`cmm resume`, the execution service) reports
+    /// this one message, so tooling can match on it.
+    pub fn check_engine(&self, requested: EngineId) -> Result<(), String> {
+        if requested.family() == self.engine.family() {
+            return Ok(());
+        }
+        Err(format!(
+            "cannot resume a {} snapshot (family {}, digest {}) on `{}` (family {}): \
+             engine families differ",
+            self.engine.name(),
+            self.engine.family().name(),
+            digest_hex(self.digest),
+            requested.name(),
+            requested.family().name(),
+        ))
+    }
+}
+
+impl Family {
+    /// The family's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Sem => "sem",
+            Family::Vm => "vm",
+        }
+    }
+}
+
+/// Renders a program digest as the canonical 32-hex-digit string used
+/// in resume diagnostics.
+pub fn digest_hex(d: [u64; 2]) -> String {
+    format!("{:016x}{:016x}", d[0], d[1])
 }
 
 fn opt_usize(v: Option<u64>, what: &'static str) -> Result<Option<usize>, SnapError> {
